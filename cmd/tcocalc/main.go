@@ -1,0 +1,92 @@
+// Command tcocalc prices a datacenter deployment with the paper's Table 2
+// model (Equation 1) and evaluates the PCM scenarios for a given peak
+// cooling reduction and throughput gain.
+//
+// Usage:
+//
+//	tcocalc [-kw 10000] [-servers 55440] [-cost 2000] [-wax 4]
+//	        [-reduction 0.089] [-gain 0.33]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tco"
+)
+
+func main() {
+	kw := flag.Float64("kw", 10000, "datacenter critical power in kW")
+	servers := flag.Int("servers", 55440, "server population")
+	cost := flag.Float64("cost", 2000, "server purchase price, USD")
+	wax := flag.Float64("wax", 4, "wax+container purchase per server, USD")
+	reduction := flag.Float64("reduction", 0.089, "PCM peak cooling reduction (0-1)")
+	gain := flag.Float64("gain", 0.33, "PCM peak throughput gain in the constrained scenario (0-1)")
+	flag.Parse()
+
+	p := tco.PaperParams()
+	d := tco.Datacenter{
+		CriticalPowerKW:     *kw,
+		Servers:             *servers,
+		ServerCostUSD:       *cost,
+		WaxCostPerServerUSD: *wax,
+	}
+	b, err := tco.Monthly(p, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcocalc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Equation 1 breakdown for %.0f kW, %d servers ($/month):\n", *kw, *servers)
+	rows := []struct {
+		name string
+		v    float64
+	}{
+		{"FacilitySpaceCapEx", b.FacilitySpaceCapEx},
+		{"UPSCapEx", b.UPSCapEx},
+		{"PowerInfraCapEx", b.PowerInfraCapEx},
+		{"CoolingInfraCapEx", b.CoolingInfraCapEx},
+		{"RestCapEx", b.RestCapEx},
+		{"DCInterest", b.DCInterest},
+		{"ServerCapEx", b.ServerCapEx},
+		{"WaxCapEx", b.WaxCapEx},
+		{"ServerInterest", b.ServerInterest},
+		{"DatacenterOpEx", b.DatacenterOpEx},
+		{"ServerEnergyOpEx", b.ServerEnergyOpEx},
+		{"ServerPowerOpEx", b.ServerPowerOpEx},
+		{"CoolingEnergyOpEx", b.CoolingEnergyOpEx},
+		{"RestOpEx", b.RestOpEx},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-20s $%12.0f\n", r.name, r.v)
+	}
+	fmt.Printf("  %-20s $%12.0f  ($%.1fM/year)\n", "TOTAL", b.Total(), b.Total()*12/1e6)
+
+	if *reduction > 0 && *reduction < 1 {
+		s, err := tco.SmallerCoolingSystem(p, *kw, *servers, *reduction)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcocalc:", err)
+			os.Exit(1)
+		}
+		retro, err := tco.RetrofitSavings(p, *kw, *reduction)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcocalc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nPCM at %.1f%% peak cooling reduction:\n", *reduction*100)
+		fmt.Printf("  smaller cooling system: $%.0fk/year\n", s.AnnualUSD/1000)
+		fmt.Printf("  or %d extra servers (%.1f%%)\n", s.ExtraServers, s.ExtraServersFraction*100)
+		fmt.Printf("  retrofit vs replacement plant: $%.1fM/year\n", retro/1e6)
+	}
+	if *gain > 0 {
+		e, err := tco.TCOEfficiency(p, d, *gain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcocalc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nPCM at +%.0f%% constrained peak throughput:\n", *gain*100)
+		fmt.Printf("  with PCM:      $%.1fM/year\n", e.WithPCMAnnualUSD/1e6)
+		fmt.Printf("  more machines: $%.1fM/year\n", e.MoreMachinesAnnualUSD/1e6)
+		fmt.Printf("  TCO efficiency improvement: %.0f%%\n", e.Improvement*100)
+	}
+}

@@ -1,0 +1,334 @@
+// Command ttsim runs the thermal time shifting experiments and prints the
+// rows and series the paper reports.
+//
+// Usage:
+//
+//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|all
+//	      [-csv dir] [-optimize]
+//
+// -csv writes every series the experiment produces into the directory as
+// time,value CSV files. -optimize runs the melting-temperature search
+// instead of using the calibrated per-machine defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/report"
+	"repro/internal/tco"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig7, fig10, fig11, fig12, table2, tco, extensions, or all")
+	csvDir := flag.String("csv", "", "directory to write series CSVs into")
+	jsonPath := flag.String("json", "", "write a machine-readable results bundle to this file")
+	optimize := flag.Bool("optimize", false, "search melting temperatures instead of using calibrated defaults")
+	flag.Parse()
+
+	study := core.NewStudy()
+	study.OptimizeMelt = *optimize
+
+	runners := map[string]func(*core.Study, string) error{
+		"table1":     runTable1,
+		"fig4":       runFig4,
+		"fig7":       runFig7,
+		"fig10":      runFig10,
+		"fig11":      runFig11,
+		"fig12":      runFig12,
+		"table2":     runTable2,
+		"tco":        runTCO,
+		"extensions": runExtensions,
+		"waxsweep":   runWaxSweep,
+		"check":      runCheck,
+	}
+	order := []string{"table1", "fig4", "fig7", "fig10", "fig11", "fig12", "table2", "tco", "extensions", "waxsweep", "check"}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = order
+	}
+	if *jsonPath != "" {
+		bundle, err := study.CollectResults()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttsim:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttsim:", err)
+			os.Exit(1)
+		}
+		if err := bundle.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ttsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("results bundle written to %s\n\n", *jsonPath)
+	}
+
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ttsim: unknown experiment %q (want one of %s, all)\n",
+				name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		if err := run(study, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "ttsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSV(dir, name string, s *timeseries.Series, header string) error {
+	if dir == "" || s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.WriteCSV(f, header)
+}
+
+func runTable1(*core.Study, string) error {
+	fmt.Print(report.Table1(pcm.DatacenterCriteria(), pcm.Families()))
+	comm, err := pcm.CommercialParaffin(50)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report.CostComparison(pcm.Eicosane(), comm, 1.2*55*1008))
+	return nil
+}
+
+func runFig4(s *core.Study, csvDir string) error {
+	v, err := s.RunValidation()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Validation(v))
+	for name, tr := range map[string]*timeseries.Series{
+		"fig4_real_wax": v.RealWax, "fig4_real_placebo": v.RealPlacebo,
+		"fig4_model_wax": v.ModelWax, "fig4_model_placebo": v.ModelPlacebo,
+	} {
+		if err := writeCSV(csvDir, name, tr, "near_box_degC"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig7(s *core.Study, csvDir string) error {
+	res, err := s.RunBlockageSweeps()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Sweeps(res))
+	if csvDir != "" {
+		for _, r := range res {
+			outlet := make([]float64, len(r.Points))
+			for i, p := range r.Points {
+				outlet[i] = p.OutletC
+			}
+			tr, err := timeseries.FromValues(0, 0.1, outlet)
+			if err != nil {
+				return err
+			}
+			name := "fig7_" + strings.Fields(r.Class.String())[0]
+			if err := writeCSV(csvDir, name, tr, "outlet_degC_vs_blockage"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runFig10(s *core.Study, csvDir string) error {
+	fmt.Print(report.TraceSummary(s.Trace))
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, "fig10_trace.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return s.Trace.WriteCSV(f)
+	}
+	return nil
+}
+
+func runFig11(s *core.Study, csvDir string) error {
+	fmt.Println("== Figure 11 / Section 5.1: cooling load, fully subscribed cooling ==")
+	for _, m := range core.Classes {
+		r, err := s.RunCoolingStudy(m)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(report.Cooling(r))
+		tag := strings.Fields(m.String())[0]
+		if err := writeCSV(csvDir, "fig11_"+tag+"_baseline", r.Baseline, "cooling_W"); err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "fig11_"+tag+"_pcm", r.WithPCM, "cooling_W"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig12(s *core.Study, csvDir string) error {
+	fmt.Println("== Figure 12 / Section 5.2: throughput, thermally constrained cooling ==")
+	for _, m := range core.Classes {
+		r, err := s.RunThroughputStudy(m)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(report.Throughput(r))
+		tag := strings.Fields(m.String())[0]
+		for suffix, tr := range map[string]*timeseries.Series{
+			"ideal": r.Ideal, "nowax": r.NoWax, "wax": r.WithWax,
+		} {
+			if err := writeCSV(csvDir, "fig12_"+tag+"_"+suffix, tr, "normalized_throughput"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runTable2(s *core.Study, _ string) error {
+	fmt.Print(report.Table2(s.TCO))
+	return nil
+}
+
+func runTCO(s *core.Study, _ string) error {
+	fmt.Println("== Section 5 economics summary (10 MW datacenter) ==")
+	for _, m := range core.Classes {
+		cfg := m.Config()
+		sc := core.DefaultScenario(m)
+		d := tco.Datacenter{
+			CriticalPowerKW: s.CriticalPowerKW,
+			Servers:         sc.Clusters * cfg.ClusterSize,
+			ServerCostUSD:   cfg.CostUSD,
+		}
+		annual, err := tco.Annual(s.TCO, d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s: %d servers x $%.0f, TCO $%.1fM/yr\n", m, d.Servers, cfg.CostUSD, annual/1e6)
+		cool, err := s.RunCoolingStudy(m)
+		if err != nil {
+			return err
+		}
+		thr, err := s.RunThroughputStudy(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  smaller cooling system: $%.0fk/yr | +%d servers | retrofit $%.1fM/yr\n",
+			cool.AnnualCoolingSavingsUSD/1000, cool.ExtraServers, cool.RetrofitSavingsUSD/1e6)
+		fmt.Printf("  constrained: +%.0f%% peak throughput -> %.0f%% TCO efficiency improvement\n",
+			thr.PeakGain*100, thr.TCOEfficiencyImprovement*100)
+	}
+	return nil
+}
+
+func runWaxSweep(s *core.Study, _ string) error {
+	fmt.Println("== Sensitivity: peak cooling reduction vs wax quantity ==")
+	for _, m := range core.Classes {
+		pts, err := s.WaxQuantitySweep(m, []float64{0.25, 0.5, 1, 1.5, 2})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\n", m)
+		for _, p := range pts {
+			bar := ""
+			for i := 0; i < int(p.PeakReduction*200+0.5); i++ {
+				bar += "#"
+			}
+			fmt.Printf("  %5.2f l  -%4.1f%%  %s\n", p.WaxLiters, p.PeakReduction*100, bar)
+		}
+	}
+	fmt.Println()
+	fmt.Println("the paper: \"the more wax that is added to a server, the greater the")
+	fmt.Println("potential savings\" -- up to the design point; past it the oversized,")
+	fmt.Println("tightly-coupled store melts early and releases into the shoulder.")
+	return nil
+}
+
+func runExtensions(s *core.Study, _ string) error {
+	fmt.Println("== Extensions: storage alternatives and night advantages ==")
+	for _, m := range core.Classes {
+		cw, err := s.CompareChilledWater(m)
+		if err != nil {
+			return err
+		}
+		comp, err := s.RunComplementarity(m)
+		if err != nil {
+			return err
+		}
+		night, err := s.RunNightAdvantages(m)
+		if err != nil {
+			return err
+		}
+		em, err := s.RunEmergencyRideThrough(m, core.DefaultEmergency())
+		if err != nil {
+			return err
+		}
+		rel, err := s.RunRelocationStudy(m, core.DefaultRelocation())
+		if err != nil {
+			return err
+		}
+		pl, err := s.ComparePlacement(m)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(report.Extensions(cw, comp, night))
+		fmt.Printf("  chiller-trip ride-through: %.1f min -> %.1f min (+%.1f min from the wax)\n",
+			em.RideThroughNoWaxMin, em.RideThroughWithWaxMin, em.ExtensionMin)
+		fmt.Printf("  constrained-peak relocation: %.0f -> %.0f server-h/day shipped out ($%.0fk/yr saved)\n",
+			rel.RelocatedNoWax, rel.RelocatedWithWax, rel.AnnualSavingsUSD/1000)
+		fmt.Printf("  placement: in-wake -%.1f%% (%.1f K swing) vs central/bulk -%.1f%% (%.1f K swing)\n",
+			pl.WakeReduction*100, pl.WakeSwingK, pl.BulkReduction*100, pl.BulkSwingK)
+	}
+	return nil
+}
+
+func runCheck(s *core.Study, _ string) error {
+	fmt.Println("== Self-check: measured vs paper (acceptance band 0.5x-2x) ==")
+	bundle, err := s.CollectResults()
+	if err != nil {
+		return err
+	}
+	rows, allOK := bundle.SelfCheck()
+	for _, r := range rows {
+		mark := "ok  "
+		if !r.OK {
+			mark = "FAIL"
+		}
+		fmt.Printf("  [%s] %-40s measured %10.3f | paper %10.3f\n", mark, r.Name, r.Measured, r.Paper)
+	}
+	if !allOK {
+		return fmt.Errorf("self-check found out-of-band results")
+	}
+	fmt.Println("all headline quantities within band")
+	return nil
+}

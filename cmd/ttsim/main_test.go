@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/timeseries"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	s, err := timeseries.FromValues(0, 60, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSV(dir, "probe", s, "value"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "probe.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV written")
+	}
+	// No-ops: empty dir or nil series.
+	if err := writeCSV("", "probe", s, "value"); err != nil {
+		t.Error(err)
+	}
+	if err := writeCSV(dir, "nil", nil, "value"); err != nil {
+		t.Error(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "nil.csv")); !os.IsNotExist(err) {
+		t.Error("nil series produced a file")
+	}
+}
+
+func TestRunnersProduceCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs")
+	}
+	dir := t.TempDir()
+	study := core.NewStudy()
+
+	if err := runFig10(study, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig10_trace.csv")); err != nil {
+		t.Error("fig10 CSV missing")
+	}
+
+	if err := runFig11(study, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig11_1U_baseline.csv", "fig11_1U_pcm.csv", "fig11_Open_baseline.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+
+	if err := runFig12(study, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig12_2U_ideal.csv", "fig12_2U_nowax.csv", "fig12_2U_wax.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+
+	if err := runFig7(study, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7_1U.csv")); err != nil {
+		t.Error("fig7 CSV missing")
+	}
+}
+
+func TestTextOnlyRunners(t *testing.T) {
+	study := core.NewStudy()
+	if err := runTable1(study, ""); err != nil {
+		t.Error(err)
+	}
+	if err := runTable2(study, ""); err != nil {
+		t.Error(err)
+	}
+}

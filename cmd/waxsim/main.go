@@ -1,0 +1,124 @@
+// Command waxsim runs a single server's thermal model through a load
+// schedule and prints the wax melt/freeze timeline: the micro-scale view
+// behind the datacenter experiments.
+//
+// Usage:
+//
+//	waxsim [-server 1u|2u|ocp|rd330] [-melt C] [-hours N] [-idle H -load H]
+//	       [-placebo] [-step S] [-csv file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func main() {
+	name := flag.String("server", "rd330", "server: 1u, 2u, ocp, or rd330 (validation unit)")
+	melt := flag.Float64("melt", 0, "wax melting temperature in degC (0 = machine default)")
+	hours := flag.Float64("hours", 25, "total simulated hours")
+	idle := flag.Float64("idle", 1, "initial idle hours")
+	load := flag.Float64("load", 12, "loaded hours after the idle phase")
+	placebo := flag.Bool("placebo", false, "simulate empty (placebo) boxes instead of wax")
+	step := flag.Float64("step", 5, "integration step in seconds")
+	csvPath := flag.String("csv", "", "write the near-box trace to this CSV file")
+	describe := flag.Bool("describe", false, "print the server inventory before simulating")
+	flag.Parse()
+
+	cfg := configFor(*name)
+	if cfg == nil {
+		fmt.Fprintf(os.Stderr, "waxsim: unknown server %q (want 1u, 2u, ocp, rd330)\n", *name)
+		os.Exit(2)
+	}
+	if *describe {
+		fmt.Print(cfg.Describe())
+		fmt.Println()
+	}
+	schedule := func(t float64) float64 {
+		switch {
+		case t < *idle*units.Hour:
+			return 0
+		case t < (*idle+*load)*units.Hour:
+			return 1
+		default:
+			return 0
+		}
+	}
+	b, err := server.BuildModel(cfg, server.BuildOptions{
+		WithWax:     !*placebo,
+		PlaceboBox:  *placebo,
+		MeltC:       *melt,
+		Utilization: schedule,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waxsim:", err)
+		os.Exit(1)
+	}
+
+	probes := []thermal.Probe{
+		{Name: "near box", Station: b.WakeSt},
+		{Name: "outlet", Station: b.Outlet},
+		{Name: "cpu1", Node: b.CPUs[0]},
+	}
+	if b.Wax != nil {
+		probes = append(probes, thermal.Probe{Name: "liquid", Wax: b.Wax})
+	}
+	res, err := b.Model.Run(*hours*units.Hour, *step, 600, probes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waxsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s | wax: %t | flow %.1f CFM\n", cfg.Name, !*placebo,
+		units.CubicMetersPerSecondToCFM(b.FlowM3s))
+	if b.Wax != nil {
+		enc := b.Wax.Enclosure()
+		fmt.Printf("wax: %.2f l of %s, %.0f kJ latent, hA %.1f W/K\n",
+			enc.WaxVolume(), enc.Material.Name, enc.LatentCapacity()/1000, b.WaxHA)
+	}
+	fmt.Printf("%6s %9s %9s %9s %8s\n", "hour", "nearBox", "outlet", "cpu1", "liquid")
+	nb := res.Trace("near box")
+	for i := 0; i < nb.Len(); i += 6 { // hourly rows from 10-minute samples
+		h := nb.TimeAt(i) / units.Hour
+		liquid := "-"
+		if lt := res.Trace("liquid"); lt != nil {
+			liquid = fmt.Sprintf("%7.0f%%", lt.Values[i]*100)
+		}
+		fmt.Printf("%6.1f %8.1fC %8.1fC %8.1fC %8s\n",
+			h, nb.Values[i], res.Trace("outlet").Values[i], res.Trace("cpu1").Values[i], liquid)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "waxsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := nb.WriteCSV(f, "near_box_degC"); err != nil {
+			fmt.Fprintln(os.Stderr, "waxsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func configFor(name string) *server.Config {
+	switch strings.ToLower(name) {
+	case "1u":
+		return server.OneU()
+	case "2u":
+		return server.TwoU()
+	case "ocp", "opencompute":
+		return server.OpenCompute()
+	case "rd330", "validation":
+		return server.ValidationRD330()
+	default:
+		return nil
+	}
+}

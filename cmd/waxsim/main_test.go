@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestConfigFor(t *testing.T) {
+	cases := map[string]string{
+		"1u":          "1U low power",
+		"2U":          "2U high throughput",
+		"ocp":         "Open Compute high density",
+		"OpenCompute": "Open Compute high density",
+		"rd330":       "RD330 validation unit",
+		"validation":  "RD330 validation unit",
+	}
+	for in, want := range cases {
+		cfg := configFor(in)
+		if cfg == nil || cfg.Name != want {
+			t.Errorf("configFor(%q) = %v, want %q", in, cfg, want)
+		}
+	}
+	if configFor("mainframe") != nil {
+		t.Error("unknown server name should return nil")
+	}
+}

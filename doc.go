@@ -1,0 +1,24 @@
+// Package tts is a from-scratch Go reproduction of "Thermal Time
+// Shifting: Leveraging Phase Change Materials to Reduce Cooling Costs in
+// Warehouse-Scale Computers" (Skach et al., ISCA 2015).
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/pcm — phase change materials, enclosures, melt/freeze state
+//   - internal/airflow, internal/thermal — the server heat model that
+//     stands in for the paper's ANSYS Icepak simulations
+//   - internal/server — the 1U, 2U and Open Compute machines
+//   - internal/workload — the synthetic two-day Google-like trace
+//   - internal/dcsim — the DCSim-style datacenter simulator
+//   - internal/cooling, internal/tco — cooling loads and Table 2 economics
+//   - internal/core — one experiment runner per table and figure
+//
+// Quick start:
+//
+//	study := tts.NewStudy()
+//	result, err := study.RunCoolingStudy(tts.TwoU)
+//	// result.Analysis.PeakReduction ~ 0.12-0.14 (the paper's 12%)
+//
+// The cmd/ttsim CLI prints every table and figure; EXPERIMENTS.md records
+// paper-versus-measured values for each.
+package tts

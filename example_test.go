@@ -1,0 +1,60 @@
+package tts_test
+
+import (
+	"fmt"
+
+	tts "repro"
+)
+
+// The headline experiment: one call reproduces the paper's Figure 11 for
+// the 2U machine. All inputs are seeded, so the output is deterministic.
+func ExampleStudy_RunCoolingStudy() {
+	study := tts.NewStudy()
+	r, err := study.RunCoolingStudy(tts.TwoU)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peak cooling reduction: %.0f%% (paper: 12%%)\n", r.Analysis.PeakReduction*100)
+	fmt.Printf("extra servers in 10 MW: %d (paper: 2,920)\n", r.ExtraServers)
+	// Output:
+	// peak cooling reduction: 14% (paper: 12%)
+	// extra servers in 10 MW: 3026 (paper: 2,920)
+}
+
+// The thermally constrained experiment: Figure 12 for the 2U machine.
+func ExampleStudy_RunThroughputStudy() {
+	study := tts.NewStudy()
+	r, err := study.RunThroughputStudy(tts.TwoU)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peak throughput gain: +%.0f%% (paper: +69%%)\n", r.PeakGain*100)
+	// Output:
+	// peak throughput gain: +69% (paper: +69%)
+}
+
+// Selecting a wax: the purchasable commercial-paraffin range and the
+// Table 1 ranking.
+func ExampleCommercialParaffin() {
+	wax, err := tts.CommercialParaffin(50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %.0f J/g latent, $%.0f/ton\n", wax.Class, wax.HeatOfFusion/1000, wax.CostPerTon)
+	if _, err := tts.CommercialParaffin(70); err != nil {
+		fmt.Println("70 degC: not purchasable")
+	}
+	// Output:
+	// Commercial Paraffins: 200 J/g latent, $1500/ton
+	// 70 degC: not purchasable
+}
+
+// The workload trace behind every experiment: two days, 50% average load,
+// 95% peak.
+func ExampleGoogleTwoDay() {
+	tr := tts.GoogleTwoDay()
+	peak, _ := tr.Total.Peak()
+	fmt.Printf("mean %.0f%%, peak %.0f%%\n", tr.Total.Mean()*100, peak*100)
+	// Output:
+	// mean 50%, peak 95%
+}

@@ -1,0 +1,56 @@
+// Materials: the Section 2.1 selection walk — score every Table 1 family
+// against the datacenter deployment envelope, price the eicosane-versus-
+// commercial-paraffin tradeoff at warehouse scale, and run the melting-
+// temperature optimizer for each machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	tts "repro"
+	"repro/internal/pcm"
+)
+
+func main() {
+	crit := pcm.DatacenterCriteria()
+
+	fmt.Println("Table 1 families against the datacenter envelope (30-60 degC melt,")
+	fmt.Println("~1,500 daily cycles, non-corrosive, non-conductive, affordable):")
+	for _, m := range crit.Ranked(pcm.Families()) {
+		m := m
+		reasons := crit.Unsuitability(&m)
+		verdict := "SUITABLE"
+		if len(reasons) > 0 {
+			verdict = strings.Join(reasons, "; ")
+		}
+		fmt.Printf("  %-28s %s\n", m.Class, verdict)
+	}
+
+	// The cost cliff that rules out the sprinting-grade wax.
+	eico := pcm.Eicosane()
+	comm, err := pcm.CommercialParaffin(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const liters = 1.2 * 55 * 1008 // 1U fleet of a 10 MW datacenter
+	fmt.Printf("\nfilling a 10 MW 1U fleet (%.0f l of wax):\n", liters)
+	fmt.Printf("  eicosane:            $%9.0f (%.0f J/g)\n", eico.CostForVolume(liters), eico.HeatOfFusion/1000)
+	fmt.Printf("  commercial paraffin: $%9.0f (%.0f J/g)\n", comm.CostForVolume(liters), comm.HeatOfFusion/1000)
+	fmt.Printf("  -> %.0fx cheaper for %.0f%% less energy per gram\n",
+		eico.CostPerTon/comm.CostPerTon, (1-comm.HeatOfFusion/eico.HeatOfFusion)*100)
+
+	// The within-family knob: which melting temperature to buy.
+	fmt.Println("\nmelting-temperature optimization (peak cluster cooling load):")
+	trace := tts.GoogleTwoDay()
+	for _, m := range tts.Classes {
+		cfg := tts.ServerConfig(m)
+		opt, err := tts.OptimizeMeltingTemperature(cfg, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s best Tm %.2f degC -> -%.1f%% peak cooling (melts above %.0f%% load)\n",
+			m, opt.MeltC, opt.PeakReduction*100, opt.MeltOnsetUtilization*100)
+	}
+}

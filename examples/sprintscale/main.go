@@ -1,0 +1,77 @@
+// Sprintscale: the related-work contrast the paper draws in Section 6.
+// Computational sprinting puts grams of lab-grade eicosane on a chip to
+// absorb a seconds-scale burst; thermal time shifting puts kilograms of
+// commercial wax in a server to absorb an hours-scale peak. Same physics,
+// five orders of magnitude apart in time and energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dcsim"
+	"repro/internal/pcm"
+	"repro/internal/server"
+	"repro/internal/sprint"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Chip scale: a 15 W-sustainable mobile part sprinting at 50 W.
+	chip := sprint.DefaultChip()
+	bare, err := chip.Sprint(nil, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	block, err := sprint.EicosaneBlock(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boosted, err := chip.Sprint(block, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eico := pcm.Eicosane()
+	chipCost := eico.CostForVolume(0.030 / eico.DensitySolid * 1000)
+	fmt.Println("chip scale (computational sprinting):")
+	fmt.Printf("  30 g of eicosane ($%.2f) on a %0.f W-sustainable chip\n", chipCost, chip.SustainableW)
+	fmt.Printf("  %.0f W sprint holds %.0f s bare, %.0f s with PCM (+%.0f s, +%.1f kJ of burst)\n",
+		chip.SprintW, bare.DurationS, boosted.DurationS,
+		boosted.DurationS-bare.DurationS, (boosted.EnergyJ-bare.EnergyJ)/1000)
+
+	// Datacenter scale: the 2U cluster over the two-day trace.
+	cfg := server.TwoU()
+	cluster, err := dcsim.NewCluster(cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := workload.GoogleTwoDay()
+	base, err := cluster.RunCoolingLoad(tr, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wax, err := cluster.RunCoolingLoad(tr, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pb, _ := base.CoolingLoadW.Peak()
+	pw, _ := wax.CoolingLoadW.Peak()
+	enc := cluster.ROM.Enclosure
+	comm := enc.Material
+	fmt.Println("\ndatacenter scale (thermal time shifting):")
+	fmt.Printf("  %.1f kg of commercial paraffin ($%.2f) per 2U server\n",
+		enc.WaxMass(), enc.MaterialCost())
+	fmt.Printf("  shifts %.0f kWh/day per 1008-server cluster, shaving the cooling peak %.1f%%\n",
+		units.JoulesToKWh(wax.AbsorbedJ/2), (1-pw/pb)*100)
+
+	fmt.Println("\nthe contrast:")
+	fmt.Printf("  time scale:   %.0f s sprint vs %.0f h daily cycle (~%.0fx)\n",
+		boosted.DurationS, 24.0, 24*units.Hour/boosted.DurationS)
+	fmt.Printf("  energy scale: %.1f kJ/chip vs %.0f kJ/server (~%.0fx)\n",
+		block.LatentCapacity()/1000, enc.LatentCapacity()/1000,
+		enc.LatentCapacity()/block.LatentCapacity())
+	fmt.Printf("  material:     eicosane $%.0f/ton vs commercial $%.0f/ton (%.0fx)\n",
+		eico.CostPerTon, comm.CostPerTon, eico.CostPerTon/comm.CostPerTon)
+	fmt.Println("  and no metal mesh needed at hour scales (see the pcm mesh ablation test)")
+}

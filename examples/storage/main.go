@@ -1,0 +1,57 @@
+// Storage wars: the three ways to time-shift a datacenter's peak — passive
+// wax inside the servers (this paper), an active chilled-water tank
+// outside (TE-Shave and the thermal-storage literature), and UPS batteries
+// (the power-capping literature) — compared head-to-head on the same
+// cluster, plus the combination the paper's introduction advocates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tts "repro"
+)
+
+func main() {
+	study := tts.NewStudy()
+
+	fmt.Println("2U cluster (1008 servers), two-day Google trace")
+	fmt.Println()
+
+	cw, err := study.CompareChilledWater(tts.TwoU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("peak COOLING load shave, equal stored energy:")
+	fmt.Printf("  in-server wax      -%4.1f%%   passive: no power, no floor space, no controls\n",
+		cw.WaxReduction*100)
+	fmt.Printf("  chilled-water tank -%4.1f%%   %.0f m^3 outdoors (%.0f m^2 pad), %.0f kWh/day pumps,\n",
+		cw.TankReduction*100, cw.TankVolumeM3, cw.TankFloorM2, cw.TankPumpKWhPerDay)
+	fmt.Printf("                              %.0f kWh/day re-chilling environmental losses\n",
+		cw.TankStandingKWhPerDay)
+	fmt.Println()
+	fmt.Println("the tank shaves a little deeper (no in-chassis volume limit) but pays a")
+	fmt.Println("standing bill whether used or not — the paper's Section 6 argument.")
+
+	comp, err := study.RunComplementarity(tts.TwoU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npeak GRID draw (IT + cooling plant at COP 3.5):")
+	fmt.Printf("  UPS batteries only  -%4.1f%%   (cooling power still peaks with the workload)\n",
+		comp.TotalReductionBatteryOnly*100)
+	fmt.Printf("  wax only            -%4.1f%%   (IT power still peaks with the workload)\n",
+		comp.TotalReductionWaxOnly*100)
+	fmt.Printf("  batteries + wax     -%4.1f%%   (both flattened: the tighter total cap)\n",
+		comp.TotalReductionCombined*100)
+
+	night, err := study.RunNightAdvantages(tts.TwoU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnight-shift side benefits (temperate climate, 7am-7pm peak tariff):")
+	fmt.Printf("  free-cooled heat:  %.2f%% -> %.2f%% of the total\n",
+		night.FreeFractionBase*100, night.FreeFractionPCM*100)
+	fmt.Printf("  chiller bill:      $%.2f -> $%.2f per cluster per two days\n",
+		night.TOUCostBaseUSD, night.TOUCostPCMUSD)
+}

@@ -1,0 +1,215 @@
+// Package airflow models the forced-air path through a server: a bank of
+// fans working against the chassis flow impedance. The operating point is
+// the intersection of the fan pressure curve with the impedance curve;
+// adding wax boxes raises the impedance and slides the operating point to
+// lower flow. The three server classes in the paper differ mainly in how
+// much static-pressure margin their fans have, which is what produces the
+// three very different blockage responses of Figure 7.
+package airflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/units"
+)
+
+// Fan describes a bank of identical server fans by its aggregate free-air
+// flow and stalled static pressure. The pressure curve is the usual
+// concave quadratic: dP(Q) = MaxStaticPa * (1 - (Q/FreeFlow)^2).
+type Fan struct {
+	// Name labels the fan bank in reports.
+	Name string
+	// FreeFlowM3s is the total free-air delivery in m^3/s.
+	FreeFlowM3s float64
+	// MaxStaticPa is the stalled static pressure in pascals.
+	MaxStaticPa float64
+}
+
+// Pressure returns the fan bank's static pressure at flow q (m^3/s),
+// clamped at zero past free delivery.
+func (f Fan) Pressure(q float64) float64 {
+	if q <= 0 {
+		return f.MaxStaticPa
+	}
+	r := q / f.FreeFlowM3s
+	p := f.MaxStaticPa * (1 - r*r)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Impedance is a chassis flow resistance: dP = K * Q^2, the standard
+// turbulent system curve. K has units Pa/(m^3/s)^2.
+type Impedance struct {
+	K float64
+}
+
+// Pressure returns the pressure drop across the impedance at flow q.
+func (im Impedance) Pressure(q float64) float64 { return im.K * q * q }
+
+// Blocked returns the impedance with a fraction b of the free flow area
+// obstructed by a uniform grille. Pressure drop scales with velocity
+// squared through the remaining area: K' = K / (1-b)^2.
+func (im Impedance) Blocked(b float64) (Impedance, error) {
+	if b < 0 || b >= 1 {
+		return Impedance{}, fmt.Errorf("airflow: blockage fraction %v outside [0, 1)", b)
+	}
+	open := 1 - b
+	return Impedance{K: im.K / (open * open)}, nil
+}
+
+// ErrNoOperatingPoint is returned when the fan and impedance curves do not
+// intersect at positive flow.
+var ErrNoOperatingPoint = errors.New("airflow: fan and impedance curves do not intersect")
+
+// OperatingPoint returns the flow (m^3/s) where the fan pressure equals
+// the impedance drop. For the quadratic fan and system curves used here it
+// has the closed form Q = FreeFlow * sqrt(Pmax / (Pmax + K*FreeFlow^2)),
+// but we solve by bisection so alternative curve shapes can be swapped in.
+func OperatingPoint(f Fan, im Impedance) (float64, error) {
+	if f.FreeFlowM3s <= 0 || f.MaxStaticPa <= 0 {
+		return 0, fmt.Errorf("airflow: fan %q has non-positive ratings", f.Name)
+	}
+	if im.K < 0 {
+		return 0, errors.New("airflow: negative impedance")
+	}
+	if im.K == 0 {
+		return f.FreeFlowM3s, nil
+	}
+	g := func(q float64) float64 { return f.Pressure(q) - im.Pressure(q) }
+	// g(0) = Pmax > 0 and g(FreeFlow) = -K*FreeFlow^2 < 0: always bracketed.
+	q, err := numeric.Brent(g, 0, f.FreeFlowM3s, 1e-12)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoOperatingPoint, err)
+	}
+	return q, nil
+}
+
+// GrilleK returns the impedance coefficient added by a uniform grille
+// blocking fraction b of a duct, per unit of grille sizing coefficient.
+// The loss follows the sharp-edged perforated-plate law: the jet through
+// the open fraction sigma = 1-b contracts and dissipates, giving
+// dP ~ Q^2 * b^2 / sigma^4. It vanishes at b=0 and blows up near full
+// blockage, which is what separates the paper's three Figure 7 shapes.
+func GrilleK(coeff, b float64) (float64, error) {
+	if b < 0 || b >= 1 {
+		return 0, fmt.Errorf("airflow: blockage fraction %v outside [0, 1)", b)
+	}
+	if coeff < 0 {
+		return 0, errors.New("airflow: negative grille coefficient")
+	}
+	sigma := 1 - b
+	return coeff * b * b / (sigma * sigma * sigma * sigma), nil
+}
+
+// Path is a served air path: fans working against the chassis' fixed
+// impedance in series with an optional grille (wax boxes or a test plate),
+// plus duct geometry used to convert flow to interior velocity.
+type Path struct {
+	Fan Fan
+	// Chassis is the fixed, unobstructed chassis impedance.
+	Chassis Impedance
+	// GrilleCoeff sizes the orifice loss of whatever is inserted in the
+	// duct; the contribution at blockage b is GrilleK(GrilleCoeff, b).
+	GrilleCoeff float64
+	// DuctAreaM2 is the free cross-section of the chassis interior where
+	// the wax sits, used to compute local velocity.
+	DuctAreaM2 float64
+}
+
+// NewPath builds a Path and validates it by computing the nominal
+// operating point once.
+func NewPath(fan Fan, chassis Impedance, grilleCoeff, ductAreaM2 float64) (*Path, error) {
+	if ductAreaM2 <= 0 {
+		return nil, fmt.Errorf("airflow: non-positive duct area %v", ductAreaM2)
+	}
+	if grilleCoeff < 0 {
+		return nil, errors.New("airflow: negative grille coefficient")
+	}
+	p := &Path{Fan: fan, Chassis: chassis, GrilleCoeff: grilleCoeff, DuctAreaM2: ductAreaM2}
+	if _, err := p.Flow(0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Flow returns the volumetric flow (m^3/s) with a fraction b of the duct
+// blocked.
+func (p *Path) Flow(b float64) (float64, error) {
+	gk, err := GrilleK(p.GrilleCoeff, b)
+	if err != nil {
+		return 0, err
+	}
+	return OperatingPoint(p.Fan, Impedance{K: p.Chassis.K + gk})
+}
+
+// Velocity returns the interior air speed (m/s) through the open duct
+// cross-section with blockage b.
+func (p *Path) Velocity(b float64) (float64, error) {
+	q, err := p.Flow(b)
+	if err != nil {
+		return 0, err
+	}
+	open := p.DuctAreaM2 * (1 - b)
+	if open <= 0 {
+		return 0, fmt.Errorf("airflow: fully blocked duct")
+	}
+	return q / open, nil
+}
+
+// FlowFraction returns Flow(b)/Flow(0), the figure-of-merit for how
+// resilient the server is to wax blockage.
+func (p *Path) FlowFraction(b float64) (float64, error) {
+	q0, err := p.Flow(0)
+	if err != nil {
+		return 0, err
+	}
+	q, err := p.Flow(b)
+	if err != nil {
+		return 0, err
+	}
+	return q / q0, nil
+}
+
+// ConvectionCoefficient returns the convective heat transfer coefficient
+// h in W/(m^2*K) for air moving at velocity v (m/s) over a flat enclosure
+// surface. We use the standard forced-convection flat-plate correlation in
+// its engineering power-law form h = a * v^0.8 + b, with a floor for
+// natural convection when the air is nearly still.
+func ConvectionCoefficient(v float64) float64 {
+	const (
+		a       = 10.45 // W/(m^2*K) per (m/s)^0.8, turbulent duct flow
+		natural = 5.0   // natural-convection floor
+	)
+	if v <= 0 {
+		return natural
+	}
+	h := a * math.Pow(v, 0.8)
+	if h < natural {
+		return natural
+	}
+	return h
+}
+
+// ImpedanceForOperatingPoint back-solves the chassis impedance K that
+// makes the fan deliver flow q: the calibration step when we know a
+// server's rated airflow rather than its duct geometry.
+func ImpedanceForOperatingPoint(f Fan, q float64) (Impedance, error) {
+	if q <= 0 || q >= f.FreeFlowM3s {
+		return Impedance{}, fmt.Errorf("airflow: target flow %v outside (0, %v)", q, f.FreeFlowM3s)
+	}
+	return Impedance{K: f.Pressure(q) / (q * q)}, nil
+}
+
+// FanFromCFM is a convenience constructor using CFM ratings.
+func FanFromCFM(name string, freeFlowCFM, maxStaticPa float64) Fan {
+	return Fan{
+		Name:        name,
+		FreeFlowM3s: units.CFMToCubicMetersPerSecond(freeFlowCFM),
+		MaxStaticPa: maxStaticPa,
+	}
+}

@@ -1,0 +1,301 @@
+package airflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func testFan() Fan {
+	return FanFromCFM("test bank", 60, 120)
+}
+
+func testPath(t *testing.T) *Path {
+	t.Helper()
+	fan := testFan()
+	// Calibrate impedance so the nominal operating point is 2/3 of free
+	// flow, a typical server margin.
+	im, err := ImpedanceForOperatingPoint(fan, fan.FreeFlowM3s*2/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPath(fan, im, im.K/10, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFanPressureShape(t *testing.T) {
+	f := testFan()
+	if got := f.Pressure(0); got != f.MaxStaticPa {
+		t.Errorf("stalled pressure = %v", got)
+	}
+	if got := f.Pressure(f.FreeFlowM3s); got != 0 {
+		t.Errorf("free-flow pressure = %v", got)
+	}
+	if got := f.Pressure(2 * f.FreeFlowM3s); got != 0 {
+		t.Errorf("past free flow pressure = %v, want clamped 0", got)
+	}
+	mid := f.Pressure(f.FreeFlowM3s / 2)
+	if math.Abs(mid-0.75*f.MaxStaticPa) > 1e-9 {
+		t.Errorf("mid pressure = %v, want 75%% of max", mid)
+	}
+}
+
+func TestImpedanceBlocked(t *testing.T) {
+	im := Impedance{K: 100}
+	b, err := im.Blocked(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.K-400) > 1e-9 {
+		t.Errorf("Blocked(0.5).K = %v, want 400", b.K)
+	}
+	if _, err := im.Blocked(1); err == nil {
+		t.Error("accepted full blockage")
+	}
+	if _, err := im.Blocked(-0.1); err == nil {
+		t.Error("accepted negative blockage")
+	}
+	z, err := im.Blocked(0)
+	if err != nil || z.K != 100 {
+		t.Errorf("Blocked(0) = %v, %v", z, err)
+	}
+}
+
+func TestOperatingPointClosedForm(t *testing.T) {
+	f := testFan()
+	im := Impedance{K: 2e5}
+	q, err := OperatingPoint(f, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.FreeFlowM3s * math.Sqrt(f.MaxStaticPa/(f.MaxStaticPa+im.K*f.FreeFlowM3s*f.FreeFlowM3s))
+	if math.Abs(q-want) > 1e-9 {
+		t.Errorf("operating point %v, want closed-form %v", q, want)
+	}
+}
+
+func TestOperatingPointEdges(t *testing.T) {
+	f := testFan()
+	if q, err := OperatingPoint(f, Impedance{}); err != nil || q != f.FreeFlowM3s {
+		t.Errorf("zero impedance: q=%v err=%v", q, err)
+	}
+	if _, err := OperatingPoint(Fan{}, Impedance{K: 1}); err == nil {
+		t.Error("accepted zero-rated fan")
+	}
+	if _, err := OperatingPoint(f, Impedance{K: -1}); err == nil {
+		t.Error("accepted negative impedance")
+	}
+}
+
+func TestFlowDecreasesWithBlockage(t *testing.T) {
+	p := testPath(t)
+	prev := math.Inf(1)
+	for b := 0.0; b < 0.95; b += 0.05 {
+		q, err := p.Flow(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q <= 0 || q >= prev {
+			t.Fatalf("flow not strictly decreasing at b=%v: %v >= %v", b, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestFlowFraction(t *testing.T) {
+	p := testPath(t)
+	f0, err := p.FlowFraction(0)
+	if err != nil || math.Abs(f0-1) > 1e-9 {
+		t.Errorf("FlowFraction(0) = %v, %v", f0, err)
+	}
+	f90, err := p.FlowFraction(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f90 <= 0.01 || f90 >= 0.7 {
+		t.Errorf("FlowFraction(0.9) = %v, want a severe but nonzero reduction", f90)
+	}
+}
+
+func TestVelocityRisesThenCollapses(t *testing.T) {
+	// Velocity through the open area can rise with modest blockage (less
+	// area, similar flow) before the flow collapse wins.
+	p := testPath(t)
+	v0, err := p.Velocity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v50, err := p.Velocity(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v50 <= v0 {
+		t.Errorf("velocity at 50%% blockage %v should exceed nominal %v", v50, v0)
+	}
+}
+
+func TestNewPathValidation(t *testing.T) {
+	fan := testFan()
+	if _, err := NewPath(fan, Impedance{K: 1}, 0, 0); err == nil {
+		t.Error("accepted zero duct area")
+	}
+	if _, err := NewPath(Fan{}, Impedance{K: 1}, 0, 0.01); err == nil {
+		t.Error("accepted invalid fan")
+	}
+	if _, err := NewPath(fan, Impedance{K: 1}, -1, 0.01); err == nil {
+		t.Error("accepted negative grille coefficient")
+	}
+}
+
+func TestGrilleK(t *testing.T) {
+	if k, err := GrilleK(100, 0); err != nil || k != 0 {
+		t.Errorf("GrilleK(100, 0) = %v, %v", k, err)
+	}
+	// b=0.5: 0.25/0.0625 = 4x coefficient.
+	k, err := GrilleK(100, 0.5)
+	if err != nil || math.Abs(k-400) > 1e-9 {
+		t.Errorf("GrilleK(100, 0.5) = %v, %v", k, err)
+	}
+	// The orifice law is savagely super-quadratic near full blockage.
+	k90, _ := GrilleK(100, 0.9)
+	if k90 < 100*k/400*1000 {
+		t.Errorf("GrilleK(100, 0.9) = %v, want explosive growth", k90)
+	}
+	if _, err := GrilleK(100, 1); err == nil {
+		t.Error("accepted b=1")
+	}
+	if _, err := GrilleK(-1, 0.5); err == nil {
+		t.Error("accepted negative coefficient")
+	}
+}
+
+func TestGrilleShapesDiffer(t *testing.T) {
+	// A fan with a lot of static margin plus a small grille coefficient
+	// (1U-like) degrades gently; a fan near its limit with a large grille
+	// coefficient (Open-Compute-like) collapses almost immediately.
+	fan := testFan()
+	nominal := fan.FreeFlowM3s * 2 / 3
+	im, err := ImpedanceForOperatingPoint(fan, nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gentle, err := NewPath(fan, im, im.K/50, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := NewPath(fan, im, im.K*50, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g30, err := gentle.FlowFraction(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h30, err := harsh.FlowFraction(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g30 < 0.95 {
+		t.Errorf("gentle path lost %.0f%% flow at 30%% blockage", (1-g30)*100)
+	}
+	if h30 > 0.75 {
+		t.Errorf("harsh path kept %.0f%% flow at 30%% blockage, want collapse", h30*100)
+	}
+}
+
+func TestConvectionCoefficient(t *testing.T) {
+	if h := ConvectionCoefficient(0); h != 5 {
+		t.Errorf("still air h = %v, want natural floor 5", h)
+	}
+	if h := ConvectionCoefficient(-1); h != 5 {
+		t.Errorf("negative velocity h = %v, want 5", h)
+	}
+	h1 := ConvectionCoefficient(1)
+	if math.Abs(h1-10.45) > 1e-9 {
+		t.Errorf("h(1 m/s) = %v, want 10.45", h1)
+	}
+	// Typical 2 m/s server interior flow gives h ~ 18 W/m^2K.
+	h2 := ConvectionCoefficient(2)
+	if h2 < 15 || h2 > 22 {
+		t.Errorf("h(2 m/s) = %v, want ~18", h2)
+	}
+	// Monotone in velocity.
+	if ConvectionCoefficient(3) <= h2 {
+		t.Error("h not monotone in velocity")
+	}
+}
+
+func TestImpedanceForOperatingPoint(t *testing.T) {
+	f := testFan()
+	target := f.FreeFlowM3s * 0.6
+	im, err := ImpedanceForOperatingPoint(f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := OperatingPoint(f, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-target) > 1e-9 {
+		t.Errorf("calibrated operating point %v, want %v", q, target)
+	}
+	if _, err := ImpedanceForOperatingPoint(f, 0); err == nil {
+		t.Error("accepted zero target flow")
+	}
+	if _, err := ImpedanceForOperatingPoint(f, f.FreeFlowM3s); err == nil {
+		t.Error("accepted free-flow target")
+	}
+}
+
+func TestFanFromCFM(t *testing.T) {
+	f := FanFromCFM("x", 100, 50)
+	if math.Abs(units.CubicMetersPerSecondToCFM(f.FreeFlowM3s)-100) > 1e-9 {
+		t.Errorf("CFM round trip failed: %v", f.FreeFlowM3s)
+	}
+}
+
+// Property: operating point flow always satisfies the balance equation.
+func TestOperatingPointBalanceProperty(t *testing.T) {
+	f := func(rawK float64) bool {
+		k := math.Abs(rawK)
+		if math.IsInf(k, 0) || math.IsNaN(k) || k > 1e12 {
+			return true
+		}
+		fan := testFan()
+		q, err := OperatingPoint(fan, Impedance{K: k})
+		if err != nil {
+			return false
+		}
+		diff := fan.Pressure(q) - Impedance{K: k}.Pressure(q)
+		return math.Abs(diff) < 1e-6*fan.MaxStaticPa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more blockage never increases flow.
+func TestBlockageMonotoneProperty(t *testing.T) {
+	p := testPath(t)
+	f := func(raw1, raw2 float64) bool {
+		b1 := math.Mod(math.Abs(raw1), 0.99)
+		b2 := math.Mod(math.Abs(raw2), 0.99)
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		q1, err1 := p.Flow(b1)
+		q2, err2 := p.Flow(b2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return q2 <= q1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package battery models distributed UPS energy storage for power capping
+// (Kontorinis et al., the paper's reference [14]): batteries discharge
+// during the utilization peak so the power drawn from the utility stays
+// flat. The paper's introduction positions PCM as the thermal counterpart
+// — batteries flatten the IT power draw, but "the power for the cooling
+// still peaks with the workload"; wax flattens that too. The combined
+// harness here quantifies the complementarity.
+package battery
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// Bank is a per-cluster UPS battery installation.
+type Bank struct {
+	// CapacityJ is the usable energy between the allowed depth-of-
+	// discharge limits.
+	CapacityJ float64
+	// MaxDischargeW and MaxChargeW bound the converter power.
+	MaxDischargeW, MaxChargeW float64
+	// RoundTripEfficiency is the fraction of charged energy recovered on
+	// discharge (lead-acid ~0.80, the Kontorinis assumption).
+	RoundTripEfficiency float64
+}
+
+// Validate reports configuration errors.
+func (b Bank) Validate() error {
+	switch {
+	case b.CapacityJ <= 0:
+		return fmt.Errorf("battery: non-positive capacity %v", b.CapacityJ)
+	case b.MaxDischargeW <= 0 || b.MaxChargeW <= 0:
+		return errors.New("battery: non-positive converter limits")
+	case b.RoundTripEfficiency <= 0 || b.RoundTripEfficiency > 1:
+		return fmt.Errorf("battery: round-trip efficiency %v outside (0, 1]", b.RoundTripEfficiency)
+	}
+	return nil
+}
+
+// Result is a peak-shave outcome.
+type Result struct {
+	// UtilityPowerW is the power drawn from the grid after the battery.
+	UtilityPowerW *timeseries.Series
+	// PeakReduction is relative to the input peak.
+	PeakReduction float64
+	// ChargeLevel traces state of charge in [0, 1].
+	ChargeLevel *timeseries.Series
+	// LossJ is the round-trip energy dissipated in the battery.
+	LossJ float64
+}
+
+// Shave runs the bank against an IT power trace with the same
+// threshold-and-bisection controller the chilled-water model uses:
+// discharge above the cap, recharge below it, cap chosen as the lowest
+// sustainable value.
+func Shave(power *timeseries.Series, bank Bank) (*Result, error) {
+	if err := bank.Validate(); err != nil {
+		return nil, err
+	}
+	if power == nil || power.Len() == 0 {
+		return nil, errors.New("battery: empty power trace")
+	}
+	peak, _ := power.Peak()
+	trough, _ := power.Trough()
+	if peak <= 0 {
+		return nil, errors.New("battery: non-positive peak")
+	}
+
+	run := func(cap float64, record bool) (*Result, bool) {
+		res := &Result{}
+		if record {
+			res.UtilityPowerW = power.Clone()
+			res.ChargeLevel = power.Clone()
+		}
+		charge := bank.CapacityJ
+		ok := true
+		dt := power.Step
+		for i, w := range power.Values {
+			out := w
+			switch {
+			case w > cap:
+				rate := w - cap
+				if rate > bank.MaxDischargeW {
+					rate = bank.MaxDischargeW
+				}
+				if rate*dt > charge {
+					rate = charge / dt
+				}
+				charge -= rate * dt
+				out -= rate
+				if out > cap+1e-9 {
+					ok = false
+				}
+			case charge < bank.CapacityJ:
+				head := cap - w
+				rate := bank.MaxChargeW
+				if rate > head {
+					rate = head
+				}
+				// Charging pays the round-trip loss up front: storing
+				// E usable joules draws E/eta from the grid.
+				store := rate * dt * bank.RoundTripEfficiency
+				if charge+store > bank.CapacityJ {
+					store = bank.CapacityJ - charge
+					rate = store / (dt * bank.RoundTripEfficiency)
+				}
+				charge += store
+				out += rate
+				res.LossJ += rate * dt * (1 - bank.RoundTripEfficiency)
+			}
+			if record {
+				res.UtilityPowerW.Values[i] = out
+				res.ChargeLevel.Values[i] = charge / bank.CapacityJ
+			}
+		}
+		return res, ok
+	}
+
+	lo, hi := trough, peak
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if _, ok := run(mid, false); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res, _ := run(hi, true)
+	newPeak, _ := res.UtilityPowerW.Peak()
+	res.PeakReduction = 1 - newPeak/peak
+	return res, nil
+}
+
+// KontorinisBank returns a bank sized like the distributed-UPS study: a
+// few minutes of peak power per server, aggregated per cluster.
+func KontorinisBank(clusterPeakW float64) Bank {
+	return Bank{
+		CapacityJ:           clusterPeakW * 20 * 60, // 20 minutes at peak
+		MaxDischargeW:       clusterPeakW * 0.3,
+		MaxChargeW:          clusterPeakW * 0.15,
+		RoundTripEfficiency: 0.80,
+	}
+}

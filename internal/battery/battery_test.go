@@ -1,0 +1,162 @@
+package battery
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func testBank() Bank {
+	return Bank{
+		CapacityJ:           100e6,
+		MaxDischargeW:       50e3,
+		MaxChargeW:          25e3,
+		RoundTripEfficiency: 0.8,
+	}
+}
+
+func diurnalPower(t *testing.T) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, 96)
+	for i := range vals {
+		h := float64(i) / 4
+		vals[i] = 120e3
+		if h >= 10 && h < 16 {
+			vals[i] = 180e3
+		}
+	}
+	s, err := timeseries.FromValues(0, 900, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBankValidate(t *testing.T) {
+	if testBank().Validate() != nil {
+		t.Error("valid bank rejected")
+	}
+	cases := []func(*Bank){
+		func(b *Bank) { b.CapacityJ = 0 },
+		func(b *Bank) { b.MaxDischargeW = 0 },
+		func(b *Bank) { b.MaxChargeW = -1 },
+		func(b *Bank) { b.RoundTripEfficiency = 0 },
+		func(b *Bank) { b.RoundTripEfficiency = 1.1 },
+	}
+	for i, mutate := range cases {
+		b := testBank()
+		mutate(&b)
+		if b.Validate() == nil {
+			t.Errorf("case %d: accepted invalid bank", i)
+		}
+	}
+}
+
+func TestShaveFlattensPeak(t *testing.T) {
+	power := diurnalPower(t)
+	// 6 h x 60 kW bump = 1.296 GJ; a big bank flattens it substantially.
+	bank := testBank()
+	bank.CapacityJ = 1.4e9
+	bank.MaxDischargeW = 80e3
+	res, err := Shave(power, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakReduction < 0.2 {
+		t.Errorf("big bank reduction = %.1f%%, want deep shave", res.PeakReduction*100)
+	}
+	// Round-trip losses were paid.
+	if res.LossJ <= 0 {
+		t.Error("no round-trip losses recorded")
+	}
+	// The grid never sees more than the original peak.
+	op, _ := power.Peak()
+	np, _ := res.UtilityPowerW.Peak()
+	if np > op {
+		t.Error("battery raised the utility peak")
+	}
+}
+
+func TestShaveEnergyLimited(t *testing.T) {
+	power := diurnalPower(t)
+	res, err := Shave(power, testBank()) // 100 MJ vs 1.3 GJ bump
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakReduction <= 0 || res.PeakReduction > 0.1 {
+		t.Errorf("small bank reduction = %.1f%%, want shallow", res.PeakReduction*100)
+	}
+	minC, _ := res.ChargeLevel.Trough()
+	if minC > 0.2 {
+		t.Errorf("bank under-used: min charge %v", minC)
+	}
+}
+
+func TestShaveRechargesOffPeak(t *testing.T) {
+	power := diurnalPower(t)
+	res, err := Shave(power, testBank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := res.ChargeLevel.Values[res.ChargeLevel.Len()-1]
+	if end < 0.95 {
+		t.Errorf("bank not recharged by end of day: %v", end)
+	}
+	// Recharge happens below the cap once the peak has drained the bank:
+	// some post-drain sample must draw more than the raw trace.
+	recharged := false
+	for i := range power.Values {
+		if res.UtilityPowerW.Values[i] > power.Values[i]+1 {
+			recharged = true
+			break
+		}
+	}
+	if !recharged {
+		t.Error("no recharge draw visible anywhere")
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	power := diurnalPower(t)
+	res, err := Shave(power, testBank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid energy = IT energy + losses + net charge change (zero here:
+	// starts and ends full).
+	grid := res.UtilityPowerW.Integral()
+	it := power.Integral()
+	endCharge := res.ChargeLevel.Values[res.ChargeLevel.Len()-1] * testBank().CapacityJ
+	net := endCharge - testBank().CapacityJ
+	if math.Abs(grid-(it+res.LossJ+net/testBank().RoundTripEfficiency)) > 1e-3*it {
+		t.Errorf("energy books: grid %v, it %v, loss %v, net %v", grid, it, res.LossJ, net)
+	}
+}
+
+func TestKontorinisBank(t *testing.T) {
+	b := KontorinisBank(500e3)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 20 minutes of peak.
+	if math.Abs(b.CapacityJ-500e3*1200) > 1 {
+		t.Errorf("capacity = %v", b.CapacityJ)
+	}
+}
+
+func TestShaveValidation(t *testing.T) {
+	if _, err := Shave(nil, testBank()); err == nil {
+		t.Error("accepted nil trace")
+	}
+	power := diurnalPower(t)
+	bad := testBank()
+	bad.CapacityJ = 0
+	if _, err := Shave(power, bad); err == nil {
+		t.Error("accepted invalid bank")
+	}
+	zero, _ := timeseries.FromValues(0, 1, []float64{0, 0})
+	if _, err := Shave(zero, testBank()); err == nil {
+		t.Error("accepted non-positive peak")
+	}
+}

@@ -1,0 +1,183 @@
+// Package chilledwater models the active thermal-energy-storage
+// alternative the paper compares against in Section 6 (Zheng et al.'s
+// TE-Shave and the chilled-water literature): an outdoor tank of chilled
+// water that is charged off-peak and discharged against the peak cooling
+// load.
+//
+// Unlike the passive in-server wax, the tank needs floor space, pumps,
+// controls, and continuous re-chilling against environmental losses —
+// whether or not it is ever used. The comparison harness quantifies the
+// paper's qualitative argument: PCM achieves its peak shave with no
+// power, software, or floor-space overhead, while the tank can shave more
+// (it is not limited by in-chassis volume) at a standing cost.
+package chilledwater
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// Tank is a chilled-water thermal storage installation.
+type Tank struct {
+	// VolumeM3 is the water volume.
+	VolumeM3 float64
+	// DeltaTK is the usable temperature band between charged (cold) and
+	// discharged water; sensible storage only.
+	DeltaTK float64
+	// PumpPowerW is drawn whenever the tank charges or discharges.
+	PumpPowerW float64
+	// StandingLossW is the continuous environmental loss the chiller must
+	// make up to keep the tank charged (outdoor installation).
+	StandingLossW float64
+	// MaxRateW caps the charge/discharge heat rate (heat exchanger size).
+	MaxRateW float64
+	// FloorSpaceM2 is the outdoor pad the installation occupies.
+	FloorSpaceM2 float64
+}
+
+// Validate reports configuration errors.
+func (t Tank) Validate() error {
+	switch {
+	case t.VolumeM3 <= 0:
+		return fmt.Errorf("chilledwater: non-positive volume %v", t.VolumeM3)
+	case t.DeltaTK <= 0:
+		return fmt.Errorf("chilledwater: non-positive temperature band %v", t.DeltaTK)
+	case t.PumpPowerW < 0 || t.StandingLossW < 0:
+		return errors.New("chilledwater: negative overheads")
+	case t.MaxRateW <= 0:
+		return fmt.Errorf("chilledwater: non-positive rate cap %v", t.MaxRateW)
+	case t.FloorSpaceM2 < 0:
+		return errors.New("chilledwater: negative floor space")
+	}
+	return nil
+}
+
+// CapacityJ returns the usable cold storage in joules: m * cp * dT.
+func (t Tank) CapacityJ() float64 {
+	const waterDensity = 1000.0 // kg/m^3
+	return t.VolumeM3 * waterDensity * units.WaterSpecificHeat * t.DeltaTK
+}
+
+// SizedForCluster returns a tank sized to shave the same energy as a wax
+// deployment of the given latent capacity (J), with typical overheads
+// proportional to its size.
+func SizedForCluster(latentJ float64) Tank {
+	const waterDensity = 1000.0
+	deltaT := 8.0 // typical chilled-water storage band, K
+	volume := latentJ / (waterDensity * units.WaterSpecificHeat * deltaT)
+	return Tank{
+		VolumeM3:      volume,
+		DeltaTK:       deltaT,
+		PumpPowerW:    40 * volume, // ~40 W of pumping per m^3 moved
+		StandingLossW: 25 * volume, // outdoor losses, ~2 K/day of drift
+		MaxRateW:      latentJ / (2 * units.Hour),
+		FloorSpaceM2:  volume / 2.5, // 2.5 m tall tanks
+	}
+}
+
+// Result is the outcome of a peak-shave run.
+type Result struct {
+	// CoolingLoadW is the load seen by the chillers after the tank: the
+	// server load minus discharge plus recharge plus standing losses.
+	CoolingLoadW *timeseries.Series
+	// PeakReduction is relative to the input's peak.
+	PeakReduction float64
+	// PumpEnergyJ and StandingLossJ total the overheads.
+	PumpEnergyJ, StandingLossJ float64
+	// ChargeLevel traces the state of charge in [0, 1].
+	ChargeLevel *timeseries.Series
+}
+
+// Shave runs the tank against a cooling-load trace with a threshold
+// controller: discharge whenever the load exceeds the cap, recharge
+// (adding load) whenever it is below the cap and the tank is not full.
+// The cap is chosen by bisection as the lowest value the tank's energy and
+// rate can sustain, mirroring how an operator would size the setpoint.
+func Shave(load *timeseries.Series, tank Tank) (*Result, error) {
+	if err := tank.Validate(); err != nil {
+		return nil, err
+	}
+	if load == nil || load.Len() == 0 {
+		return nil, errors.New("chilledwater: empty load")
+	}
+	peak, _ := load.Peak()
+	trough, _ := load.Trough()
+	if peak <= 0 {
+		return nil, errors.New("chilledwater: non-positive peak")
+	}
+
+	run := func(cap float64, record bool) (*Result, bool) {
+		res := &Result{}
+		if record {
+			res.CoolingLoadW = load.Clone()
+			res.ChargeLevel = load.Clone()
+		}
+		charge := tank.CapacityJ() // start full
+		ok := true
+		dt := load.Step
+		for i, w := range load.Values {
+			out := w + tank.StandingLossW
+			pump := 0.0
+			switch {
+			case w > cap:
+				// Discharge against the overflow, rate- and energy-capped.
+				want := w - cap
+				rate := want
+				if rate > tank.MaxRateW {
+					rate = tank.MaxRateW
+				}
+				if rate*dt > charge {
+					rate = charge / dt
+				}
+				charge -= rate * dt
+				out -= rate
+				if out > cap+tank.StandingLossW+1e-9 {
+					ok = false
+				}
+				if rate > 0 {
+					pump = tank.PumpPowerW
+				}
+			case charge < tank.CapacityJ():
+				// Recharge with the spare headroom below the cap.
+				head := cap - w
+				rate := tank.MaxRateW
+				if rate > head {
+					rate = head
+				}
+				if charge+rate*dt > tank.CapacityJ() {
+					rate = (tank.CapacityJ() - charge) / dt
+				}
+				charge += rate * dt
+				out += rate
+				if rate > 0 {
+					pump = tank.PumpPowerW
+				}
+			}
+			out += pump
+			res.PumpEnergyJ += pump * dt
+			res.StandingLossJ += tank.StandingLossW * dt
+			if record {
+				res.CoolingLoadW.Values[i] = out
+				res.ChargeLevel.Values[i] = charge / tank.CapacityJ()
+			}
+		}
+		return res, ok
+	}
+
+	lo, hi := trough, peak
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if _, ok := run(mid, false); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res, _ := run(hi, true)
+	newPeak, _ := res.CoolingLoadW.Peak()
+	res.PeakReduction = 1 - newPeak/peak
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package chilledwater
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func testTank() Tank {
+	return Tank{
+		VolumeM3:      2,
+		DeltaTK:       8,
+		PumpPowerW:    80,
+		StandingLossW: 50,
+		MaxRateW:      20000,
+		FloorSpaceM2:  0.8,
+	}
+}
+
+func peakyLoad(t *testing.T) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, 48)
+	for i := range vals {
+		h := float64(i) / 2 // half-hour steps over 24 h
+		vals[i] = 50000
+		if h > 10 && h < 16 {
+			vals[i] = 80000
+		}
+	}
+	s, err := timeseries.FromValues(0, 1800, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTankValidate(t *testing.T) {
+	if testTank().Validate() != nil {
+		t.Error("valid tank rejected")
+	}
+	cases := []func(*Tank){
+		func(tk *Tank) { tk.VolumeM3 = 0 },
+		func(tk *Tank) { tk.DeltaTK = 0 },
+		func(tk *Tank) { tk.PumpPowerW = -1 },
+		func(tk *Tank) { tk.MaxRateW = 0 },
+		func(tk *Tank) { tk.FloorSpaceM2 = -1 },
+	}
+	for i, mutate := range cases {
+		tk := testTank()
+		mutate(&tk)
+		if tk.Validate() == nil {
+			t.Errorf("case %d: accepted invalid tank", i)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	tk := testTank()
+	// 2 m^3 * 1000 kg/m^3 * 4186 J/kgK * 8 K = 66.98 MJ.
+	want := 2.0 * 1000 * units.WaterSpecificHeat * 8
+	if got := tk.CapacityJ(); math.Abs(got-want) > 1 {
+		t.Errorf("CapacityJ = %v, want %v", got, want)
+	}
+}
+
+func TestSizedForCluster(t *testing.T) {
+	// A 2U cluster stores 1008 * 641 kJ ~ 646 MJ.
+	latent := 1008 * 641e3
+	tk := SizedForCluster(latent)
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tk.CapacityJ()-latent)/latent > 1e-9 {
+		t.Errorf("sized tank capacity %v != latent %v", tk.CapacityJ(), latent)
+	}
+	// ~19 m^3 of water needs real floor space — the overhead the paper
+	// calls out.
+	if tk.VolumeM3 < 15 || tk.VolumeM3 > 25 {
+		t.Errorf("tank volume = %v m^3, want ~19", tk.VolumeM3)
+	}
+	if tk.FloorSpaceM2 <= 0 {
+		t.Error("sized tank should occupy floor space")
+	}
+}
+
+func TestShaveReducesPeak(t *testing.T) {
+	load := peakyLoad(t)
+	// Tank big enough for the entire 6 h x 30 kW bump (648 MJ).
+	tk := testTank()
+	tk.VolumeM3 = 25
+	tk.MaxRateW = 40000
+	res, err := Shave(load, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakReduction < 0.2 {
+		t.Errorf("peak reduction = %.1f%%, want a deep shave with an oversized tank", res.PeakReduction*100)
+	}
+	if res.PumpEnergyJ <= 0 || res.StandingLossJ <= 0 {
+		t.Error("active storage must pay pump and standing overheads")
+	}
+}
+
+func TestShaveEnergyLimited(t *testing.T) {
+	load := peakyLoad(t)
+	small := testTank() // 67 MJ vs the 648 MJ bump
+	res, err := Shave(load, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakReduction <= 0 || res.PeakReduction > 0.12 {
+		t.Errorf("small tank reduction = %.1f%%, want a shallow shave", res.PeakReduction*100)
+	}
+	// The state of charge must dip during the peak and recover after.
+	minC, _ := res.ChargeLevel.Trough()
+	if minC > 0.5 {
+		t.Errorf("tank barely discharged: min charge %v", minC)
+	}
+	endC := res.ChargeLevel.Values[res.ChargeLevel.Len()-1]
+	if endC < 0.95 {
+		t.Errorf("tank failed to recharge off-peak: end charge %v", endC)
+	}
+}
+
+func TestShaveAddsStandingLoss(t *testing.T) {
+	// Even a tank that never discharges (flat load) adds its standing
+	// loss + occasional pump energy to the chillers.
+	flat, err := timeseries.FromValues(0, 1800, []float64{1000, 1000, 1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Shave(flat, testTank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.CoolingLoadW.Mean(); m < 1000+testTank().StandingLossW-1 {
+		t.Errorf("mean load with idle tank = %v, want baseline+standing loss", m)
+	}
+}
+
+func TestShaveValidation(t *testing.T) {
+	if _, err := Shave(nil, testTank()); err == nil {
+		t.Error("accepted nil load")
+	}
+	load := peakyLoad(t)
+	bad := testTank()
+	bad.VolumeM3 = 0
+	if _, err := Shave(load, bad); err == nil {
+		t.Error("accepted invalid tank")
+	}
+	zero, _ := timeseries.FromValues(0, 1, []float64{0, 0})
+	if _, err := Shave(zero, testTank()); err == nil {
+		t.Error("accepted non-positive peak")
+	}
+}

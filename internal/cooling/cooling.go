@@ -1,0 +1,217 @@
+// Package cooling defines the datacenter cooling-side quantities the
+// evaluation reports: the cooling load (the power the thermal-control
+// system must remove to hold temperature), peak analysis between wax and
+// no-wax runs, resolidification windows, the sizing of a cooling system
+// against its peak load, and the electricity cost of removing heat under
+// time-of-use pricing.
+package cooling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// System describes a datacenter cooling plant.
+type System struct {
+	// CapacityW is the peak heat removal the plant sustains indefinitely.
+	CapacityW float64
+	// COP is the coefficient of performance at the 20 degC rating point:
+	// watts of heat removed per watt of electricity drawn by the plant
+	// (chillers+CRAC+tower ~3-4).
+	COP float64
+	// COPSlopePerK degrades (positive values) the COP per kelvin of
+	// outside temperature above 20 degC and improves it below — the
+	// condenser-side lift effect. Zero keeps the COP flat.
+	COPSlopePerK float64
+}
+
+// COPAt returns the coefficient of performance at the given outside air
+// temperature, floored at a quarter of the rating so extreme inputs stay
+// physical.
+func (s System) COPAt(outsideC float64) float64 {
+	cop := s.COP * (1 - s.COPSlopePerK*(outsideC-20))
+	if floor := s.COP / 4; cop < floor {
+		return floor
+	}
+	return cop
+}
+
+// Validate reports configuration errors.
+func (s System) Validate() error {
+	if s.CapacityW <= 0 {
+		return fmt.Errorf("cooling: non-positive capacity %v", s.CapacityW)
+	}
+	if s.COP <= 0 {
+		return fmt.Errorf("cooling: non-positive COP %v", s.COP)
+	}
+	return nil
+}
+
+// ElectricityPrice is a two-tier time-of-use tariff in $/kWh (the paper
+// uses $0.13 peak, $0.08 off-peak).
+type ElectricityPrice struct {
+	PeakPerKWh    float64
+	OffPeakPerKWh float64
+	// PeakStartH and PeakEndH bound the daily peak-price window in local
+	// hours (e.g. 7 to 19 following Figure 1's 7am-7pm peak period).
+	PeakStartH, PeakEndH float64
+}
+
+// DefaultTariff returns the paper's tariff with a 7am-7pm peak window.
+func DefaultTariff() ElectricityPrice {
+	return ElectricityPrice{PeakPerKWh: 0.13, OffPeakPerKWh: 0.08, PeakStartH: 7, PeakEndH: 19}
+}
+
+// PriceAt returns the $/kWh price at time t (seconds from local midnight).
+func (p ElectricityPrice) PriceAt(t float64) float64 {
+	h := math.Mod(t/units.Hour, 24)
+	if h < 0 {
+		h += 24
+	}
+	if h >= p.PeakStartH && h < p.PeakEndH {
+		return p.PeakPerKWh
+	}
+	return p.OffPeakPerKWh
+}
+
+// EnergyCost integrates the electricity cost in dollars of removing the
+// cooling-load series with the given plant: load/COP is plant power, priced
+// by the tariff sample by sample.
+func EnergyCost(load *timeseries.Series, sys System, tariff ElectricityPrice) (float64, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	if load == nil || load.Len() == 0 {
+		return 0, errors.New("cooling: empty load series")
+	}
+	cost := 0.0
+	for i, w := range load.Values {
+		plantW := w / sys.COP
+		kwh := units.JoulesToKWh(plantW * load.Step)
+		cost += kwh * tariff.PriceAt(load.TimeAt(i))
+	}
+	return cost, nil
+}
+
+// EnergyCostClimate is EnergyCost with the plant's COP varying with the
+// outside air temperature: removing heat at night is cheaper both because
+// of the tariff and because the chiller lift is smaller.
+func EnergyCostClimate(load *timeseries.Series, sys System, tariff ElectricityPrice, climate OutsideAir) (float64, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	if load == nil || load.Len() == 0 {
+		return 0, errors.New("cooling: empty load series")
+	}
+	cost := 0.0
+	for i, w := range load.Values {
+		t := load.TimeAt(i)
+		plantW := w / sys.COPAt(climate.At(t))
+		kwh := units.JoulesToKWh(plantW * load.Step)
+		cost += kwh * tariff.PriceAt(t)
+	}
+	return cost, nil
+}
+
+// PeakAnalysis compares a baseline (no wax) cooling-load trace against a
+// PCM-equipped one.
+type PeakAnalysis struct {
+	// PeakBaselineW and PeakWithPCMW are the trace maxima.
+	PeakBaselineW, PeakWithPCMW float64
+	// PeakReduction is 1 - with/without, the paper's headline metric.
+	PeakReduction float64
+	// PeakTimeBaselineS and PeakTimeWithPCMS locate the peaks.
+	PeakTimeBaselineS, PeakTimeWithPCMS float64
+	// ResolidifyHours is the longest contiguous stretch (hours) where the
+	// PCM trace exceeds the baseline — the wax releasing its stored heat
+	// (the paper observes six to nine hours).
+	ResolidifyHours float64
+	// ExtraServersFraction is how many more servers the same cooling
+	// system supports when every server (old and new) carries wax:
+	// (1+a)(1-r) = 1, so a = r/(1-r).
+	ExtraServersFraction float64
+}
+
+// Analyze computes the peak analysis for two compatible traces.
+func Analyze(baseline, withPCM *timeseries.Series) (*PeakAnalysis, error) {
+	if baseline == nil || withPCM == nil {
+		return nil, errors.New("cooling: nil trace")
+	}
+	if baseline.Len() == 0 || baseline.Len() != withPCM.Len() || baseline.Step != withPCM.Step {
+		return nil, fmt.Errorf("cooling: incompatible traces (%d/%d samples)", baseline.Len(), withPCM.Len())
+	}
+	pb, tb := baseline.Peak()
+	pw, tw := withPCM.Peak()
+	if pb <= 0 {
+		return nil, errors.New("cooling: non-positive baseline peak")
+	}
+	r := 1 - pw/pb
+	a := &PeakAnalysis{
+		PeakBaselineW:     pb,
+		PeakWithPCMW:      pw,
+		PeakReduction:     r,
+		PeakTimeBaselineS: tb,
+		PeakTimeWithPCMS:  tw,
+	}
+	if r < 1 {
+		a.ExtraServersFraction = r / (1 - r)
+	}
+	// Longest contiguous stretch where the PCM trace runs hotter than the
+	// baseline (with a small dead band against numerical noise).
+	band := 0.001 * pb
+	longest, current := 0, 0
+	for i := range baseline.Values {
+		if withPCM.Values[i] > baseline.Values[i]+band {
+			current++
+			if current > longest {
+				longest = current
+			}
+		} else {
+			current = 0
+		}
+	}
+	a.ResolidifyHours = float64(longest) * baseline.Step / units.Hour
+	return a, nil
+}
+
+// SystemForPeak sizes a cooling system to exactly the observed peak load
+// with the given safety margin fraction (e.g. 0.1 for 10% headroom).
+func SystemForPeak(load *timeseries.Series, margin, cop float64) (System, error) {
+	if load == nil || load.Len() == 0 {
+		return System{}, errors.New("cooling: empty load series")
+	}
+	if margin < 0 {
+		return System{}, fmt.Errorf("cooling: negative margin %v", margin)
+	}
+	p, _ := load.Peak()
+	sys := System{CapacityW: p * (1 + margin), COP: cop}
+	return sys, sys.Validate()
+}
+
+// PUE computes the facility's power usage effectiveness over a run: total
+// facility power (IT + cooling plant + fixed overheads) divided by IT
+// power, integrated over the traces. The PCM does not remove heat — the
+// integrated PUE barely moves — but it reshapes WHEN the plant draws,
+// which is what the peak-sizing and tariff results monetize.
+func PUE(itPowerW, coolingLoadW *timeseries.Series, sys System, overheadFraction float64) (float64, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	if itPowerW == nil || coolingLoadW == nil || itPowerW.Len() == 0 ||
+		itPowerW.Len() != coolingLoadW.Len() {
+		return 0, errors.New("cooling: PUE needs matching non-empty traces")
+	}
+	if overheadFraction < 0 {
+		return 0, fmt.Errorf("cooling: negative overhead fraction %v", overheadFraction)
+	}
+	itJ := itPowerW.Integral()
+	if itJ <= 0 {
+		return 0, errors.New("cooling: non-positive IT energy")
+	}
+	plantJ := coolingLoadW.Integral() / sys.COP
+	return (itJ + plantJ + overheadFraction*itJ) / itJ, nil
+}

@@ -1,0 +1,185 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func series(t *testing.T, step float64, vals []float64) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.FromValues(0, step, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSystemValidate(t *testing.T) {
+	if (System{CapacityW: 0, COP: 3}).Validate() == nil {
+		t.Error("accepted zero capacity")
+	}
+	if (System{CapacityW: 100, COP: 0}).Validate() == nil {
+		t.Error("accepted zero COP")
+	}
+	if (System{CapacityW: 100, COP: 3.5}).Validate() != nil {
+		t.Error("rejected valid system")
+	}
+}
+
+func TestTariffWindows(t *testing.T) {
+	p := DefaultTariff()
+	if got := p.PriceAt(12 * units.Hour); got != 0.13 {
+		t.Errorf("noon price = %v, want peak 0.13", got)
+	}
+	if got := p.PriceAt(3 * units.Hour); got != 0.08 {
+		t.Errorf("3am price = %v, want off-peak 0.08", got)
+	}
+	// Boundaries: 7am is peak, 7pm is off-peak.
+	if p.PriceAt(7*units.Hour) != 0.13 || p.PriceAt(19*units.Hour) != 0.08 {
+		t.Error("peak window boundaries wrong")
+	}
+	// Second day wraps.
+	if p.PriceAt(36*units.Hour) != 0.13 {
+		t.Error("tariff does not wrap across days")
+	}
+	if p.PriceAt(-2*units.Hour) != 0.08 {
+		t.Error("negative time should wrap to 22:00 off-peak")
+	}
+}
+
+func TestEnergyCost(t *testing.T) {
+	// 3.5 kW of heat for 1 hour at COP 3.5 = 1 kWh of plant electricity.
+	load := series(t, units.Hour, []float64{3500})
+	sys := System{CapacityW: 1e4, COP: 3.5}
+	tariff := DefaultTariff()
+	cost, err := EnergyCost(load, sys, tariff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hour 0-1 is off-peak: $0.08.
+	if math.Abs(cost-0.08) > 1e-9 {
+		t.Errorf("cost = %v, want 0.08", cost)
+	}
+	if _, err := EnergyCost(nil, sys, tariff); err == nil {
+		t.Error("accepted nil load")
+	}
+	if _, err := EnergyCost(load, System{}, tariff); err == nil {
+		t.Error("accepted invalid system")
+	}
+}
+
+func TestEnergyCostTimeOfUse(t *testing.T) {
+	// Same total energy, shifted from peak to off-peak hours, must cost
+	// less — the thermal time shifting advantage.
+	sys := System{CapacityW: 1e6, COP: 3.5}
+	tariff := DefaultTariff()
+	peaky := series(t, units.Hour, make([]float64, 24))
+	flat := series(t, units.Hour, make([]float64, 24))
+	peaky.Values[13] = 24000 // all at 1pm
+	flat.Values[2] = 24000   // all at 2am
+	cp, err := EnergyCost(peaky, sys, tariff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := EnergyCost(flat, sys, tariff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf >= cp {
+		t.Errorf("off-peak cost %v >= peak cost %v", cf, cp)
+	}
+	if math.Abs(cp/cf-0.13/0.08) > 1e-9 {
+		t.Errorf("cost ratio = %v, want tariff ratio", cp/cf)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	base := series(t, units.Hour, []float64{100, 150, 200, 150, 100, 90})
+	pcm := series(t, units.Hour, []float64{100, 150, 176, 155, 110, 100})
+	a, err := Analyze(base, pcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.PeakReduction-0.12) > 1e-9 {
+		t.Errorf("peak reduction = %v, want 0.12", a.PeakReduction)
+	}
+	if a.PeakBaselineW != 200 || a.PeakWithPCMW != 176 {
+		t.Errorf("peaks = %v/%v", a.PeakBaselineW, a.PeakWithPCMW)
+	}
+	// 12% reduction supports 13.6% more servers.
+	if math.Abs(a.ExtraServersFraction-0.12/0.88) > 1e-9 {
+		t.Errorf("extra servers = %v", a.ExtraServersFraction)
+	}
+	// Resolidify window: samples 3,4,5 run hotter = 3 hours.
+	if math.Abs(a.ResolidifyHours-3) > 1e-9 {
+		t.Errorf("resolidify hours = %v, want 3", a.ResolidifyHours)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	s := series(t, 1, []float64{1, 2})
+	if _, err := Analyze(nil, s); err == nil {
+		t.Error("accepted nil baseline")
+	}
+	short := series(t, 1, []float64{1})
+	if _, err := Analyze(s, short); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	zero := series(t, 1, []float64{0, 0})
+	if _, err := Analyze(zero, s); err == nil {
+		t.Error("accepted zero baseline peak")
+	}
+}
+
+func TestSystemForPeak(t *testing.T) {
+	load := series(t, units.Hour, []float64{50, 80, 60})
+	sys, err := SystemForPeak(load, 0.1, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sys.CapacityW-88) > 1e-9 {
+		t.Errorf("capacity = %v, want 88", sys.CapacityW)
+	}
+	if _, err := SystemForPeak(load, -0.1, 3.5); err == nil {
+		t.Error("accepted negative margin")
+	}
+	if _, err := SystemForPeak(nil, 0.1, 3.5); err == nil {
+		t.Error("accepted nil load")
+	}
+}
+
+func TestPUE(t *testing.T) {
+	it := series(t, 3600, []float64{1000, 1000})
+	cool := series(t, 3600, []float64{1000, 1000}) // all heat removed mechanically
+	sys := System{CapacityW: 1e6, COP: 4}
+	// PUE = (1 + 1/4 + 0.08) / 1 = 1.33.
+	got, err := PUE(it, cool, sys, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.33) > 1e-9 {
+		t.Errorf("PUE = %v, want 1.33", got)
+	}
+	// Free-cooling part of the load improves PUE.
+	half := series(t, 3600, []float64{500, 500})
+	better, err := PUE(it, half, sys, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better >= got {
+		t.Error("less chiller load should lower PUE")
+	}
+	if _, err := PUE(nil, cool, sys, 0.08); err == nil {
+		t.Error("accepted nil IT trace")
+	}
+	if _, err := PUE(it, cool, sys, -1); err == nil {
+		t.Error("accepted negative overhead")
+	}
+	zero := series(t, 3600, []float64{0, 0})
+	if _, err := PUE(zero, cool, sys, 0.08); err == nil {
+		t.Error("accepted zero IT energy")
+	}
+}

@@ -1,0 +1,139 @@
+package cooling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// The paper's introduction lists two "additional advantages" of shifting
+// heat into the night: lower ambient temperatures open free-cooling
+// (economizer) opportunities, and off-peak electricity is cheaper. This
+// file models both so the experiments can quantify them.
+
+// OutsideAir models a diurnal ambient temperature: a sinusoid with the
+// warmest point mid-afternoon.
+type OutsideAir struct {
+	// MeanC and AmplitudeK set the daily band: Mean +/- Amplitude.
+	MeanC, AmplitudeK float64
+	// WarmestHour is the local hour of the daily maximum (typically ~15).
+	WarmestHour float64
+}
+
+// TemperateClimate returns a mild climate where free cooling is available
+// most nights: 18 +/- 7 degC, warmest at 3 pm.
+func TemperateClimate() OutsideAir {
+	return OutsideAir{MeanC: 18, AmplitudeK: 7, WarmestHour: 15}
+}
+
+// At returns the outside temperature at time t (seconds from local
+// midnight).
+func (o OutsideAir) At(t float64) float64 {
+	h := t / units.Hour
+	return o.MeanC + o.AmplitudeK*math.Cos(2*math.Pi*(h-o.WarmestHour)/24)
+}
+
+// Series samples the climate on the grid of the reference series.
+func (o OutsideAir) Series(ref *timeseries.Series) *timeseries.Series {
+	out := ref.Clone()
+	for i := range out.Values {
+		out.Values[i] = o.At(out.TimeAt(i))
+	}
+	return out
+}
+
+// Economizer is an air-side free-cooling stage in front of the chillers:
+// whenever the outside air is below the supply setpoint it removes heat at
+// a rate proportional to the temperature deficit, up to its airflow
+// capacity.
+type Economizer struct {
+	// SetpointC is the supply temperature below which outside air can
+	// carry the load.
+	SetpointC float64
+	// ConductanceWPerK converts the setpoint-minus-outside deficit to
+	// removable heat (economizer airflow times air heat capacity).
+	ConductanceWPerK float64
+	// MaxW caps the stage.
+	MaxW float64
+}
+
+// Validate reports configuration errors.
+func (e Economizer) Validate() error {
+	if e.ConductanceWPerK <= 0 || e.MaxW <= 0 {
+		return fmt.Errorf("cooling: economizer needs positive conductance and cap")
+	}
+	return nil
+}
+
+// FreeCoolingResult splits a cooling load between the economizer and the
+// chillers.
+type FreeCoolingResult struct {
+	// FreeJ and ChillerJ integrate the two paths.
+	FreeJ, ChillerJ float64
+	// FreeFraction is FreeJ over the total.
+	FreeFraction float64
+	// ChillerLoadW is what the mechanical plant still sees.
+	ChillerLoadW *timeseries.Series
+}
+
+// SplitFreeCooling runs the economizer against a cooling-load trace under
+// the given climate.
+func SplitFreeCooling(load *timeseries.Series, climate OutsideAir, econ Economizer) (*FreeCoolingResult, error) {
+	if err := econ.Validate(); err != nil {
+		return nil, err
+	}
+	if load == nil || load.Len() == 0 {
+		return nil, errors.New("cooling: empty load series")
+	}
+	res := &FreeCoolingResult{ChillerLoadW: load.Clone()}
+	for i, w := range load.Values {
+		deficit := econ.SetpointC - climate.At(load.TimeAt(i))
+		free := 0.0
+		if deficit > 0 {
+			free = econ.ConductanceWPerK * deficit
+			if free > econ.MaxW {
+				free = econ.MaxW
+			}
+			if free > w {
+				free = w
+			}
+		}
+		res.FreeJ += free * load.Step
+		res.ChillerJ += (w - free) * load.Step
+		res.ChillerLoadW.Values[i] = w - free
+	}
+	total := res.FreeJ + res.ChillerJ
+	if total > 0 {
+		res.FreeFraction = res.FreeJ / total
+	}
+	return res, nil
+}
+
+// TimeOfUseSavings compares the electricity cost of removing two
+// cooling-load traces (typically without and with PCM) under a tariff:
+// the thermal time shift moves cooling energy from peak-priced to
+// off-peak-priced hours even though the total heat is unchanged.
+func TimeOfUseSavings(baseline, withPCM *timeseries.Series, sys System, tariff ElectricityPrice) (baseUSD, pcmUSD float64, err error) {
+	if baseUSD, err = EnergyCost(baseline, sys, tariff); err != nil {
+		return 0, 0, err
+	}
+	if pcmUSD, err = EnergyCost(withPCM, sys, tariff); err != nil {
+		return 0, 0, err
+	}
+	return baseUSD, pcmUSD, nil
+}
+
+// ColdClimate returns a winter-dominant climate: 6 +/- 6 degC, where the
+// economizer can carry most of the load around the clock.
+func ColdClimate() OutsideAir {
+	return OutsideAir{MeanC: 6, AmplitudeK: 6, WarmestHour: 15}
+}
+
+// HotClimate returns a summer-dominant climate: 30 +/- 7 degC, where free
+// cooling is rare and the chillers fight condenser lift all day.
+func HotClimate() OutsideAir {
+	return OutsideAir{MeanC: 30, AmplitudeK: 7, WarmestHour: 15}
+}

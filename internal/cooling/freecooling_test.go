@@ -1,0 +1,177 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+func TestOutsideAirDiurnal(t *testing.T) {
+	o := TemperateClimate()
+	warm := o.At(15 * units.Hour)
+	cold := o.At(3 * units.Hour)
+	if math.Abs(warm-(o.MeanC+o.AmplitudeK)) > 1e-9 {
+		t.Errorf("warmest = %v, want %v", warm, o.MeanC+o.AmplitudeK)
+	}
+	if math.Abs(cold-(o.MeanC-o.AmplitudeK)) > 1e-9 {
+		t.Errorf("coldest = %v, want %v", cold, o.MeanC-o.AmplitudeK)
+	}
+	// Day 2 repeats day 1.
+	if math.Abs(o.At(39*units.Hour)-o.At(15*units.Hour)) > 1e-9 {
+		t.Error("climate not day-periodic")
+	}
+}
+
+func TestOutsideAirSeries(t *testing.T) {
+	ref, _ := timeseries.New(0, 3600, 24)
+	s := TemperateClimate().Series(ref)
+	if s.Len() != 24 || s.Step != 3600 {
+		t.Fatal("series geometry wrong")
+	}
+	if s.Values[15] <= s.Values[3] {
+		t.Error("afternoon should be warmer than pre-dawn")
+	}
+}
+
+func TestEconomizerValidate(t *testing.T) {
+	if (Economizer{SetpointC: 22, ConductanceWPerK: 0, MaxW: 1}).Validate() == nil {
+		t.Error("accepted zero conductance")
+	}
+	if (Economizer{SetpointC: 22, ConductanceWPerK: 1, MaxW: 0}).Validate() == nil {
+		t.Error("accepted zero cap")
+	}
+}
+
+func flatLoad(t *testing.T, w float64, hours int) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, hours)
+	for i := range vals {
+		vals[i] = w
+	}
+	s, err := timeseries.FromValues(0, 3600, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSplitFreeCoolingNightOnly(t *testing.T) {
+	// With a setpoint between the night low and day high, only night
+	// hours are free-cooled.
+	load := flatLoad(t, 10000, 24)
+	climate := TemperateClimate() // 11-25 degC
+	econ := Economizer{SetpointC: 18, ConductanceWPerK: 5000, MaxW: 50000}
+	res, err := SplitFreeCooling(load, climate, econ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FreeFraction <= 0 || res.FreeFraction >= 1 {
+		t.Fatalf("free fraction = %v, want partial", res.FreeFraction)
+	}
+	// 3 am is fully free (deficit 7 K * 5 kW/K > load); 3 pm is all
+	// chiller.
+	if res.ChillerLoadW.Values[3] > 1 {
+		t.Errorf("3 am chiller load = %v, want 0", res.ChillerLoadW.Values[3])
+	}
+	if res.ChillerLoadW.Values[15] < 9999 {
+		t.Errorf("3 pm chiller load = %v, want full", res.ChillerLoadW.Values[15])
+	}
+	// Energy books.
+	if math.Abs(res.FreeJ+res.ChillerJ-load.Integral()) > 1 {
+		t.Error("free + chiller != total")
+	}
+}
+
+func TestSplitFreeCoolingCaps(t *testing.T) {
+	load := flatLoad(t, 10000, 24)
+	climate := TemperateClimate()
+	econ := Economizer{SetpointC: 30, ConductanceWPerK: 1e6, MaxW: 2500}
+	res, err := SplitFreeCooling(load, climate, econ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap of 2.5 kW against a 10 kW load: exactly 25% free.
+	if math.Abs(res.FreeFraction-0.25) > 1e-9 {
+		t.Errorf("capped free fraction = %v, want 0.25", res.FreeFraction)
+	}
+}
+
+func TestSplitFreeCoolingValidation(t *testing.T) {
+	if _, err := SplitFreeCooling(nil, TemperateClimate(), Economizer{SetpointC: 20, ConductanceWPerK: 1, MaxW: 1}); err == nil {
+		t.Error("accepted nil load")
+	}
+	load := flatLoad(t, 1, 2)
+	if _, err := SplitFreeCooling(load, TemperateClimate(), Economizer{}); err == nil {
+		t.Error("accepted invalid economizer")
+	}
+}
+
+func TestTimeOfUseSavings(t *testing.T) {
+	sys := System{CapacityW: 1e6, COP: 3.5}
+	tariff := DefaultTariff()
+	// Baseline: all cooling at 1 pm; PCM: same energy at 2 am.
+	base := flatLoad(t, 0, 24)
+	base.Values[13] = 35000
+	pcm := flatLoad(t, 0, 24)
+	pcm.Values[2] = 35000
+	b, p, err := TimeOfUseSavings(base, pcm, sys, tariff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= b {
+		t.Errorf("PCM-shifted cost %v >= baseline %v", p, b)
+	}
+	if math.Abs(b/p-0.13/0.08) > 1e-9 {
+		t.Errorf("cost ratio %v, want the tariff ratio", b/p)
+	}
+	if _, _, err := TimeOfUseSavings(nil, pcm, sys, tariff); err == nil {
+		t.Error("accepted nil baseline")
+	}
+}
+
+func TestCOPAt(t *testing.T) {
+	sys := System{CapacityW: 1e6, COP: 3.5, COPSlopePerK: 0.02}
+	if got := sys.COPAt(20); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("COP at rating point = %v", got)
+	}
+	if sys.COPAt(30) >= sys.COPAt(20) {
+		t.Error("hot condenser should degrade COP")
+	}
+	if sys.COPAt(10) <= sys.COPAt(20) {
+		t.Error("cool condenser should improve COP")
+	}
+	// Floor at a quarter of rating.
+	if got := sys.COPAt(500); math.Abs(got-3.5/4) > 1e-12 {
+		t.Errorf("extreme COP = %v, want floor", got)
+	}
+	flat := System{CapacityW: 1, COP: 3.5}
+	if flat.COPAt(40) != 3.5 {
+		t.Error("zero slope should keep COP flat")
+	}
+}
+
+func TestEnergyCostClimateCheaperAtNight(t *testing.T) {
+	sys := System{CapacityW: 1e6, COP: 3.5, COPSlopePerK: 0.02}
+	climate := TemperateClimate()
+	tariff := ElectricityPrice{PeakPerKWh: 0.1, OffPeakPerKWh: 0.1} // flat tariff isolates the COP effect
+	day := flatLoad(t, 0, 24)
+	day.Values[14] = 35000
+	night := flatLoad(t, 0, 24)
+	night.Values[3] = 35000
+	cDay, err := EnergyCostClimate(day, sys, tariff, climate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNight, err := EnergyCostClimate(night, sys, tariff, climate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cNight >= cDay {
+		t.Errorf("night removal $%v should undercut day $%v at equal tariff", cNight, cDay)
+	}
+	if _, err := EnergyCostClimate(nil, sys, tariff, climate); err == nil {
+		t.Error("accepted nil load")
+	}
+}

@@ -1,0 +1,127 @@
+// Package core is the public orchestration API of the thermal time
+// shifting study: it wires the server models, the PCM state machine, the
+// workload trace, the datacenter simulator and the TCO model into the
+// paper's experiments, one runner per table or figure. The cmd/ttsim CLI,
+// the examples and the benchmark harness are thin wrappers over this
+// package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+	"repro/internal/tco"
+	"repro/internal/workload"
+)
+
+// MachineClass selects one of the paper's three datacenter populations.
+type MachineClass int
+
+const (
+	OneU MachineClass = iota
+	TwoU
+	OpenCompute
+)
+
+// Classes lists the scale-out study's machines in the paper's order.
+var Classes = []MachineClass{OneU, TwoU, OpenCompute}
+
+// String implements fmt.Stringer.
+func (m MachineClass) String() string {
+	switch m {
+	case OneU:
+		return "1U low power"
+	case TwoU:
+		return "2U high throughput"
+	case OpenCompute:
+		return "Open Compute"
+	default:
+		return fmt.Sprintf("MachineClass(%d)", int(m))
+	}
+}
+
+// Config returns a fresh server configuration for the class.
+func (m MachineClass) Config() *server.Config {
+	switch m {
+	case OneU:
+		return server.OneU()
+	case TwoU:
+		return server.TwoU()
+	case OpenCompute:
+		return server.OpenCompute()
+	default:
+		return nil
+	}
+}
+
+// Scenario holds the datacenter-level framing of the evaluation for one
+// machine class: how many clusters fill the 10 MW facility and how deep
+// the cooling deficit is in the thermally constrained study.
+type Scenario struct {
+	Class MachineClass
+	// Clusters of 1008 servers filling the 10 MW datacenter (the paper:
+	// 55 of 1U, 19 of 2U, 29 of Open Compute).
+	Clusters int
+	// ConstrainedDeficitW is the per-server shortfall of the
+	// oversubscribed cooling system at peak load (Section 5.2's setting).
+	ConstrainedDeficitW float64
+	// ConstrainedMeltC is the wax purchased for the constrained
+	// deployment; it sits lower than the cooling-load optimum so melting
+	// tracks the thermal-limit crossing (0 = the machine default).
+	ConstrainedMeltC float64
+}
+
+// DefaultScenario returns the paper's framing for a machine class.
+func DefaultScenario(m MachineClass) Scenario {
+	switch m {
+	case OneU:
+		return Scenario{Class: m, Clusters: 55, ConstrainedDeficitW: 25, ConstrainedMeltC: 41.5}
+	case TwoU:
+		return Scenario{Class: m, Clusters: 19, ConstrainedDeficitW: 55}
+	case OpenCompute:
+		return Scenario{Class: m, Clusters: 29, ConstrainedDeficitW: 25, ConstrainedMeltC: 50}
+	default:
+		return Scenario{Class: m}
+	}
+}
+
+// Study bundles everything an experiment run needs.
+type Study struct {
+	// Trace is the normalized cluster load (Figure 10).
+	Trace *workload.Trace
+	// TCO carries the Table 2 rates.
+	TCO tco.Params
+	// CriticalPowerKW is the facility size (10 MW).
+	CriticalPowerKW float64
+	// OptimizeMelt selects whether experiments search for the best
+	// melting temperature or use the calibrated per-machine defaults.
+	OptimizeMelt bool
+}
+
+// NewStudy returns the paper's default study: the two-day Google-like
+// trace, Table 2 rates, and a 10 MW facility.
+func NewStudy() *Study {
+	return &Study{
+		Trace:           workload.GoogleTwoDay(),
+		TCO:             tco.PaperParams(),
+		CriticalPowerKW: 10000,
+	}
+}
+
+// datacenterFor costs a full deployment of the class.
+func (s *Study) datacenterFor(m MachineClass) (tco.Datacenter, error) {
+	cfg := m.Config()
+	sc := DefaultScenario(m)
+	enc, err := cfg.Wax.Enclosure(cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return tco.Datacenter{}, err
+	}
+	// Wax plus a container estimate (~$2 of aluminum per box).
+	waxCost := enc.MaterialCost() + 2*float64(enc.Count)
+	return tco.Datacenter{
+		CriticalPowerKW:     s.CriticalPowerKW,
+		Servers:             sc.Clusters * cfg.ClusterSize,
+		ServerCostUSD:       cfg.CostUSD,
+		WaxCostPerServerUSD: waxCost,
+	}, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dcsim"
+	"repro/internal/units"
+)
+
+// Emergency ride-through. The paper's related work cites thermal storage
+// for "emergency data center cooling" (Garday & Housley, Intel): when the
+// chillers trip, the room heats on its own thermal mass until servers must
+// shut down. In-server wax extends that window — the same storage that
+// shaves the daily peak also buys minutes-to-hours of outage tolerance.
+
+// EmergencyOptions frames the outage scenario.
+type EmergencyOptions struct {
+	// UtilizationAtFailure is the cluster load when the chillers trip
+	// (peak, 0.95, is the worst case).
+	UtilizationAtFailure float64
+	// RoomCapacityJPerKPerKW is the room's own thermal mass (air plus
+	// structure) per kilowatt of IT load, typically 10-50 kJ/K/kW — which
+	// is what gives the classic few-minute ride-through without storage.
+	RoomCapacityJPerKPerKW float64
+	// StartRoomC and CriticalRoomC bound the excursion: the room starts at
+	// the cold-aisle setpoint and servers must shut down at the critical
+	// inlet temperature (ASHRAE allowable ~40-45 degC).
+	StartRoomC, CriticalRoomC float64
+}
+
+// DefaultEmergency returns a peak-load chiller trip: 25 -> 40 degC room
+// excursion on 100 kJ/K of room mass per server.
+func DefaultEmergency() EmergencyOptions {
+	return EmergencyOptions{
+		UtilizationAtFailure:   0.95,
+		RoomCapacityJPerKPerKW: 20e3,
+		StartRoomC:             25,
+		CriticalRoomC:          40,
+	}
+}
+
+// EmergencyResult reports the outage tolerance.
+type EmergencyResult struct {
+	Class MachineClass
+	// RideThroughNoWaxMin and RideThroughWithWaxMin are the minutes until
+	// the room hits the critical temperature.
+	RideThroughNoWaxMin, RideThroughWithWaxMin float64
+	// ExtensionMin is the window the wax buys.
+	ExtensionMin float64
+}
+
+// RunEmergencyRideThrough integrates the room excursion after a total
+// cooling failure. Without cooling, every watt of server power heats the
+// room's thermal mass; the wax absorbs in parallel while its latent
+// capacity lasts (the room sweeps through the melt range on its way up).
+func (s *Study) RunEmergencyRideThrough(m MachineClass, opts EmergencyOptions) (*EmergencyResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	if opts.UtilizationAtFailure < 0 || opts.UtilizationAtFailure > 1 {
+		return nil, fmt.Errorf("core: utilization %v outside [0, 1]", opts.UtilizationAtFailure)
+	}
+	if opts.RoomCapacityJPerKPerKW <= 0 {
+		return nil, fmt.Errorf("core: non-positive room capacity")
+	}
+	if opts.CriticalRoomC <= opts.StartRoomC {
+		return nil, fmt.Errorf("core: critical temperature %v not above start %v", opts.CriticalRoomC, opts.StartRoomC)
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	power := cfg.PowerAt(opts.UtilizationAtFailure, 1)
+	roomCap := opts.RoomCapacityJPerKPerKW * power / 1000
+
+	// Without wax the excursion is linear: t = C * dT / P.
+	noWaxS := roomCap * (opts.CriticalRoomC - opts.StartRoomC) / power
+
+	// With wax: integrate the room, letting the wax absorb at its
+	// convective rate against the (room + wake rise) air it sits in. The
+	// wake rise over room temperature persists during the outage — the
+	// server fans keep running on UPS power.
+	wakeRise := cluster.ROM.WakeAirC(opts.UtilizationAtFailure, 1) - cfg.InletC
+	wax, err := cluster.ROM.NewWaxState()
+	if err != nil {
+		return nil, err
+	}
+	wax.Reset(opts.StartRoomC) // start solid at the setpoint
+	room := opts.StartRoomC
+	const dt = 5.0
+	maxS := noWaxS * 20
+	withWaxS := math.NaN()
+	for t := 0.0; t < maxS; t += dt {
+		absorbed := wax.ExchangeWithAir(room+wakeRise, cluster.ROM.HA, dt)
+		room += (power*dt - absorbed) / roomCap
+		if room >= opts.CriticalRoomC {
+			withWaxS = t + dt
+			break
+		}
+	}
+	if math.IsNaN(withWaxS) {
+		withWaxS = maxS
+	}
+	return &EmergencyResult{
+		Class:                 m,
+		RideThroughNoWaxMin:   noWaxS / units.Minute,
+		RideThroughWithWaxMin: withWaxS / units.Minute,
+		ExtensionMin:          (withWaxS - noWaxS) / units.Minute,
+	}, nil
+}
+
+// FlashCrowdResult reports how a thermally constrained cluster handles an
+// unplanned load surge.
+type FlashCrowdResult struct {
+	Class MachineClass
+	// ServedNoWax and ServedWithWax are the fractions of the ideal work
+	// inside the surge window each variant actually delivered.
+	ServedNoWax, ServedWithWax float64
+}
+
+// RunFlashCrowd injects a surge into the trace (a multiplicative boost on
+// day one) and measures how much of it the constrained cluster serves with
+// and without wax — the "unexpected peak" variant of Section 5.2.
+func (s *Study) RunFlashCrowd(m MachineClass, atHour, durationH, boost float64) (*FlashCrowdResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	crowd, err := s.Trace.WithFlashCrowd(atHour, durationH, boost)
+	if err != nil {
+		return nil, err
+	}
+	sc := DefaultScenario(m)
+	meltC := sc.ConstrainedMeltC
+	if meltC == 0 {
+		meltC = cfg.Wax.DefaultMeltC
+	}
+	cluster, err := dcsim.NewCluster(cfg, meltC)
+	if err != nil {
+		return nil, err
+	}
+	limit := float64(cluster.N) * (cfg.PowerAt(0.95, 1) - sc.ConstrainedDeficitW)
+	run, err := cluster.RunConstrained(crowd, limit)
+	if err != nil {
+		return nil, err
+	}
+	served := func(local []float64) float64 {
+		var got, want float64
+		for i, ideal := range run.Ideal.Values {
+			h := run.Ideal.TimeAt(i) / units.Hour
+			if h < atHour || h >= atHour+durationH {
+				continue
+			}
+			want += ideal
+			got += local[i]
+		}
+		if want <= 0 {
+			return 0
+		}
+		return got / want
+	}
+	return &FlashCrowdResult{
+		Class:         m,
+		ServedNoWax:   served(run.NoWax.Values),
+		ServedWithWax: served(run.WithWax.Values),
+	}, nil
+}

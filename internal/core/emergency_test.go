@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+func TestEmergencyRideThrough(t *testing.T) {
+	s := NewStudy()
+	for _, m := range Classes {
+		r, err := s.RunEmergencyRideThrough(m, DefaultEmergency())
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if r.RideThroughNoWaxMin <= 0 {
+			t.Errorf("%v: no-wax ride-through %v min", m, r.RideThroughNoWaxMin)
+		}
+		if r.ExtensionMin <= 0 {
+			t.Errorf("%v: wax bought no outage tolerance", m)
+		}
+		if r.RideThroughWithWaxMin <= r.RideThroughNoWaxMin {
+			t.Errorf("%v: with-wax %v min not beyond no-wax %v min",
+				m, r.RideThroughWithWaxMin, r.RideThroughNoWaxMin)
+		}
+		// Plausibility: room mass alone gives single-digit minutes; wax
+		// adds minutes to tens of minutes, not hours.
+		if r.RideThroughNoWaxMin < 2 || r.RideThroughNoWaxMin > 15 || r.ExtensionMin > 60 {
+			t.Errorf("%v: implausible ride-through %.1f +%.1f min",
+				m, r.RideThroughNoWaxMin, r.ExtensionMin)
+		}
+	}
+}
+
+func TestEmergencyMoreWaxMoreTime(t *testing.T) {
+	// The 2U (4 l) must gain more outage minutes than the 1U (1.2 l) per
+	// watt: compare extensions normalized by server power.
+	s := NewStudy()
+	oneU, err := s.RunEmergencyRideThrough(OneU, DefaultEmergency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoU, err := s.RunEmergencyRideThrough(TwoU, DefaultEmergency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perW1 := oneU.ExtensionMin * OneU.Config().PowerAt(0.95, 1)
+	perW2 := twoU.ExtensionMin * TwoU.Config().PowerAt(0.95, 1)
+	if perW2 <= perW1 {
+		t.Errorf("2U wax-per-watt advantage not visible: %v vs %v", perW2, perW1)
+	}
+}
+
+func TestEmergencyValidation(t *testing.T) {
+	s := NewStudy()
+	bad := DefaultEmergency()
+	bad.UtilizationAtFailure = 1.5
+	if _, err := s.RunEmergencyRideThrough(OneU, bad); err == nil {
+		t.Error("accepted utilization > 1")
+	}
+	bad = DefaultEmergency()
+	bad.RoomCapacityJPerKPerKW = 0
+	if _, err := s.RunEmergencyRideThrough(OneU, bad); err == nil {
+		t.Error("accepted zero room capacity")
+	}
+	bad = DefaultEmergency()
+	bad.CriticalRoomC = bad.StartRoomC
+	if _, err := s.RunEmergencyRideThrough(OneU, bad); err == nil {
+		t.Error("accepted non-positive excursion")
+	}
+	if _, err := s.RunEmergencyRideThrough(MachineClass(77), DefaultEmergency()); err == nil {
+		t.Error("accepted unknown class")
+	}
+}
+
+func TestFlashCrowd(t *testing.T) {
+	s := NewStudy()
+	// A 25% surge landing on the late-morning ramp of day one.
+	r, err := s.RunFlashCrowd(TwoU, 10, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ServedNoWax <= 0 || r.ServedNoWax > 1 {
+		t.Fatalf("served fraction out of range: %v", r.ServedNoWax)
+	}
+	if r.ServedWithWax <= r.ServedNoWax {
+		t.Errorf("wax served %.1f%% of the surge vs %.1f%% without — want an improvement",
+			r.ServedWithWax*100, r.ServedNoWax*100)
+	}
+	if r.ServedWithWax < 0.95 {
+		t.Errorf("wax should ride out this surge nearly fully, served %.1f%%", r.ServedWithWax*100)
+	}
+	if _, err := s.RunFlashCrowd(TwoU, 10, 0, 0.25); err == nil {
+		t.Error("accepted zero duration")
+	}
+	if _, err := s.RunFlashCrowd(MachineClass(9), 10, 1, 0.25); err == nil {
+		t.Error("accepted unknown class")
+	}
+}

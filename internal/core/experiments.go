@@ -1,0 +1,361 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cooling"
+	"repro/internal/dcsim"
+	"repro/internal/numeric"
+	"repro/internal/server"
+	"repro/internal/tco"
+	"repro/internal/thermal"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 4 / Section 3: single-server validation.
+
+// ValidationResult compares the instrumented RD330 (played by the fine
+// model plus a sensor model) against the production simulator (the coarse
+// model), with and without wax, over the paper's 1 h idle + 12 h loaded +
+// 12 h idle protocol.
+type ValidationResult struct {
+	// Near-box air temperature traces (Figure 4 a/b).
+	RealWax, RealPlacebo, ModelWax, ModelPlacebo *timeseries.Series
+	// SteadyMeanAbsDiffC is the Figure 4 (c) metric: mean absolute
+	// real-vs-model difference across the sensors while fully loaded
+	// (hours 6-12); the paper reports 0.22 degC.
+	SteadyMeanAbsDiffC float64
+	// HeatUpCorrelation is the real-vs-model correlation over the heat-up.
+	HeatUpCorrelation float64
+	// Power bookkeeping (Section 3: 90 -> 185 W wall, 6 -> 46 W per CPU).
+	IdlePowerW, LoadedPowerW float64
+	CPUIdleW, CPULoadedW     float64
+	DieIdleC, DieLoadedC     float64
+	// MeltDepressionHours is how long the wax held the near-box air below
+	// the placebo during heat-up; FreezeElevationHours the converse during
+	// cool-down (the paper observes about two hours each).
+	MeltDepressionHours, FreezeElevationHours float64
+}
+
+// validationProtocol returns the utilization schedule: 1 h idle, 12 h
+// loaded, 12 h idle.
+func validationProtocol(t float64) float64 {
+	switch {
+	case t < 1*units.Hour:
+		return 0
+	case t < 13*units.Hour:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// RunValidation executes the Section 3 experiment.
+func (s *Study) RunValidation() (*ValidationResult, error) {
+	cfg := server.ValidationRD330()
+	const (
+		duration = 25 * units.Hour
+		dt       = 5.0
+		sample   = 120.0
+	)
+	type variant struct {
+		fine bool
+		wax  bool
+	}
+	runs := map[string]*timeseries.Series{}
+	var dieIdle, dieLoaded, cpuIdle, cpuLoaded float64
+	for name, v := range map[string]variant{
+		"real wax":      {fine: true, wax: true},
+		"real placebo":  {fine: true, wax: false},
+		"model wax":     {fine: false, wax: true},
+		"model placebo": {fine: false, wax: false},
+	} {
+		b, err := server.BuildModel(cfg, server.BuildOptions{
+			WithWax:     v.wax,
+			PlaceboBox:  !v.wax,
+			Fine:        v.fine,
+			Utilization: validationProtocol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := b.Model.Run(duration, dt, sample, []thermal.Probe{
+			{Name: "near box", Station: b.WakeSt},
+		})
+		if err != nil {
+			return nil, err
+		}
+		runs[name] = res.Trace("near box")
+		if name == "real wax" {
+			dieIdle = b.DieTempC(0, 0.5*units.Hour)
+			// Die temperature under load is read near the end of the
+			// loaded phase.
+			dieLoaded = b.DieTempC(0, 12.9*units.Hour)
+			for _, comp := range cfg.Components {
+				if comp.Name == "cpu1" {
+					cpuIdle, cpuLoaded = comp.PowerAt(0, 1), comp.PowerAt(1, 1)
+				}
+			}
+		}
+	}
+
+	// The "real" server is read through noisy USB sensors.
+	rng := rand.New(rand.NewSource(42))
+	for _, name := range []string{"real wax", "real placebo"} {
+		tr := runs[name]
+		for i := range tr.Values {
+			tr.Values[i] += rng.NormFloat64() * 0.25
+		}
+	}
+
+	out := &ValidationResult{
+		RealWax:      runs["real wax"],
+		RealPlacebo:  runs["real placebo"],
+		ModelWax:     runs["model wax"],
+		ModelPlacebo: runs["model placebo"],
+		IdlePowerW:   cfg.PowerAt(0, 1),
+		LoadedPowerW: cfg.PowerAt(1, 1),
+		CPUIdleW:     cpuIdle,
+		CPULoadedW:   cpuLoaded,
+		DieIdleC:     dieIdle,
+		DieLoadedC:   dieLoaded,
+	}
+
+	window := func(tr *timeseries.Series, fromH, toH float64) []float64 {
+		lo := int((fromH*units.Hour - tr.Start) / tr.Step)
+		hi := int((toH*units.Hour - tr.Start) / tr.Step)
+		return tr.Values[lo:hi]
+	}
+	var err error
+	if out.SteadyMeanAbsDiffC, err = numeric.MeanAbsError(
+		window(out.RealWax, 6, 12), window(out.ModelWax, 6, 12)); err != nil {
+		return nil, err
+	}
+	if out.HeatUpCorrelation, err = numeric.Correlation(
+		window(out.RealWax, 1, 6), window(out.ModelWax, 1, 6)); err != nil {
+		return nil, err
+	}
+	count := func(a, b *timeseries.Series, fromH, toH float64) float64 {
+		n := 0
+		for i := range a.Values {
+			h := a.TimeAt(i) / units.Hour
+			if h >= fromH && h < toH && a.Values[i]-b.Values[i] > 0.2 {
+				n++
+			}
+		}
+		return float64(n) * a.Step / units.Hour
+	}
+	out.MeltDepressionHours = count(out.ModelPlacebo, out.ModelWax, 1, 13)
+	out.FreezeElevationHours = count(out.ModelWax, out.ModelPlacebo, 13, 25)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: blockage sweeps.
+
+// SweepResult pairs a machine class with its Figure 7 points.
+type SweepResult struct {
+	Class  MachineClass
+	Points []server.BlockagePoint
+}
+
+// RunBlockageSweeps reproduces Figure 7 for all three machines.
+func (s *Study) RunBlockageSweeps() ([]SweepResult, error) {
+	var out []SweepResult
+	for _, m := range Classes {
+		pts, err := server.BlockageSweep(m.Config(), server.DefaultBlockages())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepResult{Class: m, Points: pts})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 / Section 5.1: cooling load in a fully subscribed datacenter.
+
+// CoolingResult is the Figure 11 outcome for one machine class plus the
+// Section 5.1 economics.
+type CoolingResult struct {
+	Class MachineClass
+	// MeltC is the wax used (optimized or default).
+	MeltC float64
+	// MeltOnsetUtilization reports where melting starts (paper: ~75%).
+	MeltOnsetUtilization float64
+	// Baseline and WithPCM are cluster cooling-load traces, W.
+	Baseline, WithPCM *timeseries.Series
+	// Analysis carries peak reduction and the resolidify window.
+	Analysis *cooling.PeakAnalysis
+	// ExtraServers the 10 MW datacenter gains at constant cooling.
+	ExtraServers int
+	// AnnualCoolingSavingsUSD is the smaller-cooling-system saving.
+	AnnualCoolingSavingsUSD float64
+	// RetrofitSavingsUSD is the avoided replacement-plant cost per year.
+	RetrofitSavingsUSD float64
+}
+
+// RunCoolingStudy executes the Figure 11 experiment for one machine class.
+func (s *Study) RunCoolingStudy(m MachineClass) (*CoolingResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	meltC := cfg.Wax.DefaultMeltC
+	onset := math.NaN()
+	if s.OptimizeMelt {
+		opt, err := OptimizeMeltingTemperature(cfg, s.Trace)
+		if err != nil {
+			return nil, err
+		}
+		meltC = opt.MeltC
+		onset = opt.MeltOnsetUtilization
+	}
+	cluster, err := dcsim.NewCluster(cfg, meltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	wax, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := cooling.Analyze(base.CoolingLoadW, wax.CoolingLoadW)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(onset) {
+		solidus := cluster.ROM.Enclosure.Material.SolidusC()
+		onset = 1
+		for u := 0.0; u <= 1.0; u += 0.01 {
+			if cluster.ROM.WakeAirC(u, 1) >= solidus {
+				onset = u
+				break
+			}
+		}
+	}
+
+	sc := DefaultScenario(m)
+	servers := sc.Clusters * cfg.ClusterSize
+	savings, err := tco.SmallerCoolingSystem(s.TCO, s.CriticalPowerKW, servers, analysis.PeakReduction)
+	if err != nil {
+		return nil, err
+	}
+	retrofit, err := tco.RetrofitSavings(s.TCO, s.CriticalPowerKW, analysis.PeakReduction)
+	if err != nil {
+		return nil, err
+	}
+	return &CoolingResult{
+		Class:                   m,
+		MeltC:                   meltC,
+		MeltOnsetUtilization:    onset,
+		Baseline:                base.CoolingLoadW,
+		WithPCM:                 wax.CoolingLoadW,
+		Analysis:                analysis,
+		ExtraServers:            savings.ExtraServers,
+		AnnualCoolingSavingsUSD: savings.AnnualUSD,
+		RetrofitSavingsUSD:      retrofit,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 / Section 5.2: throughput in a thermally constrained datacenter.
+
+// ThroughputResult is the Figure 12 outcome for one machine class. The
+// series are normalized the way the paper plots them: 1.0 is the peak
+// throughput while downclocked (the no-wax ceiling).
+type ThroughputResult struct {
+	Class MachineClass
+	// LimitW is the cluster cooling limit used.
+	LimitW float64
+	// Ideal, NoWax and WithWax are normalized throughput traces.
+	Ideal, NoWax, WithWax *timeseries.Series
+	// PeakGain is the with-wax peak over the no-wax peak minus one
+	// (paper: +33%, +69%, +34%).
+	PeakGain float64
+	// DelayHours is how long per day the wax variant sustained throughput
+	// above the throttled cluster — the deferral of the thermal limit
+	// (paper: 5.1, 3.1, 3.1 hours).
+	DelayHours float64
+	// TCOEfficiencyImprovement is the Section 5.2 economic metric
+	// (paper: 23%, 39%, 24%).
+	TCOEfficiencyImprovement float64
+}
+
+// RunThroughputStudy executes the Figure 12 experiment for one machine
+// class using the scenario's cooling deficit.
+func (s *Study) RunThroughputStudy(m MachineClass) (*ThroughputResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	sc := DefaultScenario(m)
+	if sc.ConstrainedDeficitW <= 0 {
+		return nil, errors.New("core: scenario has no cooling deficit")
+	}
+	meltC := sc.ConstrainedMeltC
+	if meltC == 0 {
+		meltC = cfg.Wax.DefaultMeltC
+	}
+	cluster, err := dcsim.NewCluster(cfg, meltC)
+	if err != nil {
+		return nil, err
+	}
+	limit := float64(cluster.N) * (cfg.PowerAt(0.95, 1) - sc.ConstrainedDeficitW)
+	run, err := cluster.RunConstrained(s.Trace, limit)
+	if err != nil {
+		return nil, err
+	}
+	// The paper normalizes throughput "to the peak throughput while
+	// downclocked": the ceiling the cluster sustains at the DVFS floor and
+	// full utilization, which is the no-wax plateau during the peak hours.
+	peakIdeal, _ := run.Ideal.Peak()
+	perfDown := cfg.Perf.RelativeThroughput(cfg.Perf.DownclockGHz)
+	ceiling := peakIdeal * perfDown
+	if ceiling <= 0 {
+		return nil, errors.New("core: degenerate downclocked ceiling")
+	}
+	norm := 1 / ceiling
+	peakWithWax, _ := run.WithWax.Peak()
+
+	dc, err := s.datacenterFor(m)
+	if err != nil {
+		return nil, err
+	}
+	gain := peakWithWax/ceiling - 1
+	eff, err := tco.TCOEfficiency(s.TCO, dc, gain)
+	if err != nil {
+		return nil, err
+	}
+	// Boost window: how long the wax kept the cluster above the throttled
+	// throughput, per day.
+	days := run.Ideal.End() / units.Day
+	if days < 1 {
+		days = 1
+	}
+	boost := 0.0
+	for i := range run.WithWax.Values {
+		if run.WithWax.Values[i]-run.NoWax.Values[i] > 0.005*ceiling {
+			boost += run.WithWax.Step
+		}
+	}
+	delay := boost / units.Hour / days
+	return &ThroughputResult{
+		Class:                    m,
+		LimitW:                   limit,
+		Ideal:                    run.Ideal.Clone().Scale(norm),
+		NoWax:                    run.NoWax.Clone().Scale(norm),
+		WithWax:                  run.WithWax.Clone().Scale(norm),
+		PeakGain:                 gain,
+		DelayHours:               delay,
+		TCOEfficiencyImprovement: eff.Improvement,
+	}, nil
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/chilledwater"
+	"repro/internal/cooling"
+	"repro/internal/dcsim"
+	"repro/internal/units"
+)
+
+// The extension experiments quantify the qualitative claims around the
+// paper's core evaluation: the Section 6 comparison against active
+// chilled-water storage, the introduction's complementarity with UPS
+// battery power capping, and the "additional advantages" of shifting heat
+// into the night (free cooling and off-peak tariffs).
+
+// ---------------------------------------------------------------------------
+// PCM vs chilled-water storage (Section 6, Zheng et al. / TE-Shave).
+
+// StorageComparison pits the in-server wax against an outdoor
+// chilled-water tank holding the same energy.
+type StorageComparison struct {
+	Class MachineClass
+	// WaxReduction and TankReduction are the peak cooling reductions.
+	WaxReduction, TankReduction float64
+	// Wax is passive; the tank pays these per cluster-day.
+	TankPumpKWhPerDay, TankStandingKWhPerDay float64
+	// TankVolumeM3 and TankFloorM2 are the tank's physical footprint; the
+	// wax lives inside otherwise-wasted chassis volume.
+	TankVolumeM3, TankFloorM2 float64
+}
+
+// CompareChilledWater sizes a tank to the cluster's wax energy and runs
+// both against the same trace.
+func (s *Study) CompareChilledWater(m MachineClass) (*StorageComparison, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	wax, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	pb, _ := base.CoolingLoadW.Peak()
+	pw, _ := wax.CoolingLoadW.Peak()
+
+	tank := chilledwater.SizedForCluster(cluster.ROM.LatentCapacity() * float64(cluster.N))
+	shaved, err := chilledwater.Shave(base.CoolingLoadW, tank)
+	if err != nil {
+		return nil, err
+	}
+	days := s.Trace.Total.End() / units.Day
+	if days < 1 {
+		days = 1
+	}
+	return &StorageComparison{
+		Class:                 m,
+		WaxReduction:          1 - pw/pb,
+		TankReduction:         shaved.PeakReduction,
+		TankPumpKWhPerDay:     units.JoulesToKWh(shaved.PumpEnergyJ / days),
+		TankStandingKWhPerDay: units.JoulesToKWh(shaved.StandingLossJ / days),
+		TankVolumeM3:          tank.VolumeM3,
+		TankFloorM2:           tank.FloorSpaceM2,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// PCM + UPS batteries (the introduction's complementarity claim).
+
+// ComplementarityResult shows the three peaks a grid sees: IT power,
+// cooling-plant power, and their total — and what each storage flattens.
+type ComplementarityResult struct {
+	Class MachineClass
+	// BatteryITReduction is the battery's shave of the IT power peak.
+	BatteryITReduction float64
+	// WaxCoolingReduction is the wax's shave of the cooling-load peak.
+	WaxCoolingReduction float64
+	// TotalReductionBatteryOnly, TotalReductionWaxOnly and
+	// TotalReductionCombined shave the grid-total peak (IT + plant power
+	// at the given COP).
+	TotalReductionBatteryOnly, TotalReductionWaxOnly, TotalReductionCombined float64
+}
+
+// RunComplementarity evaluates battery-only, wax-only, and combined
+// deployments for one cluster.
+func (s *Study) RunComplementarity(m MachineClass) (*ComplementarityResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	const cop = 3.5
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	wax, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	itPeak, _ := base.PowerW.Peak()
+	bank := battery.KontorinisBank(itPeak)
+	shaved, err := battery.Shave(base.PowerW, bank)
+	if err != nil {
+		return nil, err
+	}
+	itPeakBat, _ := shaved.UtilityPowerW.Peak()
+
+	coolPeakBase, _ := base.CoolingLoadW.Peak()
+	coolPeakWax, _ := wax.CoolingLoadW.Peak()
+
+	// Grid total = IT power + cooling plant power (cooling load / COP).
+	gridPeak := func(itW, coolW []float64) float64 {
+		peak := 0.0
+		for i := range itW {
+			if v := itW[i] + coolW[i]/cop; v > peak {
+				peak = v
+			}
+		}
+		return peak
+	}
+	basePeak := gridPeak(base.PowerW.Values, base.CoolingLoadW.Values)
+	batPeak := gridPeak(shaved.UtilityPowerW.Values, base.CoolingLoadW.Values)
+	waxPeak := gridPeak(base.PowerW.Values, wax.CoolingLoadW.Values)
+	bothPeak := gridPeak(shaved.UtilityPowerW.Values, wax.CoolingLoadW.Values)
+
+	return &ComplementarityResult{
+		Class:                     m,
+		BatteryITReduction:        1 - itPeakBat/itPeak,
+		WaxCoolingReduction:       1 - coolPeakWax/coolPeakBase,
+		TotalReductionBatteryOnly: 1 - batPeak/basePeak,
+		TotalReductionWaxOnly:     1 - waxPeak/basePeak,
+		TotalReductionCombined:    1 - bothPeak/basePeak,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Night advantages: free cooling and time-of-use tariffs (Section 1).
+
+// NightAdvantages quantifies what moving heat into the night buys beyond
+// the peak shave.
+type NightAdvantages struct {
+	Class MachineClass
+	// FreeFractionBase and FreeFractionPCM are the shares of heat the
+	// economizer removes for free.
+	FreeFractionBase, FreeFractionPCM float64
+	// TOUCostBaseUSD and TOUCostPCMUSD are the chiller electricity bills
+	// over the trace under the paper's tariff.
+	TOUCostBaseUSD, TOUCostPCMUSD float64
+	// PUEBase and PUEPCM are the facility PUEs with the economizer in
+	// front of the chillers. The wax barely moves the integral (it stores
+	// heat, it does not remove it) — the value is in WHEN the plant draws.
+	PUEBase, PUEPCM float64
+}
+
+// RunNightAdvantages evaluates the economizer and tariff effects for one
+// cluster in a temperate climate.
+func (s *Study) RunNightAdvantages(m MachineClass) (*NightAdvantages, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	wax, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	climate := cooling.TemperateClimate()
+	peak, _ := base.CoolingLoadW.Peak()
+	econ := cooling.Economizer{SetpointC: 18, ConductanceWPerK: peak / 30, MaxW: peak / 2}
+	fcBase, err := cooling.SplitFreeCooling(base.CoolingLoadW, climate, econ)
+	if err != nil {
+		return nil, err
+	}
+	fcPCM, err := cooling.SplitFreeCooling(wax.CoolingLoadW, climate, econ)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := cooling.SystemForPeak(base.CoolingLoadW, 0.1, 3.5)
+	if err != nil {
+		return nil, err
+	}
+	baseUSD, pcmUSD, err := cooling.TimeOfUseSavings(base.CoolingLoadW, wax.CoolingLoadW, sys, cooling.DefaultTariff())
+	if err != nil {
+		return nil, err
+	}
+	const overhead = 0.08 // UPS, lighting, distribution losses
+	pueBase, err := cooling.PUE(base.PowerW, fcBase.ChillerLoadW, sys, overhead)
+	if err != nil {
+		return nil, err
+	}
+	puePCM, err := cooling.PUE(wax.PowerW, fcPCM.ChillerLoadW, sys, overhead)
+	if err != nil {
+		return nil, err
+	}
+	return &NightAdvantages{
+		Class:            m,
+		FreeFractionBase: fcBase.FreeFraction,
+		FreeFractionPCM:  fcPCM.FreeFraction,
+		TOUCostBaseUSD:   baseUSD,
+		TOUCostPCMUSD:    pcmUSD,
+		PUEBase:          pueBase,
+		PUEPCM:           puePCM,
+	}, nil
+}
+
+// SeasonalResult compares the night-shift benefits across climates: the
+// introduction's "regions with low ambient temperatures" remark.
+type SeasonalResult struct {
+	Class MachineClass
+	// Per climate: the free-cooled fraction with PCM and the chiller bill
+	// (climate-dependent COP) with PCM over the trace.
+	ColdFreeFraction, TemperateFreeFraction, HotFreeFraction float64
+	ColdBillUSD, TemperateBillUSD, HotBillUSD                float64
+}
+
+// RunSeasonal evaluates the PCM-equipped cluster under cold, temperate and
+// hot climates.
+func (s *Study) RunSeasonal(m MachineClass) (*SeasonalResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	wax, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	peak, _ := wax.CoolingLoadW.Peak()
+	econ := cooling.Economizer{SetpointC: 18, ConductanceWPerK: peak / 30, MaxW: peak / 2}
+	sys := cooling.System{CapacityW: peak * 1.1, COP: 3.5, COPSlopePerK: 0.02}
+	tariff := cooling.DefaultTariff()
+
+	res := &SeasonalResult{Class: m}
+	eval := func(climate cooling.OutsideAir) (frac, bill float64, err error) {
+		fc, err := cooling.SplitFreeCooling(wax.CoolingLoadW, climate, econ)
+		if err != nil {
+			return 0, 0, err
+		}
+		cost, err := cooling.EnergyCostClimate(fc.ChillerLoadW, sys, tariff, climate)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fc.FreeFraction, cost, nil
+	}
+	if res.ColdFreeFraction, res.ColdBillUSD, err = eval(cooling.ColdClimate()); err != nil {
+		return nil, err
+	}
+	if res.TemperateFreeFraction, res.TemperateBillUSD, err = eval(cooling.TemperateClimate()); err != nil {
+		return nil, err
+	}
+	if res.HotFreeFraction, res.HotBillUSD, err = eval(cooling.HotClimate()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import "testing"
+
+func TestCompareChilledWater(t *testing.T) {
+	s := NewStudy()
+	r, err := s.CompareChilledWater(TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both technologies shave, with comparable energy stores.
+	if r.WaxReduction <= 0.05 || r.TankReduction <= 0.05 {
+		t.Errorf("reductions wax=%.1f%% tank=%.1f%%, want both material",
+			r.WaxReduction*100, r.TankReduction*100)
+	}
+	// The tank, unconstrained by chassis volume, shaves at least as much
+	// as the rate-limited wax — but pays standing overheads the wax does
+	// not.
+	if r.TankReduction < r.WaxReduction-0.02 {
+		t.Errorf("equal-energy tank (%.1f%%) should shave at least the wax (%.1f%%)",
+			r.TankReduction*100, r.WaxReduction*100)
+	}
+	if r.TankPumpKWhPerDay <= 0 || r.TankStandingKWhPerDay <= 0 {
+		t.Error("tank overheads must be positive — the paper's core criticism")
+	}
+	// ~646 MJ of storage is roughly 19 m^3 of chilled water: real floor
+	// space, unlike the in-chassis wax.
+	if r.TankVolumeM3 < 10 || r.TankVolumeM3 > 30 {
+		t.Errorf("tank volume = %.1f m^3, want ~19", r.TankVolumeM3)
+	}
+	if r.TankFloorM2 <= 0 {
+		t.Error("tank should occupy floor space")
+	}
+}
+
+func TestCompareChilledWaterUnknownClass(t *testing.T) {
+	s := NewStudy()
+	if _, err := s.CompareChilledWater(MachineClass(99)); err == nil {
+		t.Error("accepted unknown class")
+	}
+}
+
+func TestComplementarity(t *testing.T) {
+	s := NewStudy()
+	r, err := s.RunComplementarity(TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BatteryITReduction <= 0 {
+		t.Error("battery shaved nothing off the IT peak")
+	}
+	if r.WaxCoolingReduction <= 0.05 {
+		t.Error("wax shaved nothing off the cooling peak")
+	}
+	// The introduction's claim: batteries alone leave the cooling peak in
+	// place and vice versa; together they cap the grid total tighter than
+	// either alone.
+	if r.TotalReductionCombined <= r.TotalReductionBatteryOnly {
+		t.Errorf("combined (%.1f%%) should beat battery-only (%.1f%%)",
+			r.TotalReductionCombined*100, r.TotalReductionBatteryOnly*100)
+	}
+	if r.TotalReductionCombined <= r.TotalReductionWaxOnly {
+		t.Errorf("combined (%.1f%%) should beat wax-only (%.1f%%)",
+			r.TotalReductionCombined*100, r.TotalReductionWaxOnly*100)
+	}
+}
+
+func TestNightAdvantages(t *testing.T) {
+	s := NewStudy()
+	r, err := s.RunNightAdvantages(TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifting heat into the (cool, cheap) night raises the free-cooled
+	// fraction and lowers the chiller bill.
+	if r.FreeFractionPCM <= r.FreeFractionBase {
+		t.Errorf("PCM free fraction %.1f%% should exceed baseline %.1f%%",
+			r.FreeFractionPCM*100, r.FreeFractionBase*100)
+	}
+	if r.TOUCostPCMUSD >= r.TOUCostBaseUSD {
+		t.Errorf("PCM chiller bill $%.2f should undercut baseline $%.2f",
+			r.TOUCostPCMUSD, r.TOUCostBaseUSD)
+	}
+	// Sanity: the free fraction is a real fraction.
+	if r.FreeFractionBase < 0 || r.FreeFractionPCM > 1 {
+		t.Errorf("free fractions out of range: %v %v", r.FreeFractionBase, r.FreeFractionPCM)
+	}
+}
+
+func TestExtensionsAcrossClasses(t *testing.T) {
+	s := NewStudy()
+	for _, m := range Classes {
+		if _, err := s.CompareChilledWater(m); err != nil {
+			t.Errorf("chilled water %v: %v", m, err)
+		}
+		if _, err := s.RunComplementarity(m); err != nil {
+			t.Errorf("complementarity %v: %v", m, err)
+		}
+		if _, err := s.RunNightAdvantages(m); err != nil {
+			t.Errorf("night advantages %v: %v", m, err)
+		}
+	}
+}
+
+func TestNightAdvantagesPUE(t *testing.T) {
+	s := NewStudy()
+	r, err := s.RunNightAdvantages(TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A realistic facility: PUE between 1.1 and 1.6 with an economizer.
+	if r.PUEBase < 1.1 || r.PUEBase > 1.6 {
+		t.Errorf("baseline PUE = %v", r.PUEBase)
+	}
+	// Wax stores heat, it does not remove it: integrated PUE moves by well
+	// under a percent in either direction.
+	if d := r.PUEPCM - r.PUEBase; d > 0.01 || d < -0.01 {
+		t.Errorf("wax moved PUE by %v — it should be nearly neutral", d)
+	}
+}
+
+func TestSeasonal(t *testing.T) {
+	s := NewStudy()
+	r, err := s.RunSeasonal(TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold climates free-cool more and bill less; hot climates the
+	// reverse.
+	if !(r.ColdFreeFraction > r.TemperateFreeFraction && r.TemperateFreeFraction > r.HotFreeFraction) {
+		t.Errorf("free fractions not ordered: %.2f / %.2f / %.2f",
+			r.ColdFreeFraction, r.TemperateFreeFraction, r.HotFreeFraction)
+	}
+	if !(r.ColdBillUSD < r.TemperateBillUSD && r.TemperateBillUSD < r.HotBillUSD) {
+		t.Errorf("bills not ordered: %.0f / %.0f / %.0f",
+			r.ColdBillUSD, r.TemperateBillUSD, r.HotBillUSD)
+	}
+	// A cold site free-cools close to the economizer's capacity cap (the
+	// stage is sized at half the peak, so ~0.45-0.5 of the energy).
+	if r.ColdFreeFraction < 0.4 {
+		t.Errorf("cold climate free fraction = %.2f, want near the stage cap", r.ColdFreeFraction)
+	}
+	if _, err := s.RunSeasonal(MachineClass(9)); err == nil {
+		t.Error("accepted unknown class")
+	}
+}

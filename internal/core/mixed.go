@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cooling"
+	"repro/internal/dcsim"
+	"repro/internal/timeseries"
+)
+
+// Mixed fleets. The retrofit story (Section 5.1) implies a transition
+// period where a datacenter runs old and new machine generations side by
+// side under one cooling system. A mixed run is the sum of the per-class
+// cluster runs — heat adds linearly — so the combined peak reduction sits
+// between the constituents', weighted by their share of the peak.
+
+// MixedShare is one slice of a heterogeneous deployment.
+type MixedShare struct {
+	Class    MachineClass
+	Clusters int
+}
+
+// MixedResult is the combined cooling outcome.
+type MixedResult struct {
+	Shares []MixedShare
+	// Baseline and WithPCM are the fleet-wide cooling loads.
+	Baseline, WithPCM *timeseries.Series
+	// Analysis carries the combined peak reduction.
+	Analysis *cooling.PeakAnalysis
+}
+
+// RunMixedCoolingStudy evaluates a heterogeneous fleet under the study's
+// trace (round-robin keeps per-class utilization equal to the trace, so
+// the fleet load is the cluster-count-weighted sum).
+func (s *Study) RunMixedCoolingStudy(shares []MixedShare) (*MixedResult, error) {
+	if len(shares) == 0 {
+		return nil, errors.New("core: empty mixed deployment")
+	}
+	var base, wax *timeseries.Series
+	for _, share := range shares {
+		cfg := share.Class.Config()
+		if cfg == nil {
+			return nil, fmt.Errorf("core: unknown machine class %v", share.Class)
+		}
+		if share.Clusters <= 0 {
+			return nil, fmt.Errorf("core: non-positive cluster count for %v", share.Class)
+		}
+		cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cluster.RunCoolingLoad(s.Trace, false)
+		if err != nil {
+			return nil, err
+		}
+		w, err := cluster.RunCoolingLoad(s.Trace, true)
+		if err != nil {
+			return nil, err
+		}
+		scale := float64(share.Clusters)
+		b.CoolingLoadW.Scale(scale)
+		w.CoolingLoadW.Scale(scale)
+		if base == nil {
+			base, wax = b.CoolingLoadW, w.CoolingLoadW
+			continue
+		}
+		if base, err = timeseries.Add(base, b.CoolingLoadW); err != nil {
+			return nil, err
+		}
+		if wax, err = timeseries.Add(wax, w.CoolingLoadW); err != nil {
+			return nil, err
+		}
+	}
+	analysis, err := cooling.Analyze(base, wax)
+	if err != nil {
+		return nil, err
+	}
+	return &MixedResult{
+		Shares:   append([]MixedShare(nil), shares...),
+		Baseline: base,
+		WithPCM:  wax,
+		Analysis: analysis,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixedCoolingStudy(t *testing.T) {
+	s := NewStudy()
+	// A transition fleet: half the 1U clusters already replaced by OCP.
+	mixed, err := s.RunMixedCoolingStudy([]MixedShare{
+		{Class: OneU, Clusters: 27},
+		{Class: OpenCompute, Clusters: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneU, err := s.RunCoolingStudy(OneU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocp, err := s.RunCoolingStudy(OpenCompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The combined reduction is at least the weaker constituent's — and in
+	// fact can beat BOTH, because the two classes' residual (shaved) peaks
+	// land at slightly different times and de-align when summed: a
+	// diversity bonus the single-class studies cannot show.
+	lo := math.Min(oneU.Analysis.PeakReduction, ocp.Analysis.PeakReduction)
+	hi := math.Max(oneU.Analysis.PeakReduction, ocp.Analysis.PeakReduction)
+	got := mixed.Analysis.PeakReduction
+	if got < lo-0.01 {
+		t.Errorf("mixed reduction %.1f%% below the weaker constituent %.1f%%", got*100, lo*100)
+	}
+	if got > hi+0.05 {
+		t.Errorf("mixed reduction %.1f%% implausibly far above constituents [%.1f%%, %.1f%%]",
+			got*100, lo*100, hi*100)
+	}
+	// Fleet baseline peak is the sum of weighted per-class peaks (aligned
+	// diurnal loads peak together).
+	p1, _ := oneU.Baseline.Peak()
+	p2, _ := ocp.Baseline.Peak()
+	pm, _ := mixed.Baseline.Peak()
+	if math.Abs(pm-(27*p1+15*p2))/pm > 0.001 {
+		t.Errorf("mixed peak %v != 27x%v + 15x%v", pm, p1, p2)
+	}
+}
+
+func TestMixedCoolingStudySingleClassMatches(t *testing.T) {
+	s := NewStudy()
+	mixed, err := s.RunMixedCoolingStudy([]MixedShare{{Class: TwoU, Clusters: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := s.RunCoolingStudy(TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mixed.Analysis.PeakReduction-single.Analysis.PeakReduction) > 1e-9 {
+		t.Error("one-class mixed run diverges from the plain study")
+	}
+}
+
+func TestMixedCoolingStudyValidation(t *testing.T) {
+	s := NewStudy()
+	if _, err := s.RunMixedCoolingStudy(nil); err == nil {
+		t.Error("accepted empty deployment")
+	}
+	if _, err := s.RunMixedCoolingStudy([]MixedShare{{Class: OneU, Clusters: 0}}); err == nil {
+		t.Error("accepted zero clusters")
+	}
+	if _, err := s.RunMixedCoolingStudy([]MixedShare{{Class: MachineClass(9), Clusters: 1}}); err == nil {
+		t.Error("accepted unknown class")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dcsim"
+	"repro/internal/server"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// MeltOptimum is the outcome of the melting-temperature search.
+type MeltOptimum struct {
+	// MeltC is the selected melting temperature.
+	MeltC float64
+	// PeakCoolingW is the cluster peak cooling load it achieves.
+	PeakCoolingW float64
+	// PeakReduction is relative to the no-wax peak.
+	PeakReduction float64
+	// MeltOnsetUtilization is the cluster load at which the wax begins to
+	// melt (the paper finds ~75% for the best wax).
+	MeltOnsetUtilization float64
+}
+
+// OptimizeMeltingTemperature searches the purchasable 40-60 degC range for
+// the melting temperature that minimizes the cluster's peak cooling load,
+// subject to the paper's constraint that the wax fully resolidifies within
+// each 24-hour cycle. The objective is evaluated with the full fluid
+// simulation; a coarse scan is refined around the best point.
+func OptimizeMeltingTemperature(cfg *server.Config, tr *workload.Trace) (*MeltOptimum, error) {
+	baseCluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseCluster.RunCoolingLoad(tr, false)
+	if err != nil {
+		return nil, err
+	}
+	basePeak, _ := base.CoolingLoadW.Peak()
+
+	// Peak cooling load at a candidate melting temperature; +Inf when the
+	// wax fails to resolidify overnight (checked at the pre-dawn trough of
+	// day 2).
+	evaluate := func(meltC float64) (float64, error) {
+		c, err := dcsim.NewCluster(cfg, meltC)
+		if err != nil {
+			return math.Inf(1), nil // outside the purchasable range
+		}
+		run, err := c.RunCoolingLoad(tr, true)
+		if err != nil {
+			return 0, err
+		}
+		if run.WaxLiquid.At(30*units.Hour) > 0.05 {
+			return math.Inf(1), nil
+		}
+		p, _ := run.CoolingLoadW.Peak()
+		return p, nil
+	}
+
+	bestC, bestPeak := 0.0, math.Inf(1)
+	scan := func(lo, hi, step float64) error {
+		for m := lo; m <= hi+1e-9; m += step {
+			p, err := evaluate(m)
+			if err != nil {
+				return err
+			}
+			if p < bestPeak {
+				bestC, bestPeak = m, p
+			}
+		}
+		return nil
+	}
+	if err := scan(40, 60, 1.5); err != nil {
+		return nil, err
+	}
+	if math.IsInf(bestPeak, 1) {
+		return nil, fmt.Errorf("core: no melting temperature in 40-60 degC resolidifies overnight for %s", cfg.Name)
+	}
+	if err := scan(math.Max(40, bestC-1.25), math.Min(60, bestC+1.25), 0.25); err != nil {
+		return nil, err
+	}
+
+	opt := &MeltOptimum{
+		MeltC:         bestC,
+		PeakCoolingW:  bestPeak,
+		PeakReduction: 1 - bestPeak/basePeak,
+	}
+	// Where melting starts: the utilization whose steady wake temperature
+	// reaches the solidus.
+	rom, err := server.DeriveROM(cfg, bestC)
+	if err != nil {
+		return nil, err
+	}
+	solidus := rom.Enclosure.Material.SolidusC()
+	onset := 1.0
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		if rom.WakeAirC(u, 1) >= solidus {
+			onset = u
+			break
+		}
+	}
+	opt.MeltOnsetUtilization = onset
+	return opt, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dcsim"
+	"repro/internal/server"
+)
+
+func TestOptimizeMeltingTemperature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("melt optimization sweeps many fluid runs")
+	}
+	s := NewStudy()
+	for _, m := range Classes {
+		cfg := m.Config()
+		opt, err := OptimizeMeltingTemperature(cfg, s.Trace)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if opt.MeltC < 40 || opt.MeltC > 60 {
+			t.Errorf("%v optimal melt %.1f outside the purchasable range", m, opt.MeltC)
+		}
+		if opt.PeakReduction <= 0.03 {
+			t.Errorf("%v optimized reduction %.1f%% too small", m, opt.PeakReduction*100)
+		}
+		// The optimum must beat (or match) an off-by-4K wax.
+		offC := opt.MeltC + 4
+		if offC > 60 {
+			offC = opt.MeltC - 4
+		}
+		cOpt, err := dcsim.NewCluster(cfg, opt.MeltC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cOff, err := dcsim.NewCluster(cfg, offC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rOpt, err := cOpt.RunCoolingLoad(s.Trace, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rOff, err := cOff.RunCoolingLoad(s.Trace, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pOpt, _ := rOpt.CoolingLoadW.Peak()
+		pOff, _ := rOff.CoolingLoadW.Peak()
+		if pOpt > pOff+1 {
+			t.Errorf("%v: optimum %.1f degC (peak %.0f) loses to %.1f degC (peak %.0f)",
+				m, opt.MeltC, pOpt, offC, pOff)
+		}
+		// The paper's observation: the best wax begins to melt at high
+		// server load.
+		if opt.MeltOnsetUtilization < 0.45 {
+			t.Errorf("%v melt onset at %.0f%% load, want high-load onset",
+				m, opt.MeltOnsetUtilization*100)
+		}
+	}
+}
+
+func TestOptimizerAgreesWithDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("melt optimization sweeps many fluid runs")
+	}
+	// The calibrated per-machine defaults should be within ~1.5 K of the
+	// optimizer's choice (they were derived from it).
+	s := NewStudy()
+	for _, m := range Classes {
+		cfg := m.Config()
+		opt, err := OptimizeMeltingTemperature(cfg, s.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := opt.MeltC - cfg.Wax.DefaultMeltC; d > 2 || d < -2 {
+			t.Errorf("%v: optimizer picks %.2f but default is %.2f", m, opt.MeltC, cfg.Wax.DefaultMeltC)
+		}
+	}
+}
+
+func TestOptimizerRejectsBadConfig(t *testing.T) {
+	s := NewStudy()
+	bad := server.OneU()
+	bad.Components = nil
+	if _, err := OptimizeMeltingTemperature(bad, s.Trace); err == nil {
+		t.Error("accepted invalid config")
+	}
+}

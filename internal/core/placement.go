@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dcsim"
+	"repro/internal/numeric"
+	"repro/internal/pcm"
+	"repro/internal/workload"
+)
+
+// Placement. Section 2 argues for wax *inside* each server, downwind of
+// the sockets: "alternatives such as placing PCM outside of the datacenter
+// ... suffer a lower temperature differential due to heat loss and mixing
+// over the travel distance". This experiment makes that quantitative: the
+// same wax mass is exposed either to the CPU wake (in-server) or to the
+// fully mixed bulk exhaust (a central installation), and the peak shave is
+// compared.
+
+// PlacementResult contrasts the two installations.
+type PlacementResult struct {
+	Class MachineClass
+	// WakeReduction is the paper's in-server placement.
+	WakeReduction float64
+	// BulkReduction is the same wax coupled to the mixed exhaust.
+	BulkReduction float64
+	// WakeSwingK and BulkSwingK are the idle-to-peak air temperature
+	// swings each placement sees — the driver of the difference.
+	WakeSwingK, BulkSwingK float64
+	// BulkBestMeltC is the best melting point found for the bulk
+	// placement (it may sit at the 40 degC floor, unable to reach the
+	// bulk air's range at all).
+	BulkBestMeltC float64
+}
+
+// ComparePlacement evaluates both installations for one machine class.
+func (s *Study) ComparePlacement(m MachineClass) (*PlacementResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	basePeak, _ := base.CoolingLoadW.Peak()
+	wake, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	wakePeak, _ := wake.CoolingLoadW.Peak()
+
+	// The bulk placement: air at the mixed exhaust temperature,
+	// inlet + P(u)/mcp, with the fan slowdown included. Same wax, same
+	// conductance.
+	bulkAir := func(u float64) float64 {
+		flow, err := cfg.FlowAt(cfg.Wax.ExtraBlockage)
+		if err != nil {
+			flow = cfg.NominalFlow
+		}
+		mcp := flow * cfg.FanFactor(u) / cfg.NominalFlow * cfg.MCP()
+		return cfg.InletC + cfg.PowerAt(u, 1)/mcp
+	}
+	runBulk := func(meltC float64) (float64, *pcm.State, error) {
+		enc, err := cfg.Wax.Enclosure(meltC)
+		if err != nil {
+			return 0, nil, err
+		}
+		state, err := pcm.NewState(enc, bulkAir(0))
+		if err != nil {
+			return 0, nil, err
+		}
+		dt := s.Trace.Total.Step
+		peak := 0.0
+		for _, u := range s.Trace.Total.Values {
+			q := state.ExchangeWithAir(bulkAir(u), cluster.ROM.HA, dt)
+			load := (cfg.PowerAt(u, 1) - q/dt) * float64(cluster.N)
+			if load > peak {
+				peak = load
+			}
+		}
+		return peak, state, nil
+	}
+	// Give the bulk placement its best shot: scan melting points.
+	bestMelt, bestPeak := 40.0, basePeak*10
+	for meltC := 40.0; meltC <= 60.0001; meltC += 1 {
+		peak, _, err := runBulk(meltC)
+		if err != nil {
+			return nil, err
+		}
+		if peak < bestPeak {
+			bestMelt, bestPeak = meltC, peak
+		}
+	}
+
+	// The swings each placement sees across the trace's load range.
+	uLo, _ := s.Trace.Total.Trough()
+	uHi, _ := s.Trace.Total.Peak()
+	uLo = numeric.Clamp(uLo, 0, 1)
+	uHi = numeric.Clamp(uHi, 0, 1)
+	return &PlacementResult{
+		Class:         m,
+		WakeReduction: 1 - wakePeak/basePeak,
+		BulkReduction: 1 - bestPeak/basePeak,
+		WakeSwingK:    cluster.ROM.WakeAirC(uHi, 1) - cluster.ROM.WakeAirC(uLo, 1),
+		BulkSwingK:    bulkAir(uHi) - bulkAir(uLo),
+		BulkBestMeltC: bestMelt,
+	}, nil
+}
+
+// DemandResponseResult compares the three peak-management levers the
+// literature offers a thermally constrained operator: deferring batch
+// work (the demand-response papers the paper cites), the in-server wax,
+// and both together.
+type DemandResponseResult struct {
+	Class MachineClass
+	// Reductions of the peak cooling load relative to the plain baseline.
+	DeferralOnly, WaxOnly, Combined float64
+}
+
+// CompareDemandResponse evaluates batch deferral (MapReduce moved out of
+// the 9am-6pm window) against the wax and their combination.
+func (s *Study) CompareDemandResponse(m MachineClass) (*DemandResponseResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	deferred, err := s.Trace.DeferBatch(9, 18)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	peakOf := func(tr *workloadTrace, wax bool) (float64, error) {
+		run, err := cluster.RunCoolingLoad(tr, wax)
+		if err != nil {
+			return 0, err
+		}
+		p, _ := run.CoolingLoadW.Peak()
+		return p, nil
+	}
+	base, err := peakOf(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	deferOnly, err := peakOf(deferred, false)
+	if err != nil {
+		return nil, err
+	}
+	waxOnly, err := peakOf(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	// The combined case needs its own melting temperature: deferral cools
+	// the peak, so wax bought for the plain trace would barely melt. An
+	// operator deploying both levers would purchase accordingly.
+	optBoth, err := OptimizeMeltingTemperature(cfg, deferred)
+	if err != nil {
+		return nil, err
+	}
+	both := optBoth.PeakCoolingW
+	return &DemandResponseResult{
+		Class:        m,
+		DeferralOnly: 1 - deferOnly/base,
+		WaxOnly:      1 - waxOnly/base,
+		Combined:     1 - both/base,
+	}, nil
+}
+
+// workloadTrace aliases the trace type to keep the helper signature short.
+type workloadTrace = workload.Trace

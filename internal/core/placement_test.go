@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+// Section 2's placement argument, quantified: wax in the CPU wake sees a
+// far larger idle-to-peak air swing than the same wax on the mixed bulk
+// exhaust, and shaves several times more of the peak.
+func TestPlacementWakeBeatsBulk(t *testing.T) {
+	for _, m := range []MachineClass{OneU, TwoU} {
+		r, err := NewStudy().ComparePlacement(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if r.WakeSwingK <= r.BulkSwingK {
+			t.Errorf("%v: wake swing %.1f K not above bulk %.1f K", m, r.WakeSwingK, r.BulkSwingK)
+		}
+		if r.WakeReduction <= 0.05 {
+			t.Fatalf("%v: wake placement shaved only %.1f%%", m, r.WakeReduction*100)
+		}
+		// The bulk placement must be clearly worse — for the 1U the mixed
+		// exhaust never even reaches the purchasable melt range.
+		if r.BulkReduction > r.WakeReduction/2 {
+			t.Errorf("%v: bulk placement (%.1f%%) too close to wake (%.1f%%)",
+				m, r.BulkReduction*100, r.WakeReduction*100)
+		}
+	}
+}
+
+func TestPlacementUnknownClass(t *testing.T) {
+	if _, err := NewStudy().ComparePlacement(MachineClass(9)); err == nil {
+		t.Error("accepted unknown class")
+	}
+}
+
+// Deferring batch work flattens the peak on its own, and the wax shaves
+// deeper still — but the levers are NOT additive: deferral turns the sharp
+// peak into a broad plateau, which is exactly the shape a fixed store of
+// latent heat cannot cap for long. The combination matches the better
+// lever rather than stacking.
+func TestCompareDemandResponse(t *testing.T) {
+	r, err := NewStudy().CompareDemandResponse(TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeferralOnly <= 0.02 {
+		t.Errorf("deferral shaved only %.1f%%", r.DeferralOnly*100)
+	}
+	if r.WaxOnly <= 0.05 {
+		t.Errorf("wax shaved only %.1f%%", r.WaxOnly*100)
+	}
+	best := r.DeferralOnly
+	if r.WaxOnly > best {
+		best = r.WaxOnly
+	}
+	if r.Combined < best-0.005 {
+		t.Errorf("combined %.1f%% fell below the better single lever %.1f%%",
+			r.Combined*100, best*100)
+	}
+	if _, err := NewStudy().CompareDemandResponse(MachineClass(9)); err == nil {
+		t.Error("accepted unknown class")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dcsim"
+	"repro/internal/units"
+)
+
+// Work relocation. Section 5.2 names the alternatives a thermally
+// constrained datacenter has: "downclocking/DVFS or relocating work to
+// other datacenters". The constrained run already caps local throughput;
+// this experiment prices the capped work as relocated instead of lost —
+// served remotely at a premium (remote energy at peak rates plus WAN and
+// coordination overhead) — and shows what the wax saves in relocation
+// spend.
+
+// RelocationOptions prices the remote serving.
+type RelocationOptions struct {
+	// PremiumUSDPerServerHour is the extra cost of serving one server's
+	// worth of peak work remotely for an hour (remote energy at peak
+	// tariff, WAN transit, state movement). The Kontorinis-era estimate
+	// for a ~200 W server-hour at peak rates plus overhead is a few cents.
+	PremiumUSDPerServerHour float64
+}
+
+// DefaultRelocation prices remote serving at $0.05 per server-hour.
+func DefaultRelocation() RelocationOptions {
+	return RelocationOptions{PremiumUSDPerServerHour: 0.05}
+}
+
+// RelocationResult reports the relocation economics of the constrained
+// scenario.
+type RelocationResult struct {
+	Class MachineClass
+	// RelocatedNoWax and RelocatedWithWax are server-hours shipped away
+	// per day, without and with the wax.
+	RelocatedNoWax, RelocatedWithWax float64
+	// CostNoWaxUSD and CostWithWaxUSD are the daily relocation bills.
+	CostNoWaxUSD, CostWithWaxUSD float64
+	// AnnualSavingsUSD extrapolates the wax's relocation savings.
+	AnnualSavingsUSD float64
+}
+
+// RunRelocationStudy prices the thermally constrained scenario's capped
+// work as relocated.
+func (s *Study) RunRelocationStudy(m MachineClass, opts RelocationOptions) (*RelocationResult, error) {
+	if opts.PremiumUSDPerServerHour <= 0 {
+		return nil, errors.New("core: non-positive relocation premium")
+	}
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	sc := DefaultScenario(m)
+	meltC := sc.ConstrainedMeltC
+	if meltC == 0 {
+		meltC = cfg.Wax.DefaultMeltC
+	}
+	cluster, err := dcsim.NewCluster(cfg, meltC)
+	if err != nil {
+		return nil, err
+	}
+	limit := float64(cluster.N) * (cfg.PowerAt(0.95, 1) - sc.ConstrainedDeficitW)
+	run, err := cluster.RunConstrained(s.Trace, limit)
+	if err != nil {
+		return nil, err
+	}
+	days := run.Ideal.End() / units.Day
+	if days < 1 {
+		days = 1
+	}
+	// Capped work = ideal minus local throughput, in server-hours. The
+	// series are in units of servers-at-nominal.
+	serverHours := func(local []float64) float64 {
+		total := 0.0
+		for i, ideal := range run.Ideal.Values {
+			if d := ideal - local[i]; d > 0 {
+				total += d * run.Ideal.Step / units.Hour
+			}
+		}
+		return total / days
+	}
+	res := &RelocationResult{
+		Class:            m,
+		RelocatedNoWax:   serverHours(run.NoWax.Values),
+		RelocatedWithWax: serverHours(run.WithWax.Values),
+	}
+	res.CostNoWaxUSD = res.RelocatedNoWax * opts.PremiumUSDPerServerHour
+	res.CostWithWaxUSD = res.RelocatedWithWax * opts.PremiumUSDPerServerHour
+	res.AnnualSavingsUSD = (res.CostNoWaxUSD - res.CostWithWaxUSD) * 365
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ResultsBundle is the machine-readable summary of the whole reproduction:
+// every headline quantity of every experiment, with the paper's value
+// alongside for downstream tooling (plots, regression tracking).
+type ResultsBundle struct {
+	Validation struct {
+		SteadyMeanAbsDiffC   float64 `json:"steady_mean_abs_diff_c"`
+		PaperSteadyDiffC     float64 `json:"paper_steady_diff_c"`
+		HeatUpCorrelation    float64 `json:"heatup_correlation"`
+		MeltDepressionHours  float64 `json:"melt_depression_hours"`
+		FreezeElevationHours float64 `json:"freeze_elevation_hours"`
+	} `json:"validation"`
+
+	Machines []MachineResults `json:"machines"`
+}
+
+// MachineResults collects one machine class's numbers.
+type MachineResults struct {
+	Class string `json:"class"`
+
+	MeltC                float64 `json:"melt_c"`
+	MeltOnsetUtilization float64 `json:"melt_onset_utilization"`
+
+	PeakCoolingReduction      float64 `json:"peak_cooling_reduction"`
+	PaperPeakCoolingReduction float64 `json:"paper_peak_cooling_reduction"`
+	ResolidifyHours           float64 `json:"resolidify_hours"`
+	ExtraServers              int     `json:"extra_servers"`
+	PaperExtraServers         int     `json:"paper_extra_servers"`
+	CoolingSavingsUSDPerYear  float64 `json:"cooling_savings_usd_per_year"`
+	RetrofitSavingsUSDPerYear float64 `json:"retrofit_savings_usd_per_year"`
+
+	ThroughputGain         float64 `json:"throughput_gain"`
+	PaperThroughputGain    float64 `json:"paper_throughput_gain"`
+	DelayHours             float64 `json:"delay_hours"`
+	PaperDelayHours        float64 `json:"paper_delay_hours"`
+	TCOEfficiencyGain      float64 `json:"tco_efficiency_gain"`
+	PaperTCOEfficiencyGain float64 `json:"paper_tco_efficiency_gain"`
+}
+
+// paperNumbers carries the published values per class.
+var paperNumbers = map[MachineClass]struct {
+	reduction, gain, delay, eff float64
+	extra                       int
+}{
+	OneU:        {reduction: 0.089, gain: 0.33, delay: 5.1, eff: 0.23, extra: 4940},
+	TwoU:        {reduction: 0.12, gain: 0.69, delay: 3.1, eff: 0.39, extra: 2920},
+	OpenCompute: {reduction: 0.083, gain: 0.34, delay: 3.1, eff: 0.24, extra: 2770},
+}
+
+// CollectResults runs every experiment and assembles the bundle.
+func (s *Study) CollectResults() (*ResultsBundle, error) {
+	out := &ResultsBundle{}
+	v, err := s.RunValidation()
+	if err != nil {
+		return nil, err
+	}
+	out.Validation.SteadyMeanAbsDiffC = v.SteadyMeanAbsDiffC
+	out.Validation.PaperSteadyDiffC = 0.22
+	out.Validation.HeatUpCorrelation = v.HeatUpCorrelation
+	out.Validation.MeltDepressionHours = v.MeltDepressionHours
+	out.Validation.FreezeElevationHours = v.FreezeElevationHours
+
+	for _, m := range Classes {
+		cool, err := s.RunCoolingStudy(m)
+		if err != nil {
+			return nil, err
+		}
+		thr, err := s.RunThroughputStudy(m)
+		if err != nil {
+			return nil, err
+		}
+		p := paperNumbers[m]
+		out.Machines = append(out.Machines, MachineResults{
+			Class:                     m.String(),
+			MeltC:                     cool.MeltC,
+			MeltOnsetUtilization:      cool.MeltOnsetUtilization,
+			PeakCoolingReduction:      cool.Analysis.PeakReduction,
+			PaperPeakCoolingReduction: p.reduction,
+			ResolidifyHours:           cool.Analysis.ResolidifyHours,
+			ExtraServers:              cool.ExtraServers,
+			PaperExtraServers:         p.extra,
+			CoolingSavingsUSDPerYear:  cool.AnnualCoolingSavingsUSD,
+			RetrofitSavingsUSDPerYear: cool.RetrofitSavingsUSD,
+			ThroughputGain:            thr.PeakGain,
+			PaperThroughputGain:       p.gain,
+			DelayHours:                thr.DelayHours,
+			PaperDelayHours:           p.delay,
+			TCOEfficiencyGain:         thr.TCOEfficiencyImprovement,
+			PaperTCOEfficiencyGain:    p.eff,
+		})
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the bundle with indentation.
+func (b *ResultsBundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// CheckRow is one line of the self-check report.
+type CheckRow struct {
+	Name     string
+	Measured float64
+	Paper    float64
+	// OK means the measured value sits within the acceptance band
+	// (0.5x-2x of the paper, the repository's reproduction criterion).
+	OK bool
+}
+
+// SelfCheck compares every headline quantity in the bundle against its
+// paper value and flags anything outside the acceptance band. The CLI's
+// `-exp check` prints it; CI-style use would gate on AllOK.
+func (b *ResultsBundle) SelfCheck() (rows []CheckRow, allOK bool) {
+	allOK = true
+	add := func(name string, measured, paper float64) {
+		ok := paper > 0 && measured >= 0.5*paper && measured <= 2*paper
+		if !ok {
+			allOK = false
+		}
+		rows = append(rows, CheckRow{Name: name, Measured: measured, Paper: paper, OK: ok})
+	}
+	add("validation steady diff (degC)", b.Validation.SteadyMeanAbsDiffC, b.Validation.PaperSteadyDiffC)
+	for _, m := range b.Machines {
+		add(m.Class+" peak cooling reduction", m.PeakCoolingReduction, m.PaperPeakCoolingReduction)
+		add(m.Class+" extra servers", float64(m.ExtraServers), float64(m.PaperExtraServers))
+		add(m.Class+" throughput gain", m.ThroughputGain, m.PaperThroughputGain)
+		add(m.Class+" delay hours", m.DelayHours, m.PaperDelayHours)
+		add(m.Class+" TCO efficiency gain", m.TCOEfficiencyGain, m.PaperTCOEfficiencyGain)
+	}
+	return rows, allOK
+}

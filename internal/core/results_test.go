@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCollectResults(t *testing.T) {
+	s := NewStudy()
+	b, err := s.CollectResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Machines) != 3 {
+		t.Fatalf("machines = %d", len(b.Machines))
+	}
+	for _, m := range b.Machines {
+		if m.PeakCoolingReduction <= 0 || m.ThroughputGain <= 0 {
+			t.Errorf("%s: missing headline numbers: %+v", m.Class, m)
+		}
+		if m.PaperPeakCoolingReduction <= 0 || m.PaperThroughputGain <= 0 {
+			t.Errorf("%s: paper references missing", m.Class)
+		}
+		// Measured within 2x of the paper in both directions: the bundle is
+		// the regression-tracking surface, so pin the band here too.
+		if r := m.PeakCoolingReduction / m.PaperPeakCoolingReduction; r < 0.5 || r > 2 {
+			t.Errorf("%s: reduction drifted to %.2fx of the paper", m.Class, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ResultsBundle
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Machines) != 3 || back.Validation.PaperSteadyDiffC != 0.22 {
+		t.Error("JSON round trip lost fields")
+	}
+}
+
+func TestSelfCheckAllGreen(t *testing.T) {
+	s := NewStudy()
+	b, err := s.CollectResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, allOK := b.SelfCheck()
+	if len(rows) != 1+3*5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s: measured %v vs paper %v out of band", r.Name, r.Measured, r.Paper)
+		}
+	}
+	if !allOK {
+		t.Error("self-check not green")
+	}
+	// A cooked bundle fails.
+	b.Machines[0].PeakCoolingReduction = 0
+	if _, ok := b.SelfCheck(); ok {
+		t.Error("self-check passed a zeroed result")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestRelocationStudy(t *testing.T) {
+	s := NewStudy()
+	for _, m := range Classes {
+		r, err := s.RunRelocationStudy(m, DefaultRelocation())
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if r.RelocatedNoWax <= 0 {
+			t.Errorf("%v: constrained cluster relocated nothing without wax", m)
+		}
+		if r.RelocatedWithWax >= r.RelocatedNoWax {
+			t.Errorf("%v: wax did not cut relocation (%v vs %v server-hours/day)",
+				m, r.RelocatedWithWax, r.RelocatedNoWax)
+		}
+		if r.AnnualSavingsUSD <= 0 {
+			t.Errorf("%v: no relocation savings", m)
+		}
+		// Order of magnitude: a 1008-server cluster relocating part of a
+		// few-hour peak is hundreds to thousands of server-hours per day.
+		if r.RelocatedNoWax < 100 || r.RelocatedNoWax > 2e4 {
+			t.Errorf("%v: relocated %v server-hours/day looks implausible", m, r.RelocatedNoWax)
+		}
+	}
+}
+
+func TestRelocationValidation(t *testing.T) {
+	s := NewStudy()
+	if _, err := s.RunRelocationStudy(OneU, RelocationOptions{}); err == nil {
+		t.Error("accepted zero premium")
+	}
+	if _, err := s.RunRelocationStudy(MachineClass(9), DefaultRelocation()); err == nil {
+		t.Error("accepted unknown class")
+	}
+}
+
+func TestVariationStudyRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo over many ROM derivations")
+	}
+	s := NewStudy()
+	opts := DefaultVariation()
+	opts.Runs = 5 // keep the suite quick
+	r, err := s.RunVariationStudy(TwoU, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NominalReduction <= 0.05 {
+		t.Fatalf("nominal reduction %v", r.NominalReduction)
+	}
+	// A 10% conductance / 0.5 K blend spread must not gut the shave: mean
+	// within 3 pp and the worst run still clearly positive.
+	if r.MeanReduction < r.NominalReduction-0.03 {
+		t.Errorf("mean reduction %.1f%% vs nominal %.1f%% — too fragile",
+			r.MeanReduction*100, r.NominalReduction*100)
+	}
+	if r.WorstReduction < r.NominalReduction/2 {
+		t.Errorf("worst run %.1f%% vs nominal %.1f%%", r.WorstReduction*100, r.NominalReduction*100)
+	}
+	if r.StdReduction < 0 || r.StdReduction > 0.05 {
+		t.Errorf("reduction std %.2f pp out of band", r.StdReduction*100)
+	}
+}
+
+func TestVariationValidation(t *testing.T) {
+	s := NewStudy()
+	bad := DefaultVariation()
+	bad.Groups = 0
+	if _, err := s.RunVariationStudy(OneU, bad); err == nil {
+		t.Error("accepted zero groups")
+	}
+	bad = DefaultVariation()
+	bad.HASigma = -1
+	if _, err := s.RunVariationStudy(OneU, bad); err == nil {
+		t.Error("accepted negative sigma")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dcsim"
+	"repro/internal/server"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// The paper observes that "peak load reduction and savings correlate to
+// the quantity of wax: the more wax that is added to a server, the
+// greater the potential savings". This sweep quantifies that curve — and
+// its limit, since more boxes eventually means unacceptable blockage.
+
+// WaxSweepPoint is one point of the quantity sensitivity study.
+type WaxSweepPoint struct {
+	// Multiplier scales the machine's box count.
+	Multiplier float64
+	// WaxLiters is the resulting per-server fill.
+	WaxLiters float64
+	// PeakReduction is the cluster cooling-load result.
+	PeakReduction float64
+}
+
+// WaxQuantitySweep reruns the Figure 11 experiment with the server's box
+// count scaled by each multiplier (minimum one box), re-optimizing the
+// melting temperature for each quantity — more surface area melts earlier,
+// so the best wax shifts warmer as the fill grows. Blockage is held at the
+// configured value: the paper's designs already use the available free
+// volume, so the sweep reads as "what if the chassis had room for more".
+func (s *Study) WaxQuantitySweep(m MachineClass, multipliers []float64) ([]WaxSweepPoint, error) {
+	base := m.Config()
+	if base == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	baseCluster, err := dcsim.NewCluster(base, base.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := baseCluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	basePeak, _ := baseline.CoolingLoadW.Peak()
+
+	ms := append([]float64(nil), multipliers...)
+	sort.Float64s(ms)
+	out := make([]WaxSweepPoint, 0, len(ms))
+	for _, mult := range ms {
+		if mult <= 0 {
+			return nil, fmt.Errorf("core: non-positive wax multiplier %v", mult)
+		}
+		cfg := scaleWax(m.Config(), mult)
+		opt, err := OptimizeMeltingTemperature(cfg, s.Trace)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := cfg.Wax.Enclosure(opt.MeltC)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WaxSweepPoint{
+			Multiplier:    mult,
+			WaxLiters:     enc.WaxVolume(),
+			PeakReduction: 1 - opt.PeakCoolingW/basePeak,
+		})
+	}
+	return out, nil
+}
+
+// scaleWax returns a copy of the config with the box count scaled
+// (minimum one box).
+func scaleWax(cfg *server.Config, mult float64) *server.Config {
+	count := int(float64(cfg.Wax.Count)*mult + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	cfg.Wax.Count = count
+	return cfg
+}
+
+// SharpnessPoint is one point of the peak-width sensitivity study.
+type SharpnessPoint struct {
+	// Sharpness is the trace peak-width multiplier (>1 = narrower peak).
+	Sharpness float64
+	// PeakHoursAbove88 is the resulting time per day above 88% of peak.
+	PeakHoursAbove88 float64
+	// PeakReduction is the 2U cluster's cooling result on that trace.
+	PeakReduction float64
+}
+
+// TraceSharpnessSweep quantifies how the wax payoff depends on the peak
+// width — the main free parameter of the synthetic trace and the main
+// suspected source of reproduction deltas. Narrow peaks concentrate the
+// overflow energy, so a fixed wax fill caps a larger fraction of the peak.
+func (s *Study) TraceSharpnessSweep(m MachineClass, sharpness []float64) ([]SharpnessPoint, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	out := make([]SharpnessPoint, 0, len(sharpness))
+	for _, sh := range sharpness {
+		opts := workload.DefaultOptions()
+		opts.PeakSharpness = sh
+		tr, err := workload.Generate(opts)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := OptimizeMeltingTemperature(cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		p, _ := tr.Total.Peak()
+		out = append(out, SharpnessPoint{
+			Sharpness:        sh,
+			PeakHoursAbove88: tr.Total.TimeAbove(0.88*p) / float64(opts.Days) / units.Hour,
+			PeakReduction:    opt.PeakReduction,
+		})
+	}
+	return out, nil
+}
+
+// LifetimeResult reports how the peak shave ages as the wax cycles daily.
+type LifetimeResult struct {
+	Class MachineClass
+	// Years and Retention: the deployment length and the latent capacity
+	// remaining after its daily melt/freeze cycles.
+	Years     float64
+	Retention float64
+	// FreshReduction and AgedReduction compare day-one wax against
+	// end-of-life wax.
+	FreshReduction, AgedReduction float64
+}
+
+// RunLifetimeStudy reruns the cooling experiment with the wax's heat of
+// fusion faded by its cycling degradation (Table 1's stability column made
+// quantitative): the check that the paper's 4-year server life is safe for
+// commercial paraffin.
+func (s *Study) RunLifetimeStudy(m MachineClass, years float64) (*LifetimeResult, error) {
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	if years <= 0 {
+		return nil, fmt.Errorf("core: non-positive deployment length %v", years)
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	basePeak, _ := base.CoolingLoadW.Peak()
+	fresh, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	freshPeak, _ := fresh.CoolingLoadW.Peak()
+
+	lt, err := cluster.ROM.Enclosure.Material.DeploymentLifetime(years)
+	if err != nil {
+		return nil, err
+	}
+	// Age the wax: the latent store fades; sensible behaviour is
+	// unchanged. A fresh cluster avoids cross-run state.
+	aged, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	aged.ROM.Enclosure.Material.HeatOfFusion *= lt.Retention
+	agedRun, err := aged.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	agedPeak, _ := agedRun.CoolingLoadW.Peak()
+
+	return &LifetimeResult{
+		Class:          m,
+		Years:          years,
+		Retention:      lt.Retention,
+		FreshReduction: 1 - freshPeak/basePeak,
+		AgedReduction:  1 - agedPeak/basePeak,
+	}, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dcsim"
+	"repro/internal/pcm"
+	"repro/internal/server"
+)
+
+// Manufacturing variation. The scale-out study assumes every server's wax
+// coupling is identical; real fleets spread: fan wear, box placement, and
+// wax blend tolerance jitter the convective conductance and the melting
+// point. This Monte Carlo splits the cluster into sub-groups with
+// perturbed parameters and measures how the peak shave degrades — the
+// robustness check an operator would want before buying 50 tons of wax.
+
+// VariationOptions configures the Monte Carlo.
+type VariationOptions struct {
+	// Groups is the number of perturbed sub-populations per run.
+	Groups int
+	// HASigma is the relative std of the wax conductance (e.g. 0.10).
+	HASigma float64
+	// MeltSigmaK is the absolute std of the melting point in kelvin.
+	MeltSigmaK float64
+	// Runs is the number of Monte Carlo repetitions.
+	Runs int
+	// Seed drives the perturbations.
+	Seed int64
+}
+
+// DefaultVariation returns a 10% conductance spread and half-kelvin blend
+// tolerance over 8 groups and 10 runs.
+func DefaultVariation() VariationOptions {
+	return VariationOptions{Groups: 8, HASigma: 0.10, MeltSigmaK: 0.5, Runs: 10, Seed: 99}
+}
+
+// VariationResult summarizes the Monte Carlo.
+type VariationResult struct {
+	Class MachineClass
+	// NominalReduction is the unperturbed peak reduction.
+	NominalReduction float64
+	// MeanReduction and StdReduction summarize the perturbed runs.
+	MeanReduction, StdReduction float64
+	// WorstReduction is the worst run observed.
+	WorstReduction float64
+}
+
+// RunVariationStudy executes the Monte Carlo for one machine class.
+func (s *Study) RunVariationStudy(m MachineClass, opts VariationOptions) (*VariationResult, error) {
+	if opts.Groups <= 0 || opts.Runs <= 0 {
+		return nil, errors.New("core: variation study needs positive groups and runs")
+	}
+	if opts.HASigma < 0 || opts.MeltSigmaK < 0 {
+		return nil, errors.New("core: negative variation sigmas")
+	}
+	cfg := m.Config()
+	if cfg == nil {
+		return nil, fmt.Errorf("core: unknown machine class %v", m)
+	}
+	cluster, err := dcsim.NewCluster(cfg, cfg.Wax.DefaultMeltC)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cluster.RunCoolingLoad(s.Trace, false)
+	if err != nil {
+		return nil, err
+	}
+	basePeak, _ := base.CoolingLoadW.Peak()
+	nominalRun, err := cluster.RunCoolingLoad(s.Trace, true)
+	if err != nil {
+		return nil, err
+	}
+	nominalPeak, _ := nominalRun.CoolingLoadW.Peak()
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rom := cluster.ROM
+	dt := s.Trace.Total.Step
+	reductions := make([]float64, 0, opts.Runs)
+	for run := 0; run < opts.Runs; run++ {
+		// Per group: jittered conductance and melting point.
+		states := make([]*pcm.State, opts.Groups)
+		has := make([]float64, opts.Groups)
+		roms := make([]*server.ROM, opts.Groups)
+		for g := range states {
+			ha := rom.HA * (1 + opts.HASigma*rng.NormFloat64())
+			if ha < rom.HA*0.3 {
+				ha = rom.HA * 0.3
+			}
+			meltC := rom.MeltingPointC() + opts.MeltSigmaK*rng.NormFloat64()
+			gromPtr, err := server.DeriveROM(cfg, clampMelt(meltC))
+			if err != nil {
+				return nil, err
+			}
+			roms[g] = gromPtr
+			has[g] = ha
+			if states[g], err = gromPtr.NewWaxState(); err != nil {
+				return nil, err
+			}
+		}
+		peak := 0.0
+		perGroup := float64(cluster.N) / float64(opts.Groups)
+		for i, u := range s.Trace.Total.Values {
+			_ = i
+			power := cfg.PowerAt(u, 1)
+			cool := 0.0
+			for g := range states {
+				q := states[g].ExchangeWithAir(roms[g].WakeAirC(u, 1), has[g], dt)
+				cool += (power - q/dt) * perGroup
+			}
+			if cool > peak {
+				peak = cool
+			}
+		}
+		reductions = append(reductions, 1-peak/basePeak)
+	}
+
+	res := &VariationResult{
+		Class:            m,
+		NominalReduction: 1 - nominalPeak/basePeak,
+		WorstReduction:   math.Inf(1),
+	}
+	for _, r := range reductions {
+		res.MeanReduction += r
+		if r < res.WorstReduction {
+			res.WorstReduction = r
+		}
+	}
+	res.MeanReduction /= float64(len(reductions))
+	for _, r := range reductions {
+		d := r - res.MeanReduction
+		res.StdReduction += d * d
+	}
+	res.StdReduction = math.Sqrt(res.StdReduction / float64(len(reductions)))
+	return res, nil
+}
+
+// clampMelt keeps a jittered melting point inside the purchasable range.
+func clampMelt(c float64) float64 {
+	if c < 40 {
+		return 40
+	}
+	if c > 60 {
+		return 60
+	}
+	return c
+}

@@ -1,0 +1,146 @@
+package dcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/pcm"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// CRAC-coupled constrained run. RunConstrained abstracts the
+// oversubscribed cooling system as a power ceiling; this file models it
+// physically: a CRAC plant of fixed capacity serving a room with thermal
+// mass. When the cluster's heat exceeds the plant, the room (and so every
+// server's inlet) warms; a thermostat downclocks the fleet when the inlet
+// crosses its limit and relocates work if even the floor frequency cannot
+// stop the excursion. The wax sits in the same loop: its wake temperature
+// rides the inlet, so it absorbs harder as the room heats. Agreement
+// between the two formulations is a test.
+
+// CRACOptions configures the plant and room.
+type CRACOptions struct {
+	// CapacityW is the heat removal the plant sustains.
+	CapacityW float64
+	// RoomCapacityJPerK is the room's thermal mass (air + structure).
+	RoomCapacityJPerK float64
+	// SetpointC is the supply (inlet) temperature when the plant keeps up.
+	SetpointC float64
+	// InletLimitC is the thermostat: above it the fleet downclocks.
+	InletLimitC float64
+}
+
+// Validate reports configuration errors.
+func (o CRACOptions) Validate() error {
+	switch {
+	case o.CapacityW <= 0:
+		return fmt.Errorf("dcsim: non-positive CRAC capacity %v", o.CapacityW)
+	case o.RoomCapacityJPerK <= 0:
+		return errors.New("dcsim: non-positive room capacity")
+	case o.InletLimitC <= o.SetpointC:
+		return fmt.Errorf("dcsim: inlet limit %v not above setpoint %v", o.InletLimitC, o.SetpointC)
+	}
+	return nil
+}
+
+// CRACRun is the outcome of the coupled run.
+type CRACRun struct {
+	// Ideal and Throughput are in servers-at-nominal units, as in
+	// ConstrainedRun.
+	Ideal, Throughput *timeseries.Series
+	// InletC traces the room supply temperature.
+	InletC *timeseries.Series
+	// WaxLiquid traces the melt state (zero series without wax).
+	WaxLiquid *timeseries.Series
+	// OnsetS is the first throttle time (NaN if never).
+	OnsetS float64
+}
+
+// RunConstrainedCRAC advances the coupled room+cluster system. withWax
+// selects the PCM retrofit.
+func (c *Cluster) RunConstrainedCRAC(tr *workload.Trace, opts CRACOptions, withWax bool) (*CRACRun, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Total.Len() == 0 {
+		return nil, errors.New("dcsim: empty trace")
+	}
+	if c.ROM == nil {
+		return nil, errors.New("dcsim: CRAC run requires a ROM")
+	}
+	n := tr.Total.Len()
+	dt := tr.Total.Step
+	out := &CRACRun{OnsetS: math.NaN()}
+	var err error
+	if out.Ideal, err = timeseries.New(tr.Total.Start, dt, n); err != nil {
+		return nil, err
+	}
+	out.Throughput = out.Ideal.Clone()
+	out.InletC = out.Ideal.Clone()
+	out.WaxLiquid = out.Ideal.Clone()
+
+	var wax *pcm.State
+	if withWax {
+		if wax, err = c.ROM.NewWaxState(); err != nil {
+			return nil, err
+		}
+	}
+
+	scale := float64(c.N)
+	perfDown := c.Cfg.Perf.RelativeThroughput(c.Cfg.Perf.DownclockGHz)
+	frDown := c.Cfg.Perf.DownclockGHz / c.Cfg.Perf.NominalGHz
+	inlet := opts.SetpointC
+	nominalInlet := c.Cfg.InletC
+
+	for i := 0; i < n; i++ {
+		u := tr.Total.Values[i]
+		t := tr.Total.TimeAt(i)
+		out.Ideal.Values[i] = u * scale
+
+		// Thermostat: full speed while the inlet is in bounds; floor
+		// frequency above the limit; shed work if the room still heats at
+		// the floor.
+		fr, perf := 1.0, 1.0
+		uServed := u
+		if inlet > opts.InletLimitC {
+			fr, perf = frDown, perfDown
+			if math.IsNaN(out.OnsetS) {
+				out.OnsetS = t
+			}
+			// Shed until the fleet heat (ignoring wax, which may be spent)
+			// fits the plant.
+			for uServed > 0 && c.Cfg.PowerAt(uServed, fr)*scale > opts.CapacityW {
+				uServed -= 0.01
+			}
+			if uServed < 0 {
+				uServed = 0
+			}
+		}
+
+		// The wax sees its wake temperature shifted by the room excursion
+		// (the network is linear in the inlet).
+		absorbW := 0.0
+		if wax != nil {
+			wake := c.ROM.WakeAirC(uServed, fr) + (inlet - nominalInlet)
+			absorbW = wax.ExchangeWithAir(wake, c.ROM.HA, dt) / dt * scale
+			out.WaxLiquid.Values[i] = wax.LiquidFraction()
+		}
+		heat := c.Cfg.PowerAt(uServed, fr)*scale - absorbW
+		removed := math.Min(heat, opts.CapacityW)
+		// Surplus plant capacity also pulls the room back toward the
+		// setpoint.
+		if heat < opts.CapacityW && inlet > opts.SetpointC {
+			removed = math.Min(opts.CapacityW, heat+(inlet-opts.SetpointC)*opts.RoomCapacityJPerK/(2*units.Hour))
+		}
+		inlet += (heat - removed) * dt / opts.RoomCapacityJPerK
+		if inlet < opts.SetpointC {
+			inlet = opts.SetpointC
+		}
+		out.InletC.Values[i] = inlet
+		out.Throughput.Values[i] = uServed * perf * scale
+	}
+	return out, nil
+}

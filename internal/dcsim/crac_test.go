@@ -1,0 +1,109 @@
+package dcsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func cracFor(cfg *server.Config, c *Cluster, deficitW float64) CRACOptions {
+	return CRACOptions{
+		CapacityW:         float64(c.N) * (cfg.PowerAt(0.95, 1) - deficitW),
+		RoomCapacityJPerK: 40e3 * float64(c.N), // ~room mass per server
+		SetpointC:         25,
+		InletLimitC:       32,
+	}
+}
+
+// The physically-coupled CRAC run tells the same story as the power-limit
+// abstraction: with wax the cluster rides the peak at full speed for hours
+// longer, and the peak throughput gain lands near the downclock penalty.
+func TestCRACRunAgreesWithLimitAbstraction(t *testing.T) {
+	cfg := server.TwoU()
+	c := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+	opts := cracFor(cfg, c, 55)
+
+	noWax, err := c.RunConstrainedCRAC(tr, opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWax, err := c.RunConstrainedCRAC(tr, opts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(noWax.OnsetS) {
+		t.Fatal("no-wax CRAC run never throttled")
+	}
+	// The wax defers the thermostat trip by hours.
+	if !math.IsNaN(withWax.OnsetS) {
+		if delay := (withWax.OnsetS - noWax.OnsetS) / units.Hour; delay < 1 {
+			t.Errorf("wax deferred the trip only %.1f h", delay)
+		}
+	}
+	// Peak throughput gain near the downclock penalty (the abstraction's
+	// +69%).
+	ceiling := 0.95 * float64(c.N) * cfg.Perf.RelativeThroughput(cfg.Perf.DownclockGHz)
+	pWax, _ := withWax.Throughput.Peak()
+	gain := pWax/ceiling - 1
+	if gain < 0.5 || gain > 0.8 {
+		t.Errorf("CRAC-coupled peak gain = %.0f%%, want near +69%%", gain*100)
+	}
+	// Throughput with wax dominates throughout.
+	for i := range noWax.Throughput.Values {
+		if withWax.Throughput.Values[i] < noWax.Throughput.Values[i]-1e-6 {
+			t.Fatalf("wax run below no-wax at sample %d", i)
+		}
+	}
+}
+
+// The room physics behave: the inlet never leaves [setpoint, limit+excursion
+// band], warms during the throttled peak, and recovers overnight.
+func TestCRACInletDynamics(t *testing.T) {
+	cfg := server.TwoU()
+	c := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+	opts := cracFor(cfg, c, 55)
+	run, err := c.RunConstrainedCRAC(tr, opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakInlet, _ := run.InletC.Peak()
+	if peakInlet <= opts.SetpointC+1 {
+		t.Error("inlet never rose: the scenario is not constrained")
+	}
+	if peakInlet > opts.InletLimitC+8 {
+		t.Errorf("inlet ran away to %.1f degC despite the thermostat", peakInlet)
+	}
+	// Overnight it returns to the setpoint.
+	if got := run.InletC.At(30 * units.Hour); got > opts.SetpointC+0.5 {
+		t.Errorf("inlet still %.1f degC at 6am", got)
+	}
+}
+
+func TestCRACValidation(t *testing.T) {
+	cfg := server.TwoU()
+	c := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+	bad := cracFor(cfg, c, 55)
+	bad.CapacityW = 0
+	if _, err := c.RunConstrainedCRAC(tr, bad, true); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	bad = cracFor(cfg, c, 55)
+	bad.InletLimitC = bad.SetpointC
+	if _, err := c.RunConstrainedCRAC(tr, bad, true); err == nil {
+		t.Error("accepted limit at setpoint")
+	}
+	bad = cracFor(cfg, c, 55)
+	bad.RoomCapacityJPerK = 0
+	if _, err := c.RunConstrainedCRAC(tr, bad, true); err == nil {
+		t.Error("accepted zero room mass")
+	}
+	if _, err := c.RunConstrainedCRAC(nil, cracFor(cfg, c, 55), true); err == nil {
+		t.Error("accepted nil trace")
+	}
+}

@@ -1,0 +1,567 @@
+package dcsim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/server"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func testCluster(t *testing.T, cfg *server.Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoolingRunBaselineTracksPower(t *testing.T) {
+	c := testCluster(t, server.OneU())
+	tr := workload.GoogleTwoDay()
+	run, err := c.RunCoolingLoad(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without wax, cooling load equals power everywhere.
+	for i := range run.PowerW.Values {
+		if run.PowerW.Values[i] != run.CoolingLoadW.Values[i] {
+			t.Fatal("baseline cooling load diverges from power")
+		}
+	}
+	// Cluster peak power: 1008 servers near 95% utilization.
+	peak, _ := run.PowerW.Peak()
+	want := 1008 * c.Cfg.PowerAt(0.95, 1)
+	if math.Abs(peak-want)/want > 0.01 {
+		t.Errorf("cluster peak %v, want ~%v", peak, want)
+	}
+}
+
+func TestCoolingRunWaxShavesPeak(t *testing.T) {
+	for _, cfg := range []*server.Config{server.OneU(), server.TwoU(), server.OpenCompute()} {
+		c := testCluster(t, cfg)
+		tr := workload.GoogleTwoDay()
+		base, err := c.RunCoolingLoad(tr, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wax, err := c.RunCoolingLoad(tr, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := base.CoolingLoadW.Peak()
+		pw, _ := wax.CoolingLoadW.Peak()
+		red := 1 - pw/pb
+		if red < 0.03 {
+			t.Errorf("%s: peak cooling reduction %.1f%%, want a material shave", cfg.Name, red*100)
+		}
+		if red > 0.25 {
+			t.Errorf("%s: peak cooling reduction %.1f%% implausibly large", cfg.Name, red*100)
+		}
+		if wax.AbsorbedJ <= 0 || wax.ReleasedJ <= 0 {
+			t.Errorf("%s: wax flows absorbed=%v released=%v", cfg.Name, wax.AbsorbedJ, wax.ReleasedJ)
+		}
+		// Over a cyclic trace the wax returns what it stores, within the
+		// residual stored heat at the trace end (the crust-limited release
+		// of day 2's charge is still in flight at midnight).
+		imbalance := math.Abs(wax.AbsorbedJ-wax.ReleasedJ) / wax.AbsorbedJ
+		if imbalance > 0.55 {
+			t.Errorf("%s: wax energy imbalance %.0f%%", cfg.Name, imbalance*100)
+		}
+		// The wax must melt substantially at peak and refreeze by the end
+		// of each night (the paper requires full resolidification within
+		// the 24 h cycle).
+		melt, _ := wax.WaxLiquid.Peak()
+		if melt < 0.5 {
+			t.Errorf("%s: wax only reached %.0f%% molten", cfg.Name, melt*100)
+		}
+		endOfNight := wax.WaxLiquid.At(30 * units.Hour) // 6am day 2
+		if endOfNight > 0.25 {
+			t.Errorf("%s: wax still %.0f%% molten at 6am day 2", cfg.Name, endOfNight*100)
+		}
+	}
+}
+
+func TestCoolingRunEnergyConservation(t *testing.T) {
+	// Integrated cooling load equals integrated power minus net wax
+	// storage change; over the full run the net change is the absorbed
+	// minus released energy.
+	c := testCluster(t, server.TwoU())
+	tr := workload.GoogleTwoDay()
+	wax, err := c.RunCoolingLoad(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerJ := wax.PowerW.Integral()
+	coolJ := wax.CoolingLoadW.Integral()
+	net := wax.AbsorbedJ - wax.ReleasedJ
+	if math.Abs(powerJ-coolJ-net) > 1e-6*powerJ+1e3 {
+		t.Errorf("energy books don't balance: power %v cool %v net wax %v", powerJ, coolJ, net)
+	}
+}
+
+func TestRunCoolingLoadValidation(t *testing.T) {
+	c := testCluster(t, server.OneU())
+	if _, err := c.RunCoolingLoad(nil, false); err == nil {
+		t.Error("accepted nil trace")
+	}
+	bad := &Cluster{Cfg: server.OneU(), N: 100}
+	if _, err := bad.RunCoolingLoad(workload.GoogleTwoDay(), true); err == nil {
+		t.Error("accepted wax run without ROM")
+	}
+}
+
+func TestConstrainedRunShapes(t *testing.T) {
+	cfg := server.TwoU()
+	c := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+	// Oversubscribe: limit the cluster 80 W per server below its peak
+	// heat output — deep enough that the wax eventually fills and the
+	// cluster must throttle (the Figure 12 regime).
+	limit := float64(c.N) * (cfg.PowerAt(0.95, 1) - 80)
+	run, err := c.RunConstrained(tr, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal >= WithWax >= NoWax everywhere.
+	for i := range run.Ideal.Values {
+		if run.WithWax.Values[i] > run.Ideal.Values[i]+1e-6 {
+			t.Fatal("with-wax throughput exceeds ideal")
+		}
+		if run.NoWax.Values[i] > run.WithWax.Values[i]+1e-6 {
+			t.Fatalf("no-wax throughput exceeds with-wax at sample %d", i)
+		}
+	}
+	// The wax bought hours of delay before throttling.
+	if math.IsNaN(run.OnsetNoWaxS) {
+		t.Fatal("no-wax variant never throttled in an oversubscribed datacenter")
+	}
+	if math.IsNaN(run.OnsetWithWaxS) {
+		t.Fatal("with-wax variant never throttled: limit too loose for the test")
+	}
+	if run.DelayHours < 1 {
+		t.Errorf("thermal-limit delay %.2f h, want hours of deferral", run.DelayHours)
+	}
+	// Peak throughput gain: the 2U recovers the full downclock penalty.
+	pNo, _ := run.NoWax.Peak()
+	pWax, _ := run.WithWax.Peak()
+	gain := pWax/pNo - 1
+	if gain < 0.3 {
+		t.Errorf("peak throughput gain %.0f%%, want a large recovery", gain*100)
+	}
+}
+
+func TestConstrainedRunValidation(t *testing.T) {
+	c := testCluster(t, server.OneU())
+	tr := workload.GoogleTwoDay()
+	if _, err := c.RunConstrained(tr, 0); err == nil {
+		t.Error("accepted zero limit")
+	}
+	if _, err := c.RunConstrained(nil, 1e6); err == nil {
+		t.Error("accepted nil trace")
+	}
+	noROM := &Cluster{Cfg: server.OneU(), N: 10}
+	if _, err := noROM.RunConstrained(tr, 1e6); err == nil {
+		t.Error("accepted run without ROM")
+	}
+}
+
+func TestConstrainedGenerousLimitNeverThrottles(t *testing.T) {
+	cfg := server.OneU()
+	c := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+	limit := float64(c.N) * cfg.PowerAt(1, 1) * 1.2
+	run, err := c.RunConstrained(tr, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(run.OnsetNoWaxS) {
+		t.Error("throttled despite generous cooling")
+	}
+	for i := range run.Ideal.Values {
+		if math.Abs(run.NoWax.Values[i]-run.Ideal.Values[i]) > 1e-9 {
+			t.Fatal("unconstrained throughput should equal ideal")
+		}
+	}
+}
+
+func TestEventEngineTracksTrace(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	opts := DefaultEventOptions()
+	res, err := RunEvents(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no jobs completed")
+	}
+	// Sampled utilization must track the driving trace closely.
+	resampled, err := res.Utilization.Resample(tr.Total.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tr.Total.Len()
+	if resampled.Len() < n {
+		n = resampled.Len()
+	}
+	rmse, err := numeric.RMSE(resampled.Values[:n], tr.Total.Values[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.06 {
+		t.Errorf("event-engine utilization RMSE vs trace = %v, want < 0.06", rmse)
+	}
+}
+
+func TestEventEngineRoundRobinBalances(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	res, err := RunEvents(tr, DefaultEventOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := numeric.Min(res.UtilPerServer)
+	hi, _ := numeric.Max(res.UtilPerServer)
+	if hi-lo > 0.03 {
+		t.Errorf("round-robin spread %v..%v too wide", lo, hi)
+	}
+	m := numeric.Mean(res.UtilPerServer)
+	if math.Abs(m-0.5) > 0.05 {
+		t.Errorf("mean per-server utilization %v, want ~0.50", m)
+	}
+}
+
+func TestEventEngineDeterministic(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	a, err := RunEvents(tr, DefaultEventOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEvents(tr, DefaultEventOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Dropped != b.Dropped {
+		t.Error("same seed produced different outcomes")
+	}
+}
+
+func TestEventEngineJobMix(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	res, err := RunEvents(tr, DefaultEventOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range workload.JobTypes {
+		if res.CompletedByType[j] == 0 {
+			t.Errorf("no %v jobs completed", j)
+		}
+	}
+	// Drops should be rare at 50% average load with queueing.
+	if frac := float64(res.Dropped) / float64(res.Completed+res.Dropped); frac > 0.01 {
+		t.Errorf("drop fraction %v, want <1%%", frac)
+	}
+}
+
+func TestEventEngineValidation(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	bad := DefaultEventOptions()
+	bad.Servers = 0
+	if _, err := RunEvents(tr, bad); err == nil {
+		t.Error("accepted zero servers")
+	}
+	bad = DefaultEventOptions()
+	bad.MeanServiceS = 0
+	if _, err := RunEvents(tr, bad); err == nil {
+		t.Error("accepted zero service time")
+	}
+	if _, err := RunEvents(nil, DefaultEventOptions()); err == nil {
+		t.Error("accepted nil trace")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := newSeededRand(42)
+	for _, mean := range []float64{0.5, 5, 40, 200} {
+		n := 4000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean) > 4*math.Sqrt(mean/float64(n))+0.6 {
+			t.Errorf("poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+// newSeededRand builds the same PRNG the engine uses.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Integration: over a full week (with a weekend dip) the wax completes a
+// clean melt/freeze cycle every single day — the sustainability property
+// the paper's 24-hour-resolidification requirement protects.
+func TestWeekLongWaxCyclesDaily(t *testing.T) {
+	opts := workload.DefaultOptions()
+	opts.Days = 7
+	opts.WeekendDamping = 0.25
+	tr, err := workload.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t, server.TwoU())
+	run, err := c.RunCoolingLoad(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 7; day++ {
+		// Melted substantially by each midday peak window...
+		peakLiq := 0.0
+		for h := 11.0; h <= 16; h += 0.5 {
+			if v := run.WaxLiquid.At((float64(day)*24 + h) * units.Hour); v > peakLiq {
+				peakLiq = v
+			}
+		}
+		// ...except the damped weekend, where partial melting is expected.
+		wantMelt := 0.5
+		if day >= 5 {
+			wantMelt = 0.05
+		}
+		if peakLiq < wantMelt {
+			t.Errorf("day %d: wax only reached %.0f%% molten", day, peakLiq*100)
+		}
+		// And solid again by the following pre-dawn.
+		morning := run.WaxLiquid.At((float64(day)*24 + 29) * units.Hour)
+		if morning > 0.1 {
+			t.Errorf("day %d: wax still %.0f%% molten next morning", day, morning*100)
+		}
+	}
+}
+
+func TestEventEngineRackAggregation(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	opts := DefaultEventOptions() // 40 servers, 20 per rack
+	res, err := RunEvents(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UtilPerRack) != 2 {
+		t.Fatalf("racks = %d, want 2", len(res.UtilPerRack))
+	}
+	// Rack utilizations are the means of their members.
+	for r := 0; r < 2; r++ {
+		sum := 0.0
+		for i := r * 20; i < (r+1)*20; i++ {
+			sum += res.UtilPerServer[i]
+		}
+		want := sum / 20
+		if math.Abs(res.UtilPerRack[r]-want) > 1e-12 {
+			t.Errorf("rack %d util %v, want %v", r, res.UtilPerRack[r], want)
+		}
+	}
+	// Zero ServersPerRack: one big rack.
+	opts.ServersPerRack = 0
+	res, err = RunEvents(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UtilPerRack) != 1 {
+		t.Errorf("default rack grouping = %d racks, want 1", len(res.UtilPerRack))
+	}
+}
+
+func TestLeastLoadedBalancerDropsNoMore(t *testing.T) {
+	// The ablation: least-loaded placement never drops more jobs than
+	// round-robin on the same arrival sequence, and balances at least as
+	// tightly.
+	tr := workload.GoogleTwoDay()
+	rrOpts := DefaultEventOptions()
+	llOpts := DefaultEventOptions()
+	llOpts.Balancer = LeastLoaded
+	rr, err := RunEvents(tr, rrOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := RunEvents(tr, llOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Dropped > rr.Dropped {
+		t.Errorf("least-loaded dropped %d vs round-robin %d", ll.Dropped, rr.Dropped)
+	}
+	spread := func(r *EventResult) float64 {
+		lo, _ := numeric.Min(r.UtilPerServer)
+		hi, _ := numeric.Max(r.UtilPerServer)
+		return hi - lo
+	}
+	if spread(ll) > spread(rr)+0.01 {
+		t.Errorf("least-loaded spread %v worse than round-robin %v", spread(ll), spread(rr))
+	}
+}
+
+// The paper's Figure 9 progression: the production Open Compute blade fits
+// only 0.5 l of wax (replacing the stock air inhibitors); the reconfigured
+// blade (CPUs and SSDs swapped, HDDs replaced) fits 1.5 l. Three times the
+// wax must buy a clearly larger peak shave.
+func TestOpenComputeReconfigurationPaysOff(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	prod := testCluster(t, server.OpenComputeProduction())
+	reconf := testCluster(t, server.OpenCompute())
+
+	base, err := prod.RunCoolingLoad(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := base.CoolingLoadW.Peak()
+	reduction := func(c *Cluster) float64 {
+		run, err := c.RunCoolingLoad(tr, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := run.CoolingLoadW.Peak()
+		return 1 - p/pb
+	}
+	rProd := reduction(prod)
+	rReconf := reduction(reconf)
+	if rProd <= 0 {
+		t.Errorf("production blade wax shaved nothing (%.1f%%)", rProd*100)
+	}
+	if rReconf < rProd*1.5 {
+		t.Errorf("reconfigured blade (%.1f%%) should clearly beat production (%.1f%%)",
+			rReconf*100, rProd*100)
+	}
+}
+
+// The event-level thermal run (one wax state per simulated server, driven
+// by noisy discrete utilizations) must agree with the fluid engine's
+// per-server cooling outcome — the justification for extrapolating the
+// fluid model to cluster scale.
+func TestEventThermalAgreesWithFluid(t *testing.T) {
+	cfg := server.TwoU()
+	cluster := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+
+	fluidBase, err := cluster.RunCoolingLoad(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluidWax, err := cluster.RunCoolingLoad(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := fluidBase.CoolingLoadW.Peak()
+	fw, _ := fluidWax.CoolingLoadW.Peak()
+	fluidRed := 1 - fw/fb
+
+	opts := DefaultEventOptions()
+	opts.Servers = 24
+	evBase, err := RunEventsWithThermal(tr, opts, cluster.ROM, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evWax, err := RunEventsWithThermal(tr, opts, cluster.ROM, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, _ := evBase.CoolingLoadW.Peak()
+	ew, _ := evWax.CoolingLoadW.Peak()
+	eventRed := 1 - ew/eb
+
+	// Same story within a few points despite Poisson noise on a small
+	// group.
+	if math.Abs(eventRed-fluidRed) > 0.05 {
+		t.Errorf("event reduction %.1f%% vs fluid %.1f%%", eventRed*100, fluidRed*100)
+	}
+	// Wax melts and refreezes at the event level too.
+	peakLiq, _ := evWax.WaxLiquid.Peak()
+	if peakLiq < 0.5 {
+		t.Errorf("event-level wax only %.0f%% molten at peak", peakLiq*100)
+	}
+	if evWax.WaxLiquid.At(30*units.Hour) > 0.25 {
+		t.Error("event-level wax failed to refreeze overnight")
+	}
+	// Per-server power sums consistently: baseline cooling equals power.
+	for i := range evBase.CoolingLoadW.Values {
+		if evBase.CoolingLoadW.Values[i] != evBase.PowerW.Values[i] {
+			t.Fatal("baseline event cooling diverged from power")
+		}
+	}
+}
+
+func TestRunEventsWithThermalValidation(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	if _, err := RunEventsWithThermal(tr, DefaultEventOptions(), nil, true); err == nil {
+		t.Error("accepted nil ROM")
+	}
+}
+
+// End-to-end: a trace written to CSV, re-read, and fed to the event engine
+// behaves identically to the original (the measured-trace ingestion path).
+func TestCSVTraceDrivesEventEngine(t *testing.T) {
+	orig := workload.GoogleTwoDay()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := workload.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultEventOptions()
+	opts.Servers = 10
+	a, err := RunEvents(orig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEvents(back, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Dropped != b.Dropped {
+		t.Errorf("CSV round-trip changed the simulation: %d/%d vs %d/%d",
+			a.Completed, a.Dropped, b.Completed, b.Dropped)
+	}
+}
+
+// Tail latency: at the trace's 50% average load the median job sees almost
+// no queueing, while the p99 carries a visible tail; saturating the group
+// inflates the tail dramatically (the latency cost thermal management
+// trades against).
+func TestEventEngineTailLatency(t *testing.T) {
+	tr := workload.GoogleTwoDay()
+	res, err := RunEvents(tr, DefaultEventOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SojournP50S < 1 || res.SojournP50S > 1.5 {
+		t.Errorf("median slowdown = %v, want ~1 (little queueing at 50%% load)", res.SojournP50S)
+	}
+	if res.SojournP99S < res.SojournP95S || res.SojournP95S < res.SojournP50S {
+		t.Error("latency percentiles not ordered")
+	}
+
+	// A near-saturation flat trace: the tail blows up.
+	opts := workload.DefaultOptions()
+	opts.Days = 1
+	opts.MeanUtil = 0.93
+	opts.PeakUtil = 0.99
+	hot, err := workload.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotRes, err := RunEvents(hot, DefaultEventOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotRes.SojournP99S < 2*res.SojournP99S {
+		t.Errorf("saturated p99 slowdown %v not clearly above nominal %v",
+			hotRes.SojournP99S, res.SojournP99S)
+	}
+}

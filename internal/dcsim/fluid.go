@@ -1,0 +1,283 @@
+// Package dcsim is the datacenter simulator of the study: a reproduction
+// of DCSim (Kontorinis et al.), the event-based traffic simulator that
+// "models job arrival, load balancing, and work completion ... at the
+// server, rack, and cluster levels, then extrapolates the cluster model
+// out for the whole datacenter", extended with the PCM thermal time
+// shifting state machine.
+//
+// Two engines are provided. The event engine (events.go) simulates
+// individual jobs over a rack-scale group of servers with round-robin load
+// balancing; under round-robin the per-server utilizations are
+// statistically identical, so the cluster-scale experiments run on the
+// fluid engine (this file): one representative server's power and wax
+// state advanced along the utilization trace and multiplied out — exactly
+// the extrapolation step DCSim performs. Tests verify the two engines
+// agree.
+package dcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pcm"
+	"repro/internal/server"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Cluster binds a server configuration (and optionally its wax ROM) to a
+// population size.
+type Cluster struct {
+	Cfg *server.Config
+	// ROM carries the wax melting characteristics; required for wax runs.
+	ROM *server.ROM
+	// N is the cluster population (the paper uses 1008).
+	N int
+}
+
+// NewCluster builds a cluster, deriving the ROM at the given melting
+// temperature (0 = config default).
+func NewCluster(cfg *server.Config, meltC float64) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rom, err := server.DeriveROM(cfg, meltC)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Cfg: cfg, ROM: rom, N: cfg.ClusterSize}, nil
+}
+
+// CoolingRun is the outcome of a fully-subscribed cooling-load simulation
+// (the Figure 11 experiment).
+type CoolingRun struct {
+	// PowerW is the cluster electrical draw (= raw heat generation), W.
+	PowerW *timeseries.Series
+	// CoolingLoadW is the heat the cooling system must remove: power minus
+	// wax absorption plus wax release.
+	CoolingLoadW *timeseries.Series
+	// WaxLiquid is the average liquid fraction across the cluster.
+	WaxLiquid *timeseries.Series
+	// AbsorbedJ and ReleasedJ total the wax energy flows over the run.
+	AbsorbedJ, ReleasedJ float64
+}
+
+// RunCoolingLoad advances the cluster along the trace with the cooling
+// system fully subscribed (no thermal limit). withWax selects whether the
+// servers carry their PCM retrofit.
+func (c *Cluster) RunCoolingLoad(tr *workload.Trace, withWax bool) (*CoolingRun, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("dcsim: cluster population %d", c.N)
+	}
+	if tr == nil || tr.Total.Len() == 0 {
+		return nil, errors.New("dcsim: empty trace")
+	}
+	if withWax && c.ROM == nil {
+		return nil, errors.New("dcsim: wax run requires a ROM")
+	}
+	n := tr.Total.Len()
+	dt := tr.Total.Step
+	run := &CoolingRun{}
+	var err error
+	if run.PowerW, err = timeseries.New(tr.Total.Start, dt, n); err != nil {
+		return nil, err
+	}
+	run.CoolingLoadW = run.PowerW.Clone()
+	run.WaxLiquid = run.PowerW.Clone()
+
+	var wax *pcm.State
+	if withWax {
+		if wax, err = c.ROM.NewWaxState(); err != nil {
+			return nil, err
+		}
+	}
+	scale := float64(c.N)
+	for i := 0; i < n; i++ {
+		u := tr.Total.Values[i]
+		power := c.Cfg.PowerAt(u, 1)
+		coolingPerServer := power
+		if wax != nil {
+			wake := c.ROM.WakeAirC(u, 1)
+			q := wax.ExchangeWithAir(wake, c.ROM.HA, dt) // J absorbed from air
+			coolingPerServer = power - q/dt
+			if q > 0 {
+				run.AbsorbedJ += q * scale
+			} else {
+				run.ReleasedJ -= q * scale
+			}
+			run.WaxLiquid.Values[i] = wax.LiquidFraction()
+		}
+		run.PowerW.Values[i] = power * scale
+		run.CoolingLoadW.Values[i] = coolingPerServer * scale
+	}
+	return run, nil
+}
+
+// ConstrainedRun is the outcome of the thermally constrained (Figure 12)
+// experiment. Throughput series are in absolute units of
+// servers x relative-throughput (1.0 = one server at nominal frequency and
+// full utilization); the harness normalizes them for presentation.
+type ConstrainedRun struct {
+	Ideal, NoWax, WithWax *timeseries.Series
+	// OnsetNoWaxS and OnsetWithWaxS are the first times each variant had
+	// to throttle (NaN if never).
+	OnsetNoWaxS, OnsetWithWaxS float64
+	// DelayHours is how much longer the wax variant held full speed.
+	DelayHours float64
+	// WaxLiquid tracks the melt state of the wax variant.
+	WaxLiquid *timeseries.Series
+}
+
+// variantState drives one policy (with or without wax) along the trace.
+type variantState struct {
+	cfg   *server.Config
+	rom   *server.ROM
+	wax   *pcm.State
+	onset float64 // NaN until first throttle
+}
+
+// ConstrainedOptions tunes the thermally constrained run.
+type ConstrainedOptions struct {
+	// LimitW is the cluster cooling limit.
+	LimitW float64
+	// DVFSLadderGHz lists intermediate frequencies between the floor and
+	// nominal (exclusive). Empty reproduces the paper's binary
+	// nominal-or-1.6GHz policy; a ladder lets the controller throttle
+	// just enough (the DESIGN.md ablation).
+	DVFSLadderGHz []float64
+}
+
+// RunConstrained advances the cluster against a cooling limit (W for the
+// whole cluster). The controller mirrors the paper's oversubscribed
+// datacenter: run at nominal clocks while the room heat stays under the
+// limit (the wax absorbing the overflow while it can); once the wax is
+// spent, downclock to the DVFS floor, and if even that exceeds the limit,
+// relocate work away (cap utilization) until the limit holds.
+func (c *Cluster) RunConstrained(tr *workload.Trace, limitW float64) (*ConstrainedRun, error) {
+	return c.RunConstrainedOpts(tr, ConstrainedOptions{LimitW: limitW})
+}
+
+// RunConstrainedOpts is RunConstrained with an optional DVFS ladder.
+func (c *Cluster) RunConstrainedOpts(tr *workload.Trace, opts ConstrainedOptions) (*ConstrainedRun, error) {
+	limitW := opts.LimitW
+	if limitW <= 0 {
+		return nil, fmt.Errorf("dcsim: non-positive thermal limit %v", limitW)
+	}
+	if tr == nil || tr.Total.Len() == 0 {
+		return nil, errors.New("dcsim: empty trace")
+	}
+	if c.ROM == nil {
+		return nil, errors.New("dcsim: constrained run requires a ROM")
+	}
+	n := tr.Total.Len()
+	dt := tr.Total.Step
+	out := &ConstrainedRun{
+		OnsetNoWaxS:   math.NaN(),
+		OnsetWithWaxS: math.NaN(),
+	}
+	var err error
+	if out.Ideal, err = timeseries.New(tr.Total.Start, dt, n); err != nil {
+		return nil, err
+	}
+	out.NoWax = out.Ideal.Clone()
+	out.WithWax = out.Ideal.Clone()
+	out.WaxLiquid = out.Ideal.Clone()
+
+	waxState, err := c.ROM.NewWaxState()
+	if err != nil {
+		return nil, err
+	}
+	noWax := &variantState{cfg: c.Cfg, rom: c.ROM, onset: math.NaN()}
+	withWax := &variantState{cfg: c.Cfg, rom: c.ROM, wax: waxState, onset: math.NaN()}
+
+	scale := float64(c.N)
+	perfDown := c.Cfg.Perf.RelativeThroughput(c.Cfg.Perf.DownclockGHz)
+	frDown := c.Cfg.Perf.DownclockGHz / c.Cfg.Perf.NominalGHz
+	limitPerServer := limitW / scale
+
+	// DVFS steps tried in descending order; the paper's policy is the
+	// two-point ladder {nominal, floor}.
+	ladder := []float64{c.Cfg.Perf.NominalGHz}
+	for _, f := range opts.DVFSLadderGHz {
+		if f > c.Cfg.Perf.DownclockGHz && f < c.Cfg.Perf.NominalGHz {
+			ladder = append(ladder, f)
+		}
+	}
+	ladder = append(ladder, c.Cfg.Perf.DownclockGHz)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ladder)))
+
+	step := func(v *variantState, u, t float64) float64 {
+		// Estimated wax absorption rate (W) at a candidate operating
+		// point; the actual exchange is committed once the point is
+		// chosen. Release (a negative rate) is clamped to zero here: the
+		// slow bleed-back from molten wax during throttled operation is a
+		// second-order effect on the limit check.
+		estimate := func(uu, fr float64) float64 {
+			if v.wax == nil {
+				return 0
+			}
+			wake := v.rom.WakeAirC(uu, fr)
+			rate := v.rom.HA * (wake - v.wax.Temperature())
+			if rate <= 0 {
+				return 0
+			}
+			return rate
+		}
+		commit := func(uu, fr float64) {
+			if v.wax == nil {
+				return
+			}
+			v.wax.ExchangeWithAir(v.rom.WakeAirC(uu, fr), v.rom.HA, dt)
+		}
+		throttled := func() {
+			if math.IsNaN(v.onset) {
+				v.onset = t
+			}
+		}
+
+		// Walk the DVFS ladder from nominal downward; the first step that
+		// fits wins.
+		for step, fGHz := range ladder {
+			fr := v.cfg.Perf.FrequencyRatio(fGHz)
+			if v.cfg.PowerAt(u, fr)-estimate(u, fr) <= limitPerServer {
+				if step > 0 {
+					throttled()
+				}
+				commit(u, fr)
+				return u * v.cfg.Perf.RelativeThroughput(fGHz)
+			}
+		}
+		// Relocate work: bisect the utilization that fits under the limit
+		// at the floor frequency.
+		throttled()
+		lo, hi := 0.0, u
+		for i := 0; i < 40; i++ {
+			mid := (lo + hi) / 2
+			if v.cfg.PowerAt(mid, frDown)-estimate(mid, frDown) <= limitPerServer {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		commit(lo, frDown)
+		return lo * perfDown
+	}
+
+	for i := 0; i < n; i++ {
+		u := tr.Total.Values[i]
+		t := tr.Total.TimeAt(i)
+		out.Ideal.Values[i] = u * scale
+		out.NoWax.Values[i] = step(noWax, u, t) * scale
+		out.WithWax.Values[i] = step(withWax, u, t) * scale
+		out.WaxLiquid.Values[i] = waxState.LiquidFraction()
+	}
+	out.OnsetNoWaxS = noWax.onset
+	out.OnsetWithWaxS = withWax.onset
+	if !math.IsNaN(noWax.onset) && !math.IsNaN(withWax.onset) {
+		out.DelayHours = (withWax.onset - noWax.onset) / units.Hour
+	}
+	return out, nil
+}

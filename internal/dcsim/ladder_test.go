@@ -1,0 +1,60 @@
+package dcsim
+
+import (
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// The DVFS-ladder ablation: intermediate frequency steps let the
+// controller throttle just enough, so cluster throughput under a limit is
+// at least the binary policy's and usually better.
+func TestDVFSLadderDominatesBinary(t *testing.T) {
+	cfg := server.TwoU()
+	c := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+	limit := float64(c.N) * (cfg.PowerAt(0.95, 1) - 80)
+
+	binary, err := c.RunConstrained(tr, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := c.RunConstrainedOpts(tr, ConstrainedOptions{
+		LimitW:        limit,
+		DVFSLadderGHz: []float64{1.8, 2.0, 2.2, 2.4, 2.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var binJ, ladJ float64
+	for i := range binary.NoWax.Values {
+		binJ += binary.NoWax.Values[i]
+		ladJ += ladder.NoWax.Values[i]
+		if ladder.NoWax.Values[i] < binary.NoWax.Values[i]-1e-6 {
+			t.Fatalf("ladder below binary at sample %d", i)
+		}
+	}
+	if ladJ <= binJ {
+		t.Errorf("ladder total throughput %v should exceed binary %v", ladJ, binJ)
+	}
+}
+
+func TestDVFSLadderIgnoresOutOfRangeSteps(t *testing.T) {
+	cfg := server.OneU()
+	c := testCluster(t, cfg)
+	tr := workload.GoogleTwoDay()
+	limit := float64(c.N) * cfg.PowerAt(1, 1) * 2 // never binds
+	run, err := c.RunConstrainedOpts(tr, ConstrainedOptions{
+		LimitW:        limit,
+		DVFSLadderGHz: []float64{0.5, 9.9}, // both outside (floor, nominal)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run.Ideal.Values {
+		if run.NoWax.Values[i] != run.Ideal.Values[i] {
+			t.Fatal("unconstrained ladder run should match ideal")
+		}
+	}
+}

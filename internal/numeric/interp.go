@@ -1,0 +1,90 @@
+package numeric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interpolator performs piecewise-linear interpolation over a strictly
+// increasing grid of x values. Evaluation outside the grid clamps to the
+// end values (flat extrapolation), which is the safe behaviour for
+// physical lookup tables such as fan curves and enthalpy curves.
+type Interpolator struct {
+	xs, ys []float64
+}
+
+// NewInterpolator builds an Interpolator from parallel slices. xs must be
+// strictly increasing and the slices must have equal length >= 2.
+func NewInterpolator(xs, ys []float64) (*Interpolator, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("numeric: interpolator length mismatch %d != %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("numeric: interpolator needs >= 2 points, got %d", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("numeric: interpolator grid not strictly increasing at index %d (%v <= %v)", i, xs[i], xs[i-1])
+		}
+	}
+	in := &Interpolator{xs: make([]float64, len(xs)), ys: make([]float64, len(ys))}
+	copy(in.xs, xs)
+	copy(in.ys, ys)
+	return in, nil
+}
+
+// MustInterpolator is NewInterpolator but panics on error; intended for
+// static tables defined in code.
+func MustInterpolator(xs, ys []float64) *Interpolator {
+	in, err := NewInterpolator(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// At evaluates the interpolant at x with flat extrapolation.
+func (in *Interpolator) At(x float64) float64 {
+	xs, ys := in.xs, in.ys
+	if x <= xs[0] {
+		return ys[0]
+	}
+	last := len(xs) - 1
+	if x >= xs[last] {
+		return ys[last]
+	}
+	// sort.SearchFloat64s returns the first index with xs[i] >= x.
+	i := sort.SearchFloat64s(xs, x)
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// Min returns the smallest grid x.
+func (in *Interpolator) Min() float64 { return in.xs[0] }
+
+// Max returns the largest grid x.
+func (in *Interpolator) Max() float64 { return in.xs[len(in.xs)-1] }
+
+// Lerp linearly interpolates between a and b by fraction t in [0, 1],
+// clamping t.
+func Lerp(a, b, t float64) float64 {
+	if t <= 0 {
+		return a
+	}
+	if t >= 1 {
+		return b
+	}
+	return a + (b-a)*t
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// SolveLinear solves the dense linear system A x = b using Gaussian
+// elimination with partial pivoting. A is row-major (n rows of n values)
+// and is not modified; the solution is returned as a new slice.
+//
+// The thermal steady-state solver uses this for conductance networks, whose
+// matrices are small (tens of nodes), symmetric and diagonally dominant, so
+// a dense direct solve is both simple and robust.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("numeric: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("numeric: rhs length %d != %d rows", len(b), n)
+	}
+	// Work on copies so the caller's data survives.
+	m := make([][]float64, n)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("numeric: row %d has %d values, want %d", i, len(row), n)
+		}
+		m[i] = append([]float64(nil), row...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude in this column.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("%w at column %d", ErrSingular, col)
+		}
+		if pivot != col {
+			m[pivot], m[col] = m[col], m[pivot]
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for c := i + 1; c < n; c++ {
+			sum -= m[i][c] * x[c]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// MatVec computes y = A x for a row-major dense matrix.
+func MatVec(a [][]float64, x []float64) ([]float64, error) {
+	y := make([]float64, len(a))
+	for i, row := range a {
+		if len(row) != len(x) {
+			return nil, fmt.Errorf("numeric: row %d has %d values, want %d", i, len(row), len(x))
+		}
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}

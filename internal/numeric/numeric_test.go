@@ -1,0 +1,308 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	x, fx := GoldenSection(f, -10, 10, 1e-9)
+	if math.Abs(x-3) > 1e-6 || fx > 1e-10 {
+		t.Errorf("GoldenSection: x=%v fx=%v", x, fx)
+	}
+}
+
+func TestGoldenSectionReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 1) }
+	x, _ := GoldenSection(f, 5, -5, 1e-9)
+	if math.Abs(x-1) > 1e-6 {
+		t.Errorf("GoldenSection reversed interval: x=%v", x)
+	}
+}
+
+func TestMinimizeGridMultiModal(t *testing.T) {
+	// Two dips, global at x=4 with value -2.
+	f := func(x float64) float64 {
+		return -math.Exp(-(x-1)*(x-1)) - 2*math.Exp(-(x-4)*(x-4))
+	}
+	x, fx := MinimizeGrid(f, -2, 8, 50, 1e-8)
+	if math.Abs(x-4) > 1e-3 {
+		t.Errorf("MinimizeGrid multi-modal: x=%v fx=%v, want x~4", x, fx)
+	}
+}
+
+func TestInterpolatorBasics(t *testing.T) {
+	in := MustInterpolator([]float64{0, 1, 3}, []float64{0, 10, 30})
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {2, 20}, {3, 30}, {5, 30},
+	}
+	for _, c := range cases {
+		if got := in.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if in.Min() != 0 || in.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v", in.Min(), in.Max())
+	}
+}
+
+func TestInterpolatorErrors(t *testing.T) {
+	if _, err := NewInterpolator([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	if _, err := NewInterpolator([]float64{0}, []float64{0}); err == nil {
+		t.Error("accepted single point")
+	}
+	if _, err := NewInterpolator([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("accepted non-increasing grid")
+	}
+}
+
+func TestInterpolatorCopiesInput(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 1}
+	in := MustInterpolator(xs, ys)
+	ys[1] = 100
+	if got := in.At(1); got != 1 {
+		t.Errorf("interpolator aliased caller slice: At(1)=%v", got)
+	}
+}
+
+func TestLerpClamp(t *testing.T) {
+	if Lerp(0, 10, 0.25) != 2.5 {
+		t.Error("Lerp midpoint wrong")
+	}
+	if Lerp(0, 10, -1) != 0 || Lerp(0, 10, 2) != 10 {
+		t.Error("Lerp clamp wrong")
+	}
+	if Clamp(5, 0, 3) != 3 || Clamp(-5, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("accepted singular matrix")
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Error("accepted empty system")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("accepted rhs length mismatch")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("accepted ragged matrix")
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 4 || a[1][0] != 1 || b[0] != 1 {
+		t.Error("SolveLinear mutated its inputs")
+	}
+}
+
+// Property: solving A x = A*x0 recovers x0 for random diagonally dominant A.
+func TestSolveLinearRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newDeterministicRand(seed)
+		n := 3 + int(math.Abs(float64(seed%5)))
+		a := make([][]float64, n)
+		x0 := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			row := 0.0
+			for j := range a[i] {
+				a[i][j] = r()*2 - 1
+				row += math.Abs(a[i][j])
+			}
+			a[i][i] = row + 1 // diagonal dominance
+			x0[i] = r()*10 - 5
+		}
+		b, err := MatVec(a, x0)
+		if err != nil {
+			return false
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-x0[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newDeterministicRand is a tiny xorshift PRNG so the property test does not
+// depend on math/rand APIs.
+func newDeterministicRand(seed int64) func() float64 {
+	s := uint64(seed)*2685821657736338717 + 1
+	return func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1_000_000) / 1_000_000
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if v, i := Max(xs); v != 4 || i != 3 {
+		t.Errorf("Max = %v,%v", v, i)
+	}
+	if v, i := Min(xs); v != 1 || i != 0 {
+		t.Errorf("Min = %v,%v", v, i)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if v, i := Max(nil); i != -1 || !math.IsInf(v, -1) {
+		t.Error("Max(nil) wrong")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 5}
+	r, err := RMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2/math.Sqrt(3)) > 1e-12 {
+		t.Errorf("RMSE = %v", r)
+	}
+	m, err := MeanAbsError(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-2.0/3.0) > 1e-12 {
+		t.Errorf("MAE = %v", m)
+	}
+	if _, err := RMSE(a, b[:2]); err == nil {
+		t.Error("RMSE accepted length mismatch")
+	}
+	if _, err := MeanAbsError(nil, nil); err == nil {
+		t.Error("MAE accepted empty input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20}, {95, 48},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("Percentile accepted empty input")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	c, err := Correlation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-12 {
+		t.Errorf("Correlation = %v, want 1", c)
+	}
+	d := []float64{8, 6, 4, 2}
+	c, err = Correlation(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c+1) > 1e-12 {
+		t.Errorf("Correlation = %v, want -1", c)
+	}
+	if _, err := Correlation(a, []float64{1, 1, 1, 1}); err == nil {
+		t.Error("Correlation accepted constant series")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev single sample != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinimizeGridDegenerate(t *testing.T) {
+	// n < 2 is widened internally; reversed bounds are swapped.
+	f := func(x float64) float64 { return (x - 1) * (x - 1) }
+	x, _ := MinimizeGrid(f, 3, -3, 1, 1e-9)
+	if math.Abs(x-1) > 1e-5 {
+		t.Errorf("MinimizeGrid degenerate: x=%v", x)
+	}
+}
+
+func TestAdaptiveMaxStepHonored(t *testing.T) {
+	steps, err := IntegrateAdaptive(decay, 0, 10, []float64{1}, AdaptiveOptions{
+		Tolerance: 1e-3, MaxStep: 0.5, InitialStep: 5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 20 {
+		t.Errorf("MaxStep 0.5 over span 10 should force >= 20 steps, got %d", steps)
+	}
+}

@@ -1,0 +1,214 @@
+// Package numeric implements the small numerical toolbox the simulator
+// needs: explicit ODE integrators, scalar root finding and minimization,
+// piecewise-linear interpolation, dense linear solves and summary
+// statistics. Everything is hand-rolled on the standard library because the
+// module is built offline with no scientific dependencies.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Derivative computes dy/dt at time t for state y, writing the result into
+// dydt. len(dydt) == len(y) always holds. Implementations must not retain
+// either slice.
+type Derivative func(t float64, y, dydt []float64)
+
+// StepObserver is called after every accepted integration step with the
+// current time and state. The state slice is reused between calls; copy it
+// if it must be retained.
+type StepObserver func(t float64, y []float64)
+
+// EulerStep advances y in place by a single forward Euler step of size dt.
+// scratch must have the same length as y.
+func EulerStep(f Derivative, t float64, y, scratch []float64, dt float64) {
+	f(t, y, scratch)
+	for i := range y {
+		y[i] += dt * scratch[i]
+	}
+}
+
+// IntegrateEuler integrates y' = f(t, y) from t0 to t1 with fixed step dt
+// using forward Euler, mutating y. The final partial step is shortened so
+// integration ends exactly at t1. observe may be nil.
+func IntegrateEuler(f Derivative, t0, t1 float64, y []float64, dt float64, observe StepObserver) error {
+	if dt <= 0 {
+		return fmt.Errorf("numeric: non-positive step %v", dt)
+	}
+	if t1 < t0 {
+		return fmt.Errorf("numeric: integration interval reversed [%v, %v]", t0, t1)
+	}
+	scratch := make([]float64, len(y))
+	t := t0
+	for t < t1 {
+		h := dt
+		if t+h > t1 {
+			h = t1 - t
+		}
+		EulerStep(f, t, y, scratch, h)
+		t += h
+		if observe != nil {
+			observe(t, y)
+		}
+	}
+	return nil
+}
+
+// rk4Scratch holds the work arrays for RK4 so repeated stepping does not
+// allocate.
+type rk4Scratch struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+func newRK4Scratch(n int) *rk4Scratch {
+	return &rk4Scratch{
+		k1:  make([]float64, n),
+		k2:  make([]float64, n),
+		k3:  make([]float64, n),
+		k4:  make([]float64, n),
+		tmp: make([]float64, n),
+	}
+}
+
+func (s *rk4Scratch) step(f Derivative, t float64, y []float64, dt float64) {
+	f(t, y, s.k1)
+	for i := range y {
+		s.tmp[i] = y[i] + 0.5*dt*s.k1[i]
+	}
+	f(t+0.5*dt, s.tmp, s.k2)
+	for i := range y {
+		s.tmp[i] = y[i] + 0.5*dt*s.k2[i]
+	}
+	f(t+0.5*dt, s.tmp, s.k3)
+	for i := range y {
+		s.tmp[i] = y[i] + dt*s.k3[i]
+	}
+	f(t+dt, s.tmp, s.k4)
+	for i := range y {
+		y[i] += dt / 6 * (s.k1[i] + 2*s.k2[i] + 2*s.k3[i] + s.k4[i])
+	}
+}
+
+// IntegrateRK4 integrates y' = f(t, y) from t0 to t1 with fixed step dt
+// using the classical fourth-order Runge-Kutta method, mutating y.
+func IntegrateRK4(f Derivative, t0, t1 float64, y []float64, dt float64, observe StepObserver) error {
+	if dt <= 0 {
+		return fmt.Errorf("numeric: non-positive step %v", dt)
+	}
+	if t1 < t0 {
+		return fmt.Errorf("numeric: integration interval reversed [%v, %v]", t0, t1)
+	}
+	s := newRK4Scratch(len(y))
+	t := t0
+	for t < t1 {
+		h := dt
+		if t+h > t1 {
+			h = t1 - t
+		}
+		s.step(f, t, y, h)
+		t += h
+		if observe != nil {
+			observe(t, y)
+		}
+	}
+	return nil
+}
+
+// AdaptiveOptions configures IntegrateAdaptive.
+type AdaptiveOptions struct {
+	// InitialStep is the first trial step. If zero, (t1-t0)/100 is used.
+	InitialStep float64
+	// MinStep is the smallest permitted step; integration fails if error
+	// control demands a smaller one. If zero, (t1-t0)*1e-12 is used.
+	MinStep float64
+	// MaxStep caps the step size. If zero, t1-t0 is used.
+	MaxStep float64
+	// Tolerance is the per-step absolute error target per component.
+	// If zero, 1e-6 is used.
+	Tolerance float64
+}
+
+// ErrStepUnderflow is returned when the adaptive integrator cannot meet the
+// error tolerance even at the minimum step size.
+var ErrStepUnderflow = errors.New("numeric: adaptive step size underflow")
+
+// IntegrateAdaptive integrates y' = f(t, y) from t0 to t1 using step
+// doubling on RK4: each step is taken once at h and twice at h/2, the
+// difference estimates local error, and the step adapts to keep it under
+// tolerance. It mutates y and reports the number of accepted steps.
+func IntegrateAdaptive(f Derivative, t0, t1 float64, y []float64, opts AdaptiveOptions, observe StepObserver) (steps int, err error) {
+	if t1 < t0 {
+		return 0, fmt.Errorf("numeric: integration interval reversed [%v, %v]", t0, t1)
+	}
+	if t1 == t0 {
+		return 0, nil
+	}
+	span := t1 - t0
+	h := opts.InitialStep
+	if h <= 0 {
+		h = span / 100
+	}
+	minStep := opts.MinStep
+	if minStep <= 0 {
+		minStep = span * 1e-12
+	}
+	maxStep := opts.MaxStep
+	if maxStep <= 0 {
+		maxStep = span
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-6
+	}
+
+	n := len(y)
+	s := newRK4Scratch(n)
+	full := make([]float64, n)
+	half := make([]float64, n)
+
+	t := t0
+	for t < t1 {
+		if h > maxStep {
+			h = maxStep
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		copy(full, y)
+		s.step(f, t, full, h)
+		copy(half, y)
+		s.step(f, t, half, h/2)
+		s.step(f, t+h/2, half, h/2)
+
+		maxErr := 0.0
+		for i := range half {
+			e := math.Abs(half[i] - full[i])
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr <= tol || h <= minStep {
+			if maxErr > tol && h <= minStep {
+				return steps, fmt.Errorf("%w at t=%v (err %v > tol %v)", ErrStepUnderflow, t, maxErr, tol)
+			}
+			// Accept the more accurate half-step solution with local
+			// extrapolation (RK4 step doubling is O(h^5) locally).
+			for i := range y {
+				y[i] = half[i] + (half[i]-full[i])/15
+			}
+			t += h
+			steps++
+			if observe != nil {
+				observe(t, y)
+			}
+			if maxErr < tol/32 {
+				h *= 2
+			}
+		} else {
+			h /= 2
+		}
+	}
+	return steps, nil
+}

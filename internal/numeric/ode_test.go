@@ -1,0 +1,174 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// exponential decay y' = -y has the exact solution y0 * exp(-t).
+func decay(t float64, y, dydt []float64) {
+	for i := range y {
+		dydt[i] = -y[i]
+	}
+}
+
+func TestIntegrateEulerDecay(t *testing.T) {
+	y := []float64{1}
+	if err := IntegrateEuler(decay, 0, 1, y, 1e-4, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-1)
+	if math.Abs(y[0]-want) > 1e-3 {
+		t.Errorf("Euler decay: got %v, want %v", y[0], want)
+	}
+}
+
+func TestIntegrateRK4Decay(t *testing.T) {
+	y := []float64{1}
+	if err := IntegrateRK4(decay, 0, 1, y, 0.1, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-1)
+	if math.Abs(y[0]-want) > 1e-6 {
+		t.Errorf("RK4 decay: got %v, want %v", y[0], want)
+	}
+}
+
+func TestIntegrateRK4Oscillator(t *testing.T) {
+	// y'' = -y as a system: y0' = y1, y1' = -y0. Solution: cos(t), -sin(t).
+	f := func(t float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	y := []float64{1, 0}
+	if err := IntegrateRK4(f, 0, 2*math.Pi, y, 0.01, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-6 || math.Abs(y[1]) > 1e-6 {
+		t.Errorf("RK4 oscillator after full period: got %v, want [1 0]", y)
+	}
+}
+
+func TestIntegrateAdaptiveDecay(t *testing.T) {
+	y := []float64{1}
+	steps, err := IntegrateAdaptive(decay, 0, 5, y, AdaptiveOptions{Tolerance: 1e-9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Fatal("adaptive integration took zero steps")
+	}
+	want := math.Exp(-5)
+	if math.Abs(y[0]-want) > 1e-6 {
+		t.Errorf("adaptive decay: got %v, want %v", y[0], want)
+	}
+}
+
+func TestIntegrateAdaptiveStiffStepsDown(t *testing.T) {
+	// A fast transient followed by slow decay: the integrator should take
+	// more steps than a naive 100-step default near t=0 but still finish.
+	f := func(t float64, y, dydt []float64) {
+		dydt[0] = -100 * (y[0] - math.Sin(t))
+	}
+	y := []float64{1}
+	_, err := IntegrateAdaptive(f, 0, 1, y, AdaptiveOptions{Tolerance: 1e-8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near t=1 the solution tracks sin(t) closely.
+	if math.Abs(y[0]-math.Sin(1)) > 1e-2 {
+		t.Errorf("stiff tracking: got %v, want ~%v", y[0], math.Sin(1))
+	}
+}
+
+func TestIntegrateObserverSeesMonotoneTime(t *testing.T) {
+	prev := -1.0
+	obs := func(tt float64, y []float64) {
+		if tt <= prev {
+			t.Fatalf("observer time went backwards: %v after %v", tt, prev)
+		}
+		prev = tt
+	}
+	y := []float64{1}
+	if err := IntegrateRK4(decay, 0, 1, y, 0.3, obs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prev-1) > 1e-12 {
+		t.Errorf("last observed time %v, want 1", prev)
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	y := []float64{1}
+	if err := IntegrateEuler(decay, 0, 1, y, 0, nil); err == nil {
+		t.Error("IntegrateEuler accepted zero step")
+	}
+	if err := IntegrateRK4(decay, 1, 0, y, 0.1, nil); err == nil {
+		t.Error("IntegrateRK4 accepted reversed interval")
+	}
+	if _, err := IntegrateAdaptive(decay, 1, 0, y, AdaptiveOptions{}, nil); err == nil {
+		t.Error("IntegrateAdaptive accepted reversed interval")
+	}
+}
+
+func TestIntegrateAdaptiveZeroSpan(t *testing.T) {
+	y := []float64{42}
+	steps, err := IntegrateAdaptive(decay, 3, 3, y, AdaptiveOptions{}, nil)
+	if err != nil || steps != 0 || y[0] != 42 {
+		t.Errorf("zero span: steps=%d err=%v y=%v", steps, err, y)
+	}
+}
+
+func TestIntegrateAdaptiveUnderflow(t *testing.T) {
+	// A discontinuous derivative with an impossible tolerance forces
+	// underflow when MinStep is large.
+	f := func(t float64, y, dydt []float64) {
+		if t < 0.5 {
+			dydt[0] = 1e12
+		} else {
+			dydt[0] = -1e12
+		}
+	}
+	y := []float64{0}
+	_, err := IntegrateAdaptive(f, 0, 1, y, AdaptiveOptions{
+		Tolerance: 1e-12, MinStep: 0.25, InitialStep: 0.25,
+	}, nil)
+	if !errors.Is(err, ErrStepUnderflow) {
+		t.Errorf("expected ErrStepUnderflow, got %v", err)
+	}
+}
+
+// Property-like check: RK4 converges at 4th order on the decay problem.
+func TestRK4ConvergenceOrder(t *testing.T) {
+	errAt := func(h float64) float64 {
+		y := []float64{1}
+		if err := IntegrateRK4(decay, 0, 1, y, h, nil); err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - math.Exp(-1))
+	}
+	e1 := errAt(0.1)
+	e2 := errAt(0.05)
+	order := math.Log2(e1 / e2)
+	if order < 3.5 || order > 4.8 {
+		t.Errorf("observed RK4 order %v, want ~4", order)
+	}
+}
+
+func BenchmarkIntegrateRK4(b *testing.B) {
+	f := func(t float64, y, dydt []float64) {
+		for i := range y {
+			dydt[i] = -0.01 * y[i]
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		y := make([]float64, 16)
+		for j := range y {
+			y[j] = 1
+		}
+		if err := IntegrateRK4(f, 0, 100, y, 0.5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/phi, the golden ratio conjugate.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes a unimodal function f on [a, b] to within tol and
+// returns the minimizing x and f(x). For non-unimodal f it returns a local
+// minimum.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	if fc < fd {
+		return c, fc
+	}
+	return d, fd
+}
+
+// MinimizeGrid evaluates f at n+1 evenly spaced points on [a, b] and then
+// polishes the best point with golden-section search on its neighboring
+// interval. It is robust to multi-modal objectives such as the peak cooling
+// load versus melting temperature curve.
+func MinimizeGrid(f func(float64) float64, a, b float64, n int, tol float64) (x, fx float64) {
+	if n < 2 {
+		n = 2
+	}
+	if a > b {
+		a, b = b, a
+	}
+	bestI, bestF := 0, math.Inf(1)
+	h := (b - a) / float64(n)
+	for i := 0; i <= n; i++ {
+		v := f(a + float64(i)*h)
+		if v < bestF {
+			bestI, bestF = i, v
+		}
+	}
+	lo := a + float64(bestI-1)*h
+	hi := a + float64(bestI+1)*h
+	if lo < a {
+		lo = a
+	}
+	if hi > b {
+		hi = b
+	}
+	x, fx = GoldenSection(f, lo, hi, tol)
+	if bestF < fx {
+		return a + float64(bestI)*h, bestF
+	}
+	return x, fx
+}

@@ -1,0 +1,140 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned when the supplied interval does not bracket a
+// root (f(a) and f(b) have the same sign).
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrNoConvergence is returned when an iterative method exhausts its
+// iteration budget.
+var ErrNoConvergence = errors.New("numeric: iteration limit reached without convergence")
+
+// Bisect finds a root of f in [a, b] by bisection to within tol. f(a) and
+// f(b) must have opposite signs.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%v)=%v, f(%v)=%v", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), ErrNoConvergence
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must have opposite
+// signs. It converges superlinearly on smooth functions while retaining the
+// bisection worst case.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%v)=%v, f(%v)=%v", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConvergence
+}
+
+// FindBracket expands outward from [a, b] looking for an interval where f
+// changes sign. It returns the bracketing interval or ErrNoBracket after
+// maxExpand doublings.
+func FindBracket(f func(float64) float64, a, b float64, maxExpand int) (lo, hi float64, err error) {
+	if a > b {
+		a, b = b, a
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
+			return a, b, nil
+		}
+		w := b - a
+		if math.Abs(fa) < math.Abs(fb) {
+			a -= w
+			fa = f(a)
+		} else {
+			b += w
+			fb = f(b)
+		}
+	}
+	return 0, 0, ErrNoBracket
+}

@@ -1,0 +1,99 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-9 {
+		t.Errorf("Bisect sqrt(2): got %v", x)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 1e-10); err != nil || x != 0 {
+		t.Errorf("Bisect endpoint: got %v, %v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 1e-10); err != nil || x != 0 {
+		t.Errorf("Bisect endpoint: got %v, %v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-10); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentPolynomial(t *testing.T) {
+	f := func(x float64) float64 { return (x + 3) * (x - 1) * (x - 1) * (x - 4) }
+	x, err := Brent(f, 2, 5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-4) > 1e-9 {
+		t.Errorf("Brent root: got %v, want 4", x)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// cos(x) = x near 0.739085.
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	x, err := Brent(f, 0, 1, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.7390851332151607) > 1e-9 {
+		t.Errorf("Brent dottie: got %v", x)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, err := Brent(f, -3, 3, 1e-10); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestFindBracket(t *testing.T) {
+	f := func(x float64) float64 { return x - 10 }
+	lo, hi, err := FindBracket(f, 0, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f(lo) <= 0 && f(hi) >= 0) {
+		t.Errorf("FindBracket returned non-bracketing [%v, %v]", lo, hi)
+	}
+	if _, _, err := FindBracket(func(float64) float64 { return 1 }, 0, 1, 5); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("expected ErrNoBracket for constant f, got %v", err)
+	}
+}
+
+// Property: for random monotone linear functions Brent recovers the root.
+func TestBrentLinearProperty(t *testing.T) {
+	f := func(slope, root float64) bool {
+		slope = math.Abs(slope) + 0.1
+		if math.IsInf(root, 0) || math.IsNaN(root) || math.Abs(root) > 1e6 {
+			return true
+		}
+		fn := func(x float64) float64 { return slope * (x - root) }
+		x, err := Brent(fn, root-100, root+101, 1e-9)
+		if err != nil {
+			return false
+		}
+		return math.Abs(x-root) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

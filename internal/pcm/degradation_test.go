@@ -1,0 +1,103 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCapacityRetentionGrades(t *testing.T) {
+	paraffin := testParaffin(t) // Very Good
+	eico := Eicosane()          // Excellent
+	var salt Material
+	for _, m := range Families() {
+		if m.Class == "Salt Hydrates" {
+			salt = m
+		}
+	}
+
+	// The paper's citation: paraffin shows negligible deviation after
+	// 1,000+ cycles.
+	if r := paraffin.CapacityRetention(1000); r < 0.98 {
+		t.Errorf("commercial paraffin retention after 1000 cycles = %v, want ~negligible fade", r)
+	}
+	if r := eico.CapacityRetention(1500); r < 0.99 {
+		t.Errorf("eicosane retention after 1500 cycles = %v", r)
+	}
+	// Salt hydrates degrade badly within ~100 cycles.
+	if r := salt.CapacityRetention(100); r > 0.6 {
+		t.Errorf("salt hydrate retention after 100 cycles = %v, want severe fade", r)
+	}
+	// Zero or negative cycles: pristine.
+	if paraffin.CapacityRetention(0) != 1 || paraffin.CapacityRetention(-5) != 1 {
+		t.Error("non-positive cycles should retain everything")
+	}
+}
+
+func TestRetentionMonotone(t *testing.T) {
+	m := testParaffin(t)
+	prev := 1.1
+	for c := 0; c <= 20000; c += 500 {
+		r := m.CapacityRetention(c)
+		if r > prev {
+			t.Fatalf("retention rose at cycle %d", c)
+		}
+		if r <= 0 || r > 1 {
+			t.Fatalf("retention %v out of range", r)
+		}
+		prev = r
+	}
+}
+
+func TestCyclesToRetention(t *testing.T) {
+	m := testParaffin(t)
+	c, err := m.CyclesToRetention(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip.
+	if r := m.CapacityRetention(c); math.Abs(r-0.9) > 0.001 {
+		t.Errorf("retention at computed cycles = %v, want 0.9", r)
+	}
+	if c0, err := m.CyclesToRetention(1); err != nil || c0 != 0 {
+		t.Errorf("CyclesToRetention(1) = %d, %v", c0, err)
+	}
+	if _, err := m.CyclesToRetention(0); err == nil {
+		t.Error("accepted zero target")
+	}
+	if _, err := m.CyclesToRetention(1.5); err == nil {
+		t.Error("accepted target > 1")
+	}
+}
+
+func TestDeploymentLifetime(t *testing.T) {
+	// The paper's deployment: 4-year server life, daily cycles. Paraffin
+	// survives; salt hydrates are dead long before.
+	paraffin := testParaffin(t)
+	lt, err := paraffin.DeploymentLifetime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Cycles != 1460 {
+		t.Errorf("cycles = %d, want 1460", lt.Cycles)
+	}
+	if !lt.SurvivesDeployment {
+		t.Errorf("paraffin should survive 4 years (retention %v)", lt.Retention)
+	}
+
+	var salt Material
+	for _, m := range Families() {
+		if m.Class == "Salt Hydrates" {
+			salt = m
+		}
+	}
+	slt, err := salt.DeploymentLifetime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slt.SurvivesDeployment {
+		t.Errorf("salt hydrates should not survive 4 years (retention %v)", slt.Retention)
+	}
+	if _, err := paraffin.DeploymentLifetime(0); err == nil {
+		t.Error("accepted zero deployment length")
+	}
+}

@@ -1,0 +1,142 @@
+package pcm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Box is a sealed rectangular aluminum wax container. Dimensions are in
+// meters. The paper uses such boxes in every deployment: a 100 ml box for
+// validation, two ~0.6 l boxes in the 1U server, four 1 l boxes in the 2U
+// server, and three ~0.5 l containers in the reconfigured Open Compute
+// blade.
+type Box struct {
+	LengthM float64 // along airflow
+	WidthM  float64 // across the server
+	HeightM float64 // vertical
+}
+
+// Volume returns the interior volume in liters.
+func (b Box) Volume() float64 {
+	return units.CubicMetersToLiters(b.LengthM * b.WidthM * b.HeightM)
+}
+
+// SurfaceArea returns the total exterior area in m^2 available for
+// convective exchange with the air stream.
+func (b Box) SurfaceArea() float64 {
+	return 2 * (b.LengthM*b.WidthM + b.LengthM*b.HeightM + b.WidthM*b.HeightM)
+}
+
+// FrontalArea returns the area presented to the airflow (width x height),
+// which is what blocks the duct.
+func (b Box) FrontalArea() float64 {
+	return b.WidthM * b.HeightM
+}
+
+// Enclosure is a set of identical boxes filled with a PCM, placed in a
+// server's air stream downwind of the heat sources.
+type Enclosure struct {
+	Material Material
+	Box      Box
+	Count    int
+	// FillFraction is the fraction of box volume occupied by solid wax;
+	// the remainder is air headroom for expansion. The validation box
+	// holds 90 ml of wax in 100 ml (0.9).
+	FillFraction float64
+	// MeshConductivityBoost multiplies the wax's bulk conductivity to
+	// model the embedded metal mesh of the computational-sprinting work
+	// (Raghavan et al.): it collapses the crust resistance that throttles
+	// discharge. 0 or 1 means plain wax — which the paper argues is
+	// sufficient at multi-hour time scales.
+	MeshConductivityBoost float64
+}
+
+// NewEnclosure validates and builds an enclosure. The fill fraction must
+// leave at least the material's expansion headroom empty, or the sealed box
+// would burst on melting.
+func NewEnclosure(m Material, box Box, count int, fillFraction float64) (*Enclosure, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("pcm: enclosure needs at least one box, got %d", count)
+	}
+	if box.Volume() <= 0 {
+		return nil, fmt.Errorf("pcm: box has non-positive volume %v l", box.Volume())
+	}
+	if fillFraction <= 0 || fillFraction > 1 {
+		return nil, fmt.Errorf("pcm: fill fraction %v outside (0, 1]", fillFraction)
+	}
+	maxFill := 1 / (1 + m.ExpansionHeadroom())
+	if fillFraction > maxFill+1e-9 {
+		return nil, fmt.Errorf("pcm: fill fraction %.3f leaves no room for %.1f%% melting expansion (max %.3f)",
+			fillFraction, m.ExpansionHeadroom()*100, maxFill)
+	}
+	return &Enclosure{Material: m, Box: box, Count: count, FillFraction: fillFraction}, nil
+}
+
+// WaxVolume returns the total solid wax volume across all boxes, liters.
+func (e *Enclosure) WaxVolume() float64 {
+	return e.Box.Volume() * e.FillFraction * float64(e.Count)
+}
+
+// WaxMass returns the total wax mass in kg.
+func (e *Enclosure) WaxMass() float64 {
+	return e.Material.MassForVolume(e.WaxVolume())
+}
+
+// LatentCapacity returns the total latent heat (J) of the enclosure.
+func (e *Enclosure) LatentCapacity() float64 {
+	return e.Material.LatentCapacity(e.WaxVolume())
+}
+
+// SurfaceArea returns the convective area of all boxes, m^2. Splitting a
+// volume across more boxes raises this, which is the paper's cheap
+// alternative to the embedded metal mesh of the sprinting work.
+func (e *Enclosure) SurfaceArea() float64 {
+	return e.Box.SurfaceArea() * float64(e.Count)
+}
+
+// FrontalArea returns the total duct cross-section the boxes block, m^2.
+func (e *Enclosure) FrontalArea() float64 {
+	return e.Box.FrontalArea() * float64(e.Count)
+}
+
+// HeatCapacitySolid returns the lumped sensible heat capacity (J/K) of the
+// enclosure contents in the solid phase. The aluminum shell contributes a
+// small additional term (~0.9 J/(g*K), 300 g/l of box volume).
+func (e *Enclosure) HeatCapacitySolid() float64 {
+	const aluminumPerBoxLiter = 0.3 * 900 // kg/l * J/(kg*K) => J/(K*l)
+	wax := e.WaxMass() * e.Material.SpecificHeatSolid
+	shell := aluminumPerBoxLiter * e.Box.Volume() * float64(e.Count)
+	return wax + shell
+}
+
+// crustResistance returns the conductive resistance (K/W) of the
+// solidified wax layer on the container walls at liquid fraction f: the
+// crust thickness grows toward half the box's thinnest dimension as the
+// fill freezes.
+func (e *Enclosure) crustResistance(liquidFrac float64) float64 {
+	k := e.Material.Conductivity
+	if e.MeshConductivityBoost > 1 {
+		k *= e.MeshConductivityBoost
+	}
+	if k <= 0 {
+		return 0
+	}
+	halfGap := math.Min(e.Box.HeightM, math.Min(e.Box.WidthM, e.Box.LengthM)) / 2
+	thickness := (1 - liquidFrac) * halfGap
+	if thickness <= 0 {
+		return 0
+	}
+	return thickness / (k * e.SurfaceArea())
+}
+
+// MaterialCost returns the USD cost of the wax fill (container cost
+// excluded; the paper folds both into a WaxCapEx of $0.06-0.10 per server
+// per month).
+func (e *Enclosure) MaterialCost() float64 {
+	return e.Material.CostForVolume(e.WaxVolume())
+}

@@ -1,0 +1,188 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testParaffin(t *testing.T) Material {
+	t.Helper()
+	m, err := CommercialParaffin(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMaterialValidate(t *testing.T) {
+	m := testParaffin(t)
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid material rejected: %v", err)
+	}
+	bad := m
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("accepted empty name")
+	}
+	bad = m
+	bad.HeatOfFusion = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero heat of fusion")
+	}
+	bad = m
+	bad.DensitySolid = -1
+	if bad.Validate() == nil {
+		t.Error("accepted negative density")
+	}
+	bad = m
+	bad.MeltRangeK = -1
+	if bad.Validate() == nil {
+		t.Error("accepted negative melt range")
+	}
+	bad = m
+	bad.SpecificHeatLiquid = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero specific heat")
+	}
+}
+
+func TestSolidusLiquidus(t *testing.T) {
+	m := testParaffin(t)
+	if got := m.SolidusC(); got != 40 {
+		t.Errorf("SolidusC = %v, want 40", got)
+	}
+	if got := m.LiquidusC(); got != 42 {
+		t.Errorf("LiquidusC = %v, want 42", got)
+	}
+}
+
+func TestEnthalpyAnchors(t *testing.T) {
+	m := testParaffin(t)
+	ref := 20.0
+	// At the reference, enthalpy is zero.
+	if h := m.Enthalpy(ref, ref); h != 0 {
+		t.Errorf("Enthalpy at ref = %v", h)
+	}
+	// Just below the solidus: pure sensible heat.
+	h := m.Enthalpy(m.SolidusC(), ref)
+	want := m.SpecificHeatSolid * (m.SolidusC() - ref)
+	if math.Abs(h-want) > 1e-9 {
+		t.Errorf("solidus enthalpy = %v, want %v", h, want)
+	}
+	// Crossing the whole melt range gains at least the latent heat.
+	dh := m.Enthalpy(m.LiquidusC(), ref) - m.Enthalpy(m.SolidusC(), ref)
+	if dh < m.HeatOfFusion {
+		t.Errorf("melt range enthalpy gain %v < latent %v", dh, m.HeatOfFusion)
+	}
+	if dh > m.HeatOfFusion+m.MeltRangeK*m.SpecificHeatLiquid {
+		t.Errorf("melt range enthalpy gain %v too large", dh)
+	}
+}
+
+func TestEnthalpyMonotone(t *testing.T) {
+	m := testParaffin(t)
+	prev := math.Inf(-1)
+	for temp := 0.0; temp <= 80; temp += 0.25 {
+		h := m.Enthalpy(temp, 10)
+		if h <= prev {
+			t.Fatalf("enthalpy not strictly increasing at %v degC", temp)
+		}
+		prev = h
+	}
+}
+
+func TestTemperatureFromEnthalpyRoundTrip(t *testing.T) {
+	m := testParaffin(t)
+	for temp := 5.0; temp <= 75; temp += 0.5 {
+		h := m.Enthalpy(temp, 10)
+		back, frac := m.TemperatureFromEnthalpy(h, 10)
+		if math.Abs(back-temp) > 1e-6 {
+			t.Fatalf("round trip %v -> %v", temp, back)
+		}
+		switch {
+		case temp < m.SolidusC() && frac != 0:
+			t.Fatalf("liquid fraction %v below solidus", frac)
+		case temp > m.LiquidusC() && frac != 1:
+			t.Fatalf("liquid fraction %v above liquidus", frac)
+		case temp > m.SolidusC() && temp < m.LiquidusC() && (frac <= 0 || frac >= 1):
+			t.Fatalf("liquid fraction %v inside mushy zone at %v", frac, temp)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	m := testParaffin(t)
+	f := func(raw float64) bool {
+		temp := math.Mod(math.Abs(raw), 100)
+		h := m.Enthalpy(temp, 0)
+		back, _ := m.TemperatureFromEnthalpy(h, 0)
+		return math.Abs(back-temp) < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyDensityAndCapacity(t *testing.T) {
+	m := testParaffin(t)
+	// 200 J/g * 0.8 g/ml = 160 J/ml = 160 MJ/m^3.
+	if got := m.EnergyDensity(); math.Abs(got-160e6) > 1e-3 {
+		t.Errorf("EnergyDensity = %v", got)
+	}
+	// 1 liter = 0.8 kg -> 160 kJ latent.
+	if got := m.LatentCapacity(1); math.Abs(got-160e3) > 1e-6 {
+		t.Errorf("LatentCapacity(1l) = %v", got)
+	}
+	if got := m.MassForVolume(1.2); math.Abs(got-0.96) > 1e-9 {
+		t.Errorf("MassForVolume(1.2l) = %v", got)
+	}
+}
+
+func TestExpansionHeadroom(t *testing.T) {
+	m := testParaffin(t)
+	// 800/760 - 1 ~= 5.26%.
+	if got := m.ExpansionHeadroom(); math.Abs(got-0.0526315789) > 1e-6 {
+		t.Errorf("ExpansionHeadroom = %v", got)
+	}
+}
+
+func TestCostForVolume(t *testing.T) {
+	m := testParaffin(t)
+	// 1000 l = 0.8 ton at $1500/ton = $1200.
+	if got := m.CostForVolume(1000); math.Abs(got-1200) > 1e-9 {
+		t.Errorf("CostForVolume = %v", got)
+	}
+	free := m
+	free.CostPerTon = 0
+	if free.CostForVolume(1000) != 0 {
+		t.Error("unknown cost should report 0")
+	}
+}
+
+func TestEicosaneVsCommercialCost(t *testing.T) {
+	// The paper's headline comparison: eicosane is ~50x the cost for ~20%
+	// more energy per gram.
+	e := Eicosane()
+	c := testParaffin(t)
+	ratio := e.CostPerTon / c.CostPerTon
+	if ratio < 30 || ratio > 80 {
+		t.Errorf("cost ratio = %v, want ~50", ratio)
+	}
+	energyGain := e.HeatOfFusion / c.HeatOfFusion
+	if energyGain < 1.15 || energyGain > 1.3 {
+		t.Errorf("energy ratio = %v, want ~1.235", energyGain)
+	}
+}
+
+func TestPhaseAndStabilityStrings(t *testing.T) {
+	if SolidLiquid.String() != "solid-liquid" || SolidGas.String() != "solid-gas" {
+		t.Error("Phase.String wrong")
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase should still format")
+	}
+	if StabilityExcellent.String() != "Excellent" || StabilityUnknown.String() != "Unknown" {
+		t.Error("Stability.String wrong")
+	}
+}

@@ -1,0 +1,194 @@
+package pcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is the runtime thermal state of an enclosure: a lumped enthalpy
+// formulation. Temperature and liquid fraction are derived from the stored
+// enthalpy through the material's h(T) curve, which makes absorb/release
+// unconditionally energy-conserving and hysteresis-free (commercial
+// paraffin supercooling is negligible at multi-hour timescales).
+type State struct {
+	enc *Enclosure
+
+	// refC is the enthalpy reference temperature (solid phase).
+	refC float64
+	// enthalpyJ is total stored heat relative to the reference, J.
+	enthalpyJ float64
+	// shellCapacity is the non-PCM (aluminum) sensible capacity, J/K.
+	shellCapacity float64
+	// waxMass is cached, kg.
+	waxMass float64
+}
+
+// NewState initializes the enclosure state in thermal equilibrium at
+// startC (which may be above the melt point: the state is then liquid).
+func NewState(enc *Enclosure, startC float64) (*State, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("pcm: nil enclosure")
+	}
+	s := &State{
+		enc:           enc,
+		refC:          math.Min(startC, enc.Material.SolidusC()) - 20,
+		shellCapacity: enc.HeatCapacitySolid() - enc.WaxMass()*enc.Material.SpecificHeatSolid,
+		waxMass:       enc.WaxMass(),
+	}
+	s.enthalpyJ = s.enthalpyAt(startC)
+	return s, nil
+}
+
+// enthalpyAt returns the total enclosure enthalpy (J) when in equilibrium
+// at tempC.
+func (s *State) enthalpyAt(tempC float64) float64 {
+	m := &s.enc.Material
+	return s.waxMass*m.Enthalpy(tempC, s.refC) + s.shellCapacity*(tempC-s.refC)
+}
+
+// Temperature returns the current lumped temperature in degC.
+func (s *State) Temperature() float64 {
+	t, _ := s.solve()
+	return t
+}
+
+// LiquidFraction returns the melted fraction in [0, 1].
+func (s *State) LiquidFraction() float64 {
+	_, f := s.solve()
+	return f
+}
+
+// solve inverts total enthalpy to (temperature, liquid fraction): it
+// solves waxMass*h(T) + shellCap*(T-ref) = H. The left side is continuous
+// and strictly increasing but kinked at the solidus and liquidus, so a
+// bracketed bisection is used — Newton steps oscillate across the
+// capacity discontinuity at the liquidus.
+func (s *State) solve() (tempC, liquidFrac float64) {
+	m := &s.enc.Material
+	// Wax-only inversion is exact when the shell is negligible and is a
+	// good starting bracket seed otherwise.
+	t0, f := m.TemperatureFromEnthalpy(s.enthalpyJ/s.waxMass, s.refC)
+	if s.shellCapacity <= 0 {
+		return t0, f
+	}
+	// The shell stores heat too, so the true temperature is at most the
+	// wax-only estimate and at least the reference.
+	lo, hi := s.refC, t0+1e-9
+	for i := 0; i < 60 && hi-lo > 1e-9; i++ {
+		mid := 0.5 * (lo + hi)
+		if s.enthalpyAt(mid) < s.enthalpyJ {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := 0.5 * (lo + hi)
+	_, f = m.TemperatureFromEnthalpy((s.enthalpyJ-s.shellCapacity*(t-s.refC))/s.waxMass, s.refC)
+	return t, f
+}
+
+// apparentHeat returns dh/dT (J/(kg*K)) of the material at tempC: the
+// sensible specific heat outside the melt range, plus the latent ramp
+// inside it.
+func apparentHeat(m *Material, tempC float64) float64 {
+	sol, liq := m.SolidusC(), m.LiquidusC()
+	switch {
+	case tempC < sol:
+		return m.SpecificHeatSolid
+	case tempC > liq:
+		return m.SpecificHeatLiquid
+	default:
+		width := liq - sol
+		if width <= 0 {
+			// Sharp transition: effectively infinite; return a very large
+			// finite capacity so Newton steps stay finite.
+			return m.HeatOfFusion * 1e3
+		}
+		frac := (tempC - sol) / width
+		sensible := m.SpecificHeatSolid + frac*(m.SpecificHeatLiquid-m.SpecificHeatSolid)
+		return m.HeatOfFusion/width + sensible
+	}
+}
+
+// AddHeat deposits (or withdraws, if negative) heat directly, J.
+func (s *State) AddHeat(j float64) {
+	s.enthalpyJ += j
+	// Clamp: the enclosure cannot be withdrawn below the reference state.
+	if s.enthalpyJ < 0 {
+		s.enthalpyJ = 0
+	}
+}
+
+// StoredLatent returns the currently stored latent heat, J.
+func (s *State) StoredLatent() float64 {
+	return s.LiquidFraction() * s.enc.LatentCapacity()
+}
+
+// RemainingLatent returns the latent capacity still available, J.
+func (s *State) RemainingLatent() float64 {
+	return (1 - s.LiquidFraction()) * s.enc.LatentCapacity()
+}
+
+// ExchangeWithAir advances the enclosure by dt seconds exposed to air at
+// airC with convective conductance hA (W/K). It returns the heat absorbed
+// from the air in joules (negative when the wax is releasing heat into the
+// air). The step is sub-divided so the exponential approach to air
+// temperature is integrated stably even for large dt.
+func (s *State) ExchangeWithAir(airC, hA, dt float64) float64 {
+	if hA <= 0 || dt <= 0 {
+		return 0
+	}
+	// Equilibrium enthalpy at the air temperature: relaxation can approach
+	// but never cross it within a step, even when the apparent capacity
+	// drops sharply at the liquidus.
+	eq := s.enthalpyAt(airC)
+	// Supercooling: solidification cannot begin until the air falls below
+	// the freeze onset, so above it stored latent heat stays in (the small
+	// sensible cooling of the supercooled liquid is neglected).
+	if airC > s.enc.Material.FreezeOnsetC() && eq < s.enthalpyJ {
+		return 0
+	}
+	total := 0.0
+	remaining := dt
+	for remaining > 0 {
+		t, f := s.solve()
+		g := hA
+		if airC < t {
+			// Discharge is conduction-limited: solidification grows a
+			// crust of low-conductivity solid wax on the container walls,
+			// in series with the convective film. (Melting has no such
+			// penalty: convection in the melt and jet impingement keep the
+			// charge side fast, which is why the paper gets away without
+			// the metal mesh of the sprinting work.)
+			g = hA / (1 + hA*s.enc.crustResistance(f))
+		}
+		cap := s.shellCapacity + s.waxMass*apparentHeat(&s.enc.Material, t)
+		// Sub-step at a quarter of the local time constant, capped.
+		tau := cap / g
+		h := math.Min(remaining, math.Max(tau/4, 1e-3))
+		// Exact relaxation over h for constant capacity:
+		// q = cap * (airC - t) * (1 - exp(-g*h/cap)).
+		q := cap * (airC - t) * (1 - math.Exp(-g*h/cap))
+		next := s.enthalpyJ + q
+		if (q > 0 && next > eq) || (q < 0 && next < eq) {
+			next = eq
+			q = next - s.enthalpyJ
+		}
+		if next < 0 {
+			next = 0
+			q = -s.enthalpyJ
+		}
+		s.enthalpyJ = next
+		total += q
+		remaining -= h
+	}
+	return total
+}
+
+// Enclosure returns the static enclosure description.
+func (s *State) Enclosure() *Enclosure { return s.enc }
+
+// Reset returns the state to equilibrium at tempC.
+func (s *State) Reset(tempC float64) {
+	s.enthalpyJ = s.enthalpyAt(tempC)
+}

@@ -1,0 +1,230 @@
+package pcm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The materials database reproduces the paper's Table 1 ("Properties of
+// common solid-liquid PCMs") plus the two paraffins discussed in Section
+// 2.1: molecular-pure eicosane ($75,000/ton, Sigma-Aldrich quote) and bulk
+// commercial-grade paraffin ($1,000-2,000/ton, Alibaba, August 2014).
+// Family rows carry representative mid-range values; the named paraffins
+// carry the paper's specific numbers.
+
+// Families returns the five Table 1 rows as representative materials.
+func Families() []Material {
+	return []Material{
+		{
+			Name: "Salt Hydrates (typ.)", Class: "Salt Hydrates", Phase: SolidLiquid,
+			MeltingPointC: 47.5, MeltRangeK: 2,
+			HeatOfFusion: 245e3, DensitySolid: 1750, DensityLiquid: 1600,
+			SpecificHeatSolid: 1900, SpecificHeatLiquid: 2200, Conductivity: 0.5,
+			Stability: StabilityPoor, Corrosive: true, ElectricallyConductive: true,
+			CostPerTon: 400,
+		},
+		{
+			Name: "Metal Alloys (typ.)", Class: "Metal Alloys", Phase: SolidLiquid,
+			MeltingPointC: 320, MeltRangeK: 1,
+			HeatOfFusion: 400e3, DensitySolid: 8000, DensityLiquid: 7800,
+			SpecificHeatSolid: 500, SpecificHeatLiquid: 520, Conductivity: 30,
+			Stability: StabilityPoor, Corrosive: false, ElectricallyConductive: true,
+			CostPerTon: 15000,
+		},
+		{
+			Name: "Fatty Acids (typ.)", Class: "Fatty Acids", Phase: SolidLiquid,
+			MeltingPointC: 45, MeltRangeK: 3,
+			HeatOfFusion: 185e3, DensitySolid: 900, DensityLiquid: 860,
+			SpecificHeatSolid: 1900, SpecificHeatLiquid: 2100, Conductivity: 0.16,
+			Stability: StabilityUnknown, Corrosive: true, ElectricallyConductive: false,
+			CostPerTon: 2500,
+		},
+		{
+			Name: "n-Paraffins (typ.)", Class: "n-Paraffins", Phase: SolidLiquid,
+			MeltingPointC: 36.6, MeltRangeK: 1,
+			HeatOfFusion: 240e3, DensitySolid: 780, DensityLiquid: 760,
+			SpecificHeatSolid: 2000, SpecificHeatLiquid: 2200, Conductivity: 0.21,
+			Stability: StabilityExcellent, Corrosive: false, ElectricallyConductive: false,
+			CostPerTon: 75000,
+		},
+		{
+			Name: "Commercial Paraffins (typ.)", Class: "Commercial Paraffins", Phase: SolidLiquid,
+			MeltingPointC: 50, MeltRangeK: 4,
+			HeatOfFusion: 200e3, DensitySolid: 800, DensityLiquid: 760,
+			SpecificHeatSolid: 2000, SpecificHeatLiquid: 2200, Conductivity: 0.2,
+			Stability: StabilityVeryGood, Corrosive: false, ElectricallyConductive: false,
+			CostPerTon: 1500,
+		},
+	}
+}
+
+// SolidSolidCandidates returns representative solid-solid PCMs of the
+// kind Pielichowska et al. survey. Section 2.1 finds them attractive on
+// paper (no spillage risk, low expansion) but rejects every available
+// candidate: transition temperatures outside datacenter range, stability
+// collapse within ~100 cycles, low energy density, or prohibitive cost.
+func SolidSolidCandidates() []Material {
+	return []Material{
+		{
+			Name: "Pentaglycerine (solid-solid)", Class: "Polyalcohols", Phase: SolidSolid,
+			MeltingPointC: 81, MeltRangeK: 3, // transition far above datacenter range
+			HeatOfFusion: 193e3, DensitySolid: 1040, DensityLiquid: 1040,
+			SpecificHeatSolid: 2200, SpecificHeatLiquid: 2200, Conductivity: 0.3,
+			Stability: StabilityGood, Corrosive: false, ElectricallyConductive: false,
+			CostPerTon: 9000,
+		},
+		{
+			Name: "Neopentyl glycol (solid-solid)", Class: "Polyalcohols", Phase: SolidSolid,
+			MeltingPointC: 43, MeltRangeK: 4, // in range, but degrades fast
+			HeatOfFusion: 110e3, DensitySolid: 1060, DensityLiquid: 1060,
+			SpecificHeatSolid: 2100, SpecificHeatLiquid: 2100, Conductivity: 0.25,
+			Stability: StabilityPoor, Corrosive: false, ElectricallyConductive: false,
+			CostPerTon: 7000,
+		},
+		{
+			Name: "Polyurethane SSPCM (solid-solid)", Class: "Polymeric", Phase: SolidSolid,
+			MeltingPointC: 48, MeltRangeK: 6, // in range and stable, but costly
+			HeatOfFusion: 95e3, DensitySolid: 1100, DensityLiquid: 1100,
+			SpecificHeatSolid: 1800, SpecificHeatLiquid: 1800, Conductivity: 0.2,
+			Stability: StabilityVeryGood, Corrosive: false, ElectricallyConductive: false,
+			CostPerTon: 28000,
+		},
+	}
+}
+
+// Eicosane is the molecular-pure n-paraffin studied for computational
+// sprinting: heat of fusion 247 J/g, melting point 36.6 degC, quoted at
+// $75,000 per ton.
+func Eicosane() Material {
+	return Material{
+		Name: "Eicosane", Class: "n-Paraffins", Phase: SolidLiquid,
+		MeltingPointC: 36.6, MeltRangeK: 0.5, FreezeHysteresisK: 0.5,
+		HeatOfFusion: 247e3, DensitySolid: 788, DensityLiquid: 769,
+		SpecificHeatSolid: 2010, SpecificHeatLiquid: 2210, Conductivity: 0.23,
+		Stability: StabilityExcellent, Corrosive: false, ElectricallyConductive: false,
+		CostPerTon: 75000,
+	}
+}
+
+// CommercialParaffin returns the commercial-grade wax the paper deploys: a
+// paraffin blend with heat of fusion 200 J/g, a melting point selectable
+// between 40 and 60 degC at purchase (about $1,000-2,000/ton in bulk), and
+// a few-kelvin mushy zone because it is a molecular mixture.
+func CommercialParaffin(meltingPointC float64) (Material, error) {
+	if meltingPointC < 40 || meltingPointC > 60 {
+		return Material{}, fmt.Errorf("pcm: commercial paraffin melting point %v degC outside the purchasable 40-60 range", meltingPointC)
+	}
+	return Material{
+		Name:          fmt.Sprintf("Commercial Paraffin (Tm=%.1f)", meltingPointC),
+		Class:         "Commercial Paraffins",
+		Phase:         SolidLiquid,
+		MeltingPointC: meltingPointC, MeltRangeK: 2, FreezeHysteresisK: 4,
+		HeatOfFusion: 200e3, DensitySolid: 800, DensityLiquid: 760,
+		SpecificHeatSolid: 2000, SpecificHeatLiquid: 2200, Conductivity: 0.2,
+		Stability: StabilityVeryGood, Corrosive: false, ElectricallyConductive: false,
+		CostPerTon: 1500,
+	}, nil
+}
+
+// ValidationParaffin returns the wax used in the Section 3 single-server
+// experiments: commercial-grade paraffin whose melting temperature the
+// authors measured at 39 degC. It sits just below the purchasable bulk
+// range, so it is constructed directly rather than via CommercialParaffin.
+func ValidationParaffin() Material {
+	m, _ := CommercialParaffin(40)
+	m.Name = "Commercial Paraffin (Tm=39.0, measured)"
+	m.MeltingPointC = 39
+	return m
+}
+
+// SelectionCriteria captures the deployment envelope used to judge
+// materials for the datacenter (Section 2.1): the melting point must fall
+// between the minimum (idle, night) and maximum (loaded, peak) internal air
+// temperatures, and the material must tolerate daily cycling for the
+// server lifetime.
+type SelectionCriteria struct {
+	MinMeltC float64 // coolest acceptable melting point, degC
+	MaxMeltC float64 // warmest acceptable melting point, degC
+	// MinCycles is the number of melt/freeze cycles the deployment needs
+	// (one per day over a four-year server lifespan is ~1500).
+	MinCycles int
+	// MaxCostPerTon caps material cost; 0 means no cap.
+	MaxCostPerTon float64
+}
+
+// DatacenterCriteria returns the paper's deployment envelope: 30-60 degC
+// melting window, ~1500 daily cycles over a 4-year server life, and a cost
+// that keeps the per-server wax bill negligible.
+func DatacenterCriteria() SelectionCriteria {
+	return SelectionCriteria{MinMeltC: 30, MaxMeltC: 60, MinCycles: 1460, MaxCostPerTon: 5000}
+}
+
+// minCyclesFor maps a stability grade to the cycle count the literature
+// supports: paraffins show negligible degradation past 1,000 cycles;
+// poor-stability materials fail within ~100.
+func minCyclesFor(s Stability) int {
+	switch s {
+	case StabilityExcellent:
+		return 10000
+	case StabilityVeryGood:
+		return 5000
+	case StabilityGood:
+		return 1000
+	case StabilityPoor:
+		return 100
+	default:
+		return 0
+	}
+}
+
+// Unsuitability lists the reasons a material fails the criteria; empty
+// means suitable.
+func (c SelectionCriteria) Unsuitability(m *Material) []string {
+	var reasons []string
+	if m.Phase != SolidLiquid && m.Phase != SolidSolid {
+		reasons = append(reasons, fmt.Sprintf("%v transformation loses density or containment in the gas phase", m.Phase))
+	}
+	if m.MeltingPointC < c.MinMeltC || m.MeltingPointC > c.MaxMeltC {
+		reasons = append(reasons, fmt.Sprintf("melting point %.1f degC outside [%.0f, %.0f]", m.MeltingPointC, c.MinMeltC, c.MaxMeltC))
+	}
+	if minCyclesFor(m.Stability) < c.MinCycles {
+		reasons = append(reasons, fmt.Sprintf("stability %v supports <%d of the required %d cycles", m.Stability, c.MinCycles, c.MinCycles))
+	}
+	if m.Corrosive {
+		reasons = append(reasons, "corrosive on leakage")
+	}
+	if m.ElectricallyConductive {
+		reasons = append(reasons, "electrically conductive on leakage")
+	}
+	if c.MaxCostPerTon > 0 && m.CostPerTon > c.MaxCostPerTon {
+		reasons = append(reasons, fmt.Sprintf("cost $%.0f/ton exceeds $%.0f/ton budget", m.CostPerTon, c.MaxCostPerTon))
+	}
+	return reasons
+}
+
+// Suitable reports whether the material passes every criterion.
+func (c SelectionCriteria) Suitable(m *Material) bool {
+	return len(c.Unsuitability(m)) == 0
+}
+
+// Ranked returns the candidate materials ordered best-first: suitable
+// materials before unsuitable ones, then by latent energy density per
+// dollar (energy density divided by cost, with unknown cost last within
+// its group).
+func (c SelectionCriteria) Ranked(candidates []Material) []Material {
+	out := append([]Material(nil), candidates...)
+	score := func(m *Material) float64 {
+		if m.CostPerTon <= 0 {
+			return 0
+		}
+		return m.EnergyDensity() / m.CostPerTon
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := c.Suitable(&out[i]), c.Suitable(&out[j])
+		if si != sj {
+			return si
+		}
+		return score(&out[i]) > score(&out[j])
+	})
+	return out
+}

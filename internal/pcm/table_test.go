@@ -1,0 +1,198 @@
+package pcm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFamiliesMatchTable1(t *testing.T) {
+	fams := Families()
+	if len(fams) != 5 {
+		t.Fatalf("Families() returned %d rows, want 5", len(fams))
+	}
+	byClass := map[string]Material{}
+	for _, m := range fams {
+		if err := m.Validate(); err != nil {
+			t.Errorf("family %s invalid: %v", m.Name, err)
+		}
+		byClass[m.Class] = m
+	}
+	// Spot-check Table 1 structure.
+	if m := byClass["Salt Hydrates"]; !m.Corrosive || m.Stability != StabilityPoor {
+		t.Error("salt hydrates should be corrosive with poor stability")
+	}
+	if m := byClass["Metal Alloys"]; m.MeltingPointC <= 300 {
+		t.Errorf("metal alloys melting point %v, want >300", m.MeltingPointC)
+	}
+	if m := byClass["n-Paraffins"]; m.Corrosive || m.ElectricallyConductive {
+		t.Error("n-paraffins should be non-corrosive and non-conductive")
+	}
+	if m := byClass["Commercial Paraffins"]; m.HeatOfFusion != 200e3 {
+		t.Errorf("commercial paraffin HoF %v, want 200e3", m.HeatOfFusion)
+	}
+}
+
+func TestCommercialParaffinRange(t *testing.T) {
+	for _, tm := range []float64{40, 50, 60} {
+		m, err := CommercialParaffin(tm)
+		if err != nil {
+			t.Errorf("CommercialParaffin(%v) rejected: %v", tm, err)
+		}
+		if m.MeltingPointC != tm {
+			t.Errorf("melting point %v, want %v", m.MeltingPointC, tm)
+		}
+	}
+	for _, tm := range []float64{39.9, 60.1, 0, 100} {
+		if _, err := CommercialParaffin(tm); err == nil {
+			t.Errorf("CommercialParaffin(%v) accepted out-of-range melting point", tm)
+		}
+	}
+}
+
+func TestValidationParaffin(t *testing.T) {
+	m := ValidationParaffin()
+	if m.MeltingPointC != 39 {
+		t.Errorf("validation wax melting point %v, want 39 (measured)", m.MeltingPointC)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatacenterSelectionMatchesPaper(t *testing.T) {
+	// Section 2.1's conclusion: among the Table 1 families under datacenter
+	// criteria, only the paraffins survive; commercial paraffin wins on
+	// cost.
+	crit := DatacenterCriteria()
+	var suitable []string
+	for _, m := range Families() {
+		m := m
+		if crit.Suitable(&m) {
+			suitable = append(suitable, m.Class)
+		}
+	}
+	if len(suitable) != 1 || suitable[0] != "Commercial Paraffins" {
+		t.Errorf("suitable families = %v, want only Commercial Paraffins (n-paraffins fail the cost cap)", suitable)
+	}
+
+	// Drop the cost cap and both paraffin families pass.
+	crit.MaxCostPerTon = 0
+	suitable = suitable[:0]
+	for _, m := range Families() {
+		m := m
+		if crit.Suitable(&m) {
+			suitable = append(suitable, m.Class)
+		}
+	}
+	if len(suitable) != 2 {
+		t.Errorf("without cost cap suitable = %v, want both paraffin families", suitable)
+	}
+}
+
+func TestUnsuitabilityReasons(t *testing.T) {
+	crit := DatacenterCriteria()
+	fams := Families()
+	var salt, metal Material
+	for _, m := range fams {
+		switch m.Class {
+		case "Salt Hydrates":
+			salt = m
+		case "Metal Alloys":
+			metal = m
+		}
+	}
+	reasons := crit.Unsuitability(&salt)
+	joined := strings.Join(reasons, "; ")
+	if !strings.Contains(joined, "corrosive") || !strings.Contains(joined, "stability") {
+		t.Errorf("salt hydrate reasons missing corrosion/stability: %v", reasons)
+	}
+	reasons = crit.Unsuitability(&metal)
+	joined = strings.Join(reasons, "; ")
+	if !strings.Contains(joined, "melting point") {
+		t.Errorf("metal alloy reasons missing melting point: %v", reasons)
+	}
+}
+
+func TestGasPhaseRejected(t *testing.T) {
+	crit := DatacenterCriteria()
+	m := Eicosane()
+	m.Phase = LiquidGas
+	if crit.Suitable(&m) {
+		t.Error("liquid-gas PCM should be unsuitable")
+	}
+	found := false
+	for _, r := range crit.Unsuitability(&m) {
+		if strings.Contains(r, "gas phase") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing gas-phase reason")
+	}
+}
+
+func TestRankedPutsSuitableFirst(t *testing.T) {
+	crit := DatacenterCriteria()
+	ranked := crit.Ranked(Families())
+	if len(ranked) != 5 {
+		t.Fatalf("Ranked dropped rows: %d", len(ranked))
+	}
+	if ranked[0].Class != "Commercial Paraffins" {
+		t.Errorf("best material = %s, want Commercial Paraffins", ranked[0].Name)
+	}
+	// Suitable materials must precede unsuitable ones.
+	seenUnsuitable := false
+	for i := range ranked {
+		ok := crit.Suitable(&ranked[i])
+		if ok && seenUnsuitable {
+			t.Errorf("suitable material %s ranked after unsuitable", ranked[i].Name)
+		}
+		if !ok {
+			seenUnsuitable = true
+		}
+	}
+}
+
+func TestRankedDoesNotMutateInput(t *testing.T) {
+	crit := DatacenterCriteria()
+	in := Families()
+	name0 := in[0].Name
+	_ = crit.Ranked(in)
+	if in[0].Name != name0 {
+		t.Error("Ranked reordered the caller's slice")
+	}
+}
+
+// Section 2.1: every available solid-solid candidate fails the datacenter
+// criteria — wrong transition temperature, poor cycling stability, low
+// energy density, or prohibitive cost.
+func TestSolidSolidCandidatesAllRejected(t *testing.T) {
+	crit := DatacenterCriteria()
+	cands := SolidSolidCandidates()
+	if len(cands) < 3 {
+		t.Fatalf("want several candidates, got %d", len(cands))
+	}
+	for _, m := range cands {
+		m := m
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+		if m.Phase != SolidSolid {
+			t.Errorf("%s is not solid-solid", m.Name)
+		}
+		if crit.Suitable(&m) {
+			t.Errorf("%s passed the datacenter criteria; Section 2.1 rejects all solid-solid candidates", m.Name)
+		}
+	}
+	// And they lose to commercial paraffin on energy per dollar.
+	comm, err := CommercialParaffin(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commScore := comm.EnergyDensity() / comm.CostPerTon
+	for _, m := range cands {
+		if m.EnergyDensity()/m.CostPerTon >= commScore {
+			t.Errorf("%s beats commercial paraffin on energy/dollar", m.Name)
+		}
+	}
+}

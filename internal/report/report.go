@@ -1,0 +1,162 @@
+// Package report renders experiment results as the fixed-width text
+// tables the CLI prints. Keeping the formatting here (pure functions from
+// result structs to strings) makes the presentation testable and the
+// binaries trivial.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/tco"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Table1 renders the PCM survey with the datacenter suitability ranking.
+func Table1(crit pcm.SelectionCriteria, materials []pcm.Material) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Table 1: properties of common solid-liquid PCMs ==")
+	fmt.Fprintf(&b, "%-28s %12s %12s %10s %-10s %7s %9s\n",
+		"PCM", "Melt (degC)", "HoF (J/g)", "rho (g/ml)", "Stability", "E.Cond", "Corrosive")
+	for _, m := range crit.Ranked(materials) {
+		cond := "Low"
+		if m.ElectricallyConductive {
+			cond = "High"
+		}
+		corr := "No"
+		if m.Corrosive {
+			corr = "Yes"
+		}
+		fmt.Fprintf(&b, "%-28s %12.1f %12.0f %10.2f %-10s %7s %9s\n",
+			m.Class, m.MeltingPointC, m.HeatOfFusion/1000, m.DensitySolid/1000,
+			m.Stability, cond, corr)
+	}
+	return b.String()
+}
+
+// CostComparison renders the Section 2.1 eicosane-vs-commercial price gap
+// for a fleet needing the given liters of wax.
+func CostComparison(eico, comm pcm.Material, liters float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2.1 cost comparison (%.0f l of wax):\n", liters)
+	fmt.Fprintf(&b, "  %-38s $%11.0f total ($%6.0f/ton)\n", eico.Name, eico.CostForVolume(liters), eico.CostPerTon)
+	fmt.Fprintf(&b, "  %-38s $%11.0f total ($%6.0f/ton)\n", comm.Name, comm.CostForVolume(liters), comm.CostPerTon)
+	fmt.Fprintf(&b, "  cost ratio %.0fx for %.0f%% lower energy per gram\n",
+		eico.CostPerTon/comm.CostPerTon, (1-comm.HeatOfFusion/eico.HeatOfFusion)*100)
+	return b.String()
+}
+
+// Validation renders the Figure 4 / Section 3 summary.
+func Validation(v *core.ValidationResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Figure 4 / Section 3: single-server model validation ==")
+	fmt.Fprintf(&b, "wall power:     %.0f W idle -> %.0f W loaded (paper: 90 -> 185)\n", v.IdlePowerW, v.LoadedPowerW)
+	fmt.Fprintf(&b, "CPU per socket: %.0f W idle -> %.0f W loaded (paper: 6 -> 46)\n", v.CPUIdleW, v.CPULoadedW)
+	fmt.Fprintf(&b, "die sensor:     %.0f degC idle -> %.0f degC loaded (paper: 42 -> 76)\n", v.DieIdleC, v.DieLoadedC)
+	fmt.Fprintf(&b, "steady-state real-vs-model mean diff: %.2f degC (paper: 0.22)\n", v.SteadyMeanAbsDiffC)
+	fmt.Fprintf(&b, "heat-up real-vs-model correlation:    %.3f\n", v.HeatUpCorrelation)
+	fmt.Fprintf(&b, "wax depresses temps for %.1f h while melting (paper: ~2 h)\n", v.MeltDepressionHours)
+	fmt.Fprintf(&b, "wax elevates temps for %.1f h while freezing (paper: ~2 h)\n", v.FreezeElevationHours)
+	return b.String()
+}
+
+// Sweeps renders the Figure 7 tables.
+func Sweeps(res []core.SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Figure 7: temperatures vs obstructed airflow ==")
+	for _, r := range res {
+		fmt.Fprintf(&b, "\n%s:\n%8s %10s %10s  sockets (degC)\n", r.Class, "block", "flow", "outlet")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%7.0f%% %9.2f%% %9.1fC ", p.Blockage*100, p.FlowFraction*100, p.OutletC)
+			for _, sc := range p.SocketC {
+				fmt.Fprintf(&b, " %6.1f", sc)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// TraceSummary renders the Figure 10 statistics.
+func TraceSummary(tr *workload.Trace) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Figure 10: two-day normalized datacenter load ==")
+	p, at := tr.Total.Peak()
+	trough, _ := tr.Total.Trough()
+	fmt.Fprintf(&b, "mean %.1f%%, peak %.1f%% at hour %.1f, trough %.1f%%\n",
+		tr.Total.Mean()*100, p*100, at/units.Hour, trough*100)
+	for _, j := range workload.JobTypes {
+		share := tr.PerType[j].Mean() / tr.Total.Mean()
+		fmt.Fprintf(&b, "  %-12s %4.0f%% of load\n", j, share*100)
+	}
+	return b.String()
+}
+
+// Cooling renders one machine's Figure 11 block.
+func Cooling(r *core.CoolingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (melt %.1f degC, onset at %.0f%% load):\n", r.Class, r.MeltC, r.MeltOnsetUtilization*100)
+	fmt.Fprintf(&b, "  peak cooling: %.1f kW -> %.1f kW per cluster (-%.1f%%)\n",
+		r.Analysis.PeakBaselineW/1000, r.Analysis.PeakWithPCMW/1000, r.Analysis.PeakReduction*100)
+	fmt.Fprintf(&b, "  resolidify window: %.1f h (paper: 6-9 h)\n", r.Analysis.ResolidifyHours)
+	fmt.Fprintf(&b, "  10 MW alternatives: %d more servers, or $%.0fk/yr smaller cooling system\n",
+		r.ExtraServers, r.AnnualCoolingSavingsUSD/1000)
+	fmt.Fprintf(&b, "  retrofit savings vs new cooling plant: $%.1fM/yr\n", r.RetrofitSavingsUSD/1e6)
+	return b.String()
+}
+
+// Throughput renders one machine's Figure 12 block.
+func Throughput(r *core.ThroughputResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (cluster limit %.0f kW):\n", r.Class, r.LimitW/1000)
+	fmt.Fprintf(&b, "  peak throughput: +%.0f%% (paper: +33/69/34)\n", r.PeakGain*100)
+	fmt.Fprintf(&b, "  thermal limit deferred %.1f h/day (paper: 5.1/3.1/3.1)\n", r.DelayHours)
+	fmt.Fprintf(&b, "  TCO efficiency improvement: %.0f%% (paper: 23/39/24)\n", r.TCOEfficiencyImprovement*100)
+	return b.String()
+}
+
+// Table2 renders the TCO parameter table.
+func Table2(p tco.Params) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Table 2: TCO parameters ($/month) ==")
+	rows := []struct {
+		name, val, unit string
+	}{
+		{"FacilitySpaceCapEx", fmt.Sprintf("%.2f", p.FacilitySpaceCapExPerSqFt), "$/sq.ft"},
+		{"UPSCapEx", fmt.Sprintf("%.2f", p.UPSCapExPerServer), "$/server"},
+		{"PowerInfraCapEx", fmt.Sprintf("%.1f", p.PowerInfraCapExPerKW), "$/kW"},
+		{"CoolingInfraCapEx", fmt.Sprintf("%.1f", p.CoolingInfraCapExPerKW), "$/kW"},
+		{"RestCapEx", fmt.Sprintf("%.1f", p.RestCapExPerKW), "$/kW"},
+		{"DCInterest", fmt.Sprintf("%.1f", p.DCInterestPerKW), "$/kW"},
+		{"ServerCapEx ($2k..$7k)", fmt.Sprintf("%.0f-%.0f", p.ServerCapExPerServer(2000), p.ServerCapExPerServer(7000)), "$/server"},
+		{"ServerInterest", fmt.Sprintf("%.2f-%.2f", p.ServerInterestPerServer(2000), p.ServerInterestPerServer(7000)), "$/server"},
+		{"DatacenterOpEx", fmt.Sprintf("%.1f", p.DatacenterOpExPerKW), "$/kW"},
+		{"ServerEnergyOpEx", fmt.Sprintf("%.1f", p.ServerEnergyOpExPerKW), "$/kW"},
+		{"ServerPowerOpEx", fmt.Sprintf("%.1f", p.ServerPowerOpExPerKW), "$/kW"},
+		{"CoolingEnergyOpEx", fmt.Sprintf("%.1f", p.CoolingEnergyOpExPerKW), "$/kW"},
+		{"RestOpEx", fmt.Sprintf("%.1f", p.RestOpExPerKW), "$/kW"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-24s %14s  %s\n", r.name, r.val, r.unit)
+	}
+	return b.String()
+}
+
+// Extensions renders one machine's extension block.
+func Extensions(cw *core.StorageComparison, comp *core.ComplementarityResult, night *core.NightAdvantages) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", cw.Class)
+	fmt.Fprintf(&b, "  vs chilled water (equal energy): wax -%.1f%% passive | tank -%.1f%% at %.1f m^3, %.0f+%.0f kWh/day overhead\n",
+		cw.WaxReduction*100, cw.TankReduction*100, cw.TankVolumeM3,
+		cw.TankPumpKWhPerDay, cw.TankStandingKWhPerDay)
+	fmt.Fprintf(&b, "  with UPS batteries: grid-total peak -%.1f%% (battery) | -%.1f%% (wax) | -%.1f%% (both)\n",
+		comp.TotalReductionBatteryOnly*100, comp.TotalReductionWaxOnly*100, comp.TotalReductionCombined*100)
+	fmt.Fprintf(&b, "  night shift: free-cooled %.2f%% -> %.2f%% of heat; chiller bill $%.0f -> $%.0f per trace\n",
+		night.FreeFractionBase*100, night.FreeFractionPCM*100, night.TOUCostBaseUSD, night.TOUCostPCMUSD)
+	fmt.Fprintf(&b, "  facility PUE: %.3f -> %.3f (the wax shifts when, not how much)\n",
+		night.PUEBase, night.PUEPCM)
+	return b.String()
+}

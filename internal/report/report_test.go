@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/tco"
+	"repro/internal/workload"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1(pcm.DatacenterCriteria(), pcm.Families())
+	for _, want := range []string{
+		"Table 1", "Salt Hydrates", "Metal Alloys", "Fatty Acids",
+		"n-Paraffins", "Commercial Paraffins", "Corrosive",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	// Commercial paraffins rank first under datacenter criteria.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 || !strings.Contains(lines[2], "Commercial Paraffins") {
+		t.Errorf("best-ranked row = %q, want Commercial Paraffins", lines[2])
+	}
+}
+
+func TestCostComparison(t *testing.T) {
+	comm, err := pcm.CommercialParaffin(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CostComparison(pcm.Eicosane(), comm, 1000)
+	if !strings.Contains(out, "50x") {
+		t.Errorf("missing the 50x headline: %q", out)
+	}
+	if !strings.Contains(out, "Eicosane") {
+		t.Error("missing eicosane row")
+	}
+}
+
+func TestValidationRendering(t *testing.T) {
+	v := &core.ValidationResult{
+		IdlePowerW: 90, LoadedPowerW: 185, CPUIdleW: 6, CPULoadedW: 46,
+		DieIdleC: 31, DieLoadedC: 61, SteadyMeanAbsDiffC: 0.22,
+		HeatUpCorrelation: 0.98, MeltDepressionHours: 2.1, FreezeElevationHours: 2.4,
+	}
+	out := Validation(v)
+	for _, want := range []string{"90 W idle -> 185 W loaded", "0.22", "0.980", "2.1 h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Validation missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTraceSummaryRendering(t *testing.T) {
+	out := TraceSummary(workload.GoogleTwoDay())
+	for _, want := range []string{"mean 50.0%", "peak 95.0%", "Web Search", "Orkut", "MapReduce"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TraceSummary missing %q", want)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	out := Table2(tco.PaperParams())
+	for _, want := range []string{
+		"CoolingInfraCapEx", "7.0", "42-146", "11.00-38.50", "DCInterest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestSweepsRendering(t *testing.T) {
+	s := core.NewStudy()
+	res, err := s.RunBlockageSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Sweeps(res)
+	if !strings.Contains(out, "1U low power") || !strings.Contains(out, "Open Compute") {
+		t.Error("Sweeps missing machine sections")
+	}
+	if strings.Count(out, "%") < 20 {
+		t.Error("Sweeps missing data rows")
+	}
+}
+
+func TestCoolingAndThroughputRendering(t *testing.T) {
+	s := core.NewStudy()
+	cr, err := s.RunCoolingStudy(core.TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Cooling(cr)
+	if !strings.Contains(out, "peak cooling") || !strings.Contains(out, "retrofit") {
+		t.Errorf("Cooling rendering incomplete: %q", out)
+	}
+	tr, err := s.RunThroughputStudy(core.TwoU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = Throughput(tr)
+	if !strings.Contains(out, "peak throughput: +69%") {
+		t.Errorf("Throughput rendering: %q", out)
+	}
+}
+
+func TestExtensionsRendering(t *testing.T) {
+	s := core.NewStudy()
+	cw, err := s.CompareChilledWater(core.OneU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := s.RunComplementarity(core.OneU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, err := s.RunNightAdvantages(core.OneU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Extensions(cw, comp, night)
+	for _, want := range []string{"chilled water", "UPS batteries", "night shift"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Extensions missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/pcm"
+	"repro/internal/thermal"
+)
+
+// BuildOptions selects what to materialize from a Config.
+type BuildOptions struct {
+	// WithWax installs the filled wax containers.
+	WithWax bool
+	// PlaceboBox installs empty containers: the same airflow obstruction
+	// and aluminum shell but no latent storage (the paper's control).
+	PlaceboBox bool
+	// MeltC overrides the wax melting temperature; 0 uses the config
+	// default.
+	MeltC float64
+	// Fine selects the detailed ("Icepak") discretization: components with
+	// FineSplit are subdivided into independent nodes.
+	Fine bool
+	// Utilization gives server load in [0, 1] versus time; nil means
+	// constant full load.
+	Utilization func(t float64) float64
+	// FreqRatio gives the DVFS frequency ratio versus time; nil means 1.
+	FreqRatio func(t float64) float64
+}
+
+// Build is a materialized server thermal model plus handles to the pieces
+// experiments probe.
+type Build struct {
+	Config  *Config
+	Model   *thermal.Model
+	Wax     *pcm.State       // nil unless WithWax
+	WaxHA   float64          // conductance used for the wax attachment
+	WakeSt  *thermal.Station // the CPU wake the wax sits in
+	Outlet  *thermal.Station // bulk exhaust
+	CPUs    []*thermal.Node
+	ByName  map[string]*thermal.Node
+	FlowM3s float64
+
+	utilFn func(t float64) float64
+	freqFn func(t float64) float64
+}
+
+// DieTempC returns the junction temperature the chip's internal sensor
+// would report for CPU i at time t: the socket node temperature plus the
+// die resistance times the socket's current dissipation.
+func (b *Build) DieTempC(i int, t float64) float64 {
+	if i < 0 || i >= len(b.CPUs) {
+		return 0
+	}
+	node := b.CPUs[i]
+	p := 0.0
+	if node.Power != nil {
+		p = node.Power(t)
+	}
+	return node.Temperature() + b.Config.DieResistanceKPerW*p
+}
+
+// BuildModel materializes the thermal network for the configuration.
+func BuildModel(cfg *Config, opts BuildOptions) (*Build, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	blockage := 0.0
+	if opts.WithWax || opts.PlaceboBox {
+		blockage = cfg.Wax.ExtraBlockage
+	}
+	flow, err := cfg.FlowAt(blockage)
+	if err != nil {
+		return nil, err
+	}
+	// Conductances are specified at nominal flow: construct at nominal so
+	// velocity scaling references it, then apply the actual flow.
+	m, err := thermal.NewModel(cfg.InletC, cfg.NominalFlow)
+	if err != nil {
+		return nil, err
+	}
+	m.FlowM3s = flow
+
+	util := opts.Utilization
+	if util == nil {
+		util = func(float64) float64 { return 1 }
+	}
+	freq := opts.FreqRatio
+	if freq == nil {
+		freq = func(float64) float64 { return 1 }
+	}
+
+	b := &Build{Config: cfg, Model: m, ByName: make(map[string]*thermal.Node), FlowM3s: flow,
+		utilFn: util, freqFn: freq}
+	// The fans step between idle and loaded speed with load.
+	m.FlowFunc = func(t float64) float64 { return flow * cfg.FanFactor(util(t)) }
+	m.FlowM3s = m.FlowFunc(0)
+
+	addComponent := func(st *thermal.Station, comp ComponentSpec) error {
+		split := 1
+		if opts.Fine && comp.FineSplit > 1 {
+			split = comp.FineSplit
+		}
+		for i := 0; i < split; i++ {
+			name := comp.Name
+			if split > 1 {
+				name = fmt.Sprintf("%s[%d]", comp.Name, i)
+			}
+			comp := comp
+			power := func(t float64) float64 {
+				return comp.PowerAt(util(t), freq(t)) / float64(split)
+			}
+			n, err := m.AddNode(name, comp.CapacityJPerK/float64(split), power)
+			if err != nil {
+				return err
+			}
+			if err := m.Attach(st, n, comp.HA/float64(split), true); err != nil {
+				return err
+			}
+			b.ByName[name] = n
+			if comp.CPUScaled {
+				b.CPUs = append(b.CPUs, n)
+			}
+		}
+		return nil
+	}
+
+	var wake *thermal.Station
+	for _, comp := range cfg.Components {
+		if comp.InCPUWake {
+			if wake == nil {
+				wake, err = m.AddWakeStation("cpu wake", cfg.CPUWakeShare)
+				if err != nil {
+					return nil, err
+				}
+				b.WakeSt = wake
+			}
+			if err := addComponent(wake, comp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st := m.AddStation(comp.Name)
+		if err := addComponent(st, comp); err != nil {
+			return nil, err
+		}
+		// The wax wake sits immediately after the CPUs; install it before
+		// the first post-CPU bulk component.
+		_ = st
+	}
+	if wake == nil {
+		return nil, fmt.Errorf("server: %s has no CPU-wake components", cfg.Name)
+	}
+
+	if opts.WithWax {
+		meltC := opts.MeltC
+		if meltC == 0 {
+			meltC = cfg.Wax.DefaultMeltC
+		}
+		enc, err := cfg.Wax.Enclosure(meltC)
+		if err != nil {
+			return nil, err
+		}
+		state, err := pcm.NewState(enc, cfg.InletC)
+		if err != nil {
+			return nil, err
+		}
+		b.Wax = state
+		b.WaxHA = cfg.WaxHA(enc)
+		if err := m.AttachWax(wake, state, b.WaxHA, true); err != nil {
+			return nil, err
+		}
+	} else if opts.PlaceboBox {
+		// The empty box: its aluminum shell still stores a little sensible
+		// heat and exchanges with the wake.
+		enc, err := cfg.Wax.Enclosure(cfg.Wax.DefaultMeltC)
+		if err != nil {
+			return nil, err
+		}
+		shellCap := enc.HeatCapacitySolid() - enc.WaxMass()*enc.Material.SpecificHeatSolid
+		n, err := m.AddNode("placebo box", shellCap, nil)
+		if err != nil {
+			return nil, err
+		}
+		b.WaxHA = cfg.WaxHA(enc)
+		if err := m.Attach(wake, n, b.WaxHA, true); err != nil {
+			return nil, err
+		}
+		b.ByName["placebo box"] = n
+	}
+
+	b.Outlet = m.AddStation("outlet")
+	return b, nil
+}

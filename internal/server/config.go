@@ -1,0 +1,270 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/airflow"
+	"repro/internal/pcm"
+	"repro/internal/units"
+)
+
+// ComponentSpec describes one heat-dissipating component of a server, in
+// downstream (front-to-rear) order within Config.Components.
+type ComponentSpec struct {
+	Name string
+	// IdleW and PeakW bound the component's dissipation: idle at zero
+	// utilization, peak at full utilization and nominal frequency.
+	IdleW, PeakW float64
+	// CapacityJPerK is the lumped thermal capacitance.
+	CapacityJPerK float64
+	// HA is the convective conductance to the local air at nominal flow,
+	// W/K.
+	HA float64
+	// CPUScaled components scale their dynamic power with utilization and
+	// the square of the DVFS frequency ratio; others with utilization only.
+	CPUScaled bool
+	// InCPUWake places the component inside the CPU wake station (shared
+	// hot sub-stream) rather than on the bulk flow.
+	InCPUWake bool
+	// FineSplit subdivides the component into this many identical nodes in
+	// the fine ("Icepak") model; 0 or 1 means no split.
+	FineSplit int
+}
+
+// dynamicW returns the component's peak-minus-idle swing.
+func (c ComponentSpec) dynamicW() float64 { return c.PeakW - c.IdleW }
+
+// PowerAt returns the component's dissipation at utilization u in [0, 1]
+// and DVFS frequency ratio fr in (0, 1].
+func (c ComponentSpec) PowerAt(u, fr float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	scale := 1.0
+	if c.CPUScaled {
+		scale = fr * fr
+	}
+	return c.IdleW + u*c.dynamicW()*scale
+}
+
+// WaxSpec describes the PCM retrofit for a server: how much wax, in what
+// boxes, where, and how much of the duct it obstructs beyond the baseline
+// configuration.
+type WaxSpec struct {
+	// Box and Count define the containers; FillFraction the wax fill.
+	Box          pcm.Box
+	Count        int
+	FillFraction float64
+	// ExtraBlockage is the added duct blockage fraction relative to the
+	// baseline (no-wax) configuration. The Open Compute retrofit replaces
+	// existing air blockers, so its value is 0.
+	ExtraBlockage float64
+	// DefaultMeltC is the purchased melting temperature before
+	// optimization.
+	DefaultMeltC float64
+	// HTCBoost multiplies the flat-plate convection estimate for the box
+	// surfaces. The CFD-derived coefficients exceed the correlation where
+	// the heatsink exhaust jets impinge directly on the box faces; this
+	// factor carries that calibration (1 = plain correlation).
+	HTCBoost float64
+}
+
+// htcBoost returns the calibration factor, defaulting to 1.
+func (w WaxSpec) htcBoost() float64 {
+	if w.HTCBoost <= 0 {
+		return 1
+	}
+	return w.HTCBoost
+}
+
+// Enclosure materializes the wax spec with the given melting temperature.
+// Temperatures outside the commercial 40-60 degC range fall back to the
+// measured validation wax when close (the Section 3 unit melts at 39).
+func (w WaxSpec) Enclosure(meltC float64) (*pcm.Enclosure, error) {
+	mat, err := pcm.CommercialParaffin(meltC)
+	if err != nil {
+		if meltC >= 38.5 && meltC < 40 {
+			mat = pcm.ValidationParaffin()
+			mat.MeltingPointC = meltC
+		} else {
+			return nil, err
+		}
+	}
+	return pcm.NewEnclosure(mat, w.Box, w.Count, w.FillFraction)
+}
+
+// Config is the full description of one server model.
+type Config struct {
+	Name       string
+	FormFactor string // "1U", "2U", "blade"
+	Sockets    int
+
+	// IdleW and PeakW are wall power at zero and full utilization
+	// (nominal frequency); every watt ends up as heat in the chassis.
+	IdleW, PeakW float64
+
+	Components []ComponentSpec
+
+	// Airflow.
+	Fan         airflow.Fan
+	ChassisK    float64 // fixed chassis impedance, Pa/(m^3/s)^2
+	GrilleCoeff float64 // orifice coefficient for inserted blockage
+	DuctAreaM2  float64
+	NominalFlow float64 // m^3/s at zero added blockage
+	InletC      float64 // cold aisle temperature
+	// IdleFlowFraction is the fan delivery at idle relative to loaded
+	// speed; the fans step between the two with utilization (the paper
+	// models them "as a time-based step function between the idle and
+	// loaded speeds").
+	IdleFlowFraction float64
+	// FanSaturationUtil is the utilization at which the fans reach full
+	// speed; above it flow is flat and interior temperatures climb
+	// steeply with load, which is what confines wax melting to the peak
+	// hours. Zero defaults to 0.6.
+	FanSaturationUtil float64
+	// DieResistanceKPerW converts socket heat to the junction-over-package
+	// temperature delta the chip's internal sensors report.
+	DieResistanceKPerW float64
+	// MaxSocketC and MaxOutletC are the thermal safety ceilings used to
+	// flag "unsafe" operating points in the blockage sweeps (Figure 7's
+	// language). Zero selects the defaults (95 and 70 degC).
+	MaxSocketC, MaxOutletC float64
+
+	// CPUWakeShare is the fraction of flow in the heatsink exhaust jet the
+	// wax sits in.
+	CPUWakeShare float64
+
+	Wax  WaxSpec
+	Perf PerfModel
+
+	// Economics and packaging.
+	CostUSD        float64
+	ServersPerRack int
+	ClusterSize    int
+}
+
+// Validate checks internal consistency: the component budget must sum to
+// the server's idle and peak wall power.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("server: config has no name")
+	}
+	if c.IdleW <= 0 || c.PeakW <= c.IdleW {
+		return fmt.Errorf("server: %s: bad power envelope idle=%v peak=%v", c.Name, c.IdleW, c.PeakW)
+	}
+	if len(c.Components) == 0 {
+		return fmt.Errorf("server: %s: no components", c.Name)
+	}
+	var idle, peak float64
+	for _, comp := range c.Components {
+		if comp.IdleW < 0 || comp.PeakW < comp.IdleW {
+			return fmt.Errorf("server: %s: component %s power envelope idle=%v peak=%v",
+				c.Name, comp.Name, comp.IdleW, comp.PeakW)
+		}
+		if comp.CapacityJPerK <= 0 || comp.HA <= 0 {
+			return fmt.Errorf("server: %s: component %s needs positive capacity and conductance", c.Name, comp.Name)
+		}
+		idle += comp.IdleW
+		peak += comp.PeakW
+	}
+	if diff := idle - c.IdleW; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("server: %s: component idle sum %.3f != IdleW %.3f", c.Name, idle, c.IdleW)
+	}
+	if diff := peak - c.PeakW; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("server: %s: component peak sum %.3f != PeakW %.3f", c.Name, peak, c.PeakW)
+	}
+	if c.NominalFlow <= 0 || c.DuctAreaM2 <= 0 {
+		return fmt.Errorf("server: %s: airflow geometry unset", c.Name)
+	}
+	if c.CPUWakeShare <= 0 || c.CPUWakeShare > 1 {
+		return fmt.Errorf("server: %s: CPU wake share %v outside (0, 1]", c.Name, c.CPUWakeShare)
+	}
+	if c.IdleFlowFraction <= 0 || c.IdleFlowFraction > 1 {
+		return fmt.Errorf("server: %s: idle flow fraction %v outside (0, 1]", c.Name, c.IdleFlowFraction)
+	}
+	if c.DieResistanceKPerW < 0 {
+		return fmt.Errorf("server: %s: negative die resistance", c.Name)
+	}
+	if err := c.Perf.Validate(); err != nil {
+		return err
+	}
+	if c.ClusterSize <= 0 || c.ServersPerRack <= 0 {
+		return fmt.Errorf("server: %s: packaging unset", c.Name)
+	}
+	return nil
+}
+
+// PowerAt returns the server's wall power at utilization u and frequency
+// ratio fr.
+func (c *Config) PowerAt(u, fr float64) float64 {
+	total := 0.0
+	for _, comp := range c.Components {
+		total += comp.PowerAt(u, fr)
+	}
+	return total
+}
+
+// PowerAtFreq returns wall power at utilization u and an absolute clock in
+// GHz.
+func (c *Config) PowerAtFreq(u, fGHz float64) float64 {
+	return c.PowerAt(u, c.Perf.FrequencyRatio(fGHz))
+}
+
+// AirPath constructs the airflow path for the chassis.
+func (c *Config) AirPath() (*airflow.Path, error) {
+	return airflow.NewPath(c.Fan, airflow.Impedance{K: c.ChassisK}, c.GrilleCoeff, c.DuctAreaM2)
+}
+
+// FlowAt returns the volumetric flow with the given added blockage.
+func (c *Config) FlowAt(blockage float64) (float64, error) {
+	path, err := c.AirPath()
+	if err != nil {
+		return 0, err
+	}
+	return path.Flow(blockage)
+}
+
+// WaxHA estimates the convective conductance between the wax boxes and the
+// wake air at nominal conditions: h(v_wake) times the enclosure surface
+// area, where the wake velocity comes from the open duct cross-section.
+func (c *Config) WaxHA(enc *pcm.Enclosure) float64 {
+	flow, err := c.FlowAt(c.Wax.ExtraBlockage)
+	if err != nil {
+		flow = c.NominalFlow
+	}
+	open := c.DuctAreaM2 * (1 - c.Wax.ExtraBlockage)
+	v := flow * c.CPUWakeShare / (open * c.CPUWakeShare)
+	// The share cancels for a proportional wake cross-section; keep the
+	// form explicit for clarity.
+	h := airflow.ConvectionCoefficient(v) * c.Wax.htcBoost()
+	return h * enc.SurfaceArea()
+}
+
+// FanFactor returns the fan delivery fraction at utilization u: the fans
+// step between idle and loaded speed with load.
+func (c *Config) FanFactor(u float64) float64 {
+	sat := c.FanSaturationUtil
+	if sat <= 0 {
+		sat = 0.6
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > sat {
+		return 1
+	}
+	return c.IdleFlowFraction + (1-c.IdleFlowFraction)*u/sat
+}
+
+// MCP returns the advective conductance (W/K) of the full nominal flow.
+func (c *Config) MCP() float64 { return units.AdvectionConductance(c.NominalFlow) }
+
+// ExhaustRiseAt returns the steady bulk exhaust temperature rise over inlet
+// at utilization u, frequency ratio fr and nominal flow: wall power divided
+// by the advective conductance.
+func (c *Config) ExhaustRiseAt(u, fr float64) float64 {
+	return c.PowerAt(u, fr) / c.MCP()
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Describe renders a human-readable inventory of the configuration: the
+// component power budget, airflow, wax fit and perf model. The waxsim CLI
+// prints it; tests pin the format loosely.
+func (c *Config) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s, %d sockets)\n", c.Name, c.FormFactor, c.Sockets)
+	fmt.Fprintf(&b, "  power: %.0f W idle -> %.0f W loaded | flow %.1f CFM (idle fraction %.0f%%)\n",
+		c.IdleW, c.PeakW, units.CubicMetersPerSecondToCFM(c.NominalFlow), c.IdleFlowFraction*100)
+	fmt.Fprintf(&b, "  %-30s %8s %8s %6s\n", "component", "idle W", "peak W", "hA")
+	for _, comp := range c.Components {
+		marks := ""
+		if comp.CPUScaled {
+			marks += " [cpu]"
+		}
+		if comp.InCPUWake {
+			marks += " [wake]"
+		}
+		fmt.Fprintf(&b, "  %-30s %8.1f %8.1f %6.1f%s\n", comp.Name, comp.IdleW, comp.PeakW, comp.HA, marks)
+	}
+	if enc, err := c.Wax.Enclosure(c.Wax.DefaultMeltC); err == nil {
+		fmt.Fprintf(&b, "  wax: %.2f l in %d boxes, melts at %.1f degC, %.0f kJ latent, +%.0f%% blockage\n",
+			enc.WaxVolume(), enc.Count, enc.Material.MeltingPointC,
+			enc.LatentCapacity()/1000, c.Wax.ExtraBlockage*100)
+	}
+	fmt.Fprintf(&b, "  perf: %.1f GHz nominal, %.1f GHz floor, %.0f%% memory-bound\n",
+		c.Perf.NominalGHz, c.Perf.DownclockGHz, c.Perf.MemoryBoundFraction*100)
+	fmt.Fprintf(&b, "  $%.0f/server, %d/rack, clusters of %d\n", c.CostUSD, c.ServersPerRack, c.ClusterSize)
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"repro/internal/airflow"
+	"repro/internal/pcm"
+	"repro/internal/units"
+)
+
+// The three machines of the scale-out study (Section 4.1) plus the
+// instrumented Section 3 validation unit. Power envelopes come from the
+// paper's measurements (1U: 90 W idle / 185 W loaded, CPU 6 -> 46 W per
+// socket; 2U: 500 W peak; Open Compute: 100 W idle / 300 W peak, 68 degC
+// behind socket 2). Airflow coefficients are calibrated so the Figure 7
+// blockage sweeps reproduce the paper's three shapes, and wax quantities
+// match Section 4.1 (1.2 l, 4 l, 1.5 l).
+
+// mustChassisK back-solves the fixed chassis impedance that puts the fan at
+// the rated operating flow. Static configuration: panics on bad ratings.
+func mustChassisK(fan airflow.Fan, flow float64) float64 {
+	im, err := airflow.ImpedanceForOperatingPoint(fan, flow)
+	if err != nil {
+		panic(err)
+	}
+	return im.K
+}
+
+// OneU returns the low-power 1U commodity server (Lenovo RD330 class): two
+// 6-core 2.4 GHz sockets, 144 GB RAM, six fans, $2,000. The PCM retrofit
+// replaces the PCIe risers and RAID card with 1.2 liters of wax in two
+// aluminum boxes blocking ~70% of the duct downwind of the CPUs.
+func OneU() *Config {
+	flow := units.CFMToCubicMetersPerSecond(40)
+	fan := airflow.FanFromCFM("6x 1U fans", 48, 60)
+	return &Config{
+		Name:       "1U low power",
+		FormFactor: "1U",
+		Sockets:    2,
+		IdleW:      90,
+		PeakW:      185,
+		Components: []ComponentSpec{
+			{Name: "front (hdd+dvd+panel)", IdleW: 8, PeakW: 10, CapacityJPerK: 8000, HA: 4},
+			{Name: "dimms", IdleW: 10, PeakW: 22, CapacityJPerK: 2500, HA: 6, FineSplit: 10},
+			{Name: "cpu1", IdleW: 6, PeakW: 46, CapacityJPerK: 600, HA: 6, CPUScaled: true, InCPUWake: true},
+			{Name: "cpu2", IdleW: 6, PeakW: 46, CapacityJPerK: 600, HA: 6, CPUScaled: true, InCPUWake: true},
+			{Name: "psu", IdleW: 18, PeakW: 18.5, CapacityJPerK: 3000, HA: 3},
+			{Name: "rest (motherboard, fans, io)", IdleW: 42, PeakW: 42.5, CapacityJPerK: 5000, HA: 5},
+		},
+		Fan:                fan,
+		ChassisK:           mustChassisK(fan, flow),
+		GrilleCoeff:        125,
+		DuctAreaM2:         0.0183,
+		NominalFlow:        flow,
+		InletC:             25,
+		IdleFlowFraction:   0.40,
+		DieResistanceKPerW: 0.6,
+		CPUWakeShare:       0.20,
+		Wax: WaxSpec{
+			Box:           pcm.Box{LengthM: 0.20, WidthM: 0.15, HeightM: 0.0213},
+			Count:         2,
+			FillFraction:  0.94,
+			ExtraBlockage: 0.70,
+			DefaultMeltC:  43.5,
+			HTCBoost:      1.6,
+		},
+		Perf:           PerfModel{NominalGHz: 2.4, DownclockGHz: 1.6, MemoryBoundFraction: 0.34},
+		CostUSD:        2000,
+		ServersPerRack: 40,
+		ClusterSize:    1008,
+	}
+}
+
+// TwoU returns the high-throughput 2U commodity server (Sun X4470 class):
+// four 8-core sockets, 32 GB RAM, ~500 W peak, $7,000, 20 per rack. The
+// vacant PCIe bay takes four one-liter wax boxes blocking 69% of the duct.
+func TwoU() *Config {
+	flow := units.CFMToCubicMetersPerSecond(76.7)
+	fan := airflow.FanFromCFM("2U fan wall", 96, 90)
+	return &Config{
+		Name:       "2U high throughput",
+		FormFactor: "2U",
+		Sockets:    4,
+		IdleW:      180,
+		PeakW:      500,
+		Components: []ComponentSpec{
+			{Name: "front (drives+fans)", IdleW: 10, PeakW: 14, CapacityJPerK: 10000, HA: 6},
+			{Name: "dimms", IdleW: 12, PeakW: 24, CapacityJPerK: 3000, HA: 8, FineSplit: 8},
+			{Name: "cpu1", IdleW: 15, PeakW: 85, CapacityJPerK: 800, HA: 5, CPUScaled: true, InCPUWake: true},
+			{Name: "cpu2", IdleW: 15, PeakW: 85, CapacityJPerK: 800, HA: 5, CPUScaled: true, InCPUWake: true},
+			{Name: "cpu3", IdleW: 15, PeakW: 85, CapacityJPerK: 800, HA: 5, CPUScaled: true, InCPUWake: true},
+			{Name: "cpu4", IdleW: 15, PeakW: 85, CapacityJPerK: 800, HA: 5, CPUScaled: true, InCPUWake: true},
+			{Name: "psu", IdleW: 20, PeakW: 44, CapacityJPerK: 5000, HA: 4},
+			{Name: "rest (motherboard, io)", IdleW: 78, PeakW: 78, CapacityJPerK: 9000, HA: 6},
+		},
+		Fan:                fan,
+		ChassisK:           mustChassisK(fan, flow),
+		GrilleCoeff:        580,
+		DuctAreaM2:         0.036,
+		NominalFlow:        flow,
+		InletC:             25,
+		IdleFlowFraction:   0.50,
+		DieResistanceKPerW: 0.45,
+		CPUWakeShare:       0.30,
+		Wax: WaxSpec{
+			Box:           pcm.Box{LengthM: 0.25, WidthM: 0.213, HeightM: 0.02},
+			Count:         4,
+			FillFraction:  0.94,
+			ExtraBlockage: 0.69,
+			DefaultMeltC:  50.5,
+		},
+		Perf:           PerfModel{NominalGHz: 2.7, DownclockGHz: 1.6, MemoryBoundFraction: 0},
+		CostUSD:        7000,
+		ServersPerRack: 20,
+		ClusterSize:    1008,
+	}
+}
+
+// OpenCompute returns the high-density Microsoft Open Compute blade in the
+// paper's reconfigured form: CPUs swapped with the SSDs and the redundant
+// HDDs replaced by a second SSD pair, making room for 1.5 liters of wax at
+// no added blockage over the production blade (whose plastic air inhibitors
+// the containers replace).
+func OpenCompute() *Config {
+	flow := units.CFMToCubicMetersPerSecond(18.4)
+	fan := airflow.FanFromCFM("chassis share", 22, 50)
+	return &Config{
+		Name:       "Open Compute high density",
+		FormFactor: "blade",
+		Sockets:    2,
+		IdleW:      100,
+		PeakW:      300,
+		Components: []ComponentSpec{
+			{Name: "dimms", IdleW: 8, PeakW: 16, CapacityJPerK: 2000, HA: 4, FineSplit: 4},
+			{Name: "cpu1", IdleW: 10, PeakW: 70, CapacityJPerK: 700, HA: 4.5, CPUScaled: true, InCPUWake: true},
+			{Name: "cpu2", IdleW: 10, PeakW: 70, CapacityJPerK: 700, HA: 4.5, CPUScaled: true, InCPUWake: true},
+			{Name: "pcie ssds", IdleW: 12, PeakW: 25, CapacityJPerK: 500, HA: 1.1},
+			{Name: "storage (ssd pair 2)", IdleW: 20, PeakW: 24, CapacityJPerK: 4000, HA: 5},
+			{Name: "psu", IdleW: 10, PeakW: 25, CapacityJPerK: 2000, HA: 3},
+			{Name: "rest (motherboard, io)", IdleW: 30, PeakW: 70, CapacityJPerK: 4000, HA: 5},
+		},
+		Fan:                fan,
+		ChassisK:           mustChassisK(fan, flow),
+		GrilleCoeff:        5.3e6,
+		DuctAreaM2:         0.0090,
+		NominalFlow:        flow,
+		InletC:             25,
+		IdleFlowFraction:   0.70,
+		DieResistanceKPerW: 0.55,
+		CPUWakeShare:       0.35,
+		Wax: WaxSpec{
+			Box:           pcm.Box{LengthM: 0.125, WidthM: 0.085, HeightM: 0.025},
+			Count:         6,
+			FillFraction:  0.94,
+			ExtraBlockage: 0,
+			DefaultMeltC:  53,
+			HTCBoost:      1.05,
+		},
+		Perf:           PerfModel{NominalGHz: 2.4, DownclockGHz: 1.6, MemoryBoundFraction: 0.32},
+		CostUSD:        4000,
+		ServersPerRack: 96, // four quarter-height chassis of 24 blades
+		ClusterSize:    1008,
+	}
+}
+
+// OpenComputeProduction returns the production blade: same thermals but
+// only 0.5 liters of wax fits (replacing the plastic flow inhibitors
+// beside the CPUs).
+func OpenComputeProduction() *Config {
+	c := OpenCompute()
+	c.Name = "Open Compute production"
+	c.Wax = WaxSpec{
+		Box:           pcm.Box{LengthM: 0.11, WidthM: 0.08, HeightM: 0.0202},
+		Count:         3,
+		FillFraction:  0.94,
+		ExtraBlockage: 0,
+		DefaultMeltC:  52,
+	}
+	return c
+}
+
+// ValidationRD330 returns the instrumented Section 3 unit: the same 1U
+// chassis with a single sealed 100 ml box holding 90 ml of the measured
+// 39 degC wax, placed in the wake of CPU 1 only (CPU 2's exhaust bypasses
+// the box).
+func ValidationRD330() *Config {
+	c := OneU()
+	c.Name = "RD330 validation unit"
+	// Only CPU 1's jet washes the little box.
+	for i := range c.Components {
+		if c.Components[i].Name == "cpu2" {
+			c.Components[i].InCPUWake = false
+		}
+	}
+	c.CPUWakeShare = 0.12
+	c.Wax = WaxSpec{
+		Box:           pcm.Box{LengthM: 0.10, WidthM: 0.10, HeightM: 0.01},
+		Count:         1,
+		FillFraction:  0.90,
+		ExtraBlockage: 0.02,
+		DefaultMeltC:  39,
+	}
+	return c
+}

@@ -1,0 +1,73 @@
+// Package server describes the three machines of the paper's scale-out
+// study (the 1U Lenovo RD330-class commodity server, the 2U Sun X4470-class
+// high-throughput server, and the Microsoft Open Compute blade) plus the
+// instrumented validation unit of Section 3. It knows how to build the
+// detailed ("Icepak") and coarse thermal models for each, run the Figure 7
+// airflow-blockage sweeps, and derive the reduced-order wax-melting
+// characteristics the datacenter simulator consumes.
+package server
+
+import "fmt"
+
+// PerfModel converts clock frequency to relative throughput with a simple
+// two-component latency model: a core-bound part that scales with frequency
+// and a memory-bound part that does not. Throughput at frequency f relative
+// to nominal f0 is
+//
+//	T(f)/T(f0) = 1 / ((1-m)*f0/f + m)
+//
+// where m is the memory-bound fraction of execution at nominal frequency.
+type PerfModel struct {
+	// NominalGHz is the full clock rate.
+	NominalGHz float64
+	// DownclockGHz is the thermal-emergency floor (1.6 GHz everywhere in
+	// the paper).
+	DownclockGHz float64
+	// MemoryBoundFraction is m above, in [0, 1).
+	MemoryBoundFraction float64
+}
+
+// Validate reports configuration errors.
+func (p PerfModel) Validate() error {
+	switch {
+	case p.NominalGHz <= 0:
+		return fmt.Errorf("server: non-positive nominal frequency %v", p.NominalGHz)
+	case p.DownclockGHz <= 0 || p.DownclockGHz > p.NominalGHz:
+		return fmt.Errorf("server: downclock %v GHz outside (0, %v]", p.DownclockGHz, p.NominalGHz)
+	case p.MemoryBoundFraction < 0 || p.MemoryBoundFraction >= 1:
+		return fmt.Errorf("server: memory-bound fraction %v outside [0, 1)", p.MemoryBoundFraction)
+	}
+	return nil
+}
+
+// RelativeThroughput returns throughput at f GHz normalized to 1.0 at the
+// nominal frequency. f is clamped to [DownclockGHz, NominalGHz].
+func (p PerfModel) RelativeThroughput(fGHz float64) float64 {
+	if fGHz < p.DownclockGHz {
+		fGHz = p.DownclockGHz
+	}
+	if fGHz > p.NominalGHz {
+		fGHz = p.NominalGHz
+	}
+	m := p.MemoryBoundFraction
+	return 1 / ((1-m)*p.NominalGHz/fGHz + m)
+}
+
+// DownclockPenalty returns the ratio of nominal to downclocked throughput:
+// how much peak throughput PCM can recover in a thermally constrained
+// datacenter (Figure 12's headline numbers).
+func (p PerfModel) DownclockPenalty() float64 {
+	return 1 / p.RelativeThroughput(p.DownclockGHz)
+}
+
+// FrequencyRatio returns f/f0 clamped to the DVFS range; the square of this
+// scales CPU dynamic power.
+func (p PerfModel) FrequencyRatio(fGHz float64) float64 {
+	if fGHz < p.DownclockGHz {
+		fGHz = p.DownclockGHz
+	}
+	if fGHz > p.NominalGHz {
+		fGHz = p.NominalGHz
+	}
+	return fGHz / p.NominalGHz
+}

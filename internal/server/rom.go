@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/pcm"
+)
+
+// ROM is the reduced-order model of one server's wax thermal environment,
+// derived from the detailed model the way the paper derives "wax melting
+// characteristics ... from extensive Icepak simulations of each server".
+// The datacenter simulator advances thousands of servers with it.
+type ROM struct {
+	// Name identifies the source configuration.
+	Name string
+	// wakeAirNominal maps utilization to the steady wake air temperature
+	// at the wax surface, nominal frequency.
+	wakeAirNominal *numeric.Interpolator
+	// wakeAirDownclocked is the same at the DVFS floor frequency.
+	wakeAirDownclocked *numeric.Interpolator
+	// downRatioSq is (downclock/nominal)^2, the power-scaling coordinate
+	// used to interpolate between the two curves.
+	downRatioSq float64
+
+	// HA is the wax convective conductance, W/K.
+	HA float64
+	// Enclosure describes the wax fill (melting temperature already set).
+	Enclosure *pcm.Enclosure
+	// Cfg retains the source config for power and perf queries.
+	Cfg *Config
+}
+
+// romUtilGrid is the utilization grid the detailed model is sampled on.
+var romUtilGrid = []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+
+// DeriveROM runs the detailed thermal model across the utilization grid at
+// nominal and downclocked frequency and fits the reduced-order model. The
+// wax melting temperature meltC is baked into the returned enclosure
+// (pass 0 for the config default).
+func DeriveROM(cfg *Config, meltC float64) (*ROM, error) {
+	if meltC == 0 {
+		meltC = cfg.Wax.DefaultMeltC
+	}
+	enc, err := cfg.Wax.Enclosure(meltC)
+	if err != nil {
+		return nil, err
+	}
+	sample := func(fr float64) (*numeric.Interpolator, error) {
+		temps := make([]float64, len(romUtilGrid))
+		for i, u := range romUtilGrid {
+			u := u
+			build, err := BuildModel(cfg, BuildOptions{
+				WithWax:     true,
+				MeltC:       meltC,
+				Fine:        true,
+				Utilization: func(float64) float64 { return u },
+				FreqRatio:   func(float64) float64 { return fr },
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := build.Model.SolveSteadyState(1e-6, 0); err != nil {
+				return nil, fmt.Errorf("server: ROM sample u=%v fr=%v: %w", u, fr, err)
+			}
+			temps[i] = build.WakeSt.AirTemperature()
+		}
+		return numeric.NewInterpolator(romUtilGrid, temps)
+	}
+	nominal, err := sample(1)
+	if err != nil {
+		return nil, err
+	}
+	downRatio := cfg.Perf.DownclockGHz / cfg.Perf.NominalGHz
+	down, err := sample(downRatio)
+	if err != nil {
+		return nil, err
+	}
+	// One representative build for the wax conductance.
+	probe, err := BuildModel(cfg, BuildOptions{WithWax: true, MeltC: meltC})
+	if err != nil {
+		return nil, err
+	}
+	return &ROM{
+		Name:               cfg.Name,
+		wakeAirNominal:     nominal,
+		wakeAirDownclocked: down,
+		downRatioSq:        downRatio * downRatio,
+		HA:                 probe.WaxHA,
+		Enclosure:          enc,
+		Cfg:                cfg,
+	}, nil
+}
+
+// WakeAirC returns the steady wake air temperature at the wax surface for
+// utilization u and frequency ratio fr, interpolating between the nominal
+// and downclocked fits along the fr^2 (dynamic power) coordinate.
+func (r *ROM) WakeAirC(u, fr float64) float64 {
+	u = numeric.Clamp(u, 0, 1)
+	frSq := numeric.Clamp(fr*fr, r.downRatioSq, 1)
+	hi := r.wakeAirNominal.At(u)
+	lo := r.wakeAirDownclocked.At(u)
+	if r.downRatioSq >= 1 {
+		return hi
+	}
+	t := (frSq - r.downRatioSq) / (1 - r.downRatioSq)
+	return numeric.Lerp(lo, hi, t)
+}
+
+// NewWaxState creates a fresh per-server wax state in equilibrium at the
+// idle wake temperature.
+func (r *ROM) NewWaxState() (*pcm.State, error) {
+	return pcm.NewState(r.Enclosure, r.WakeAirC(0, 1))
+}
+
+// LatentCapacity returns the per-server latent storage, J.
+func (r *ROM) LatentCapacity() float64 { return r.Enclosure.LatentCapacity() }
+
+// MeltingPointC returns the wax melting temperature baked into this ROM.
+func (r *ROM) MeltingPointC() float64 { return r.Enclosure.Material.MeltingPointC }

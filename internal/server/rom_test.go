@@ -1,0 +1,83 @@
+package server
+
+import (
+	"testing"
+)
+
+func TestDeriveROMAllConfigs(t *testing.T) {
+	for _, cfg := range []*Config{OneU(), TwoU(), OpenCompute()} {
+		rom, err := DeriveROM(cfg, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if rom.HA <= 0 {
+			t.Errorf("%s: non-positive wax conductance", cfg.Name)
+		}
+		if rom.LatentCapacity() <= 0 {
+			t.Errorf("%s: non-positive latent capacity", cfg.Name)
+		}
+
+		// Monotone in utilization.
+		prev := -1e9
+		for u := 0.0; u <= 1.0001; u += 0.05 {
+			temp := rom.WakeAirC(u, 1)
+			if temp < prev-1e-9 {
+				t.Fatalf("%s: wake air temp not monotone at u=%v", cfg.Name, u)
+			}
+			prev = temp
+		}
+		// Downclocking cools the wake.
+		fr := cfg.Perf.DownclockGHz / cfg.Perf.NominalGHz
+		if rom.WakeAirC(1, fr) >= rom.WakeAirC(1, 1) {
+			t.Errorf("%s: downclocked wake not cooler", cfg.Name)
+		}
+
+		// The melt window must be usable: wake air above the liquidus near
+		// peak load (the wax can fully melt) and below the solidus at the
+		// overnight trough (the wax can refreeze). This is the paper's
+		// requirement that the melting temperature fall between the peak
+		// and minimum load temperatures.
+		mat := rom.Enclosure.Material
+		if hot := rom.WakeAirC(0.95, 1); hot <= mat.LiquidusC() {
+			t.Errorf("%s: peak wake air %.1f degC below liquidus %.1f — wax cannot fully melt",
+				cfg.Name, hot, mat.LiquidusC())
+		}
+		if cold := rom.WakeAirC(0.20, 1); cold >= mat.SolidusC() {
+			t.Errorf("%s: trough wake air %.1f degC above solidus %.1f — wax cannot refreeze",
+				cfg.Name, cold, mat.SolidusC())
+		}
+	}
+}
+
+func TestROMWaxStateStartsSolid(t *testing.T) {
+	rom, err := DeriveROM(OneU(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rom.NewWaxState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.LiquidFraction(); f != 0 {
+		t.Errorf("fresh wax state liquid fraction = %v, want 0", f)
+	}
+}
+
+func TestROMMeltingPointOverride(t *testing.T) {
+	rom, err := DeriveROM(TwoU(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom.MeltingPointC() != 48 {
+		t.Errorf("melting point = %v, want 48", rom.MeltingPointC())
+	}
+}
+
+func BenchmarkDeriveROM(b *testing.B) {
+	cfg := TwoU()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeriveROM(cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

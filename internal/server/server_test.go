@@ -1,0 +1,417 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func allConfigs() []*Config {
+	return []*Config{OneU(), TwoU(), OpenCompute(), OpenComputeProduction(), ValidationRD330()}
+}
+
+func TestConfigsValidate(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPowerEnvelopesMatchPaper(t *testing.T) {
+	// Section 3: the 1U doubles from 90 W idle to 185 W fully loaded, and
+	// per-socket CPU power rises 6 -> 46 W.
+	c := OneU()
+	if got := c.PowerAt(0, 1); math.Abs(got-90) > 1e-9 {
+		t.Errorf("1U idle power = %v, want 90", got)
+	}
+	if got := c.PowerAt(1, 1); math.Abs(got-185) > 1e-9 {
+		t.Errorf("1U peak power = %v, want 185", got)
+	}
+	for _, comp := range c.Components {
+		if comp.Name == "cpu1" {
+			if comp.PowerAt(0, 1) != 6 || comp.PowerAt(1, 1) != 46 {
+				t.Errorf("cpu1 power envelope = %v..%v, want 6..46",
+					comp.PowerAt(0, 1), comp.PowerAt(1, 1))
+			}
+		}
+	}
+	if got := TwoU().PowerAt(1, 1); math.Abs(got-500) > 1e-9 {
+		t.Errorf("2U peak power = %v, want 500", got)
+	}
+	oc := OpenCompute()
+	if got := oc.PowerAt(0, 1); math.Abs(got-100) > 1e-9 {
+		t.Errorf("OCP idle power = %v, want 100", got)
+	}
+	if got := oc.PowerAt(1, 1); math.Abs(got-300) > 1e-9 {
+		t.Errorf("OCP peak power = %v, want 300", got)
+	}
+}
+
+func TestDownclockCutsCPUPower(t *testing.T) {
+	c := OneU()
+	full := c.PowerAt(1, 1)
+	down := c.PowerAt(1, 1.6/2.4)
+	// CPU dynamic power scales with fr^2: 80 W * (1 - 0.444) = 44.4 W cut.
+	wantCut := 80 * (1 - (1.6/2.4)*(1.6/2.4))
+	if math.Abs((full-down)-wantCut) > 1e-6 {
+		t.Errorf("downclock cut %v W, want %v", full-down, wantCut)
+	}
+	// Non-CPU components do not scale with frequency.
+	if c.PowerAt(0, 0.5) != c.PowerAt(0, 1) {
+		t.Error("idle power should not depend on frequency")
+	}
+}
+
+func TestPowerMonotoneInUtilization(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		prev := -1.0
+		for u := 0.0; u <= 1.0001; u += 0.05 {
+			p := cfg.PowerAt(u, 1)
+			if p <= prev {
+				t.Fatalf("%s: power not increasing at u=%v", cfg.Name, u)
+			}
+			prev = p
+		}
+		// Clamping outside [0, 1].
+		if cfg.PowerAt(-1, 1) != cfg.PowerAt(0, 1) || cfg.PowerAt(2, 1) != cfg.PowerAt(1, 1) {
+			t.Errorf("%s: utilization not clamped", cfg.Name)
+		}
+	}
+}
+
+func TestPerfModel(t *testing.T) {
+	p := PerfModel{NominalGHz: 2.4, DownclockGHz: 1.6, MemoryBoundFraction: 0.34}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RelativeThroughput(2.4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("nominal throughput = %v", got)
+	}
+	// The paper's 1U recovers ~33% peak throughput: nominal vs 1.6 GHz.
+	if pen := p.DownclockPenalty(); pen < 1.3 || pen > 1.37 {
+		t.Errorf("1U downclock penalty = %v, want ~1.33", pen)
+	}
+	// Compute-bound 2U at 2.7 GHz recovers ~69%.
+	p2 := TwoU().Perf
+	if pen := p2.DownclockPenalty(); math.Abs(pen-2.7/1.6) > 1e-9 {
+		t.Errorf("2U downclock penalty = %v, want %v", pen, 2.7/1.6)
+	}
+	// Clamping.
+	if p.RelativeThroughput(0.5) != p.RelativeThroughput(1.6) {
+		t.Error("below-floor frequency not clamped")
+	}
+	if p.RelativeThroughput(5) != 1 {
+		t.Error("above-nominal frequency not clamped")
+	}
+}
+
+func TestPerfModelValidate(t *testing.T) {
+	bad := []PerfModel{
+		{NominalGHz: 0, DownclockGHz: 1, MemoryBoundFraction: 0},
+		{NominalGHz: 2, DownclockGHz: 0, MemoryBoundFraction: 0},
+		{NominalGHz: 2, DownclockGHz: 3, MemoryBoundFraction: 0},
+		{NominalGHz: 2, DownclockGHz: 1, MemoryBoundFraction: 1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: accepted invalid perf model", i)
+		}
+	}
+}
+
+func TestWaxQuantitiesMatchPaper(t *testing.T) {
+	cases := []struct {
+		cfg    *Config
+		liters float64
+		tol    float64
+	}{
+		{OneU(), 1.2, 0.1},
+		{TwoU(), 4.0, 0.15},
+		{OpenCompute(), 1.5, 0.1},
+		{OpenComputeProduction(), 0.5, 0.05},
+		{ValidationRD330(), 0.09, 0.005},
+	}
+	for _, c := range cases {
+		enc, err := c.cfg.Wax.Enclosure(c.cfg.Wax.DefaultMeltC)
+		if err != nil {
+			t.Fatalf("%s: %v", c.cfg.Name, err)
+		}
+		if got := enc.WaxVolume(); math.Abs(got-c.liters) > c.tol {
+			t.Errorf("%s wax volume = %.3f l, want %.2f", c.cfg.Name, got, c.liters)
+		}
+	}
+}
+
+func TestValidationWaxIs39C(t *testing.T) {
+	enc, err := ValidationRD330().Wax.Enclosure(39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Material.MeltingPointC != 39 {
+		t.Errorf("validation wax melts at %v, want the measured 39", enc.Material.MeltingPointC)
+	}
+}
+
+func TestBuildModelHandles(t *testing.T) {
+	for _, cfg := range []*Config{OneU(), TwoU(), OpenCompute()} {
+		b, err := BuildModel(cfg, BuildOptions{WithWax: true})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if b.Wax == nil || b.WakeSt == nil || b.Outlet == nil {
+			t.Fatalf("%s: missing handles", cfg.Name)
+		}
+		if len(b.CPUs) != cfg.Sockets {
+			t.Errorf("%s: %d CPU nodes, want %d", cfg.Name, len(b.CPUs), cfg.Sockets)
+		}
+		if b.WaxHA <= 0 {
+			t.Errorf("%s: non-positive wax conductance", cfg.Name)
+		}
+	}
+}
+
+func TestBuildFineSplitsDIMMs(t *testing.T) {
+	coarse, err := BuildModel(OneU(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := BuildModel(OneU(), BuildOptions{Fine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fine.Model.Nodes()) <= len(coarse.Model.Nodes()) {
+		t.Errorf("fine model has %d nodes, coarse %d", len(fine.Model.Nodes()), len(coarse.Model.Nodes()))
+	}
+	if fine.ByName["dimms[0]"] == nil || fine.ByName["dimms[9]"] == nil {
+		t.Error("fine model should have 10 DIMM nodes")
+	}
+}
+
+func TestFineAndCoarseAgreeAtSteadyState(t *testing.T) {
+	// The fine discretization must not change the bulk energy story: the
+	// outlet temperatures agree closely (this is the premise of using the
+	// coarse model for scale-out).
+	for _, cfg := range []*Config{OneU(), TwoU()} {
+		coarse, err := BuildModel(cfg, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fine, err := BuildModel(cfg, BuildOptions{Fine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := coarse.Model.SolveSteadyState(1e-8, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fine.Model.SolveSteadyState(1e-8, 0); err != nil {
+			t.Fatal(err)
+		}
+		d := math.Abs(coarse.Outlet.AirTemperature() - fine.Outlet.AirTemperature())
+		if d > 0.5 {
+			t.Errorf("%s: fine/coarse outlet disagree by %.2f degC", cfg.Name, d)
+		}
+	}
+}
+
+func TestSteadyOutletMatchesEnergyBalance(t *testing.T) {
+	// At steady state, outlet rise = wall power / (m*cp) exactly.
+	for _, cfg := range []*Config{OneU(), TwoU(), OpenCompute()} {
+		b, err := BuildModel(cfg, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Model.SolveSteadyState(1e-9, 0); err != nil {
+			t.Fatal(err)
+		}
+		want := cfg.InletC + cfg.PowerAt(1, 1)/cfg.MCP()
+		if got := b.Outlet.AirTemperature(); math.Abs(got-want) > 0.05 {
+			t.Errorf("%s outlet = %v, want %v", cfg.Name, got, want)
+		}
+	}
+}
+
+func TestWakeHotterThanBulk(t *testing.T) {
+	// The wax sees the CPU exhaust jet, which runs much hotter than the
+	// mixed bulk exhaust — the physical basis for melting 40-60 degC wax
+	// in a server whose bulk exhaust never reaches 40.
+	for _, cfg := range []*Config{OneU(), TwoU(), OpenCompute()} {
+		b, err := BuildModel(cfg, BuildOptions{WithWax: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Model.SolveSteadyState(1e-8, 0); err != nil {
+			t.Fatal(err)
+		}
+		if b.WakeSt.AirTemperature() <= b.Outlet.AirTemperature()+3 {
+			t.Errorf("%s: wake %v not clearly hotter than bulk outlet %v",
+				cfg.Name, b.WakeSt.AirTemperature(), b.Outlet.AirTemperature())
+		}
+	}
+}
+
+func TestOpenComputeSocket2RunsNear68(t *testing.T) {
+	// Section 4.1: "the air temperature behind Socket 2 was measured at
+	// 68 degC" on the loaded production blade.
+	b, err := BuildModel(OpenComputeProduction(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Model.SolveSteadyState(1e-8, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := b.WakeSt.AirTemperature()
+	if got < 60 || got > 76 {
+		t.Errorf("air behind socket 2 = %.1f degC, want ~68", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		out := cfg.Describe()
+		for _, want := range []string{cfg.Name, "power:", "wax:", "perf:", "cpu1"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: Describe missing %q", cfg.Name, want)
+			}
+		}
+	}
+}
+
+func TestFanFactorShape(t *testing.T) {
+	cfg := OneU() // idle fraction 0.40, saturation 0.6 (default)
+	if got := cfg.FanFactor(0); got != 0.40 {
+		t.Errorf("FanFactor(0) = %v", got)
+	}
+	if got := cfg.FanFactor(0.6); math.Abs(got-1) > 1e-12 {
+		t.Errorf("FanFactor at saturation = %v, want 1", got)
+	}
+	if got := cfg.FanFactor(0.95); got != 1 {
+		t.Errorf("FanFactor above saturation = %v, want flat 1", got)
+	}
+	if got := cfg.FanFactor(-1); got != 0.40 {
+		t.Errorf("FanFactor clamps below zero: %v", got)
+	}
+	// Monotone non-decreasing.
+	prev := -1.0
+	for u := 0.0; u <= 1; u += 0.05 {
+		f := cfg.FanFactor(u)
+		if f < prev {
+			t.Fatalf("fan factor decreased at u=%v", u)
+		}
+		prev = f
+	}
+}
+
+func TestWaxHAPositiveAndBoosted(t *testing.T) {
+	cfg := OneU()
+	enc, err := cfg.Wax.Enclosure(cfg.Wax.DefaultMeltC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted := cfg.WaxHA(enc)
+	if boosted <= 0 {
+		t.Fatal("non-positive wax conductance")
+	}
+	plain := *cfg
+	plain.Wax.HTCBoost = 1
+	if got := plain.WaxHA(enc); got >= boosted {
+		t.Errorf("boost should raise hA: %v >= %v", got, boosted)
+	}
+}
+
+func TestFlowAtErrors(t *testing.T) {
+	cfg := OneU()
+	if _, err := cfg.FlowAt(1.0); err == nil {
+		t.Error("accepted full blockage")
+	}
+	if _, err := cfg.FlowAt(-0.1); err == nil {
+		t.Error("accepted negative blockage")
+	}
+	q0, err := cfg.FlowAt(0)
+	if err != nil || q0 <= 0 {
+		t.Errorf("nominal flow = %v, %v", q0, err)
+	}
+}
+
+func TestPowerAtFreqAndExhaustRise(t *testing.T) {
+	cfg := OneU()
+	// Absolute-frequency form matches the ratio form.
+	if got, want := cfg.PowerAtFreq(0.8, 1.6), cfg.PowerAt(0.8, 1.6/2.4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PowerAtFreq = %v, want %v", got, want)
+	}
+	// Clamped at nominal.
+	if cfg.PowerAtFreq(0.8, 9) != cfg.PowerAt(0.8, 1) {
+		t.Error("PowerAtFreq above nominal not clamped")
+	}
+	// Exhaust rise is power over the advective conductance.
+	rise := cfg.ExhaustRiseAt(1, 1)
+	want := cfg.PowerAt(1, 1) / cfg.MCP()
+	if math.Abs(rise-want) > 1e-12 {
+		t.Errorf("ExhaustRiseAt = %v, want %v", rise, want)
+	}
+}
+
+func TestFrequencyRatioClamps(t *testing.T) {
+	p := OneU().Perf
+	if p.FrequencyRatio(2.4) != 1 {
+		t.Error("nominal ratio != 1")
+	}
+	if got := p.FrequencyRatio(1.6); math.Abs(got-1.6/2.4) > 1e-12 {
+		t.Errorf("floor ratio = %v", got)
+	}
+	if p.FrequencyRatio(0.2) != p.FrequencyRatio(1.6) {
+		t.Error("below-floor not clamped")
+	}
+	if p.FrequencyRatio(99) != 1 {
+		t.Error("above-nominal not clamped")
+	}
+}
+
+func TestDieTempC(t *testing.T) {
+	b, err := BuildModel(OneU(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Model.SolveSteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	die := b.DieTempC(0, 0)
+	socket := b.CPUs[0].Temperature()
+	// Die = socket + Rjc * P; at full load P=46 W, Rjc=0.6.
+	if math.Abs(die-(socket+0.6*46)) > 1e-9 {
+		t.Errorf("DieTempC = %v, socket %v", die, socket)
+	}
+	if b.DieTempC(-1, 0) != 0 || b.DieTempC(99, 0) != 0 {
+		t.Error("out-of-range CPU index should read 0")
+	}
+}
+
+func TestConfigValidateErrorPaths(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Name = "" },
+		func(c *Config) { c.IdleW = 0 },
+		func(c *Config) { c.PeakW = c.IdleW },
+		func(c *Config) { c.Components = nil },
+		func(c *Config) { c.Components[0].PeakW = c.Components[0].IdleW - 1 },
+		func(c *Config) { c.Components[0].CapacityJPerK = 0 },
+		func(c *Config) { c.Components[0].HA = 0 },
+		func(c *Config) { c.Components[0].IdleW += 5 }, // breaks the idle sum
+		func(c *Config) { c.Components[0].PeakW += 5 }, // breaks the peak sum
+		func(c *Config) { c.NominalFlow = 0 },
+		func(c *Config) { c.DuctAreaM2 = 0 },
+		func(c *Config) { c.CPUWakeShare = 0 },
+		func(c *Config) { c.CPUWakeShare = 1.5 },
+		func(c *Config) { c.IdleFlowFraction = 0 },
+		func(c *Config) { c.DieResistanceKPerW = -1 },
+		func(c *Config) { c.Perf.NominalGHz = 0 },
+		func(c *Config) { c.ClusterSize = 0 },
+		func(c *Config) { c.ServersPerRack = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := OneU()
+		mutate(cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockagePoint is one sample of the Figure 7 sweep: a uniform grille
+// blocking the given fraction of the duct downwind of the CPU heat sinks,
+// with the server held at constant full power.
+type BlockagePoint struct {
+	Blockage     float64
+	FlowFraction float64
+	OutletC      float64
+	SocketC      []float64 // per-socket temperatures, front to rear
+	// Unsafe flags operating points beyond the config's thermal ceilings
+	// (the paper's "rise to unsafe levels").
+	Unsafe bool
+}
+
+// safetyCeilings returns the socket and outlet limits with defaults.
+func safetyCeilings(cfg *Config) (socketC, outletC float64) {
+	socketC, outletC = cfg.MaxSocketC, cfg.MaxOutletC
+	if socketC <= 0 {
+		socketC = 95
+	}
+	if outletC <= 0 {
+		outletC = 70
+	}
+	return socketC, outletC
+}
+
+// BlockageSweep reproduces the paper's Figure 7 experiment for one server:
+// temperatures versus obstructed airflow at constant frequency and power.
+// Blockages outside [0, 1) are rejected.
+func BlockageSweep(cfg *Config, blockages []float64) ([]BlockagePoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	path, err := cfg.AirPath()
+	if err != nil {
+		return nil, err
+	}
+	flow0, err := path.Flow(0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BlockagePoint, 0, len(blockages))
+	sorted := append([]float64(nil), blockages...)
+	sort.Float64s(sorted)
+	for _, b := range sorted {
+		if b < 0 || b >= 1 {
+			return nil, fmt.Errorf("server: blockage %v outside [0, 1)", b)
+		}
+		build, err := BuildModel(cfg, BuildOptions{})
+		if err != nil {
+			return nil, err
+		}
+		flow, err := path.Flow(b)
+		if err != nil {
+			return nil, err
+		}
+		// Pin the flow at this blockage's operating point (the sweep holds
+		// power and fan speed constant).
+		build.Model.FlowFunc = func(float64) float64 { return flow }
+		if _, err := build.Model.SolveSteadyState(1e-6, 0); err != nil {
+			return nil, fmt.Errorf("server: %s at blockage %v: %w", cfg.Name, b, err)
+		}
+		pt := BlockagePoint{
+			Blockage:     b,
+			FlowFraction: flow / flow0,
+			OutletC:      build.Outlet.AirTemperature(),
+		}
+		maxSocket, maxOutlet := safetyCeilings(cfg)
+		if pt.OutletC > maxOutlet {
+			pt.Unsafe = true
+		}
+		for _, cpu := range build.CPUs {
+			pt.SocketC = append(pt.SocketC, cpu.Temperature())
+			if cpu.Temperature() > maxSocket {
+				pt.Unsafe = true
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DefaultBlockages returns the paper's 0-90% sweep grid.
+func DefaultBlockages() []float64 {
+	out := make([]float64, 0, 10)
+	for b := 0.0; b < 0.95; b += 0.1 {
+		out = append(out, b)
+	}
+	return out
+}

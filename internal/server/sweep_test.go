@@ -1,0 +1,167 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+func sweepOf(t *testing.T, cfg *Config) []BlockagePoint {
+	t.Helper()
+	pts, err := BlockageSweep(cfg, DefaultBlockages())
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	return pts
+}
+
+func outletRise(pts []BlockagePoint, b float64) float64 {
+	base := pts[0].OutletC
+	for _, p := range pts {
+		if math.Abs(p.Blockage-b) < 1e-9 {
+			return p.OutletC - base
+		}
+	}
+	return math.NaN()
+}
+
+// Figure 7 (a): the 1U server degrades gently. Outlet rises ~14 degC by
+// 90% blockage; CPU temperatures rise less than 2 degC below 50%.
+func TestFig7OneUShape(t *testing.T) {
+	pts := sweepOf(t, OneU())
+	rise90 := outletRise(pts, 0.9)
+	if rise90 < 9 || rise90 > 20 {
+		t.Errorf("1U outlet rise at 90%% blockage = %.1f degC, want ~14", rise90)
+	}
+	// CPU rise below 50%.
+	baseCPU := pts[0].SocketC[0]
+	for _, p := range pts {
+		if p.Blockage <= 0.5+1e-9 {
+			if d := p.SocketC[0] - baseCPU; d > 2 {
+				t.Errorf("1U CPU rose %.2f degC at %.0f%% blockage, want <2", d, p.Blockage*100)
+			}
+		}
+	}
+	// CPUs never reach unsafe levels (the paper runs the full sweep).
+	for _, p := range pts {
+		for _, s := range p.SocketC {
+			if s > 95 {
+				t.Errorf("1U socket reached %.0f degC at %.0f%% blockage", s, p.Blockage*100)
+			}
+		}
+	}
+}
+
+// Figure 7 (b): the 2U server is stable below ~60% and rises exponentially
+// to unsafe levels above 70%.
+func TestFig7TwoUShape(t *testing.T) {
+	pts := sweepOf(t, TwoU())
+	if r := outletRise(pts, 0.5); r > 3 {
+		t.Errorf("2U outlet rise at 50%% = %.1f degC, want near zero", r)
+	}
+	r70 := outletRise(pts, 0.7)
+	r90 := outletRise(pts, 0.9)
+	if r90 < 50 {
+		t.Errorf("2U outlet rise at 90%% = %.1f degC, want unsafe (>50)", r90)
+	}
+	if r90 < 3*r70 {
+		t.Errorf("2U rise not super-linear: 70%%=%.1f 90%%=%.1f", r70, r90)
+	}
+}
+
+// Figure 7 (c): the Open Compute blade heats up as soon as almost any
+// airflow is obstructed.
+func TestFig7OpenComputeShape(t *testing.T) {
+	pts := sweepOf(t, OpenCompute())
+	r20 := outletRise(pts, 0.2)
+	if r20 < 3 {
+		t.Errorf("OCP outlet rise at 20%% = %.1f degC, want immediate heating", r20)
+	}
+	r50 := outletRise(pts, 0.5)
+	if r50 < 30 {
+		t.Errorf("OCP outlet rise at 50%% = %.1f degC, want unsafe", r50)
+	}
+	// Monotone rise.
+	prev := -1e9
+	for _, p := range pts {
+		if p.OutletC < prev {
+			t.Fatalf("OCP outlet not monotone at %.0f%%", p.Blockage*100)
+		}
+		prev = p.OutletC
+	}
+}
+
+func TestSweepFlowFractionMonotone(t *testing.T) {
+	for _, cfg := range []*Config{OneU(), TwoU(), OpenCompute()} {
+		pts := sweepOf(t, cfg)
+		prev := 1.0 + 1e-9
+		for _, p := range pts {
+			if p.FlowFraction > prev {
+				t.Fatalf("%s: flow fraction rose with blockage", cfg.Name)
+			}
+			prev = p.FlowFraction
+		}
+		if pts[0].FlowFraction != 1 {
+			t.Errorf("%s: zero-blockage flow fraction %v", cfg.Name, pts[0].FlowFraction)
+		}
+	}
+}
+
+func TestSweepRejectsBadBlockage(t *testing.T) {
+	if _, err := BlockageSweep(OneU(), []float64{0.5, 1.0}); err == nil {
+		t.Error("accepted blockage = 1")
+	}
+	if _, err := BlockageSweep(OneU(), []float64{-0.1}); err == nil {
+		t.Error("accepted negative blockage")
+	}
+}
+
+// The installed wax blockage must be benign: <6 degC outlet increase for
+// the 2U (Section 4.1) and negligible for the 1U.
+func TestInstalledWaxBlockageBenign(t *testing.T) {
+	cases := []struct {
+		cfg  *Config
+		maxC float64
+	}{
+		{OneU(), 3},
+		{TwoU(), 6},
+	}
+	for _, c := range cases {
+		pts, err := BlockageSweep(c.cfg, []float64{0, c.cfg.Wax.ExtraBlockage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := pts[1].OutletC - pts[0].OutletC
+		if d > c.maxC {
+			t.Errorf("%s: installed wax raises outlet %.1f degC, want < %v",
+				c.cfg.Name, d, c.maxC)
+		}
+	}
+}
+
+// The paper's Figure 7 safety narrative as flags: the 1U never goes
+// unsafe across the whole sweep; the 2U goes unsafe only above ~70%
+// blockage; the Open Compute blade goes unsafe almost immediately.
+func TestFig7UnsafeFlags(t *testing.T) {
+	firstUnsafe := func(pts []BlockagePoint) float64 {
+		for _, p := range pts {
+			if p.Unsafe {
+				return p.Blockage
+			}
+		}
+		return 2 // never
+	}
+	if b := firstUnsafe(sweepOf(t, OneU())); b <= 1 {
+		t.Errorf("1U went unsafe at %.0f%% blockage, paper: never", b*100)
+	}
+	b2 := firstUnsafe(sweepOf(t, TwoU()))
+	if b2 < 0.6 || b2 > 1 {
+		t.Errorf("2U went unsafe at %.0f%% blockage, want above ~70%%", b2*100)
+	}
+	bo := firstUnsafe(sweepOf(t, OpenCompute()))
+	if bo > 0.45 {
+		t.Errorf("OCP went unsafe at %.0f%% blockage, want almost immediately", bo*100)
+	}
+	if bo >= b2 {
+		t.Error("OCP should go unsafe before the 2U")
+	}
+}

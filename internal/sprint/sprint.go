@@ -1,0 +1,155 @@
+// Package sprint models computational sprinting (Raghavan et al., the
+// paper's references [29-31]): a small mass of high-grade PCM on a chip's
+// heat spreader that absorbs a seconds-scale power burst far above the
+// sustainable envelope. The paper positions itself as the opposite end of
+// the spectrum — kilograms of cheap wax reshaping hours of datacenter
+// thermals instead of grams of eicosane reshaping seconds of chip
+// thermals — and this package makes the contrast quantitative.
+package sprint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pcm"
+)
+
+// Chip is a sprinting processor: a die on a spreader with (optionally) PCM
+// bonded to it, sunk to ambient through a heatsink sized for the
+// sustainable power only.
+type Chip struct {
+	// SustainableW is the power the heatsink removes indefinitely.
+	SustainableW float64
+	// SprintW is the burst power.
+	SprintW float64
+	// IdleW is the pre-sprint background power.
+	IdleW float64
+	// SpreaderCapacityJPerK lumps die+spreader thermal mass.
+	SpreaderCapacityJPerK float64
+	// DieResistanceKPerW sets die-over-spreader temperature at power P.
+	DieResistanceKPerW float64
+	// LimitDieC is the junction ceiling that ends the sprint.
+	LimitDieC float64
+	// AmbientC is the heatsink sink temperature.
+	AmbientC float64
+	// PCMContactWPerK couples the PCM block to the spreader (conductive
+	// bond, far tighter than the server wax's air coupling).
+	PCMContactWPerK float64
+}
+
+// DefaultChip returns a sprint-class mobile chip: 15 W sustainable, 50 W
+// sprints, 85 degC junction limit.
+func DefaultChip() Chip {
+	return Chip{
+		SustainableW:          15,
+		SprintW:               50,
+		IdleW:                 2.5,
+		SpreaderCapacityJPerK: 60,
+		DieResistanceKPerW:    0.30,
+		LimitDieC:             85,
+		AmbientC:              25,
+		PCMContactWPerK:       3.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Chip) Validate() error {
+	switch {
+	case c.SustainableW <= 0 || c.SprintW <= c.SustainableW:
+		return fmt.Errorf("sprint: sprint power %v must exceed sustainable %v", c.SprintW, c.SustainableW)
+	case c.SpreaderCapacityJPerK <= 0:
+		return errors.New("sprint: non-positive spreader capacity")
+	case c.DieResistanceKPerW < 0:
+		return errors.New("sprint: negative die resistance")
+	case c.LimitDieC <= c.AmbientC:
+		return fmt.Errorf("sprint: junction limit %v not above ambient %v", c.LimitDieC, c.AmbientC)
+	case c.PCMContactWPerK < 0:
+		return errors.New("sprint: negative PCM coupling")
+	}
+	return nil
+}
+
+// sinkConductance sizes the heatsink so the sustainable power holds the
+// die exactly at the limit: G = P_s / (T_sp_max - ambient).
+func (c Chip) sinkConductance() float64 {
+	spreaderMax := c.LimitDieC - c.SustainableW*c.DieResistanceKPerW
+	return c.SustainableW / (spreaderMax - c.AmbientC)
+}
+
+// EicosaneBlock returns the sprinting-grade PCM fill: grams of eicosane in
+// a thin spreader-mounted tray.
+func EicosaneBlock(grams float64) (*pcm.Enclosure, error) {
+	if grams <= 0 {
+		return nil, fmt.Errorf("sprint: non-positive PCM mass %v", grams)
+	}
+	m := pcm.Eicosane()
+	// Tray sized to the mass at solid density, 3 mm deep.
+	volumeM3 := grams / 1000 / m.DensitySolid
+	side := volumeM3 / 0.003
+	// A square tray side x side x 3 mm.
+	w := sqrtPos(side)
+	return pcm.NewEnclosure(m, pcm.Box{LengthM: w, WidthM: w, HeightM: 0.003}, 1, 0.94)
+}
+
+func sqrtPos(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations suffice for the geometry helper.
+	g := x
+	for i := 0; i < 40; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+// Result reports one sprint.
+type Result struct {
+	// DurationS is how long the burst held before the junction limit.
+	DurationS float64
+	// EnergyJ is the extra (above-sustainable) energy delivered.
+	EnergyJ float64
+	// PCMLiquidAtEnd is the melt state when the sprint ended.
+	PCMLiquidAtEnd float64
+}
+
+// Sprint integrates the burst from thermal idle until the die hits the
+// limit (or maxS elapses). pcmBlock may be nil for the no-PCM baseline.
+func (c Chip) Sprint(pcmBlock *pcm.Enclosure, maxS float64) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if maxS <= 0 {
+		maxS = 600
+	}
+	g := c.sinkConductance()
+	// Thermal idle: spreader at ambient + idle/g.
+	spreader := c.AmbientC + c.IdleW/g
+
+	var state *pcm.State
+	if pcmBlock != nil {
+		var err error
+		if state, err = pcm.NewState(pcmBlock, spreader); err != nil {
+			return nil, err
+		}
+	}
+	const dt = 0.05
+	res := &Result{}
+	for t := 0.0; t < maxS; t += dt {
+		die := spreader + c.SprintW*c.DieResistanceKPerW
+		if die >= c.LimitDieC {
+			break
+		}
+		q := 0.0
+		if state != nil {
+			q = state.ExchangeWithAir(spreader, c.PCMContactWPerK, dt) / dt
+		}
+		spreader += (c.SprintW - g*(spreader-c.AmbientC) - q) * dt / c.SpreaderCapacityJPerK
+		res.DurationS = t + dt
+		res.EnergyJ += (c.SprintW - c.SustainableW) * dt
+	}
+	if state != nil {
+		res.PCMLiquidAtEnd = state.LiquidFraction()
+	}
+	return res, nil
+}

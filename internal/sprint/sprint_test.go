@@ -1,0 +1,136 @@
+package sprint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pcm"
+	"repro/internal/server"
+)
+
+func TestChipValidate(t *testing.T) {
+	if DefaultChip().Validate() != nil {
+		t.Error("default chip rejected")
+	}
+	bad := DefaultChip()
+	bad.SprintW = bad.SustainableW
+	if bad.Validate() == nil {
+		t.Error("accepted sprint power <= sustainable")
+	}
+	bad = DefaultChip()
+	bad.LimitDieC = bad.AmbientC
+	if bad.Validate() == nil {
+		t.Error("accepted limit at ambient")
+	}
+	bad = DefaultChip()
+	bad.SpreaderCapacityJPerK = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero capacity")
+	}
+}
+
+func TestEicosaneBlock(t *testing.T) {
+	enc, err := EicosaneBlock(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~30 g of eicosane at 247 J/g ~ 7.4 kJ of latent storage.
+	if got := enc.LatentCapacity(); math.Abs(got-30.0/1000*0.94*247e3*1.0) > 900 {
+		t.Errorf("latent capacity = %v J, want ~7 kJ", got)
+	}
+	if _, err := EicosaneBlock(0); err == nil {
+		t.Error("accepted zero mass")
+	}
+}
+
+func TestPCMExtendsSprint(t *testing.T) {
+	chip := DefaultChip()
+	bare, err := chip.Sprint(nil, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := EicosaneBlock(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPCM, err := chip.Sprint(block, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sprinting result: seconds without PCM, much longer with it.
+	if bare.DurationS < 10 || bare.DurationS > 180 {
+		t.Errorf("bare sprint = %.1f s, want tens of seconds", bare.DurationS)
+	}
+	if withPCM.DurationS < 1.5*bare.DurationS {
+		t.Errorf("PCM sprint %.1f s vs bare %.1f s — want a clear extension",
+			withPCM.DurationS, bare.DurationS)
+	}
+	if withPCM.PCMLiquidAtEnd <= 0.3 {
+		t.Errorf("PCM barely melted (%.0f%%) — the block is doing nothing", withPCM.PCMLiquidAtEnd*100)
+	}
+	if withPCM.EnergyJ <= bare.EnergyJ {
+		t.Error("PCM sprint delivered no extra energy")
+	}
+}
+
+func TestMorePCMMoreSprint(t *testing.T) {
+	chip := DefaultChip()
+	small, err := EicosaneBlock(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EicosaneBlock(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := chip.Sprint(small, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := chip.Sprint(big, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.DurationS <= rs.DurationS {
+		t.Errorf("60 g (%.1f s) should out-sprint 10 g (%.1f s)", rb.DurationS, rs.DurationS)
+	}
+}
+
+// The paper's scale contrast: the sprinting deployment uses grams of
+// eicosane per chip (dollars); the datacenter deployment would need
+// kilograms per server, where eicosane's $75k/ton becomes millions across
+// a fleet while commercial paraffin stays five figures.
+func TestScaleContrast(t *testing.T) {
+	eico := pcm.Eicosane()
+	// Sprint scale: 30 g/chip.
+	perChip := eico.CostForVolume(0.030 / eico.DensitySolid * 1000)
+	if perChip > 5 {
+		t.Errorf("sprint-scale eicosane costs $%.2f per chip, want pocket change", perChip)
+	}
+	// Datacenter scale: the 1U fleet.
+	cfg := server.OneU()
+	enc, err := cfg.Wax.Enclosure(cfg.Wax.DefaultMeltC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetLiters := enc.WaxVolume() * 55 * 1008
+	eicoFleet := eico.CostForVolume(fleetLiters)
+	if eicoFleet < 1e6 {
+		t.Errorf("fleet-scale eicosane costs $%.0f, paper says over a million", eicoFleet)
+	}
+	comm, err := pcm.CommercialParaffin(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := eicoFleet / comm.CostForVolume(fleetLiters); ratio < 30 {
+		t.Errorf("eicosane/commercial fleet cost ratio = %.0f, want ~50x", ratio)
+	}
+}
+
+func TestSprintValidation(t *testing.T) {
+	bad := DefaultChip()
+	bad.SustainableW = 0
+	if _, err := bad.Sprint(nil, 10); err == nil {
+		t.Error("accepted invalid chip")
+	}
+}

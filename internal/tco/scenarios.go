@@ -1,0 +1,135 @@
+package tco
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CoolingSavings costs the Section 5.1 scenario: PCM cuts the peak cooling
+// load by reduction (e.g. 0.12), so a new datacenter installs a cooling
+// system that much smaller. The savings are the avoided slice of the
+// cooling system's capital, its feed power infrastructure, and financing.
+type CoolingSavings struct {
+	// PeakReduction echoes the input.
+	PeakReduction float64
+	// AnnualUSD is the yearly saving on the cooling system.
+	AnnualUSD float64
+	// ExtraServers is the alternative: how many servers the unchanged
+	// cooling system could additionally support when all servers carry
+	// wax (r/(1-r) of the population).
+	ExtraServers int
+	// ExtraServersFraction is the same as a fraction.
+	ExtraServersFraction float64
+}
+
+// SmallerCoolingSystem evaluates the fully-subscribed scenario for a
+// datacenter of the given critical power and population.
+func SmallerCoolingSystem(p Params, criticalPowerKW float64, servers int, reduction float64) (*CoolingSavings, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if criticalPowerKW <= 0 || servers <= 0 {
+		return nil, errors.New("tco: bad datacenter size")
+	}
+	if reduction <= 0 || reduction >= 1 {
+		return nil, fmt.Errorf("tco: peak reduction %v outside (0, 1)", reduction)
+	}
+	frac := reduction / (1 - reduction)
+	return &CoolingSavings{
+		PeakReduction:        reduction,
+		AnnualUSD:            p.CoolingSystemMonthlyPerKW() * criticalPowerKW * reduction * 12,
+		ExtraServers:         int(frac * float64(servers)),
+		ExtraServersFraction: frac,
+	}, nil
+}
+
+// RetrofitSavings costs the Section 5.1 retrofit: the servers in a
+// datacenter reach end of life while the cooling system has years left.
+// Deploying the new, denser generation with PCM oversubscribes the old
+// cooling system instead of buying a replacement sized for the new peak;
+// the savings are the avoided annualized cost of that replacement plant.
+func RetrofitSavings(p Params, criticalPowerKW float64, reduction float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if criticalPowerKW <= 0 {
+		return 0, errors.New("tco: bad datacenter size")
+	}
+	if reduction <= 0 || reduction >= 1 {
+		return 0, fmt.Errorf("tco: peak reduction %v outside (0, 1)", reduction)
+	}
+	// Without PCM, matching the new deployment's throughput needs a new
+	// cooling system sized for the full new peak: (1+r/(1-r)) of the old
+	// capacity. Its whole annualized cost is avoided because the old plant
+	// (still within its lifespan) absorbs the PCM-flattened peak.
+	newCapacityKW := criticalPowerKW * (1 + reduction/(1-reduction))
+	return p.CoolingSystemMonthlyPerKW() * newCapacityKW * 12, nil
+}
+
+// Efficiency is the Section 5.2 metric: the TCO of reaching the
+// PCM-boosted peak throughput with PCM versus with proportionally more
+// machines.
+type Efficiency struct {
+	// ThroughputGain echoes the input (e.g. 0.69 for +69%).
+	ThroughputGain float64
+	// WithPCMAnnualUSD and MoreMachinesAnnualUSD are the two ways to buy
+	// the same peak throughput.
+	WithPCMAnnualUSD, MoreMachinesAnnualUSD float64
+	// Improvement is 1 - WithPCM/MoreMachines.
+	Improvement float64
+}
+
+// TCOEfficiency evaluates the thermally constrained scenario. Following
+// the paper: CapEx, interest and facility OpEx scale with critical
+// capacity (you need (1+g)x machines and infrastructure to get (1+g)x peak
+// throughput), while the energy OpEx terms track delivered throughput and
+// therefore rise identically in both alternatives.
+func TCOEfficiency(p Params, d Datacenter, gain float64) (*Efficiency, error) {
+	if gain <= 0 {
+		return nil, fmt.Errorf("tco: non-positive throughput gain %v", gain)
+	}
+	base, err := Monthly(p, d)
+	if err != nil {
+		return nil, err
+	}
+	// With PCM: the same machines plus wax deliver the boosted peak.
+	withPCM := base.Total()
+
+	// Without PCM: scale every capacity-linear term by (1+g); energy terms
+	// (server energy + cooling energy + server power draw) follow
+	// throughput and match the PCM case.
+	scaled := base
+	k := 1 + gain
+	scaled.FacilitySpaceCapEx *= k
+	scaled.UPSCapEx *= k
+	scaled.PowerInfraCapEx *= k
+	scaled.CoolingInfraCapEx *= k
+	scaled.RestCapEx *= k
+	scaled.DCInterest *= k
+	scaled.ServerCapEx *= k
+	scaled.ServerInterest *= k
+	scaled.DatacenterOpEx *= k
+	scaled.RestOpEx *= k
+	scaled.WaxCapEx = 0 // the comparison deployment carries no wax
+	more := scaled.Total()
+
+	return &Efficiency{
+		ThroughputGain:        gain,
+		WithPCMAnnualUSD:      withPCM * 12,
+		MoreMachinesAnnualUSD: more * 12,
+		Improvement:           1 - withPCM/more,
+	}, nil
+}
+
+// WaxPaybackDays returns how many days of savings repay the fleet's wax
+// purchase — the sanity number behind "WaxCapEx is negligible".
+func WaxPaybackDays(waxCostPerServerUSD float64, servers int, annualSavingsUSD float64) (float64, error) {
+	if waxCostPerServerUSD <= 0 || servers <= 0 {
+		return 0, errors.New("tco: payback needs a positive wax cost and population")
+	}
+	if annualSavingsUSD <= 0 {
+		return 0, errors.New("tco: payback undefined without savings")
+	}
+	total := waxCostPerServerUSD * float64(servers)
+	return total / annualSavingsUSD * 365, nil
+}

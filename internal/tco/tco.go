@@ -1,0 +1,199 @@
+// Package tco implements the paper's total-cost-of-ownership model: the
+// Table 2 parameter set (after Kontorinis et al., with the interest
+// calculation of Barroso & Hoelzle) combined by Equation 1, and the four
+// economic scenarios the evaluation reports: shrinking the cooling system,
+// packing in more servers, the retrofit against a replacement cooling
+// plant, and the TCO-efficiency of PCM-boosted peak throughput.
+package tco
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params holds the Table 2 rates. All Cap/Op-Ex rates are dollars per
+// month: per square foot of facility space, per server, or per kilowatt of
+// datacenter critical power, as named.
+type Params struct {
+	FacilitySpaceCapExPerSqFt float64 // $/sq.ft: 1.29
+	UPSCapExPerServer         float64 // $/server: 0.13
+	PowerInfraCapExPerKW      float64 // $/kW: 15.9-16.2
+	CoolingInfraCapExPerKW    float64 // $/kW: 7.0
+	RestCapExPerKW            float64 // $/kW: 19.4-21.0
+	DCInterestPerKW           float64 // $/kW: 31.8-36.3
+
+	// Server-side rates derive from the purchase price: a four-year
+	// amortization for CapEx and a ~6.6%/yr financing rate for interest
+	// (these reproduce Table 2's 42-146 and 11.00-38.50 $/server spans for
+	// the $2,000-$7,000 machines).
+	ServerAmortizationMonths float64
+	ServerInterestMonthly    float64 // fraction of purchase per month
+
+	DatacenterOpExPerKW    float64 // $/kW: 20.7-20.9
+	ServerEnergyOpExPerKW  float64 // $/kW: 19.2-24.9
+	ServerPowerOpExPerKW   float64 // $/kW: 12.0
+	CoolingEnergyOpExPerKW float64 // $/kW: 18.4
+	RestOpExPerKW          float64 // $/kW: 5.7-6.6
+
+	// CoolingPlantPowerFraction is the cooling plant's electrical draw as
+	// a fraction of critical power (1/COP for a plant at COP ~3.5); it
+	// sizes the share of power infrastructure that exists to feed the
+	// chillers when costing the cooling system as a whole.
+	CoolingPlantPowerFraction float64
+	// SqFtPerKW converts critical power to facility floor space.
+	SqFtPerKW float64
+}
+
+// PaperParams returns the midpoints of Table 2.
+func PaperParams() Params {
+	return Params{
+		FacilitySpaceCapExPerSqFt: 1.29,
+		UPSCapExPerServer:         0.13,
+		PowerInfraCapExPerKW:      16.0,
+		CoolingInfraCapExPerKW:    7.0,
+		RestCapExPerKW:            20.2,
+		DCInterestPerKW:           34.0,
+		ServerAmortizationMonths:  48,
+		ServerInterestMonthly:     0.0055,
+		DatacenterOpExPerKW:       20.8,
+		ServerEnergyOpExPerKW:     22.0,
+		ServerPowerOpExPerKW:      12.0,
+		CoolingEnergyOpExPerKW:    18.4,
+		RestOpExPerKW:             6.1,
+		CoolingPlantPowerFraction: 0.29, // COP ~3.5
+		SqFtPerKW:                 4.0,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.ServerAmortizationMonths <= 0:
+		return errors.New("tco: non-positive server amortization")
+	case p.CoolingInfraCapExPerKW <= 0 || p.PowerInfraCapExPerKW <= 0:
+		return errors.New("tco: non-positive infrastructure rates")
+	case p.CoolingPlantPowerFraction <= 0 || p.CoolingPlantPowerFraction >= 1:
+		return fmt.Errorf("tco: cooling plant power fraction %v outside (0, 1)", p.CoolingPlantPowerFraction)
+	case p.SqFtPerKW <= 0:
+		return errors.New("tco: non-positive floor space rate")
+	}
+	return nil
+}
+
+// Datacenter describes one costed deployment.
+type Datacenter struct {
+	// CriticalPowerKW is the IT power the facility is provisioned for
+	// (the paper uses 10 MW).
+	CriticalPowerKW float64
+	// Servers is the machine population.
+	Servers int
+	// ServerCostUSD is the purchase price per machine.
+	ServerCostUSD float64
+	// WaxCostPerServerUSD is the wax + container purchase per machine
+	// (zero for no-PCM deployments); amortized like the server.
+	WaxCostPerServerUSD float64
+}
+
+// Validate reports configuration errors.
+func (d Datacenter) Validate() error {
+	switch {
+	case d.CriticalPowerKW <= 0:
+		return fmt.Errorf("tco: non-positive critical power %v", d.CriticalPowerKW)
+	case d.Servers <= 0:
+		return fmt.Errorf("tco: non-positive server count %d", d.Servers)
+	case d.ServerCostUSD <= 0:
+		return fmt.Errorf("tco: non-positive server cost %v", d.ServerCostUSD)
+	case d.WaxCostPerServerUSD < 0:
+		return fmt.Errorf("tco: negative wax cost")
+	}
+	return nil
+}
+
+// Breakdown itemizes Equation 1 in dollars per month.
+type Breakdown struct {
+	FacilitySpaceCapEx float64
+	UPSCapEx           float64
+	PowerInfraCapEx    float64
+	CoolingInfraCapEx  float64
+	RestCapEx          float64
+	DCInterest         float64
+	ServerCapEx        float64
+	WaxCapEx           float64
+	ServerInterest     float64
+	DatacenterOpEx     float64
+	ServerEnergyOpEx   float64
+	ServerPowerOpEx    float64
+	CoolingEnergyOpEx  float64
+	RestOpEx           float64
+}
+
+// Total sums Equation 1.
+func (b Breakdown) Total() float64 {
+	return b.FacilitySpaceCapEx + b.UPSCapEx + b.PowerInfraCapEx + b.CoolingInfraCapEx +
+		b.RestCapEx + b.DCInterest + b.ServerCapEx + b.WaxCapEx + b.ServerInterest +
+		b.DatacenterOpEx + b.ServerEnergyOpEx + b.ServerPowerOpEx + b.CoolingEnergyOpEx + b.RestOpEx
+}
+
+// Monthly evaluates Equation 1 for the deployment.
+func Monthly(p Params, d Datacenter) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	kw := d.CriticalPowerKW
+	n := float64(d.Servers)
+	b := Breakdown{
+		FacilitySpaceCapEx: p.FacilitySpaceCapExPerSqFt * p.SqFtPerKW * kw,
+		UPSCapEx:           p.UPSCapExPerServer * n,
+		PowerInfraCapEx:    p.PowerInfraCapExPerKW * kw,
+		CoolingInfraCapEx:  p.CoolingInfraCapExPerKW * kw,
+		RestCapEx:          p.RestCapExPerKW * kw,
+		DCInterest:         p.DCInterestPerKW * kw,
+		ServerCapEx:        d.ServerCostUSD / p.ServerAmortizationMonths * n,
+		WaxCapEx:           d.WaxCostPerServerUSD / p.ServerAmortizationMonths * n,
+		ServerInterest:     d.ServerCostUSD * p.ServerInterestMonthly * n,
+		DatacenterOpEx:     p.DatacenterOpExPerKW * kw,
+		ServerEnergyOpEx:   p.ServerEnergyOpExPerKW * kw,
+		ServerPowerOpEx:    p.ServerPowerOpExPerKW * kw,
+		CoolingEnergyOpEx:  p.CoolingEnergyOpExPerKW * kw,
+		RestOpEx:           p.RestOpExPerKW * kw,
+	}
+	return b, nil
+}
+
+// Annual evaluates Equation 1 for a year.
+func Annual(p Params, d Datacenter) (float64, error) {
+	b, err := Monthly(p, d)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total() * 12, nil
+}
+
+// ServerCapExPerServer reports the Table 2 "ServerCapEx" row for a given
+// purchase price (42-146 $/server across the paper's machines).
+func (p Params) ServerCapExPerServer(costUSD float64) float64 {
+	return costUSD / p.ServerAmortizationMonths
+}
+
+// ServerInterestPerServer reports the Table 2 "ServerInterest" row
+// (11.00-38.50 $/server).
+func (p Params) ServerInterestPerServer(costUSD float64) float64 {
+	return costUSD * p.ServerInterestMonthly
+}
+
+// CoolingSystemMonthlyPerKW costs the thermal-control system as a whole,
+// per kW of peak cooling load it must remove: its own capital, the share
+// of power infrastructure that feeds the plant, and the financing on both.
+// The evaluation treats this as linear in the peak cooling load.
+func (p Params) CoolingSystemMonthlyPerKW() float64 {
+	capex := p.CoolingInfraCapExPerKW + p.CoolingPlantPowerFraction*p.PowerInfraCapExPerKW
+	// Interest follows the same proportion of the total capital rates that
+	// DCInterest bears to the non-server capital in Table 2.
+	capitalBase := p.FacilitySpaceCapExPerSqFt*p.SqFtPerKW + p.PowerInfraCapExPerKW +
+		p.CoolingInfraCapExPerKW + p.RestCapExPerKW
+	interest := p.DCInterestPerKW * capex / capitalBase
+	return capex + interest
+}

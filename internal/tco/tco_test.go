@@ -1,0 +1,287 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func tenMW(servers int, cost float64) Datacenter {
+	return Datacenter{CriticalPowerKW: 10000, Servers: servers, ServerCostUSD: cost, WaxCostPerServerUSD: 4}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if PaperParams().Validate() != nil {
+		t.Error("paper params rejected")
+	}
+	p := PaperParams()
+	p.ServerAmortizationMonths = 0
+	if p.Validate() == nil {
+		t.Error("accepted zero amortization")
+	}
+	p = PaperParams()
+	p.CoolingPlantPowerFraction = 1.5
+	if p.Validate() == nil {
+		t.Error("accepted cooling fraction > 1")
+	}
+}
+
+func TestDatacenterValidate(t *testing.T) {
+	if tenMW(55440, 2000).Validate() != nil {
+		t.Error("valid datacenter rejected")
+	}
+	bad := tenMW(0, 2000)
+	if bad.Validate() == nil {
+		t.Error("accepted zero servers")
+	}
+	bad = tenMW(100, 0)
+	if bad.Validate() == nil {
+		t.Error("accepted zero server cost")
+	}
+	bad = tenMW(100, 2000)
+	bad.WaxCostPerServerUSD = -1
+	if bad.Validate() == nil {
+		t.Error("accepted negative wax cost")
+	}
+}
+
+// Table 2's server rows: 42-146 $/server CapEx and 11.00-38.50 $/server
+// interest across the paper's $2,000-$7,000 machines.
+func TestTable2ServerRows(t *testing.T) {
+	p := PaperParams()
+	if got := p.ServerCapExPerServer(2000); math.Abs(got-41.7) > 1 {
+		t.Errorf("ServerCapEx($2000) = %v, want ~42", got)
+	}
+	if got := p.ServerCapExPerServer(7000); math.Abs(got-145.8) > 1 {
+		t.Errorf("ServerCapEx($7000) = %v, want ~146", got)
+	}
+	if got := p.ServerInterestPerServer(2000); math.Abs(got-11) > 0.5 {
+		t.Errorf("ServerInterest($2000) = %v, want ~11", got)
+	}
+	if got := p.ServerInterestPerServer(7000); math.Abs(got-38.5) > 0.5 {
+		t.Errorf("ServerInterest($7000) = %v, want ~38.50", got)
+	}
+}
+
+func TestWaxCapExNegligible(t *testing.T) {
+	// The paper: WaxCapEx is 0.06-0.10 $/server/month, under 0.1% of
+	// ServerCapEx.
+	p := PaperParams()
+	d := tenMW(55440, 2000)
+	b, err := Monthly(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perServer := b.WaxCapEx / float64(d.Servers)
+	if perServer < 0.05 || perServer > 0.12 {
+		t.Errorf("WaxCapEx = %v $/server/month, want 0.06-0.10", perServer)
+	}
+	if b.WaxCapEx > 0.005*b.ServerCapEx {
+		t.Errorf("WaxCapEx %v not negligible vs ServerCapEx %v", b.WaxCapEx, b.ServerCapEx)
+	}
+}
+
+func TestMonthlyTotalSumsEquation1(t *testing.T) {
+	p := PaperParams()
+	d := tenMW(19152, 7000)
+	b, err := Monthly(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.FacilitySpaceCapEx + b.UPSCapEx + b.PowerInfraCapEx + b.CoolingInfraCapEx +
+		b.RestCapEx + b.DCInterest + b.ServerCapEx + b.WaxCapEx + b.ServerInterest +
+		b.DatacenterOpEx + b.ServerEnergyOpEx + b.ServerPowerOpEx + b.CoolingEnergyOpEx + b.RestOpEx
+	if math.Abs(sum-b.Total()) > 1e-6 {
+		t.Error("Total() does not sum Equation 1")
+	}
+	annual, err := Annual(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(annual-12*b.Total()) > 1e-6 {
+		t.Error("Annual != 12x monthly")
+	}
+	// A 10 MW datacenter costs O($20-40M) a year; sanity-band the model.
+	if annual < 1.5e7 || annual > 8e7 {
+		t.Errorf("annual TCO = $%.0f, outside sanity band", annual)
+	}
+}
+
+func TestMonthlyValidation(t *testing.T) {
+	if _, err := Monthly(PaperParams(), Datacenter{}); err == nil {
+		t.Error("accepted invalid datacenter")
+	}
+	bad := PaperParams()
+	bad.SqFtPerKW = 0
+	if _, err := Monthly(bad, tenMW(100, 2000)); err == nil {
+		t.Error("accepted invalid params")
+	}
+}
+
+// Section 5.1: 12%/8.9%/8.3% peak reductions save roughly $254k/$187k/$174k
+// a year on the cooling system; the shape (linear in reduction, ~$2M/yr per
+// 100%) must hold.
+func TestCoolingSystemSavings(t *testing.T) {
+	p := PaperParams()
+	cases := []struct {
+		reduction float64
+		lowUSD    float64
+		highUSD   float64
+	}{
+		{0.120, 190e3, 330e3},
+		{0.089, 140e3, 250e3},
+		{0.083, 130e3, 230e3},
+	}
+	for _, c := range cases {
+		s, err := SmallerCoolingSystem(p, 10000, 55440, c.reduction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.AnnualUSD < c.lowUSD || s.AnnualUSD > c.highUSD {
+			t.Errorf("savings at %.1f%% = $%.0f, want %v-%v",
+				c.reduction*100, s.AnnualUSD, c.lowUSD, c.highUSD)
+		}
+	}
+	// Linearity in the reduction.
+	a, _ := SmallerCoolingSystem(p, 10000, 1000, 0.06)
+	b, _ := SmallerCoolingSystem(p, 10000, 1000, 0.12)
+	if math.Abs(b.AnnualUSD-2*a.AnnualUSD) > 1 {
+		t.Error("cooling savings not linear in reduction")
+	}
+}
+
+func TestExtraServers(t *testing.T) {
+	p := PaperParams()
+	// 12% reduction -> 13.6% more servers; on 19,152 2U machines that is
+	// ~2,600 (the paper reports 2,920 at 14.6%).
+	s, err := SmallerCoolingSystem(p, 10000, 19152, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.ExtraServersFraction-0.12/0.88) > 1e-9 {
+		t.Errorf("extra fraction = %v", s.ExtraServersFraction)
+	}
+	if s.ExtraServers < 2400 || s.ExtraServers > 2900 {
+		t.Errorf("extra servers = %d, want ~2600", s.ExtraServers)
+	}
+}
+
+func TestSmallerCoolingSystemValidation(t *testing.T) {
+	p := PaperParams()
+	if _, err := SmallerCoolingSystem(p, 0, 100, 0.1); err == nil {
+		t.Error("accepted zero power")
+	}
+	if _, err := SmallerCoolingSystem(p, 1000, 100, 0); err == nil {
+		t.Error("accepted zero reduction")
+	}
+	if _, err := SmallerCoolingSystem(p, 1000, 100, 1); err == nil {
+		t.Error("accepted full reduction")
+	}
+}
+
+// Section 5.1 retrofit: ~$3.0-3.2M/yr saved against a replacement cooling
+// plant for a 10 MW datacenter.
+func TestRetrofitSavings(t *testing.T) {
+	p := PaperParams()
+	for _, r := range []float64{0.089, 0.098, 0.146} {
+		s, err := RetrofitSavings(p, 10000, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 2.0e6 || s > 4.0e6 {
+			t.Errorf("retrofit savings at %.1f%% = $%.0f, want ~$3M", r*100, s)
+		}
+	}
+	if _, err := RetrofitSavings(p, 10000, 0); err == nil {
+		t.Error("accepted zero reduction")
+	}
+	if _, err := RetrofitSavings(p, 0, 0.1); err == nil {
+		t.Error("accepted zero power")
+	}
+}
+
+// Section 5.2: +33%/+69%/+34% peak throughput translate to 23%/39%/24% TCO
+// efficiency improvements.
+func TestTCOEfficiency(t *testing.T) {
+	p := PaperParams()
+	cases := []struct {
+		gain      float64
+		servers   int
+		cost      float64
+		low, high float64
+	}{
+		{0.33, 55440, 2000, 0.17, 0.27}, // paper: 23%
+		{0.69, 19152, 7000, 0.30, 0.44}, // paper: 39%
+		{0.34, 29232, 4000, 0.17, 0.28}, // paper: 24%
+	}
+	for _, c := range cases {
+		e, err := TCOEfficiency(p, tenMW(c.servers, c.cost), c.gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Improvement < c.low || e.Improvement > c.high {
+			t.Errorf("gain %.0f%%: improvement = %.1f%%, want %v-%v",
+				c.gain*100, e.Improvement*100, c.low*100, c.high*100)
+		}
+		if e.WithPCMAnnualUSD >= e.MoreMachinesAnnualUSD {
+			t.Error("PCM should be the cheaper path to the boosted peak")
+		}
+	}
+	if _, err := TCOEfficiency(p, tenMW(100, 2000), 0); err == nil {
+		t.Error("accepted zero gain")
+	}
+	if _, err := TCOEfficiency(p, Datacenter{}, 0.3); err == nil {
+		t.Error("accepted invalid datacenter")
+	}
+}
+
+// Larger gains always improve efficiency more.
+func TestTCOEfficiencyMonotone(t *testing.T) {
+	p := PaperParams()
+	prev := -1.0
+	for g := 0.1; g <= 1.0; g += 0.1 {
+		e, err := TCOEfficiency(p, tenMW(19152, 7000), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Improvement <= prev {
+			t.Fatalf("efficiency not monotone at gain %v", g)
+		}
+		prev = e.Improvement
+	}
+}
+
+// Golden regression pin: Equation 1 for the paper's 2U datacenter. Any
+// parameter drift shows up here first.
+func TestEquation1Golden(t *testing.T) {
+	b, err := Monthly(PaperParams(), tenMW(19152, 7000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the expected total from first principles.
+	kw := 10000.0
+	n := 19152.0
+	perKW := 1.29*4 + 16.0 + 7.0 + 20.2 + 34.0 + 20.8 + 22.0 + 12.0 + 18.4 + 6.1
+	perServer := 0.13 + 7000.0/48 + 4.0/48 + 7000*0.0055
+	want := perKW*kw + perServer*n
+	if math.Abs(b.Total()-want) > 0.01 {
+		t.Errorf("Equation 1 total = %v, want %v", b.Total(), want)
+	}
+}
+
+func TestWaxPaybackDays(t *testing.T) {
+	// ~$5 of wax on 19,152 2U servers against the $254k/yr paper savings:
+	// pays back within the first five months.
+	days, err := WaxPaybackDays(5, 19152, 254e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days < 30 || days > 200 {
+		t.Errorf("payback = %.0f days, want O(100)", days)
+	}
+	if _, err := WaxPaybackDays(0, 100, 1000); err == nil {
+		t.Error("accepted zero wax cost")
+	}
+	if _, err := WaxPaybackDays(5, 100, 0); err == nil {
+		t.Error("accepted zero savings")
+	}
+}

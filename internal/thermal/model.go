@@ -1,0 +1,512 @@
+// Package thermal implements the server-interior heat model that stands in
+// for the paper's ANSYS Icepak CFD simulations: a lumped-parameter thermal
+// network of capacitive component nodes coupled to a one-dimensional
+// advected air stream, with optional phase-change (wax) attachments.
+//
+// Air is treated as quasi-static (its thermal capacitance is negligible
+// next to the components'): at every instant the stream is marched from
+// inlet to outlet, each attachment exchanging heat with the local air via
+// an effectiveness-limited convective conductance. Component temperatures
+// then evolve by an exponential (unconditionally stable) per-node update.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/pcm"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+)
+
+// PowerFunc returns a heat source's dissipation in watts at time t
+// (seconds).
+type PowerFunc func(t float64) float64
+
+// ConstantPower returns a PowerFunc that always yields w.
+func ConstantPower(w float64) PowerFunc { return func(float64) float64 { return w } }
+
+// StepPower returns a PowerFunc that is `before` until switchT and `after`
+// afterwards; the shape used by the validation experiment (idle, then 12 h
+// loaded, then idle is built by composing two steps).
+func StepPower(before, after, switchT float64) PowerFunc {
+	return func(t float64) float64 {
+		if t < switchT {
+			return before
+		}
+		return after
+	}
+}
+
+// Node is a capacitive solid component: CPU package + sink, DIMM bank,
+// drive, PSU, or the lumped "rest of motherboard".
+type Node struct {
+	Name string
+	// CapacityJPerK is the lumped thermal capacitance.
+	CapacityJPerK float64
+	// Power is the node's heat source; nil means passive.
+	Power PowerFunc
+	// temperature is the current state, degC.
+	temperature float64
+}
+
+// Temperature returns the node's current temperature in degC.
+func (n *Node) Temperature() float64 { return n.temperature }
+
+// attachment couples a node (or wax state) to a station of the air stream.
+type attachment struct {
+	node *Node // exactly one of node/wax is set
+	wax  *pcm.State
+	// conductance is h*A in W/K at the reference velocity.
+	conductance float64
+	// velocityScaled marks attachments whose conductance scales with
+	// (v/vref)^0.8, the forced-convection law.
+	velocityScaled bool
+}
+
+// Station is one downstream position on the air path. Attachments at the
+// same station exchange sequentially with the station's local stream. A
+// station may be a wake: a sub-stream carrying only FlowShare of the total
+// flow (a heatsink exhaust jet); its attachments then see much hotter
+// local air, and the stream remixes into the bulk downstream.
+type Station struct {
+	Name        string
+	attachments []attachment
+	// FlowShare is the fraction of total flow passing through this
+	// station's local stream, in (0, 1].
+	FlowShare float64
+	// airC is the most recent local air temperature leaving this station.
+	airC float64
+}
+
+// AirTemperature returns the air temperature at the station exit from the
+// most recent step or solve.
+func (s *Station) AirTemperature() float64 { return s.airC }
+
+// conductionLink conducts heat directly between two nodes (e.g. CPU die to
+// a downwind baffle).
+type conductionLink struct {
+	a, b *Node
+	g    float64 // W/K
+}
+
+// Model is a thermal network for one server.
+type Model struct {
+	nodes    []*Node
+	stations []*Station
+	links    []conductionLink
+
+	// InletC is the cold-aisle air temperature entering the server.
+	InletC float64
+	// FlowM3s is the current volumetric airflow.
+	FlowM3s float64
+	// FlowFunc, when non-nil, overrides FlowM3s at the start of every step
+	// and solve with its value at the model clock — the paper models fans
+	// "as a time-based step function between the idle and loaded speeds".
+	FlowFunc func(t float64) float64
+	// refFlowM3s is the flow at which attachment conductances were
+	// specified; velocity-scaled conductances follow (Flow/ref)^0.8.
+	refFlowM3s float64
+
+	clock float64
+}
+
+// NewModel creates an empty model with the given inlet temperature and
+// nominal (reference) airflow in m^3/s.
+func NewModel(inletC, flowM3s float64) (*Model, error) {
+	if flowM3s <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive airflow %v", flowM3s)
+	}
+	return &Model{InletC: inletC, FlowM3s: flowM3s, refFlowM3s: flowM3s}, nil
+}
+
+// AddNode registers a component node, initialized at the inlet temperature.
+func (m *Model) AddNode(name string, capacityJPerK float64, power PowerFunc) (*Node, error) {
+	if capacityJPerK <= 0 {
+		return nil, fmt.Errorf("thermal: node %q has non-positive capacity", name)
+	}
+	n := &Node{Name: name, CapacityJPerK: capacityJPerK, Power: power, temperature: m.InletC}
+	m.nodes = append(m.nodes, n)
+	return n, nil
+}
+
+// AddStation appends a full-flow station at the downstream end of the air
+// path.
+func (m *Model) AddStation(name string) *Station {
+	s, _ := m.AddWakeStation(name, 1)
+	return s
+}
+
+// AddWakeStation appends a station whose local stream carries only share of
+// the total flow: the wake behind a heatsink or a partial bypass duct.
+func (m *Model) AddWakeStation(name string, share float64) (*Station, error) {
+	if share <= 0 || share > 1 {
+		return nil, fmt.Errorf("thermal: station %q flow share %v outside (0, 1]", name, share)
+	}
+	s := &Station{Name: name, FlowShare: share, airC: m.InletC}
+	m.stations = append(m.stations, s)
+	return s, nil
+}
+
+// Attach couples a node to a station with convective conductance hA (W/K)
+// at the reference flow. velocityScaled selects forced-convection scaling
+// with flow.
+func (m *Model) Attach(st *Station, n *Node, hA float64, velocityScaled bool) error {
+	if hA <= 0 {
+		return fmt.Errorf("thermal: non-positive conductance %v for %q", hA, n.Name)
+	}
+	st.attachments = append(st.attachments, attachment{node: n, conductance: hA, velocityScaled: velocityScaled})
+	return nil
+}
+
+// AttachWax couples a PCM state to a station with convective conductance
+// hA (W/K) at the reference flow.
+func (m *Model) AttachWax(st *Station, w *pcm.State, hA float64, velocityScaled bool) error {
+	if hA <= 0 {
+		return errors.New("thermal: non-positive wax conductance")
+	}
+	st.attachments = append(st.attachments, attachment{wax: w, conductance: hA, velocityScaled: velocityScaled})
+	return nil
+}
+
+// Link conducts heat between two nodes with conductance g (W/K).
+func (m *Model) Link(a, b *Node, g float64) error {
+	if g <= 0 {
+		return errors.New("thermal: non-positive link conductance")
+	}
+	m.links = append(m.links, conductionLink{a: a, b: b, g: g})
+	return nil
+}
+
+// SetTemperatures initializes every node (and the station readings) to
+// tempC; wax states are reset to the same temperature.
+func (m *Model) SetTemperatures(tempC float64) {
+	for _, n := range m.nodes {
+		n.temperature = tempC
+	}
+	for _, st := range m.stations {
+		st.airC = tempC
+		for _, at := range st.attachments {
+			if at.wax != nil {
+				at.wax.Reset(tempC)
+			}
+		}
+	}
+	m.clock = 0
+}
+
+// effectiveConductance applies velocity scaling.
+func (m *Model) effectiveConductance(at attachment) float64 {
+	if !at.velocityScaled || m.FlowM3s == m.refFlowM3s {
+		return at.conductance
+	}
+	ratio := m.FlowM3s / m.refFlowM3s
+	if ratio <= 0 {
+		return at.conductance * 0.1
+	}
+	return at.conductance * math.Pow(ratio, 0.8)
+}
+
+// marchAir walks the stream from inlet to outlet given current node and wax
+// temperatures, recording station air temperatures and returning the heat
+// each attachment passes to the air in watts (same order as visited).
+func (m *Model) marchAir() map[interface{}]float64 {
+	heat := make(map[interface{}]float64)
+	mcp := units.AdvectionConductance(m.FlowM3s)
+	air := m.InletC
+	for _, st := range m.stations {
+		smcp := mcp * st.FlowShare
+		local := air
+		stationQ := 0.0
+		for _, at := range st.attachments {
+			g := m.effectiveConductance(at)
+			// Effectiveness-limited exchange: the local stream cannot pick
+			// up more heat than warming fully to the surface temperature.
+			geff := smcp * (1 - math.Exp(-g/smcp))
+			var surf float64
+			var key interface{}
+			if at.node != nil {
+				surf = at.node.temperature
+				key = at.node
+			} else {
+				surf = at.wax.Temperature()
+				key = at.wax
+			}
+			q := geff * (surf - local)
+			heat[key] += q
+			local += q / smcp
+			stationQ += q
+		}
+		st.airC = local
+		// The wake remixes into the bulk flow downstream.
+		air += stationQ / mcp
+	}
+	return heat
+}
+
+// OutletC returns the exhaust air temperature from the most recent step or
+// solve; inlet temperature if the model has no stations.
+func (m *Model) OutletC() float64 {
+	if len(m.stations) == 0 {
+		return m.InletC
+	}
+	return m.stations[len(m.stations)-1].airC
+}
+
+// Step advances the model by dt seconds. Node updates use per-node
+// exponential relaxation toward the local equilibrium, which is stable for
+// any dt; accuracy calls for dt well below the fastest node time constant
+// of interest (the server package uses 5 s).
+func (m *Model) Step(dt float64) {
+	t := m.clock
+	if m.FlowFunc != nil {
+		m.FlowM3s = m.FlowFunc(t)
+	}
+	heat := m.marchAir()
+
+	// Conduction sums (explicit in neighbor temperatures).
+	condPower := make(map[*Node]float64)
+	condG := make(map[*Node]float64)
+	for _, l := range m.links {
+		condPower[l.a] += l.g * l.b.temperature
+		condPower[l.b] += l.g * l.a.temperature
+		condG[l.a] += l.g
+		condG[l.b] += l.g
+	}
+	// Convective conductances per node from the march (recompute geff and
+	// local air temps for the equilibrium form).
+	mcp := units.AdvectionConductance(m.FlowM3s)
+	convG := make(map[*Node]float64)
+	convAir := make(map[*Node]float64)
+	air := m.InletC
+	for _, st := range m.stations {
+		smcp := mcp * st.FlowShare
+		local := air
+		stationQ := 0.0
+		for _, at := range st.attachments {
+			g := m.effectiveConductance(at)
+			geff := smcp * (1 - math.Exp(-g/smcp))
+			if at.node != nil {
+				convG[at.node] += geff
+				convAir[at.node] += geff * local
+			}
+			var surf float64
+			if at.node != nil {
+				surf = at.node.temperature
+			} else {
+				surf = at.wax.Temperature()
+			}
+			q := geff * (surf - local)
+			local += q / smcp
+			stationQ += q
+		}
+		air += stationQ / mcp
+	}
+
+	for _, n := range m.nodes {
+		p := 0.0
+		if n.Power != nil {
+			p = n.Power(t)
+		}
+		gTot := condG[n] + convG[n]
+		if gTot <= 0 {
+			// Pure accumulator: all power integrates.
+			n.temperature += p * dt / n.CapacityJPerK
+			continue
+		}
+		eq := (p + condPower[n] + convAir[n]) / gTot
+		tau := n.CapacityJPerK / gTot
+		n.temperature = eq + (n.temperature-eq)*math.Exp(-dt/tau)
+	}
+
+	// Wax exchanges the marched heat over the step.
+	for _, st := range m.stations {
+		for _, at := range st.attachments {
+			if at.wax != nil {
+				q := heat[at.wax] // W from wax into air
+				at.wax.AddHeat(-q * dt)
+			}
+		}
+	}
+
+	m.clock += dt
+}
+
+// Probe identifies a value to record during a transient run.
+type Probe struct {
+	Name string
+	// Station records the station's exit air temperature when non-nil.
+	Station *Station
+	// Node records the node temperature when non-nil.
+	Node *Node
+	// Wax records the wax liquid fraction when non-nil.
+	Wax *pcm.State
+}
+
+func (p Probe) read() float64 {
+	switch {
+	case p.Station != nil:
+		return p.Station.AirTemperature()
+	case p.Node != nil:
+		return p.Node.Temperature()
+	case p.Wax != nil:
+		return p.Wax.LiquidFraction()
+	default:
+		return math.NaN()
+	}
+}
+
+// TransientResult holds sampled probe traces from a Run.
+type TransientResult struct {
+	// Traces holds one series per probe, in probe order.
+	Traces []*timeseries.Series
+	// Names mirrors the probe names.
+	Names []string
+}
+
+// Trace returns the series for the named probe, or nil.
+func (r *TransientResult) Trace(name string) *timeseries.Series {
+	for i, n := range r.Names {
+		if n == name {
+			return r.Traces[i]
+		}
+	}
+	return nil
+}
+
+// Run integrates the model for duration seconds with step dt, sampling the
+// probes every sampleEvery seconds. The model clock continues from its
+// current value.
+func (m *Model) Run(duration, dt, sampleEvery float64, probes []Probe) (*TransientResult, error) {
+	if dt <= 0 || duration < 0 {
+		return nil, fmt.Errorf("thermal: bad run parameters dt=%v duration=%v", dt, duration)
+	}
+	if sampleEvery < dt {
+		sampleEvery = dt
+	}
+	n := int(duration/sampleEvery) + 1
+	res := &TransientResult{}
+	for _, p := range probes {
+		s, err := timeseries.New(m.clock, sampleEvery, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Traces = append(res.Traces, s)
+		res.Names = append(res.Names, p.Name)
+	}
+	record := func(idx int) {
+		for i, p := range probes {
+			if idx < res.Traces[i].Len() {
+				res.Traces[i].Values[idx] = p.read()
+			}
+		}
+	}
+	// Make sure station readings are current before the first sample.
+	m.marchAir()
+	record(0)
+	elapsed := 0.0
+	nextSample := sampleEvery
+	idx := 1
+	for elapsed < duration {
+		h := dt
+		if elapsed+h > duration {
+			h = duration - elapsed
+		}
+		m.Step(h)
+		elapsed += h
+		if elapsed+1e-9 >= nextSample {
+			record(idx)
+			idx++
+			nextSample += sampleEvery
+		}
+	}
+	return res, nil
+}
+
+// SolveSteadyState iterates the network to the fixed point where every
+// node's power balances its heat paths, holding wax inert (steady state
+// means no latent flow; wax surfaces float at local air temperature).
+// It returns the number of sweeps used.
+func (m *Model) SolveSteadyState(tol float64, maxSweeps int) (int, error) {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 10000
+	}
+	t := m.clock
+	if m.FlowFunc != nil {
+		m.FlowM3s = m.FlowFunc(t)
+	}
+	mcp := units.AdvectionConductance(m.FlowM3s)
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		maxDelta := 0.0
+		// March air with wax floating at local air temperature.
+		air := m.InletC
+		localAir := make(map[*Node]float64)
+		localGeff := make(map[*Node]float64)
+		for _, st := range m.stations {
+			smcp := mcp * st.FlowShare
+			local := air
+			stationQ := 0.0
+			for _, at := range st.attachments {
+				if at.wax != nil {
+					continue // inert at steady state
+				}
+				g := m.effectiveConductance(at)
+				geff := smcp * (1 - math.Exp(-g/smcp))
+				localAir[at.node] = local
+				localGeff[at.node] = geff
+				q := geff * (at.node.temperature - local)
+				local += q / smcp
+				stationQ += q
+			}
+			st.airC = local
+			air += stationQ / mcp
+		}
+		// Gauss-Seidel node update.
+		condPower := make(map[*Node]float64)
+		condG := make(map[*Node]float64)
+		for _, l := range m.links {
+			condPower[l.a] += l.g * l.b.temperature
+			condPower[l.b] += l.g * l.a.temperature
+			condG[l.a] += l.g
+			condG[l.b] += l.g
+		}
+		for _, st := range m.stations {
+			for _, at := range st.attachments {
+				if at.node == nil {
+					continue
+				}
+				n := at.node
+				geff := localGeff[n]
+				p := 0.0
+				if n.Power != nil {
+					p = n.Power(t)
+				}
+				next := (p + condPower[n] + geff*localAir[n]) / (condG[n] + geff)
+				if d := math.Abs(next - n.temperature); d > maxDelta {
+					maxDelta = d
+				}
+				// Damped update: wake stations couple strongly through the
+				// shared local stream, and full Gauss-Seidel steps can
+				// oscillate there.
+				n.temperature = 0.5*n.temperature + 0.5*next
+			}
+		}
+		if maxDelta < tol {
+			return sweep, nil
+		}
+	}
+	return maxSweeps, errors.New("thermal: steady state did not converge")
+}
+
+// Clock returns the model's internal time in seconds.
+func (m *Model) Clock() float64 { return m.clock }
+
+// Nodes returns the registered nodes in creation order.
+func (m *Model) Nodes() []*Node { return m.nodes }
+
+// Stations returns the stations in downstream order.
+func (m *Model) Stations() []*Station { return m.stations }

@@ -1,0 +1,362 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pcm"
+	"repro/internal/units"
+)
+
+// singleNodeModel builds a model with one 46 W CPU-like node on one
+// station.
+func singleNodeModel(t *testing.T, power float64) (*Model, *Node, *Station) {
+	t.Helper()
+	flow := units.CFMToCubicMetersPerSecond(40)
+	m, err := NewModel(25, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.AddNode("cpu", 500, ConstantPower(power))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.AddStation("behind cpu")
+	if err := m.Attach(st, n, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	return m, n, st
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(25, 0); err == nil {
+		t.Error("accepted zero flow")
+	}
+	m, _ := NewModel(25, 0.02)
+	if _, err := m.AddNode("x", 0, nil); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	n, _ := m.AddNode("x", 10, nil)
+	st := m.AddStation("s")
+	if err := m.Attach(st, n, 0, false); err == nil {
+		t.Error("accepted zero conductance")
+	}
+	if err := m.Link(n, n, 0); err == nil {
+		t.Error("accepted zero link conductance")
+	}
+}
+
+func TestSteadyStateEnergyBalance(t *testing.T) {
+	m, n, st := singleNodeModel(t, 46)
+	if _, err := m.SolveSteadyState(1e-9, 0); err != nil {
+		t.Fatal(err)
+	}
+	// All 46 W leave in the air: outlet = inlet + P/(m*cp).
+	mcp := units.AdvectionConductance(m.FlowM3s)
+	wantOutlet := 25 + 46/mcp
+	if got := st.AirTemperature(); math.Abs(got-wantOutlet) > 1e-6 {
+		t.Errorf("outlet = %v, want %v", got, wantOutlet)
+	}
+	// The node sits above the local (inlet) air by P/geff.
+	geff := mcp * (1 - math.Exp(-8/mcp))
+	wantNode := 25 + 46/geff
+	if got := n.Temperature(); math.Abs(got-wantNode) > 1e-6 {
+		t.Errorf("node = %v, want %v", got, wantNode)
+	}
+}
+
+func TestTransientApproachesSteadyState(t *testing.T) {
+	m, n, _ := singleNodeModel(t, 46)
+	res, err := m.Run(4*units.Hour, 5, 60, []Probe{{Name: "cpu", Node: n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transientFinal := n.Temperature()
+
+	m2, n2, _ := singleNodeModel(t, 46)
+	if _, err := m2.SolveSteadyState(1e-9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(transientFinal-n2.Temperature()) > 0.05 {
+		t.Errorf("transient final %v != steady %v", transientFinal, n2.Temperature())
+	}
+	// The trace is monotone non-decreasing while heating from cold.
+	tr := res.Trace("cpu")
+	if tr == nil {
+		t.Fatal("missing trace")
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Values[i] < tr.Values[i-1]-1e-9 {
+			t.Fatalf("heating trace decreased at %d", i)
+		}
+	}
+}
+
+func TestStepPower(t *testing.T) {
+	p := StepPower(6, 46, 3600)
+	if p(0) != 6 || p(3599) != 6 || p(3600) != 46 || p(7200) != 46 {
+		t.Error("StepPower wrong")
+	}
+}
+
+func TestDownstreamOrderingMatters(t *testing.T) {
+	// Two nodes in series: the downstream one sees pre-heated air and runs
+	// hotter for the same power and conductance.
+	flow := units.CFMToCubicMetersPerSecond(40)
+	m, _ := NewModel(25, flow)
+	up, _ := m.AddNode("up", 500, ConstantPower(40))
+	down, _ := m.AddNode("down", 500, ConstantPower(40))
+	s1 := m.AddStation("s1")
+	s2 := m.AddStation("s2")
+	if err := m.Attach(s1, up, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(s2, down, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SolveSteadyState(1e-9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if down.Temperature() <= up.Temperature() {
+		t.Errorf("downstream node %v should be hotter than upstream %v",
+			down.Temperature(), up.Temperature())
+	}
+	if s2.AirTemperature() <= s1.AirTemperature() {
+		t.Error("air must warm moving downstream")
+	}
+}
+
+func TestReducedFlowRaisesTemperatures(t *testing.T) {
+	m, n, st := singleNodeModel(t, 46)
+	if _, err := m.SolveSteadyState(1e-9, 0); err != nil {
+		t.Fatal(err)
+	}
+	nominalNode, nominalOut := n.Temperature(), st.AirTemperature()
+
+	m.FlowM3s *= 0.4 // blockage collapsed the flow
+	if _, err := m.SolveSteadyState(1e-9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.Temperature() <= nominalNode || st.AirTemperature() <= nominalOut {
+		t.Errorf("reduced flow should raise temps: node %v->%v outlet %v->%v",
+			nominalNode, n.Temperature(), nominalOut, st.AirTemperature())
+	}
+}
+
+func TestConductionLinkEqualizes(t *testing.T) {
+	flow := units.CFMToCubicMetersPerSecond(40)
+	m, _ := NewModel(25, flow)
+	hot, _ := m.AddNode("hot", 200, ConstantPower(30))
+	cold, _ := m.AddNode("cold", 200, nil)
+	st := m.AddStation("s")
+	if err := m.Attach(st, hot, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(st, cold, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Link(hot, cold, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SolveSteadyState(1e-9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Temperature() <= 25 {
+		t.Error("linked passive node should warm above inlet")
+	}
+	if cold.Temperature() >= hot.Temperature() {
+		t.Error("passive node should stay cooler than the source")
+	}
+}
+
+func waxState(t *testing.T) *pcm.State {
+	t.Helper()
+	mat := pcm.ValidationParaffin()
+	enc, err := pcm.NewEnclosure(mat, pcm.Box{LengthM: 0.1, WidthM: 0.1, HeightM: 0.01}, 1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pcm.NewState(enc, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWaxDepressesOutletWhileMelting(t *testing.T) {
+	// Two identical models, one with wax downstream of the CPU. During
+	// heat-up the waxed model's outlet must run cooler until the wax is
+	// molten.
+	// 250 W into 20 CFM raises the air ~21 K, putting the air near the box
+	// at ~46 degC, comfortably above the 37-41 degC melt range — the same
+	// regime as the loaded RD330.
+	build := func(w *pcm.State) (*Model, *Station) {
+		flow := units.CFMToCubicMetersPerSecond(20)
+		m, _ := NewModel(25, flow)
+		cpu, _ := m.AddNode("cpu", 800, ConstantPower(250))
+		s1 := m.AddStation("behind cpu")
+		s2 := m.AddStation("outlet")
+		if err := m.Attach(s1, cpu, 10, true); err != nil {
+			t.Fatal(err)
+		}
+		if w != nil {
+			if err := m.AttachWax(s2, w, 0.8, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m, s2
+	}
+	w := waxState(t)
+	mw, outW := build(w)
+	mp, outP := build(nil)
+
+	depressed := false
+	for i := 0; i < int(3*units.Hour/5); i++ {
+		mw.Step(5)
+		mp.Step(5)
+		if outP.AirTemperature()-outW.AirTemperature() > 0.2 {
+			depressed = true
+		}
+	}
+	if !depressed {
+		t.Error("wax never depressed the outlet temperature during heat-up")
+	}
+	if w.LiquidFraction() == 0 {
+		t.Error("wax never began melting behind a loaded CPU")
+	}
+}
+
+func TestWaxRaisesOutletWhileFreezing(t *testing.T) {
+	// Start with molten wax and idle power: the waxed outlet runs warmer
+	// while the wax releases its latent heat.
+	flow := units.CFMToCubicMetersPerSecond(40)
+	m, _ := NewModel(25, flow)
+	cpu, _ := m.AddNode("cpu", 800, ConstantPower(12))
+	s1 := m.AddStation("behind cpu")
+	out := m.AddStation("outlet")
+	if err := m.Attach(s1, cpu, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	w := waxState(t)
+	w.Reset(50) // molten
+	if err := m.AttachWax(out, w, 0.8, true); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(5)
+	baselineRise := 12 / units.AdvectionConductance(flow)
+	if out.AirTemperature()-25 <= baselineRise {
+		t.Errorf("freezing wax should add heat to the outlet air: rise %v <= baseline %v",
+			out.AirTemperature()-25, baselineRise)
+	}
+	// Run long enough and the wax solidifies.
+	for i := 0; i < int(12*units.Hour/10); i++ {
+		m.Step(10)
+	}
+	if f := w.LiquidFraction(); f > 0.02 {
+		t.Errorf("wax still %v liquid after 12 h idle", f)
+	}
+}
+
+func TestRunSamplingGeometry(t *testing.T) {
+	m, n, st := singleNodeModel(t, 46)
+	res, err := m.Run(600, 5, 60, []Probe{
+		{Name: "cpu", Node: n},
+		{Name: "out", Station: st},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("trace count %d", len(res.Traces))
+	}
+	if res.Trace("cpu").Len() != 11 {
+		t.Errorf("trace length %d, want 11", res.Trace("cpu").Len())
+	}
+	if res.Trace("nope") != nil {
+		t.Error("unknown probe should return nil")
+	}
+	if _, err := m.Run(100, 0, 1, nil); err == nil {
+		t.Error("accepted zero dt")
+	}
+}
+
+func TestProbeWaxAndUnset(t *testing.T) {
+	w := waxState(t)
+	p := Probe{Name: "wax", Wax: w}
+	if p.read() != 0 {
+		t.Error("solid wax probe should read 0")
+	}
+	empty := Probe{Name: "none"}
+	if !math.IsNaN(empty.read()) {
+		t.Error("unset probe should read NaN")
+	}
+}
+
+func TestEnergyConservationTransient(t *testing.T) {
+	// Integrated electrical input = advected heat + stored heat (nodes and
+	// wax) to within integration tolerance.
+	flow := units.CFMToCubicMetersPerSecond(40)
+	m, _ := NewModel(25, flow)
+	cpu, _ := m.AddNode("cpu", 800, ConstantPower(92))
+	s1 := m.AddStation("s1")
+	if err := m.Attach(s1, cpu, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	w := waxState(t)
+	out := m.AddStation("out")
+	if err := m.AttachWax(out, w, 0.8, false); err != nil {
+		t.Fatal(err)
+	}
+
+	mcp := units.AdvectionConductance(flow)
+	dt := 2.0
+	var inJ, outJ float64
+	steps := int(2 * units.Hour / dt)
+	for i := 0; i < steps; i++ {
+		m.Step(dt)
+		inJ += 92 * dt
+		outJ += mcp * (m.OutletC() - 25) * dt
+	}
+	storedNode := cpu.CapacityJPerK * (cpu.Temperature() - 25)
+	// The wax term is bounded by its total latent+sensible capacity; use a
+	// tolerance that covers it plus integration error.
+	balance := outJ + storedNode
+	slack := 0.08*inJ + w.Enclosure().LatentCapacity() + 5e4
+	if math.Abs(inJ-balance) > slack {
+		t.Errorf("energy imbalance: in %v, advected+stored %v (slack %v)", inJ, balance, slack)
+	}
+}
+
+func BenchmarkModelStep(b *testing.B) {
+	flow := units.CFMToCubicMetersPerSecond(77)
+	m, err := NewModel(25, flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wake, err := m.AddWakeStation("wake", 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		n, err := m.AddNode("cpu", 800, ConstantPower(85))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Attach(wake, n, 5, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		n, err := m.AddNode("bulk", 3000, ConstantPower(20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Attach(m.AddStation("s"), n, 5, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(5)
+	}
+}

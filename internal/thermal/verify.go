@@ -1,0 +1,81 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// Verification stepper. The production Step uses per-node exponential
+// relaxation (unconditionally stable, cheap). This file integrates the
+// same network with the generic RK4 integrator from internal/numeric as an
+// independent numerical path: the two must agree to integration accuracy.
+// Wax attachments are held inert here — the phase-change enthalpy state is
+// not a smooth ODE in temperature — so the verification covers the
+// node/air network that both paths share.
+
+// nodeDerivative builds the dT/dt function for the current network with
+// the air stream marched quasi-statically at every evaluation.
+func (m *Model) nodeDerivative() numeric.Derivative {
+	return func(t float64, y, dydt []float64) {
+		// Load candidate temperatures into the nodes, evaluate heat flows,
+		// then restore. The derivative function is reentrant for a single
+		// model because RK4 stages run sequentially.
+		saved := make([]float64, len(m.nodes))
+		for i, n := range m.nodes {
+			saved[i] = n.temperature
+			n.temperature = y[i]
+		}
+		if m.FlowFunc != nil {
+			m.FlowM3s = m.FlowFunc(t)
+		}
+		heat := m.marchAir()
+		condPower := make(map[*Node]float64)
+		for _, l := range m.links {
+			condPower[l.a] += l.g * (l.b.temperature - l.a.temperature)
+			condPower[l.b] += l.g * (l.a.temperature - l.b.temperature)
+		}
+		for i, n := range m.nodes {
+			p := 0.0
+			if n.Power != nil {
+				p = n.Power(t)
+			}
+			dydt[i] = (p + condPower[n] - heat[n]) / n.CapacityJPerK
+		}
+		for i, n := range m.nodes {
+			n.temperature = saved[i]
+		}
+	}
+}
+
+// RunRK4 integrates the node network with classical RK4 for duration
+// seconds at step dt, updating node temperatures in place. It returns an
+// error if the model carries wax attachments (use the production Step for
+// those) or if dt is non-positive.
+func (m *Model) RunRK4(duration, dt float64) error {
+	if dt <= 0 || duration < 0 {
+		return fmt.Errorf("thermal: bad RK4 parameters dt=%v duration=%v", dt, duration)
+	}
+	for _, st := range m.stations {
+		for _, at := range st.attachments {
+			if at.wax != nil {
+				return errors.New("thermal: RunRK4 does not support wax attachments")
+			}
+		}
+	}
+	y := make([]float64, len(m.nodes))
+	for i, n := range m.nodes {
+		y[i] = n.temperature
+	}
+	if err := numeric.IntegrateRK4(m.nodeDerivative(), m.clock, m.clock+duration, y, dt, nil); err != nil {
+		return err
+	}
+	for i, n := range m.nodes {
+		n.temperature = y[i]
+	}
+	m.clock += duration
+	// Refresh station readings for the final state.
+	m.marchAir()
+	return nil
+}

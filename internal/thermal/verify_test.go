@@ -1,0 +1,94 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The production exponential stepper and the independent RK4 path must
+// agree on the same network to within integration accuracy.
+func TestExponentialStepperMatchesRK4(t *testing.T) {
+	build := func() (*Model, []*Node) {
+		flow := units.CFMToCubicMetersPerSecond(40)
+		m, err := NewModel(25, flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := m.AddNode("a", 900, ConstantPower(40))
+		b, _ := m.AddNode("b", 400, StepPower(5, 45, 1800))
+		c, _ := m.AddNode("c", 2500, nil)
+		s1 := m.AddStation("s1")
+		s2, err := m.AddWakeStation("s2", 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Attach(s1, a, 6, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Attach(s2, b, 4, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Attach(s2, c, 3, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Link(a, c, 2); err != nil {
+			t.Fatal(err)
+		}
+		return m, []*Node{a, b, c}
+	}
+
+	mExp, nExp := build()
+	for i := 0; i < 3600; i++ { // 1 h at 1 s steps
+		mExp.Step(1)
+	}
+
+	mRK, nRK := build()
+	if err := mRK.RunRK4(3600, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range nExp {
+		d := math.Abs(nExp[i].Temperature() - nRK[i].Temperature())
+		if d > 0.05 {
+			t.Errorf("node %d: exponential %v vs RK4 %v (diff %v)",
+				i, nExp[i].Temperature(), nRK[i].Temperature(), d)
+		}
+	}
+	// Station readings agree too.
+	for i := range mExp.Stations() {
+		d := math.Abs(mExp.Stations()[i].AirTemperature() - mRK.Stations()[i].AirTemperature())
+		if d > 0.05 {
+			t.Errorf("station %d air temps diverge by %v", i, d)
+		}
+	}
+}
+
+func TestRunRK4RejectsWax(t *testing.T) {
+	flow := units.CFMToCubicMetersPerSecond(40)
+	m, _ := NewModel(25, flow)
+	n, _ := m.AddNode("cpu", 500, ConstantPower(40))
+	st := m.AddStation("s")
+	if err := m.Attach(st, n, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	w := waxState(t)
+	if err := m.AttachWax(st, w, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunRK4(100, 1); err == nil {
+		t.Error("RunRK4 accepted a wax-bearing model")
+	}
+}
+
+func TestRunRK4Validation(t *testing.T) {
+	flow := units.CFMToCubicMetersPerSecond(40)
+	m, _ := NewModel(25, flow)
+	if err := m.RunRK4(100, 0); err == nil {
+		t.Error("accepted zero step")
+	}
+	if err := m.RunRK4(-1, 1); err == nil {
+		t.Error("accepted negative duration")
+	}
+}

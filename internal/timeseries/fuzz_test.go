@@ -1,0 +1,41 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the series parser never panics and anything it accepts
+// round-trips through WriteCSV and back to the same geometry.
+func FuzzReadCSV(f *testing.F) {
+	s, err := FromValues(0, 60, []float64{1, 2.5, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := s.WriteCSV(&seed, "v"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("time_s,v\n0,1\n1,2\n")
+	f.Add("0,1\n2,2\n4,3\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := got.WriteCSV(&buf, "v"); err != nil {
+			t.Fatalf("accepted series fails to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != got.Len() || back.Step != got.Step {
+			t.Fatal("round trip changed geometry")
+		}
+	})
+}

@@ -1,0 +1,342 @@
+// Package timeseries provides the uniform-timestep series type that every
+// layer of the simulator exchanges: workload traces, power traces, cooling
+// load traces and temperature traces. A Series is a start offset, a fixed
+// step in seconds, and a slice of samples; sample i is the value over
+// [Start+i*Step, Start+(i+1)*Step).
+package timeseries
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/numeric"
+)
+
+// Series is a uniformly sampled time series.
+type Series struct {
+	// Start is the time of the first sample, in seconds.
+	Start float64
+	// Step is the sampling interval in seconds; always positive.
+	Step float64
+	// Values holds the samples.
+	Values []float64
+}
+
+// New creates a zero-filled series covering n samples at the given step.
+func New(start, step float64, n int) (*Series, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive step %v", step)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("timeseries: negative length %d", n)
+	}
+	return &Series{Start: start, Step: step, Values: make([]float64, n)}, nil
+}
+
+// FromValues wraps an existing sample slice (the slice is not copied).
+func FromValues(start, step float64, values []float64) (*Series, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive step %v", step)
+	}
+	return &Series{Start: start, Step: step, Values: values}, nil
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// End returns the time just past the last sample.
+func (s *Series) End() float64 { return s.Start + float64(len(s.Values))*s.Step }
+
+// TimeAt returns the timestamp of sample i.
+func (s *Series) TimeAt(i int) float64 { return s.Start + float64(i)*s.Step }
+
+// At linearly interpolates the series at time t, clamping outside the
+// sampled range.
+func (s *Series) At(t float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	pos := (t - s.Start) / s.Step
+	if pos <= 0 {
+		return s.Values[0]
+	}
+	last := float64(len(s.Values) - 1)
+	if pos >= last {
+		return s.Values[len(s.Values)-1]
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	return s.Values[i] + frac*(s.Values[i+1]-s.Values[i])
+}
+
+// Clone returns a deep copy.
+func (s *Series) Clone() *Series {
+	return &Series{Start: s.Start, Step: s.Step, Values: append([]float64(nil), s.Values...)}
+}
+
+// Peak returns the maximum sample and its timestamp. It returns
+// (-Inf, Start) for an empty series.
+func (s *Series) Peak() (value, at float64) {
+	v, i := numeric.Max(s.Values)
+	if i < 0 {
+		return v, s.Start
+	}
+	return v, s.TimeAt(i)
+}
+
+// Trough returns the minimum sample and its timestamp.
+func (s *Series) Trough() (value, at float64) {
+	v, i := numeric.Min(s.Values)
+	if i < 0 {
+		return v, s.Start
+	}
+	return v, s.TimeAt(i)
+}
+
+// Mean returns the mean sample value.
+func (s *Series) Mean() float64 { return numeric.Mean(s.Values) }
+
+// Integral returns the time integral of the series (value x seconds),
+// treating each sample as constant over its step (rectangle rule, which is
+// exact for the piecewise-constant traces the simulator produces).
+func (s *Series) Integral() float64 {
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum * s.Step
+}
+
+// Scale multiplies every sample by k in place and returns the receiver.
+func (s *Series) Scale(k float64) *Series {
+	for i := range s.Values {
+		s.Values[i] *= k
+	}
+	return s
+}
+
+// Shift adds k to every sample in place and returns the receiver.
+func (s *Series) Shift(k float64) *Series {
+	for i := range s.Values {
+		s.Values[i] += k
+	}
+	return s
+}
+
+// Normalize scales the series so its peak is 1. A series with a
+// non-positive peak is left unchanged.
+func (s *Series) Normalize() *Series {
+	p, _ := s.Peak()
+	if p > 0 {
+		s.Scale(1 / p)
+	}
+	return s
+}
+
+// Add returns a new series a + b. Both must share start, step and length.
+func Add(a, b *Series) (*Series, error) {
+	if err := compatible(a, b); err != nil {
+		return nil, err
+	}
+	out := a.Clone()
+	for i := range out.Values {
+		out.Values[i] += b.Values[i]
+	}
+	return out, nil
+}
+
+// Sub returns a new series a - b. Both must share start, step and length.
+func Sub(a, b *Series) (*Series, error) {
+	if err := compatible(a, b); err != nil {
+		return nil, err
+	}
+	out := a.Clone()
+	for i := range out.Values {
+		out.Values[i] -= b.Values[i]
+	}
+	return out, nil
+}
+
+func compatible(a, b *Series) error {
+	if a.Step != b.Step || a.Start != b.Start || len(a.Values) != len(b.Values) {
+		return fmt.Errorf("timeseries: incompatible series (start %v/%v, step %v/%v, len %d/%d)",
+			a.Start, b.Start, a.Step, b.Step, len(a.Values), len(b.Values))
+	}
+	return nil
+}
+
+// Resample returns a new series sampled at newStep using linear
+// interpolation over the same time span.
+func (s *Series) Resample(newStep float64) (*Series, error) {
+	if newStep <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive step %v", newStep)
+	}
+	if len(s.Values) == 0 {
+		return &Series{Start: s.Start, Step: newStep}, nil
+	}
+	span := s.End() - s.Start
+	n := int(math.Round(span / newStep))
+	if n < 1 {
+		n = 1
+	}
+	out := &Series{Start: s.Start, Step: newStep, Values: make([]float64, n)}
+	for i := range out.Values {
+		out.Values[i] = s.At(out.TimeAt(i))
+	}
+	return out, nil
+}
+
+// MovingAverage returns a new series where each sample is the average of a
+// centered window of the given width in samples (forced odd).
+func (s *Series) MovingAverage(window int) *Series {
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	out := s.Clone()
+	n := len(s.Values)
+	for i := range out.Values {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += s.Values[j]
+		}
+		out.Values[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// TimeAbove returns the total time (seconds) the series spends strictly
+// above the threshold.
+func (s *Series) TimeAbove(threshold float64) float64 {
+	t := 0.0
+	for _, v := range s.Values {
+		if v > threshold {
+			t += s.Step
+		}
+	}
+	return t
+}
+
+// EnergyAbove integrates max(v - threshold, 0) over time: the energy that
+// would have to be stored to cap the series at the threshold. The cooling
+// analysis uses this to size wax.
+func (s *Series) EnergyAbove(threshold float64) float64 {
+	e := 0.0
+	for _, v := range s.Values {
+		if v > threshold {
+			e += (v - threshold) * s.Step
+		}
+	}
+	return e
+}
+
+// WriteCSV writes "time_s,value" rows (with header) to w.
+func (s *Series) WriteCSV(w io.Writer, valueHeader string) error {
+	cw := csv.NewWriter(w)
+	if valueHeader == "" {
+		valueHeader = "value"
+	}
+	if err := cw.Write([]string{"time_s", valueHeader}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			strconv.FormatFloat(s.TimeAt(i), 'g', -1, 64),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a two-column "time,value" CSV (header optional) and infers
+// start/step from the first two rows. At least two rows are required.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	// Skip a header row if the first field does not parse.
+	if len(recs) > 0 {
+		if _, err := strconv.ParseFloat(recs[0][0], 64); err != nil {
+			recs = recs[1:]
+		}
+	}
+	if len(recs) < 2 {
+		return nil, errors.New("timeseries: CSV needs at least two data rows")
+	}
+	times := make([]float64, len(recs))
+	values := make([]float64, len(recs))
+	for i, rec := range recs {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("timeseries: CSV row %d has %d fields, want 2", i, len(rec))
+		}
+		if times[i], err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("timeseries: CSV row %d time: %w", i, err)
+		}
+		if values[i], err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("timeseries: CSV row %d value: %w", i, err)
+		}
+	}
+	step := times[1] - times[0]
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: CSV times not increasing (step %v)", step)
+	}
+	for i := 2; i < len(times); i++ {
+		if math.Abs(times[i]-times[i-1]-step) > 1e-6*step {
+			return nil, fmt.Errorf("timeseries: CSV step irregular at row %d", i)
+		}
+	}
+	return &Series{Start: times[0], Step: step, Values: values}, nil
+}
+
+// SplitDays cuts the series into consecutive 24-hour windows (the last,
+// partial window is dropped). The cooling analysis uses it to check that
+// each day of a multi-day run tells the same story.
+func (s *Series) SplitDays() []*Series {
+	if s.Step <= 0 || len(s.Values) == 0 {
+		return nil
+	}
+	perDay := int(86400 / s.Step)
+	if perDay <= 0 {
+		return nil
+	}
+	var out []*Series
+	for lo := 0; lo+perDay <= len(s.Values); lo += perDay {
+		day := &Series{
+			Start:  s.TimeAt(lo),
+			Step:   s.Step,
+			Values: append([]float64(nil), s.Values[lo:lo+perDay]...),
+		}
+		out = append(out, day)
+	}
+	return out
+}
+
+// DailyPeaks returns the per-day maxima.
+func (s *Series) DailyPeaks() []float64 {
+	days := s.SplitDays()
+	out := make([]float64, len(days))
+	for i, d := range days {
+		out[i], _ = d.Peak()
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustSeries(t *testing.T, start, step float64, values []float64) *Series {
+	t.Helper()
+	s, err := FromValues(start, step, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0, 5); err == nil {
+		t.Error("New accepted zero step")
+	}
+	if _, err := New(0, 1, -1); err == nil {
+		t.Error("New accepted negative length")
+	}
+	s, err := New(10, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.End() != 16 || s.TimeAt(1) != 12 {
+		t.Errorf("New series geometry wrong: %+v", s)
+	}
+}
+
+func TestAtInterpolatesAndClamps(t *testing.T) {
+	s := mustSeries(t, 0, 10, []float64{0, 10, 20})
+	cases := []struct{ tm, want float64 }{
+		{-5, 0}, {0, 0}, {5, 5}, {10, 10}, {15, 15}, {20, 20}, {100, 20},
+	}
+	for _, c := range cases {
+		if got := s.At(c.tm); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.tm, got, c.want)
+		}
+	}
+}
+
+func TestAtEmpty(t *testing.T) {
+	s := mustSeries(t, 0, 1, nil)
+	if s.At(5) != 0 {
+		t.Error("At on empty series should be 0")
+	}
+}
+
+func TestPeakTroughMean(t *testing.T) {
+	s := mustSeries(t, 0, 60, []float64{1, 5, 3, 5, 2})
+	v, at := s.Peak()
+	if v != 5 || at != 60 {
+		t.Errorf("Peak = %v at %v", v, at)
+	}
+	v, at = s.Trough()
+	if v != 1 || at != 0 {
+		t.Errorf("Trough = %v at %v", v, at)
+	}
+	if s.Mean() != 3.2 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestIntegral(t *testing.T) {
+	s := mustSeries(t, 0, 2, []float64{3, 3, 3})
+	if s.Integral() != 18 {
+		t.Errorf("Integral = %v, want 18", s.Integral())
+	}
+}
+
+func TestScaleShiftNormalize(t *testing.T) {
+	s := mustSeries(t, 0, 1, []float64{1, 2, 4})
+	s.Scale(2).Shift(1)
+	want := []float64{3, 5, 9}
+	for i := range want {
+		if s.Values[i] != want[i] {
+			t.Fatalf("after scale/shift: %v", s.Values)
+		}
+	}
+	s.Normalize()
+	if p, _ := s.Peak(); math.Abs(p-1) > 1e-12 {
+		t.Errorf("normalized peak = %v", p)
+	}
+	z := mustSeries(t, 0, 1, []float64{0, 0})
+	z.Normalize() // must not divide by zero
+	if z.Values[0] != 0 {
+		t.Error("Normalize mutated all-zero series")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := mustSeries(t, 0, 1, []float64{1, 2})
+	b := mustSeries(t, 0, 1, []float64{10, 20})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Values[1] != 22 {
+		t.Errorf("Add = %v", sum.Values)
+	}
+	diff, err := Sub(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Values[0] != 9 {
+		t.Errorf("Sub = %v", diff.Values)
+	}
+	// a must be untouched.
+	if a.Values[0] != 1 {
+		t.Error("Add mutated operand")
+	}
+	c := mustSeries(t, 0, 2, []float64{1, 2})
+	if _, err := Add(a, c); err == nil {
+		t.Error("Add accepted incompatible series")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := mustSeries(t, 0, 10, []float64{0, 10, 20, 30})
+	r, err := s.Resample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 8 || r.Step != 5 {
+		t.Fatalf("Resample geometry: len=%d step=%v", r.Len(), r.Step)
+	}
+	if math.Abs(r.Values[3]-15) > 1e-12 {
+		t.Errorf("Resample value[3] = %v, want 15", r.Values[3])
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Error("Resample accepted zero step")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := mustSeries(t, 0, 1, []float64{0, 0, 9, 0, 0})
+	m := s.MovingAverage(3)
+	want := []float64{0, 3, 3, 3, 0}
+	for i := range want {
+		if math.Abs(m.Values[i]-want[i]) > 1e-12 {
+			t.Fatalf("MovingAverage = %v, want %v", m.Values, want)
+		}
+	}
+	// Even windows are widened to odd; window 1 is identity.
+	id := s.MovingAverage(1)
+	for i := range s.Values {
+		if id.Values[i] != s.Values[i] {
+			t.Fatal("window-1 moving average should be identity")
+		}
+	}
+}
+
+func TestTimeAboveEnergyAbove(t *testing.T) {
+	s := mustSeries(t, 0, 3600, []float64{100, 150, 200, 150, 100})
+	if got := s.TimeAbove(120); got != 3*3600 {
+		t.Errorf("TimeAbove = %v", got)
+	}
+	// Energy above 150: only the 200 sample contributes 50 W * 3600 s.
+	if got := s.EnergyAbove(150); got != 50*3600 {
+		t.Errorf("EnergyAbove = %v", got)
+	}
+	if got := s.EnergyAbove(1000); got != 0 {
+		t.Errorf("EnergyAbove above peak = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := mustSeries(t, 0, 1800, []float64{1.5, 2.25, 3})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, "load"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Start != s.Start || got.Step != s.Step || got.Len() != s.Len() {
+		t.Fatalf("round trip geometry mismatch: %+v vs %+v", got, s)
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Fatalf("round trip values mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"time,load\n1,2\n",           // only one data row
+		"0,1\n0,2\n",                 // zero step
+		"0,1\n1,2\n5,3\n",            // irregular step
+		"time,load\n0,1\nbogus,2\n",  // bad time
+		"time,load\n0,1\n1,notnum\n", // bad value
+		"time,load\n0\n1\n",          // too few fields (csv lib may error first)
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV accepted %q", c)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := mustSeries(t, 0, 1, []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+// Property: integral is invariant under resampling to a divisor step for
+// piecewise linear interpolation within tolerance.
+func TestResampleIntegralProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64((r>>33)%1000) / 100
+		}
+		vals := make([]float64, 24)
+		for i := range vals {
+			vals[i] = next()
+		}
+		s, err := FromValues(0, 3600, vals)
+		if err != nil {
+			return false
+		}
+		fine, err := s.Resample(360)
+		if err != nil {
+			return false
+		}
+		// The resampled integral should be close: interpolation converts
+		// rectangle-rule mass to roughly trapezoid mass, a per-segment
+		// shift bounded by half the original step times the sample range.
+		a, b := s.Integral(), fine.Integral()
+		return math.Abs(a-b) <= 0.2*math.Abs(a)+10*3600
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EnergyAbove decreases monotonically in the threshold.
+func TestEnergyAboveMonotoneProperty(t *testing.T) {
+	s := mustSeries(t, 0, 60, []float64{5, 8, 2, 9, 7, 1, 6})
+	prev := math.Inf(1)
+	for th := 0.0; th <= 10; th += 0.5 {
+		e := s.EnergyAbove(th)
+		if e > prev {
+			t.Fatalf("EnergyAbove not monotone at %v: %v > %v", th, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestSplitDaysAndDailyPeaks(t *testing.T) {
+	// 2.5 days at 6-hour steps: 10 samples -> 2 full days.
+	s := mustSeries(t, 0, 21600, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	days := s.SplitDays()
+	if len(days) != 2 {
+		t.Fatalf("days = %d, want 2 (partial day dropped)", len(days))
+	}
+	if days[0].Len() != 4 || days[1].Start != 86400 {
+		t.Errorf("day geometry wrong: %+v", days[1])
+	}
+	peaks := s.DailyPeaks()
+	if len(peaks) != 2 || peaks[0] != 4 || peaks[1] != 8 {
+		t.Errorf("DailyPeaks = %v, want [4 8]", peaks)
+	}
+	// Mutating a day must not touch the parent.
+	days[0].Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("SplitDays aliases the parent")
+	}
+	// Degenerate: series shorter than a day.
+	short := mustSeries(t, 0, 3600, []float64{1, 2})
+	if short.SplitDays() != nil {
+		t.Error("sub-day series should split to nothing")
+	}
+}

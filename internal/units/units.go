@@ -1,0 +1,117 @@
+// Package units provides physical constants and unit conversions used
+// throughout the thermal time shifting simulator.
+//
+// The simulator works internally in SI units: kelvin-compatible degrees
+// Celsius for temperatures (all temperature differences are in kelvin),
+// watts for power, joules for energy, kilograms for mass, cubic meters per
+// second for volumetric flow, and seconds for time. This package holds the
+// conversion helpers for the non-SI units that appear in the paper: liters
+// of wax, CFM and linear feet per minute of airflow, kWh of electricity,
+// and grams-per-milliliter densities.
+package units
+
+import "math"
+
+// Physical constants.
+const (
+	// AirDensity is the density of air at ~35 degC server-interior
+	// conditions, in kg/m^3.
+	AirDensity = 1.145
+
+	// AirSpecificHeat is the specific heat capacity of air at constant
+	// pressure, in J/(kg*K).
+	AirSpecificHeat = 1006.0
+
+	// WaterSpecificHeat is the specific heat of liquid water in J/(kg*K),
+	// used by the chilled-water comparison model.
+	WaterSpecificHeat = 4186.0
+
+	// ZeroCelsiusK is 0 degC expressed in kelvin.
+	ZeroCelsiusK = 273.15
+)
+
+// Time helpers, in seconds.
+const (
+	Minute = 60.0
+	Hour   = 3600.0
+	Day    = 24 * Hour
+)
+
+// CelsiusToKelvin converts a temperature in degrees Celsius to kelvin.
+func CelsiusToKelvin(c float64) float64 { return c + ZeroCelsiusK }
+
+// KelvinToCelsius converts a temperature in kelvin to degrees Celsius.
+func KelvinToCelsius(k float64) float64 { return k - ZeroCelsiusK }
+
+// LitersToCubicMeters converts liters to cubic meters.
+func LitersToCubicMeters(l float64) float64 { return l / 1000.0 }
+
+// CubicMetersToLiters converts cubic meters to liters.
+func CubicMetersToLiters(m3 float64) float64 { return m3 * 1000.0 }
+
+// CFMToCubicMetersPerSecond converts cubic feet per minute of airflow to
+// m^3/s. 1 ft^3 = 0.0283168466 m^3.
+func CFMToCubicMetersPerSecond(cfm float64) float64 {
+	return cfm * 0.0283168466 / 60.0
+}
+
+// CubicMetersPerSecondToCFM converts m^3/s of airflow to cubic feet per
+// minute.
+func CubicMetersPerSecondToCFM(q float64) float64 {
+	return q * 60.0 / 0.0283168466
+}
+
+// LFMToMetersPerSecond converts linear feet per minute (the unit the Open
+// Compute chassis spec uses for rear-of-blade air speed) to m/s.
+func LFMToMetersPerSecond(lfm float64) float64 { return lfm * 0.3048 / 60.0 }
+
+// MetersPerSecondToLFM converts m/s to linear feet per minute.
+func MetersPerSecondToLFM(v float64) float64 { return v * 60.0 / 0.3048 }
+
+// JoulesToKWh converts joules to kilowatt-hours.
+func JoulesToKWh(j float64) float64 { return j / 3.6e6 }
+
+// KWhToJoules converts kilowatt-hours to joules.
+func KWhToJoules(kwh float64) float64 { return kwh * 3.6e6 }
+
+// WattsToKilowatts converts watts to kilowatts.
+func WattsToKilowatts(w float64) float64 { return w / 1000.0 }
+
+// GramsPerMilliliterToKgPerCubicMeter converts the g/ml densities quoted in
+// the paper's Table 1 to SI kg/m^3.
+func GramsPerMilliliterToKgPerCubicMeter(d float64) float64 { return d * 1000.0 }
+
+// JoulesPerGramToJoulesPerKg converts the J/g heats of fusion quoted in the
+// paper's Table 1 to SI J/kg.
+func JoulesPerGramToJoulesPerKg(h float64) float64 { return h * 1000.0 }
+
+// HoursToSeconds converts hours to seconds.
+func HoursToSeconds(h float64) float64 { return h * Hour }
+
+// SecondsToHours converts seconds to hours.
+func SecondsToHours(s float64) float64 { return s / Hour }
+
+// MassFlow returns the air mass flow rate in kg/s for a volumetric flow in
+// m^3/s at server-interior air density.
+func MassFlow(q float64) float64 { return q * AirDensity }
+
+// AdvectionConductance returns the thermal "conductance" of a moving air
+// stream in W/K: the heat carried away per kelvin of temperature rise, which
+// is mass flow times specific heat.
+func AdvectionConductance(q float64) float64 {
+	return MassFlow(q) * AirSpecificHeat
+}
+
+// AirTemperatureRise returns the bulk temperature rise (K) of an air stream
+// of volumetric flow q (m^3/s) absorbing power p (W). It returns +Inf for a
+// non-positive flow, matching the physical intuition that stagnant air over
+// a heat source rises without bound.
+func AirTemperatureRise(p, q float64) float64 {
+	if q <= 0 {
+		if p <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return p / AdvectionConductance(q)
+}

@@ -1,0 +1,164 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestCelsiusKelvinRoundTrip(t *testing.T) {
+	cases := []float64{-40, 0, 25, 36.6, 39, 100}
+	for _, c := range cases {
+		k := CelsiusToKelvin(c)
+		if got := KelvinToCelsius(k); !almostEqual(got, c, 1e-12) {
+			t.Errorf("round trip %v -> %v -> %v", c, k, got)
+		}
+	}
+	if got := CelsiusToKelvin(0); !almostEqual(got, 273.15, 1e-12) {
+		t.Errorf("CelsiusToKelvin(0) = %v, want 273.15", got)
+	}
+}
+
+func TestLiterConversions(t *testing.T) {
+	if got := LitersToCubicMeters(1.2); !almostEqual(got, 0.0012, 1e-15) {
+		t.Errorf("LitersToCubicMeters(1.2) = %v", got)
+	}
+	if got := CubicMetersToLiters(0.004); !almostEqual(got, 4.0, 1e-12) {
+		t.Errorf("CubicMetersToLiters(0.004) = %v", got)
+	}
+}
+
+func TestCFMConversion(t *testing.T) {
+	// 1 CFM = 0.000471947 m^3/s.
+	if got := CFMToCubicMetersPerSecond(1); !almostEqual(got, 0.000471947, 1e-8) {
+		t.Errorf("CFMToCubicMetersPerSecond(1) = %v", got)
+	}
+	// A typical 1U server moves ~40 CFM ~= 0.0189 m^3/s.
+	if got := CFMToCubicMetersPerSecond(40); !almostEqual(got, 0.018878, 1e-5) {
+		t.Errorf("CFMToCubicMetersPerSecond(40) = %v", got)
+	}
+}
+
+func TestLFMConversion(t *testing.T) {
+	// The Open Compute chassis draws <200 LFM ~= 1.016 m/s.
+	if got := LFMToMetersPerSecond(200); !almostEqual(got, 1.016, 1e-9) {
+		t.Errorf("LFMToMetersPerSecond(200) = %v", got)
+	}
+}
+
+func TestEnergyConversions(t *testing.T) {
+	if got := JoulesToKWh(3.6e6); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("JoulesToKWh(3.6e6) = %v", got)
+	}
+	if got := KWhToJoules(2); !almostEqual(got, 7.2e6, 1e-6) {
+		t.Errorf("KWhToJoules(2) = %v", got)
+	}
+}
+
+func TestTable1UnitHelpers(t *testing.T) {
+	// Commercial paraffin: 200 J/g = 2e5 J/kg, 0.8 g/ml = 800 kg/m^3.
+	if got := JoulesPerGramToJoulesPerKg(200); !almostEqual(got, 2e5, 1e-9) {
+		t.Errorf("JoulesPerGramToJoulesPerKg(200) = %v", got)
+	}
+	if got := GramsPerMilliliterToKgPerCubicMeter(0.8); !almostEqual(got, 800, 1e-9) {
+		t.Errorf("GramsPerMilliliterToKgPerCubicMeter(0.8) = %v", got)
+	}
+}
+
+func TestAirTemperatureRise(t *testing.T) {
+	// 185 W into ~40 CFM of air should raise it by roughly 8.5 K.
+	q := CFMToCubicMetersPerSecond(40)
+	rise := AirTemperatureRise(185, q)
+	if rise < 7 || rise > 10 {
+		t.Errorf("AirTemperatureRise(185, 40CFM) = %v, want ~8.5", rise)
+	}
+}
+
+func TestAirTemperatureRiseDegenerate(t *testing.T) {
+	if got := AirTemperatureRise(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("AirTemperatureRise(100, 0) = %v, want +Inf", got)
+	}
+	if got := AirTemperatureRise(0, 0); got != 0 {
+		t.Errorf("AirTemperatureRise(0, 0) = %v, want 0", got)
+	}
+	if got := AirTemperatureRise(-5, 0); got != 0 {
+		t.Errorf("AirTemperatureRise(-5, 0) = %v, want 0", got)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if got := HoursToSeconds(2.5); !almostEqual(got, 9000, 1e-9) {
+		t.Errorf("HoursToSeconds(2.5) = %v", got)
+	}
+	if got := SecondsToHours(7200); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("SecondsToHours(7200) = %v", got)
+	}
+	if Day != 86400 {
+		t.Errorf("Day = %v, want 86400", Day)
+	}
+}
+
+// Property: CFM conversion round-trips for any non-negative flow.
+func TestCFMRoundTripProperty(t *testing.T) {
+	f := func(cfm float64) bool {
+		cfm = math.Abs(cfm)
+		if math.IsInf(cfm, 0) || math.IsNaN(cfm) || cfm > 1e12 {
+			return true
+		}
+		back := CubicMetersPerSecondToCFM(CFMToCubicMetersPerSecond(cfm))
+		return almostEqual(back, cfm, 1e-6*(1+cfm))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: temperature rise is linear in power and inversely proportional
+// to flow.
+func TestAirTemperatureRiseProperty(t *testing.T) {
+	f := func(p, q float64) bool {
+		p = math.Abs(p)
+		q = math.Abs(q) + 1e-6
+		if p > 1e9 || q > 1e6 {
+			return true
+		}
+		r1 := AirTemperatureRise(p, q)
+		r2 := AirTemperatureRise(2*p, q)
+		r3 := AirTemperatureRise(p, 2*q)
+		return almostEqual(r2, 2*r1, 1e-6*(1+r1)) && almostEqual(r3, r1/2, 1e-6*(1+r1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LFM round trip.
+func TestLFMRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		v = math.Abs(v)
+		if v > 1e9 {
+			return true
+		}
+		back := MetersPerSecondToLFM(LFMToMetersPerSecond(v))
+		return almostEqual(back, v, 1e-9*(1+v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallHelpers(t *testing.T) {
+	if WattsToKilowatts(2500) != 2.5 {
+		t.Error("WattsToKilowatts wrong")
+	}
+	if AdvectionConductance(0.02) <= 0 {
+		t.Error("AdvectionConductance should be positive")
+	}
+	if MassFlow(1) != AirDensity {
+		t.Error("MassFlow(1) should equal air density")
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/timeseries"
+)
+
+// csvHeader is the column layout traces are exchanged in: the three job
+// classes stack to the total, exactly as the paper's Figure 10 plots them.
+var csvHeader = []string{"time_s", "search", "orkut", "mapreduce", "total"}
+
+// WriteCSV serializes the trace so external tooling (or a future run with
+// a real measured trace) can round-trip it.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	total := tr.Total
+	for i := range total.Values {
+		rec := []string{
+			strconv.FormatFloat(total.TimeAt(i), 'g', -1, 64),
+			strconv.FormatFloat(tr.PerType[Search].Values[i], 'g', -1, 64),
+			strconv.FormatFloat(tr.PerType[Orkut].Values[i], 'g', -1, 64),
+			strconv.FormatFloat(tr.PerType[MapReduce].Values[i], 'g', -1, 64),
+			strconv.FormatFloat(total.Values[i], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or hand-authored in the same
+// five-column layout). The stack property and the uniform time grid are
+// verified.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 && len(recs[0]) > 0 {
+		if _, err := strconv.ParseFloat(recs[0][0], 64); err != nil {
+			recs = recs[1:] // header row
+		}
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("workload: CSV needs at least two data rows")
+	}
+	n := len(recs)
+	times := make([]float64, n)
+	cols := make([][]float64, 4)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+	}
+	for i, rec := range recs {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("workload: CSV row %d has %d fields, want 5", i, len(rec))
+		}
+		if times[i], err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("workload: CSV row %d time: %w", i, err)
+		}
+		for c := 0; c < 4; c++ {
+			if cols[c][i], err = strconv.ParseFloat(rec[c+1], 64); err != nil {
+				return nil, fmt.Errorf("workload: CSV row %d column %s: %w", i, csvHeader[c+1], err)
+			}
+		}
+	}
+	step := times[1] - times[0]
+	if step <= 0 {
+		return nil, fmt.Errorf("workload: CSV times not increasing")
+	}
+	for i := 2; i < n; i++ {
+		if math.Abs(times[i]-times[i-1]-step) > 1e-6*step {
+			return nil, fmt.Errorf("workload: CSV step irregular at row %d", i)
+		}
+	}
+	tr := &Trace{PerType: make(map[JobType]*timeseries.Series, 3)}
+	mk := func(vals []float64) (*timeseries.Series, error) {
+		return timeseries.FromValues(times[0], step, vals)
+	}
+	if tr.PerType[Search], err = mk(cols[0]); err != nil {
+		return nil, err
+	}
+	if tr.PerType[Orkut], err = mk(cols[1]); err != nil {
+		return nil, err
+	}
+	if tr.PerType[MapReduce], err = mk(cols[2]); err != nil {
+		return nil, err
+	}
+	if tr.Total, err = mk(cols[3]); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

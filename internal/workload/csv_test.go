@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := GoogleTwoDay()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total.Len() != tr.Total.Len() || got.Total.Step != tr.Total.Step {
+		t.Fatalf("round-trip geometry: %d/%v vs %d/%v",
+			got.Total.Len(), got.Total.Step, tr.Total.Len(), tr.Total.Step)
+	}
+	for i := range tr.Total.Values {
+		if got.Total.Values[i] != tr.Total.Values[i] {
+			t.Fatalf("total mismatch at %d", i)
+		}
+		for _, j := range JobTypes {
+			if got.PerType[j].Values[i] != tr.PerType[j].Values[i] {
+				t.Fatalf("%v mismatch at %d", j, i)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few rows":   "time_s,search,orkut,mapreduce,total\n0,0.1,0.1,0.1,0.3\n",
+		"zero step":      "0,0.1,0.1,0.1,0.3\n0,0.1,0.1,0.1,0.3\n",
+		"irregular step": "0,0.1,0.1,0.1,0.3\n1,0.1,0.1,0.1,0.3\n5,0.1,0.1,0.1,0.3\n",
+		"bad value":      "0,0.1,x,0.1,0.3\n1,0.1,0.1,0.1,0.3\n",
+		"bad stack":      "0,0.1,0.1,0.1,0.9\n1,0.1,0.1,0.1,0.9\n",
+		"out of range":   "0,1,1,1,3\n1,1,1,1,3\n",
+	}
+	for name, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: accepted %q", name, c)
+		}
+	}
+}
+
+func TestReadCSVWrongColumns(t *testing.T) {
+	// csv.Reader enforces consistent field counts; a 3-column file errors.
+	if _, err := ReadCSV(strings.NewReader("0,1,2\n1,1,2\n")); err == nil {
+		t.Error("accepted 3-column file")
+	}
+}
+
+func TestWriteCSVRejectsInvalidTrace(t *testing.T) {
+	tr := &Trace{}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err == nil {
+		t.Error("accepted empty trace")
+	}
+}
+
+// The golden trace: the canonical two-day trace is checked into testdata
+// so that accidental changes to the generator (shapes, seeds, the
+// normalization solver) surface as a diff instead of silently moving every
+// headline number.
+func TestGoldenTraceUnchanged(t *testing.T) {
+	f, err := os.Open("testdata/google_two_day.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	golden, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GoogleTwoDay()
+	if golden.Total.Len() != tr.Total.Len() {
+		t.Fatalf("golden length %d vs generated %d — regenerate testdata deliberately",
+			golden.Total.Len(), tr.Total.Len())
+	}
+	for i := range tr.Total.Values {
+		if math.Abs(golden.Total.Values[i]-tr.Total.Values[i]) > 1e-9 {
+			t.Fatalf("trace diverges from golden at sample %d — regenerate testdata deliberately", i)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser against malformed input: it must
+// either return an error or a trace that passes Validate — never panic.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := GoogleTwoDay().WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("time_s,search,orkut,mapreduce,total\n0,0.1,0.1,0.1,0.3\n300,0.2,0.1,0.1,0.4\n")
+	f.Add("")
+	f.Add("a,b\n1,2\n")
+	f.Add("0,0.1,0.1,0.1,0.3\n300,NaN,0.1,0.1,0.4\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parser accepted a trace Validate rejects: %v", err)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestGoogleTwoDayNormalization(t *testing.T) {
+	tr := GoogleTwoDay()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 50% average load, 95% peak load (Section 4.2).
+	if m := tr.Total.Mean(); math.Abs(m-0.50) > 1e-9 {
+		t.Errorf("mean utilization = %v, want 0.50", m)
+	}
+	p, _ := tr.Total.Peak()
+	if math.Abs(p-0.95) > 1e-9 {
+		t.Errorf("peak utilization = %v, want 0.95", p)
+	}
+	// Two days at 5-minute steps.
+	if tr.Total.End() != 2*units.Day {
+		t.Errorf("trace spans %v s, want 2 days", tr.Total.End())
+	}
+}
+
+func TestTraceIsDiurnal(t *testing.T) {
+	tr := GoogleTwoDay()
+	// Each day has a pronounced peak in working hours and a trough at
+	// night: compare midday and pre-dawn windows.
+	dayAvg := func(day int, fromH, toH float64) float64 {
+		sum, n := 0.0, 0
+		for i := 0; i < tr.Total.Len(); i++ {
+			h := math.Mod(tr.Total.TimeAt(i)/units.Hour, 24)
+			d := int(tr.Total.TimeAt(i) / units.Day)
+			if d == day && h >= fromH && h < toH {
+				sum += tr.Total.Values[i]
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	for day := 0; day < 2; day++ {
+		midday := dayAvg(day, 11, 15)
+		night := dayAvg(day, 3, 6)
+		if midday < night+0.2 {
+			t.Errorf("day %d: midday %v not clearly above night %v", day, midday, night)
+		}
+	}
+}
+
+func TestPeakIsSharpEnoughForThermalShaving(t *testing.T) {
+	// The cooling-load experiments depend on the peak being a few hours
+	// wide: time above 88% of peak utilization should be roughly 1.5-5 h
+	// per day (the wax capacity is sized against this).
+	tr := GoogleTwoDay()
+	p, _ := tr.Total.Peak()
+	above := tr.Total.TimeAbove(0.88*p) / 2 // per day
+	if above < 1.0*units.Hour || above > 5.5*units.Hour {
+		t.Errorf("time above 88%% of peak = %.2f h/day, want 1.5-5", above/units.Hour)
+	}
+}
+
+func TestClassStructure(t *testing.T) {
+	tr := GoogleTwoDay()
+	// Search peaks in the early afternoon, Orkut in the evening, and
+	// MapReduce holds up the night.
+	peakHour := func(j JobType) float64 {
+		_, at := tr.PerType[j].Peak()
+		return math.Mod(at/units.Hour, 24)
+	}
+	sh := peakHour(Search)
+	if sh < 10 || sh > 16 {
+		t.Errorf("search peak at hour %v, want midday", sh)
+	}
+	oh := peakHour(Orkut)
+	if oh < 17 || oh > 23 {
+		t.Errorf("orkut peak at hour %v, want evening", oh)
+	}
+	// MapReduce carries a larger share at 3am than at 3pm.
+	at3am := tr.PerType[MapReduce].At(3*units.Hour) / tr.Total.At(3*units.Hour)
+	at3pm := tr.PerType[MapReduce].At(15*units.Hour) / tr.Total.At(15*units.Hour)
+	if at3am <= at3pm {
+		t.Errorf("MapReduce share 3am %v <= 3pm %v", at3am, at3pm)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Total.Values {
+		if a.Total.Values[i] != b.Total.Values[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	opts := DefaultOptions()
+	opts.Seed = 99
+	c, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Total.Values {
+		if a.Total.Values[i] != c.Total.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Options{
+		{Days: 0, MeanUtil: 0.5, PeakUtil: 0.95},
+		{Days: 2, MeanUtil: 0, PeakUtil: 0.95},
+		{Days: 2, MeanUtil: 0.5, PeakUtil: 0.4},
+		{Days: 2, MeanUtil: 0.5, PeakUtil: 1.2},
+		{Days: 2, MeanUtil: 0.5, PeakUtil: 0.95, NoiseAmp: 0.5},
+	}
+	for i, o := range bad {
+		if _, err := Generate(o); err == nil {
+			t.Errorf("case %d: accepted invalid options", i)
+		}
+	}
+}
+
+func TestGenerateNoNoise(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NoiseAmp = 0
+	tr, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without noise, day 1 and day 2 are identical.
+	half := tr.Total.Len() / 2
+	for i := 0; i < half; i++ {
+		if math.Abs(tr.Total.Values[i]-tr.Total.Values[i+half]) > 1e-9 {
+			t.Fatal("noise-free trace is not day-periodic")
+		}
+	}
+}
+
+func TestUtilizationAt(t *testing.T) {
+	tr := GoogleTwoDay()
+	u := tr.UtilizationAt(13.5 * units.Hour)
+	if u < 0.6 || u > 0.96 {
+		t.Errorf("midday utilization = %v, want high", u)
+	}
+	u = tr.UtilizationAt(4 * units.Hour)
+	if u > 0.5 {
+		t.Errorf("pre-dawn utilization = %v, want low", u)
+	}
+}
+
+func TestJobTypeString(t *testing.T) {
+	if Search.String() != "Web Search" || Orkut.String() != "Orkut" || MapReduce.String() != "MapReduce" {
+		t.Error("JobType strings wrong")
+	}
+	if JobType(9).String() == "" {
+		t.Error("unknown job type should format")
+	}
+}
+
+func TestLongTrace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Days = 7
+	tr, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total.End() != 7*units.Day {
+		t.Errorf("7-day trace spans %v", tr.Total.End())
+	}
+}
+
+func TestWeekendDamping(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Days = 7
+	opts.WeekendDamping = 0.3
+	opts.NoiseAmp = 0
+	tr, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Saturday midday (day 6) runs well below Monday midday.
+	monday := tr.Total.At(13 * units.Hour)
+	saturday := tr.Total.At((5*24 + 13) * units.Hour)
+	if saturday >= monday-0.05 {
+		t.Errorf("saturday midday %v not clearly below monday %v", saturday, monday)
+	}
+	// MapReduce's absolute level holds up on the weekend while the
+	// interactive classes sag: its share rises.
+	mrShare := func(tt float64) float64 {
+		return tr.PerType[MapReduce].At(tt) / tr.Total.At(tt)
+	}
+	if mrShare((5*24+13)*units.Hour) <= mrShare(13*units.Hour) {
+		t.Error("MapReduce share should rise on the damped weekend")
+	}
+	// Out-of-range damping rejected.
+	opts.WeekendDamping = 0.95
+	if _, err := Generate(opts); err == nil {
+		t.Error("accepted damping > 0.9")
+	}
+}
+
+func TestWithFlashCrowd(t *testing.T) {
+	tr := GoogleTwoDay()
+	crowd, err := tr.WithFlashCrowd(10, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crowd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the window the load is boosted (and capped at 1).
+	in := crowd.Total.At(11 * units.Hour)
+	base := tr.Total.At(11 * units.Hour)
+	if in < base*1.25 && in < 0.999 {
+		t.Errorf("flash crowd did not boost: %v vs %v", in, base)
+	}
+	// Outside the window nothing changed.
+	if crowd.Total.At(20*units.Hour) != tr.Total.At(20*units.Hour) {
+		t.Error("flash crowd leaked outside its window")
+	}
+	// The original is untouched.
+	if tr.Total.At(11*units.Hour) != base {
+		t.Error("WithFlashCrowd mutated the original")
+	}
+	if _, err := tr.WithFlashCrowd(10, 0, 0.3); err == nil {
+		t.Error("accepted zero duration")
+	}
+	if _, err := tr.WithFlashCrowd(10, 1, 0); err == nil {
+		t.Error("accepted zero boost")
+	}
+}
+
+func TestDeferBatch(t *testing.T) {
+	tr := GoogleTwoDay()
+	shifted, err := tr.DeferBatch(9, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shifted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No MapReduce remains inside the window.
+	for i := range shifted.Total.Values {
+		h := math.Mod(shifted.Total.TimeAt(i)/units.Hour, 24)
+		if h >= 9 && h < 18 && shifted.PerType[MapReduce].Values[i] > 1e-12 {
+			t.Fatalf("MapReduce load left at hour %.1f", h)
+		}
+	}
+	// The midday peak drops; the night fills up.
+	origPeak, _ := tr.Total.Peak()
+	newPeak, _ := shifted.Total.Peak()
+	if newPeak >= origPeak {
+		t.Errorf("deferral did not lower the peak: %v -> %v", origPeak, newPeak)
+	}
+	// The deferred mass replays as soon as the window closes: the evening
+	// runs hotter than the original trace.
+	if shifted.Total.At(20*units.Hour) <= tr.Total.At(20*units.Hour) {
+		t.Error("deferred work did not appear after the window")
+	}
+	// MapReduce energy conserved within the ceiling clamp (a few percent).
+	orig := tr.PerType[MapReduce].Integral()
+	got := shifted.PerType[MapReduce].Integral()
+	if math.Abs(orig-got) > 0.1*orig {
+		t.Errorf("MapReduce energy %v -> %v", orig, got)
+	}
+	if _, err := tr.DeferBatch(18, 9); err == nil {
+		t.Error("accepted reversed window")
+	}
+}

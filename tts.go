@@ -1,0 +1,72 @@
+package tts
+
+import (
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/server"
+	"repro/internal/tco"
+	"repro/internal/workload"
+)
+
+// The facade re-exports the experiment API so downstream users interact
+// with one package. The aliases share identity with the implementation
+// types, so values flow freely between this package and the internals.
+
+// Study bundles the trace, TCO parameters and facility size for a run of
+// the paper's experiments.
+type Study = core.Study
+
+// MachineClass selects one of the paper's three server populations.
+type MachineClass = core.MachineClass
+
+// The three machine classes of the scale-out study.
+const (
+	OneU        = core.OneU
+	TwoU        = core.TwoU
+	OpenCompute = core.OpenCompute
+)
+
+// Classes lists the machine classes in the paper's order.
+var Classes = core.Classes
+
+// Experiment result types, one per figure.
+type (
+	// ValidationResult is the Figure 4 / Section 3 outcome.
+	ValidationResult = core.ValidationResult
+	// SweepResult is one machine's Figure 7 curve.
+	SweepResult = core.SweepResult
+	// CoolingResult is the Figure 11 / Section 5.1 outcome.
+	CoolingResult = core.CoolingResult
+	// ThroughputResult is the Figure 12 / Section 5.2 outcome.
+	ThroughputResult = core.ThroughputResult
+	// MeltOptimum is the melting-temperature search outcome.
+	MeltOptimum = core.MeltOptimum
+)
+
+// NewStudy returns the paper's default configuration: the two-day
+// Google-like trace, Table 2 rates, and a 10 MW facility.
+func NewStudy() *Study { return core.NewStudy() }
+
+// OptimizeMeltingTemperature searches the purchasable 40-60 degC range for
+// the wax that minimizes a cluster's peak cooling load.
+func OptimizeMeltingTemperature(cfg *server.Config, tr *workload.Trace) (*MeltOptimum, error) {
+	return core.OptimizeMeltingTemperature(cfg, tr)
+}
+
+// ServerConfig returns a fresh configuration for the machine class.
+func ServerConfig(m MachineClass) *server.Config { return m.Config() }
+
+// GoogleTwoDay returns the paper's two-day evaluation trace.
+func GoogleTwoDay() *workload.Trace { return workload.GoogleTwoDay() }
+
+// CommercialParaffin returns the deployable wax at the given melting
+// temperature (40-60 degC).
+func CommercialParaffin(meltingPointC float64) (pcm.Material, error) {
+	return pcm.CommercialParaffin(meltingPointC)
+}
+
+// PCMFamilies returns the paper's Table 1 rows.
+func PCMFamilies() []pcm.Material { return pcm.Families() }
+
+// TCOParams returns the paper's Table 2 rates.
+func TCOParams() tco.Params { return tco.PaperParams() }
