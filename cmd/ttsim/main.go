@@ -4,89 +4,207 @@
 // Usage:
 //
 //	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|all
-//	      [-csv dir] [-optimize]
+//	      [-csv dir] [-optimize] [-json file]
+//	      [-metrics file] [-trace file] [-pprof addr]
 //
+// -exp also accepts a comma-separated list (e.g. -exp fig11,fig12);
+// experiments always run in the canonical order above, deduplicated.
 // -csv writes every series the experiment produces into the directory as
 // time,value CSV files. -optimize runs the melting-temperature search
 // instead of using the calibrated per-machine defaults.
+//
+// Telemetry: -metrics writes the run's counters, gauges, histograms and
+// spans as JSON; -trace writes the simulation event log (PCM phase
+// transitions, solver convergence) as JSON Lines; -pprof serves the
+// stdlib net/http/pprof profiles plus a plain-text /metrics page on the
+// given address for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/report"
 	"repro/internal/tco"
 	"repro/internal/timeseries"
 )
 
+// experimentOrder is the canonical run order; -exp lists are replayed in
+// this order regardless of how the user wrote them.
+var experimentOrder = []string{
+	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
+	"table2", "tco", "extensions", "waxsweep", "check",
+}
+
+var runners = map[string]func(*core.Study, string) error{
+	"table1":     runTable1,
+	"fig4":       runFig4,
+	"fig7":       runFig7,
+	"fig10":      runFig10,
+	"fig11":      runFig11,
+	"fig12":      runFig12,
+	"table2":     runTable2,
+	"tco":        runTCO,
+	"extensions": runExtensions,
+	"waxsweep":   runWaxSweep,
+	"check":      runCheck,
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig7, fig10, fig11, fig12, table2, tco, extensions, or all")
+	exp := flag.String("exp", "all", "experiment (or comma-separated list): table1, fig4, fig7, fig10, fig11, fig12, table2, tco, extensions, waxsweep, check, or all")
 	csvDir := flag.String("csv", "", "directory to write series CSVs into")
 	jsonPath := flag.String("json", "", "write a machine-readable results bundle to this file")
 	optimize := flag.Bool("optimize", false, "search melting temperatures instead of using calibrated defaults")
+	metricsPath := flag.String("metrics", "", "write telemetry (counters, histograms, spans) as JSON to this file")
+	tracePath := flag.String("trace", "", "write the simulation event log as JSON Lines to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060) while running")
 	flag.Parse()
+
+	names, err := selectExperiments(*exp, experimentOrder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttsim:", err)
+		os.Exit(2)
+	}
 
 	study := core.NewStudy()
 	study.OptimizeMelt = *optimize
 
-	runners := map[string]func(*core.Study, string) error{
-		"table1":     runTable1,
-		"fig4":       runFig4,
-		"fig7":       runFig7,
-		"fig10":      runFig10,
-		"fig11":      runFig11,
-		"fig12":      runFig12,
-		"table2":     runTable2,
-		"tco":        runTCO,
-		"extensions": runExtensions,
-		"waxsweep":   runWaxSweep,
-		"check":      runCheck,
+	var reg *obs.Registry
+	if *metricsPath != "" || *tracePath != "" || *pprofAddr != "" {
+		reg = obs.New()
+		study.Observe(reg)
 	}
-	order := []string{"table1", "fig4", "fig7", "fig10", "fig11", "fig12", "table2", "tco", "extensions", "waxsweep", "check"}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "ttsim:", err)
+			os.Exit(1)
+		}
+	}
 
-	names := []string{*exp}
-	if *exp == "all" {
-		names = order
+	for _, name := range names {
+		sp := reg.StartSpan("experiment/" + name)
+		err := runners[name](study, *csvDir)
+		sp.End()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ttsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
 	}
+
+	// The bundle is written after the experiments so CollectResults reuses
+	// the study's cached results instead of re-simulating.
 	if *jsonPath != "" {
 		bundle, err := study.CollectResults()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ttsim:", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*jsonPath)
-		if err != nil {
+		if err := writeFile(*jsonPath, bundle.WriteJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "ttsim:", err)
 			os.Exit(1)
 		}
-		if err := bundle.WriteJSON(f); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "ttsim:", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("results bundle written to %s\n\n", *jsonPath)
+		fmt.Printf("results bundle written to %s\n", *jsonPath)
 	}
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, reg.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "ttsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, reg.Events().WriteJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, "ttsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
+}
 
-	for _, name := range names {
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ttsim: unknown experiment %q (want one of %s, all)\n",
-				name, strings.Join(order, ", "))
-			os.Exit(2)
+// selectExperiments parses a comma-separated -exp value against the
+// canonical order. "all" (alone or in a list) expands to every
+// experiment. Duplicates collapse, the result follows the canonical
+// order, and every unknown name is reported in a single error.
+func selectExperiments(spec string, order []string) ([]string, error) {
+	want := make(map[string]bool)
+	var unknown []string
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		switch {
+		case name == "":
+			continue
+		case name == "all":
+			for _, n := range order {
+				want[n] = true
+			}
+		case runners[name] != nil:
+			want[name] = true
+		default:
+			unknown = append(unknown, fmt.Sprintf("%q", name))
 		}
-		if err := run(study, *csvDir); err != nil {
-			fmt.Fprintf(os.Stderr, "ttsim: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
 	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown experiment(s) %s (want one of %s, all)",
+			strings.Join(unknown, ", "), strings.Join(order, ", "))
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no experiments selected (want one of %s, all)", strings.Join(order, ", "))
+	}
+	var names []string
+	for _, n := range order {
+		if want[n] {
+			names = append(names, n)
+		}
+	}
+	return names, nil
+}
+
+// servePprof binds addr synchronously (so bad addresses fail the run) and
+// serves the default mux -- which net/http/pprof registered into -- plus a
+// plain-text metrics page, in the background.
+func servePprof(addr string, reg *obs.Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	fmt.Fprintf(os.Stderr, "ttsim: pprof on http://%s/debug/pprof/ (metrics on /metrics)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ttsim: pprof server:", err)
+		}
+	}()
+	return nil
+}
+
+// writeFile creates path, streams write into it, and reports Close
+// failures (a buffered flush error is a real write error).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir, name string, s *timeseries.Series, header string) error {
@@ -96,12 +214,9 @@ func writeCSV(dir, name string, s *timeseries.Series, header string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name+".csv"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return s.WriteCSV(f, header)
+	return writeFile(filepath.Join(dir, name+".csv"), func(w io.Writer) error {
+		return s.WriteCSV(w, header)
+	})
 }
 
 func runTable1(*core.Study, string) error {
@@ -163,12 +278,7 @@ func runFig10(s *core.Study, csvDir string) error {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
 		}
-		f, err := os.Create(filepath.Join(csvDir, "fig10_trace.csv"))
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return s.Trace.WriteCSV(f)
+		return writeFile(filepath.Join(csvDir, "fig10_trace.csv"), s.Trace.WriteCSV)
 	}
 	return nil
 }

@@ -1,13 +1,81 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/timeseries"
 )
+
+func TestSelectExperiments(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"all", experimentOrder},
+		{"fig4", []string{"fig4"}},
+		{"fig12,fig11", []string{"fig11", "fig12"}}, // canonical order wins
+		{"fig4,fig4, table1 ", []string{"table1", "fig4"}},
+		{"check,all", experimentOrder},
+	}
+	for _, c := range cases {
+		got, err := selectExperiments(c.spec, experimentOrder)
+		if err != nil {
+			t.Errorf("selectExperiments(%q): %v", c.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("selectExperiments(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestSelectExperimentsErrors(t *testing.T) {
+	_, err := selectExperiments("fig4,bogus,fig11,nope", experimentOrder)
+	if err == nil {
+		t.Fatal("expected error for unknown names")
+	}
+	for _, name := range []string{`"bogus"`, `"nope"`} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention %s", err, name)
+		}
+	}
+	if _, err := selectExperiments("", experimentOrder); err == nil {
+		t.Error("expected error for empty selection")
+	}
+	if _, err := selectExperiments(" , ", experimentOrder); err == nil {
+		t.Error("expected error for blank list")
+	}
+}
+
+func TestWriteFilePropagatesErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := writeFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	// Writer failure is propagated and beats the close path.
+	wantErr := io.ErrUnexpectedEOF
+	if err := writeFile(path, func(io.Writer) error { return wantErr }); err != wantErr {
+		t.Errorf("writeFile returned %v, want %v", err, wantErr)
+	}
+	// Uncreatable path fails.
+	if err := writeFile(filepath.Join(dir, "missing", "out.txt"), func(io.Writer) error { return nil }); err == nil {
+		t.Error("expected error creating file in missing directory")
+	}
+}
 
 func TestWriteCSV(t *testing.T) {
 	dir := t.TempDir()

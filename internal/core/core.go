@@ -8,7 +8,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/tco"
 	"repro/internal/workload"
@@ -37,6 +39,20 @@ func (m MachineClass) String() string {
 		return "Open Compute"
 	default:
 		return fmt.Sprintf("MachineClass(%d)", int(m))
+	}
+}
+
+// tag is the short identifier used in telemetry span paths and CSV names.
+func (m MachineClass) tag() string {
+	switch m {
+	case OneU:
+		return "1U"
+	case TwoU:
+		return "2U"
+	case OpenCompute:
+		return "OCP"
+	default:
+		return fmt.Sprintf("class%d", int(m))
 	}
 }
 
@@ -86,6 +102,12 @@ func DefaultScenario(m MachineClass) Scenario {
 }
 
 // Study bundles everything an experiment run needs.
+//
+// The headline experiments (validation, cooling, throughput) cache their
+// results: repeated calls — and CollectResults after an explicit run —
+// reuse the first outcome instead of re-simulating. Results are shared
+// pointers; treat them as read-only. Call InvalidateResults after mutating
+// Trace or TCO in place.
 type Study struct {
 	// Trace is the normalized cluster load (Figure 10).
 	Trace *workload.Trace
@@ -96,6 +118,104 @@ type Study struct {
 	// OptimizeMelt selects whether experiments search for the best
 	// melting temperature or use the calibrated per-machine defaults.
 	OptimizeMelt bool
+	// Obs is the telemetry registry threaded through every experiment;
+	// nil (the default) disables instrumentation at zero cost. Attach one
+	// with Observe.
+	Obs *obs.Registry
+
+	// Experiment result caches, guarded by mu.
+	mu         sync.Mutex
+	validation *ValidationResult
+	cooling    map[coolingKey]*CoolingResult
+	throughput map[MachineClass]*ThroughputResult
+}
+
+// coolingKey keys the cooling cache: the optimizer changes the answer.
+type coolingKey struct {
+	class    MachineClass
+	optimize bool
+}
+
+// Observe attaches a telemetry registry to the study and records the
+// already-generated trace's statistics into it.
+func (s *Study) Observe(reg *obs.Registry) {
+	s.Obs = reg
+	workload.Observe(s.Trace, reg)
+}
+
+// InvalidateResults drops every cached experiment result; call it after
+// mutating the study's trace or rates in place.
+func (s *Study) InvalidateResults() {
+	s.mu.Lock()
+	s.validation = nil
+	s.cooling = nil
+	s.throughput = nil
+	s.mu.Unlock()
+}
+
+// cachedValidation returns the memoized validation result, running the
+// experiment on a miss.
+func (s *Study) cachedValidation(run func() (*ValidationResult, error)) (*ValidationResult, error) {
+	s.mu.Lock()
+	if v := s.validation; v != nil {
+		s.mu.Unlock()
+		s.Obs.Counter("core.result_cache_hits").Inc()
+		return v, nil
+	}
+	s.mu.Unlock()
+	v, err := run()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.validation = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+// cachedCooling memoizes per (class, OptimizeMelt).
+func (s *Study) cachedCooling(m MachineClass, run func() (*CoolingResult, error)) (*CoolingResult, error) {
+	key := coolingKey{m, s.OptimizeMelt}
+	s.mu.Lock()
+	if r := s.cooling[key]; r != nil {
+		s.mu.Unlock()
+		s.Obs.Counter("core.result_cache_hits").Inc()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := run()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.cooling == nil {
+		s.cooling = make(map[coolingKey]*CoolingResult)
+	}
+	s.cooling[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// cachedThroughput memoizes per class.
+func (s *Study) cachedThroughput(m MachineClass, run func() (*ThroughputResult, error)) (*ThroughputResult, error) {
+	s.mu.Lock()
+	if r := s.throughput[m]; r != nil {
+		s.mu.Unlock()
+		s.Obs.Counter("core.result_cache_hits").Inc()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := run()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.throughput == nil {
+		s.throughput = make(map[MachineClass]*ThroughputResult)
+	}
+	s.throughput[m] = r
+	s.mu.Unlock()
+	return r, nil
 }
 
 // NewStudy returns the paper's default study: the two-day Google-like

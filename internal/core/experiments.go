@@ -55,8 +55,15 @@ func validationProtocol(t float64) float64 {
 	}
 }
 
-// RunValidation executes the Section 3 experiment.
+// RunValidation executes the Section 3 experiment (cached: repeated calls
+// return the first run's result).
 func (s *Study) RunValidation() (*ValidationResult, error) {
+	return s.cachedValidation(s.runValidation)
+}
+
+func (s *Study) runValidation() (*ValidationResult, error) {
+	sp := s.Obs.StartSpan("core.validation")
+	defer sp.End()
 	cfg := server.ValidationRD330()
 	const (
 		duration = 25 * units.Hour
@@ -84,6 +91,8 @@ func (s *Study) RunValidation() (*ValidationResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		b.Model.Instrument(s.Obs)
+		sp.AddSimTime(duration)
 		res, err := b.Model.Run(duration, dt, sample, []thermal.Probe{
 			{Name: "near box", Station: b.WakeSt},
 		})
@@ -200,12 +209,21 @@ type CoolingResult struct {
 	RetrofitSavingsUSD float64
 }
 
-// RunCoolingStudy executes the Figure 11 experiment for one machine class.
+// RunCoolingStudy executes the Figure 11 experiment for one machine class
+// (cached per class and optimizer setting).
 func (s *Study) RunCoolingStudy(m MachineClass) (*CoolingResult, error) {
+	return s.cachedCooling(m, func() (*CoolingResult, error) { return s.runCoolingStudy(m) })
+}
+
+func (s *Study) runCoolingStudy(m MachineClass) (*CoolingResult, error) {
 	cfg := m.Config()
 	if cfg == nil {
 		return nil, fmt.Errorf("core: unknown machine class %v", m)
 	}
+	sp := s.Obs.StartSpan("core.cooling_study/" + m.tag())
+	// Two fluid passes (baseline and wax) along the whole trace.
+	sp.AddSimTime(2 * (s.Trace.Total.End() - s.Trace.Total.Start))
+	defer sp.End()
 	meltC := cfg.Wax.DefaultMeltC
 	onset := math.NaN()
 	if s.OptimizeMelt {
@@ -216,7 +234,7 @@ func (s *Study) RunCoolingStudy(m MachineClass) (*CoolingResult, error) {
 		meltC = opt.MeltC
 		onset = opt.MeltOnsetUtilization
 	}
-	cluster, err := dcsim.NewCluster(cfg, meltC)
+	cluster, err := dcsim.NewClusterObserved(cfg, meltC, s.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -291,12 +309,19 @@ type ThroughputResult struct {
 }
 
 // RunThroughputStudy executes the Figure 12 experiment for one machine
-// class using the scenario's cooling deficit.
+// class using the scenario's cooling deficit (cached per class).
 func (s *Study) RunThroughputStudy(m MachineClass) (*ThroughputResult, error) {
+	return s.cachedThroughput(m, func() (*ThroughputResult, error) { return s.runThroughputStudy(m) })
+}
+
+func (s *Study) runThroughputStudy(m MachineClass) (*ThroughputResult, error) {
 	cfg := m.Config()
 	if cfg == nil {
 		return nil, fmt.Errorf("core: unknown machine class %v", m)
 	}
+	sp := s.Obs.StartSpan("core.throughput_study/" + m.tag())
+	sp.AddSimTime(s.Trace.Total.End() - s.Trace.Total.Start)
+	defer sp.End()
 	sc := DefaultScenario(m)
 	if sc.ConstrainedDeficitW <= 0 {
 		return nil, errors.New("core: scenario has no cooling deficit")
@@ -305,7 +330,7 @@ func (s *Study) RunThroughputStudy(m MachineClass) (*ThroughputResult, error) {
 	if meltC == 0 {
 		meltC = cfg.Wax.DefaultMeltC
 	}
-	cluster, err := dcsim.NewCluster(cfg, meltC)
+	cluster, err := dcsim.NewClusterObserved(cfg, meltC, s.Obs)
 	if err != nil {
 		return nil, err
 	}

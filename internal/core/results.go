@@ -54,7 +54,11 @@ var paperNumbers = map[MachineClass]struct {
 }
 
 // CollectResults runs every experiment and assembles the bundle.
+// Experiments the study already ran are reused from its result cache, so
+// collecting after an explicit `-exp all` pass costs nothing extra.
 func (s *Study) CollectResults() (*ResultsBundle, error) {
+	sp := s.Obs.StartSpan("core.collect_results")
+	defer sp.End()
 	out := &ResultsBundle{}
 	v, err := s.RunValidation()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/workload"
 )
@@ -51,6 +52,10 @@ type EventOptions struct {
 	Seed int64
 	// SampleEveryS is the utilization sampling interval.
 	SampleEveryS float64
+	// Obs is the optional telemetry registry: the run is timed as a span
+	// (with arrival-generation and drain batches as children) and job
+	// counts are recorded. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // DefaultEventOptions returns a rack-scale configuration: 40 servers of 12
@@ -165,10 +170,15 @@ func RunEvents(tr *workload.Trace, opts EventOptions) (*EventResult, error) {
 	totalThreads := float64(opts.Servers * opts.ThreadsPerServer)
 	maxBacklog := opts.QueueDepthPerThread * opts.ThreadsPerServer
 
+	sp := opts.Obs.StartSpan("dcsim.events")
+	sp.AddSimTime(tr.Total.End() - tr.Total.Start)
+	defer sp.End()
+
 	// Pre-generate arrivals: within each trace step the Poisson intensity
 	// is constant at lambda = u * totalThreads / meanService, so the count
 	// is Poisson(lambda*dt) with uniform placement. Class membership
 	// follows the per-class share at that step.
+	gen := sp.Child("generate")
 	var q eventQueue
 	for i := 0; i < tr.Total.Len(); i++ {
 		u := tr.Total.Values[i]
@@ -183,6 +193,8 @@ func RunEvents(tr *workload.Trace, opts EventOptions) (*EventResult, error) {
 			heap.Push(&q, event{at: at, kind: 0, jobType: jt, serviceS: svc, arrivedAt: at})
 		}
 	}
+	opts.Obs.Counter("dcsim.jobs_generated").Add(int64(q.Len()))
+	gen.End()
 
 	res := &EventResult{CompletedByType: make(map[workload.JobType]int)}
 	horizon := tr.Total.End()
@@ -236,6 +248,7 @@ func RunEvents(tr *workload.Trace, opts EventOptions) (*EventResult, error) {
 		})
 	}
 
+	drain := sp.Child("drain")
 	for q.Len() > 0 {
 		e := heap.Pop(&q).(event)
 		if e.at > horizon {
@@ -271,6 +284,9 @@ func RunEvents(tr *workload.Trace, opts EventOptions) (*EventResult, error) {
 		}
 	}
 	record(horizon + opts.SampleEveryS)
+	drain.End()
+	opts.Obs.Counter("dcsim.jobs_completed").Add(int64(res.Completed))
+	opts.Obs.Counter("dcsim.jobs_dropped").Add(int64(res.Dropped))
 
 	if len(slowdowns) > 0 {
 		// Percentile copies and sorts internally; errors are impossible

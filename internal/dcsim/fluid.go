@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/server"
 	"repro/internal/timeseries"
@@ -36,19 +37,28 @@ type Cluster struct {
 	ROM *server.ROM
 	// N is the cluster population (the paper uses 1008).
 	N int
+	// Obs is the optional telemetry registry; nil disables instrumentation
+	// at zero cost.
+	Obs *obs.Registry
 }
 
 // NewCluster builds a cluster, deriving the ROM at the given melting
 // temperature (0 = config default).
 func NewCluster(cfg *server.Config, meltC float64) (*Cluster, error) {
+	return NewClusterObserved(cfg, meltC, nil)
+}
+
+// NewClusterObserved is NewCluster with a telemetry registry threaded
+// through the ROM derivation (thermal solves) and every subsequent run.
+func NewClusterObserved(cfg *server.Config, meltC float64, reg *obs.Registry) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rom, err := server.DeriveROM(cfg, meltC)
+	rom, err := server.DeriveROMObserved(cfg, meltC, reg)
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{Cfg: cfg, ROM: rom, N: cfg.ClusterSize}, nil
+	return &Cluster{Cfg: cfg, ROM: rom, N: cfg.ClusterSize, Obs: reg}, nil
 }
 
 // CoolingRun is the outcome of a fully-subscribed cooling-load simulation
@@ -80,6 +90,10 @@ func (c *Cluster) RunCoolingLoad(tr *workload.Trace, withWax bool) (*CoolingRun,
 	}
 	n := tr.Total.Len()
 	dt := tr.Total.Step
+	sp := c.Obs.StartSpan("dcsim.cooling_load")
+	sp.AddSimTime(tr.Total.End() - tr.Total.Start)
+	defer sp.End()
+	c.Obs.Counter("dcsim.fluid_steps").Add(int64(n))
 	run := &CoolingRun{}
 	var err error
 	if run.PowerW, err = timeseries.New(tr.Total.Start, dt, n); err != nil {
@@ -93,10 +107,15 @@ func (c *Cluster) RunCoolingLoad(tr *workload.Trace, withWax bool) (*CoolingRun,
 		if wax, err = c.ROM.NewWaxState(); err != nil {
 			return nil, err
 		}
+		wax.Instrument(c.Obs, c.Cfg.Name)
 	}
+	observed := c.Obs != nil
 	scale := float64(c.N)
 	for i := 0; i < n; i++ {
 		u := tr.Total.Values[i]
+		if observed && wax != nil {
+			wax.SetSimTime(tr.Total.TimeAt(i))
+		}
 		power := c.Cfg.PowerAt(u, 1)
 		coolingPerServer := power
 		if wax != nil {
@@ -137,6 +156,9 @@ type variantState struct {
 	rom   *server.ROM
 	wax   *pcm.State
 	onset float64 // NaN until first throttle
+	// throttled and relocated count the trace steps spent below nominal
+	// frequency and shedding work, for telemetry.
+	throttled, relocated int
 }
 
 // ConstrainedOptions tunes the thermally constrained run.
@@ -174,6 +196,9 @@ func (c *Cluster) RunConstrainedOpts(tr *workload.Trace, opts ConstrainedOptions
 	}
 	n := tr.Total.Len()
 	dt := tr.Total.Step
+	sp := c.Obs.StartSpan("dcsim.constrained")
+	sp.AddSimTime(tr.Total.End() - tr.Total.Start)
+	defer sp.End()
 	out := &ConstrainedRun{
 		OnsetNoWaxS:   math.NaN(),
 		OnsetWithWaxS: math.NaN(),
@@ -190,6 +215,7 @@ func (c *Cluster) RunConstrainedOpts(tr *workload.Trace, opts ConstrainedOptions
 	if err != nil {
 		return nil, err
 	}
+	waxState.Instrument(c.Obs, c.Cfg.Name)
 	noWax := &variantState{cfg: c.Cfg, rom: c.ROM, onset: math.NaN()}
 	withWax := &variantState{cfg: c.Cfg, rom: c.ROM, wax: waxState, onset: math.NaN()}
 
@@ -245,6 +271,7 @@ func (c *Cluster) RunConstrainedOpts(tr *workload.Trace, opts ConstrainedOptions
 			if v.cfg.PowerAt(u, fr)-estimate(u, fr) <= limitPerServer {
 				if step > 0 {
 					throttled()
+					v.throttled++
 				}
 				commit(u, fr)
 				return u * v.cfg.Perf.RelativeThroughput(fGHz)
@@ -253,6 +280,8 @@ func (c *Cluster) RunConstrainedOpts(tr *workload.Trace, opts ConstrainedOptions
 		// Relocate work: bisect the utilization that fits under the limit
 		// at the floor frequency.
 		throttled()
+		v.throttled++
+		v.relocated++
 		lo, hi := 0.0, u
 		for i := 0; i < 40; i++ {
 			mid := (lo + hi) / 2
@@ -266,13 +295,24 @@ func (c *Cluster) RunConstrainedOpts(tr *workload.Trace, opts ConstrainedOptions
 		return lo * perfDown
 	}
 
+	observed := c.Obs != nil
 	for i := 0; i < n; i++ {
 		u := tr.Total.Values[i]
 		t := tr.Total.TimeAt(i)
+		if observed {
+			waxState.SetSimTime(t)
+		}
 		out.Ideal.Values[i] = u * scale
 		out.NoWax.Values[i] = step(noWax, u, t) * scale
 		out.WithWax.Values[i] = step(withWax, u, t) * scale
 		out.WaxLiquid.Values[i] = waxState.LiquidFraction()
+	}
+	if observed {
+		c.Obs.Counter("dcsim.constrained_steps").Add(int64(n))
+		c.Obs.Counter("dcsim.throttled_steps_nowax").Add(int64(noWax.throttled))
+		c.Obs.Counter("dcsim.throttled_steps_wax").Add(int64(withWax.throttled))
+		c.Obs.Counter("dcsim.relocated_steps_nowax").Add(int64(noWax.relocated))
+		c.Obs.Counter("dcsim.relocated_steps_wax").Add(int64(withWax.relocated))
 	}
 	out.OnsetNoWaxS = noWax.onset
 	out.OnsetWithWaxS = withWax.onset

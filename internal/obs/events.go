@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one simulation occurrence worth keeping for post-hoc debugging:
+// a PCM phase transition, a solver convergence report, a throttle
+// decision. Value and Aux carry kind-specific payloads (e.g. sweep count
+// and final residual for a solve).
+type Event struct {
+	// Seq is the global 1-based sequence number of the event.
+	Seq uint64 `json:"seq"`
+	// SimTimeS is the simulation clock at the event, seconds.
+	SimTimeS float64 `json:"t_sim_s"`
+	// Kind names the event type, dot-namespaced ("pcm.melt_start").
+	Kind string `json:"kind"`
+	// Name identifies the emitting object (a station, a machine class).
+	Name string `json:"name,omitempty"`
+	// Value and Aux are kind-specific numbers.
+	Value float64 `json:"value"`
+	Aux   float64 `json:"aux,omitempty"`
+}
+
+// EventLog is a fixed-capacity ring buffer of Events. When full, the
+// oldest events are overwritten; Total keeps counting. A nil log is a
+// no-op.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // ring write position
+	total uint64
+}
+
+// NewEventLog returns a log retaining the last capacity events
+// (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event.
+func (l *EventLog) Record(simTimeS float64, kind, name string, value, aux float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.total++
+	e := Event{Seq: l.total, SimTimeS: simTimeS, Kind: kind, Name: name, Value: value, Aux: aux}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total returns the number of events ever recorded, including overwritten
+// ones.
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Events returns the retained events in chronological order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	if len(l.buf) == cap(l.buf) {
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+	} else {
+		out = append(out, l.buf...)
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as JSON lines, oldest first.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Concurrent hammering of every instrument type through the registry;
+// run under -race this doubles as the data-race check.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := New()
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("hammer.count")
+			g := reg.Gauge("hammer.gauge")
+			h := reg.Histogram("hammer.hist", LinearBuckets(10, 10, 10))
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 100))
+				reg.Events().Record(float64(i), "hammer", "w", float64(w), 0)
+				sp := reg.StartSpan("hammer.span")
+				sp.AddSimTime(1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = workers * perW
+	if got := reg.Counter("hammer.count").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := reg.Gauge("hammer.gauge").Value(); got != total {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	h := reg.Histogram("hammer.hist", nil)
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	wantSum := float64(workers*perW/100) * (99 * 100 / 2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+	snap := reg.Snapshot()
+	if sp := snap.Spans["hammer.span"]; sp.Count != total || sp.SimSeconds != total {
+		t.Errorf("span stats = %+v, want count/sim %d", sp, total)
+	}
+	if snap.EventsTotal != total {
+		t.Errorf("events total = %d, want %d", snap.EventsTotal, total)
+	}
+	if snap.EventsRetained != DefaultEventCapacity {
+		t.Errorf("events retained = %d, want %d", snap.EventsRetained, DefaultEventCapacity)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	reg := New()
+	parent := reg.StartSpan("exp")
+	child := parent.Child("solve")
+	grand := child.Child("sweep")
+	if got := grand.Path(); got != "exp/solve/sweep" {
+		t.Errorf("nested path = %q", got)
+	}
+	grand.AddSimTime(10)
+	grand.End()
+	grand.End() // double End is a no-op
+	child.End()
+	parent.AddSimTime(100)
+	parent.End()
+
+	snap := reg.Snapshot()
+	for _, path := range []string{"exp", "exp/solve", "exp/solve/sweep"} {
+		if snap.Spans[path].Count != 1 {
+			t.Errorf("span %q count = %d, want 1", path, snap.Spans[path].Count)
+		}
+	}
+	if snap.Spans["exp/solve/sweep"].SimSeconds != 10 {
+		t.Errorf("grandchild sim seconds = %v", snap.Spans["exp/solve/sweep"].SimSeconds)
+	}
+	if snap.Spans["exp"].SimSeconds != 100 {
+		t.Errorf("parent sim seconds = %v", snap.Spans["exp"].SimSeconds)
+	}
+	// Wall time must not shrink inward-out: parent spans at least as long
+	// as the child it wraps.
+	if snap.Spans["exp"].WallSeconds < snap.Spans["exp/solve/sweep"].WallSeconds {
+		t.Error("parent wall time shorter than child's")
+	}
+}
+
+// The disabled fast path — every instrument reached through a nil
+// registry — must not allocate: hot solver loops stay instrumented
+// unconditionally.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var reg *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		reg.Counter("c").Add(1)
+		reg.Counter("c").Inc()
+		reg.Gauge("g").Set(1)
+		reg.Gauge("g").Add(1)
+		reg.Histogram("h", nil).Observe(1)
+		reg.Events().Record(0, "k", "n", 1, 2)
+		sp := reg.StartSpan("s")
+		sp.AddSimTime(1)
+		sp.Child("c").End()
+		sp.End()
+		_ = reg.Counter("c").Value()
+		_ = reg.Histogram("h", nil).Quantile(0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram(LinearBuckets(10, 10, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0, 1, 0}, {1, 100, 0}, {0.5, 50, 10}, {0.9, 90, 10}, {0.99, 99, 10},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v +/- %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if got := h.Quantile(0.5); got < 1 || got > 100 {
+		t.Errorf("quantile %v outside observed range", got)
+	}
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Error("nil histogram not zero-valued")
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 1; i <= 10; i++ {
+		l.Record(float64(i), "k", "", float64(i), 0)
+	}
+	if l.Total() != 10 || l.Len() != 4 {
+		t.Fatalf("total=%d len=%d, want 10/4", l.Total(), l.Len())
+	}
+	evs := l.Events()
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (chronological tail)", i, e.Seq, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 4 {
+		t.Errorf("JSONL lines = %d, want 4", lines)
+	}
+}
+
+func TestExpositionJSONValid(t *testing.T) {
+	reg := NewWithEventCapacity(8)
+	reg.Counter("a.count").Add(3)
+	reg.Gauge("a.gauge").Set(2.5)
+	reg.Histogram("a.hist", nil).Observe(7)
+	sp := reg.StartSpan("a.span")
+	sp.AddSimTime(3600)
+	sp.End()
+	reg.Events().Record(1, "a.ev", "x", 1, 2)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("exposition is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["a.count"] != 3 || snap.Gauges["a.gauge"] != 2.5 {
+		t.Errorf("roundtrip lost values: %+v", snap)
+	}
+	if snap.Spans["a.span"].SimSeconds != 3600 {
+		t.Errorf("span sim seconds = %v", snap.Spans["a.span"].SimSeconds)
+	}
+	buf.Reset()
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("text exposition empty")
+	}
+	// An empty-but-real registry still writes valid JSON.
+	buf.Reset()
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+}

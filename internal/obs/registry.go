@@ -1,0 +1,481 @@
+// Package obs is the study's telemetry layer: a concurrency-safe metrics
+// registry (counters, gauges, fixed-bucket histograms), lightweight
+// hierarchical spans that relate wall time to simulated time, and a ring
+// buffer of simulation events for post-hoc debugging.
+//
+// Every entry point is nil-safe: methods on a nil *Registry (and on the
+// nil instruments it hands out) are allocation-free no-ops, so hot paths
+// can be instrumented unconditionally and pay only a nil check when
+// telemetry is disabled. Instruments returned by the registry are stable
+// pointers — resolve them once outside a loop and hammer them from any
+// number of goroutines.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultEventCapacity is the ring-buffer size used by New.
+const DefaultEventCapacity = 4096
+
+// Registry owns every named instrument of one run.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	spans  map[string]*SpanStats
+	events *EventLog
+}
+
+// New returns an empty registry with the default event-log capacity.
+func New() *Registry { return NewWithEventCapacity(DefaultEventCapacity) }
+
+// NewWithEventCapacity returns an empty registry whose event ring buffer
+// retains the last capacity events (minimum 1).
+func NewWithEventCapacity(capacity int) *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		spans:  make(map[string]*SpanStats),
+		events: NewEventLog(capacity),
+	}
+}
+
+// Counter returns (creating on first use) the named counter; nil registry
+// yields a nil counter whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counts[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counts[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counts[name] = c
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram. The
+// bucket upper bounds must be sorted ascending; nil selects a default
+// exponential ladder. Bounds are fixed at creation: later calls with a
+// different layout return the existing histogram unchanged.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Events returns the registry's event ring buffer (nil for a nil
+// registry).
+func (r *Registry) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// defaultBounds is an exponential ladder 1, 2, 4, ... 2048 covering the
+// typical sweep/step counts the study records.
+var defaultBounds = ExponentialBuckets(1, 2, 12)
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram counts observations into fixed buckets and keeps sum, count,
+// min and max for quantile summaries. All updates are lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; observations above fall in overflow
+	buckets []atomic.Int64
+	over    atomic.Int64
+	count   atomic.Int64
+	sum     atomicFloat
+	min     atomicFloat
+	max     atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = defaultBounds
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs))}
+	h.min.Store(math.Inf(1))
+	h.max.Store(math.Inf(-1))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.min.StoreMin(v)
+	h.max.StoreMax(v)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the holding bucket, clamped to the observed min/max. It returns 0
+// when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	lo, hi := h.min.Load(), h.max.Load()
+	if q <= 0 {
+		return lo
+	}
+	if q >= 1 {
+		return hi
+	}
+	target := q * float64(n)
+	cum := 0.0
+	lower := lo
+	for i := range h.buckets {
+		c := float64(h.buckets[i].Load())
+		upper := math.Min(h.bounds[i], hi)
+		if upper < lower {
+			upper = lower
+		}
+		if c > 0 && cum+c >= target {
+			return clamp(lower+(target-cum)/c*(upper-lower), lo, hi)
+		}
+		cum += c
+		if c > 0 {
+			lower = upper
+		}
+	}
+	// Overflow bucket: between the last bound and the max.
+	c := float64(h.over.Load())
+	if c > 0 {
+		return clamp(lower+(target-cum)/c*(hi-lower), lo, hi)
+	}
+	return hi
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+
+// atomicFloat is a float64 with atomic add and monotone min/max updates.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) StoreMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) StoreMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Exposition.
+
+// Snapshot is a point-in-time copy of every instrument, shaped for JSON.
+type Snapshot struct {
+	Counters       map[string]int64             `json:"counters,omitempty"`
+	Gauges         map[string]float64           `json:"gauges,omitempty"`
+	Histograms     map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans          map[string]SpanSnapshot      `json:"spans,omitempty"`
+	EventsTotal    uint64                       `json:"events_total"`
+	EventsRetained int                          `json:"events_retained"`
+}
+
+// HistogramSnapshot summarizes one histogram.
+type HistogramSnapshot struct {
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Min      float64       `json:"min"`
+	Max      float64       `json:"max"`
+	Mean     float64       `json:"mean"`
+	P50      float64       `json:"p50"`
+	P90      float64       `json:"p90"`
+	P99      float64       `json:"p99"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+	Overflow int64         `json:"overflow,omitempty"`
+}
+
+// BucketCount is one bucket (upper bound, observations at or below it that
+// fell past the previous bound).
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot copies every instrument; safe under concurrent updates (each
+// instrument is read atomically, the set of instruments under the lock).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counts) > 0 {
+		s.Counters = make(map[string]int64, len(r.counts))
+		for name, c := range r.counts {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(r.spans) > 0 {
+		s.Spans = make(map[string]SpanSnapshot, len(r.spans))
+		for name, sp := range r.spans {
+			s.Spans[name] = sp.snapshot()
+		}
+	}
+	s.EventsTotal = r.events.Total()
+	s.EventsRetained = r.events.Len()
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if out.Count > 0 {
+		out.Min = h.min.Load()
+		out.Max = h.max.Load()
+		out.Mean = out.Sum / float64(out.Count)
+		out.P50 = h.Quantile(0.5)
+		out.P90 = h.Quantile(0.9)
+		out.P99 = h.Quantile(0.99)
+	}
+	for i, b := range h.bounds {
+		if c := h.buckets[i].Load(); c > 0 {
+			out.Buckets = append(out.Buckets, BucketCount{LE: b, Count: c})
+		}
+	}
+	out.Overflow = h.over.Load()
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes a sorted, line-oriented exposition for terminals.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("counter %-44s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("gauge   %-44s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf(
+			"hist    %-44s count=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g min=%.3g max=%.3g",
+			name, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Min, h.Max))
+	}
+	for name, sp := range s.Spans {
+		lines = append(lines, fmt.Sprintf(
+			"span    %-44s count=%d wall=%.3fs sim=%.0fs sim/wall=%.3g",
+			name, sp.Count, sp.WallSeconds, sp.SimSeconds, sp.SimPerWall))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "events  total=%d retained=%d\n", s.EventsTotal, s.EventsRetained)
+	return err
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// SpanStats aggregates every completed span sharing one path: invocation
+// count, wall time, and accumulated simulated seconds, from which the
+// sim-time-per-wall-second throughput of the instrumented region falls
+// out. Updates are lock-free.
+type SpanStats struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	minNs   atomic.Int64
+	maxNs   atomic.Int64
+	simS    atomicFloat
+}
+
+func newSpanStats() *SpanStats {
+	s := &SpanStats{}
+	s.minNs.Store(math.MaxInt64)
+	return s
+}
+
+// spanStats returns (creating on first use) the stats bucket for a path.
+func (r *Registry) spanStats(path string) *SpanStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	s := r.spans[path]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.spans[path]; s != nil {
+		return s
+	}
+	s = newSpanStats()
+	r.spans[path] = s
+	return s
+}
+
+// Span is one live timed region. Spans nest by path: a child started from
+// a parent named "a" with name "b" aggregates under "a/b". A nil span (from
+// a nil registry) is a no-op.
+type Span struct {
+	reg   *Registry
+	stats *SpanStats
+	path  string
+	start time.Time
+	simS  float64
+	ended bool
+}
+
+// StartSpan begins timing a region aggregated under name.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, stats: r.spanStats(name), path: name, start: time.Now()}
+}
+
+// Child starts a nested span whose path extends the parent's.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.reg.StartSpan(s.path + "/" + name)
+}
+
+// AddSimTime credits simulated seconds covered by this span; recorded into
+// the path's stats at End.
+func (s *Span) AddSimTime(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.simS += seconds
+}
+
+// Path returns the span's aggregation path ("" for nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End stops the span and folds it into its path's stats. Calling End more
+// than once, or on a nil span, is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := time.Since(s.start).Nanoseconds()
+	if d < 0 {
+		d = 0
+	}
+	st := s.stats
+	st.count.Add(1)
+	st.totalNs.Add(d)
+	for {
+		old := st.minNs.Load()
+		if old <= d || st.minNs.CompareAndSwap(old, d) {
+			break
+		}
+	}
+	for {
+		old := st.maxNs.Load()
+		if old >= d || st.maxNs.CompareAndSwap(old, d) {
+			break
+		}
+	}
+	st.simS.Add(s.simS)
+}
+
+// SpanSnapshot summarizes one span path.
+type SpanSnapshot struct {
+	Count       int64   `json:"count"`
+	WallSeconds float64 `json:"wall_seconds"`
+	MinSeconds  float64 `json:"min_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	// SimPerWall is simulated seconds advanced per wall-clock second: the
+	// throughput of the instrumented region (0 when no sim time was
+	// credited or the region was too fast to time).
+	SimPerWall float64 `json:"sim_seconds_per_wall_second"`
+}
+
+func (st *SpanStats) snapshot() SpanSnapshot {
+	out := SpanSnapshot{Count: st.count.Load()}
+	if out.Count == 0 {
+		return out
+	}
+	out.WallSeconds = float64(st.totalNs.Load()) / 1e9
+	out.MinSeconds = float64(st.minNs.Load()) / 1e9
+	out.MaxSeconds = float64(st.maxNs.Load()) / 1e9
+	out.SimSeconds = st.simS.Load()
+	if out.WallSeconds > 0 && out.SimSeconds > 0 {
+		out.SimPerWall = out.SimSeconds / out.WallSeconds
+	}
+	return out
+}

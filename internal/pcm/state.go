@@ -3,6 +3,8 @@ package pcm
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // State is the runtime thermal state of an enclosure: a lumped enthalpy
@@ -21,6 +23,104 @@ type State struct {
 	shellCapacity float64
 	// waxMass is cached, kg.
 	waxMass float64
+
+	// Telemetry (see Instrument); zero-valued and skipped entirely until a
+	// registry is attached, so the uninstrumented hot path only pays one
+	// branch.
+	observed   bool
+	label      string
+	phase      int8
+	hSol, hLiq float64
+	simTimeS   float64
+	meltStart  *obs.Counter
+	meltDone   *obs.Counter
+	frzStart   *obs.Counter
+	frzDone    *obs.Counter
+	substeps   *obs.Counter
+	events     *obs.EventLog
+}
+
+// Phases of the lumped enclosure as seen by the transition tracker.
+const (
+	phaseSolid int8 = iota
+	phaseMixed
+	phaseLiquid
+)
+
+// Instrument attaches a telemetry registry: melt/freeze transition
+// counters, exchange sub-step counts, and phase-transition events tagged
+// with label. A nil registry is a no-op. Event timestamps use the sim
+// clock advanced by ExchangeWithAir or supplied via SetSimTime.
+func (s *State) Instrument(reg *obs.Registry, label string) {
+	if reg == nil {
+		return
+	}
+	s.observed = true
+	s.label = label
+	s.meltStart = reg.Counter("pcm.melt_started")
+	s.meltDone = reg.Counter("pcm.melt_completed")
+	s.frzStart = reg.Counter("pcm.freeze_started")
+	s.frzDone = reg.Counter("pcm.freeze_completed")
+	s.substeps = reg.Counter("pcm.exchange_substeps")
+	s.events = reg.Events()
+	s.refreshPhaseThresholds()
+	s.phase = s.phaseOf(s.enthalpyJ)
+}
+
+// SetSimTime pins the simulation clock used to stamp telemetry events;
+// drivers that advance the state via AddHeat (the thermal network) call it
+// each step.
+func (s *State) SetSimTime(t float64) { s.simTimeS = t }
+
+// refreshPhaseThresholds caches the enthalpies at which melting starts and
+// completes, so phase classification is two comparisons.
+func (s *State) refreshPhaseThresholds() {
+	m := &s.enc.Material
+	s.hSol = s.enthalpyAt(m.SolidusC())
+	s.hLiq = s.enthalpyAt(m.LiquidusC())
+}
+
+func (s *State) phaseOf(h float64) int8 {
+	// Tolerance keeps float dust at the kinks from flapping transitions.
+	tiny := 1e-9 * (math.Abs(s.hLiq) + 1)
+	switch {
+	case h <= s.hSol+tiny:
+		return phaseSolid
+	case h >= s.hLiq-tiny:
+		return phaseLiquid
+	default:
+		return phaseMixed
+	}
+}
+
+// notePhase detects melt/freeze transitions after an enthalpy change.
+func (s *State) notePhase() {
+	p := s.phaseOf(s.enthalpyJ)
+	if p == s.phase {
+		return
+	}
+	prev := s.phase
+	s.phase = p
+	if p > prev { // melting direction
+		if prev == phaseSolid {
+			s.meltStart.Inc()
+			s.events.Record(s.simTimeS, "pcm.melt_start", s.label, s.enthalpyJ, 0)
+		}
+		if p == phaseLiquid {
+			s.meltDone.Inc()
+			s.events.Record(s.simTimeS, "pcm.melt_complete", s.label, s.enthalpyJ, 0)
+		}
+		return
+	}
+	// Freezing direction.
+	if prev == phaseLiquid {
+		s.frzStart.Inc()
+		s.events.Record(s.simTimeS, "pcm.freeze_start", s.label, s.enthalpyJ, 0)
+	}
+	if p == phaseSolid {
+		s.frzDone.Inc()
+		s.events.Record(s.simTimeS, "pcm.freeze_complete", s.label, s.enthalpyJ, 0)
+	}
 }
 
 // NewState initializes the enclosure state in thermal equilibrium at
@@ -117,6 +217,9 @@ func (s *State) AddHeat(j float64) {
 	if s.enthalpyJ < 0 {
 		s.enthalpyJ = 0
 	}
+	if s.observed {
+		s.notePhase()
+	}
 }
 
 // StoredLatent returns the currently stored latent heat, J.
@@ -146,11 +249,16 @@ func (s *State) ExchangeWithAir(airC, hA, dt float64) float64 {
 	// the freeze onset, so above it stored latent heat stays in (the small
 	// sensible cooling of the supercooled liquid is neglected).
 	if airC > s.enc.Material.FreezeOnsetC() && eq < s.enthalpyJ {
+		if s.observed {
+			s.simTimeS += dt
+		}
 		return 0
 	}
 	total := 0.0
 	remaining := dt
+	steps := 0
 	for remaining > 0 {
+		steps++
 		t, f := s.solve()
 		g := hA
 		if airC < t {
@@ -182,13 +290,22 @@ func (s *State) ExchangeWithAir(airC, hA, dt float64) float64 {
 		total += q
 		remaining -= h
 	}
+	if s.observed {
+		s.simTimeS += dt
+		s.substeps.Add(int64(steps))
+		s.notePhase()
+	}
 	return total
 }
 
 // Enclosure returns the static enclosure description.
 func (s *State) Enclosure() *Enclosure { return s.enc }
 
-// Reset returns the state to equilibrium at tempC.
+// Reset returns the state to equilibrium at tempC. A reset re-synchronizes
+// the telemetry phase tracker without counting a transition.
 func (s *State) Reset(tempC float64) {
 	s.enthalpyJ = s.enthalpyAt(tempC)
+	if s.observed {
+		s.phase = s.phaseOf(s.enthalpyJ)
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 // validationBox reproduces the Section 3 experiment: ~100 ml aluminum box
@@ -322,5 +324,75 @@ func BenchmarkExchangeWithAir(b *testing.B) {
 			air = 96 - air
 		}
 		s.ExchangeWithAir(air, 11.6, 300)
+	}
+}
+
+func TestInstrumentedPhaseTransitions(t *testing.T) {
+	enc := validationEnclosure(t)
+	s, err := NewState(enc, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	s.Instrument(reg, "probe")
+
+	m := enc.Material
+	sensibleToLiquidus := enc.WaxMass() * m.SpecificHeatSolid * (m.LiquidusC() - 25)
+	// Melt fully: sensible heat to the liquidus, the full latent capacity,
+	// and a margin to land clearly in the liquid phase.
+	total := sensibleToLiquidus + enc.LatentCapacity() + 500
+	for i := 0; i < 20; i++ {
+		s.AddHeat(total / 20)
+	}
+	if f := s.LiquidFraction(); f < 1 {
+		t.Fatalf("liquid fraction = %v after melting heat", f)
+	}
+	// Freeze back by withdrawing the same heat.
+	for i := 0; i < 20; i++ {
+		s.AddHeat(-total / 20)
+	}
+	if f := s.LiquidFraction(); f > 0 {
+		t.Fatalf("liquid fraction = %v after freezing", f)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"pcm.melt_started", "pcm.melt_completed",
+		"pcm.freeze_started", "pcm.freeze_completed",
+	} {
+		if got := snap.Counters[name]; got != 1 {
+			t.Errorf("%s = %d, want 1", name, got)
+		}
+	}
+	events := reg.Events().Events()
+	if len(events) < 4 {
+		t.Fatalf("event log has %d events, want >= 4", len(events))
+	}
+	kinds := make(map[string]int)
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Name != "probe" {
+			t.Errorf("event labeled %q, want \"probe\"", e.Name)
+		}
+	}
+	for _, k := range []string{"pcm.melt_start", "pcm.melt_complete", "pcm.freeze_start", "pcm.freeze_complete"} {
+		if kinds[k] != 1 {
+			t.Errorf("event kind %s seen %d times, want 1", k, kinds[k])
+		}
+	}
+}
+
+func TestInstrumentedExchangeCountsSubsteps(t *testing.T) {
+	enc := validationEnclosure(t)
+	s, err := NewState(enc, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	s.Instrument(reg, "probe")
+	s.ExchangeWithAir(60, 11.6, 3600)
+	snap := reg.Snapshot()
+	if snap.Counters["pcm.exchange_substeps"] <= 0 {
+		t.Error("exchange substep counter did not advance")
 	}
 }

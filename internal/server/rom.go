@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/pcm"
 )
 
@@ -39,6 +40,15 @@ var romUtilGrid = []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
 // wax melting temperature meltC is baked into the returned enclosure
 // (pass 0 for the config default).
 func DeriveROM(cfg *Config, meltC float64) (*ROM, error) {
+	return DeriveROMObserved(cfg, meltC, nil)
+}
+
+// DeriveROMObserved is DeriveROM with a telemetry registry: the derivation
+// is timed as a span and every steady-state solve of the sampling grid
+// reports its sweep count. A nil registry is the plain DeriveROM.
+func DeriveROMObserved(cfg *Config, meltC float64, reg *obs.Registry) (*ROM, error) {
+	sp := reg.StartSpan("server.derive_rom")
+	defer sp.End()
 	if meltC == 0 {
 		meltC = cfg.Wax.DefaultMeltC
 	}
@@ -60,6 +70,7 @@ func DeriveROM(cfg *Config, meltC float64) (*ROM, error) {
 			if err != nil {
 				return nil, err
 			}
+			build.Model.Instrument(reg)
 			if _, err := build.Model.SolveSteadyState(1e-6, 0); err != nil {
 				return nil, fmt.Errorf("server: ROM sample u=%v fr=%v: %w", u, fr, err)
 			}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/timeseries"
 	"repro/internal/units"
@@ -110,6 +111,34 @@ type Model struct {
 	refFlowM3s float64
 
 	clock float64
+
+	// Telemetry instruments; all nil (allocation-free no-ops) until
+	// Instrument is called with a live registry.
+	reg         *obs.Registry
+	stepCount   *obs.Counter
+	solveCount  *obs.Counter
+	solveSweeps *obs.Histogram
+	events      *obs.EventLog
+}
+
+// Instrument attaches a telemetry registry: Step and SolveSteadyState
+// counters, a sweep-count histogram, solver convergence events, and phase
+// transition tracking on every attached wax state. Call after the network
+// is assembled so the wax attachments are seen; a nil registry leaves the
+// model on the disabled fast path.
+func (m *Model) Instrument(reg *obs.Registry) {
+	m.reg = reg
+	m.stepCount = reg.Counter("thermal.steps")
+	m.solveCount = reg.Counter("thermal.solves")
+	m.solveSweeps = reg.Histogram("thermal.solve_sweeps", nil)
+	m.events = reg.Events()
+	for _, st := range m.stations {
+		for _, at := range st.attachments {
+			if at.wax != nil {
+				at.wax.Instrument(reg, st.Name)
+			}
+		}
+	}
 }
 
 // NewModel creates an empty model with the given inlet temperature and
@@ -259,6 +288,7 @@ func (m *Model) OutletC() float64 {
 // any dt; accuracy calls for dt well below the fastest node time constant
 // of interest (the server package uses 5 s).
 func (m *Model) Step(dt float64) {
+	m.stepCount.Inc()
 	t := m.clock
 	if m.FlowFunc != nil {
 		m.FlowM3s = m.FlowFunc(t)
@@ -324,6 +354,9 @@ func (m *Model) Step(dt float64) {
 	for _, st := range m.stations {
 		for _, at := range st.attachments {
 			if at.wax != nil {
+				if m.reg != nil {
+					at.wax.SetSimTime(m.clock)
+				}
 				q := heat[at.wax] // W from wax into air
 				at.wax.AddHeat(-q * dt)
 			}
@@ -385,6 +418,9 @@ func (m *Model) Run(duration, dt, sampleEvery float64, probes []Probe) (*Transie
 	if sampleEvery < dt {
 		sampleEvery = dt
 	}
+	sp := m.reg.StartSpan("thermal.run")
+	sp.AddSimTime(duration)
+	defer sp.End()
 	n := int(duration/sampleEvery) + 1
 	res := &TransientResult{}
 	for _, p := range probes {
@@ -435,6 +471,8 @@ func (m *Model) SolveSteadyState(tol float64, maxSweeps int) (int, error) {
 	if maxSweeps <= 0 {
 		maxSweeps = 10000
 	}
+	sp := m.reg.StartSpan("thermal.solve")
+	defer sp.End()
 	t := m.clock
 	if m.FlowFunc != nil {
 		m.FlowM3s = m.FlowFunc(t)
@@ -496,9 +534,15 @@ func (m *Model) SolveSteadyState(tol float64, maxSweeps int) (int, error) {
 			}
 		}
 		if maxDelta < tol {
+			m.solveCount.Inc()
+			m.solveSweeps.Observe(float64(sweep))
+			m.events.Record(m.clock, "thermal.solve", "", float64(sweep), maxDelta)
 			return sweep, nil
 		}
 	}
+	m.solveCount.Inc()
+	m.solveSweeps.Observe(float64(maxSweeps))
+	m.events.Record(m.clock, "thermal.solve_diverged", "", float64(maxSweeps), tol)
 	return maxSweeps, errors.New("thermal: steady state did not converge")
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/units"
 )
@@ -358,5 +359,64 @@ func BenchmarkModelStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step(5)
+	}
+}
+
+func TestInstrumentedModelCounts(t *testing.T) {
+	m, _, _ := singleNodeModel(t, 46)
+	reg := obs.New()
+	m.Instrument(reg)
+
+	sweeps, err := m.SolveSteadyState(1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Step(5)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["thermal.steps"]; got != 10 {
+		t.Errorf("thermal.steps = %d, want 10", got)
+	}
+	if got := snap.Counters["thermal.solves"]; got != 1 {
+		t.Errorf("thermal.solves = %d, want 1", got)
+	}
+	h := snap.Histograms["thermal.solve_sweeps"]
+	if h.Count != 1 {
+		t.Fatalf("solve_sweeps histogram count = %d, want 1", h.Count)
+	}
+	if h.Sum != float64(sweeps) {
+		t.Errorf("solve_sweeps sum = %v, want %v", h.Sum, float64(sweeps))
+	}
+	sp, ok := snap.Spans["thermal.solve"]
+	if !ok || sp.Count != 1 {
+		t.Errorf("thermal.solve span = %+v, want one recording", sp)
+	}
+	events := reg.Events().Events()
+	if len(events) != 1 || events[0].Kind != "thermal.solve" {
+		t.Fatalf("events = %+v, want one thermal.solve record", events)
+	}
+	if events[0].Value != float64(sweeps) {
+		t.Errorf("solve event value = %v, want sweep count %v", events[0].Value, float64(sweeps))
+	}
+}
+
+func TestInstrumentedRunRecordsThroughput(t *testing.T) {
+	m, n, _ := singleNodeModel(t, 46)
+	reg := obs.New()
+	m.Instrument(reg)
+	if _, err := m.Run(units.Hour, 5, 60, []Probe{{Name: "cpu", Node: n}}); err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := reg.Snapshot().Spans["thermal.run"]
+	if !ok || sp.Count != 1 {
+		t.Fatalf("thermal.run span = %+v, want one recording", sp)
+	}
+	if sp.SimSeconds != units.Hour {
+		t.Errorf("sim seconds = %v, want %v", sp.SimSeconds, units.Hour)
+	}
+	if sp.WallSeconds <= 0 || sp.SimPerWall <= 0 {
+		t.Errorf("throughput not recorded: wall=%v sim/wall=%v", sp.WallSeconds, sp.SimPerWall)
 	}
 }

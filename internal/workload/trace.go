@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/units"
 )
@@ -75,6 +76,9 @@ type Options struct {
 	// is unaffected. Zero (the default, and the paper's two-weekday
 	// trace) applies no weekend effect.
 	WeekendDamping float64
+	// Obs is the optional telemetry registry: generation is timed as a
+	// span and the resulting trace's normalization is recorded as gauges.
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -126,6 +130,9 @@ func Generate(opts Options) (*Trace, error) {
 	if opts.Days <= 0 {
 		return nil, fmt.Errorf("workload: non-positive day count %d", opts.Days)
 	}
+	sp := opts.Obs.StartSpan("workload.generate")
+	sp.AddSimTime(float64(opts.Days) * units.Day)
+	defer sp.End()
 	if opts.StepS <= 0 {
 		opts.StepS = 300
 	}
@@ -230,7 +237,21 @@ func Generate(opts Options) (*Trace, error) {
 			return nil, err
 		}
 	}
+	opts.Obs.Counter("workload.traces_generated").Inc()
+	Observe(tr, opts.Obs)
 	return tr, nil
+}
+
+// Observe records a trace's headline statistics (sample count, peak and
+// mean utilization) as gauges; a nil registry or trace is a no-op.
+func Observe(tr *Trace, reg *obs.Registry) {
+	if tr == nil || tr.Total == nil || reg == nil {
+		return
+	}
+	reg.Gauge("workload.trace_samples").Set(float64(tr.Total.Len()))
+	p, _ := tr.Total.Peak()
+	reg.Gauge("workload.trace_peak_util").Set(p)
+	reg.Gauge("workload.trace_mean_util").Set(tr.Total.Mean())
 }
 
 // GoogleTwoDay returns the paper's two-day evaluation trace with default
