@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|all
+//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|fleet|all
 //	      [-csv dir] [-optimize] [-json file]
+//	      [-fleet] [-fleet.mix 1U=13,2U=10,OCP=4] [-fleet.policy all] [-fleet.workers n]
 //	      [-metrics file] [-trace file] [-pprof addr]
 //
 // -exp also accepts a comma-separated list (e.g. -exp fig11,fig12);
@@ -12,6 +13,12 @@
 // -csv writes every series the experiment produces into the directory as
 // time,value CSV files. -optimize runs the melting-temperature search
 // instead of using the calibrated per-machine defaults.
+//
+// Fleet mode (-fleet, or -exp fleet) runs the heterogeneous-fleet
+// simulator: racks of mixed machine classes balanced by one or more
+// policies (roundrobin, leastloaded, thermal), stepped in parallel across
+// -fleet.workers workers. -fleet.mix sets the rack populations; prefix a
+// class tag with "nowax:" to strip that slice's PCM retrofit.
 //
 // Telemetry: -metrics writes the run's counters, gauges, histograms and
 // spans as JSON; -trace writes the simulation event log (PCM phase
@@ -32,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/report"
@@ -43,7 +51,7 @@ import (
 // this order regardless of how the user wrote them.
 var experimentOrder = []string{
 	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
-	"table2", "tco", "extensions", "waxsweep", "check",
+	"table2", "tco", "extensions", "fleet", "waxsweep", "check",
 }
 
 var runners = map[string]func(*core.Study, string) error{
@@ -56,9 +64,13 @@ var runners = map[string]func(*core.Study, string) error{
 	"table2":     runTable2,
 	"tco":        runTCO,
 	"extensions": runExtensions,
+	"fleet":      runFleet,
 	"waxsweep":   runWaxSweep,
 	"check":      runCheck,
 }
+
+// fleetSpec carries the -fleet.* flags into the fleet runner.
+var fleetSpec = core.DefaultFleetSpec()
 
 func main() {
 	exp := flag.String("exp", "all", "experiment (or comma-separated list): table1, fig4, fig7, fig10, fig11, fig12, table2, tco, extensions, waxsweep, check, or all")
@@ -68,10 +80,30 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write telemetry (counters, histograms, spans) as JSON to this file")
 	tracePath := flag.String("trace", "", "write the simulation event log as JSON Lines to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060) while running")
+	fleetMode := flag.Bool("fleet", false, "run the heterogeneous-fleet experiment (alone, or added to an explicit -exp list)")
+	fleetMix := flag.String("fleet.mix", "1U=13,2U=10,OCP=4", "fleet rack mix as tag=racks pairs; prefix a tag with nowax: to strip the retrofit")
+	fleetPolicies := flag.String("fleet.policy", "all", "comma-separated balancing policies: roundrobin, leastloaded, thermal, or all")
+	fleetWorkers := flag.Int("fleet.workers", 0, "fleet stepping workers (0 = one per CPU)")
 	flag.Parse()
 
-	names, err := selectExperiments(*exp, experimentOrder)
+	spec := *exp
+	if *fleetMode {
+		// -fleet alone means just the fleet experiment; with an explicit
+		// -exp it appends to the list instead.
+		expSet := false
+		flag.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
+		if expSet {
+			spec += ",fleet"
+		} else {
+			spec = "fleet"
+		}
+	}
+	names, err := selectExperiments(spec, experimentOrder)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttsim:", err)
+		os.Exit(2)
+	}
+	if fleetSpec, err = parseFleetFlags(*fleetMix, *fleetPolicies, *fleetWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "ttsim:", err)
 		os.Exit(2)
 	}
@@ -356,6 +388,44 @@ func runTCO(s *core.Study, _ string) error {
 			cool.AnnualCoolingSavingsUSD/1000, cool.ExtraServers, cool.RetrofitSavingsUSD/1e6)
 		fmt.Printf("  constrained: +%.0f%% peak throughput -> %.0f%% TCO efficiency improvement\n",
 			thr.PeakGain*100, thr.TCOEfficiencyImprovement*100)
+	}
+	return nil
+}
+
+// parseFleetFlags assembles the fleet spec from the -fleet.* flag values.
+func parseFleetFlags(mix, policies string, workers int) (core.FleetSpec, error) {
+	spec := core.FleetSpec{Workers: workers}
+	var err error
+	if spec.Mix, err = core.ParseFleetMix(mix); err != nil {
+		return spec, err
+	}
+	if p := strings.TrimSpace(policies); p != "" && p != "all" {
+		for _, name := range strings.Split(p, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				// Resolve aliases up front so a typo is a usage error
+				// (exit 2), not a mid-run failure.
+				pol, err := fleet.ParsePolicy(name)
+				if err != nil {
+					return spec, err
+				}
+				spec.Policies = append(spec.Policies, pol.Name())
+			}
+		}
+	}
+	return spec, nil
+}
+
+func runFleet(s *core.Study, csvDir string) error {
+	fmt.Println("== Fleet: heterogeneous racks, policy-balanced, sharded execution ==")
+	r, err := s.RunFleetStudy(fleetSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Fleet(r))
+	for _, p := range r.Policies {
+		if err := writeCSV(csvDir, "fleet_"+p.Policy, p.CoolingLoadW, "cooling_W"); err != nil {
+			return err
+		}
 	}
 	return nil
 }

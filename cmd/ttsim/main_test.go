@@ -53,6 +53,43 @@ func TestSelectExperimentsErrors(t *testing.T) {
 	}
 }
 
+func TestParseFleetFlags(t *testing.T) {
+	spec, err := parseFleetFlags("1U=2,nowax:2U=1", "thermal, rr", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMix := []core.FleetClass{
+		{Class: core.OneU, Racks: 2},
+		{Class: core.TwoU, Racks: 1, NoWax: true},
+	}
+	if !reflect.DeepEqual(spec.Mix, wantMix) {
+		t.Errorf("mix = %+v, want %+v", spec.Mix, wantMix)
+	}
+	// Aliases resolve to canonical names at parse time.
+	if !reflect.DeepEqual(spec.Policies, []string{"thermal", "roundrobin"}) {
+		t.Errorf("policies = %v", spec.Policies)
+	}
+	if spec.Workers != 4 {
+		t.Errorf("workers = %d", spec.Workers)
+	}
+	// "all" (and blank) mean every built-in policy: nil lets core decide.
+	for _, all := range []string{"all", "", "  "} {
+		spec, err = parseFleetFlags("OCP=1", all, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Policies != nil {
+			t.Errorf("policies for %q = %v, want nil", all, spec.Policies)
+		}
+	}
+	if _, err := parseFleetFlags("8U=2", "all", 0); err == nil {
+		t.Error("accepted unknown class tag")
+	}
+	if _, err := parseFleetFlags("1U=2", "bogus", 0); err == nil {
+		t.Error("accepted unknown policy name")
+	}
+}
+
 func TestWriteFilePropagatesErrors(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "out.txt")

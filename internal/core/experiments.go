@@ -173,15 +173,22 @@ type SweepResult struct {
 	Points []server.BlockagePoint
 }
 
-// RunBlockageSweeps reproduces Figure 7 for all three machines.
+// RunBlockageSweeps reproduces Figure 7 for all three machines. The
+// classes sweep concurrently on the shared pool; results come back in
+// Classes order no matter how the sweeps are scheduled.
 func (s *Study) RunBlockageSweeps() ([]SweepResult, error) {
-	var out []SweepResult
-	for _, m := range Classes {
+	out := make([]SweepResult, len(Classes))
+	err := parallelFor(len(Classes), func(i int) error {
+		m := Classes[i]
 		pts, err := server.BlockageSweep(m.Config(), server.DefaultBlockages())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SweepResult{Class: m, Points: pts})
+		out[i] = SweepResult{Class: m, Points: pts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

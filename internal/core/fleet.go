@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/dcsim"
+	"repro/internal/fleet"
+	"repro/internal/server"
+	"repro/internal/tco"
+	"repro/internal/timeseries"
+)
+
+// ---------------------------------------------------------------------------
+// Fleet experiment: the paper's §6 extrapolation generalized to a
+// heterogeneous, policy-balanced fleet (the `fleet` experiment / -fleet
+// mode of cmd/ttsim).
+
+// FleetClass is one slice of the fleet mix.
+type FleetClass struct {
+	Class MachineClass
+	Racks int
+	// NoWax strips the PCM retrofit from this slice (the default is the
+	// retrofit everywhere, which is what the paper evaluates).
+	NoWax bool
+}
+
+// FleetSpec configures the fleet experiment.
+type FleetSpec struct {
+	// Mix lists the rack populations in presentation order.
+	Mix []FleetClass
+	// Policies names the load balancers to compare (fleet.ParsePolicy
+	// spellings); empty runs every built-in policy.
+	Policies []string
+	// Workers bounds the stepping pool (0 = runtime.NumCPU()).
+	Workers int
+}
+
+// DefaultFleetSpec is a mixed fleet roughly one cluster deep per class:
+// all three machine populations share the floor, every rack retrofitted.
+func DefaultFleetSpec() FleetSpec {
+	return FleetSpec{
+		Mix: []FleetClass{
+			{Class: OneU, Racks: 13},
+			{Class: TwoU, Racks: 10},
+			{Class: OpenCompute, Racks: 4},
+		},
+	}
+}
+
+// ParseFleetMix parses a -fleet.mix flag value like "1U=13,2U=10,OCP=4"
+// (case-insensitive tags; an optional "nowax:" prefix on the tag strips
+// the retrofit, e.g. "nowax:2U=6").
+func ParseFleetMix(spec string) ([]FleetClass, error) {
+	var mix []FleetClass
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tag, count, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet mix entry %q: want tag=racks", part)
+		}
+		fc := FleetClass{}
+		tag = strings.TrimSpace(tag)
+		if rest, found := strings.CutPrefix(strings.ToLower(tag), "nowax:"); found {
+			fc.NoWax = true
+			tag = rest
+		}
+		switch strings.ToUpper(strings.TrimSpace(tag)) {
+		case "1U":
+			fc.Class = OneU
+		case "2U":
+			fc.Class = TwoU
+		case "OCP", "OPENCOMPUTE":
+			fc.Class = OpenCompute
+		default:
+			return nil, fmt.Errorf("fleet mix entry %q: unknown class tag (want 1U, 2U, OCP)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(count))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("fleet mix entry %q: rack count must be a positive integer", part)
+		}
+		fc.Racks = n
+		mix = append(mix, fc)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty fleet mix %q", spec)
+	}
+	return mix, nil
+}
+
+// FleetPolicyResult is the outcome of one policy over the fleet.
+type FleetPolicyResult struct {
+	Policy string
+	// CoolingLoadW is the wax run's fleet cooling-load trace.
+	CoolingLoadW *timeseries.Series
+	// PeakPowerW and PeakCoolingW are the wax run's fleet peaks.
+	PeakPowerW, PeakCoolingW float64
+	// BaselinePeakCoolingW is the same fleet and policy without wax.
+	BaselinePeakCoolingW float64
+	// PeakReduction is the wax peak shave under this policy.
+	PeakReduction float64
+	// HottestRackPeakW is the worst single-rack peak cooling load — the
+	// hotspot metric a fluid extrapolation cannot see.
+	HottestRackPeakW float64
+	// AnnualCoolingSavingsUSD prices the shave via the smaller cooling
+	// plant (Table 2 rates), and TCODeltaUSD is the same relative to the
+	// round-robin policy (what the balancer itself is worth).
+	AnnualCoolingSavingsUSD float64
+	TCODeltaUSD             float64
+	// ShedServerSeconds is unplaced work (0 for work-conserving policies).
+	ShedServerSeconds float64
+}
+
+// FleetResult is the fleet experiment outcome.
+type FleetResult struct {
+	Spec FleetSpec
+	// Racks and Servers describe the assembled fleet.
+	Racks, Servers int
+	// Workers is the resolved stepping-pool size.
+	Workers int
+	// Policies holds one entry per requested policy, in request order.
+	Policies []FleetPolicyResult
+	// Homogeneous reports whether the fleet is a single wax class — the
+	// regime in which round-robin must reproduce the fluid engine.
+	Homogeneous bool
+	// FluidPeakCoolingW and FluidDelta anchor the homogeneous round-robin
+	// fleet against the fluid engine's extrapolation (NaN when the fleet
+	// is heterogeneous or round-robin was not requested).
+	FluidPeakCoolingW, FluidDelta float64
+}
+
+// RunFleetStudy assembles the fleet, runs every requested policy (with
+// and without wax, so each policy prices its own peak shave), and — for a
+// homogeneous round-robin fleet — cross-checks the result against the
+// fluid engine, the §6 correctness anchor.
+func (s *Study) RunFleetStudy(spec FleetSpec) (*FleetResult, error) {
+	if len(spec.Mix) == 0 {
+		return nil, fmt.Errorf("core: fleet spec has no mix")
+	}
+	policies := spec.Policies
+	if len(policies) == 0 {
+		policies = fleet.Policies()
+	}
+	sp := s.Obs.StartSpan("core.fleet_study")
+	defer sp.End()
+
+	// Derive each class's ROM once and share it across every fleet build.
+	roms := make(map[MachineClass]*server.ROM)
+	classes := make([]fleet.ClassSpec, 0, len(spec.Mix))
+	for _, fc := range spec.Mix {
+		cfg := fc.Class.Config()
+		if cfg == nil {
+			return nil, fmt.Errorf("core: unknown machine class %v", fc.Class)
+		}
+		cs := fleet.ClassSpec{Cfg: cfg, Racks: fc.Racks, WithWax: !fc.NoWax}
+		if !fc.NoWax {
+			rom, ok := roms[fc.Class]
+			if !ok {
+				var err error
+				if rom, err = server.DeriveROMObserved(cfg, cfg.Wax.DefaultMeltC, s.Obs); err != nil {
+					return nil, err
+				}
+				roms[fc.Class] = rom
+			}
+			cs.ROM = rom
+		}
+		classes = append(classes, cs)
+	}
+
+	out := &FleetResult{
+		Spec:        spec,
+		Homogeneous: len(spec.Mix) == 1 && !spec.Mix[0].NoWax,
+		FluidDelta:  math.NaN(),
+	}
+
+	build := func(policy fleet.Policy, withWax bool) (*fleet.Run, *fleet.Fleet, error) {
+		cs := make([]fleet.ClassSpec, len(classes))
+		copy(cs, classes)
+		if !withWax {
+			for i := range cs {
+				cs[i].WithWax = false
+				cs[i].ROM = nil
+			}
+		}
+		f, err := fleet.New(fleet.Config{
+			Classes: cs, Policy: policy, Workers: spec.Workers, Obs: s.Obs,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := f.Run(s.Trace)
+		return run, f, err
+	}
+
+	for _, name := range policies {
+		policy, err := fleet.ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		wax, f, err := build(policy, true)
+		if err != nil {
+			return nil, err
+		}
+		base, _, err := build(policy, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Racks, out.Servers, out.Workers = f.Racks(), f.Servers(), f.Workers()
+		sp.AddSimTime(2 * (s.Trace.Total.End() - s.Trace.Total.Start))
+
+		pr := FleetPolicyResult{
+			Policy:            policy.Name(),
+			CoolingLoadW:      wax.CoolingLoadW,
+			ShedServerSeconds: wax.ShedServerSeconds,
+		}
+		pr.PeakPowerW, _ = wax.PowerW.Peak()
+		pr.PeakCoolingW, _ = wax.CoolingLoadW.Peak()
+		pr.BaselinePeakCoolingW, _ = base.CoolingLoadW.Peak()
+		if pr.BaselinePeakCoolingW > 0 {
+			pr.PeakReduction = 1 - pr.PeakCoolingW/pr.BaselinePeakCoolingW
+		}
+		for _, p := range wax.RackPeakCoolingW {
+			if p > pr.HottestRackPeakW {
+				pr.HottestRackPeakW = p
+			}
+		}
+		savings, err := tco.SmallerCoolingSystem(s.TCO, s.CriticalPowerKW, f.Servers(), pr.PeakReduction)
+		if err != nil {
+			return nil, err
+		}
+		pr.AnnualCoolingSavingsUSD = savings.AnnualUSD
+		out.Policies = append(out.Policies, pr)
+
+		if out.Homogeneous && pr.Policy == "roundrobin" {
+			cfg := spec.Mix[0].Class.Config()
+			cluster := &dcsim.Cluster{
+				Cfg: cfg, ROM: roms[spec.Mix[0].Class], N: f.Servers(), Obs: s.Obs,
+			}
+			fluid, err := cluster.RunCoolingLoad(s.Trace, true)
+			if err != nil {
+				return nil, err
+			}
+			out.FluidPeakCoolingW, _ = fluid.CoolingLoadW.Peak()
+			if out.FluidPeakCoolingW > 0 {
+				out.FluidDelta = math.Abs(pr.PeakCoolingW-out.FluidPeakCoolingW) / out.FluidPeakCoolingW
+			}
+		}
+	}
+
+	// The balancer's own worth: annual savings relative to round robin
+	// (zero when round robin was not part of the comparison).
+	for i := range out.Policies {
+		if out.Policies[i].Policy != "roundrobin" {
+			continue
+		}
+		rr := out.Policies[i].AnnualCoolingSavingsUSD
+		for j := range out.Policies {
+			out.Policies[j].TCODeltaUSD = out.Policies[j].AnnualCoolingSavingsUSD - rr
+		}
+		break
+	}
+	return out, nil
+}

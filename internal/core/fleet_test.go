@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tco"
+	"repro/internal/workload"
+)
+
+// fleetTestStudy is a study over a short one-day trace so the fleet
+// experiment tests stay fast.
+func fleetTestStudy(t *testing.T) *Study {
+	t.Helper()
+	tr, err := workload.Generate(workload.Options{
+		Days: 1, StepS: 600, Seed: 11, MeanUtil: 0.5, PeakUtil: 0.95, NoiseAmp: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Study{Trace: tr, TCO: tco.PaperParams(), CriticalPowerKW: 10000}
+}
+
+func TestParseFleetMix(t *testing.T) {
+	mix, err := ParseFleetMix("1U=13, 2u=10, ocp=4, nowax:1U=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FleetClass{
+		{Class: OneU, Racks: 13},
+		{Class: TwoU, Racks: 10},
+		{Class: OpenCompute, Racks: 4},
+		{Class: OneU, Racks: 2, NoWax: true},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("parsed %d entries, want %d", len(mix), len(want))
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "1U", "1U=0", "1U=-3", "1U=x", "4U=2", " , "} {
+		if _, err := ParseFleetMix(bad); err == nil {
+			t.Errorf("ParseFleetMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFleetStudyHomogeneousAnchor(t *testing.T) {
+	s := fleetTestStudy(t)
+	r, err := s.RunFleetStudy(FleetSpec{
+		Mix:      []FleetClass{{Class: OneU, Racks: 3}},
+		Policies: []string{"roundrobin", "thermal"},
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Homogeneous {
+		t.Error("single wax class not flagged homogeneous")
+	}
+	if r.Servers != 3*OneU.Config().ServersPerRack {
+		t.Errorf("servers = %d", r.Servers)
+	}
+	if math.IsNaN(r.FluidDelta) {
+		t.Fatal("homogeneous round-robin fleet has no fluid anchor")
+	}
+	if r.FluidDelta > 0.005 {
+		t.Errorf("fleet vs fluid peak delta %.5f, want < 0.5%%", r.FluidDelta)
+	}
+	if len(r.Policies) != 2 {
+		t.Fatalf("got %d policy results", len(r.Policies))
+	}
+	for _, p := range r.Policies {
+		if p.PeakReduction <= 0 {
+			t.Errorf("policy %s: wax produced no peak shave (%v)", p.Policy, p.PeakReduction)
+		}
+		if p.CoolingLoadW == nil || p.CoolingLoadW.Len() != s.Trace.Total.Len() {
+			t.Errorf("policy %s: missing cooling trace", p.Policy)
+		}
+		if p.ShedServerSeconds != 0 {
+			t.Errorf("policy %s shed %v server-seconds on an unsaturated fleet", p.Policy, p.ShedServerSeconds)
+		}
+	}
+	// Identical thermal state across a homogeneous fleet: thermal must
+	// equal round robin, so its TCO delta is ~zero.
+	if rr := r.Policies[0]; rr.TCODeltaUSD != 0 {
+		t.Errorf("round robin's own TCO delta = %v, want 0", rr.TCODeltaUSD)
+	}
+}
+
+func TestRunFleetStudyMixed(t *testing.T) {
+	s := fleetTestStudy(t)
+	r, err := s.RunFleetStudy(FleetSpec{
+		Mix: []FleetClass{
+			{Class: OneU, Racks: 3},
+			{Class: OneU, Racks: 2, NoWax: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Homogeneous {
+		t.Error("mixed wax/no-wax fleet flagged homogeneous")
+	}
+	if !math.IsNaN(r.FluidDelta) {
+		t.Error("heterogeneous fleet reported a fluid anchor")
+	}
+	if len(r.Policies) != 3 {
+		t.Fatalf("default policy set ran %d policies, want 3", len(r.Policies))
+	}
+	for _, p := range r.Policies {
+		if p.HottestRackPeakW <= 0 {
+			t.Errorf("policy %s: no hottest-rack metric", p.Policy)
+		}
+	}
+	if _, err := s.RunFleetStudy(FleetSpec{}); err == nil {
+		t.Error("accepted empty fleet spec")
+	}
+	if _, err := s.RunFleetStudy(FleetSpec{
+		Mix:      []FleetClass{{Class: OneU, Racks: 1}},
+		Policies: []string{"bogus"},
+	}); err == nil {
+		t.Error("accepted unknown policy name")
+	}
+}

@@ -59,14 +59,26 @@ func OptimizeMeltingTemperature(cfg *server.Config, tr *workload.Trace) (*MeltOp
 	}
 
 	bestC, bestPeak := 0.0, math.Inf(1)
+	// Each scan evaluates all its candidates concurrently on the shared
+	// pool, then reduces sequentially in ascending melting temperature —
+	// the strict < keeps the lowest-temperature tie-break of the old
+	// serial loop, so the answer is independent of scheduling.
 	scan := func(lo, hi, step float64) error {
+		var ms []float64
 		for m := lo; m <= hi+1e-9; m += step {
-			p, err := evaluate(m)
-			if err != nil {
-				return err
-			}
+			ms = append(ms, m)
+		}
+		peaks := make([]float64, len(ms))
+		if err := parallelFor(len(ms), func(i int) error {
+			p, err := evaluate(ms[i])
+			peaks[i] = p
+			return err
+		}); err != nil {
+			return err
+		}
+		for i, p := range peaks {
 			if p < bestPeak {
-				bestC, bestPeak = m, p
+				bestC, bestPeak = ms[i], p
 			}
 		}
 		return nil

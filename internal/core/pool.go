@@ -1,0 +1,43 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// poolSem bounds how many expensive model evaluations run at once across
+// the package. The blockage sweeps and the melting-point optimizer both
+// fan out through it, so stacked experiments cannot oversubscribe the
+// machine. Bodies passed to parallelFor must not call parallelFor
+// themselves: a full pool of holders waiting on nested acquisitions would
+// deadlock.
+var poolSem = make(chan struct{}, runtime.NumCPU())
+
+// parallelFor runs fn(0..n-1) on the shared bounded pool and blocks until
+// all complete. Each fn writes results at its own index, so output order
+// is independent of scheduling; the returned error is the lowest-index
+// failure, again deterministic regardless of which goroutine lost the
+// race.
+func parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			poolSem <- struct{}{}
+			defer func() { <-poolSem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

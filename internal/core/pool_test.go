@@ -1,0 +1,42 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParallelFor(t *testing.T) {
+	// Results land at their own index regardless of scheduling.
+	out := make([]int, 100)
+	if err := parallelFor(len(out), func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	// The reported error is the lowest failing index, deterministically.
+	errA, errB := errors.New("a"), errors.New("b")
+	if err := parallelFor(50, func(i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 31:
+			return errB
+		}
+		return nil
+	}); err != errA {
+		t.Errorf("got %v, want lowest-index error %v", err, errA)
+	}
+	// Empty and negative ranges are no-ops.
+	if err := parallelFor(0, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Error(err)
+	}
+	if err := parallelFor(-3, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package dcsim
+
+import (
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// BenchmarkFluidCoolingLoad measures the fluid engine's per-step cost with
+// the ROM derivation hoisted out of the timed region — the inner loop the
+// fleet simulator multiplies by rack count.
+func BenchmarkFluidCoolingLoad(b *testing.B) {
+	c, err := NewCluster(server.OneU(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := workload.GoogleTwoDay()
+	for _, variant := range []struct {
+		name    string
+		withWax bool
+	}{{"baseline", false}, {"wax", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunCoolingLoad(tr, variant.withWax); err != nil {
+					b.Fatal(err)
+				}
+			}
+			steps := float64(tr.Total.Len()) * float64(b.N)
+			b.ReportMetric(steps/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
+}

@@ -65,6 +65,9 @@ func (c *Cluster) RunConstrainedCRAC(tr *workload.Trace, opts CRACOptions, withW
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if err := c.checkPopulation(); err != nil {
+		return nil, err
+	}
 	if tr == nil || tr.Total.Len() == 0 {
 		return nil, errors.New("dcsim: empty trace")
 	}

@@ -116,6 +116,37 @@ func TestRunCoolingLoadValidation(t *testing.T) {
 	}
 }
 
+func TestClusterPopulationValidation(t *testing.T) {
+	// The constructor rejects configs whose cluster size was zeroed out
+	// instead of building a cluster that fails (or silently scales by 0)
+	// at run time.
+	cfg := server.OneU()
+	cfg.ClusterSize = 0
+	if _, err := NewCluster(cfg, 0); err == nil {
+		t.Error("NewCluster accepted zero cluster size")
+	}
+	cfg.ClusterSize = -7
+	if _, err := NewClusterObserved(cfg, 0, nil); err == nil {
+		t.Error("NewClusterObserved accepted negative cluster size")
+	}
+	// Hand-assembled clusters (the fields are exported for that) are
+	// rejected by every run entry point, not just RunCoolingLoad.
+	good := testCluster(t, server.OneU())
+	tr := workload.GoogleTwoDay()
+	for _, n := range []int{0, -5} {
+		bad := &Cluster{Cfg: good.Cfg, ROM: good.ROM, N: n}
+		if _, err := bad.RunCoolingLoad(tr, true); err == nil {
+			t.Errorf("RunCoolingLoad accepted N=%d", n)
+		}
+		if _, err := bad.RunConstrained(tr, 1e6); err == nil {
+			t.Errorf("RunConstrained accepted N=%d", n)
+		}
+		if _, err := bad.RunConstrainedCRAC(tr, cracFor(good.Cfg, good, 50), true); err == nil {
+			t.Errorf("RunConstrainedCRAC accepted N=%d", n)
+		}
+	}
+}
+
 func TestConstrainedRunShapes(t *testing.T) {
 	cfg := server.TwoU()
 	c := testCluster(t, cfg)

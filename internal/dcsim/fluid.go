@@ -61,6 +61,16 @@ func NewClusterObserved(cfg *server.Config, meltC float64, reg *obs.Registry) (*
 	return &Cluster{Cfg: cfg, ROM: rom, N: cfg.ClusterSize, Obs: reg}, nil
 }
 
+// checkPopulation rejects a hand-built Cluster whose population was left
+// unset (the constructors copy it from the config, but the fields are
+// exported precisely so callers can assemble clusters directly).
+func (c *Cluster) checkPopulation() error {
+	if c.N <= 0 {
+		return fmt.Errorf("dcsim: non-positive cluster population %d", c.N)
+	}
+	return nil
+}
+
 // CoolingRun is the outcome of a fully-subscribed cooling-load simulation
 // (the Figure 11 experiment).
 type CoolingRun struct {
@@ -79,8 +89,8 @@ type CoolingRun struct {
 // system fully subscribed (no thermal limit). withWax selects whether the
 // servers carry their PCM retrofit.
 func (c *Cluster) RunCoolingLoad(tr *workload.Trace, withWax bool) (*CoolingRun, error) {
-	if c.N <= 0 {
-		return nil, fmt.Errorf("dcsim: cluster population %d", c.N)
+	if err := c.checkPopulation(); err != nil {
+		return nil, err
 	}
 	if tr == nil || tr.Total.Len() == 0 {
 		return nil, errors.New("dcsim: empty trace")
@@ -187,6 +197,9 @@ func (c *Cluster) RunConstrainedOpts(tr *workload.Trace, opts ConstrainedOptions
 	limitW := opts.LimitW
 	if limitW <= 0 {
 		return nil, fmt.Errorf("dcsim: non-positive thermal limit %v", limitW)
+	}
+	if err := c.checkPopulation(); err != nil {
+		return nil, err
 	}
 	if tr == nil || tr.Total.Len() == 0 {
 		return nil, errors.New("dcsim: empty trace")

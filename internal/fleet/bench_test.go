@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// BenchmarkFleetEpochs measures the sharded epoch loop end to end (ROM
+// derivation excluded) at several worker counts, reporting epoch
+// throughput. `go test -bench=FleetEpochs` compares scaling.
+func BenchmarkFleetEpochs(b *testing.B) {
+	rom, err := server.DeriveROM(server.OneU(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := testTrace(b)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=numcpu"
+		}
+		b.Run(name, func(b *testing.B) {
+			f, err := New(Config{
+				Classes: []ClassSpec{
+					{Cfg: server.OneU(), Racks: 24, WithWax: true, ROM: rom},
+					{Cfg: server.OneU(), Racks: 8},
+				},
+				Policy:  ThermalAware{},
+				Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run, err := f.Run(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = run
+			}
+			epochs := float64(tr.Total.Len()) * float64(b.N)
+			b.ReportMetric(epochs/b.Elapsed().Seconds(), "epochs/s")
+		})
+	}
+}

@@ -1,0 +1,365 @@
+// Package fleet simulates a heterogeneous, thermally-aware datacenter
+// fleet: racks of mixed server classes (wax-retrofitted and not), each
+// rack advancing its own PCM state along a shared utilization trace, with
+// a pluggable load-balancing policy deciding every rack's share of the
+// work each epoch.
+//
+// The fluid engine in internal/dcsim performs the paper's §6
+// extrapolation: one representative server multiplied out to the cluster.
+// That construction cannot express heterogeneous populations, skewed load
+// balancing, or placement that reacts to thermal state. This package
+// composes the same per-server physics (the server ROM plus the PCM
+// enthalpy state machine) into N racks with independent wax state so
+// those effects become simulable. When the fleet is homogeneous and the
+// policy is round-robin it reduces to the fluid engine — tests pin that
+// equivalence, which anchors the new layer to the validated one.
+//
+// Execution is sharded: racks are partitioned into contiguous shards, one
+// per worker in a bounded pool (runtime.NumCPU() by default). Every trace
+// step is an epoch in lockstep: the balancer runs sequentially against a
+// consistent fleet snapshot frozen at the previous epoch's barrier, the
+// workers step their shards concurrently, and a barrier closes the epoch
+// before per-rack outputs are merged in rack-index order. Per-rack state
+// is owned by exactly one worker and the merge order is fixed, so results
+// are bit-identical regardless of the worker count.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/pcm"
+	"repro/internal/server"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// ClassSpec describes one population of identical racks.
+type ClassSpec struct {
+	// Cfg is the server configuration; its ServersPerRack fixes the rack
+	// population.
+	Cfg *server.Config
+	// Racks is the number of racks of this class; must be positive.
+	Racks int
+	// WithWax selects the PCM retrofit for this class's racks.
+	WithWax bool
+	// MeltC is the wax melting temperature (0 = the config default); only
+	// consulted when a ROM has to be derived.
+	MeltC float64
+	// ROM optionally supplies a pre-derived reduced-order model so the
+	// expensive derivation can be shared across fleets of the same class.
+	// Nil derives one when WithWax is set.
+	ROM *server.ROM
+}
+
+// Config assembles a fleet.
+type Config struct {
+	Classes []ClassSpec
+	// Policy splits demand across racks; nil defaults to RoundRobin.
+	Policy Policy
+	// Workers bounds the stepping pool: 0 selects runtime.NumCPU(), and
+	// the pool never exceeds the rack count. Negative is rejected.
+	Workers int
+	// Obs is the optional telemetry registry; nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
+}
+
+// rackSpec is the immutable description of one rack.
+type rackSpec struct {
+	class   int
+	servers int
+	cfg     *server.Config
+	rom     *server.ROM // nil when the rack carries no wax
+}
+
+// Fleet is a validated, ROM-derived fleet ready to run. A Fleet is
+// immutable after New: every Run creates fresh per-rack wax state, so
+// runs are independent and a single Fleet may be reused.
+type Fleet struct {
+	classes []ClassSpec
+	racks   []rackSpec
+	policy  Policy
+	workers int
+	servers int
+	reg     *obs.Registry
+}
+
+// New validates the configuration, derives any missing ROMs, and lays the
+// racks out class-major (every rack of class 0, then class 1, ...).
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Classes) == 0 {
+		return nil, errors.New("fleet: no classes configured")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("fleet: negative worker count %d", cfg.Workers)
+	}
+	f := &Fleet{classes: cfg.Classes, policy: cfg.Policy, reg: cfg.Obs}
+	if f.policy == nil {
+		f.policy = RoundRobin{}
+	}
+	f.workers = cfg.Workers
+	if f.workers == 0 {
+		f.workers = runtime.NumCPU()
+	}
+	for ci, cl := range cfg.Classes {
+		if cl.Cfg == nil {
+			return nil, fmt.Errorf("fleet: class %d has no server config", ci)
+		}
+		if cl.Racks <= 0 {
+			return nil, fmt.Errorf("fleet: class %d (%s): non-positive rack count %d",
+				ci, cl.Cfg.Name, cl.Racks)
+		}
+		if err := cl.Cfg.Validate(); err != nil {
+			return nil, err
+		}
+		rom := cl.ROM
+		if cl.WithWax && rom == nil {
+			var err error
+			if rom, err = server.DeriveROMObserved(cl.Cfg, cl.MeltC, cfg.Obs); err != nil {
+				return nil, err
+			}
+		}
+		if !cl.WithWax {
+			rom = nil
+		}
+		for r := 0; r < cl.Racks; r++ {
+			f.racks = append(f.racks, rackSpec{
+				class:   ci,
+				servers: cl.Cfg.ServersPerRack,
+				cfg:     cl.Cfg,
+				rom:     rom,
+			})
+		}
+		f.servers += cl.Racks * cl.Cfg.ServersPerRack
+	}
+	if f.workers > len(f.racks) {
+		f.workers = len(f.racks)
+	}
+	return f, nil
+}
+
+// Racks returns the fleet's rack count.
+func (f *Fleet) Racks() int { return len(f.racks) }
+
+// Servers returns the fleet's total server population.
+func (f *Fleet) Servers() int { return f.servers }
+
+// Workers returns the resolved stepping-pool size.
+func (f *Fleet) Workers() int { return f.workers }
+
+// Run is the outcome of one fleet simulation.
+type Run struct {
+	// PowerW is the fleet electrical draw (= raw heat generation), W.
+	PowerW *timeseries.Series
+	// CoolingLoadW is the heat the cooling system must remove: power
+	// minus wax absorption plus wax release, summed over the racks.
+	CoolingLoadW *timeseries.Series
+	// WaxLiquid is the server-weighted mean liquid fraction across the
+	// wax racks (all zeros when the fleet carries none).
+	WaxLiquid *timeseries.Series
+	// AbsorbedJ and ReleasedJ total the wax energy flows over the run.
+	AbsorbedJ, ReleasedJ float64
+	// RackPeakCoolingW is each rack's own peak cooling load, in rack
+	// order — the per-rack hotspot view the fluid engine cannot produce.
+	RackPeakCoolingW []float64
+	// ShedServerSeconds accumulates demanded work the policy could not
+	// place (fleet saturated), in server-seconds.
+	ShedServerSeconds float64
+	// Policy and Workers record how the run was executed.
+	Policy  string
+	Workers int
+}
+
+// epochBuf holds the per-rack scratch written by the shard workers during
+// one epoch and read back by the merge step after the barrier.
+type epochBuf struct {
+	assign   []float64 // balancer output, read-only during the epoch
+	powerW   []float64
+	coolingW []float64
+	liquid   []float64
+	absorbed []float64 // accumulated across epochs, rack-local
+	released []float64
+}
+
+// Run advances the fleet along the trace. The trace's Total series is the
+// fleet-wide demand as a fraction of total capacity.
+func (f *Fleet) Run(tr *workload.Trace) (*Run, error) {
+	if tr == nil || tr.Total == nil || tr.Total.Len() == 0 {
+		return nil, errors.New("fleet: empty trace")
+	}
+	n := tr.Total.Len()
+	dt := tr.Total.Step
+	duration := tr.Total.End() - tr.Total.Start
+	sp := f.reg.StartSpan("fleet.run")
+	sp.AddSimTime(duration)
+	defer sp.End()
+	epochs := f.reg.Counter("fleet.epochs")
+	rackSteps := f.reg.Counter("fleet.rack_steps")
+	shedCounter := f.reg.Counter("fleet.shed_epochs")
+	observed := f.reg != nil
+
+	out := &Run{
+		Policy:           f.policy.Name(),
+		Workers:          f.workers,
+		RackPeakCoolingW: make([]float64, len(f.racks)),
+	}
+	var err error
+	if out.PowerW, err = timeseries.New(tr.Total.Start, dt, n); err != nil {
+		return nil, err
+	}
+	out.CoolingLoadW = out.PowerW.Clone()
+	out.WaxLiquid = out.PowerW.Clone()
+
+	nr := len(f.racks)
+	buf := &epochBuf{
+		assign:   make([]float64, nr),
+		powerW:   make([]float64, nr),
+		coolingW: make([]float64, nr),
+		liquid:   make([]float64, nr),
+		absorbed: make([]float64, nr),
+		released: make([]float64, nr),
+	}
+	waxes := make([]*pcm.State, nr)
+	views := make([]RackView, nr)
+	latent := make([]float64, nr)
+	for i, rk := range f.racks {
+		views[i] = RackView{Class: rk.class, Servers: rk.servers}
+		if rk.rom == nil {
+			continue
+		}
+		if waxes[i], err = rk.rom.NewWaxState(); err != nil {
+			return nil, err
+		}
+		waxes[i].Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, i))
+		latent[i] = rk.rom.LatentCapacity()
+		views[i].HasWax = true
+		views[i].WaxRemaining = remainingFraction(waxes[i], latent[i])
+	}
+
+	// Shards: contiguous rack ranges, one persistent worker each. The
+	// two-channel handshake (jobs in, WaitGroup out) is the epoch barrier.
+	type shard struct{ lo, hi int }
+	shards := make([]shard, f.workers)
+	jobs := make([]chan int, f.workers)
+	for s := range shards {
+		shards[s] = shard{lo: s * nr / f.workers, hi: (s + 1) * nr / f.workers}
+		jobs[s] = make(chan int, 1)
+	}
+	var wg sync.WaitGroup       // per-epoch barrier
+	var workerWG sync.WaitGroup // worker lifetimes
+	workerWG.Add(len(shards))
+	for s := range shards {
+		go func(sh shard, job <-chan int) {
+			defer workerWG.Done()
+			wsp := f.reg.StartSpan("fleet.shard")
+			defer wsp.End()
+			steps := int64(sh.hi - sh.lo)
+			for ei := range job {
+				t := tr.Total.TimeAt(ei)
+				for r := sh.lo; r < sh.hi; r++ {
+					f.stepRack(r, t, dt, buf, waxes, observed)
+				}
+				rackSteps.Add(steps)
+				wsp.AddSimTime(dt)
+				wg.Done()
+			}
+		}(shards[s], jobs[s])
+	}
+	defer func() {
+		for _, job := range jobs {
+			close(job)
+		}
+		workerWG.Wait()
+	}()
+
+	fleetCap := float64(f.servers)
+	for i := 0; i < n; i++ {
+		demand := tr.Total.Values[i]
+		f.policy.Assign(demand, views, buf.assign)
+		placed := 0.0
+		for r := range buf.assign {
+			buf.assign[r] = clamp01(buf.assign[r])
+			placed += buf.assign[r] * float64(f.racks[r].servers)
+		}
+		if shed := clamp01(demand)*fleetCap - placed; shed > 1e-9 {
+			out.ShedServerSeconds += shed * dt
+			shedCounter.Inc()
+		}
+
+		wg.Add(len(shards))
+		for s := range shards {
+			jobs[s] <- i
+		}
+		wg.Wait()
+		epochs.Inc()
+
+		// Merge in rack-index order: fixed summation order keeps the
+		// result independent of how racks were sharded.
+		var power, load, liq, liqServers float64
+		for r := 0; r < nr; r++ {
+			power += buf.powerW[r]
+			load += buf.coolingW[r]
+			if buf.coolingW[r] > out.RackPeakCoolingW[r] {
+				out.RackPeakCoolingW[r] = buf.coolingW[r]
+			}
+			if waxes[r] != nil {
+				srv := float64(f.racks[r].servers)
+				liq += buf.liquid[r] * srv
+				liqServers += srv
+				views[r].WaxRemaining = remainingFraction(waxes[r], latent[r])
+			}
+			views[r].Utilization = buf.assign[r]
+		}
+		out.PowerW.Values[i] = power
+		out.CoolingLoadW.Values[i] = load
+		if liqServers > 0 {
+			out.WaxLiquid.Values[i] = liq / liqServers
+		}
+	}
+	for r := 0; r < nr; r++ {
+		out.AbsorbedJ += buf.absorbed[r]
+		out.ReleasedJ += buf.released[r]
+	}
+	return out, nil
+}
+
+// stepRack advances one rack by one epoch: the same per-server physics as
+// the fluid engine (power at the assigned utilization; wax exchanging
+// heat with the ROM's wake air), scaled by the rack population. Called
+// only by the worker owning the rack's shard.
+func (f *Fleet) stepRack(r int, t, dt float64, buf *epochBuf, waxes []*pcm.State, observed bool) {
+	rk := &f.racks[r]
+	u := buf.assign[r]
+	scale := float64(rk.servers)
+	power := rk.cfg.PowerAt(u, 1)
+	coolingPerServer := power
+	if wax := waxes[r]; wax != nil {
+		if observed {
+			wax.SetSimTime(t)
+		}
+		wake := rk.rom.WakeAirC(u, 1)
+		q := wax.ExchangeWithAir(wake, rk.rom.HA, dt) // J absorbed from air, per server
+		coolingPerServer = power - q/dt
+		if q > 0 {
+			buf.absorbed[r] += q * scale
+		} else {
+			buf.released[r] -= q * scale
+		}
+		buf.liquid[r] = wax.LiquidFraction()
+	}
+	buf.powerW[r] = power * scale
+	buf.coolingW[r] = coolingPerServer * scale
+}
+
+// remainingFraction is the unspent latent capacity fraction of one wax
+// state.
+func remainingFraction(wax *pcm.State, latentJ float64) float64 {
+	if latentJ <= 0 {
+		return 0
+	}
+	return clamp01(wax.RemainingLatent() / latentJ)
+}

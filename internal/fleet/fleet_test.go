@@ -1,0 +1,335 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dcsim"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// testROM derives the 1U ROM once for the whole package: the derivation
+// dominates test wall time, and every fleet test can share it.
+var (
+	romOnce sync.Once
+	romVal  *server.ROM
+	romErr  error
+)
+
+func testROM(t testing.TB) *server.ROM {
+	t.Helper()
+	romOnce.Do(func() {
+		romVal, romErr = server.DeriveROM(server.OneU(), 0)
+	})
+	if romErr != nil {
+		t.Fatalf("derive ROM: %v", romErr)
+	}
+	return romVal
+}
+
+// testTrace is a short one-day trace so runs stay fast.
+func testTrace(t testing.TB) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.Options{
+		Days: 1, StepS: 600, Seed: 7, MeanUtil: 0.5, PeakUtil: 0.95, NoiseAmp: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted empty class list")
+	}
+	if _, err := New(Config{Classes: []ClassSpec{{Cfg: nil, Racks: 1}}}); err == nil {
+		t.Error("accepted nil server config")
+	}
+	for _, racks := range []int{0, -3} {
+		if _, err := New(Config{Classes: []ClassSpec{{Cfg: server.OneU(), Racks: racks}}}); err == nil {
+			t.Errorf("accepted non-positive rack count %d", racks)
+		}
+	}
+	bad := server.OneU()
+	bad.ServersPerRack = 0
+	if _, err := New(Config{Classes: []ClassSpec{{Cfg: bad, Racks: 1}}}); err == nil {
+		t.Error("accepted zero servers per rack")
+	}
+	if _, err := New(Config{
+		Classes: []ClassSpec{{Cfg: server.OneU(), Racks: 1}},
+		Workers: -1,
+	}); err == nil {
+		t.Error("accepted negative worker count")
+	}
+	// A valid wax-free fleet needs no ROM derivation.
+	f, err := New(Config{Classes: []ClassSpec{{Cfg: server.OneU(), Racks: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Racks() != 3 || f.Servers() != 3*server.OneU().ServersPerRack {
+		t.Errorf("fleet layout racks=%d servers=%d", f.Racks(), f.Servers())
+	}
+	if f.Workers() < 1 || f.Workers() > 3 {
+		t.Errorf("worker pool %d outside [1, racks]", f.Workers())
+	}
+	if _, err := f.Run(nil); err == nil {
+		t.Error("accepted nil trace")
+	}
+}
+
+func TestRoundRobinAssign(t *testing.T) {
+	views := []RackView{{Servers: 40}, {Servers: 20}, {Servers: 96}}
+	out := make([]float64, len(views))
+	RoundRobin{}.Assign(0.7, views, out)
+	for i, u := range out {
+		if u != 0.7 {
+			t.Errorf("rack %d utilization %v, want 0.7", i, u)
+		}
+	}
+	RoundRobin{}.Assign(1.8, views, out)
+	for i, u := range out {
+		if u != 1 {
+			t.Errorf("rack %d utilization %v after clamping, want 1", i, u)
+		}
+	}
+}
+
+func TestLeastLoadedEqualJobCount(t *testing.T) {
+	// 10-server rack and 90-server rack, demand 0.5: 50 server-units of
+	// work split as equal job counts of 25 each; the small rack saturates
+	// and its overflow spills onto the big one.
+	views := []RackView{{Servers: 10}, {Servers: 90}}
+	out := make([]float64, 2)
+	LeastLoaded{}.Assign(0.5, views, out)
+	if out[0] != 1 {
+		t.Errorf("small rack utilization %v, want saturated at 1", out[0])
+	}
+	if want := 40.0 / 90.0; math.Abs(out[1]-want) > 1e-12 {
+		t.Errorf("large rack utilization %v, want %v", out[1], want)
+	}
+	placed := out[0]*10 + out[1]*90
+	if math.Abs(placed-50) > 1e-9 {
+		t.Errorf("placed %v server-units, want 50 (work conservation)", placed)
+	}
+	// Homogeneous fleet: reduces to round robin.
+	views = []RackView{{Servers: 40}, {Servers: 40}}
+	LeastLoaded{}.Assign(0.6, views, out)
+	if out[0] != out[1] || math.Abs(out[0]-0.6) > 1e-12 {
+		t.Errorf("homogeneous least-loaded = %v, want uniform 0.6", out)
+	}
+}
+
+func TestThermalAwareSkewsTowardHeadroom(t *testing.T) {
+	views := []RackView{
+		{Servers: 40, HasWax: true, WaxRemaining: 1},
+		{Servers: 40, HasWax: true, WaxRemaining: 0},
+	}
+	out := make([]float64, 2)
+	ThermalAware{}.Assign(0.5, views, out)
+	if out[0] <= out[1] {
+		t.Errorf("charged rack got %v, exhausted rack %v; want load steered toward headroom", out[0], out[1])
+	}
+	placed := (out[0] + out[1]) * 40
+	if math.Abs(placed-40) > 1e-9 {
+		t.Errorf("placed %v server-units, want 40 (work conservation)", placed)
+	}
+	// Identical states: reduces exactly to round robin.
+	views[1].WaxRemaining = 1
+	ThermalAware{}.Assign(0.5, views, out)
+	if out[0] != 0.5 || out[1] != 0.5 {
+		t.Errorf("identical-state thermal assignment %v, want uniform 0.5", out)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"roundrobin": "roundrobin", "rr": "roundrobin", "uniform": "roundrobin",
+		"leastloaded": "leastloaded", "leastutil": "leastloaded",
+		"thermal": "thermal", "Thermal-Aware": "thermal",
+	} {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
+// shortPolicy deliberately places only half the demand, to exercise the
+// shed-work accounting.
+type shortPolicy struct{}
+
+func (shortPolicy) Name() string { return "short" }
+func (shortPolicy) Assign(demand float64, racks []RackView, out []float64) {
+	for i := range racks {
+		out[i] = demand / 2
+	}
+}
+
+func TestShedAccounting(t *testing.T) {
+	f, err := New(Config{
+		Classes: []ClassSpec{{Cfg: server.OneU(), Racks: 2}},
+		Policy:  shortPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := f.Run(testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ShedServerSeconds <= 0 {
+		t.Error("under-placing policy shed no work")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	rom := testROM(t)
+	tr := testTrace(t)
+	mix := []ClassSpec{
+		{Cfg: server.OneU(), Racks: 5, WithWax: true, ROM: rom},
+		{Cfg: server.OneU(), Racks: 3}, // no wax: heterogeneous thermal state
+	}
+	var runs []*Run
+	for _, workers := range []int{1, 8} {
+		f, err := New(Config{Classes: mix, Policy: ThermalAware{}, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := f.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	a, b := runs[0], runs[1]
+	if !reflect.DeepEqual(a.PowerW.Values, b.PowerW.Values) {
+		t.Error("PowerW differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(a.CoolingLoadW.Values, b.CoolingLoadW.Values) {
+		t.Error("CoolingLoadW differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(a.WaxLiquid.Values, b.WaxLiquid.Values) {
+		t.Error("WaxLiquid differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(a.RackPeakCoolingW, b.RackPeakCoolingW) {
+		t.Error("RackPeakCoolingW differs between workers=1 and workers=8")
+	}
+	if a.AbsorbedJ != b.AbsorbedJ || a.ReleasedJ != b.ReleasedJ {
+		t.Error("wax energy totals differ between worker counts")
+	}
+}
+
+func TestHomogeneousRoundRobinMatchesFluidEngine(t *testing.T) {
+	rom := testROM(t)
+	tr := testTrace(t)
+	cfg := server.OneU()
+	const racks = 4
+	f, err := New(Config{
+		Classes: []ClassSpec{{Cfg: cfg, Racks: racks, WithWax: true, ROM: rom}},
+		Policy:  RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetRun, err := f.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := &dcsim.Cluster{Cfg: cfg, ROM: rom, N: f.Servers()}
+	fluid, err := cluster.RunCoolingLoad(tr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fluid.CoolingLoadW.Values {
+		want := fluid.CoolingLoadW.Values[i]
+		got := fleetRun.CoolingLoadW.Values[i]
+		if relDiff(got, want) > 0.005 {
+			t.Fatalf("cooling load at step %d: fleet %v vs fluid %v", i, got, want)
+		}
+		if relDiff(fleetRun.PowerW.Values[i], fluid.PowerW.Values[i]) > 0.005 {
+			t.Fatalf("power at step %d: fleet %v vs fluid %v",
+				i, fleetRun.PowerW.Values[i], fluid.PowerW.Values[i])
+		}
+	}
+	fleetPeak, _ := fleetRun.CoolingLoadW.Peak()
+	fluidPeak, _ := fluid.CoolingLoadW.Peak()
+	if relDiff(fleetPeak, fluidPeak) > 0.005 {
+		t.Errorf("peak cooling: fleet %v vs fluid %v", fleetPeak, fluidPeak)
+	}
+}
+
+func TestWorkConservingPoliciesDrawSamePower(t *testing.T) {
+	// Power is affine in utilization, so any work-conserving policy over
+	// a single-class fleet draws the identical total power trace; only
+	// the cooling load (through the wax) may differ.
+	rom := testROM(t)
+	tr := testTrace(t)
+	mix := []ClassSpec{{Cfg: server.OneU(), Racks: 4, WithWax: true, ROM: rom}}
+	var powers [][]float64
+	for _, p := range []Policy{RoundRobin{}, LeastLoaded{}, ThermalAware{}} {
+		f, err := New(Config{Classes: mix, Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := f.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		powers = append(powers, run.PowerW.Values)
+	}
+	for k := 1; k < len(powers); k++ {
+		for i := range powers[0] {
+			if relDiff(powers[k][i], powers[0][i]) > 1e-9 {
+				t.Fatalf("policy %d power at step %d: %v vs %v", k, i, powers[k][i], powers[0][i])
+			}
+		}
+	}
+}
+
+func TestObsWiring(t *testing.T) {
+	reg := obs.New()
+	tr := testTrace(t)
+	f, err := New(Config{
+		Classes: []ClassSpec{{Cfg: server.OneU(), Racks: 3}},
+		Workers: 2,
+		Obs:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["fleet.epochs"]; got != int64(tr.Total.Len()) {
+		t.Errorf("fleet.epochs = %d, want %d", got, tr.Total.Len())
+	}
+	if got := snap.Counters["fleet.rack_steps"]; got != int64(3*tr.Total.Len()) {
+		t.Errorf("fleet.rack_steps = %d, want %d", got, 3*tr.Total.Len())
+	}
+	if sp, ok := snap.Spans["fleet.run"]; !ok || sp.Count != 1 {
+		t.Errorf("fleet.run span missing or count != 1: %+v", sp)
+	}
+	if sp, ok := snap.Spans["fleet.shard"]; !ok || sp.Count != 2 {
+		t.Errorf("fleet.shard span count = %+v, want 2 workers", sp)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

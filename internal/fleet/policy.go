@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RackView is the balancer's read-only snapshot of one rack at the start
+// of an epoch: everything a placement decision may depend on, frozen at
+// the previous epoch's barrier so every policy sees a consistent fleet.
+type RackView struct {
+	// Class indexes the fleet's Config.Classes entry the rack belongs to.
+	Class int
+	// Servers is the rack population.
+	Servers int
+	// HasWax reports whether the rack carries the PCM retrofit.
+	HasWax bool
+	// WaxRemaining is the unspent latent-capacity fraction (1 = fully
+	// solid wax, 0 = exhausted or no wax at all).
+	WaxRemaining float64
+	// Utilization is the rack's assignment in the previous epoch.
+	Utilization float64
+}
+
+// Policy decides how fleet demand is split across racks. Assign receives
+// the fleet-wide demand (fraction of total fleet capacity in [0, 1]) and
+// must fill out[i] with rack i's utilization in [0, 1]. Policies run
+// sequentially between epochs and must be deterministic: the same inputs
+// always produce the same assignment. Total placed work should equal
+// demand times fleet capacity whenever the fleet has room; the simulator
+// accounts any shortfall as shed work.
+type Policy interface {
+	// Name is the stable identifier used by CLI flags and reports.
+	Name() string
+	Assign(demand float64, racks []RackView, out []float64)
+}
+
+// capacity returns the fleet capacity in server-units.
+func capacity(racks []RackView) float64 {
+	total := 0.0
+	for _, r := range racks {
+		total += float64(r.Servers)
+	}
+	return total
+}
+
+// spill distributes work (server-units) that overflowed saturated racks
+// across the remaining headroom, proportionally, iterating until the work
+// is placed or every rack is full. out already holds a tentative
+// assignment; spill only ever raises it.
+func spill(work float64, racks []RackView, out []float64) {
+	for iter := 0; iter < len(racks) && work > 1e-12; iter++ {
+		headroom := 0.0
+		for i, r := range racks {
+			if out[i] < 1 {
+				headroom += (1 - out[i]) * float64(r.Servers)
+			}
+		}
+		if headroom <= 0 {
+			return
+		}
+		frac := work / headroom
+		if frac > 1 {
+			frac = 1
+		}
+		placed := 0.0
+		for i, r := range racks {
+			if out[i] >= 1 {
+				continue
+			}
+			add := (1 - out[i]) * frac
+			out[i] += add
+			placed += add * float64(r.Servers)
+		}
+		work -= placed
+	}
+}
+
+// RoundRobin is the paper's load balancer: work dealt evenly across the
+// fleet, so every rack runs at the fleet demand. Under a homogeneous
+// fleet this is exactly the fluid engine's extrapolation assumption.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Assign implements Policy.
+func (RoundRobin) Assign(demand float64, racks []RackView, out []float64) {
+	u := clamp01(demand)
+	for i := range racks {
+		out[i] = u
+	}
+}
+
+// LeastLoaded is the classic least-connections dispatcher: it balances
+// absolute work (job count) per rack, not utilization, which is what a
+// balancer that cannot see backend capacity does. On a homogeneous fleet
+// it reduces to RoundRobin; on a mixed fleet the small racks run hotter
+// because an equal share of jobs is a larger fraction of their capacity.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "leastloaded" }
+
+// Assign implements Policy.
+func (LeastLoaded) Assign(demand float64, racks []RackView, out []float64) {
+	if len(racks) == 0 {
+		return
+	}
+	work := clamp01(demand) * capacity(racks)
+	perRack := work / float64(len(racks))
+	overflow := 0.0
+	for i, r := range racks {
+		u := perRack / float64(r.Servers)
+		if u > 1 {
+			overflow += (u - 1) * float64(r.Servers)
+			u = 1
+		}
+		out[i] = u
+	}
+	spill(overflow, racks, out)
+}
+
+// ThermalAware steers load away from racks whose wax is near exhaustion,
+// toward racks that still hold latent buffer — the Rostami-style
+// thermally-aware distribution. The assignment starts capacity-
+// proportional (RoundRobin) and is skewed by each rack's thermal
+// headroom score relative to the fleet mean, so a fleet whose racks are
+// in identical states (e.g. homogeneous and freshly charged) reduces
+// exactly to RoundRobin. Work is conserved: the skew only redistributes.
+type ThermalAware struct {
+	// Skew scales how aggressively load follows headroom; the deviation
+	// factor per rack is 1 + Skew*(score - fleet mean score), clamped to
+	// stay positive. Zero selects the default 0.75.
+	Skew float64
+}
+
+// Name implements Policy.
+func (ThermalAware) Name() string { return "thermal" }
+
+// Assign implements Policy.
+func (p ThermalAware) Assign(demand float64, racks []RackView, out []float64) {
+	if len(racks) == 0 {
+		return
+	}
+	skew := p.Skew
+	if skew == 0 {
+		skew = 0.75
+	}
+	total := capacity(racks)
+	work := clamp01(demand) * total
+
+	// Headroom score: the unspent latent fraction. A rack without wax has
+	// no buffer at all and scores zero, so load drifts toward the
+	// retrofitted racks as the fleet heats up.
+	mean := 0.0
+	for _, r := range racks {
+		mean += r.WaxRemaining * float64(r.Servers)
+	}
+	mean /= total
+
+	// Capacity-proportional weights skewed by relative headroom.
+	weightSum := 0.0
+	weights := make([]float64, len(racks))
+	for i, r := range racks {
+		w := 1 + skew*(r.WaxRemaining-mean)
+		if w < 0.05 {
+			w = 0.05
+		}
+		weights[i] = w * float64(r.Servers)
+		weightSum += weights[i]
+	}
+	overflow := 0.0
+	for i, r := range racks {
+		u := work * weights[i] / weightSum / float64(r.Servers)
+		if u > 1 {
+			overflow += (u - 1) * float64(r.Servers)
+			u = 1
+		}
+		out[i] = u
+	}
+	spill(overflow, racks, out)
+}
+
+// Policies lists the built-in policy names in presentation order.
+func Policies() []string { return []string{"roundrobin", "leastloaded", "thermal"} }
+
+// ParsePolicy resolves a policy name (as accepted by the ttsim -fleet
+// flags) to its implementation.
+func ParsePolicy(name string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "roundrobin", "rr", "uniform":
+		return RoundRobin{}, nil
+	case "leastloaded", "leastutil", "least":
+		return LeastLoaded{}, nil
+	case "thermal", "thermalaware", "thermal-aware":
+		return ThermalAware{}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown policy %q (want one of %s)",
+			name, strings.Join(Policies(), ", "))
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -158,5 +159,34 @@ func Extensions(cw *core.StorageComparison, comp *core.ComplementarityResult, ni
 		night.FreeFractionBase*100, night.FreeFractionPCM*100, night.TOUCostBaseUSD, night.TOUCostPCMUSD)
 	fmt.Fprintf(&b, "  facility PUE: %.3f -> %.3f (the wax shifts when, not how much)\n",
 		night.PUEBase, night.PUEPCM)
+	return b.String()
+}
+
+// Fleet renders the heterogeneous-fleet experiment: one row per balancing
+// policy, with the fluid-engine anchor line when the fleet is homogeneous.
+func Fleet(r *core.FleetResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d racks, %d servers, %d workers\n", r.Racks, r.Servers, r.Workers)
+	for _, fc := range r.Spec.Mix {
+		wax := "wax"
+		if fc.NoWax {
+			wax = "no wax"
+		}
+		fmt.Fprintf(&b, "  mix: %-20s x %2d racks (%s)\n", fc.Class, fc.Racks, wax)
+	}
+	fmt.Fprintf(&b, "  %-12s %12s %12s %8s %14s %12s\n",
+		"policy", "peak kW", "base kW", "shave", "hottest rack", "$/yr vs rr")
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, "  %-12s %12.1f %12.1f %7.1f%% %11.2f kW %+12.0f\n",
+			p.Policy, p.PeakCoolingW/1000, p.BaselinePeakCoolingW/1000,
+			p.PeakReduction*100, p.HottestRackPeakW/1000, p.TCODeltaUSD)
+		if p.ShedServerSeconds > 0 {
+			fmt.Fprintf(&b, "  %-12s shed %.0f server-seconds of work\n", "", p.ShedServerSeconds)
+		}
+	}
+	if !math.IsNaN(r.FluidDelta) {
+		fmt.Fprintf(&b, "  fluid-engine anchor: peak %.1f kW, fleet delta %.4f%% (must be < 0.5%%)\n",
+			r.FluidPeakCoolingW/1000, r.FluidDelta*100)
+	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -107,6 +108,40 @@ func TestCoolingAndThroughputRendering(t *testing.T) {
 	out = Throughput(tr)
 	if !strings.Contains(out, "peak throughput: +69%") {
 		t.Errorf("Throughput rendering: %q", out)
+	}
+}
+
+func TestFleetRendering(t *testing.T) {
+	r := &core.FleetResult{
+		Spec: core.FleetSpec{Mix: []core.FleetClass{
+			{Class: core.OneU, Racks: 3},
+			{Class: core.TwoU, Racks: 1, NoWax: true},
+		}},
+		Racks: 4, Servers: 150, Workers: 2,
+		Policies: []core.FleetPolicyResult{
+			{Policy: "roundrobin", PeakCoolingW: 33400, BaselinePeakCoolingW: 36000,
+				PeakReduction: 0.074, HottestRackPeakW: 7210},
+			{Policy: "thermal", PeakCoolingW: 35600, BaselinePeakCoolingW: 36000,
+				PeakReduction: 0.012, HottestRackPeakW: 7210, TCODeltaUSD: -1000,
+				ShedServerSeconds: 12},
+		},
+		FluidDelta: math.NaN(),
+	}
+	out := Fleet(r)
+	for _, want := range []string{
+		"4 racks, 150 servers, 2 workers", "no wax",
+		"roundrobin", "thermal", "shed 12 server-seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fleet missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fluid-engine anchor") {
+		t.Error("anchor line printed for a heterogeneous fleet")
+	}
+	r.FluidDelta, r.FluidPeakCoolingW = 0.0001, 33400
+	if out = Fleet(r); !strings.Contains(out, "fluid-engine anchor") {
+		t.Errorf("anchor line missing:\n%s", out)
 	}
 }
 

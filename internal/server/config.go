@@ -192,7 +192,8 @@ func (c *Config) Validate() error {
 		return err
 	}
 	if c.ClusterSize <= 0 || c.ServersPerRack <= 0 {
-		return fmt.Errorf("server: %s: packaging unset", c.Name)
+		return fmt.Errorf("server: %s: non-positive packaging (ClusterSize %d, ServersPerRack %d)",
+			c.Name, c.ClusterSize, c.ServersPerRack)
 	}
 	return nil
 }
