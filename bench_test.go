@@ -22,6 +22,7 @@ import (
 // Table 1.
 
 func BenchmarkTable1Materials(b *testing.B) {
+	b.ReportAllocs()
 	crit := pcm.DatacenterCriteria()
 	var suitable int
 	for i := 0; i < b.N; i++ {
@@ -40,6 +41,7 @@ func BenchmarkTable1Materials(b *testing.B) {
 // Figure 4 / Section 3.
 
 func BenchmarkFig4Validation(b *testing.B) {
+	b.ReportAllocs()
 	s := core.NewStudy()
 	var diff float64
 	for i := 0; i < b.N; i++ {
@@ -56,6 +58,7 @@ func BenchmarkFig4Validation(b *testing.B) {
 // Figure 7.
 
 func benchSweep(b *testing.B, cfg *server.Config) {
+	b.ReportAllocs()
 	var rise float64
 	for i := 0; i < b.N; i++ {
 		pts, err := server.BlockageSweep(cfg, server.DefaultBlockages())
@@ -75,6 +78,7 @@ func BenchmarkFig7BlockageOCP(b *testing.B) { benchSweep(b, server.OpenCompute()
 // Figure 10.
 
 func BenchmarkFig10Trace(b *testing.B) {
+	b.ReportAllocs()
 	var peak float64
 	for i := 0; i < b.N; i++ {
 		tr, err := workload.Generate(workload.DefaultOptions())
@@ -90,6 +94,7 @@ func BenchmarkFig10Trace(b *testing.B) {
 // Figure 11 / Section 5.1.
 
 func benchCooling(b *testing.B, m core.MachineClass) {
+	b.ReportAllocs()
 	s := core.NewStudy()
 	var red float64
 	for i := 0; i < b.N; i++ {
@@ -110,6 +115,7 @@ func BenchmarkFig11CoolingLoadOCP(b *testing.B) { benchCooling(b, core.OpenCompu
 // Figure 12 / Section 5.2.
 
 func benchThroughput(b *testing.B, m core.MachineClass) {
+	b.ReportAllocs()
 	s := core.NewStudy()
 	var gain float64
 	for i := 0; i < b.N; i++ {
@@ -130,6 +136,7 @@ func BenchmarkFig12ThroughputOCP(b *testing.B) { benchThroughput(b, core.OpenCom
 // Table 2 and the Section 5 economics.
 
 func BenchmarkTable2TCOScenarios(b *testing.B) {
+	b.ReportAllocs()
 	p := tco.PaperParams()
 	var savings float64
 	for i := 0; i < b.N; i++ {
@@ -157,6 +164,7 @@ func BenchmarkTable2TCOScenarios(b *testing.B) {
 // reach. Comparing its metric with BenchmarkFig11CoolingLoad1U quantifies
 // how much the convective coupling costs.
 func BenchmarkAblationIdealCapWax(b *testing.B) {
+	b.ReportAllocs()
 	cfg := server.OneU()
 	tr := workload.GoogleTwoDay()
 	cluster, err := dcsim.NewCluster(cfg, 0)
@@ -192,6 +200,7 @@ func BenchmarkAblationIdealCapWax(b *testing.B) {
 // comes only from convection loss, showing how much of Figure 7 is the
 // operating-point shift.
 func BenchmarkAblationFixedFlow(b *testing.B) {
+	b.ReportAllocs()
 	cfg := server.TwoU()
 	var rise float64
 	for i := 0; i < b.N; i++ {
@@ -212,6 +221,7 @@ func BenchmarkAblationFixedFlow(b *testing.B) {
 // shortened trace; its utilization agreement with the driving trace is the
 // justification for the fluid extrapolation used at cluster scale.
 func BenchmarkAblationEventVsFluid(b *testing.B) {
+	b.ReportAllocs()
 	opts := workload.DefaultOptions()
 	opts.Days = 1
 	tr, err := workload.Generate(opts)
@@ -235,6 +245,7 @@ func BenchmarkAblationEventVsFluid(b *testing.B) {
 // begins the moment the air cools, which hands back the shoulder-hours
 // release spike the hysteresis suppresses.
 func BenchmarkAblationHysteresisOff(b *testing.B) {
+	b.ReportAllocs()
 	cfg := server.OneU()
 	tr := workload.GoogleTwoDay()
 	var red float64
@@ -280,6 +291,7 @@ func BenchmarkAblationHysteresisOff(b *testing.B) {
 // Facade sanity: the public API exposes working entry points.
 
 func BenchmarkFacadeQuickstart(b *testing.B) {
+	b.ReportAllocs()
 	var peak float64
 	for i := 0; i < b.N; i++ {
 		study := NewStudy()
@@ -302,6 +314,7 @@ var _ = units.Hour
 // extra daily throughput (percent) the ladder recovers for the throttled
 // (no-wax) cluster.
 func BenchmarkAblationDVFSLadder(b *testing.B) {
+	b.ReportAllocs()
 	cfg := server.TwoU()
 	cluster, err := dcsim.NewCluster(cfg, 0)
 	if err != nil {
@@ -332,6 +345,7 @@ func BenchmarkAblationDVFSLadder(b *testing.B) {
 // to BenchmarkFig12Throughput2U's, validating the power-limit abstraction
 // the headline experiment uses.
 func BenchmarkAblationCRACvsLimit(b *testing.B) {
+	b.ReportAllocs()
 	cfg := server.TwoU()
 	cluster, err := dcsim.NewCluster(cfg, 0)
 	if err != nil {

@@ -21,6 +21,7 @@ func BenchmarkFluidCoolingLoad(b *testing.B) {
 		withWax bool
 	}{{"baseline", false}, {"wax", true}} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := c.RunCoolingLoad(tr, variant.withWax); err != nil {

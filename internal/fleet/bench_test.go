@@ -33,6 +33,7 @@ func BenchmarkFleetEpochs(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				run, err := f.Run(tr)

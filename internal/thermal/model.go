@@ -112,6 +112,11 @@ type Model struct {
 
 	clock float64
 
+	// comp is the flat-array lowering of the network (see compile.go),
+	// built lazily on the first Step/Run/SolveSteadyState and discarded
+	// whenever the topology is mutated.
+	comp *compiled
+
 	// Telemetry instruments; all nil (allocation-free no-ops) until
 	// Instrument is called with a live registry.
 	reg         *obs.Registry
@@ -157,6 +162,7 @@ func (m *Model) AddNode(name string, capacityJPerK float64, power PowerFunc) (*N
 	}
 	n := &Node{Name: name, CapacityJPerK: capacityJPerK, Power: power, temperature: m.InletC}
 	m.nodes = append(m.nodes, n)
+	m.invalidate()
 	return n, nil
 }
 
@@ -175,6 +181,7 @@ func (m *Model) AddWakeStation(name string, share float64) (*Station, error) {
 	}
 	s := &Station{Name: name, FlowShare: share, airC: m.InletC}
 	m.stations = append(m.stations, s)
+	m.invalidate()
 	return s, nil
 }
 
@@ -186,6 +193,7 @@ func (m *Model) Attach(st *Station, n *Node, hA float64, velocityScaled bool) er
 		return fmt.Errorf("thermal: non-positive conductance %v for %q", hA, n.Name)
 	}
 	st.attachments = append(st.attachments, attachment{node: n, conductance: hA, velocityScaled: velocityScaled})
+	m.invalidate()
 	return nil
 }
 
@@ -196,6 +204,7 @@ func (m *Model) AttachWax(st *Station, w *pcm.State, hA float64, velocityScaled 
 		return errors.New("thermal: non-positive wax conductance")
 	}
 	st.attachments = append(st.attachments, attachment{wax: w, conductance: hA, velocityScaled: velocityScaled})
+	m.invalidate()
 	return nil
 }
 
@@ -205,6 +214,7 @@ func (m *Model) Link(a, b *Node, g float64) error {
 		return errors.New("thermal: non-positive link conductance")
 	}
 	m.links = append(m.links, conductionLink{a: a, b: b, g: g})
+	m.invalidate()
 	return nil
 }
 
@@ -286,8 +296,19 @@ func (m *Model) OutletC() float64 {
 // Step advances the model by dt seconds. Node updates use per-node
 // exponential relaxation toward the local equilibrium, which is stable for
 // any dt; accuracy calls for dt well below the fastest node time constant
-// of interest (the server package uses 5 s).
+// of interest (the server package uses 5 s). The update runs on the
+// compiled flat-array form of the network (see compile.go) and performs no
+// heap allocations once the network is compiled.
 func (m *Model) Step(dt float64) {
+	m.stepCount.Inc()
+	m.stepCompiled(dt)
+}
+
+// stepSlow is the original pointer-graph stepper, retained as the
+// reference path the compiled stepper is pinned against in tests. It walks
+// the air stream twice (once in marchAir for the wax heat, once re-inlined
+// for the equilibrium form) and allocates several maps per step.
+func (m *Model) stepSlow(dt float64) {
 	m.stepCount.Inc()
 	t := m.clock
 	if m.FlowFunc != nil {
@@ -439,7 +460,7 @@ func (m *Model) Run(duration, dt, sampleEvery float64, probes []Probe) (*Transie
 		}
 	}
 	// Make sure station readings are current before the first sample.
-	m.marchAir()
+	m.refreshAir()
 	record(0)
 	elapsed := 0.0
 	nextSample := sampleEvery
@@ -477,26 +498,26 @@ func (m *Model) SolveSteadyState(tol float64, maxSweeps int) (int, error) {
 	if m.FlowFunc != nil {
 		m.FlowM3s = m.FlowFunc(t)
 	}
+	c := m.ensureCompiled()
+	c.refreshGeff(m)
 	mcp := units.AdvectionConductance(m.FlowM3s)
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		maxDelta := 0.0
 		// March air with wax floating at local air temperature.
 		air := m.InletC
-		localAir := make(map[*Node]float64)
-		localGeff := make(map[*Node]float64)
-		for _, st := range m.stations {
-			smcp := mcp * st.FlowShare
+		for si, st := range m.stations {
+			smcp := mcp * c.stShare[si]
 			local := air
 			stationQ := 0.0
-			for _, at := range st.attachments {
-				if at.wax != nil {
-					continue // inert at steady state
+			for ai := c.stFirst[si]; ai < c.stFirst[si+1]; ai++ {
+				ni := c.attNode[ai]
+				if ni < 0 {
+					continue // wax is inert at steady state
 				}
-				g := m.effectiveConductance(at)
-				geff := smcp * (1 - math.Exp(-g/smcp))
-				localAir[at.node] = local
-				localGeff[at.node] = geff
-				q := geff * (at.node.temperature - local)
+				geff := c.attGeff[ai]
+				c.localAir[ni] = local
+				c.localGeff[ni] = geff
+				q := geff * (m.nodes[ni].temperature - local)
 				local += q / smcp
 				stationQ += q
 			}
@@ -504,26 +525,27 @@ func (m *Model) SolveSteadyState(tol float64, maxSweeps int) (int, error) {
 			air += stationQ / mcp
 		}
 		// Gauss-Seidel node update.
-		condPower := make(map[*Node]float64)
-		condG := make(map[*Node]float64)
-		for _, l := range m.links {
-			condPower[l.a] += l.g * l.b.temperature
-			condPower[l.b] += l.g * l.a.temperature
-			condG[l.a] += l.g
-			condG[l.b] += l.g
+		for i := range c.condPower {
+			c.condPower[i] = 0
 		}
-		for _, st := range m.stations {
-			for _, at := range st.attachments {
-				if at.node == nil {
+		for li := range c.linkG {
+			a, b, g := c.linkA[li], c.linkB[li], c.linkG[li]
+			c.condPower[a] += g * m.nodes[b].temperature
+			c.condPower[b] += g * m.nodes[a].temperature
+		}
+		for si := range c.stShare {
+			for ai := c.stFirst[si]; ai < c.stFirst[si+1]; ai++ {
+				ni := c.attNode[ai]
+				if ni < 0 {
 					continue
 				}
-				n := at.node
-				geff := localGeff[n]
+				n := m.nodes[ni]
+				geff := c.localGeff[ni]
 				p := 0.0
 				if n.Power != nil {
 					p = n.Power(t)
 				}
-				next := (p + condPower[n] + geff*localAir[n]) / (condG[n] + geff)
+				next := (p + c.condPower[ni] + geff*c.localAir[ni]) / (c.condG[ni] + geff)
 				if d := math.Abs(next - n.temperature); d > maxDelta {
 					maxDelta = d
 				}

@@ -293,6 +293,67 @@ func TestProbeWaxAndUnset(t *testing.T) {
 	}
 }
 
+func TestRunRecordsNaNForUnsetProbe(t *testing.T) {
+	// The NaN default must survive all the way through Run's sampling, not
+	// just the direct read.
+	m, _, _ := singleNodeModel(t, 46)
+	res, err := m.Run(60, 5, 30, []Probe{{Name: "empty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace("empty")
+	for i := 0; i < tr.Len(); i++ {
+		if !math.IsNaN(tr.Values[i]) {
+			t.Fatalf("sample %d of an unset probe is %v, want NaN", i, tr.Values[i])
+		}
+	}
+}
+
+func TestRunTailStepSampleAlignment(t *testing.T) {
+	// Durations that are not multiples of dt or sampleEvery exercise the
+	// h := dt tail-step path: the run must land exactly on duration, and
+	// every allocated sample slot must be filled.
+	cases := []struct {
+		duration, dt, sampleEvery float64
+		wantLen                   int
+	}{
+		{23, 5, 5, 5}, // tail step h=3
+		{22, 4, 6, 4}, // samples recorded late (at 8, 12, 20) plus tail h=2
+		{10, 3, 3, 4}, // tail h=1 lands on the final sample
+		{100, 7, 10, 11},
+	}
+	for _, tc := range cases {
+		m, n, _ := singleNodeModel(t, 46)
+		start := m.Clock()
+		res, err := m.Run(tc.duration, tc.dt, tc.sampleEvery, []Probe{{Name: "cpu", Node: n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Clock() - start; math.Abs(got-tc.duration) > 1e-9 {
+			t.Errorf("run(%v,%v,%v): clock advanced %v, want %v",
+				tc.duration, tc.dt, tc.sampleEvery, got, tc.duration)
+		}
+		tr := res.Trace("cpu")
+		if tr.Len() != tc.wantLen {
+			t.Errorf("run(%v,%v,%v): trace length %d, want %d",
+				tc.duration, tc.dt, tc.sampleEvery, tr.Len(), tc.wantLen)
+		}
+		// Heating from the inlet: every recorded sample after the first is
+		// strictly above the inlet and the trace is non-decreasing; a
+		// skipped slot would sit at the zero value and break both.
+		for i := 1; i < tr.Len(); i++ {
+			if tr.Values[i] <= 25 {
+				t.Errorf("run(%v,%v,%v): sample %d = %v never recorded",
+					tc.duration, tc.dt, tc.sampleEvery, i, tr.Values[i])
+			}
+			if tr.Values[i] < tr.Values[i-1]-1e-9 {
+				t.Errorf("run(%v,%v,%v): heating trace decreased at %d",
+					tc.duration, tc.dt, tc.sampleEvery, i)
+			}
+		}
+	}
+}
+
 func TestEnergyConservationTransient(t *testing.T) {
 	// Integrated electrical input = advected heat + stored heat (nodes and
 	// wax) to within integration tolerance.
@@ -356,6 +417,7 @@ func BenchmarkModelStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step(5)

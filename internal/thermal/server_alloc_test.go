@@ -1,0 +1,52 @@
+package thermal_test
+
+import (
+	"testing"
+
+	"repro/internal/server"
+)
+
+// The acceptance bar for the compile pass: Model.Step performs zero heap
+// allocations per step on the reference-server network. Built here in an
+// external test package because internal/server (which owns the reference
+// configurations) imports internal/thermal.
+func TestReferenceServerStepZeroAllocations(t *testing.T) {
+	for _, withWax := range []bool{false, true} {
+		name := "bare"
+		if withWax {
+			name = "wax"
+		}
+		t.Run(name, func(t *testing.T) {
+			build, err := server.BuildModel(server.OneU(), server.BuildOptions{WithWax: withWax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := build.Model
+			m.Step(5) // compile
+			if allocs := testing.AllocsPerRun(200, func() { m.Step(5) }); allocs != 0 {
+				t.Fatalf("Step allocates %v times per call on the reference server", allocs)
+			}
+		})
+	}
+}
+
+// The steady-state solver shares the compiled arrays; after the first
+// solve it must run sweep after sweep without allocating either (the span
+// and counter telemetry are nil no-ops when uninstrumented).
+func TestReferenceServerSolveZeroAllocations(t *testing.T) {
+	build, err := server.BuildModel(server.OneU(), server.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := build.Model
+	if _, err := m.SolveSteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.SolveSteadyState(1e-6, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("SolveSteadyState allocates %v times per call", allocs)
+	}
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the benchmark suites with allocation reporting and records the
+# repo's perf trajectory as JSON:
+#
+#   BENCH_thermal.json — the compiled thermal-network stepper (the hot
+#                        loop every experiment bottoms out in)
+#   BENCH_fleet.json   — the dcsim fluid loop and the sharded fleet epochs
+#                        built on top of it
+#
+# Each record is {"name", "ns_per_op", "allocs_per_op"}; with COUNT > 1
+# every repetition is kept so downstream tooling can see the variance.
+#
+# Usage: scripts/bench.sh
+# Env:   COUNT     repetitions per benchmark (default 5)
+#        BENCHTIME go -benchtime value (default 1s; CI uses 1x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+bench() {
+  local out="$1"
+  shift
+  local txt
+  txt=$(go test -run='^$' -bench=. -benchmem -count="$COUNT" -benchtime="$BENCHTIME" "$@")
+  echo "$txt"
+  echo "$txt" | awk '
+    BEGIN { print "["; sep = "  " }
+    /^Benchmark/ {
+      ns = ""; allocs = "";
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1);
+        if ($i == "allocs/op") allocs = $(i - 1);
+      }
+      if (ns == "") next;
+      if (allocs == "") allocs = "null";
+      printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s}", sep, $1, ns, allocs;
+      sep = ",\n  ";
+    }
+    END { print "\n]" }
+  ' >"$out"
+  echo "wrote $out"
+}
+
+bench BENCH_thermal.json ./internal/thermal/...
+bench BENCH_fleet.json ./internal/dcsim/... ./internal/fleet/...
