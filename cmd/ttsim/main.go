@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|fleet|all
+//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|fleet|faults|all
 //	      [-csv dir] [-optimize] [-json file]
 //	      [-fleet] [-fleet.mix 1U=13,2U=10,OCP=4] [-fleet.policy all] [-fleet.workers n]
+//	      [-faults peak|scenario-file] [-faults.seed n] [-faults.step s]
 //	      [-metrics file] [-trace file] [-pprof addr]
 //
 // -exp also accepts a comma-separated list (e.g. -exp fig11,fig12);
@@ -16,9 +17,21 @@
 //
 // Fleet mode (-fleet, or -exp fleet) runs the heterogeneous-fleet
 // simulator: racks of mixed machine classes balanced by one or more
-// policies (roundrobin, leastloaded, thermal), stepped in parallel across
-// -fleet.workers workers. -fleet.mix sets the rack populations; prefix a
-// class tag with "nowax:" to strip that slice's PCM retrofit.
+// policies (roundrobin, leastloaded, thermal, faultaware), stepped in
+// parallel across -fleet.workers workers. -fleet.mix sets the rack
+// populations; prefix a class tag with "nowax:" to strip that slice's PCM
+// retrofit.
+//
+// Faults mode (-faults, or -exp faults) replays a fault scenario —
+// chiller trips, fan and capacity degradation, sensor faults, demand
+// surges — against the fleet with and without wax, reporting the
+// ride-through before inlet-triggered throttling and the work shed.
+// "-faults peak" injects the default chiller trip as the trace climbs to
+// its daily peak; any other value is a scenario file (see
+// examples/scenarios). -faults.seed generates a stochastic scenario
+// instead; -faults.step refines the transient's time step. The fleet
+// shape comes from the -fleet.* flags. An interrupt (Ctrl-C) cancels the
+// run cleanly at the next simulation epoch.
 //
 // Telemetry: -metrics writes the run's counters, gauges, histograms and
 // spans as JSON; -trace writes the simulation event log (PCM phase
@@ -28,6 +41,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,10 +49,13 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pcm"
@@ -51,10 +68,10 @@ import (
 // this order regardless of how the user wrote them.
 var experimentOrder = []string{
 	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
-	"table2", "tco", "extensions", "fleet", "waxsweep", "check",
+	"table2", "tco", "extensions", "fleet", "faults", "waxsweep", "check",
 }
 
-var runners = map[string]func(*core.Study, string) error{
+var runners = map[string]func(context.Context, *core.Study, string) error{
 	"table1":     runTable1,
 	"fig4":       runFig4,
 	"fig7":       runFig7,
@@ -65,12 +82,16 @@ var runners = map[string]func(*core.Study, string) error{
 	"tco":        runTCO,
 	"extensions": runExtensions,
 	"fleet":      runFleet,
+	"faults":     runFaults,
 	"waxsweep":   runWaxSweep,
 	"check":      runCheck,
 }
 
 // fleetSpec carries the -fleet.* flags into the fleet runner.
 var fleetSpec = core.DefaultFleetSpec()
+
+// faultSpec carries the -faults flags into the faults runner.
+var faultSpec = core.DefaultFaultSpec()
 
 func main() {
 	exp := flag.String("exp", "all", "experiment (or comma-separated list): table1, fig4, fig7, fig10, fig11, fig12, table2, tco, extensions, waxsweep, check, or all")
@@ -82,20 +103,30 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060) while running")
 	fleetMode := flag.Bool("fleet", false, "run the heterogeneous-fleet experiment (alone, or added to an explicit -exp list)")
 	fleetMix := flag.String("fleet.mix", "1U=13,2U=10,OCP=4", "fleet rack mix as tag=racks pairs; prefix a tag with nowax: to strip the retrofit")
-	fleetPolicies := flag.String("fleet.policy", "all", "comma-separated balancing policies: roundrobin, leastloaded, thermal, or all")
+	fleetPolicies := flag.String("fleet.policy", "all", "comma-separated balancing policies: roundrobin, leastloaded, thermal, faultaware, or all")
 	fleetWorkers := flag.Int("fleet.workers", 0, "fleet stepping workers (0 = one per CPU)")
+	faultsFlag := flag.String("faults", "", "run the fault-injection experiment: 'peak' for the default chiller-trip-at-peak scenario, or a scenario file path")
+	faultsSeed := flag.Int64("faults.seed", 0, "generate a stochastic fault scenario from this seed instead of the default trip (ignored when -faults names a file)")
+	faultsStep := flag.Float64("faults.step", 0, "fault-transient simulation step in seconds (0 = 60)")
 	flag.Parse()
 
 	spec := *exp
+	expSet := false
+	flag.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
+	// -fleet or -faults alone means just that experiment; with an explicit
+	// -exp they append to the list instead.
+	var extra []string
 	if *fleetMode {
-		// -fleet alone means just the fleet experiment; with an explicit
-		// -exp it appends to the list instead.
-		expSet := false
-		flag.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
+		extra = append(extra, "fleet")
+	}
+	if *faultsFlag != "" {
+		extra = append(extra, "faults")
+	}
+	if len(extra) > 0 {
 		if expSet {
-			spec += ",fleet"
+			spec += "," + strings.Join(extra, ",")
 		} else {
-			spec = "fleet"
+			spec = strings.Join(extra, ",")
 		}
 	}
 	names, err := selectExperiments(spec, experimentOrder)
@@ -107,6 +138,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ttsim:", err)
 		os.Exit(2)
 	}
+	if faultSpec, err = parseFaultFlags(*faultsFlag, *faultsSeed, *faultsStep, *fleetMix, *fleetPolicies, *fleetWorkers); err != nil {
+		fmt.Fprintln(os.Stderr, "ttsim:", err)
+		os.Exit(2)
+	}
+
+	// Interrupts cancel the in-flight experiment at its next epoch
+	// boundary instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	study := core.NewStudy()
 	study.OptimizeMelt = *optimize
@@ -125,11 +165,16 @@ func main() {
 
 	for _, name := range names {
 		sp := reg.StartSpan("experiment/" + name)
-		err := runners[name](study, *csvDir)
+		err := runners[name](ctx, study, *csvDir)
 		sp.End()
 		if err != nil {
+			code := 1
+			if ctx.Err() != nil {
+				err = fmt.Errorf("interrupted (%w)", ctx.Err())
+				code = 130
+			}
 			fmt.Fprintf(os.Stderr, "ttsim: %s: %v\n", name, err)
-			os.Exit(1)
+			os.Exit(code)
 		}
 		fmt.Println()
 	}
@@ -251,7 +296,7 @@ func writeCSV(dir, name string, s *timeseries.Series, header string) error {
 	})
 }
 
-func runTable1(*core.Study, string) error {
+func runTable1(_ context.Context, _ *core.Study, _ string) error {
 	fmt.Print(report.Table1(pcm.DatacenterCriteria(), pcm.Families()))
 	comm, err := pcm.CommercialParaffin(50)
 	if err != nil {
@@ -262,7 +307,7 @@ func runTable1(*core.Study, string) error {
 	return nil
 }
 
-func runFig4(s *core.Study, csvDir string) error {
+func runFig4(_ context.Context, s *core.Study, csvDir string) error {
 	v, err := s.RunValidation()
 	if err != nil {
 		return err
@@ -279,7 +324,7 @@ func runFig4(s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig7(s *core.Study, csvDir string) error {
+func runFig7(_ context.Context, s *core.Study, csvDir string) error {
 	res, err := s.RunBlockageSweeps()
 	if err != nil {
 		return err
@@ -304,7 +349,7 @@ func runFig7(s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig10(s *core.Study, csvDir string) error {
+func runFig10(_ context.Context, s *core.Study, csvDir string) error {
 	fmt.Print(report.TraceSummary(s.Trace))
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -315,7 +360,7 @@ func runFig10(s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig11(s *core.Study, csvDir string) error {
+func runFig11(_ context.Context, s *core.Study, csvDir string) error {
 	fmt.Println("== Figure 11 / Section 5.1: cooling load, fully subscribed cooling ==")
 	for _, m := range core.Classes {
 		r, err := s.RunCoolingStudy(m)
@@ -335,7 +380,7 @@ func runFig11(s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig12(s *core.Study, csvDir string) error {
+func runFig12(_ context.Context, s *core.Study, csvDir string) error {
 	fmt.Println("== Figure 12 / Section 5.2: throughput, thermally constrained cooling ==")
 	for _, m := range core.Classes {
 		r, err := s.RunThroughputStudy(m)
@@ -356,12 +401,12 @@ func runFig12(s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runTable2(s *core.Study, _ string) error {
+func runTable2(_ context.Context, s *core.Study, _ string) error {
 	fmt.Print(report.Table2(s.TCO))
 	return nil
 }
 
-func runTCO(s *core.Study, _ string) error {
+func runTCO(_ context.Context, s *core.Study, _ string) error {
 	fmt.Println("== Section 5 economics summary (10 MW datacenter) ==")
 	for _, m := range core.Classes {
 		cfg := m.Config()
@@ -415,9 +460,9 @@ func parseFleetFlags(mix, policies string, workers int) (core.FleetSpec, error) 
 	return spec, nil
 }
 
-func runFleet(s *core.Study, csvDir string) error {
+func runFleet(ctx context.Context, s *core.Study, csvDir string) error {
 	fmt.Println("== Fleet: heterogeneous racks, policy-balanced, sharded execution ==")
-	r, err := s.RunFleetStudy(fleetSpec)
+	r, err := s.RunFleetStudyContext(ctx, fleetSpec)
 	if err != nil {
 		return err
 	}
@@ -430,7 +475,61 @@ func runFleet(s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runWaxSweep(s *core.Study, _ string) error {
+// parseFaultFlags assembles the fault spec. The fleet-shape flags
+// (-fleet.mix, -fleet.policy, -fleet.workers) are shared with fleet mode;
+// -faults picks the scenario: "peak" (or "default") for the built-in
+// chiller trip at the approach to the daily peak, anything else is a
+// scenario file parsed by the faults package.
+func parseFaultFlags(scenario string, seed int64, stepS float64, mix, policies string, workers int) (core.FaultSpec, error) {
+	spec := core.FaultSpec{Workers: workers, Seed: seed, StepS: stepS}
+	var err error
+	if spec.Mix, err = core.ParseFleetMix(mix); err != nil {
+		return spec, err
+	}
+	if p := strings.TrimSpace(policies); p != "" && p != "all" {
+		for _, name := range strings.Split(p, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				pol, err := fleet.ParsePolicy(name)
+				if err != nil {
+					return spec, err
+				}
+				spec.Policies = append(spec.Policies, pol.Name())
+			}
+		}
+	}
+	switch strings.TrimSpace(scenario) {
+	case "", "peak", "default":
+		// nil schedule: RunFaultStudy builds the peak trip (or generates
+		// from -faults.seed).
+	default:
+		f, err := os.Open(scenario)
+		if err != nil {
+			return spec, err
+		}
+		defer f.Close()
+		if spec.Schedule, err = faults.ParseSchedule(f); err != nil {
+			return spec, fmt.Errorf("%s: %w", scenario, err)
+		}
+	}
+	return spec, nil
+}
+
+func runFaults(ctx context.Context, s *core.Study, csvDir string) error {
+	fmt.Println("== Faults: injected failures, graceful degradation, ride-through ==")
+	r, err := s.RunFaultStudy(ctx, faultSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Faults(r))
+	for _, p := range r.Policies {
+		if err := writeCSV(csvDir, "faults_"+p.Policy+"_inlet_rise", p.InletRiseC, "inlet_rise_degC"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runWaxSweep(_ context.Context, s *core.Study, _ string) error {
 	fmt.Println("== Sensitivity: peak cooling reduction vs wax quantity ==")
 	for _, m := range core.Classes {
 		pts, err := s.WaxQuantitySweep(m, []float64{0.25, 0.5, 1, 1.5, 2})
@@ -453,7 +552,7 @@ func runWaxSweep(s *core.Study, _ string) error {
 	return nil
 }
 
-func runExtensions(s *core.Study, _ string) error {
+func runExtensions(_ context.Context, s *core.Study, _ string) error {
 	fmt.Println("== Extensions: storage alternatives and night advantages ==")
 	for _, m := range core.Classes {
 		cw, err := s.CompareChilledWater(m)
@@ -492,7 +591,7 @@ func runExtensions(s *core.Study, _ string) error {
 	return nil
 }
 
-func runCheck(s *core.Study, _ string) error {
+func runCheck(_ context.Context, s *core.Study, _ string) error {
 	fmt.Println("== Self-check: measured vs paper (acceptance band 0.5x-2x) ==")
 	bundle, err := s.CollectResults()
 	if err != nil {

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/server"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Faults experiment: the paper's emergency-cooling framing (§2 related
+// work: thermal storage as backup when the chillers trip) promoted to a
+// first-class study. A fault schedule — by default a chiller trip as the
+// fleet climbs into its daily peak — is replayed against the same fleet
+// with and without the wax retrofit, and the study reports the
+// ride-through each variant achieves before inlet-triggered throttling
+// kicks in, plus what the graceful-degradation machinery (throttling,
+// fault-aware balancing) shed along the way.
+
+// FaultSpec configures the fault-injection experiment.
+type FaultSpec struct {
+	// Mix lists the rack populations (the fleet experiment's format).
+	Mix []FleetClass
+	// Policies names the balancers to compare; empty runs round-robin and
+	// the fault-aware policy (the pair the graceful-degradation story
+	// contrasts).
+	Policies []string
+	// Workers bounds the stepping pool (0 = runtime.NumCPU()).
+	Workers int
+	// Schedule is the fault scenario; nil selects the default chiller
+	// trip at the approach to the first daily peak, 45 minutes long.
+	Schedule *faults.Schedule
+	// StepS is the simulation step for the transient. The room crosses
+	// the throttle trigger within minutes of a trip, so the study
+	// resamples the trace finer than its native grid; 0 selects 60 s.
+	StepS float64
+	// Seed, when nonzero with a nil Schedule, generates a stochastic
+	// scenario from faults.DefaultGenOptions instead of the deterministic
+	// peak trip.
+	Seed int64
+}
+
+// DefaultFaultSpec is a homogeneous 1U fleet hit by the default peak-time
+// chiller trip — the cleanest wax-vs-no-wax ride-through comparison.
+func DefaultFaultSpec() FaultSpec {
+	return FaultSpec{
+		Mix: []FleetClass{{Class: OneU, Racks: 8}},
+	}
+}
+
+// PeakTripSchedule builds the default scenario: a chiller trip of the
+// given length at the moment the trace first climbs to 97% of its first
+// day's peak — the paper's worst case ("utilization at failure: peak"),
+// caught on the way up while the wax still holds charge.
+func PeakTripSchedule(tr *workload.Trace, outageS float64) (*faults.Schedule, error) {
+	if tr == nil || tr.Total == nil || tr.Total.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	day := tr.Total
+	if days := day.SplitDays(); len(days) > 0 {
+		day = days[0]
+	}
+	peak, _ := day.Peak()
+	tripAt := math.NaN()
+	for i, v := range day.Values {
+		if v >= 0.97*peak {
+			tripAt = day.TimeAt(i)
+			break
+		}
+	}
+	if math.IsNaN(tripAt) {
+		return nil, fmt.Errorf("core: trace never approaches its own peak")
+	}
+	return faults.NewSchedule([]faults.Event{
+		{AtS: tripAt, Kind: faults.ChillerTrip, Rack: -1, Class: -1},
+		{AtS: tripAt + outageS, Kind: faults.ChillerRecover, Rack: -1, Class: -1},
+	})
+}
+
+// FaultPolicyResult is one policy's ride-through under the scenario.
+type FaultPolicyResult struct {
+	Policy string
+	// WaxOnsetS and NoWaxOnsetS are the sim times of the first throttle
+	// (NaN = rode the whole scenario out unthrottled).
+	WaxOnsetS, NoWaxOnsetS float64
+	// WaxRideThroughS and NoWaxRideThroughS measure onset relative to the
+	// first chiller trip — the time the room thermal mass (and the wax)
+	// bought before capacity had to fold.
+	WaxRideThroughS, NoWaxRideThroughS float64
+	// ExtensionS is the extra ride-through the wax bought.
+	ExtensionS float64
+	// Throttled and shed totals for both variants, server-seconds.
+	WaxThrottledServerSeconds, NoWaxThrottledServerSeconds float64
+	WaxShedServerSeconds, NoWaxShedServerSeconds           float64
+	// PeakInletRiseC is the wax run's worst room excursion.
+	PeakInletRiseC float64
+	// InletRiseC is the wax run's room-excursion trace (for -csv).
+	InletRiseC *timeseries.Series
+	// FaultEvents counts schedule events applied in the wax run.
+	FaultEvents int
+}
+
+// FaultResult is the fault experiment outcome.
+type FaultResult struct {
+	Spec           FaultSpec
+	Racks, Servers int
+	Workers        int
+	// TripAtS is the first chiller trip in the scenario (NaN if none).
+	TripAtS float64
+	// Events is the scenario replayed, in time order.
+	Events []faults.Event
+	// Policies holds one entry per requested policy, in request order.
+	Policies []FaultPolicyResult
+}
+
+// RunFaultStudy replays the fault scenario against the fleet, with and
+// without wax, under each requested policy. The context cancels the
+// underlying fleet runs at their next epoch boundary.
+func (s *Study) RunFaultStudy(ctx context.Context, spec FaultSpec) (*FaultResult, error) {
+	if len(spec.Mix) == 0 {
+		return nil, fmt.Errorf("core: fault spec has no mix")
+	}
+	policies := spec.Policies
+	if len(policies) == 0 {
+		policies = []string{"roundrobin", "faultaware"}
+	}
+	stepS := spec.StepS
+	if stepS == 0 {
+		stepS = 60
+	}
+	sp := s.Obs.StartSpan("core.fault_study")
+	defer sp.End()
+
+	// The chiller transient plays out in minutes; resample the trace fine
+	// enough that the wax-room coupling (one epoch of lag) resolves it.
+	total, err := s.Trace.Total.Resample(stepS)
+	if err != nil {
+		return nil, err
+	}
+	tr := &workload.Trace{Total: total}
+
+	sched := spec.Schedule
+	if sched == nil {
+		if spec.Seed != 0 {
+			racks := 0
+			for _, fc := range spec.Mix {
+				racks += fc.Racks
+			}
+			sched, err = faults.Generate(faults.DefaultGenOptions(spec.Seed, total.End(), racks))
+		} else {
+			sched, err = PeakTripSchedule(s.Trace, 45*60)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Derive each class's ROM once and share it across every build.
+	roms := make(map[MachineClass]*server.ROM)
+	classes := make([]fleet.ClassSpec, 0, len(spec.Mix))
+	for _, fc := range spec.Mix {
+		cfg := fc.Class.Config()
+		if cfg == nil {
+			return nil, fmt.Errorf("core: unknown machine class %v", fc.Class)
+		}
+		cs := fleet.ClassSpec{Cfg: cfg, Racks: fc.Racks, WithWax: !fc.NoWax}
+		if !fc.NoWax {
+			rom, ok := roms[fc.Class]
+			if !ok {
+				if rom, err = server.DeriveROMObserved(cfg, cfg.Wax.DefaultMeltC, s.Obs); err != nil {
+					return nil, err
+				}
+				roms[fc.Class] = rom
+			}
+			cs.ROM = rom
+		}
+		classes = append(classes, cs)
+	}
+
+	out := &FaultResult{Spec: spec, Events: sched.Events(), TripAtS: math.NaN()}
+	if at, ok := sched.FirstTrip(); ok {
+		out.TripAtS = at
+	}
+
+	build := func(policy fleet.Policy, withWax bool) (*fleet.Run, *fleet.Fleet, error) {
+		cs := make([]fleet.ClassSpec, len(classes))
+		copy(cs, classes)
+		if !withWax {
+			for i := range cs {
+				cs[i].WithWax = false
+				cs[i].ROM = nil
+			}
+		}
+		f, err := fleet.New(fleet.Config{
+			Classes: cs, Policy: policy, Workers: spec.Workers,
+			Faults: sched, Obs: s.Obs,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := f.RunContext(ctx, tr)
+		return run, f, err
+	}
+
+	for _, name := range policies {
+		policy, err := fleet.ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		wax, f, err := build(policy, true)
+		if err != nil {
+			return nil, err
+		}
+		base, _, err := build(policy, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Racks, out.Servers, out.Workers = f.Racks(), f.Servers(), f.Workers()
+		sp.AddSimTime(2 * (total.End() - total.Start))
+
+		pr := FaultPolicyResult{
+			Policy:                      policy.Name(),
+			WaxOnsetS:                   wax.ThrottleOnsetS,
+			NoWaxOnsetS:                 base.ThrottleOnsetS,
+			WaxThrottledServerSeconds:   wax.ThrottledServerSeconds,
+			NoWaxThrottledServerSeconds: base.ThrottledServerSeconds,
+			WaxShedServerSeconds:        wax.ShedServerSeconds,
+			NoWaxShedServerSeconds:      base.ShedServerSeconds,
+			InletRiseC:                  wax.InletRiseC,
+			FaultEvents:                 wax.FaultEvents,
+		}
+		pr.PeakInletRiseC, _ = wax.InletRiseC.Peak()
+		if !math.IsNaN(out.TripAtS) {
+			pr.WaxRideThroughS = pr.WaxOnsetS - out.TripAtS
+			pr.NoWaxRideThroughS = pr.NoWaxOnsetS - out.TripAtS
+			pr.ExtensionS = pr.WaxOnsetS - pr.NoWaxOnsetS
+		}
+		out.Policies = append(out.Policies, pr)
+	}
+	return out, nil
+}

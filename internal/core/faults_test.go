@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/server"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func TestPeakTripSchedule(t *testing.T) {
+	s := NewStudy()
+	sched, err := PeakTripSchedule(s.Trace, 45*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripAt, ok := sched.FirstTrip()
+	if !ok {
+		t.Fatal("no trip in the default scenario")
+	}
+	// The trip lands as the trace approaches its day-1 peak: utilization
+	// there is within a few percent of the peak, and the trip is inside
+	// day one.
+	peak, _ := s.Trace.Total.Peak()
+	if u := s.Trace.Total.At(tripAt); u < 0.9*peak {
+		t.Errorf("trip at %v s hits utilization %v, want near the peak %v", tripAt, u, peak)
+	}
+	if tripAt < 0 || tripAt > 86400 {
+		t.Errorf("trip at %v s outside day one", tripAt)
+	}
+	events := sched.Events()
+	if len(events) != 2 || events[1].Kind != faults.ChillerRecover {
+		t.Errorf("scenario %v, want trip + recover", events)
+	}
+	if events[1].AtS-events[0].AtS != 45*60 {
+		t.Errorf("outage %v s, want 45 min", events[1].AtS-events[0].AtS)
+	}
+}
+
+// TestEmergencyCrossCheck pins the fleet simulator's chiller-trip
+// transient against the analytic emergency model for the homogeneous
+// case: same room thermal mass, same critical temperature, a trip at
+// t=0 under constant peak load. The no-wax ride-through must match the
+// closed form t = C*dT/P (which both models share), and the wax
+// ride-through must agree with the emergency integration within a
+// tolerance that covers their differing initial wax temperatures.
+func TestEmergencyCrossCheck(t *testing.T) {
+	s := NewStudy()
+	opts := DefaultEmergency()
+	em, err := s.RunEmergencyRideThrough(OneU, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const dt = 5.0
+	n := int(3 * 3600 / dt)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = opts.UtilizationAtFailure
+	}
+	total, err := timeseries.FromValues(0, dt, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &workload.Trace{Total: total}
+	sched, err := faults.NewSchedule([]faults.Event{
+		{AtS: 0, Kind: faults.ChillerTrip, Rack: -1, Class: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	onset := func(withWax bool) float64 {
+		f, err := fleet.New(fleet.Config{
+			Classes: []fleet.ClassSpec{{Cfg: OneU.Config(), Racks: 2, WithWax: withWax}},
+			Faults:  sched,
+			Degrade: fleet.DegradeConfig{
+				ThrottleInletC:         opts.CriticalRoomC,
+				RoomCapacityJPerKPerKW: opts.RoomCapacityJPerKPerKW,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := f.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(run.ThrottleOnsetS) {
+			t.Fatal("fleet never throttled under a permanent outage at peak")
+		}
+		return run.ThrottleOnsetS
+	}
+
+	simNoWax, simWax := onset(false), onset(true)
+	anaNoWax := em.RideThroughNoWaxMin * 60
+	anaWax := em.RideThroughWithWaxMin * 60
+
+	// No wax: both models are the same linear excursion; the simulated
+	// onset may differ only by step quantization.
+	if math.Abs(simNoWax-anaNoWax) > 2*dt {
+		t.Errorf("no-wax ride-through: simulated %v s vs analytic %v s (tolerance %v s)",
+			simNoWax, anaNoWax, 2*dt)
+	}
+
+	// With wax: integrate the emergency model's own loop, but with the
+	// wax starting where the fleet's does (the idle wake temperature, its
+	// pre-trip steady state) instead of the setpoint. With matched
+	// initial conditions the two transients are the same physics on the
+	// same step and must agree to quantization.
+	rom, err := server.DeriveROM(OneU.Config(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OneU.Config()
+	power := cfg.PowerAt(opts.UtilizationAtFailure, 1)
+	roomCap := opts.RoomCapacityJPerKPerKW * power / 1000
+	wakeRise := rom.WakeAirC(opts.UtilizationAtFailure, 1) - cfg.InletC
+	wax, err := rom.NewWaxState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	room := opts.StartRoomC
+	refWax := math.NaN()
+	for ti := 0.0; ti < 3*3600; ti += dt {
+		absorbed := wax.ExchangeWithAir(room+wakeRise, rom.HA, dt)
+		room += (power*dt - absorbed) / roomCap
+		if room >= opts.CriticalRoomC {
+			refWax = ti + dt
+			break
+		}
+	}
+	if math.IsNaN(refWax) {
+		t.Fatal("reference integration never crossed the critical temperature")
+	}
+	if math.Abs(simWax-refWax) > 2*dt {
+		t.Errorf("wax ride-through: simulated %v s vs matched reference %v s (tolerance %v s)",
+			simWax, refWax, 2*dt)
+	}
+
+	// Against RunEmergencyRideThrough as published (cold wax at the
+	// setpoint) the simulated transient must land within 20% — the stated
+	// tolerance covering the initial-temperature difference — and on the
+	// short side of it, since warmer wax can only shorten the window.
+	if rel := math.Abs(simWax-anaWax) / anaWax; rel > 0.20 {
+		t.Errorf("wax ride-through: simulated %v s vs analytic %v s (rel diff %.3f > 0.20)",
+			simWax, anaWax, rel)
+	}
+	if simWax > anaWax+2*dt {
+		t.Errorf("warm-start simulation %v s outlasted the cold-start analytic %v s", simWax, anaWax)
+	}
+	if simWax <= simNoWax {
+		t.Errorf("wax onset %v s not later than no-wax %v s", simWax, simNoWax)
+	}
+}
+
+func TestRunFaultStudy(t *testing.T) {
+	s := NewStudy()
+	spec := FaultSpec{
+		Mix:      []FleetClass{{Class: OneU, Racks: 2}},
+		Policies: []string{"roundrobin"},
+		StepS:    120,
+	}
+	r, err := s.RunFaultStudy(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.TripAtS) {
+		t.Fatal("default scenario has no trip")
+	}
+	if len(r.Policies) != 1 {
+		t.Fatalf("got %d policy results, want 1", len(r.Policies))
+	}
+	p := r.Policies[0]
+	if math.IsNaN(p.NoWaxOnsetS) || math.IsNaN(p.WaxOnsetS) {
+		t.Fatal("a 45-minute outage at peak did not throttle")
+	}
+	if p.WaxOnsetS <= p.NoWaxOnsetS {
+		t.Errorf("wax throttled at %v s, no-wax at %v s; wax must ride longer",
+			p.WaxOnsetS, p.NoWaxOnsetS)
+	}
+	if p.ExtensionS <= 0 {
+		t.Errorf("wax extension %v s, want positive", p.ExtensionS)
+	}
+	if p.PeakInletRiseC <= 0 || p.FaultEvents != 2 {
+		t.Errorf("inlet rise %v, events %d; want excursion and trip+recover",
+			p.PeakInletRiseC, p.FaultEvents)
+	}
+
+	// Cancellation propagates out of the underlying fleet runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunFaultStudy(ctx, spec); err != context.Canceled {
+		t.Errorf("cancelled study returned %v, want context.Canceled", err)
+	}
+
+	if _, err := s.RunFaultStudy(context.Background(), FaultSpec{}); err == nil {
+		t.Error("accepted empty mix")
+	}
+}

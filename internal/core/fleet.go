@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -139,6 +140,13 @@ type FleetResult struct {
 // homogeneous round-robin fleet — cross-checks the result against the
 // fluid engine, the §6 correctness anchor.
 func (s *Study) RunFleetStudy(spec FleetSpec) (*FleetResult, error) {
+	return s.RunFleetStudyContext(context.Background(), spec)
+}
+
+// RunFleetStudyContext is RunFleetStudy with cooperative cancellation:
+// the in-flight fleet run stops at its next epoch boundary once ctx is
+// done and the study returns ctx.Err().
+func (s *Study) RunFleetStudyContext(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
 	if len(spec.Mix) == 0 {
 		return nil, fmt.Errorf("core: fleet spec has no mix")
 	}
@@ -193,7 +201,7 @@ func (s *Study) RunFleetStudy(spec FleetSpec) (*FleetResult, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		run, err := f.Run(s.Trace)
+		run, err := f.RunContext(ctx, s.Trace)
 		return run, f, err
 	}
 

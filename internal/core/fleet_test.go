@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/tco"
 	"repro/internal/workload"
 )
@@ -107,8 +108,8 @@ func TestRunFleetStudyMixed(t *testing.T) {
 	if !math.IsNaN(r.FluidDelta) {
 		t.Error("heterogeneous fleet reported a fluid anchor")
 	}
-	if len(r.Policies) != 3 {
-		t.Fatalf("default policy set ran %d policies, want 3", len(r.Policies))
+	if want := len(fleet.Policies()); len(r.Policies) != want {
+		t.Fatalf("default policy set ran %d policies, want %d", len(r.Policies), want)
 	}
 	for _, p := range r.Policies {
 		if p.HottestRackPeakW <= 0 {

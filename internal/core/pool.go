@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -14,11 +16,22 @@ import (
 var poolSem = make(chan struct{}, runtime.NumCPU())
 
 // parallelFor runs fn(0..n-1) on the shared bounded pool and blocks until
-// all complete. Each fn writes results at its own index, so output order
-// is independent of scheduling; the returned error is the lowest-index
-// failure, again deterministic regardless of which goroutine lost the
-// race.
+// all complete.
 func parallelFor(n int, fn func(i int) error) error {
+	return parallelForCtx(context.Background(), n, fn)
+}
+
+// parallelForCtx is parallelFor with cooperative cancellation and panic
+// containment. Workers that have not yet acquired a pool slot stop when
+// ctx is done (running bodies finish; they are not interrupted), and a
+// panic inside fn is recovered and returned as an error naming the worker
+// index rather than crashing the whole study. Each fn writes results at
+// its own index, so output order is independent of scheduling; the
+// returned error is the lowest-index failure, again deterministic
+// regardless of which goroutine lost the race. A context error is
+// reported only when no body failed, so real failures are never masked by
+// the cancellation they may have triggered.
+func parallelForCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -28,16 +41,32 @@ func parallelFor(n int, fn func(i int) error) error {
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			poolSem <- struct{}{}
+			select {
+			case poolSem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-poolSem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("core: worker %d of %d panicked: %v", i, n, r)
+				}
+			}()
 			errs[i] = fn(i)
 		}(i)
 	}
 	wg.Wait()
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if err == ctx.Err() && ctxErr == nil {
+			ctxErr = err
+			continue
+		}
+		return err
 	}
-	return nil
+	return ctxErr
 }

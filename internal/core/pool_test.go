@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -38,5 +40,70 @@ func TestParallelFor(t *testing.T) {
 	}
 	if err := parallelFor(-3, func(int) error { t.Error("called"); return nil }); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestParallelForCtxPanicRecovery(t *testing.T) {
+	// A panicking body surfaces as an error naming the worker, not a
+	// crash, and it outranks a plain error at a higher index.
+	err := parallelForCtx(context.Background(), 20, func(i int) error {
+		if i == 4 {
+			panic("injected worker panic")
+		}
+		if i == 11 {
+			return errors.New("later failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic did not surface as an error")
+	}
+	for _, want := range []string{"worker 4", "panicked", "injected worker panic"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// The pool is still usable after a recovered panic (the slot was
+	// released).
+	if err := parallelFor(10, func(int) error { return nil }); err != nil {
+		t.Errorf("pool unusable after recovered panic: %v", err)
+	}
+}
+
+func TestParallelForCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Hold every pool slot so waiting workers can only take the ctx
+	// branch — the deterministic version of "cancelled while queued".
+	for i := 0; i < cap(poolSem); i++ {
+		poolSem <- struct{}{}
+	}
+	called := false
+	err := parallelForCtx(ctx, 8, func(i int) error {
+		called = true
+		return nil
+	})
+	for i := 0; i < cap(poolSem); i++ {
+		<-poolSem
+	}
+	if err != context.Canceled {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("body ran despite cancellation before any slot freed")
+	}
+	// A real body failure is never masked by the cancellation it causes.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	bodyErr := errors.New("body failed")
+	err = parallelForCtx(ctx2, 4, func(i int) error {
+		if i == 2 {
+			cancel2()
+			return bodyErr
+		}
+		return nil
+	})
+	if err != bodyErr {
+		t.Errorf("got %v, want the body error to outrank cancellation", err)
 	}
 }

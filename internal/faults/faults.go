@@ -1,0 +1,342 @@
+// Package faults is the deterministic fault-injection layer of the study:
+// a Schedule of timed fault events — chiller trips, per-rack fan
+// degradation, server-class capacity loss, stuck or dropped sensors,
+// degraded wax latent capacity, and workload surges — that the fleet
+// simulator replays while it advances a run. Simulators like DataCenterGym
+// and ThermoSim treat failure scenarios as first-class simulator inputs;
+// this package does the same for the thermal-time-shifting fleet, so the
+// engine can answer "how many minutes does the wax buy when a CRAC trips
+// at peak, and what load do we shed?"
+//
+// Schedules come from two sources: a small line-based scenario format
+// (parse.go) and a seeded stochastic generator (generate.go). Both produce
+// the same validated, time-sorted Schedule, and everything downstream of a
+// Schedule is deterministic: the fleet applies events in the sequential
+// part of its epoch loop, so runs are bit-identical across worker counts
+// and across repeated runs with the same seed.
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind uint8
+
+const (
+	// ChillerTrip fails the room's cooling plant: the room air heats on
+	// its own thermal mass until racks throttle (the Garday & Housley
+	// emergency-cooling scenario). Fleet-wide; no value.
+	ChillerTrip Kind = iota
+	// ChillerRecover restores the plant; the room relaxes back to the
+	// cold-aisle setpoint. Fleet-wide; no value.
+	ChillerRecover
+	// FanDegrade adds duct blockage to the target racks (a failed fan or
+	// clogged filter). Value is the added blockage fraction in (0, 0.95];
+	// the fleet resolves it to a flow fraction through the fan-curve
+	// solver.
+	FanDegrade
+	// FanRecover restores nominal airflow on the target racks. No value.
+	FanRecover
+	// CapacityLoss takes a fraction of the target racks' servers offline
+	// (kernel panics, a failed switch, a bad firmware push). Value is the
+	// fraction lost in (0, 1].
+	CapacityLoss
+	// CapacityRecover returns the target racks to full population. No
+	// value.
+	CapacityRecover
+	// SensorStuck freezes the target racks' telemetry as the balancer
+	// sees it: wax-remaining and inlet readings hold their last value. No
+	// value.
+	SensorStuck
+	// SensorDrop loses the target racks' telemetry entirely: the balancer
+	// sees zeroed readings flagged dead. No value.
+	SensorDrop
+	// SensorRecover restores live telemetry on the target racks. No value.
+	SensorRecover
+	// WaxDegrade derates the target racks' latent capacity to the given
+	// retention fraction of the original (phase segregation, leakage —
+	// the pcm package's cycling-degradation story applied as an event).
+	// Value is the retained fraction in (0, 1]. Permanent: there is no
+	// recovery event.
+	WaxDegrade
+	// Surge multiplies the fleet demand (an unplanned flash crowd on top
+	// of the trace). Value is the multiplier, > 0. Fleet-wide.
+	Surge
+	// SurgeEnd restores the nominal demand. Fleet-wide; no value.
+	SurgeEnd
+)
+
+// kindNames maps kinds to their scenario-format spellings.
+var kindNames = map[Kind]string{
+	ChillerTrip:     "chiller-trip",
+	ChillerRecover:  "chiller-recover",
+	FanDegrade:      "fan-degrade",
+	FanRecover:      "fan-recover",
+	CapacityLoss:    "capacity-loss",
+	CapacityRecover: "capacity-recover",
+	SensorStuck:     "sensor-stuck",
+	SensorDrop:      "sensor-drop",
+	SensorRecover:   "sensor-recover",
+	WaxDegrade:      "wax-degrade",
+	Surge:           "surge",
+	SurgeEnd:        "surge-end",
+}
+
+// String implements fmt.Stringer with the scenario-format spelling.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// hasValue reports whether the kind carries a magnitude.
+func (k Kind) hasValue() bool {
+	switch k {
+	case FanDegrade, CapacityLoss, WaxDegrade, Surge:
+		return true
+	}
+	return false
+}
+
+// FleetWide reports whether the kind may not target individual racks or
+// classes (it acts on shared infrastructure, not rack hardware).
+func (k Kind) FleetWide() bool {
+	switch k {
+	case ChillerTrip, ChillerRecover, Surge, SurgeEnd:
+		return true
+	}
+	return false
+}
+
+// recoveryOf returns the kind that undoes k (used by the scenario format's
+// "for <duration>" clause), or false when the fault is permanent.
+func recoveryOf(k Kind) (Kind, bool) {
+	switch k {
+	case ChillerTrip:
+		return ChillerRecover, true
+	case FanDegrade:
+		return FanRecover, true
+	case CapacityLoss:
+		return CapacityRecover, true
+	case SensorStuck, SensorDrop:
+		return SensorRecover, true
+	case Surge:
+		return SurgeEnd, true
+	}
+	return 0, false
+}
+
+// Event is one timed fault. The zero targets (Rack and Class both -1)
+// address the whole fleet; Rack >= 0 addresses one rack, Class >= 0 every
+// rack of one fleet class. At most one of Rack and Class may be set.
+type Event struct {
+	// AtS is the event time in seconds from the start of the run.
+	AtS  float64
+	Kind Kind
+	// Rack targets a single rack index (-1 = not rack-targeted).
+	Rack int
+	// Class targets every rack of one Config.Classes entry (-1 = not
+	// class-targeted).
+	Class int
+	// Value is the kind-specific magnitude (see the Kind doc comments);
+	// zero for kinds without one.
+	Value float64
+}
+
+// Target renders the event's addressing for error messages and reports.
+func (e Event) Target() string {
+	switch {
+	case e.Rack >= 0:
+		return fmt.Sprintf("rack %d", e.Rack)
+	case e.Class >= 0:
+		return fmt.Sprintf("class %d", e.Class)
+	default:
+		return "fleet"
+	}
+}
+
+// String renders the event in the scenario format.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s", formatSeconds(e.AtS), e.Kind)
+	if e.Rack >= 0 {
+		s = fmt.Sprintf("%s rack %d %s", formatSeconds(e.AtS), e.Rack, e.Kind)
+	} else if e.Class >= 0 {
+		s = fmt.Sprintf("%s class %d %s", formatSeconds(e.AtS), e.Class, e.Kind)
+	}
+	if e.Kind.hasValue() {
+		s += fmt.Sprintf(" %g", e.Value)
+	}
+	return s
+}
+
+// validate checks one event in isolation.
+func (e Event) validate() error {
+	if e.AtS < 0 {
+		return fmt.Errorf("faults: %s at negative time %gs", e.Kind, e.AtS)
+	}
+	if e.Rack >= 0 && e.Class >= 0 {
+		return fmt.Errorf("faults: %s targets both rack %d and class %d", e.Kind, e.Rack, e.Class)
+	}
+	if e.Rack < -1 || e.Class < -1 {
+		return fmt.Errorf("faults: %s has invalid target rack=%d class=%d", e.Kind, e.Rack, e.Class)
+	}
+	if e.Kind.FleetWide() && (e.Rack >= 0 || e.Class >= 0) {
+		return fmt.Errorf("faults: %s is fleet-wide and cannot target %s", e.Kind, e.Target())
+	}
+	if _, ok := kindNames[e.Kind]; !ok {
+		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
+	}
+	if !e.Kind.hasValue() {
+		if e.Value != 0 {
+			return fmt.Errorf("faults: %s takes no value, got %g", e.Kind, e.Value)
+		}
+		return nil
+	}
+	switch e.Kind {
+	case FanDegrade:
+		if e.Value <= 0 || e.Value > 0.95 {
+			return fmt.Errorf("faults: fan-degrade blockage %g outside (0, 0.95]", e.Value)
+		}
+	case CapacityLoss:
+		if e.Value <= 0 || e.Value > 1 {
+			return fmt.Errorf("faults: capacity-loss fraction %g outside (0, 1]", e.Value)
+		}
+	case WaxDegrade:
+		if e.Value <= 0 || e.Value > 1 {
+			return fmt.Errorf("faults: wax-degrade retention %g outside (0, 1]", e.Value)
+		}
+	case Surge:
+		if e.Value <= 0 {
+			return fmt.Errorf("faults: non-positive surge multiplier %g", e.Value)
+		}
+	}
+	return nil
+}
+
+// Schedule is a validated, time-sorted list of fault events.
+type Schedule struct {
+	events []Event
+}
+
+// NewSchedule validates the events, sorts them stably by time, and rejects
+// exact duplicates (same time, kind and target): a duplicate is always a
+// scenario authoring mistake, not a legitimate double fault.
+func NewSchedule(events []Event) (*Schedule, error) {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	for i, e := range sorted {
+		if e.Rack < 0 {
+			sorted[i].Rack = -1
+		}
+		if e.Class < 0 {
+			sorted[i].Class = -1
+		}
+		if err := sorted[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].AtS < sorted[j].AtS })
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		if a.AtS == b.AtS && a.Kind == b.Kind && a.Rack == b.Rack && a.Class == b.Class {
+			return nil, fmt.Errorf("faults: duplicate event %q", b)
+		}
+	}
+	return &Schedule{events: sorted}, nil
+}
+
+// Events returns the schedule's events in time order. The slice is shared;
+// treat it as read-only.
+func (s *Schedule) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return s.events
+}
+
+// Len returns the event count.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// FirstTrip returns the time of the first chiller trip, or ok=false when
+// the schedule has none.
+func (s *Schedule) FirstTrip() (atS float64, ok bool) {
+	for _, e := range s.Events() {
+		if e.Kind == ChillerTrip {
+			return e.AtS, true
+		}
+	}
+	return 0, false
+}
+
+// CheckTargets verifies every targeted rack and class index exists in a
+// fleet of the given shape. The fleet calls it at build time so a scenario
+// written for a bigger fleet fails loudly instead of silently no-opping.
+func (s *Schedule) CheckTargets(racks, classes int) error {
+	for _, e := range s.Events() {
+		if e.Rack >= racks {
+			return fmt.Errorf("faults: event %q targets rack %d of a %d-rack fleet", e, e.Rack, racks)
+		}
+		if e.Class >= classes {
+			return fmt.Errorf("faults: event %q targets class %d of a %d-class fleet", e, e.Class, classes)
+		}
+	}
+	return nil
+}
+
+// Injector replays a schedule against a simulation clock, tracking the
+// fleet-wide state (chiller up or down, surge multiplier). Per-rack fault
+// state lives with the owner of the racks (the fleet), which reacts to the
+// events Advance returns; the injector itself is engine-agnostic.
+type Injector struct {
+	sched *Schedule
+	next  int
+
+	chillerOut bool
+	surge      float64
+}
+
+// Injector returns a fresh replay cursor over the schedule. A nil schedule
+// yields an injector that never fires.
+func (s *Schedule) Injector() *Injector {
+	return &Injector{sched: s, surge: 1}
+}
+
+// Advance applies every event with time <= t and returns them in order.
+// The returned slice aliases the schedule; treat it as read-only. Advance
+// with a time before the previous call's returns nothing (events never
+// replay).
+func (in *Injector) Advance(t float64) []Event {
+	events := in.sched.Events()
+	start := in.next
+	for in.next < len(events) && events[in.next].AtS <= t {
+		switch events[in.next].Kind {
+		case ChillerTrip:
+			in.chillerOut = true
+		case ChillerRecover:
+			in.chillerOut = false
+		case Surge:
+			in.surge = events[in.next].Value
+		case SurgeEnd:
+			in.surge = 1
+		}
+		in.next++
+	}
+	return events[start:in.next]
+}
+
+// ChillerOut reports whether the cooling plant is currently down.
+func (in *Injector) ChillerOut() bool { return in.chillerOut }
+
+// SurgeMultiplier returns the current demand multiplier (1 = nominal).
+func (in *Injector) SurgeMultiplier() float64 { return in.surge }
+
+// Done reports whether every event has been applied.
+func (in *Injector) Done() bool { return in.next >= in.sched.Len() }

@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleBasic(t *testing.T) {
+	const scenario = `
+# midday chiller trip, back after 45 minutes
+12h30m chiller-trip for 45m
+13h30m rack 3 fan-degrade 0.5
+15h rack 3 fan-recover
+16h class 1 capacity-loss 0.25 for 1h
+18h rack 2 sensor-stuck
+18h30m all wax-degrade 0.8
+19h surge 1.3 for 2h
+`
+	s, err := ParseScheduleString(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{AtS: 12.5 * 3600, Kind: ChillerTrip, Rack: -1, Class: -1},
+		{AtS: 13.25 * 3600, Kind: ChillerRecover, Rack: -1, Class: -1},
+		{AtS: 13.5 * 3600, Kind: FanDegrade, Rack: 3, Class: -1, Value: 0.5},
+		{AtS: 15 * 3600, Kind: FanRecover, Rack: 3, Class: -1},
+		{AtS: 16 * 3600, Kind: CapacityLoss, Rack: -1, Class: 1, Value: 0.25},
+		{AtS: 17 * 3600, Kind: CapacityRecover, Rack: -1, Class: 1},
+		{AtS: 18 * 3600, Kind: SensorStuck, Rack: 2, Class: -1},
+		{AtS: 18.5 * 3600, Kind: WaxDegrade, Rack: -1, Class: -1, Value: 0.8},
+		{AtS: 19 * 3600, Kind: Surge, Rack: -1, Class: -1, Value: 1.3},
+		{AtS: 21 * 3600, Kind: SurgeEnd, Rack: -1, Class: -1},
+	}
+	if !reflect.DeepEqual(s.Events(), want) {
+		t.Errorf("parsed events:\n got %v\nwant %v", s.Events(), want)
+	}
+	if at, ok := s.FirstTrip(); !ok || at != 12.5*3600 {
+		t.Errorf("FirstTrip = %v, %v", at, ok)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct {
+		name, scenario, wantErr string
+	}{
+		{"malformed time", "12x chiller-trip", "unknown unit"},
+		{"missing unit", "90 chiller-trip", "missing unit"},
+		{"units out of order", "30m1h chiller-trip", "units out of order"},
+		{"unknown kind", "1h melt-everything", "unknown fault kind"},
+		{"missing kind", "1h rack 2", "missing fault kind"},
+		{"missing value", "1h rack 2 fan-degrade", "needs a value"},
+		{"bad value", "1h rack 2 fan-degrade lots", "bad fan-degrade value"},
+		{"out of range blockage", "1h rack 2 fan-degrade 0.99", "outside (0, 0.95]"},
+		{"out of range capacity", "1h rack 2 capacity-loss 1.5", "outside (0, 1]"},
+		{"negative surge", "1h surge -2", "non-positive surge"},
+		{"value on valueless kind", "1h rack 2 sensor-stuck 3", "trailing"},
+		{"rack on fleet-wide", "1h rack 2 chiller-trip", "fleet-wide"},
+		{"bad rack index", "1h rack -2 fan-recover", "bad rack index"},
+		{"out of order lines", "2h chiller-trip\n1h chiller-recover", "before the previous line"},
+		{"duplicate events", "1h rack 2 sensor-stuck\n1h rack 2 sensor-stuck", "duplicate event"},
+		{"duplicate via for", "1h chiller-trip for 1h\n2h chiller-recover", "duplicate event"},
+		{"for on permanent fault", "1h rack 2 wax-degrade 0.5 for 1h", "permanent"},
+		{"non-positive for", "1h chiller-trip for 0s", "non-positive duration"},
+		{"dangling for", "1h chiller-trip for", "trailing"},
+	}
+	for _, c := range cases {
+		_, err := ParseScheduleString(c.scenario)
+		if err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.scenario)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseSpan(t *testing.T) {
+	cases := map[string]float64{
+		"90s":     90,
+		"45m":     45 * 60,
+		"12h30m":  12.5 * 3600,
+		"1d2h":    26 * 3600,
+		"0s":      0,
+		"1.5h":    1.5 * 3600,
+		"1d2h30s": 26*3600 + 30,
+	}
+	for in, want := range cases {
+		got, err := parseSpan(in)
+		if err != nil {
+			t.Errorf("parseSpan(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("parseSpan(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestEventStringRoundTrips(t *testing.T) {
+	s, err := ParseScheduleString("12h30m chiller-trip\n13h rack 3 fan-degrade 0.5\n14h class 0 capacity-loss 0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Events() {
+		re, err := ParseScheduleString(e.String())
+		if err != nil {
+			t.Errorf("event %q does not re-parse: %v", e, err)
+			continue
+		}
+		if !reflect.DeepEqual(re.Events()[0], e) {
+			t.Errorf("round trip of %q: got %+v", e, re.Events()[0])
+		}
+	}
+}
+
+func TestCheckTargets(t *testing.T) {
+	s, err := ParseScheduleString("1h rack 5 fan-degrade 0.5\n2h class 1 capacity-loss 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckTargets(6, 2); err != nil {
+		t.Errorf("valid targets rejected: %v", err)
+	}
+	if err := s.CheckTargets(5, 2); err == nil || !strings.Contains(err.Error(), "rack 5") {
+		t.Errorf("rack out of range not caught: %v", err)
+	}
+	if err := s.CheckTargets(6, 1); err == nil || !strings.Contains(err.Error(), "class 1") {
+		t.Errorf("class out of range not caught: %v", err)
+	}
+}
+
+func TestInjectorReplay(t *testing.T) {
+	s, err := ParseScheduleString("1h chiller-trip\n2h surge 1.5\n3h chiller-recover\n4h surge-end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := s.Injector()
+	if got := in.Advance(30 * 60); len(got) != 0 {
+		t.Errorf("events before their time: %v", got)
+	}
+	if in.ChillerOut() || in.SurgeMultiplier() != 1 {
+		t.Error("state changed before any event")
+	}
+	if got := in.Advance(2 * 3600); len(got) != 2 {
+		t.Errorf("expected trip+surge, got %v", got)
+	}
+	if !in.ChillerOut() || in.SurgeMultiplier() != 1.5 {
+		t.Errorf("state after trip+surge: chiller=%v surge=%v", in.ChillerOut(), in.SurgeMultiplier())
+	}
+	// Replaying an earlier time must not re-fire events.
+	if got := in.Advance(90 * 60); len(got) != 0 {
+		t.Errorf("rewound clock re-fired %v", got)
+	}
+	if got := in.Advance(1e12); len(got) != 2 || !in.Done() {
+		t.Errorf("tail events %v, done=%v", got, in.Done())
+	}
+	if in.ChillerOut() || in.SurgeMultiplier() != 1 {
+		t.Error("recovery events did not clear state")
+	}
+	// A nil schedule never fires.
+	var nilSched *Schedule
+	nin := nilSched.Injector()
+	if got := nin.Advance(1e12); len(got) != 0 || nin.ChillerOut() || nin.SurgeMultiplier() != 1 {
+		t.Error("nil schedule fired")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	opts := DefaultGenOptions(42, 2*86400, 16)
+	a, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Error("same seed produced different schedules")
+	}
+	opts.Seed = 43
+	c, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events(), c.Events()) && a.Len() > 0 {
+		t.Error("different seeds produced identical non-empty schedules")
+	}
+	// Generated schedules satisfy the same invariants as parsed ones.
+	for i, e := range a.Events() {
+		if e.Rack >= 16 {
+			t.Errorf("event %d targets rack %d outside the fleet", i, e.Rack)
+		}
+		if i > 0 && e.AtS < a.Events()[i-1].AtS {
+			t.Errorf("event %d out of order", i)
+		}
+	}
+	if _, err := Generate(GenOptions{Seed: 1, HorizonS: 0, Racks: 4}); err == nil {
+		t.Error("accepted zero horizon")
+	}
+	if _, err := Generate(GenOptions{Seed: 1, HorizonS: 100, Racks: 0}); err == nil {
+		t.Error("accepted zero racks")
+	}
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule([]Event{{AtS: -1, Kind: ChillerTrip, Rack: -1, Class: -1}}); err == nil {
+		t.Error("accepted negative time")
+	}
+	if _, err := NewSchedule([]Event{{AtS: 1, Kind: FanDegrade, Rack: 0, Class: 2, Value: 0.5}}); err == nil {
+		t.Error("accepted event targeting both rack and class")
+	}
+	if _, err := NewSchedule([]Event{{AtS: 1, Kind: Kind(200), Rack: -1, Class: -1}}); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	// Unsorted input is sorted, not rejected (only the text format demands
+	// ordered lines).
+	s, err := NewSchedule([]Event{
+		{AtS: 10, Kind: ChillerRecover, Rack: -1, Class: -1},
+		{AtS: 5, Kind: ChillerTrip, Rack: -1, Class: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events()[0].Kind != ChillerTrip {
+		t.Error("events not sorted by time")
+	}
+}

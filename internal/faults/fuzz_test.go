@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseSchedule asserts the scenario parser never panics and that an
+// accepted scenario satisfies the Schedule invariants: validated events in
+// non-decreasing time order with no duplicates (NewSchedule over the
+// parsed events must agree).
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		"12h30m chiller-trip for 45m",
+		"6h rack 3 fan-degrade 0.5\n8h rack 3 fan-recover",
+		"2h class 1 capacity-loss 0.25 for 4h",
+		"0s all wax-degrade 0.8",
+		"13h surge 1.3 for 2h\n# comment\n\n16h sensor-drop",
+		"1h rack 2 sensor-stuck\n1h rack 3 sensor-stuck",
+		"1d2h30m chiller-trip",
+		"999999999999d chiller-trip",
+		"1h chiller-trip\n1h chiller-trip",
+		"30m1h chiller-trip",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, scenario string) {
+		s, err := ParseScheduleString(scenario)
+		if err != nil {
+			return
+		}
+		events := s.Events()
+		for i, e := range events {
+			if e.validate() != nil {
+				t.Fatalf("accepted invalid event %+v from %q", e, scenario)
+			}
+			if i > 0 && e.AtS < events[i-1].AtS {
+				t.Fatalf("accepted out-of-order events from %q", scenario)
+			}
+		}
+		if _, err := NewSchedule(events); err != nil {
+			t.Fatalf("parsed events rejected by NewSchedule (%v) from %q", err, scenario)
+		}
+	})
+}

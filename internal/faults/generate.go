@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenOptions configures the stochastic scenario generator. Expected counts
+// are means of Poisson draws, so a horizon can see zero or several of each
+// fault; every draw comes from the seeded source, making the schedule a
+// pure function of the options.
+type GenOptions struct {
+	// Seed drives the generator; equal options yield equal schedules.
+	Seed int64
+	// HorizonS is the scenario length in seconds (faults start inside it).
+	HorizonS float64
+	// Racks is the fleet size events may target.
+	Racks int
+
+	// ChillerTrips is the expected number of chiller trips; each lasts
+	// uniformly between 10 minutes and 2 hours.
+	ChillerTrips float64
+	// FanDegrades is the expected number of per-rack fan degradations
+	// (added blockage uniform in [0.2, 0.7], lasting 30 min - 6 h).
+	FanDegrades float64
+	// CapacityLosses is the expected number of per-rack capacity losses
+	// (fraction uniform in [0.1, 0.6], lasting 15 min - 4 h).
+	CapacityLosses float64
+	// SensorFaults is the expected number of sensor faults (stuck or
+	// dropped with equal odds, lasting 10 min - 8 h).
+	SensorFaults float64
+	// WaxDegrades is the expected number of permanent wax deratings
+	// (retention uniform in [0.5, 0.9]).
+	WaxDegrades float64
+	// Surges is the expected number of demand surges (multiplier uniform
+	// in [1.1, 1.5], lasting 20 min - 3 h).
+	Surges float64
+}
+
+// DefaultGenOptions is a moderately hostile day: one chiller trip plus a
+// couple of rack-level faults expected per horizon.
+func DefaultGenOptions(seed int64, horizonS float64, racks int) GenOptions {
+	return GenOptions{
+		Seed: seed, HorizonS: horizonS, Racks: racks,
+		ChillerTrips: 1, FanDegrades: 2, CapacityLosses: 1,
+		SensorFaults: 1, WaxDegrades: 0.5, Surges: 1,
+	}
+}
+
+// Generate draws a schedule from the options. The result is deterministic
+// in the options (including the seed) and independent of anything else —
+// in particular of how many workers later replay it.
+func Generate(opts GenOptions) (*Schedule, error) {
+	if opts.HorizonS <= 0 {
+		return nil, fmt.Errorf("faults: non-positive generation horizon %g", opts.HorizonS)
+	}
+	if opts.Racks <= 0 {
+		return nil, fmt.Errorf("faults: non-positive rack count %d", opts.Racks)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var events []Event
+
+	// pair emits a fault and its recovery; a recovery past the horizon is
+	// kept (the run simply never heals), matching a real outage tail.
+	pair := func(k Kind, rack int, value, minDurS, maxDurS float64) {
+		at := rng.Float64() * opts.HorizonS
+		events = append(events, Event{AtS: at, Kind: k, Rack: rack, Class: -1, Value: value})
+		if rec, ok := recoveryOf(k); ok {
+			dur := minDurS + rng.Float64()*(maxDurS-minDurS)
+			events = append(events, Event{AtS: at + dur, Kind: rec, Rack: rack, Class: -1})
+		}
+	}
+
+	for i := 0; i < poisson(rng, opts.ChillerTrips); i++ {
+		pair(ChillerTrip, -1, 0, 10*60, 2*3600)
+	}
+	for i := 0; i < poisson(rng, opts.FanDegrades); i++ {
+		pair(FanDegrade, rng.Intn(opts.Racks), 0.2+0.5*rng.Float64(), 30*60, 6*3600)
+	}
+	for i := 0; i < poisson(rng, opts.CapacityLosses); i++ {
+		pair(CapacityLoss, rng.Intn(opts.Racks), 0.1+0.5*rng.Float64(), 15*60, 4*3600)
+	}
+	for i := 0; i < poisson(rng, opts.SensorFaults); i++ {
+		kind := SensorStuck
+		if rng.Float64() < 0.5 {
+			kind = SensorDrop
+		}
+		pair(kind, rng.Intn(opts.Racks), 0, 10*60, 8*3600)
+	}
+	for i := 0; i < poisson(rng, opts.WaxDegrades); i++ {
+		pair(WaxDegrade, rng.Intn(opts.Racks), 0.5+0.4*rng.Float64(), 0, 0)
+	}
+	for i := 0; i < poisson(rng, opts.Surges); i++ {
+		pair(Surge, -1, 1.1+0.4*rng.Float64(), 20*60, 3*3600)
+	}
+
+	// Exact time collisions between independently drawn events are
+	// vanishingly rare but would fail NewSchedule's duplicate check; nudge
+	// them apart deterministically.
+	for changed := true; changed; {
+		changed = false
+		for i := range events {
+			for j := i + 1; j < len(events); j++ {
+				a, b := &events[i], &events[j]
+				if a.AtS == b.AtS && a.Kind == b.Kind && a.Rack == b.Rack && a.Class == b.Class {
+					b.AtS++
+					changed = true
+				}
+			}
+		}
+	}
+	return NewSchedule(events)
+}
+
+// poisson draws a Poisson count by Knuth's method; fine for the small
+// means scenarios use.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	threshold := math.Exp(-mean)
+	l := 1.0
+	k := 0
+	for l > threshold {
+		k++
+		l *= rng.Float64()
+	}
+	return k - 1
+}

@@ -1,0 +1,236 @@
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The scenario format is line-based, one event per line:
+//
+//	# a chiller trips at the midday peak and is back 45 minutes later
+//	12h30m chiller-trip for 45m
+//	6h rack 3 fan-degrade 0.5
+//	8h rack 3 fan-recover
+//	2h class 1 capacity-loss 0.25 for 4h
+//	10h rack 2 sensor-stuck
+//	0s rack 4 wax-degrade 0.8
+//	13h surge 1.3 for 2h
+//
+// Grammar per line, after stripping comments (# to end of line):
+//
+//	<time> [rack <n> | class <n> | all] <kind> [<value>] [for <duration>]
+//
+// Times are unit-suffixed spans like 90s, 45m, 12h30m or 1d2h and must be
+// non-decreasing down the file; an out-of-order line is an error, as is a
+// duplicate event (same time, kind and target), a malformed time, an
+// unknown kind, a missing or out-of-range value, or a "for" clause on a
+// permanent fault (wax-degrade). "for <duration>" appends the matching
+// recovery event at <time>+<duration>.
+
+// ParseSchedule reads the scenario format into a validated Schedule.
+func ParseSchedule(r io.Reader) (*Schedule, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	lastAt := 0.0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		parsed, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faults: line %d: %w", lineNo, err)
+		}
+		if parsed[0].AtS < lastAt {
+			return nil, fmt.Errorf("faults: line %d: time %s is before the previous line's %s (events must be in time order)",
+				lineNo, formatSeconds(parsed[0].AtS), formatSeconds(lastAt))
+		}
+		lastAt = parsed[0].AtS
+		events = append(events, parsed...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("faults: read scenario: %w", err)
+	}
+	return NewSchedule(events)
+}
+
+// ParseScheduleString is ParseSchedule over a string.
+func ParseScheduleString(s string) (*Schedule, error) {
+	return ParseSchedule(strings.NewReader(s))
+}
+
+// parseLine parses one tokenized line into the event it states plus, for a
+// "for" clause, the implied recovery event.
+func parseLine(fields []string) ([]Event, error) {
+	at, err := parseSpan(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad time %q: %w", fields[0], err)
+	}
+	rest := fields[1:]
+
+	ev := Event{AtS: at, Rack: -1, Class: -1}
+	switch {
+	case len(rest) == 0:
+		return nil, fmt.Errorf("missing fault kind")
+	case rest[0] == "rack" || rest[0] == "class":
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("%q needs an index", rest[0])
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad %s index %q", rest[0], rest[1])
+		}
+		if rest[0] == "rack" {
+			ev.Rack = n
+		} else {
+			ev.Class = n
+		}
+		rest = rest[2:]
+	case rest[0] == "all":
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("missing fault kind")
+	}
+
+	kind, ok := kindByName(rest[0])
+	if !ok {
+		return nil, fmt.Errorf("unknown fault kind %q (want one of %s)", rest[0], kindList())
+	}
+	ev.Kind = kind
+	rest = rest[1:]
+
+	if kind.hasValue() {
+		if len(rest) == 0 || rest[0] == "for" {
+			return nil, fmt.Errorf("%s needs a value", kind)
+		}
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q", kind, rest[0])
+		}
+		ev.Value = v
+		rest = rest[1:]
+	}
+	if err := ev.validate(); err != nil {
+		return nil, err
+	}
+
+	events := []Event{ev}
+	if len(rest) > 0 {
+		if rest[0] != "for" || len(rest) != 2 {
+			return nil, fmt.Errorf("trailing %q (want: for <duration>)", strings.Join(rest, " "))
+		}
+		dur, err := parseSpan(rest[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad duration %q: %w", rest[1], err)
+		}
+		if dur <= 0 {
+			return nil, fmt.Errorf("non-positive duration %q", rest[1])
+		}
+		rec, ok := recoveryOf(kind)
+		if !ok {
+			return nil, fmt.Errorf("%s is permanent and takes no \"for\" clause", kind)
+		}
+		events = append(events, Event{AtS: at + dur, Kind: rec, Rack: ev.Rack, Class: ev.Class})
+	}
+	return events, nil
+}
+
+// kindByName resolves a scenario spelling to its Kind.
+func kindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// kindList renders every kind spelling for error messages, in Kind order.
+func kindList() string {
+	names := make([]string, 0, len(kindNames))
+	for k := ChillerTrip; int(k) < len(kindNames); k++ {
+		names = append(names, kindNames[k])
+	}
+	return strings.Join(names, ", ")
+}
+
+// spanUnits maps the time-span unit suffixes to seconds.
+var spanUnits = []struct {
+	suffix  byte
+	seconds float64
+}{{'d', 86400}, {'h', 3600}, {'m', 60}, {'s', 1}}
+
+// parseSpan parses a unit-suffixed time span such as "90s", "45m",
+// "12h30m" or "1d2h" into seconds. Every numeric segment needs a unit, the
+// units must appear in strictly descending order (days before hours before
+// minutes before seconds), and each appears at most once.
+func parseSpan(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty span")
+	}
+	total := 0.0
+	rest := s
+	lastUnit := -1
+	for rest != "" {
+		i := 0
+		for i < len(rest) && (rest[i] == '.' || (rest[i] >= '0' && rest[i] <= '9')) {
+			i++
+		}
+		if i == 0 {
+			return 0, fmt.Errorf("expected a number at %q", rest)
+		}
+		if i == len(rest) {
+			return 0, fmt.Errorf("missing unit after %q (want d, h, m or s)", rest)
+		}
+		n, err := strconv.ParseFloat(rest[:i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", rest[:i])
+		}
+		unit := -1
+		for ui, u := range spanUnits {
+			if rest[i] == u.suffix {
+				unit = ui
+				break
+			}
+		}
+		if unit < 0 {
+			return 0, fmt.Errorf("unknown unit %q (want d, h, m or s)", string(rest[i]))
+		}
+		if unit <= lastUnit {
+			return 0, fmt.Errorf("units out of order in %q", s)
+		}
+		lastUnit = unit
+		total += n * spanUnits[unit].seconds
+		rest = rest[i+1:]
+	}
+	return total, nil
+}
+
+// formatSeconds renders a span compactly in the scenario format.
+func formatSeconds(s float64) string {
+	if s < 0 {
+		return fmt.Sprintf("%gs", s)
+	}
+	out := ""
+	rest := s
+	for _, u := range spanUnits[:3] {
+		if n := int(rest / u.seconds); n > 0 {
+			out += fmt.Sprintf("%d%c", n, u.suffix)
+			rest -= float64(n) * u.seconds
+		}
+	}
+	if rest > 0 || out == "" {
+		out += fmt.Sprintf("%g%c", rest, 's')
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package fleet
+
+import "fmt"
+
+// DegradeConfig tunes the graceful-degradation response the racks mount
+// when faults push them past their thermal envelope. Zero fields select
+// the defaults, so the zero value is a sane configuration.
+type DegradeConfig struct {
+	// ThrottleInletC is the rack inlet temperature at which a rack
+	// throttles (DVFS plus admission control): its usable capacity drops
+	// to ThrottleFactor of the live population until the inlet falls back
+	// below the trigger. The default, 40 degC, is the ASHRAE-allowable
+	// ceiling the emergency ride-through model uses. Throttling is a
+	// chassis-level protection and fires on the true inlet temperature
+	// regardless of sensor faults (which only blind the balancer).
+	ThrottleInletC float64
+	// ThrottleFactor is the capacity fraction a throttled rack retains,
+	// in (0, 1]. Default 0.5.
+	ThrottleFactor float64
+	// RoomCapacityJPerKPerKW is the room's own thermal mass (air plus
+	// structure) per kilowatt of IT load — what buys the classic
+	// few-minute ride-through when the chillers trip. Default 20 kJ/K/kW,
+	// matching core.DefaultEmergency. The capacity is frozen at the fleet
+	// power of the epoch the trip lands in, mirroring the analytic
+	// emergency model's per-kW sizing.
+	RoomCapacityJPerKPerKW float64
+	// RecoveryTauS is the time constant of the room's exponential pull-
+	// down back to the cold-aisle setpoint once the chillers return.
+	// Default 900 s.
+	RecoveryTauS float64
+}
+
+// DefaultDegrade returns the default graceful-degradation tuning.
+func DefaultDegrade() DegradeConfig {
+	return DegradeConfig{
+		ThrottleInletC:         40,
+		ThrottleFactor:         0.5,
+		RoomCapacityJPerKPerKW: 20e3,
+		RecoveryTauS:           900,
+	}
+}
+
+// withDefaults fills zero fields with the defaults.
+func (d DegradeConfig) withDefaults() DegradeConfig {
+	def := DefaultDegrade()
+	if d.ThrottleInletC == 0 {
+		d.ThrottleInletC = def.ThrottleInletC
+	}
+	if d.ThrottleFactor == 0 {
+		d.ThrottleFactor = def.ThrottleFactor
+	}
+	if d.RoomCapacityJPerKPerKW == 0 {
+		d.RoomCapacityJPerKPerKW = def.RoomCapacityJPerKPerKW
+	}
+	if d.RecoveryTauS == 0 {
+		d.RecoveryTauS = def.RecoveryTauS
+	}
+	return d
+}
+
+// Validate names the first bad field. It checks the resolved (defaulted)
+// values, so a zero-value config always passes.
+func (d DegradeConfig) Validate() error {
+	r := d.withDefaults()
+	if r.ThrottleInletC <= 0 {
+		return fmt.Errorf("fleet: non-positive throttle inlet trigger %v degC", d.ThrottleInletC)
+	}
+	if r.ThrottleFactor <= 0 || r.ThrottleFactor > 1 {
+		return fmt.Errorf("fleet: throttle factor %v outside (0, 1]", d.ThrottleFactor)
+	}
+	if r.RoomCapacityJPerKPerKW <= 0 {
+		return fmt.Errorf("fleet: non-positive room capacity %v J/K/kW", d.RoomCapacityJPerKPerKW)
+	}
+	if r.RecoveryTauS <= 0 {
+		return fmt.Errorf("fleet: non-positive room recovery time constant %v s", d.RecoveryTauS)
+	}
+	return nil
+}

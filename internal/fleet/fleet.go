@@ -14,6 +14,17 @@
 // policy is round-robin it reduces to the fluid engine — tests pin that
 // equivalence, which anchors the new layer to the validated one.
 //
+// Runs optionally replay a faults.Schedule: chiller trips heat the room
+// on its own thermal mass (the Garday & Housley emergency scenario) until
+// racks throttle; fan degradation reduces a rack's airflow through the
+// fan-curve solver; capacity loss takes servers offline; sensor faults
+// blind the balancer; wax degradation derates the latent store; surges
+// multiply demand. Graceful degradation — inlet-triggered throttling and
+// fault-aware balancing — bounds the damage, and the run reports
+// ride-through metrics (throttle onset, throttled server-seconds, shed
+// work). All fault logic executes in the sequential part of the epoch
+// loop, so faulted runs remain bit-identical across worker counts.
+//
 // Execution is sharded: racks are partitioned into contiguous shards, one
 // per worker in a bounded pool (runtime.NumCPU() by default). Every trace
 // step is an epoch in lockstep: the balancer runs sequentially against a
@@ -21,15 +32,21 @@
 // workers step their shards concurrently, and a barrier closes the epoch
 // before per-rack outputs are merged in rack-index order. Per-rack state
 // is owned by exactly one worker and the merge order is fixed, so results
-// are bit-identical regardless of the worker count.
+// are bit-identical regardless of the worker count. A panic inside a
+// worker is recovered and surfaces as an error naming the shard; a
+// cancelled context stops the run at the next epoch boundary with no
+// goroutine leaks.
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/server"
@@ -63,9 +80,57 @@ type Config struct {
 	// Workers bounds the stepping pool: 0 selects runtime.NumCPU(), and
 	// the pool never exceeds the rack count. Negative is rejected.
 	Workers int
+	// Faults optionally injects a fault schedule into every run; nil runs
+	// fault-free. Event rack and class targets are validated against the
+	// fleet shape at build time.
+	Faults *faults.Schedule
+	// Degrade tunes the graceful-degradation response (throttle trigger,
+	// room thermal mass); the zero value selects the defaults.
+	Degrade DegradeConfig
 	// Obs is the optional telemetry registry; nil disables
 	// instrumentation at zero cost.
 	Obs *obs.Registry
+}
+
+// Validate names the first bad field of the configuration: an empty mix,
+// a class without a server config, a non-positive rack count, a negative
+// worker count, a bad degradation tuning, or a fault schedule targeting
+// racks or classes the fleet does not have.
+func (c Config) Validate() error {
+	if len(c.Classes) == 0 {
+		return errors.New("fleet: no classes configured (empty mix)")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fleet: negative worker count %d", c.Workers)
+	}
+	deg := c.Degrade.withDefaults()
+	if err := c.Degrade.Validate(); err != nil {
+		return err
+	}
+	racks := 0
+	for ci, cl := range c.Classes {
+		if cl.Cfg == nil {
+			return fmt.Errorf("fleet: class %d has no server config", ci)
+		}
+		if cl.Racks <= 0 {
+			return fmt.Errorf("fleet: class %d (%s): non-positive rack count %d",
+				ci, cl.Cfg.Name, cl.Racks)
+		}
+		if err := cl.Cfg.Validate(); err != nil {
+			return err
+		}
+		if deg.ThrottleInletC <= cl.Cfg.InletC {
+			return fmt.Errorf("fleet: class %d (%s): throttle trigger %v degC not above cold-aisle inlet %v degC (racks would throttle permanently)",
+				ci, cl.Cfg.Name, deg.ThrottleInletC, cl.Cfg.InletC)
+		}
+		racks += cl.Racks
+	}
+	if c.Faults != nil {
+		if err := c.Faults.CheckTargets(racks, len(c.Classes)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // rackSpec is the immutable description of one rack.
@@ -77,27 +142,40 @@ type rackSpec struct {
 }
 
 // Fleet is a validated, ROM-derived fleet ready to run. A Fleet is
-// immutable after New: every Run creates fresh per-rack wax state, so
-// runs are independent and a single Fleet may be reused.
+// immutable after New: every Run creates fresh per-rack wax and fault
+// state, so runs are independent and a single Fleet may be reused.
 type Fleet struct {
 	classes []ClassSpec
 	racks   []rackSpec
 	policy  Policy
 	workers int
 	servers int
+	faults  *faults.Schedule
+	degrade DegradeConfig
 	reg     *obs.Registry
+
+	// maxInletC is the hottest class cold-aisle setpoint: the inlet that
+	// crosses the throttle trigger first during a room excursion.
+	maxInletC float64
+
+	// testStepHook, when set by a test, runs before every rack step; it
+	// exists to inject worker panics.
+	testStepHook func(rack int)
 }
 
 // New validates the configuration, derives any missing ROMs, and lays the
 // racks out class-major (every rack of class 0, then class 1, ...).
 func New(cfg Config) (*Fleet, error) {
-	if len(cfg.Classes) == 0 {
-		return nil, errors.New("fleet: no classes configured")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("fleet: negative worker count %d", cfg.Workers)
+	f := &Fleet{
+		classes: cfg.Classes,
+		policy:  cfg.Policy,
+		faults:  cfg.Faults,
+		degrade: cfg.Degrade.withDefaults(),
+		reg:     cfg.Obs,
 	}
-	f := &Fleet{classes: cfg.Classes, policy: cfg.Policy, reg: cfg.Obs}
 	if f.policy == nil {
 		f.policy = RoundRobin{}
 	}
@@ -106,16 +184,6 @@ func New(cfg Config) (*Fleet, error) {
 		f.workers = runtime.NumCPU()
 	}
 	for ci, cl := range cfg.Classes {
-		if cl.Cfg == nil {
-			return nil, fmt.Errorf("fleet: class %d has no server config", ci)
-		}
-		if cl.Racks <= 0 {
-			return nil, fmt.Errorf("fleet: class %d (%s): non-positive rack count %d",
-				ci, cl.Cfg.Name, cl.Racks)
-		}
-		if err := cl.Cfg.Validate(); err != nil {
-			return nil, err
-		}
 		rom := cl.ROM
 		if cl.WithWax && rom == nil {
 			var err error
@@ -135,6 +203,9 @@ func New(cfg Config) (*Fleet, error) {
 			})
 		}
 		f.servers += cl.Racks * cl.Cfg.ServersPerRack
+		if cl.Cfg.InletC > f.maxInletC {
+			f.maxInletC = cl.Cfg.InletC
+		}
 	}
 	if f.workers > len(f.racks) {
 		f.workers = len(f.racks)
@@ -156,19 +227,37 @@ type Run struct {
 	// PowerW is the fleet electrical draw (= raw heat generation), W.
 	PowerW *timeseries.Series
 	// CoolingLoadW is the heat the cooling system must remove: power
-	// minus wax absorption plus wax release, summed over the racks.
+	// minus wax absorption plus wax release, summed over the racks. While
+	// the chillers are tripped this heat lands in the room instead.
 	CoolingLoadW *timeseries.Series
 	// WaxLiquid is the server-weighted mean liquid fraction across the
 	// wax racks (all zeros when the fleet carries none).
 	WaxLiquid *timeseries.Series
+	// InletRiseC is the room excursion over the cold-aisle setpoint
+	// driven by chiller trips (all zeros in a fault-free run).
+	InletRiseC *timeseries.Series
+	// ThrottledRacks counts the racks throttled in each epoch.
+	ThrottledRacks *timeseries.Series
 	// AbsorbedJ and ReleasedJ total the wax energy flows over the run.
 	AbsorbedJ, ReleasedJ float64
 	// RackPeakCoolingW is each rack's own peak cooling load, in rack
 	// order — the per-rack hotspot view the fluid engine cannot produce.
 	RackPeakCoolingW []float64
 	// ShedServerSeconds accumulates demanded work the policy could not
-	// place (fleet saturated), in server-seconds.
+	// place (fleet saturated, capacity lost, or racks throttled), in
+	// server-seconds.
 	ShedServerSeconds float64
+	// ThrottleOnsetS is the sim time at which the first rack inlet
+	// crossed the throttle trigger, interpolated inside the epoch the
+	// crossing landed in (NaN when the fleet never throttled). This is
+	// the simulated ride-through clock the analytic emergency model is
+	// cross-checked against.
+	ThrottleOnsetS float64
+	// ThrottledServerSeconds accumulates live server-time spent
+	// throttled.
+	ThrottledServerSeconds float64
+	// FaultEvents counts the schedule events applied during the run.
+	FaultEvents int
 	// Policy and Workers record how the run was executed.
 	Policy  string
 	Workers int
@@ -185,9 +274,40 @@ type epochBuf struct {
 	released []float64
 }
 
+// runState is the mutable state of one run: per-rack wax and fault
+// levels, plus the room excursion. The sequential epoch-loop sections own
+// it; workers read the per-rack slices for the racks of their shard only,
+// and the epoch barrier orders every write against every read.
+type runState struct {
+	buf    *epochBuf
+	waxes  []*pcm.State
+	latent []float64 // per-rack latent capacity, J (0 = no wax)
+
+	capLost     []float64 // fraction of the rack's servers offline
+	flowLoss    []float64 // fraction of nominal airflow lost
+	haScale     []float64 // wax convective conductance derate
+	retention   []float64 // wax latent retention vs original
+	sensorStuck []bool
+	sensorDrop  []bool
+	throttled   []bool
+	maxU        []float64 // usable utilization ceiling this epoch
+
+	roomRise float64 // room excursion over setpoint, K
+	roomCapJ float64 // room thermal mass frozen at the trip epoch, J/K
+
+	observed bool
+}
+
 // Run advances the fleet along the trace. The trace's Total series is the
 // fleet-wide demand as a fraction of total capacity.
 func (f *Fleet) Run(tr *workload.Trace) (*Run, error) {
+	return f.RunContext(context.Background(), tr)
+}
+
+// RunContext is Run with cooperative cancellation: the run stops at the
+// next epoch boundary once ctx is done and returns ctx.Err(), with every
+// worker goroutine joined before returning.
+func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error) {
 	if tr == nil || tr.Total == nil || tr.Total.Len() == 0 {
 		return nil, errors.New("fleet: empty trace")
 	}
@@ -200,12 +320,14 @@ func (f *Fleet) Run(tr *workload.Trace) (*Run, error) {
 	epochs := f.reg.Counter("fleet.epochs")
 	rackSteps := f.reg.Counter("fleet.rack_steps")
 	shedCounter := f.reg.Counter("fleet.shed_epochs")
-	observed := f.reg != nil
+	faultCounter := f.reg.Counter("fleet.fault_events")
+	throttleCounter := f.reg.Counter("fleet.throttle_epochs")
 
 	out := &Run{
 		Policy:           f.policy.Name(),
 		Workers:          f.workers,
 		RackPeakCoolingW: make([]float64, len(f.racks)),
+		ThrottleOnsetS:   math.NaN(),
 	}
 	var err error
 	if out.PowerW, err = timeseries.New(tr.Total.Start, dt, n); err != nil {
@@ -213,38 +335,56 @@ func (f *Fleet) Run(tr *workload.Trace) (*Run, error) {
 	}
 	out.CoolingLoadW = out.PowerW.Clone()
 	out.WaxLiquid = out.PowerW.Clone()
+	out.InletRiseC = out.PowerW.Clone()
+	out.ThrottledRacks = out.PowerW.Clone()
 
 	nr := len(f.racks)
-	buf := &epochBuf{
-		assign:   make([]float64, nr),
-		powerW:   make([]float64, nr),
-		coolingW: make([]float64, nr),
-		liquid:   make([]float64, nr),
-		absorbed: make([]float64, nr),
-		released: make([]float64, nr),
+	st := &runState{
+		buf: &epochBuf{
+			assign:   make([]float64, nr),
+			powerW:   make([]float64, nr),
+			coolingW: make([]float64, nr),
+			liquid:   make([]float64, nr),
+			absorbed: make([]float64, nr),
+			released: make([]float64, nr),
+		},
+		waxes:       make([]*pcm.State, nr),
+		latent:      make([]float64, nr),
+		capLost:     make([]float64, nr),
+		flowLoss:    make([]float64, nr),
+		haScale:     make([]float64, nr),
+		retention:   make([]float64, nr),
+		sensorStuck: make([]bool, nr),
+		sensorDrop:  make([]bool, nr),
+		throttled:   make([]bool, nr),
+		maxU:        make([]float64, nr),
+		observed:    f.reg != nil,
 	}
-	waxes := make([]*pcm.State, nr)
 	views := make([]RackView, nr)
-	latent := make([]float64, nr)
 	for i, rk := range f.racks {
 		views[i] = RackView{Class: rk.class, Servers: rk.servers}
+		st.haScale[i] = 1
+		st.retention[i] = 1
+		st.maxU[i] = 1
 		if rk.rom == nil {
 			continue
 		}
-		if waxes[i], err = rk.rom.NewWaxState(); err != nil {
+		if st.waxes[i], err = rk.rom.NewWaxState(); err != nil {
 			return nil, err
 		}
-		waxes[i].Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, i))
-		latent[i] = rk.rom.LatentCapacity()
+		st.waxes[i].Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, i))
+		st.latent[i] = rk.rom.LatentCapacity()
 		views[i].HasWax = true
-		views[i].WaxRemaining = remainingFraction(waxes[i], latent[i])
+		views[i].WaxRemaining = remainingFraction(st.waxes[i], st.latent[i])
 	}
+	inj := f.faults.Injector()
 
 	// Shards: contiguous rack ranges, one persistent worker each. The
 	// two-channel handshake (jobs in, WaitGroup out) is the epoch barrier.
 	type shard struct{ lo, hi int }
 	shards := make([]shard, f.workers)
 	jobs := make([]chan int, f.workers)
+	shardErrs := make([]error, f.workers)
 	for s := range shards {
 		shards[s] = shard{lo: s * nr / f.workers, hi: (s + 1) * nr / f.workers}
 		jobs[s] = make(chan int, 1)
@@ -253,21 +393,34 @@ func (f *Fleet) Run(tr *workload.Trace) (*Run, error) {
 	var workerWG sync.WaitGroup // worker lifetimes
 	workerWG.Add(len(shards))
 	for s := range shards {
-		go func(sh shard, job <-chan int) {
+		go func(si int, sh shard, job <-chan int) {
 			defer workerWG.Done()
 			wsp := f.reg.StartSpan("fleet.shard")
 			defer wsp.End()
 			steps := int64(sh.hi - sh.lo)
 			for ei := range job {
-				t := tr.Total.TimeAt(ei)
-				for r := sh.lo; r < sh.hi; r++ {
-					f.stepRack(r, t, dt, buf, waxes, observed)
-				}
-				rackSteps.Add(steps)
-				wsp.AddSimTime(dt)
-				wg.Done()
+				func() {
+					// A panic in a rack step must not strand the epoch
+					// barrier: recover, record the shard, keep draining.
+					defer func() {
+						if r := recover(); r != nil {
+							shardErrs[si] = fmt.Errorf("fleet: shard %d (racks %d-%d) panicked at epoch %d: %v",
+								si, sh.lo, sh.hi-1, ei, r)
+						}
+						wg.Done()
+					}()
+					if shardErrs[si] != nil {
+						return
+					}
+					t := tr.Total.TimeAt(ei)
+					for r := sh.lo; r < sh.hi; r++ {
+						f.stepRack(r, t, dt, st)
+					}
+					rackSteps.Add(steps)
+					wsp.AddSimTime(dt)
+				}()
 			}
-		}(shards[s], jobs[s])
+		}(s, shards[s], jobs[s])
 	}
 	defer func() {
 		for _, job := range jobs {
@@ -278,12 +431,70 @@ func (f *Fleet) Run(tr *workload.Trace) (*Run, error) {
 
 	fleetCap := float64(f.servers)
 	for i := 0; i < n; i++ {
-		demand := tr.Total.Values[i]
-		f.policy.Assign(demand, views, buf.assign)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t := tr.Total.TimeAt(i)
+
+		// Sequential fault application keeps faulted runs bit-identical
+		// across worker counts.
+		for _, ev := range inj.Advance(t) {
+			if err := f.applyEvent(ev, st); err != nil {
+				return nil, err
+			}
+			out.FaultEvents++
+			faultCounter.Inc()
+		}
+		chillerOut := inj.ChillerOut()
+		demand := tr.Total.Values[i] * inj.SurgeMultiplier()
+
+		// Refresh the balancer's snapshot: throttle state from the room
+		// excursion, usable ceilings, and sensor-faulted telemetry.
+		throttledRacks := 0
+		for r := range f.racks {
+			rk := &f.racks[r]
+			live := 1 - st.capLost[r]
+			throttled := rk.cfg.InletC+st.roomRise >= f.degrade.ThrottleInletC
+			maxU := live
+			if throttled {
+				maxU *= f.degrade.ThrottleFactor
+				throttledRacks++
+				out.ThrottledServerSeconds += live * float64(rk.servers) * dt
+			}
+			st.throttled[r] = throttled
+			st.maxU[r] = maxU
+			v := &views[r]
+			v.Throttled = throttled
+			v.CapacityLost = st.capLost[r]
+			v.FlowLost = st.flowLoss[r]
+			v.Degraded = maxU < 1
+			v.MaxUtil = maxU
+			switch {
+			case st.sensorDrop[r]:
+				v.SensorDead = true
+				v.WaxRemaining = 0
+				v.InletRiseC = 0
+			case st.sensorStuck[r]:
+				// Readings freeze at their pre-fault values.
+			default:
+				v.SensorDead = false
+				v.InletRiseC = st.roomRise
+			}
+		}
+		if throttledRacks > 0 {
+			throttleCounter.Inc()
+		}
+		out.ThrottledRacks.Values[i] = float64(throttledRacks)
+
+		f.policy.Assign(demand, views, st.buf.assign)
 		placed := 0.0
-		for r := range buf.assign {
-			buf.assign[r] = clamp01(buf.assign[r])
-			placed += buf.assign[r] * float64(f.racks[r].servers)
+		for r := range st.buf.assign {
+			u := clamp01(st.buf.assign[r])
+			if u > st.maxU[r] {
+				u = st.maxU[r]
+			}
+			st.buf.assign[r] = u
+			placed += u * float64(f.racks[r].servers)
 		}
 		if shed := clamp01(demand)*fleetCap - placed; shed > 1e-9 {
 			out.ShedServerSeconds += shed * dt
@@ -296,53 +507,220 @@ func (f *Fleet) Run(tr *workload.Trace) (*Run, error) {
 		}
 		wg.Wait()
 		epochs.Inc()
+		for s := range shardErrs {
+			if shardErrs[s] != nil {
+				return nil, shardErrs[s]
+			}
+		}
 
 		// Merge in rack-index order: fixed summation order keeps the
 		// result independent of how racks were sharded.
 		var power, load, liq, liqServers float64
 		for r := 0; r < nr; r++ {
-			power += buf.powerW[r]
-			load += buf.coolingW[r]
-			if buf.coolingW[r] > out.RackPeakCoolingW[r] {
-				out.RackPeakCoolingW[r] = buf.coolingW[r]
+			power += st.buf.powerW[r]
+			load += st.buf.coolingW[r]
+			if st.buf.coolingW[r] > out.RackPeakCoolingW[r] {
+				out.RackPeakCoolingW[r] = st.buf.coolingW[r]
 			}
-			if waxes[r] != nil {
+			if st.waxes[r] != nil {
 				srv := float64(f.racks[r].servers)
-				liq += buf.liquid[r] * srv
+				liq += st.buf.liquid[r] * srv
 				liqServers += srv
-				views[r].WaxRemaining = remainingFraction(waxes[r], latent[r])
+				if !st.sensorStuck[r] && !st.sensorDrop[r] {
+					views[r].WaxRemaining = remainingFraction(st.waxes[r], st.latent[r])
+				}
 			}
-			views[r].Utilization = buf.assign[r]
+			if !st.sensorStuck[r] && !st.sensorDrop[r] {
+				views[r].Utilization = st.buf.assign[r]
+			}
 		}
 		out.PowerW.Values[i] = power
 		out.CoolingLoadW.Values[i] = load
 		if liqServers > 0 {
 			out.WaxLiquid.Values[i] = liq / liqServers
 		}
+
+		// Room excursion: while the chillers are out every watt the
+		// cooling system would have removed heats the room's thermal mass
+		// instead (the wax absorption inside `load` already subtracted
+		// its share); afterwards the plant pulls the room back down
+		// exponentially.
+		if chillerOut {
+			if st.roomCapJ == 0 {
+				st.roomCapJ = f.degrade.RoomCapacityJPerKPerKW * power / 1000
+			}
+			if st.roomCapJ > 0 {
+				prev := st.roomRise
+				st.roomRise += load * dt / st.roomCapJ
+				if margin := f.degrade.ThrottleInletC - f.maxInletC; math.IsNaN(out.ThrottleOnsetS) &&
+					prev < margin && st.roomRise >= margin && st.roomRise > prev {
+					out.ThrottleOnsetS = t + dt*(margin-prev)/(st.roomRise-prev)
+				}
+			}
+		} else if st.roomRise > 0 {
+			st.roomRise *= math.Exp(-dt / f.degrade.RecoveryTauS)
+			if st.roomRise < 1e-6 {
+				st.roomRise = 0
+			}
+		}
+		out.InletRiseC.Values[i] = st.roomRise
 	}
 	for r := 0; r < nr; r++ {
-		out.AbsorbedJ += buf.absorbed[r]
-		out.ReleasedJ += buf.released[r]
+		out.AbsorbedJ += st.buf.absorbed[r]
+		out.ReleasedJ += st.buf.released[r]
 	}
 	return out, nil
 }
 
+// applyEvent folds one schedule event into the per-rack run state. Called
+// from the sequential section of the epoch loop.
+func (f *Fleet) applyEvent(ev faults.Event, st *runState) error {
+	apply := func(r int) error {
+		rk := &f.racks[r]
+		switch ev.Kind {
+		case faults.FanDegrade:
+			// Resolve the added blockage to a flow fraction through the
+			// fan-curve solver, on top of the rack's baseline blockage
+			// (the wax retrofit's, when present).
+			base := 0.0
+			if rk.rom != nil {
+				base = rk.cfg.Wax.ExtraBlockage
+			}
+			nominal, err := rk.cfg.FlowAt(base)
+			if err != nil {
+				return fmt.Errorf("fleet: rack %d fan-degrade: %w", r, err)
+			}
+			// A wax retrofit already blocks part of the duct; the combined
+			// blockage saturates below fully sealed so the solver stays in
+			// its valid range.
+			total := base + ev.Value
+			if total > 0.95 {
+				total = 0.95
+			}
+			degraded, err := rk.cfg.FlowAt(total)
+			if err != nil {
+				return fmt.Errorf("fleet: rack %d fan-degrade: %w", r, err)
+			}
+			frac := degraded / nominal
+			if frac <= 0.01 {
+				frac = 0.01
+			}
+			st.flowLoss[r] = 1 - frac
+			// Convection follows the flow sublinearly (h ~ v^0.8).
+			st.haScale[r] = math.Pow(frac, 0.8)
+		case faults.FanRecover:
+			st.flowLoss[r] = 0
+			st.haScale[r] = 1
+		case faults.CapacityLoss:
+			st.capLost[r] = ev.Value
+		case faults.CapacityRecover:
+			st.capLost[r] = 0
+		case faults.SensorStuck:
+			st.sensorStuck[r] = true
+		case faults.SensorDrop:
+			st.sensorDrop[r] = true
+		case faults.SensorRecover:
+			st.sensorStuck[r] = false
+			st.sensorDrop[r] = false
+		case faults.WaxDegrade:
+			if rk.rom == nil {
+				return nil // nothing to degrade
+			}
+			// Degradation is monotone: retention only ever falls, and it
+			// is measured against the original enclosure.
+			if ev.Value >= st.retention[r] {
+				return nil
+			}
+			st.retention[r] = ev.Value
+			orig := rk.rom.Enclosure
+			enc, err := pcm.NewEnclosure(orig.Material, orig.Box, orig.Count, orig.FillFraction*ev.Value)
+			if err != nil {
+				return fmt.Errorf("fleet: rack %d wax-degrade: %w", r, err)
+			}
+			enc.MeshConductivityBoost = orig.MeshConductivityBoost
+			wax, err := pcm.NewState(enc, st.waxes[r].Temperature())
+			if err != nil {
+				return fmt.Errorf("fleet: rack %d wax-degrade: %w", r, err)
+			}
+			wax.Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, r))
+			st.waxes[r] = wax
+			st.latent[r] = enc.LatentCapacity()
+		}
+		return nil
+	}
+	switch {
+	case ev.Kind == faults.ChillerRecover:
+		// Re-arm the trip-epoch capacity freeze for the next outage.
+		st.roomCapJ = 0
+		return nil
+	case ev.Kind.FleetWide():
+		// Chiller and surge state live in the injector.
+		return nil
+	case ev.Rack >= 0:
+		return apply(ev.Rack)
+	case ev.Class >= 0:
+		for r := range f.racks {
+			if f.racks[r].class == ev.Class {
+				if err := apply(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		for r := range f.racks {
+			if err := apply(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // stepRack advances one rack by one epoch: the same per-server physics as
 // the fluid engine (power at the assigned utilization; wax exchanging
-// heat with the ROM's wake air), scaled by the rack population. Called
-// only by the worker owning the rack's shard.
-func (f *Fleet) stepRack(r int, t, dt float64, buf *epochBuf, waxes []*pcm.State, observed bool) {
+// heat with the ROM's wake air), scaled by the live rack population, with
+// the fault state folded in — a room excursion and reduced airflow raise
+// the wake temperature the wax sees, and lost capacity idles its share of
+// the servers. Called only by the worker owning the rack's shard.
+func (f *Fleet) stepRack(r int, t, dt float64, st *runState) {
+	if f.testStepHook != nil {
+		f.testStepHook(r)
+	}
 	rk := &f.racks[r]
-	u := buf.assign[r]
-	scale := float64(rk.servers)
+	buf := st.buf
+	live := 1 - st.capLost[r]
+	if live <= 0 {
+		// Rack fully offline: no power, no airflow, wax coasts.
+		buf.powerW[r] = 0
+		buf.coolingW[r] = 0
+		if wax := st.waxes[r]; wax != nil {
+			buf.liquid[r] = wax.LiquidFraction()
+		}
+		return
+	}
+	// The assignment is in nominal-rack units; the live servers run
+	// proportionally hotter.
+	u := buf.assign[r] / live
+	if u > 1 {
+		u = 1
+	}
+	scale := float64(rk.servers) * live
 	power := rk.cfg.PowerAt(u, 1)
 	coolingPerServer := power
-	if wax := waxes[r]; wax != nil {
-		if observed {
+	if wax := st.waxes[r]; wax != nil {
+		if st.observed {
 			wax.SetSimTime(t)
 		}
 		wake := rk.rom.WakeAirC(u, 1)
-		q := wax.ExchangeWithAir(wake, rk.rom.HA, dt) // J absorbed from air, per server
+		if st.roomRise != 0 || st.flowLoss[r] != 0 {
+			// Reduced flow carries the same heat on less air, so the wake
+			// rise over inlet scales inversely with the flow fraction;
+			// the room excursion shifts the whole profile up.
+			rise := wake - rk.cfg.InletC
+			wake = rk.cfg.InletC + st.roomRise + rise/(1-st.flowLoss[r])
+		}
+		q := wax.ExchangeWithAir(wake, rk.rom.HA*st.haScale[r], dt) // J absorbed from air, per server
 		coolingPerServer = power - q/dt
 		if q > 0 {
 			buf.absorbed[r] += q * scale
@@ -356,7 +734,8 @@ func (f *Fleet) stepRack(r int, t, dt float64, buf *epochBuf, waxes []*pcm.State
 }
 
 // remainingFraction is the unspent latent capacity fraction of one wax
-// state.
+// state. A rack without wax — or with fully degraded wax — has latentJ
+// zero; guard it so the fraction is 0, not NaN.
 func remainingFraction(wax *pcm.State, latentJ float64) float64 {
 	if latentJ <= 0 {
 		return 0

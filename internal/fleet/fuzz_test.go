@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePolicy asserts the policy-name resolver never panics and that
+// every accepted name resolves to a policy whose canonical name is itself
+// accepted (so names printed in reports and errors round-trip).
+func FuzzParsePolicy(f *testing.F) {
+	for _, s := range append(Policies(),
+		"rr", "Thermal-Aware", "fault-aware", "", "  leastutil  ", "bogus", "röundrobin") {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("ParsePolicy(%q) returned both a policy and an error", name)
+			}
+			return
+		}
+		canon := p.Name()
+		if strings.TrimSpace(canon) == "" {
+			t.Fatalf("ParsePolicy(%q) resolved to a policy with a blank name", name)
+		}
+		rt, err := ParsePolicy(canon)
+		if err != nil {
+			t.Fatalf("canonical name %q (from %q) does not re-parse: %v", canon, name, err)
+		}
+		if rt.Name() != canon {
+			t.Fatalf("canonical name %q re-parses to %q", canon, rt.Name())
+		}
+	})
+}

@@ -20,6 +20,48 @@ type RackView struct {
 	WaxRemaining float64
 	// Utilization is the rack's assignment in the previous epoch.
 	Utilization float64
+
+	// The remaining fields describe fault and degradation state; all are
+	// zero on a healthy rack, so policies ignorant of faults behave
+	// exactly as before.
+
+	// CapacityLost is the fraction of the rack's servers offline.
+	CapacityLost float64
+	// FlowLost is the fraction of nominal airflow lost to fan
+	// degradation.
+	FlowLost float64
+	// InletRiseC is the rack inlet excursion over the cold-aisle setpoint
+	// (nonzero during and after a chiller trip).
+	InletRiseC float64
+	// Throttled reports the rack is thermally throttled this epoch.
+	Throttled bool
+	// SensorDead reports the rack's telemetry is lost: WaxRemaining,
+	// Utilization and InletRiseC read zero and must not be trusted.
+	// (Stuck sensors are not flagged — the balancer cannot tell.)
+	SensorDead bool
+	// Degraded reports the rack cannot take full load this epoch; when
+	// set, MaxUtil is the usable ceiling.
+	Degraded bool
+	// MaxUtil is the usable utilization ceiling in nominal-rack units
+	// (only meaningful when Degraded; 0 on a healthy rack's zero value,
+	// hence the flag). Assignments above it are clamped and the excess
+	// counted as shed, so capacity-aware policies should respect it.
+	MaxUtil float64
+}
+
+// UtilCeiling returns the rack's usable utilization ceiling: MaxUtil when
+// the rack is degraded, 1 otherwise.
+func (r RackView) UtilCeiling() float64 {
+	if r.Degraded {
+		return r.MaxUtil
+	}
+	return 1
+}
+
+// EffectiveServers returns the rack's usable capacity in server-units
+// after capacity loss and throttling.
+func (r RackView) EffectiveServers() float64 {
+	return r.UtilCeiling() * float64(r.Servers)
 }
 
 // Policy decides how fleet demand is split across racks. Assign receives
@@ -182,8 +224,119 @@ func (p ThermalAware) Assign(demand float64, racks []RackView, out []float64) {
 	spill(overflow, racks, out)
 }
 
+// spillTo is spill generalized to per-rack ceilings: overflowed work is
+// distributed across the headroom below each rack's cap, proportionally,
+// iterating until the work is placed or every rack is at its cap.
+func spillTo(work float64, racks []RackView, caps, out []float64) {
+	for iter := 0; iter < len(racks) && work > 1e-12; iter++ {
+		headroom := 0.0
+		for i, r := range racks {
+			if out[i] < caps[i] {
+				headroom += (caps[i] - out[i]) * float64(r.Servers)
+			}
+		}
+		if headroom <= 0 {
+			return
+		}
+		frac := work / headroom
+		if frac > 1 {
+			frac = 1
+		}
+		placed := 0.0
+		for i, r := range racks {
+			if out[i] >= caps[i] {
+				continue
+			}
+			add := (caps[i] - out[i]) * frac
+			out[i] += add
+			placed += add * float64(r.Servers)
+		}
+		work -= placed
+	}
+}
+
+// FaultAware is the graceful-degradation balancer: it places work on the
+// fleet's effective capacity — respecting per-rack ceilings from capacity
+// loss and throttling — and within that budget steers load away from
+// thermally stressed racks (hot inlets, degraded airflow, spent wax) and
+// away from racks whose telemetry is dead, so a faulted rack sheds load
+// to healthy ones instead of dragging the whole fleet down. On a healthy
+// fleet every view is pristine and the assignment reduces exactly to
+// RoundRobin.
+type FaultAware struct {
+	// Skew scales how aggressively load avoids stressed racks; zero
+	// selects the default 0.75.
+	Skew float64
+}
+
+// Name implements Policy.
+func (FaultAware) Name() string { return "faultaware" }
+
+// Assign implements Policy.
+func (p FaultAware) Assign(demand float64, racks []RackView, out []float64) {
+	if len(racks) == 0 {
+		return
+	}
+	skew := p.Skew
+	if skew == 0 {
+		skew = 0.75
+	}
+	work := clamp01(demand) * capacity(racks)
+
+	// Health score in [0, 1]: thermal headroom eroded by inlet excursion
+	// and airflow loss. Dead-sensor racks score a conservative floor —
+	// they still take load (their capacity is presumed intact) but no
+	// more than necessary.
+	caps := make([]float64, len(racks))
+	scores := make([]float64, len(racks))
+	var mean, total float64
+	for i, r := range racks {
+		caps[i] = r.UtilCeiling()
+		s := 1.0
+		if r.HasWax {
+			s = r.WaxRemaining
+		}
+		if r.SensorDead {
+			s = 0.1
+		} else {
+			s -= r.InletRiseC / 10
+			s -= r.FlowLost
+			if s < 0 {
+				s = 0
+			}
+		}
+		scores[i] = s
+		mean += s * float64(r.Servers)
+		total += float64(r.Servers)
+	}
+	mean /= total
+
+	weightSum := 0.0
+	weights := make([]float64, len(racks))
+	for i, r := range racks {
+		w := 1 + skew*(scores[i]-mean)
+		if w < 0.05 {
+			w = 0.05
+		}
+		weights[i] = w * float64(r.Servers)
+		weightSum += weights[i]
+	}
+	overflow := 0.0
+	for i, r := range racks {
+		u := work * weights[i] / weightSum / float64(r.Servers)
+		if u > caps[i] {
+			overflow += (u - caps[i]) * float64(r.Servers)
+			u = caps[i]
+		}
+		out[i] = u
+	}
+	spillTo(overflow, racks, caps, out)
+}
+
 // Policies lists the built-in policy names in presentation order.
-func Policies() []string { return []string{"roundrobin", "leastloaded", "thermal"} }
+func Policies() []string {
+	return []string{"roundrobin", "leastloaded", "thermal", "faultaware"}
+}
 
 // ParsePolicy resolves a policy name (as accepted by the ttsim -fleet
 // flags) to its implementation.
@@ -195,6 +348,8 @@ func ParsePolicy(name string) (Policy, error) {
 		return LeastLoaded{}, nil
 	case "thermal", "thermalaware", "thermal-aware":
 		return ThermalAware{}, nil
+	case "faultaware", "fault-aware", "faults":
+		return FaultAware{}, nil
 	default:
 		return nil, fmt.Errorf("fleet: unknown policy %q (want one of %s)",
 			name, strings.Join(Policies(), ", "))

@@ -190,3 +190,40 @@ func Fleet(r *core.FleetResult) string {
 	}
 	return b.String()
 }
+
+// Faults renders the fault-injection experiment: the scenario replayed,
+// then one block per policy comparing the wax and no-wax fleets' ride-
+// through and degradation totals.
+func Faults(r *core.FaultResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: %d racks, %d servers, %d workers, %d scheduled events\n",
+		r.Racks, r.Servers, r.Workers, len(r.Events))
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "  scenario: %s\n", e)
+	}
+	onset := func(s float64) string {
+		if math.IsNaN(s) {
+			return "never"
+		}
+		return fmt.Sprintf("%.1f min", s/60)
+	}
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, "  %s:\n", p.Policy)
+		if !math.IsNaN(r.TripAtS) {
+			fmt.Fprintf(&b, "    time to first throttle after the %.1f h trip: no-wax %s | wax %s",
+				r.TripAtS/3600, onset(p.NoWaxRideThroughS), onset(p.WaxRideThroughS))
+			if !math.IsNaN(p.ExtensionS) {
+				fmt.Fprintf(&b, " (+%.1f min from the wax)", p.ExtensionS/60)
+			}
+			fmt.Fprintln(&b)
+		} else {
+			fmt.Fprintf(&b, "    first throttle: no-wax %s | wax %s\n",
+				onset(p.NoWaxOnsetS), onset(p.WaxOnsetS))
+		}
+		fmt.Fprintf(&b, "    throttled: no-wax %.0f server-min | wax %.0f server-min; peak inlet rise %.1f degC\n",
+			p.NoWaxThrottledServerSeconds/60, p.WaxThrottledServerSeconds/60, p.PeakInletRiseC)
+		fmt.Fprintf(&b, "    shed: no-wax %.0f server-min | wax %.0f server-min\n",
+			p.NoWaxShedServerSeconds/60, p.WaxShedServerSeconds/60)
+	}
+	return b.String()
+}
