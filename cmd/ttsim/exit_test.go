@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes drives every failure route through run and checks each
+// returns its own distinct code.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+		// stderrHas must appear in the diagnostics (empty skips the check).
+		stderrHas string
+	}{
+		{"ok", []string{"-exp", "table2"}, exitOK, ""},
+		{"bad flag", []string{"-no-such-flag"}, exitUsage, "Usage of ttsim"},
+		{"unknown experiment", []string{"-exp", "bogus"}, exitUsage, "unknown experiment"},
+		{"bad fleet mix", []string{"-exp", "fleet", "-fleet.mix", "8U=2"}, exitUsage, ""},
+		{"bad fleet policy", []string{"-exp", "fleet", "-fleet.policy", "bogus"}, exitUsage, ""},
+		{"missing scenario file", []string{"-faults", "/no/such/scenario"}, exitUsage, ""},
+		{"csv write failure", []string{"-exp", "fig10", "-csv", "/dev/null/x"}, exitRunFailed, "fig10"},
+		{"pprof bind failure", []string{"-exp", "table2", "-pprof", "localhost:99999"}, exitPprof, "pprof listen"},
+		{"bundle write failure", []string{"-exp", "table2", "-json", "/dev/null/x/bundle.json"}, exitBundle, ""},
+		{"metrics write failure", []string{"-exp", "table2", "-metrics", "/dev/null/x/m.json"}, exitMetrics, ""},
+		{"trace write failure", []string{"-exp", "table2", "-trace", "/dev/null/x/t.jsonl"}, exitTrace, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(context.Background(), c.args, &stdout, &stderr)
+			if got != c.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", c.args, got, c.want, stderr.String())
+			}
+			if c.stderrHas != "" && !strings.Contains(stderr.String(), c.stderrHas) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), c.stderrHas)
+			}
+		})
+	}
+}
+
+// TestExitInterrupted checks a cancelled context turns an experiment
+// failure into the interrupt code.
+func TestExitInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if got := run(ctx, []string{"-exp", "fleet"}, &stdout, &stderr); got != exitInterrupt {
+		t.Fatalf("run with cancelled context = %d, want %d\nstderr: %s", got, exitInterrupt, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr %q does not mention the interrupt", stderr.String())
+	}
+}
+
+// TestUsageGoesToStderr pins the contract that flag-parse failures print
+// usage to stderr, not stdout.
+func TestUsageGoesToStderr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	run(context.Background(), []string{"-definitely-not-a-flag"}, &stdout, &stderr)
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty on usage error: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "-exp") {
+		t.Errorf("stderr %q does not list the flags", stderr.String())
+	}
+}

@@ -38,6 +38,12 @@
 // transitions, solver convergence) as JSON Lines; -pprof serves the
 // stdlib net/http/pprof profiles plus a plain-text /metrics page on the
 // given address for the duration of the run.
+//
+// Exit codes: 0 success; 1 an experiment failed; 2 usage (bad flags or
+// experiment names — usage goes to stderr); 3 the pprof listener could
+// not bind; 4 the -json bundle could not be produced or written; 5 the
+// -metrics file could not be written; 6 the -trace file could not be
+// written; 130 interrupted.
 package main
 
 import (
@@ -64,6 +70,18 @@ import (
 	"repro/internal/timeseries"
 )
 
+// Exit codes, one per failure route.
+const (
+	exitOK        = 0
+	exitRunFailed = 1
+	exitUsage     = 2
+	exitPprof     = 3
+	exitBundle    = 4
+	exitMetrics   = 5
+	exitTrace     = 6
+	exitInterrupt = 130
+)
+
 // experimentOrder is the canonical run order; -exp lists are replayed in
 // this order regardless of how the user wrote them.
 var experimentOrder = []string{
@@ -71,7 +89,7 @@ var experimentOrder = []string{
 	"table2", "tco", "extensions", "fleet", "faults", "waxsweep", "check",
 }
 
-var runners = map[string]func(context.Context, *core.Study, string) error{
+var runners = map[string]func(context.Context, *core.Study, string, io.Writer) error{
 	"table1":     runTable1,
 	"fig4":       runFig4,
 	"fig7":       runFig7,
@@ -94,25 +112,37 @@ var fleetSpec = core.DefaultFleetSpec()
 var faultSpec = core.DefaultFaultSpec()
 
 func main() {
-	exp := flag.String("exp", "all", "experiment (or comma-separated list): table1, fig4, fig7, fig10, fig11, fig12, table2, tco, extensions, waxsweep, check, or all")
-	csvDir := flag.String("csv", "", "directory to write series CSVs into")
-	jsonPath := flag.String("json", "", "write a machine-readable results bundle to this file")
-	optimize := flag.Bool("optimize", false, "search melting temperatures instead of using calibrated defaults")
-	metricsPath := flag.String("metrics", "", "write telemetry (counters, histograms, spans) as JSON to this file")
-	tracePath := flag.String("trace", "", "write the simulation event log as JSON Lines to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060) while running")
-	fleetMode := flag.Bool("fleet", false, "run the heterogeneous-fleet experiment (alone, or added to an explicit -exp list)")
-	fleetMix := flag.String("fleet.mix", "1U=13,2U=10,OCP=4", "fleet rack mix as tag=racks pairs; prefix a tag with nowax: to strip the retrofit")
-	fleetPolicies := flag.String("fleet.policy", "all", "comma-separated balancing policies: roundrobin, leastloaded, thermal, faultaware, or all")
-	fleetWorkers := flag.Int("fleet.workers", 0, "fleet stepping workers (0 = one per CPU)")
-	faultsFlag := flag.String("faults", "", "run the fault-injection experiment: 'peak' for the default chiller-trip-at-peak scenario, or a scenario file path")
-	faultsSeed := flag.Int64("faults.seed", 0, "generate a stochastic fault scenario from this seed instead of the default trip (ignored when -faults names a file)")
-	faultsStep := flag.Float64("faults.step", 0, "fault-transient simulation step in seconds (0 = 60)")
-	flag.Parse()
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exits turned into return codes so tests can drive
+// every route. Each failure path returns a distinct code (see the
+// constants above).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ttsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment (or comma-separated list): table1, fig4, fig7, fig10, fig11, fig12, table2, tco, extensions, waxsweep, check, or all")
+	csvDir := fs.String("csv", "", "directory to write series CSVs into")
+	jsonPath := fs.String("json", "", "write a machine-readable results bundle to this file")
+	optimize := fs.Bool("optimize", false, "search melting temperatures instead of using calibrated defaults")
+	metricsPath := fs.String("metrics", "", "write telemetry (counters, histograms, spans) as JSON to this file")
+	tracePath := fs.String("trace", "", "write the simulation event log as JSON Lines to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060) while running")
+	fleetMode := fs.Bool("fleet", false, "run the heterogeneous-fleet experiment (alone, or added to an explicit -exp list)")
+	fleetMix := fs.String("fleet.mix", "1U=13,2U=10,OCP=4", "fleet rack mix as tag=racks pairs; prefix a tag with nowax: to strip the retrofit")
+	fleetPolicies := fs.String("fleet.policy", "all", "comma-separated balancing policies: roundrobin, leastloaded, thermal, faultaware, or all")
+	fleetWorkers := fs.Int("fleet.workers", 0, "fleet stepping workers (0 = one per CPU)")
+	faultsFlag := fs.String("faults", "", "run the fault-injection experiment: 'peak' for the default chiller-trip-at-peak scenario, or a scenario file path")
+	faultsSeed := fs.Int64("faults.seed", 0, "generate a stochastic fault scenario from this seed instead of the default trip (ignored when -faults names a file)")
+	faultsStep := fs.Float64("faults.step", 0, "fault-transient simulation step in seconds (0 = 60)")
+	if err := fs.Parse(args); err != nil {
+		// flag already printed the problem and the usage to stderr.
+		return exitUsage
+	}
 
 	spec := *exp
 	expSet := false
-	flag.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
+	fs.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
 	// -fleet or -faults alone means just that experiment; with an explicit
 	// -exp they append to the list instead.
 	var extra []string
@@ -131,21 +161,24 @@ func main() {
 	}
 	names, err := selectExperiments(spec, experimentOrder)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ttsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ttsim:", err)
+		fs.Usage()
+		return exitUsage
 	}
 	if fleetSpec, err = parseFleetFlags(*fleetMix, *fleetPolicies, *fleetWorkers); err != nil {
-		fmt.Fprintln(os.Stderr, "ttsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ttsim:", err)
+		fs.Usage()
+		return exitUsage
 	}
 	if faultSpec, err = parseFaultFlags(*faultsFlag, *faultsSeed, *faultsStep, *fleetMix, *fleetPolicies, *fleetWorkers); err != nil {
-		fmt.Fprintln(os.Stderr, "ttsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ttsim:", err)
+		fs.Usage()
+		return exitUsage
 	}
 
 	// Interrupts cancel the in-flight experiment at its next epoch
 	// boundary instead of killing the process mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	study := core.NewStudy()
@@ -157,26 +190,26 @@ func main() {
 		study.Observe(reg)
 	}
 	if *pprofAddr != "" {
-		if err := servePprof(*pprofAddr, reg); err != nil {
-			fmt.Fprintln(os.Stderr, "ttsim:", err)
-			os.Exit(1)
+		if err := servePprof(*pprofAddr, reg, stderr); err != nil {
+			fmt.Fprintln(stderr, "ttsim:", err)
+			return exitPprof
 		}
 	}
 
 	for _, name := range names {
 		sp := reg.StartSpan("experiment/" + name)
-		err := runners[name](ctx, study, *csvDir)
+		err := runners[name](ctx, study, *csvDir, stdout)
 		sp.End()
 		if err != nil {
-			code := 1
+			code := exitRunFailed
 			if ctx.Err() != nil {
 				err = fmt.Errorf("interrupted (%w)", ctx.Err())
-				code = 130
+				code = exitInterrupt
 			}
-			fmt.Fprintf(os.Stderr, "ttsim: %s: %v\n", name, err)
-			os.Exit(code)
+			fmt.Fprintf(stderr, "ttsim: %s: %v\n", name, err)
+			return code
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	// The bundle is written after the experiments so CollectResults reuses
@@ -184,29 +217,30 @@ func main() {
 	if *jsonPath != "" {
 		bundle, err := study.CollectResults()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ttsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "ttsim:", err)
+			return exitBundle
 		}
 		if err := writeFile(*jsonPath, bundle.WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "ttsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "ttsim:", err)
+			return exitBundle
 		}
-		fmt.Printf("results bundle written to %s\n", *jsonPath)
+		fmt.Fprintf(stdout, "results bundle written to %s\n", *jsonPath)
 	}
 	if *metricsPath != "" {
 		if err := writeFile(*metricsPath, reg.WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "ttsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "ttsim:", err)
+			return exitMetrics
 		}
-		fmt.Printf("metrics written to %s\n", *metricsPath)
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsPath)
 	}
 	if *tracePath != "" {
 		if err := writeFile(*tracePath, reg.Events().WriteJSONL); err != nil {
-			fmt.Fprintln(os.Stderr, "ttsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "ttsim:", err)
+			return exitTrace
 		}
-		fmt.Printf("trace written to %s\n", *tracePath)
+		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
 	}
+	return exitOK
 }
 
 // selectExperiments parses a comma-separated -exp value against the
@@ -250,7 +284,7 @@ func selectExperiments(spec string, order []string) ([]string, error) {
 // servePprof binds addr synchronously (so bad addresses fail the run) and
 // serves the default mux -- which net/http/pprof registered into -- plus a
 // plain-text metrics page, in the background.
-func servePprof(addr string, reg *obs.Registry) error {
+func servePprof(addr string, reg *obs.Registry, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("pprof listen: %w", err)
@@ -261,10 +295,10 @@ func servePprof(addr string, reg *obs.Registry) error {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	fmt.Fprintf(os.Stderr, "ttsim: pprof on http://%s/debug/pprof/ (metrics on /metrics)\n", ln.Addr())
+	fmt.Fprintf(stderr, "ttsim: pprof on http://%s/debug/pprof/ (metrics on /metrics)\n", ln.Addr())
 	go func() {
 		if err := http.Serve(ln, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "ttsim: pprof server:", err)
+			fmt.Fprintln(stderr, "ttsim: pprof server:", err)
 		}
 	}()
 	return nil
@@ -296,23 +330,23 @@ func writeCSV(dir, name string, s *timeseries.Series, header string) error {
 	})
 }
 
-func runTable1(_ context.Context, _ *core.Study, _ string) error {
-	fmt.Print(report.Table1(pcm.DatacenterCriteria(), pcm.Families()))
+func runTable1(_ context.Context, _ *core.Study, _ string, out io.Writer) error {
+	fmt.Fprint(out, report.Table1(pcm.DatacenterCriteria(), pcm.Families()))
 	comm, err := pcm.CommercialParaffin(50)
 	if err != nil {
 		return err
 	}
-	fmt.Println()
-	fmt.Print(report.CostComparison(pcm.Eicosane(), comm, 1.2*55*1008))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, report.CostComparison(pcm.Eicosane(), comm, 1.2*55*1008))
 	return nil
 }
 
-func runFig4(_ context.Context, s *core.Study, csvDir string) error {
+func runFig4(_ context.Context, s *core.Study, csvDir string, out io.Writer) error {
 	v, err := s.RunValidation()
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.Validation(v))
+	fmt.Fprint(out, report.Validation(v))
 	for name, tr := range map[string]*timeseries.Series{
 		"fig4_real_wax": v.RealWax, "fig4_real_placebo": v.RealPlacebo,
 		"fig4_model_wax": v.ModelWax, "fig4_model_placebo": v.ModelPlacebo,
@@ -324,12 +358,12 @@ func runFig4(_ context.Context, s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig7(_ context.Context, s *core.Study, csvDir string) error {
+func runFig7(_ context.Context, s *core.Study, csvDir string, out io.Writer) error {
 	res, err := s.RunBlockageSweeps()
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.Sweeps(res))
+	fmt.Fprint(out, report.Sweeps(res))
 	if csvDir != "" {
 		for _, r := range res {
 			outlet := make([]float64, len(r.Points))
@@ -349,8 +383,8 @@ func runFig7(_ context.Context, s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig10(_ context.Context, s *core.Study, csvDir string) error {
-	fmt.Print(report.TraceSummary(s.Trace))
+func runFig10(_ context.Context, s *core.Study, csvDir string, out io.Writer) error {
+	fmt.Fprint(out, report.TraceSummary(s.Trace))
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
@@ -360,15 +394,15 @@ func runFig10(_ context.Context, s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig11(_ context.Context, s *core.Study, csvDir string) error {
-	fmt.Println("== Figure 11 / Section 5.1: cooling load, fully subscribed cooling ==")
+func runFig11(_ context.Context, s *core.Study, csvDir string, out io.Writer) error {
+	fmt.Fprintln(out, "== Figure 11 / Section 5.1: cooling load, fully subscribed cooling ==")
 	for _, m := range core.Classes {
 		r, err := s.RunCoolingStudy(m)
 		if err != nil {
 			return err
 		}
-		fmt.Println()
-		fmt.Print(report.Cooling(r))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, report.Cooling(r))
 		tag := strings.Fields(m.String())[0]
 		if err := writeCSV(csvDir, "fig11_"+tag+"_baseline", r.Baseline, "cooling_W"); err != nil {
 			return err
@@ -380,15 +414,15 @@ func runFig11(_ context.Context, s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runFig12(_ context.Context, s *core.Study, csvDir string) error {
-	fmt.Println("== Figure 12 / Section 5.2: throughput, thermally constrained cooling ==")
+func runFig12(_ context.Context, s *core.Study, csvDir string, out io.Writer) error {
+	fmt.Fprintln(out, "== Figure 12 / Section 5.2: throughput, thermally constrained cooling ==")
 	for _, m := range core.Classes {
 		r, err := s.RunThroughputStudy(m)
 		if err != nil {
 			return err
 		}
-		fmt.Println()
-		fmt.Print(report.Throughput(r))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, report.Throughput(r))
 		tag := strings.Fields(m.String())[0]
 		for suffix, tr := range map[string]*timeseries.Series{
 			"ideal": r.Ideal, "nowax": r.NoWax, "wax": r.WithWax,
@@ -401,13 +435,13 @@ func runFig12(_ context.Context, s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runTable2(_ context.Context, s *core.Study, _ string) error {
-	fmt.Print(report.Table2(s.TCO))
+func runTable2(_ context.Context, s *core.Study, _ string, out io.Writer) error {
+	fmt.Fprint(out, report.Table2(s.TCO))
 	return nil
 }
 
-func runTCO(_ context.Context, s *core.Study, _ string) error {
-	fmt.Println("== Section 5 economics summary (10 MW datacenter) ==")
+func runTCO(_ context.Context, s *core.Study, _ string, out io.Writer) error {
+	fmt.Fprintln(out, "== Section 5 economics summary (10 MW datacenter) ==")
 	for _, m := range core.Classes {
 		cfg := m.Config()
 		sc := core.DefaultScenario(m)
@@ -420,7 +454,7 @@ func runTCO(_ context.Context, s *core.Study, _ string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n%s: %d servers x $%.0f, TCO $%.1fM/yr\n", m, d.Servers, cfg.CostUSD, annual/1e6)
+		fmt.Fprintf(out, "\n%s: %d servers x $%.0f, TCO $%.1fM/yr\n", m, d.Servers, cfg.CostUSD, annual/1e6)
 		cool, err := s.RunCoolingStudy(m)
 		if err != nil {
 			return err
@@ -429,9 +463,9 @@ func runTCO(_ context.Context, s *core.Study, _ string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  smaller cooling system: $%.0fk/yr | +%d servers | retrofit $%.1fM/yr\n",
+		fmt.Fprintf(out, "  smaller cooling system: $%.0fk/yr | +%d servers | retrofit $%.1fM/yr\n",
 			cool.AnnualCoolingSavingsUSD/1000, cool.ExtraServers, cool.RetrofitSavingsUSD/1e6)
-		fmt.Printf("  constrained: +%.0f%% peak throughput -> %.0f%% TCO efficiency improvement\n",
+		fmt.Fprintf(out, "  constrained: +%.0f%% peak throughput -> %.0f%% TCO efficiency improvement\n",
 			thr.PeakGain*100, thr.TCOEfficiencyImprovement*100)
 	}
 	return nil
@@ -460,13 +494,13 @@ func parseFleetFlags(mix, policies string, workers int) (core.FleetSpec, error) 
 	return spec, nil
 }
 
-func runFleet(ctx context.Context, s *core.Study, csvDir string) error {
-	fmt.Println("== Fleet: heterogeneous racks, policy-balanced, sharded execution ==")
+func runFleet(ctx context.Context, s *core.Study, csvDir string, out io.Writer) error {
+	fmt.Fprintln(out, "== Fleet: heterogeneous racks, policy-balanced, sharded execution ==")
 	r, err := s.RunFleetStudyContext(ctx, fleetSpec)
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.Fleet(r))
+	fmt.Fprint(out, report.Fleet(r))
 	for _, p := range r.Policies {
 		if err := writeCSV(csvDir, "fleet_"+p.Policy, p.CoolingLoadW, "cooling_W"); err != nil {
 			return err
@@ -514,13 +548,13 @@ func parseFaultFlags(scenario string, seed int64, stepS float64, mix, policies s
 	return spec, nil
 }
 
-func runFaults(ctx context.Context, s *core.Study, csvDir string) error {
-	fmt.Println("== Faults: injected failures, graceful degradation, ride-through ==")
+func runFaults(ctx context.Context, s *core.Study, csvDir string, out io.Writer) error {
+	fmt.Fprintln(out, "== Faults: injected failures, graceful degradation, ride-through ==")
 	r, err := s.RunFaultStudy(ctx, faultSpec)
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.Faults(r))
+	fmt.Fprint(out, report.Faults(r))
 	for _, p := range r.Policies {
 		if err := writeCSV(csvDir, "faults_"+p.Policy+"_inlet_rise", p.InletRiseC, "inlet_rise_degC"); err != nil {
 			return err
@@ -529,31 +563,31 @@ func runFaults(ctx context.Context, s *core.Study, csvDir string) error {
 	return nil
 }
 
-func runWaxSweep(_ context.Context, s *core.Study, _ string) error {
-	fmt.Println("== Sensitivity: peak cooling reduction vs wax quantity ==")
+func runWaxSweep(_ context.Context, s *core.Study, _ string, out io.Writer) error {
+	fmt.Fprintln(out, "== Sensitivity: peak cooling reduction vs wax quantity ==")
 	for _, m := range core.Classes {
 		pts, err := s.WaxQuantitySweep(m, []float64{0.25, 0.5, 1, 1.5, 2})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n%s:\n", m)
+		fmt.Fprintf(out, "\n%s:\n", m)
 		for _, p := range pts {
 			bar := ""
 			for i := 0; i < int(p.PeakReduction*200+0.5); i++ {
 				bar += "#"
 			}
-			fmt.Printf("  %5.2f l  -%4.1f%%  %s\n", p.WaxLiters, p.PeakReduction*100, bar)
+			fmt.Fprintf(out, "  %5.2f l  -%4.1f%%  %s\n", p.WaxLiters, p.PeakReduction*100, bar)
 		}
 	}
-	fmt.Println()
-	fmt.Println("the paper: \"the more wax that is added to a server, the greater the")
-	fmt.Println("potential savings\" -- up to the design point; past it the oversized,")
-	fmt.Println("tightly-coupled store melts early and releases into the shoulder.")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "the paper: \"the more wax that is added to a server, the greater the")
+	fmt.Fprintln(out, "potential savings\" -- up to the design point; past it the oversized,")
+	fmt.Fprintln(out, "tightly-coupled store melts early and releases into the shoulder.")
 	return nil
 }
 
-func runExtensions(_ context.Context, s *core.Study, _ string) error {
-	fmt.Println("== Extensions: storage alternatives and night advantages ==")
+func runExtensions(_ context.Context, s *core.Study, _ string, out io.Writer) error {
+	fmt.Fprintln(out, "== Extensions: storage alternatives and night advantages ==")
 	for _, m := range core.Classes {
 		cw, err := s.CompareChilledWater(m)
 		if err != nil {
@@ -579,20 +613,20 @@ func runExtensions(_ context.Context, s *core.Study, _ string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println()
-		fmt.Print(report.Extensions(cw, comp, night))
-		fmt.Printf("  chiller-trip ride-through: %.1f min -> %.1f min (+%.1f min from the wax)\n",
+		fmt.Fprintln(out)
+		fmt.Fprint(out, report.Extensions(cw, comp, night))
+		fmt.Fprintf(out, "  chiller-trip ride-through: %.1f min -> %.1f min (+%.1f min from the wax)\n",
 			em.RideThroughNoWaxMin, em.RideThroughWithWaxMin, em.ExtensionMin)
-		fmt.Printf("  constrained-peak relocation: %.0f -> %.0f server-h/day shipped out ($%.0fk/yr saved)\n",
+		fmt.Fprintf(out, "  constrained-peak relocation: %.0f -> %.0f server-h/day shipped out ($%.0fk/yr saved)\n",
 			rel.RelocatedNoWax, rel.RelocatedWithWax, rel.AnnualSavingsUSD/1000)
-		fmt.Printf("  placement: in-wake -%.1f%% (%.1f K swing) vs central/bulk -%.1f%% (%.1f K swing)\n",
+		fmt.Fprintf(out, "  placement: in-wake -%.1f%% (%.1f K swing) vs central/bulk -%.1f%% (%.1f K swing)\n",
 			pl.WakeReduction*100, pl.WakeSwingK, pl.BulkReduction*100, pl.BulkSwingK)
 	}
 	return nil
 }
 
-func runCheck(_ context.Context, s *core.Study, _ string) error {
-	fmt.Println("== Self-check: measured vs paper (acceptance band 0.5x-2x) ==")
+func runCheck(_ context.Context, s *core.Study, _ string, out io.Writer) error {
+	fmt.Fprintln(out, "== Self-check: measured vs paper (acceptance band 0.5x-2x) ==")
 	bundle, err := s.CollectResults()
 	if err != nil {
 		return err
@@ -603,11 +637,11 @@ func runCheck(_ context.Context, s *core.Study, _ string) error {
 		if !r.OK {
 			mark = "FAIL"
 		}
-		fmt.Printf("  [%s] %-40s measured %10.3f | paper %10.3f\n", mark, r.Name, r.Measured, r.Paper)
+		fmt.Fprintf(out, "  [%s] %-40s measured %10.3f | paper %10.3f\n", mark, r.Name, r.Measured, r.Paper)
 	}
 	if !allOK {
 		return fmt.Errorf("self-check found out-of-band results")
 	}
-	fmt.Println("all headline quantities within band")
+	fmt.Fprintln(out, "all headline quantities within band")
 	return nil
 }

@@ -150,14 +150,14 @@ func TestRunnersProduceCSVs(t *testing.T) {
 	dir := t.TempDir()
 	study := core.NewStudy()
 
-	if err := runFig10(context.Background(), study, dir); err != nil {
+	if err := runFig10(context.Background(), study, dir, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig10_trace.csv")); err != nil {
 		t.Error("fig10 CSV missing")
 	}
 
-	if err := runFig11(context.Background(), study, dir); err != nil {
+	if err := runFig11(context.Background(), study, dir, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig11_1U_baseline.csv", "fig11_1U_pcm.csv", "fig11_Open_baseline.csv"} {
@@ -166,7 +166,7 @@ func TestRunnersProduceCSVs(t *testing.T) {
 		}
 	}
 
-	if err := runFig12(context.Background(), study, dir); err != nil {
+	if err := runFig12(context.Background(), study, dir, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig12_2U_ideal.csv", "fig12_2U_nowax.csv", "fig12_2U_wax.csv"} {
@@ -175,7 +175,7 @@ func TestRunnersProduceCSVs(t *testing.T) {
 		}
 	}
 
-	if err := runFig7(context.Background(), study, dir); err != nil {
+	if err := runFig7(context.Background(), study, dir, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig7_1U.csv")); err != nil {
@@ -185,10 +185,10 @@ func TestRunnersProduceCSVs(t *testing.T) {
 
 func TestTextOnlyRunners(t *testing.T) {
 	study := core.NewStudy()
-	if err := runTable1(context.Background(), study, ""); err != nil {
+	if err := runTable1(context.Background(), study, "", io.Discard); err != nil {
 		t.Error(err)
 	}
-	if err := runTable2(context.Background(), study, ""); err != nil {
+	if err := runTable2(context.Background(), study, "", io.Discard); err != nil {
 		t.Error(err)
 	}
 }

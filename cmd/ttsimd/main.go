@@ -1,0 +1,113 @@
+// Command ttsimd serves the thermal time shifting experiments over HTTP.
+//
+// Usage:
+//
+//	ttsimd [-addr :8080] [-max-concurrent n] [-queue n] [-cache n]
+//	       [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	GET  /healthz                       liveness (503 while draining)
+//	GET  /metrics                       serving + simulation telemetry
+//	GET  /v1/experiments                served experiment names
+//	POST /v1/experiments/{name}         run (or reuse) one experiment
+//	POST /v1/experiments/{name}/stream  run with live NDJSON telemetry
+//
+// Identical concurrent requests share one execution; completed runs are
+// cached so repeats are byte-identical. When the run pool and queue are
+// full the server answers 429 with Retry-After. SIGTERM (or SIGINT)
+// drains: new requests get 503 while active runs finish, bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Exit codes: 0 success, 2 usage, 3 listen failure, 4 server failure.
+const (
+	exitOK     = 0
+	exitUsage  = 2
+	exitListen = 3
+	exitServe  = 4
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exits turned into return codes so tests can drive
+// every path.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ttsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxConcurrent := fs.Int("max-concurrent", 2, "simultaneously executing runs")
+	queue := fs.Int("queue", 8, "requests allowed to wait for a run slot before 429")
+	cacheEntries := fs.Int("cache", 64, "result cache entries")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for active runs before cancelling them")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ttsimd: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return exitUsage
+	}
+
+	// The flag is literal: -queue 0 means no waiting room. Config reserves
+	// zero for "use the default", so translate.
+	depth := *queue
+	if depth == 0 {
+		depth = -1
+	}
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    depth,
+		CacheEntries:  *cacheEntries,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ttsimd:", err)
+		return exitListen
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "ttsimd: serving on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		// Serve only returns on failure (Shutdown has not been called yet).
+		fmt.Fprintln(stderr, "ttsimd:", err)
+		return exitServe
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "ttsimd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "ttsimd:", err)
+		return exitServe
+	}
+	fmt.Fprintln(stdout, "ttsimd: stopped")
+	return exitOK
+}

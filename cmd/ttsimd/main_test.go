@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while run writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-max-concurrent", "not-a-number"},
+		{"positional-arg"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if got := run(context.Background(), args, &out, &errOut); got != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, got, exitUsage)
+		}
+		if !strings.Contains(errOut.String(), "Usage of ttsimd") {
+			t.Errorf("run(%v): stderr lacks usage: %q", args, errOut.String())
+		}
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := run(context.Background(), []string{"-addr", "localhost:99999"}, &out, &errOut); got != exitListen {
+		t.Fatalf("run = %d, want %d (stderr %q)", got, exitListen, errOut.String())
+	}
+}
+
+// TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
+// exercises it over HTTP, then delivers a context cancellation (the
+// SIGTERM path) and expects a clean exit.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	var out, errOut syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, &out, &errOut)
+	}()
+
+	addrRE := regexp.MustCompile(`serving on http://(\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address; stderr %q", errOut.String())
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, b)
+	}
+
+	resp, err = http.Post(fmt.Sprintf("http://%s/v1/experiments/table2", addr), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), `"experiment":"table2"`) {
+		t.Fatalf("run = %d %q", resp.StatusCode, b)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit code %d, want %d (stderr %q)", code, exitOK, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never exited after cancellation")
+	}
+	for _, want := range []string{"draining", "stopped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout %q lacks %q", out.String(), want)
+		}
+	}
+}

@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -123,11 +122,13 @@ type Study struct {
 	// with Observe.
 	Obs *obs.Registry
 
-	// Experiment result caches, guarded by mu.
-	mu         sync.Mutex
-	validation *ValidationResult
-	cooling    map[coolingKey]*CoolingResult
-	throughput map[MachineClass]*ThroughputResult
+	// Experiment result caches with in-flight deduplication: concurrent
+	// callers of the same experiment share one execution (the serving
+	// layer leans on this when independent requests — say fig11 and tco —
+	// race for the same cooling study).
+	validation jobCache[struct{}, *ValidationResult]
+	cooling    jobCache[coolingKey, *CoolingResult]
+	throughput jobCache[MachineClass, *ThroughputResult]
 }
 
 // coolingKey keys the cooling cache: the optimizer changes the answer.
@@ -146,76 +147,31 @@ func (s *Study) Observe(reg *obs.Registry) {
 // InvalidateResults drops every cached experiment result; call it after
 // mutating the study's trace or rates in place.
 func (s *Study) InvalidateResults() {
-	s.mu.Lock()
-	s.validation = nil
-	s.cooling = nil
-	s.throughput = nil
-	s.mu.Unlock()
+	s.validation.reset()
+	s.cooling.reset()
+	s.throughput.reset()
+}
+
+// onCacheReuse counts a memoized (or piggybacked in-flight) result being
+// served instead of a fresh simulation.
+func (s *Study) onCacheReuse() func() {
+	return func() { s.Obs.Counter("core.result_cache_hits").Inc() }
 }
 
 // cachedValidation returns the memoized validation result, running the
-// experiment on a miss.
+// experiment on a miss; concurrent callers share one run.
 func (s *Study) cachedValidation(run func() (*ValidationResult, error)) (*ValidationResult, error) {
-	s.mu.Lock()
-	if v := s.validation; v != nil {
-		s.mu.Unlock()
-		s.Obs.Counter("core.result_cache_hits").Inc()
-		return v, nil
-	}
-	s.mu.Unlock()
-	v, err := run()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.validation = v
-	s.mu.Unlock()
-	return v, nil
+	return s.validation.do(struct{}{}, s.onCacheReuse(), run)
 }
 
 // cachedCooling memoizes per (class, OptimizeMelt).
 func (s *Study) cachedCooling(m MachineClass, run func() (*CoolingResult, error)) (*CoolingResult, error) {
-	key := coolingKey{m, s.OptimizeMelt}
-	s.mu.Lock()
-	if r := s.cooling[key]; r != nil {
-		s.mu.Unlock()
-		s.Obs.Counter("core.result_cache_hits").Inc()
-		return r, nil
-	}
-	s.mu.Unlock()
-	r, err := run()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	if s.cooling == nil {
-		s.cooling = make(map[coolingKey]*CoolingResult)
-	}
-	s.cooling[key] = r
-	s.mu.Unlock()
-	return r, nil
+	return s.cooling.do(coolingKey{m, s.OptimizeMelt}, s.onCacheReuse(), run)
 }
 
 // cachedThroughput memoizes per class.
 func (s *Study) cachedThroughput(m MachineClass, run func() (*ThroughputResult, error)) (*ThroughputResult, error) {
-	s.mu.Lock()
-	if r := s.throughput[m]; r != nil {
-		s.mu.Unlock()
-		s.Obs.Counter("core.result_cache_hits").Inc()
-		return r, nil
-	}
-	s.mu.Unlock()
-	r, err := run()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	if s.throughput == nil {
-		s.throughput = make(map[MachineClass]*ThroughputResult)
-	}
-	s.throughput[m] = r
-	s.mu.Unlock()
-	return r, nil
+	return s.throughput.do(m, s.onCacheReuse(), run)
 }
 
 // NewStudy returns the paper's default study: the two-day Google-like

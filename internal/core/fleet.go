@@ -94,6 +94,26 @@ func ParseFleetMix(spec string) ([]FleetClass, error) {
 	return mix, nil
 }
 
+// FormatFleetMix renders a mix in the canonical -fleet.mix spelling:
+// uppercase tags, "nowax:" prefixes preserved, entries in slice order.
+// It is the inverse of ParseFleetMix — parsing the output reproduces the
+// mix — which makes it the normal form the serving layer hashes.
+func FormatFleetMix(mix []FleetClass) string {
+	var b strings.Builder
+	for i, fc := range mix {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if fc.NoWax {
+			b.WriteString("nowax:")
+		}
+		b.WriteString(fc.Class.tag())
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(fc.Racks))
+	}
+	return b.String()
+}
+
 // FleetPolicyResult is the outcome of one policy over the fleet.
 type FleetPolicyResult struct {
 	Policy string

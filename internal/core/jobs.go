@@ -1,0 +1,57 @@
+package core
+
+import "sync"
+
+// jobCache memoizes expensive computations per key with in-flight
+// deduplication: the first caller for a key executes the function, every
+// concurrent caller for the same key blocks on that one execution instead
+// of starting its own, and later callers get the stored outcome
+// immediately. Errors are cached too — the experiments are deterministic
+// functions of the study's inputs, so a retry would fail identically;
+// InvalidateResults (which drops the whole cache) is the reset knob.
+type jobCache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*job[V]
+}
+
+// job is one keyed execution slot.
+type job[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// do returns the memoized outcome for key, executing fn exactly once per
+// key across any number of concurrent callers. onReuse (nil-safe) fires
+// for every caller that did not execute fn itself — both late arrivals
+// served from the finished result and concurrent callers that piggybacked
+// on an in-flight run.
+func (c *jobCache[K, V]) do(key K, onReuse func(), fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*job[V])
+	}
+	j, ok := c.m[key]
+	if !ok {
+		j = &job[V]{}
+		c.m[key] = j
+	}
+	c.mu.Unlock()
+	ran := false
+	j.once.Do(func() {
+		ran = true
+		j.val, j.err = fn()
+	})
+	if !ran && onReuse != nil {
+		onReuse()
+	}
+	return j.val, j.err
+}
+
+// reset drops every memoized outcome. In-flight executions are unaffected
+// (their callers still share the old slot); new callers start fresh.
+func (c *jobCache[K, V]) reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobCacheMemoizes(t *testing.T) {
+	var c jobCache[string, int]
+	var runs int
+	v, err := c.do("a", nil, func() (int, error) { runs++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("do = %d, %v", v, err)
+	}
+	var reuses int
+	v, err = c.do("a", func() { reuses++ }, func() (int, error) { runs++; return 8, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("repeat do = %d, %v, want the memoized 7", v, err)
+	}
+	if runs != 1 || reuses != 1 {
+		t.Errorf("runs=%d reuses=%d, want 1, 1", runs, reuses)
+	}
+	// Distinct keys run independently.
+	if v, _ = c.do("b", nil, func() (int, error) { runs++; return 9, nil }); v != 9 {
+		t.Errorf("do(b) = %d", v)
+	}
+	if runs != 2 {
+		t.Errorf("runs = %d, want 2", runs)
+	}
+}
+
+func TestJobCacheCachesErrors(t *testing.T) {
+	var c jobCache[int, int]
+	boom := errors.New("boom")
+	var runs int
+	if _, err := c.do(1, nil, func() (int, error) { runs++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.do(1, nil, func() (int, error) { runs++; return 0, nil }); !errors.Is(err, boom) {
+		t.Fatalf("repeat err = %v, want the cached failure", err)
+	}
+	if runs != 1 {
+		t.Errorf("runs = %d, want 1 (errors are memoized until reset)", runs)
+	}
+	c.reset()
+	if v, err := c.do(1, nil, func() (int, error) { runs++; return 5, nil }); err != nil || v != 5 {
+		t.Errorf("post-reset do = %d, %v", v, err)
+	}
+}
+
+// TestJobCacheDedupsInFlight proves concurrent callers of the same key
+// share one execution: the serving layer depends on this when identical
+// requests race into the same study.
+func TestJobCacheDedupsInFlight(t *testing.T) {
+	var c jobCache[string, int]
+	var runs atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	fn := func() (int, error) {
+		runs.Add(1)
+		close(entered)
+		<-release
+		return 42, nil
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var reuses atomic.Int64
+	results := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.do("k", func() { reuses.Add(1) }, fn)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-entered
+	close(release)
+	wg.Wait()
+
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers", runs.Load(), callers)
+	}
+	if reuses.Load() != callers-1 {
+		t.Errorf("reuses = %d, want %d", reuses.Load(), callers-1)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d", i, v)
+		}
+	}
+}
+
+// TestStudySharedCoolingAcrossCallers checks the study-level contract:
+// two goroutines asking for the same cooling study get the same pointer
+// from one simulation.
+func TestStudySharedCoolingAcrossCallers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the cooling study")
+	}
+	s := NewStudy()
+	var a, b *CoolingResult
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); a, errA = s.RunCoolingStudy(OneU) }()
+	go func() { defer wg.Done(); b, errB = s.RunCoolingStudy(OneU) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("errors: %v, %v", errA, errB)
+	}
+	if a != b {
+		t.Error("concurrent callers got distinct results; the run was not shared")
+	}
+}

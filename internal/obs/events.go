@@ -32,6 +32,8 @@ type EventLog struct {
 	buf   []Event
 	next  int // ring write position
 	total uint64
+	taps  map[uint64]func(Event)
+	tapID uint64
 }
 
 // NewEventLog returns a log retaining the last capacity events
@@ -43,7 +45,7 @@ func NewEventLog(capacity int) *EventLog {
 	return &EventLog{buf: make([]Event, 0, capacity)}
 }
 
-// Record appends an event.
+// Record appends an event and fans it out to every registered tap.
 func (l *EventLog) Record(simTimeS float64, kind, name string, value, aux float64) {
 	if l == nil {
 		return
@@ -57,7 +59,43 @@ func (l *EventLog) Record(simTimeS float64, kind, name string, value, aux float6
 		l.buf[l.next] = e
 		l.next = (l.next + 1) % cap(l.buf)
 	}
+	var taps []func(Event)
+	if len(l.taps) > 0 {
+		taps = make([]func(Event), 0, len(l.taps))
+		for _, fn := range l.taps {
+			taps = append(taps, fn)
+		}
+	}
 	l.mu.Unlock()
+	// Taps run outside the lock so a tap may itself query the log (or
+	// block briefly on a channel send) without deadlocking recorders.
+	for _, fn := range taps {
+		fn(e)
+	}
+}
+
+// Tap registers fn to observe every event recorded after the call, in
+// record order from the caller's perspective but concurrently with other
+// recorders — fn must be safe for concurrent use. The returned cancel
+// removes the tap; events already fanned out may still be delivered
+// briefly after cancel returns. A nil log returns a no-op cancel.
+func (l *EventLog) Tap(fn func(Event)) (cancel func()) {
+	if l == nil || fn == nil {
+		return func() {}
+	}
+	l.mu.Lock()
+	if l.taps == nil {
+		l.taps = make(map[uint64]func(Event))
+	}
+	l.tapID++
+	id := l.tapID
+	l.taps[id] = fn
+	l.mu.Unlock()
+	return func() {
+		l.mu.Lock()
+		delete(l.taps, id)
+		l.mu.Unlock()
+	}
 }
 
 // Len returns the number of retained events.

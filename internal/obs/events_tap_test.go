@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTapObservesRecords(t *testing.T) {
+	l := NewEventLog(4)
+	var got []Event
+	cancel := l.Tap(func(e Event) { got = append(got, e) })
+	l.Record(1, "a", "x", 10, 0)
+	l.Record(2, "b", "y", 20, 0)
+	if len(got) != 2 || got[0].Kind != "a" || got[1].Kind != "b" {
+		t.Fatalf("tap saw %+v", got)
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("sequence numbers %d, %d", got[0].Seq, got[1].Seq)
+	}
+	cancel()
+	l.Record(3, "c", "z", 30, 0)
+	if len(got) != 2 {
+		t.Errorf("tap still firing after cancel: %d events", len(got))
+	}
+}
+
+func TestTapSeesOverwrittenEvents(t *testing.T) {
+	// The ring keeps only the last event, but taps see every record.
+	l := NewEventLog(1)
+	var n int
+	defer l.Tap(func(Event) { n++ })()
+	for i := 0; i < 10; i++ {
+		l.Record(float64(i), "k", "", 0, 0)
+	}
+	if n != 10 {
+		t.Errorf("tap saw %d of 10 records", n)
+	}
+	if l.Len() != 1 {
+		t.Errorf("ring retained %d, want 1", l.Len())
+	}
+}
+
+func TestMultipleTapsAndCancelOne(t *testing.T) {
+	l := NewEventLog(4)
+	var a, b int
+	cancelA := l.Tap(func(Event) { a++ })
+	cancelB := l.Tap(func(Event) { b++ })
+	l.Record(1, "k", "", 0, 0)
+	cancelA()
+	l.Record(2, "k", "", 0, 0)
+	cancelB()
+	if a != 1 || b != 2 {
+		t.Errorf("a=%d b=%d, want 1, 2", a, b)
+	}
+}
+
+func TestTapNilSafety(t *testing.T) {
+	var l *EventLog
+	cancel := l.Tap(func(Event) {})
+	cancel() // must not panic
+	full := NewEventLog(1)
+	cancel = full.Tap(nil)
+	cancel()
+	full.Record(0, "k", "", 0, 0) // nil tap must not be invoked
+}
+
+func TestTapConcurrentRecorders(t *testing.T) {
+	l := NewEventLog(8)
+	var n atomic.Int64
+	defer l.Tap(func(Event) { n.Add(1) })()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(0, "k", "", 0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 800 {
+		t.Errorf("tap saw %d of 800 records", n.Load())
+	}
+	if l.Total() != 800 {
+		t.Errorf("total = %d", l.Total())
+	}
+}
+
+// TestTapMayQueryLog pins the no-deadlock contract: a tap runs outside
+// the log's lock and may call back into it.
+func TestTapMayQueryLog(t *testing.T) {
+	l := NewEventLog(4)
+	var totals []uint64
+	defer l.Tap(func(Event) { totals = append(totals, l.Total()) })()
+	l.Record(1, "k", "", 0, 0)
+	l.Record(2, "k", "", 0, 0)
+	if len(totals) != 2 || totals[0] != 1 || totals[1] != 2 {
+		t.Errorf("totals from inside tap = %v", totals)
+	}
+}

@@ -1,0 +1,620 @@
+package report
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/tco"
+	"repro/internal/timeseries"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// This file is the machine-readable twin of the text tables: one view
+// struct per experiment, shaped for JSON. The ttsimd handlers serve these
+// views verbatim and the golden regression corpus pins their encodings, so
+// two rules hold throughout: field order is meaning (encoding/json emits
+// struct fields in declaration order, which makes the encoding
+// byte-deterministic), and no view ever carries NaN or a machine-dependent
+// quantity (worker counts, wall times) — NaN-able numbers go through fnum,
+// which maps them to null.
+
+// fnum converts a float into its JSON-safe pointer form: NaN (and the
+// infinities, which encoding/json also rejects) become nil/null.
+func fnum(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// SeriesView is the JSON shape of a time series: the grid, summary
+// statistics, and the full sample vector.
+type SeriesView struct {
+	StartS float64   `json:"start_s"`
+	StepS  float64   `json:"step_s"`
+	N      int       `json:"n"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	Values []float64 `json:"values"`
+}
+
+// SeriesJSON builds the view (nil in, nil out).
+func SeriesJSON(s *timeseries.Series) *SeriesView {
+	if s == nil {
+		return nil
+	}
+	v := &SeriesView{StartS: s.Start, StepS: s.Step, N: s.Len(), Values: s.Values}
+	if s.Len() > 0 {
+		v.Min, _ = s.Trough()
+		v.Max, _ = s.Peak()
+		v.Mean = s.Mean()
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// table1
+
+// MaterialView is one Table 1 row.
+type MaterialView struct {
+	Class                  string  `json:"class"`
+	MeltingPointC          float64 `json:"melting_point_c"`
+	HeatOfFusionJPerG      float64 `json:"heat_of_fusion_j_per_g"`
+	DensitySolidGPerMl     float64 `json:"density_solid_g_per_ml"`
+	Stability              string  `json:"stability"`
+	ElectricallyConductive bool    `json:"electrically_conductive"`
+	Corrosive              bool    `json:"corrosive"`
+}
+
+// CostView is the Section 2.1 eicosane-vs-commercial comparison.
+type CostView struct {
+	Liters       float64 `json:"liters"`
+	LabName      string  `json:"lab_name"`
+	LabTotalUSD  float64 `json:"lab_total_usd"`
+	CommName     string  `json:"commercial_name"`
+	CommTotalUSD float64 `json:"commercial_total_usd"`
+	CostRatio    float64 `json:"cost_ratio"`
+}
+
+// Table1View is the PCM survey plus the cost comparison.
+type Table1View struct {
+	Materials []MaterialView `json:"materials"`
+	Cost      *CostView      `json:"cost_comparison,omitempty"`
+}
+
+// Table1JSON ranks the materials with the datacenter criteria and renders
+// the survey.
+func Table1JSON(crit pcm.SelectionCriteria, materials []pcm.Material, eico, comm pcm.Material, liters float64) *Table1View {
+	out := &Table1View{}
+	for _, m := range crit.Ranked(materials) {
+		out.Materials = append(out.Materials, MaterialView{
+			Class:                  m.Class,
+			MeltingPointC:          m.MeltingPointC,
+			HeatOfFusionJPerG:      m.HeatOfFusion / 1000,
+			DensitySolidGPerMl:     m.DensitySolid / 1000,
+			Stability:              m.Stability.String(),
+			ElectricallyConductive: m.ElectricallyConductive,
+			Corrosive:              m.Corrosive,
+		})
+	}
+	out.Cost = &CostView{
+		Liters:       liters,
+		LabName:      eico.Name,
+		LabTotalUSD:  eico.CostForVolume(liters),
+		CommName:     comm.Name,
+		CommTotalUSD: comm.CostForVolume(liters),
+		CostRatio:    eico.CostPerTon / comm.CostPerTon,
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// fig4
+
+// ValidationView is the Figure 4 / Section 3 outcome.
+type ValidationView struct {
+	IdlePowerW           float64     `json:"idle_power_w"`
+	LoadedPowerW         float64     `json:"loaded_power_w"`
+	CPUIdleW             float64     `json:"cpu_idle_w"`
+	CPULoadedW           float64     `json:"cpu_loaded_w"`
+	DieIdleC             float64     `json:"die_idle_c"`
+	DieLoadedC           float64     `json:"die_loaded_c"`
+	SteadyMeanAbsDiffC   float64     `json:"steady_mean_abs_diff_c"`
+	HeatUpCorrelation    float64     `json:"heatup_correlation"`
+	MeltDepressionHours  float64     `json:"melt_depression_hours"`
+	FreezeElevationHours float64     `json:"freeze_elevation_hours"`
+	RealWax              *SeriesView `json:"real_wax"`
+	RealPlacebo          *SeriesView `json:"real_placebo"`
+	ModelWax             *SeriesView `json:"model_wax"`
+	ModelPlacebo         *SeriesView `json:"model_placebo"`
+}
+
+// ValidationJSON builds the view.
+func ValidationJSON(v *core.ValidationResult) *ValidationView {
+	return &ValidationView{
+		IdlePowerW:           v.IdlePowerW,
+		LoadedPowerW:         v.LoadedPowerW,
+		CPUIdleW:             v.CPUIdleW,
+		CPULoadedW:           v.CPULoadedW,
+		DieIdleC:             v.DieIdleC,
+		DieLoadedC:           v.DieLoadedC,
+		SteadyMeanAbsDiffC:   v.SteadyMeanAbsDiffC,
+		HeatUpCorrelation:    v.HeatUpCorrelation,
+		MeltDepressionHours:  v.MeltDepressionHours,
+		FreezeElevationHours: v.FreezeElevationHours,
+		RealWax:              SeriesJSON(v.RealWax),
+		RealPlacebo:          SeriesJSON(v.RealPlacebo),
+		ModelWax:             SeriesJSON(v.ModelWax),
+		ModelPlacebo:         SeriesJSON(v.ModelPlacebo),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// fig7
+
+// SweepPointView is one blockage operating point.
+type SweepPointView struct {
+	Blockage     float64   `json:"blockage"`
+	FlowFraction float64   `json:"flow_fraction"`
+	OutletC      float64   `json:"outlet_c"`
+	SocketC      []float64 `json:"socket_c"`
+	Unsafe       bool      `json:"unsafe"`
+}
+
+// SweepView is one machine's Figure 7 curve.
+type SweepView struct {
+	Class  string           `json:"class"`
+	Points []SweepPointView `json:"points"`
+}
+
+// SweepsJSON builds the views in Classes order.
+func SweepsJSON(res []core.SweepResult) []SweepView {
+	out := make([]SweepView, 0, len(res))
+	for _, r := range res {
+		sv := SweepView{Class: r.Class.String()}
+		for _, p := range r.Points {
+			sv.Points = append(sv.Points, SweepPointView{
+				Blockage:     p.Blockage,
+				FlowFraction: p.FlowFraction,
+				OutletC:      p.OutletC,
+				SocketC:      p.SocketC,
+				Unsafe:       p.Unsafe,
+			})
+		}
+		out = append(out, sv)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// fig10
+
+// TraceShareView is one job type's share of the load.
+type TraceShareView struct {
+	JobType string  `json:"job_type"`
+	Share   float64 `json:"share"`
+}
+
+// TraceView is the Figure 10 summary plus the normalized load curve.
+type TraceView struct {
+	Mean       float64          `json:"mean"`
+	Peak       float64          `json:"peak"`
+	PeakAtHour float64          `json:"peak_at_hour"`
+	Trough     float64          `json:"trough"`
+	Shares     []TraceShareView `json:"shares"`
+	Total      *SeriesView      `json:"total"`
+}
+
+// TraceJSON builds the view.
+func TraceJSON(tr *workload.Trace) *TraceView {
+	peak, at := tr.Total.Peak()
+	trough, _ := tr.Total.Trough()
+	out := &TraceView{
+		Mean:       tr.Total.Mean(),
+		Peak:       peak,
+		PeakAtHour: at / units.Hour,
+		Trough:     trough,
+		Total:      SeriesJSON(tr.Total),
+	}
+	for _, j := range workload.JobTypes {
+		out.Shares = append(out.Shares, TraceShareView{
+			JobType: j.String(),
+			Share:   tr.PerType[j].Mean() / tr.Total.Mean(),
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// fig11
+
+// CoolingView is one machine's Figure 11 / Section 5.1 outcome.
+type CoolingView struct {
+	Class                   string      `json:"class"`
+	MeltC                   float64     `json:"melt_c"`
+	MeltOnsetUtilization    float64     `json:"melt_onset_utilization"`
+	PeakBaselineW           float64     `json:"peak_baseline_w"`
+	PeakWithPCMW            float64     `json:"peak_with_pcm_w"`
+	PeakReduction           float64     `json:"peak_reduction"`
+	ResolidifyHours         float64     `json:"resolidify_hours"`
+	ExtraServers            int         `json:"extra_servers"`
+	AnnualCoolingSavingsUSD float64     `json:"annual_cooling_savings_usd"`
+	RetrofitSavingsUSD      float64     `json:"retrofit_savings_usd"`
+	Baseline                *SeriesView `json:"baseline"`
+	WithPCM                 *SeriesView `json:"with_pcm"`
+}
+
+// CoolingJSON builds the view.
+func CoolingJSON(r *core.CoolingResult) *CoolingView {
+	return &CoolingView{
+		Class:                   r.Class.String(),
+		MeltC:                   r.MeltC,
+		MeltOnsetUtilization:    r.MeltOnsetUtilization,
+		PeakBaselineW:           r.Analysis.PeakBaselineW,
+		PeakWithPCMW:            r.Analysis.PeakWithPCMW,
+		PeakReduction:           r.Analysis.PeakReduction,
+		ResolidifyHours:         r.Analysis.ResolidifyHours,
+		ExtraServers:            r.ExtraServers,
+		AnnualCoolingSavingsUSD: r.AnnualCoolingSavingsUSD,
+		RetrofitSavingsUSD:      r.RetrofitSavingsUSD,
+		Baseline:                SeriesJSON(r.Baseline),
+		WithPCM:                 SeriesJSON(r.WithPCM),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// fig12
+
+// ThroughputView is one machine's Figure 12 / Section 5.2 outcome.
+type ThroughputView struct {
+	Class                    string      `json:"class"`
+	LimitW                   float64     `json:"limit_w"`
+	PeakGain                 float64     `json:"peak_gain"`
+	DelayHours               float64     `json:"delay_hours"`
+	TCOEfficiencyImprovement float64     `json:"tco_efficiency_improvement"`
+	Ideal                    *SeriesView `json:"ideal"`
+	NoWax                    *SeriesView `json:"no_wax"`
+	WithWax                  *SeriesView `json:"with_wax"`
+}
+
+// ThroughputJSON builds the view.
+func ThroughputJSON(r *core.ThroughputResult) *ThroughputView {
+	return &ThroughputView{
+		Class:                    r.Class.String(),
+		LimitW:                   r.LimitW,
+		PeakGain:                 r.PeakGain,
+		DelayHours:               r.DelayHours,
+		TCOEfficiencyImprovement: r.TCOEfficiencyImprovement,
+		Ideal:                    SeriesJSON(r.Ideal),
+		NoWax:                    SeriesJSON(r.NoWax),
+		WithWax:                  SeriesJSON(r.WithWax),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// table2
+
+// Table2View is the TCO parameter table ($/month rates).
+type Table2View struct {
+	FacilitySpaceCapExPerSqFt float64 `json:"facility_space_capex_per_sqft"`
+	UPSCapExPerServer         float64 `json:"ups_capex_per_server"`
+	PowerInfraCapExPerKW      float64 `json:"power_infra_capex_per_kw"`
+	CoolingInfraCapExPerKW    float64 `json:"cooling_infra_capex_per_kw"`
+	RestCapExPerKW            float64 `json:"rest_capex_per_kw"`
+	DCInterestPerKW           float64 `json:"dc_interest_per_kw"`
+	ServerAmortizationMonths  float64 `json:"server_amortization_months"`
+	ServerInterestMonthly     float64 `json:"server_interest_monthly"`
+	DatacenterOpExPerKW       float64 `json:"datacenter_opex_per_kw"`
+	ServerEnergyOpExPerKW     float64 `json:"server_energy_opex_per_kw"`
+	ServerPowerOpExPerKW      float64 `json:"server_power_opex_per_kw"`
+	CoolingEnergyOpExPerKW    float64 `json:"cooling_energy_opex_per_kw"`
+	RestOpExPerKW             float64 `json:"rest_opex_per_kw"`
+}
+
+// Table2JSON builds the view.
+func Table2JSON(p tco.Params) *Table2View {
+	return &Table2View{
+		FacilitySpaceCapExPerSqFt: p.FacilitySpaceCapExPerSqFt,
+		UPSCapExPerServer:         p.UPSCapExPerServer,
+		PowerInfraCapExPerKW:      p.PowerInfraCapExPerKW,
+		CoolingInfraCapExPerKW:    p.CoolingInfraCapExPerKW,
+		RestCapExPerKW:            p.RestCapExPerKW,
+		DCInterestPerKW:           p.DCInterestPerKW,
+		ServerAmortizationMonths:  p.ServerAmortizationMonths,
+		ServerInterestMonthly:     p.ServerInterestMonthly,
+		DatacenterOpExPerKW:       p.DatacenterOpExPerKW,
+		ServerEnergyOpExPerKW:     p.ServerEnergyOpExPerKW,
+		ServerPowerOpExPerKW:      p.ServerPowerOpExPerKW,
+		CoolingEnergyOpExPerKW:    p.CoolingEnergyOpExPerKW,
+		RestOpExPerKW:             p.RestOpExPerKW,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// tco
+
+// TCOMachineView is one machine class's Section 5 economics summary.
+type TCOMachineView struct {
+	Class                    string  `json:"class"`
+	Servers                  int     `json:"servers"`
+	ServerCostUSD            float64 `json:"server_cost_usd"`
+	AnnualTCOUSD             float64 `json:"annual_tco_usd"`
+	CoolingSavingsUSDPerYear float64 `json:"cooling_savings_usd_per_year"`
+	ExtraServers             int     `json:"extra_servers"`
+	RetrofitSavingsUSD       float64 `json:"retrofit_savings_usd"`
+	PeakGain                 float64 `json:"peak_gain"`
+	TCOEfficiencyImprovement float64 `json:"tco_efficiency_improvement"`
+}
+
+// TCOMachineJSON builds one machine's row from its already-run studies.
+func TCOMachineJSON(m core.MachineClass, servers int, serverCostUSD, annualUSD float64, cool *core.CoolingResult, thr *core.ThroughputResult) TCOMachineView {
+	return TCOMachineView{
+		Class:                    m.String(),
+		Servers:                  servers,
+		ServerCostUSD:            serverCostUSD,
+		AnnualTCOUSD:             annualUSD,
+		CoolingSavingsUSDPerYear: cool.AnnualCoolingSavingsUSD,
+		ExtraServers:             cool.ExtraServers,
+		RetrofitSavingsUSD:       cool.RetrofitSavingsUSD,
+		PeakGain:                 thr.PeakGain,
+		TCOEfficiencyImprovement: thr.TCOEfficiencyImprovement,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// extensions
+
+// ExtensionView is one machine's extensions block: storage alternatives,
+// grid complementarity, night advantages, emergency ride-through,
+// relocation economics, and wax placement.
+type ExtensionView struct {
+	Class string `json:"class"`
+
+	WaxReduction          float64 `json:"wax_reduction"`
+	TankReduction         float64 `json:"tank_reduction"`
+	TankVolumeM3          float64 `json:"tank_volume_m3"`
+	TankPumpKWhPerDay     float64 `json:"tank_pump_kwh_per_day"`
+	TankStandingKWhPerDay float64 `json:"tank_standing_kwh_per_day"`
+
+	TotalReductionBatteryOnly float64 `json:"total_reduction_battery_only"`
+	TotalReductionWaxOnly     float64 `json:"total_reduction_wax_only"`
+	TotalReductionCombined    float64 `json:"total_reduction_combined"`
+
+	FreeFractionBase float64 `json:"free_fraction_base"`
+	FreeFractionPCM  float64 `json:"free_fraction_pcm"`
+	TOUCostBaseUSD   float64 `json:"tou_cost_base_usd"`
+	TOUCostPCMUSD    float64 `json:"tou_cost_pcm_usd"`
+	PUEBase          float64 `json:"pue_base"`
+	PUEPCM           float64 `json:"pue_pcm"`
+
+	RideThroughNoWaxMin     float64 `json:"ride_through_no_wax_min"`
+	RideThroughWithWaxMin   float64 `json:"ride_through_with_wax_min"`
+	RideThroughExtensionMin float64 `json:"ride_through_extension_min"`
+
+	RelocatedNoWax             float64 `json:"relocated_no_wax_server_h_per_day"`
+	RelocatedWithWax           float64 `json:"relocated_with_wax_server_h_per_day"`
+	RelocationAnnualSavingsUSD float64 `json:"relocation_annual_savings_usd"`
+
+	WakeReduction float64 `json:"wake_reduction"`
+	BulkReduction float64 `json:"bulk_reduction"`
+	WakeSwingK    float64 `json:"wake_swing_k"`
+	BulkSwingK    float64 `json:"bulk_swing_k"`
+}
+
+// ExtensionJSON assembles one machine's extensions view.
+func ExtensionJSON(cw *core.StorageComparison, comp *core.ComplementarityResult, night *core.NightAdvantages, em *core.EmergencyResult, rel *core.RelocationResult, pl *core.PlacementResult) ExtensionView {
+	return ExtensionView{
+		Class:                      cw.Class.String(),
+		WaxReduction:               cw.WaxReduction,
+		TankReduction:              cw.TankReduction,
+		TankVolumeM3:               cw.TankVolumeM3,
+		TankPumpKWhPerDay:          cw.TankPumpKWhPerDay,
+		TankStandingKWhPerDay:      cw.TankStandingKWhPerDay,
+		TotalReductionBatteryOnly:  comp.TotalReductionBatteryOnly,
+		TotalReductionWaxOnly:      comp.TotalReductionWaxOnly,
+		TotalReductionCombined:     comp.TotalReductionCombined,
+		FreeFractionBase:           night.FreeFractionBase,
+		FreeFractionPCM:            night.FreeFractionPCM,
+		TOUCostBaseUSD:             night.TOUCostBaseUSD,
+		TOUCostPCMUSD:              night.TOUCostPCMUSD,
+		PUEBase:                    night.PUEBase,
+		PUEPCM:                     night.PUEPCM,
+		RideThroughNoWaxMin:        em.RideThroughNoWaxMin,
+		RideThroughWithWaxMin:      em.RideThroughWithWaxMin,
+		RideThroughExtensionMin:    em.ExtensionMin,
+		RelocatedNoWax:             rel.RelocatedNoWax,
+		RelocatedWithWax:           rel.RelocatedWithWax,
+		RelocationAnnualSavingsUSD: rel.AnnualSavingsUSD,
+		WakeReduction:              pl.WakeReduction,
+		BulkReduction:              pl.BulkReduction,
+		WakeSwingK:                 pl.WakeSwingK,
+		BulkSwingK:                 pl.BulkSwingK,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// waxsweep
+
+// WaxSweepPointView is one wax-quantity operating point.
+type WaxSweepPointView struct {
+	Multiplier    float64 `json:"multiplier"`
+	WaxLiters     float64 `json:"wax_liters"`
+	PeakReduction float64 `json:"peak_reduction"`
+}
+
+// WaxSweepView is one machine's quantity sweep.
+type WaxSweepView struct {
+	Class  string              `json:"class"`
+	Points []WaxSweepPointView `json:"points"`
+}
+
+// WaxSweepJSON builds the view.
+func WaxSweepJSON(m core.MachineClass, pts []core.WaxSweepPoint) WaxSweepView {
+	out := WaxSweepView{Class: m.String()}
+	for _, p := range pts {
+		out.Points = append(out.Points, WaxSweepPointView{
+			Multiplier:    p.Multiplier,
+			WaxLiters:     p.WaxLiters,
+			PeakReduction: p.PeakReduction,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// fleet
+
+// FleetMixView is one slice of the fleet mix.
+type FleetMixView struct {
+	Class string `json:"class"`
+	Racks int    `json:"racks"`
+	NoWax bool   `json:"no_wax"`
+}
+
+// FleetPolicyView is one policy's outcome over the fleet. Worker counts
+// are deliberately absent: they change wall time, never results.
+type FleetPolicyView struct {
+	Policy                  string      `json:"policy"`
+	PeakPowerW              float64     `json:"peak_power_w"`
+	PeakCoolingW            float64     `json:"peak_cooling_w"`
+	BaselinePeakCoolingW    float64     `json:"baseline_peak_cooling_w"`
+	PeakReduction           float64     `json:"peak_reduction"`
+	HottestRackPeakW        float64     `json:"hottest_rack_peak_w"`
+	AnnualCoolingSavingsUSD float64     `json:"annual_cooling_savings_usd"`
+	TCODeltaUSD             float64     `json:"tco_delta_usd"`
+	ShedServerSeconds       float64     `json:"shed_server_seconds"`
+	CoolingLoadW            *SeriesView `json:"cooling_load_w"`
+}
+
+// FleetResultView is the fleet experiment outcome.
+type FleetResultView struct {
+	Racks             int               `json:"racks"`
+	Servers           int               `json:"servers"`
+	Mix               []FleetMixView    `json:"mix"`
+	Policies          []FleetPolicyView `json:"policies"`
+	Homogeneous       bool              `json:"homogeneous"`
+	FluidPeakCoolingW *float64          `json:"fluid_peak_cooling_w,omitempty"`
+	FluidDelta        *float64          `json:"fluid_delta,omitempty"`
+}
+
+// FleetJSON builds the view.
+func FleetJSON(r *core.FleetResult) *FleetResultView {
+	out := &FleetResultView{
+		Racks:       r.Racks,
+		Servers:     r.Servers,
+		Homogeneous: r.Homogeneous,
+		FluidDelta:  fnum(r.FluidDelta),
+	}
+	if !math.IsNaN(r.FluidDelta) {
+		out.FluidPeakCoolingW = fnum(r.FluidPeakCoolingW)
+	}
+	for _, fc := range r.Spec.Mix {
+		out.Mix = append(out.Mix, FleetMixView{Class: fc.Class.String(), Racks: fc.Racks, NoWax: fc.NoWax})
+	}
+	for _, p := range r.Policies {
+		out.Policies = append(out.Policies, FleetPolicyView{
+			Policy:                  p.Policy,
+			PeakPowerW:              p.PeakPowerW,
+			PeakCoolingW:            p.PeakCoolingW,
+			BaselinePeakCoolingW:    p.BaselinePeakCoolingW,
+			PeakReduction:           p.PeakReduction,
+			HottestRackPeakW:        p.HottestRackPeakW,
+			AnnualCoolingSavingsUSD: p.AnnualCoolingSavingsUSD,
+			TCODeltaUSD:             p.TCODeltaUSD,
+			ShedServerSeconds:       p.ShedServerSeconds,
+			CoolingLoadW:            SeriesJSON(p.CoolingLoadW),
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// faults
+
+// FaultPolicyView is one policy's ride-through under the scenario. Onsets
+// are null when that variant rode the whole scenario out unthrottled.
+type FaultPolicyView struct {
+	Policy                      string      `json:"policy"`
+	WaxOnsetS                   *float64    `json:"wax_onset_s"`
+	NoWaxOnsetS                 *float64    `json:"no_wax_onset_s"`
+	WaxRideThroughS             *float64    `json:"wax_ride_through_s"`
+	NoWaxRideThroughS           *float64    `json:"no_wax_ride_through_s"`
+	ExtensionS                  *float64    `json:"extension_s"`
+	WaxThrottledServerSeconds   float64     `json:"wax_throttled_server_seconds"`
+	NoWaxThrottledServerSeconds float64     `json:"no_wax_throttled_server_seconds"`
+	WaxShedServerSeconds        float64     `json:"wax_shed_server_seconds"`
+	NoWaxShedServerSeconds      float64     `json:"no_wax_shed_server_seconds"`
+	PeakInletRiseC              float64     `json:"peak_inlet_rise_c"`
+	FaultEvents                 int         `json:"fault_events"`
+	InletRiseC                  *SeriesView `json:"inlet_rise_c"`
+}
+
+// FaultResultView is the fault experiment outcome.
+type FaultResultView struct {
+	Racks    int               `json:"racks"`
+	Servers  int               `json:"servers"`
+	TripAtS  *float64          `json:"trip_at_s"`
+	Events   []string          `json:"events"`
+	Policies []FaultPolicyView `json:"policies"`
+}
+
+// FaultsJSON builds the view; the scheduled events are rendered in their
+// scenario-file spelling.
+func FaultsJSON(r *core.FaultResult) *FaultResultView {
+	out := &FaultResultView{
+		Racks:   r.Racks,
+		Servers: r.Servers,
+		TripAtS: fnum(r.TripAtS),
+	}
+	for _, e := range r.Events {
+		out.Events = append(out.Events, e.String())
+	}
+	for _, p := range r.Policies {
+		out.Policies = append(out.Policies, FaultPolicyView{
+			Policy:                      p.Policy,
+			WaxOnsetS:                   fnum(p.WaxOnsetS),
+			NoWaxOnsetS:                 fnum(p.NoWaxOnsetS),
+			WaxRideThroughS:             fnum(p.WaxRideThroughS),
+			NoWaxRideThroughS:           fnum(p.NoWaxRideThroughS),
+			ExtensionS:                  fnum(p.ExtensionS),
+			WaxThrottledServerSeconds:   p.WaxThrottledServerSeconds,
+			NoWaxThrottledServerSeconds: p.NoWaxThrottledServerSeconds,
+			WaxShedServerSeconds:        p.WaxShedServerSeconds,
+			NoWaxShedServerSeconds:      p.NoWaxShedServerSeconds,
+			PeakInletRiseC:              p.PeakInletRiseC,
+			FaultEvents:                 p.FaultEvents,
+			InletRiseC:                  SeriesJSON(p.InletRiseC),
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// check
+
+// CheckRowView is one self-check line.
+type CheckRowView struct {
+	Name     string  `json:"name"`
+	Measured float64 `json:"measured"`
+	Paper    float64 `json:"paper"`
+	OK       bool    `json:"ok"`
+}
+
+// CheckView is the self-check outcome.
+type CheckView struct {
+	Rows  []CheckRowView `json:"rows"`
+	AllOK bool           `json:"all_ok"`
+}
+
+// CheckJSON builds the view from a collected bundle.
+func CheckJSON(b *core.ResultsBundle) *CheckView {
+	rows, allOK := b.SelfCheck()
+	out := &CheckView{AllOK: allOK}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, CheckRowView{Name: r.Name, Measured: r.Measured, Paper: r.Paper, OK: r.OK})
+	}
+	return out
+}

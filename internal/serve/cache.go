@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU over encoded run responses, keyed by the
+// request content hash. Values are immutable byte slices — a hit hands
+// back the exact bytes the first run produced, so repeated identical
+// requests are byte-identical by construction.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+// cacheEntry is one cached response.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache bounded to max entries (minimum 1).
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached body for key and refreshes its recency.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry past
+// the bound. Storing an existing key refreshes both body and recency.
+func (c *resultCache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("alpha")) {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	// Touch a so b is the oldest.
+	c.Get("a")
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order ignores Get recency")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing after insert")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("old"))
+	c.Put("b", []byte("2"))
+	c.Put("a", []byte("new")) // refresh: a becomes most recent
+	c.Put("c", []byte("3"))   // evicts b, not a
+	got, ok := c.Get("a")
+	if !ok || string(got) != "new" {
+		t.Errorf("Get(a) = %q, %v; want refreshed body", got, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; refresh did not move a to the front")
+	}
+}
+
+func TestCacheMinimumBound(t *testing.T) {
+	c := newResultCache(0)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (minimum bound)", c.Len())
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("latest entry missing from single-slot cache")
+	}
+}
+
+func TestCacheBoundHolds(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		if c.Len() > 8 {
+			t.Fatalf("cache grew to %d past its bound", c.Len())
+		}
+	}
+	if c.Len() != 8 {
+		t.Errorf("Len = %d, want 8", c.Len())
+	}
+}

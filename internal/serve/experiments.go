@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/report"
+	"repro/internal/tco"
+)
+
+// A Runner executes one named experiment against a study and returns its
+// machine-readable result view (the structures from internal/report).
+// Runners built on the fleet simulator honor ctx; the closed-form
+// experiments are fast enough that they simply run to completion.
+type Runner func(ctx context.Context, s *core.Study, req *Request) (any, error)
+
+// ExperimentOrder is the canonical experiment ordering, shared with the
+// ttsim CLI.
+var ExperimentOrder = []string{
+	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
+	"table2", "tco", "extensions", "fleet", "faults", "waxsweep", "check",
+}
+
+// defaultRunners maps every served experiment to its runner.
+func defaultRunners() map[string]Runner {
+	return map[string]Runner{
+		"table1":     runTable1,
+		"fig4":       runFig4,
+		"fig7":       runFig7,
+		"fig10":      runFig10,
+		"fig11":      runFig11,
+		"fig12":      runFig12,
+		"table2":     runTable2,
+		"tco":        runTCO,
+		"extensions": runExtensions,
+		"fleet":      runFleet,
+		"faults":     runFaults,
+		"waxsweep":   runWaxSweep,
+		"check":      runCheck,
+	}
+}
+
+func runTable1(_ context.Context, _ *core.Study, _ *Request) (any, error) {
+	comm, err := pcm.CommercialParaffin(50)
+	if err != nil {
+		return nil, err
+	}
+	// The cost comparison prices the 1U deployment: 1.2 l/server over the
+	// default 55-server x 1008-cluster scenario.
+	return report.Table1JSON(pcm.DatacenterCriteria(), pcm.Families(), pcm.Eicosane(), comm, 1.2*55*1008), nil
+}
+
+func runFig4(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	v, err := s.RunValidation()
+	if err != nil {
+		return nil, err
+	}
+	return report.ValidationJSON(v), nil
+}
+
+func runFig7(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	res, err := s.RunBlockageSweeps()
+	if err != nil {
+		return nil, err
+	}
+	return report.SweepsJSON(res), nil
+}
+
+func runFig10(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	return report.TraceJSON(s.Trace), nil
+}
+
+func runFig11(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	var out []*report.CoolingView
+	for _, m := range core.Classes {
+		r, err := s.RunCoolingStudy(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, report.CoolingJSON(r))
+	}
+	return out, nil
+}
+
+func runFig12(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	var out []*report.ThroughputView
+	for _, m := range core.Classes {
+		r, err := s.RunThroughputStudy(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, report.ThroughputJSON(r))
+	}
+	return out, nil
+}
+
+func runTable2(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	return report.Table2JSON(s.TCO), nil
+}
+
+func runTCO(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	var out []report.TCOMachineView
+	for _, m := range core.Classes {
+		cfg := m.Config()
+		sc := core.DefaultScenario(m)
+		d := tco.Datacenter{
+			CriticalPowerKW: s.CriticalPowerKW,
+			Servers:         sc.Clusters * cfg.ClusterSize,
+			ServerCostUSD:   cfg.CostUSD,
+		}
+		annual, err := tco.Annual(s.TCO, d)
+		if err != nil {
+			return nil, err
+		}
+		cool, err := s.RunCoolingStudy(m)
+		if err != nil {
+			return nil, err
+		}
+		thr, err := s.RunThroughputStudy(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, report.TCOMachineJSON(m, d.Servers, cfg.CostUSD, annual, cool, thr))
+	}
+	return out, nil
+}
+
+func runExtensions(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	var out []report.ExtensionView
+	for _, m := range core.Classes {
+		cw, err := s.CompareChilledWater(m)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := s.RunComplementarity(m)
+		if err != nil {
+			return nil, err
+		}
+		night, err := s.RunNightAdvantages(m)
+		if err != nil {
+			return nil, err
+		}
+		em, err := s.RunEmergencyRideThrough(m, core.DefaultEmergency())
+		if err != nil {
+			return nil, err
+		}
+		rel, err := s.RunRelocationStudy(m, core.DefaultRelocation())
+		if err != nil {
+			return nil, err
+		}
+		pl, err := s.ComparePlacement(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, report.ExtensionJSON(cw, comp, night, em, rel, pl))
+	}
+	return out, nil
+}
+
+func runFleet(ctx context.Context, s *core.Study, req *Request) (any, error) {
+	spec := core.FleetSpec{
+		Mix:      req.FleetMix,
+		Policies: req.FleetPolicies,
+		Workers:  req.Workers,
+	}
+	r, err := s.RunFleetStudyContext(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return report.FleetJSON(r), nil
+}
+
+func runFaults(ctx context.Context, s *core.Study, req *Request) (any, error) {
+	spec := core.FaultSpec{
+		Mix:      req.FaultsMix,
+		Policies: req.FaultsPolicies,
+		Workers:  req.Workers,
+		Seed:     req.FaultsSeed,
+		StepS:    req.FaultsStepS,
+	}
+	r, err := s.RunFaultStudy(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return report.FaultsJSON(r), nil
+}
+
+func runWaxSweep(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	var out []report.WaxSweepView
+	for _, m := range core.Classes {
+		pts, err := s.WaxQuantitySweep(m, []float64{0.25, 0.5, 1, 1.5, 2})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, report.WaxSweepJSON(m, pts))
+	}
+	return out, nil
+}
+
+func runCheck(_ context.Context, s *core.Study, _ *Request) (any, error) {
+	bundle, err := s.CollectResults()
+	if err != nil {
+		return nil, err
+	}
+	return report.CheckJSON(bundle), nil
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates identical in-flight runs: the first request
+// for a key becomes the leader and executes, every concurrent request for
+// the same key joins as a waiter and shares the leader's outcome. The run
+// executes under its own context, derived from the server's base context
+// and cancelled only when EVERY interested client has disconnected — one
+// impatient client among many must not kill the run the others are still
+// waiting on.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one keyed in-flight run.
+type flightCall struct {
+	done    chan struct{} // closed after body/err are set
+	body    []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do returns fn's outcome for key, executing it at most once across all
+// concurrent callers. joined reports whether this caller piggybacked on a
+// run another request started. When reqCtx ends before the run does, the
+// caller detaches with reqCtx's error; the run itself is cancelled only
+// once no callers remain.
+func (g *flightGroup) do(reqCtx, baseCtx context.Context, key string, fn func(context.Context) ([]byte, error)) (body []byte, err error, joined bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		body, err = g.wait(reqCtx, c)
+		return body, err, true
+	}
+	runCtx, cancel := context.WithCancel(baseCtx)
+	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		b, err := fn(runCtx)
+		g.mu.Lock()
+		c.body, c.err = b, err
+		// Remove the call before publishing completion: a request arriving
+		// after done closes must start a fresh run, not join a dead one.
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+
+	body, err = g.wait(reqCtx, c)
+	return body, err, false
+}
+
+// wait blocks until the call completes or reqCtx ends. A caller that
+// gives up detaches; the last one to detach cancels the run.
+func (g *flightGroup) wait(reqCtx context.Context, c *flightCall) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.body, c.err
+	case <-reqCtx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			c.cancel()
+		}
+		g.mu.Unlock()
+		return nil, reqCtx.Err()
+	}
+}

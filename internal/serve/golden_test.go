@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden experiment corpus")
+
+// goldenPath returns the corpus file for one experiment.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// TestGoldenExperiments runs every served experiment with a default
+// request and compares the response byte for byte against the pinned
+// corpus. Any drift in simulation results, canonicalization, or JSON
+// encoding fails here first. Refresh intentionally with:
+//
+//	go test ./internal/serve -run TestGoldenExperiments -update
+func TestGoldenExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	_, ts := newTestServer(t, Config{})
+	for _, name := range ExperimentOrder {
+		t.Run(name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/experiments/"+name, "")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d: %s", resp.StatusCode, body)
+			}
+			path := goldenPath(name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, body, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden for %s (generate with -update): %v", name, err)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("%s drifted from its golden: %s", name, firstDiff(want, body))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first divergence and shows both sides around it.
+func firstDiff(want, got []byte) string {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	i := 0
+	for i < n && want[i] == got[i] {
+		i++
+	}
+	window := func(b []byte) string {
+		lo, hi := i-40, i+40
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		return string(b[lo:hi])
+	}
+	return fmt.Sprintf("byte %d (golden %d bytes, got %d bytes)\n  golden: …%s…\n  got:    …%s…",
+		i, len(want), len(got), window(want), window(got))
+}
+
+// TestGoldenDetectsPerturbation proves the corpus carries signal: a
+// request whose parameters actually differ produces different bytes than
+// the pinned default run.
+func TestGoldenDetectsPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fleet experiment")
+	}
+	want, err := os.ReadFile(goldenPath("fleet"))
+	if err != nil {
+		t.Fatalf("no fleet golden (generate with -update): %v", err)
+	}
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/experiments/fleet", `{"fleet":{"mix":"1U=2"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if bytes.Equal(body, want) {
+		t.Error("a two-rack fleet produced the same bytes as the default mix; the goldens cannot detect change")
+	}
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy reports that the run pool and its waiting queue are both full;
+// handlers map it to 429 with a Retry-After hint.
+var errBusy = errors.New("serve: run pool saturated")
+
+// runPool bounds concurrent runs and the number of requests allowed to
+// queue behind them. Admission past both bounds fails fast with errBusy
+// instead of letting load stack up unboundedly inside the server.
+type runPool struct {
+	slots  chan struct{}
+	depth  int64
+	queued atomic.Int64
+}
+
+// newRunPool returns a pool running at most workers runs with at most
+// queue requests waiting (minimums 1 and 0).
+func newRunPool(workers, queue int) *runPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &runPool{slots: make(chan struct{}, workers), depth: int64(queue)}
+}
+
+// acquire claims a run slot, waiting in the bounded queue if all slots are
+// busy. It returns errBusy when the queue is full, or ctx.Err() if the
+// caller gives up while queued.
+func (p *runPool) acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if p.queued.Add(1) > p.depth {
+		p.queued.Add(-1)
+		return errBusy
+	}
+	defer p.queued.Add(-1)
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (p *runPool) release() {
+	<-p.slots
+}

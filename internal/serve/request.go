@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// ErrBadRequest wraps every client-side request defect (malformed JSON,
+// unknown fields, invalid mix or policy spellings); handlers map it to
+// 400.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// ErrUnknownExperiment marks a run request for a name the server does not
+// serve; handlers map it to 404.
+var ErrUnknownExperiment = errors.New("serve: unknown experiment")
+
+// Request is a fully canonicalized run request. Two requests that mean
+// the same run — regardless of field order, JSON number spelling, policy
+// aliases, mix whitespace, or options supplied to experiments they cannot
+// affect — canonicalize to identical Requests and therefore identical
+// cache keys. Workers is the one exception: it tunes wall-clock speed,
+// never results, so it rides along for execution but stays out of Key.
+type Request struct {
+	// Experiment is the lower-cased experiment name.
+	Experiment string
+	// Optimize selects the melting-temperature search; retained only for
+	// experiments whose results it can change.
+	Optimize bool
+	// FleetMix and FleetPolicies configure the fleet experiment (nil
+	// unless Experiment == "fleet").
+	FleetMix      []core.FleetClass
+	FleetPolicies []string
+	// FaultsMix, FaultsPolicies, FaultsScenario, FaultsSeed and
+	// FaultsStepS configure the faults experiment (zero unless
+	// Experiment == "faults").
+	FaultsMix      []core.FleetClass
+	FaultsPolicies []string
+	FaultsScenario string
+	FaultsSeed     int64
+	FaultsStepS    float64
+	// Workers bounds the stepping pool for fleet/faults runs (0 = one per
+	// CPU). Excluded from Key: it cannot change the simulated physics.
+	Workers int
+}
+
+// wireRequest is the JSON body of a run request. Every field is optional;
+// zero values select the experiment's defaults.
+type wireRequest struct {
+	Optimize bool        `json:"optimize"`
+	Fleet    *wireFleet  `json:"fleet"`
+	Faults   *wireFaults `json:"faults"`
+}
+
+// wireFleet mirrors the ttsim -fleet.* flags.
+type wireFleet struct {
+	Mix      string   `json:"mix"`
+	Policies []string `json:"policies"`
+	Workers  int      `json:"workers"`
+}
+
+// wireFaults mirrors the ttsim -faults* flags. Scenario accepts only the
+// built-in "peak" trip over HTTP — scenario files are a CLI affordance;
+// serving arbitrary client-named paths would be a traversal hole.
+type wireFaults struct {
+	Mix      string   `json:"mix"`
+	Policies []string `json:"policies"`
+	Workers  int      `json:"workers"`
+	Scenario string   `json:"scenario"`
+	Seed     int64    `json:"seed"`
+	StepS    float64  `json:"step_s"`
+}
+
+// optimizeApplies lists the experiments whose output the -optimize search
+// can change: everything built on the cooling study. For any other
+// experiment the flag is dropped during canonicalization so it cannot
+// fragment the cache.
+var optimizeApplies = map[string]bool{
+	"fig11": true, "fig12": true, "tco": true,
+	"extensions": true, "waxsweep": true, "check": true,
+}
+
+// ParseRequest decodes and canonicalizes a run request for the named
+// experiment. known reports whether the server serves a name; body may be
+// empty (all defaults). Errors wrap ErrUnknownExperiment or
+// ErrBadRequest.
+func ParseRequest(name string, body []byte, known func(string) bool) (*Request, error) {
+	req := &Request{Experiment: strings.ToLower(strings.TrimSpace(name))}
+	if !known(req.Experiment) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, name)
+	}
+	var wire wireRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wire); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		// A second document in the body is as malformed as a bad first one.
+		if dec.More() {
+			return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+		}
+	}
+	if err := req.canonicalize(&wire); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// canonicalize fills defaults and normalizes every field into its single
+// canonical spelling.
+func (r *Request) canonicalize(wire *wireRequest) error {
+	r.Optimize = wire.Optimize && optimizeApplies[r.Experiment]
+
+	switch r.Experiment {
+	case "fleet":
+		spec := core.DefaultFleetSpec()
+		mix, policies, workers := spec.Mix, []string(nil), 0
+		if wire.Fleet != nil {
+			var err error
+			if mix, err = canonicalMix(wire.Fleet.Mix, spec.Mix); err != nil {
+				return err
+			}
+			policies, workers = wire.Fleet.Policies, wire.Fleet.Workers
+		}
+		pols, err := canonicalPolicies(policies, fleet.Policies())
+		if err != nil {
+			return err
+		}
+		r.FleetMix, r.FleetPolicies, r.Workers = mix, pols, workers
+	case "faults":
+		spec := core.DefaultFaultSpec()
+		mix, policies, workers := spec.Mix, []string(nil), 0
+		scenario, seed, stepS := "peak", int64(0), 60.0
+		if wire.Faults != nil {
+			var err error
+			if mix, err = canonicalMix(wire.Faults.Mix, spec.Mix); err != nil {
+				return err
+			}
+			policies, workers = wire.Faults.Policies, wire.Faults.Workers
+			switch s := strings.ToLower(strings.TrimSpace(wire.Faults.Scenario)); s {
+			case "", "peak", "default":
+				// the built-in chiller trip at the approach to the peak
+			default:
+				return fmt.Errorf("%w: unknown fault scenario %q (only \"peak\" is served)", ErrBadRequest, wire.Faults.Scenario)
+			}
+			seed = wire.Faults.Seed
+			if wire.Faults.StepS < 0 {
+				return fmt.Errorf("%w: negative step_s %g", ErrBadRequest, wire.Faults.StepS)
+			}
+			if wire.Faults.StepS > 0 {
+				stepS = wire.Faults.StepS
+			}
+		}
+		pols, err := canonicalPolicies(policies, []string{"roundrobin", "faultaware"})
+		if err != nil {
+			return err
+		}
+		r.FaultsMix, r.FaultsPolicies, r.Workers = mix, pols, workers
+		r.FaultsScenario, r.FaultsSeed, r.FaultsStepS = scenario, seed, stepS
+	}
+	return nil
+}
+
+// canonicalMix parses a mix spelling into its normal form, or returns the
+// default for an empty spelling.
+func canonicalMix(spec string, def []core.FleetClass) ([]core.FleetClass, error) {
+	if strings.TrimSpace(spec) == "" {
+		return def, nil
+	}
+	mix, err := core.ParseFleetMix(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return mix, nil
+}
+
+// canonicalPolicies resolves aliases to canonical policy names in request
+// order; empty, or any entry spelled "all", selects the full default set.
+func canonicalPolicies(names, all []string) ([]string, error) {
+	expanded := false
+	var out []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if strings.EqualFold(name, "all") {
+			expanded = true
+			continue
+		}
+		p, err := fleet.ParsePolicy(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		out = append(out, p.Name())
+	}
+	if expanded || len(out) == 0 {
+		return append([]string(nil), all...), nil
+	}
+	return out, nil
+}
+
+// keyForm is the canonical encoding hashed into the cache key. Struct
+// field order is fixed, floats marshal in Go's shortest deterministic
+// form, and Workers is absent by design.
+type keyForm struct {
+	Experiment     string   `json:"experiment"`
+	Optimize       bool     `json:"optimize"`
+	FleetMix       string   `json:"fleet_mix,omitempty"`
+	FleetPolicies  []string `json:"fleet_policies,omitempty"`
+	FaultsMix      string   `json:"faults_mix,omitempty"`
+	FaultsPolicies []string `json:"faults_policies,omitempty"`
+	FaultsScenario string   `json:"faults_scenario,omitempty"`
+	FaultsSeed     int64    `json:"faults_seed,omitempty"`
+	FaultsStepS    float64  `json:"faults_step_s,omitempty"`
+}
+
+// Key returns the content hash identifying this run: equal canonical
+// requests hash equal, any semantically differing field hashes different.
+func (r *Request) Key() string {
+	form := keyForm{
+		Experiment:     r.Experiment,
+		Optimize:       r.Optimize,
+		FleetMix:       core.FormatFleetMix(r.FleetMix),
+		FleetPolicies:  r.FleetPolicies,
+		FaultsMix:      core.FormatFleetMix(r.FaultsMix),
+		FaultsPolicies: r.FaultsPolicies,
+		FaultsScenario: r.FaultsScenario,
+		FaultsSeed:     r.FaultsSeed,
+		FaultsStepS:    r.FaultsStepS,
+	}
+	b, err := json.Marshal(form)
+	if err != nil {
+		// keyForm is strings and numbers; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// knownAll accepts every lower-case experiment name the server ships.
+func knownAll(name string) bool {
+	for _, n := range ExperimentOrder {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func mustKey(t *testing.T, name, body string) string {
+	t.Helper()
+	req, err := ParseRequest(name, []byte(body), knownAll)
+	if err != nil {
+		t.Fatalf("ParseRequest(%q, %q): %v", name, body, err)
+	}
+	return req.Key()
+}
+
+// TestKeyCanonicalization pins the invariance contract: spellings that
+// mean the same run must hash to the same key.
+func TestKeyCanonicalization(t *testing.T) {
+	cases := []struct {
+		name         string
+		expA, bodyA  string
+		expB, bodyB  string
+		wantSameKeys bool
+	}{
+		{"empty body equals explicit null fields",
+			"fig4", ``, "fig4", `{}`, true},
+		{"json field order is irrelevant",
+			"faults", `{"faults":{"seed":7,"step_s":120}}`,
+			"faults", `{"faults":{"step_s":120,"seed":7}}`, true},
+		{"float spelling is irrelevant",
+			"faults", `{"faults":{"step_s":120}}`,
+			"faults", `{"faults":{"step_s":1.2e2}}`, true},
+		{"integer-valued float equals integer",
+			"faults", `{"faults":{"step_s":120.0}}`,
+			"faults", `{"faults":{"step_s":120}}`, true},
+		{"explicit defaults equal omitted defaults",
+			"faults", `{"faults":{"scenario":"peak","step_s":60}}`,
+			"faults", ``, true},
+		{"default alias resolves to peak",
+			"faults", `{"faults":{"scenario":"default"}}`,
+			"faults", `{"faults":{"scenario":"peak"}}`, true},
+		{"workers is a perf knob, not semantics",
+			"fleet", `{"fleet":{"workers":1}}`,
+			"fleet", `{"fleet":{"workers":4}}`, true},
+		{"policy aliases resolve",
+			"fleet", `{"fleet":{"policies":["rr"]}}`,
+			"fleet", `{"fleet":{"policies":["roundrobin"]}}`, true},
+		{"all expands to the default policy set",
+			"fleet", `{"fleet":{"policies":["all"]}}`,
+			"fleet", ``, true},
+		{"optimize is dropped where it cannot matter",
+			"fig4", `{"optimize":true}`, "fig4", `{"optimize":false}`, true},
+		{"experiment name case folds",
+			"FLEET", ``, "fleet", ``, true},
+		{"optimize matters for cooling-backed experiments",
+			"fig11", `{"optimize":true}`, "fig11", `{"optimize":false}`, false},
+		{"different experiments differ",
+			"fig4", ``, "fig10", ``, false},
+		{"different seeds differ",
+			"faults", `{"faults":{"seed":1}}`,
+			"faults", `{"faults":{"seed":2}}`, false},
+		{"different steps differ",
+			"faults", `{"faults":{"step_s":30}}`,
+			"faults", `{"faults":{"step_s":60}}`, false},
+		{"different mixes differ",
+			"fleet", `{"fleet":{"mix":"1U=2"}}`,
+			"fleet", `{"fleet":{"mix":"1U=3"}}`, false},
+		{"nowax is part of the mix identity",
+			"fleet", `{"fleet":{"mix":"1U=2"}}`,
+			"fleet", `{"fleet":{"mix":"nowax:1U=2"}}`, false},
+		{"policy subsets differ from the full set",
+			"fleet", `{"fleet":{"policies":["roundrobin"]}}`,
+			"fleet", ``, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := mustKey(t, c.expA, c.bodyA)
+			b := mustKey(t, c.expB, c.bodyB)
+			if (a == b) != c.wantSameKeys {
+				t.Errorf("keys: %s vs %s (same=%v), want same=%v", a, b, a == b, c.wantSameKeys)
+			}
+		})
+	}
+}
+
+// TestKeyIsStable pins the hash of a fully defaulted fleet request so an
+// accidental canonicalization change (reordered fields, altered float
+// formatting) shows up as a test failure, not silent cache invalidation.
+func TestKeyIsStable(t *testing.T) {
+	a := mustKey(t, "fleet", ``)
+	b := mustKey(t, "fleet", ``)
+	if a != b {
+		t.Fatalf("same request hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.Trim(a, "0123456789abcdef") != "" {
+		t.Errorf("key %q is not lowercase hex sha256", a)
+	}
+}
+
+// TestParseRequestErrors maps every malformed input to the right error
+// class.
+func TestParseRequestErrors(t *testing.T) {
+	bad := []struct {
+		name, exp, body string
+		wantErr         error
+	}{
+		{"unknown experiment", "bogus", ``, ErrUnknownExperiment},
+		{"unknown experiment with body", "nope", `{}`, ErrUnknownExperiment},
+		{"malformed json", "fleet", `{bad`, ErrBadRequest},
+		{"unknown field", "fleet", `{"flleet":{}}`, ErrBadRequest},
+		{"trailing data", "fleet", `{} {}`, ErrBadRequest},
+		{"wrong type", "fleet", `{"optimize":"yes"}`, ErrBadRequest},
+		{"bad mix", "fleet", `{"fleet":{"mix":"8U=2"}}`, ErrBadRequest},
+		{"bad policy", "fleet", `{"fleet":{"policies":["bogus"]}}`, ErrBadRequest},
+		{"bad faults mix", "faults", `{"faults":{"mix":"8U=2"}}`, ErrBadRequest},
+		{"scenario file refused", "faults", `{"faults":{"scenario":"/etc/passwd"}}`, ErrBadRequest},
+		{"negative step", "faults", `{"faults":{"step_s":-1}}`, ErrBadRequest},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseRequest(c.exp, []byte(c.body), knownAll)
+			if !errors.Is(err, c.wantErr) {
+				t.Errorf("ParseRequest(%q, %q) error = %v, want %v", c.exp, c.body, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeFillsDefaults checks the canonical form itself, not
+// just the hash.
+func TestCanonicalizeFillsDefaults(t *testing.T) {
+	req, err := ParseRequest("fleet", nil, knownAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.FleetMix) == 0 {
+		t.Error("default fleet mix not filled")
+	}
+	if len(req.FleetPolicies) == 0 {
+		t.Error("default fleet policies not filled")
+	}
+
+	req, err = ParseRequest("faults", nil, knownAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.FaultsScenario != "peak" {
+		t.Errorf("default scenario = %q, want peak", req.FaultsScenario)
+	}
+	if req.FaultsStepS != 60 {
+		t.Errorf("default step = %g, want 60", req.FaultsStepS)
+	}
+
+	// Non-fleet experiments carry no fleet state at all.
+	req, err = ParseRequest("fig4", nil, knownAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.FleetMix != nil || req.FaultsMix != nil {
+		t.Error("fig4 request carries fleet state")
+	}
+}

@@ -1,0 +1,349 @@
+// Package serve is the simulation-serving layer behind the ttsimd daemon:
+// an HTTP front end that runs the paper's experiments on demand.
+//
+// Every run request is canonicalized (defaults filled, aliases resolved,
+// semantically inert options dropped) and content-hashed. The hash is the
+// identity of the run: identical concurrent requests collapse onto one
+// in-flight execution (singleflight dedup), completed runs land in a
+// bounded LRU of encoded responses so repeats are byte-identical cache
+// hits, and a bounded run pool applies backpressure — a full queue is an
+// immediate 429 with a Retry-After hint rather than unbounded pile-up.
+// Client disconnects propagate into the simulation through the run
+// context once no other client still wants the result; SIGTERM drains
+// cleanly: new work is refused with 503 while active runs finish.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Config sizes the server. Zero values select the defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing runs (default 2).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for a run slot before the
+	// server answers 429 (0 selects the default 8; negative disables
+	// queueing entirely).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 64).
+	CacheEntries int
+	// Obs receives the serving metrics and is exported on /metrics;
+	// nil allocates a private registry.
+	Obs *obs.Registry
+}
+
+// Server runs experiments over HTTP. Create with New, expose with
+// Handler, stop with Drain.
+type Server struct {
+	obs     *obs.Registry
+	cache   *resultCache
+	flight  *flightGroup
+	pool    *runPool
+	studies map[bool]*core.Study // keyed by the optimize flag
+
+	mu      sync.Mutex
+	runners map[string]Runner
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
+	gateMu   sync.Mutex
+	draining bool
+	active   int
+	idle     chan struct{} // closed when draining and active hits zero
+}
+
+// New builds a server with the default experiment set.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 8
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 64
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		obs:      cfg.Obs,
+		cache:    newResultCache(cfg.CacheEntries),
+		flight:   newFlightGroup(),
+		pool:     newRunPool(cfg.MaxConcurrent, cfg.QueueDepth),
+		studies:  map[bool]*core.Study{},
+		runners:  defaultRunners(),
+		baseCtx:  ctx,
+		baseStop: stop,
+		idle:     make(chan struct{}),
+	}
+	for _, optimize := range []bool{false, true} {
+		st := core.NewStudy()
+		st.OptimizeMelt = optimize
+		st.Observe(s.obs)
+		s.studies[optimize] = st
+	}
+	return s
+}
+
+// Register installs (or replaces) a runner under name. Intended for tests
+// that need a synthetic experiment with controlled timing.
+func (s *Server) Register(name string, r Runner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runners[name] = r
+}
+
+// runnerFor returns the runner serving name, or nil.
+func (s *Server) runnerFor(name string) Runner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runners[name]
+}
+
+// names returns the served experiment names: the canonical order first,
+// then any registered extras in lexical order.
+func (s *Server) names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool, len(s.runners))
+	var out []string
+	for _, n := range ExperimentOrder {
+		if s.runners[n] != nil {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range s.runners {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	for i := 0; i < len(extra); i++ {
+		for j := i + 1; j < len(extra); j++ {
+			if extra[j] < extra[i] {
+				extra[i], extra[j] = extra[j], extra[i]
+			}
+		}
+	}
+	return append(out, extra...)
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("POST /v1/experiments/{name}", s.handleRun)
+	mux.HandleFunc("POST /v1/experiments/{name}/stream", s.handleStream)
+	return mux
+}
+
+// enter admits a request past the drain gate; it returns false once Drain
+// has begun. Every successful enter must be paired with exit.
+func (s *Server) enter() bool {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// exit retires a request admitted by enter.
+func (s *Server) exit() {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	s.active--
+	if s.draining && s.active == 0 {
+		close(s.idle)
+	}
+}
+
+// Draining reports whether the server has begun refusing new work.
+func (s *Server) Draining() bool {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	return s.draining
+}
+
+// Drain stops admitting requests and waits for the active ones to finish.
+// When ctx expires first, the remaining runs are cancelled through the
+// base context. Drain is idempotent; only the first call closes the gate.
+func (s *Server) Drain(ctx context.Context) {
+	s.gateMu.Lock()
+	first := !s.draining
+	s.draining = true
+	idleNow := s.active == 0
+	if first && idleNow {
+		close(s.idle)
+	}
+	s.gateMu.Unlock()
+	select {
+	case <-s.idle:
+	case <-ctx.Done():
+	}
+	// Cancel stragglers (a no-op when the drain completed cleanly); the
+	// HTTP server's own Shutdown bounds how long they get to unwind.
+	s.baseStop()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.obs.WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Experiments []string `json:"experiments"`
+	}{s.names()})
+}
+
+// runEnvelope is the response body of a completed run. Field order is the
+// declaration order, so equal results encode to equal bytes.
+type runEnvelope struct {
+	Experiment string `json:"experiment"`
+	Key        string `json:"key"`
+	Result     any    `json:"result"`
+}
+
+// errEnvelope is the response body of a failed request.
+type errEnvelope struct {
+	Error string `json:"error"`
+}
+
+// writeError sends a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errEnvelope{Error: err.Error()})
+}
+
+// handleRun executes (or reuses) one experiment run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve.requests").Inc()
+	if !s.enter() {
+		s.obs.Counter("serve.rejected_draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	defer s.exit()
+
+	body := make([]byte, 0)
+	if r.Body != nil {
+		b, err := readBody(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		body = b
+	}
+	req, err := ParseRequest(r.PathValue("name"), body, func(n string) bool { return s.runnerFor(n) != nil })
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownExperiment):
+			s.obs.Counter("serve.unknown_experiment").Inc()
+			writeError(w, http.StatusNotFound, err)
+		default:
+			s.obs.Counter("serve.bad_request").Inc()
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	key := req.Key()
+	w.Header().Set("X-Run-Key", key)
+
+	if cached, ok := s.cache.Get(key); ok {
+		s.obs.Counter("serve.cache_hits").Inc()
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(cached)
+		return
+	}
+	s.obs.Counter("serve.cache_misses").Inc()
+
+	out, err, joined := s.flight.do(r.Context(), s.baseCtx, key, func(runCtx context.Context) ([]byte, error) {
+		return s.execute(runCtx, req, key)
+	})
+	if joined {
+		s.obs.Counter("serve.dedup_joined").Inc()
+		w.Header().Set("X-Dedup", "joined")
+	}
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// The client is gone; there is nobody to answer.
+			s.obs.Counter("serve.client_gone").Inc()
+		case errors.Is(err, errBusy):
+			s.obs.Counter("serve.rejected_busy").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The run died with the server (drain deadline), not the client.
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("run cancelled: %w", err))
+		default:
+			s.obs.Counter("serve.run_errors").Inc()
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// execute claims a pool slot, runs the experiment, encodes the envelope
+// and populates the cache. It is called at most once per in-flight key.
+func (s *Server) execute(ctx context.Context, req *Request, key string) ([]byte, error) {
+	if err := s.pool.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.release()
+	s.obs.Counter("serve.runs").Inc()
+	sp := s.obs.StartSpan("serve/" + req.Experiment)
+	defer sp.End()
+	runner := s.runnerFor(req.Experiment)
+	if runner == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, req.Experiment)
+	}
+	view, err := runner(ctx, s.studies[req.Optimize], req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(runEnvelope{Experiment: req.Experiment, Key: key, Result: view})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, '\n')
+	s.cache.Put(key, out)
+	return out, nil
+}

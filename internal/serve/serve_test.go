@@ -1,0 +1,581 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// newTestServer builds a server plus its httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// tryPost issues a POST and returns the response with its body read;
+// safe to call off the test goroutine.
+func tryPost(url, body string) (*http.Response, []byte, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, b, nil
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, b, err := tryPost(url, body)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp, b
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHappyPathAndCache runs a real (fast) experiment end to end: first
+// request misses and executes, the repeat is a byte-identical cache hit.
+func TestHappyPathAndCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/experiments/table2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("X-Cache = %q, want miss", got)
+	}
+	var env struct {
+		Experiment string          `json:"experiment"`
+		Key        string          `json:"key"`
+		Result     json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("bad envelope: %v", err)
+	}
+	if env.Experiment != "table2" || len(env.Key) != 64 || len(env.Result) == 0 {
+		t.Errorf("envelope = %+v", env)
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/experiments/table2", "")
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("repeat X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cache hit is not byte-identical to the original run")
+	}
+	if got := s.obs.Counter("serve.cache_hits").Value(); got != 1 {
+		t.Errorf("cache_hits = %d, want 1", got)
+	}
+	if got := s.obs.Counter("serve.runs").Value(); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+}
+
+// TestBadRequests covers the client-error routes for both the run and
+// stream endpoints.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"unknown experiment", "/v1/experiments/bogus", "", http.StatusNotFound},
+		{"unknown stream experiment", "/v1/experiments/bogus/stream", "", http.StatusNotFound},
+		{"malformed json", "/v1/experiments/table2", "{bad", http.StatusBadRequest},
+		{"unknown field", "/v1/experiments/table2", `{"nope":1}`, http.StatusBadRequest},
+		{"trailing garbage", "/v1/experiments/table2", `{} trailing`, http.StatusBadRequest},
+		{"bad mix", "/v1/experiments/fleet", `{"fleet":{"mix":"8U=2"}}`, http.StatusBadRequest},
+		{"scenario path refused", "/v1/experiments/faults", `{"faults":{"scenario":"../x"}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+c.path, c.body)
+			if resp.StatusCode != c.want {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, c.want, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Errorf("error body %q is not a JSON error envelope", body)
+			}
+		})
+	}
+
+	// Wrong method on a valid route.
+	resp, err := http.Get(ts.URL + "/v1/experiments/table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET run endpoint = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestDedupConcurrentIdentical proves the singleflight contract: 100
+// identical in-flight requests execute the experiment exactly once.
+func TestDedupConcurrentIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 4, QueueDepth: 128})
+	var runs atomic.Int64
+	release := make(chan struct{})
+	s.Register("blocker", func(ctx context.Context, _ *core.Study, _ *Request) (any, error) {
+		runs.Add(1)
+		select {
+		case <-release:
+			return map[string]string{"status": "done"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+
+	const clients = 100
+	bodies := make([][]byte, clients)
+	codes := make([]int, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body, err := tryPost(ts.URL+"/v1/experiments/blocker", "")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			codes[i], bodies[i] = resp.StatusCode, body
+		}(i)
+	}
+	// Every request passes the cache miss counter before joining the
+	// flight, so counter == clients means all 100 are in flight together.
+	waitFor(t, "all clients in flight", func() bool {
+		return s.obs.Counter("serve.cache_misses").Value() == clients
+	})
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner executed %d times for %d identical requests, want exactly 1", got, clients)
+	}
+	if got := s.obs.Counter("serve.runs").Value(); got != 1 {
+		t.Errorf("serve.runs = %d, want 1", got)
+	}
+	if got := s.obs.Counter("serve.dedup_joined").Value(); got != clients-1 {
+		t.Errorf("dedup_joined = %d, want %d", got, clients-1)
+	}
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d got status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d body differs from client 0", i)
+		}
+	}
+}
+
+// TestClientDisconnectCancelsRun checks a mid-run disconnect propagates
+// into the run context and leaks no goroutines.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	entered := make(chan struct{})
+	returned := make(chan error, 1)
+	s.Register("hang", func(ctx context.Context, _ *core.Study, _ *Request) (any, error) {
+		close(entered)
+		<-ctx.Done()
+		returned <- ctx.Err()
+		return nil, ctx.Err()
+	})
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/experiments/hang", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("request succeeded despite cancellation")
+	}
+	select {
+	case err := <-returned:
+		if err == nil {
+			t.Error("runner saw no cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("disconnect never reached the run context")
+	}
+	waitFor(t, "client_gone counter", func() bool {
+		return s.obs.Counter("serve.client_gone").Value() == 1
+	})
+
+	// Settle loop: every goroutine the request spawned must unwind.
+	http.DefaultClient.CloseIdleConnections()
+	waitFor(t, "goroutines to settle", func() bool {
+		return runtime.NumGoroutine() <= before+1
+	})
+}
+
+// TestSharedRunSurvivesOneDisconnect checks the waiter-counted
+// cancellation: one of two clients leaving must not kill the run the
+// other still wants.
+func TestSharedRunSurvivesOneDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	s.Register("shared", func(ctx context.Context, _ *core.Study, _ *Request) (any, error) {
+		select {
+		case <-release:
+			return map[string]bool{"ok": true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/experiments/shared", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impatient := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		impatient <- err
+	}()
+	patient := make(chan int, 1)
+	go func() {
+		resp, _, err := tryPost(ts.URL+"/v1/experiments/shared", "")
+		if err != nil {
+			patient <- -1
+			return
+		}
+		patient <- resp.StatusCode
+	}()
+	waitFor(t, "both clients in flight", func() bool {
+		return s.obs.Counter("serve.cache_misses").Value() == 2
+	})
+	cancel()
+	if err := <-impatient; err == nil {
+		t.Fatal("cancelled client got a response")
+	}
+	// The run must still be alive for the patient client.
+	close(release)
+	if code := <-patient; code != http.StatusOK {
+		t.Fatalf("patient client got %d; the impatient one killed the shared run", code)
+	}
+}
+
+// TestBackpressure429 checks a saturated pool answers 429 with a
+// Retry-After hint instead of queueing without bound.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: -1})
+	release := make(chan struct{})
+	block := func(ctx context.Context, _ *core.Study, _ *Request) (any, error) {
+		select {
+		case <-release:
+			return map[string]bool{"ok": true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.Register("block1", block)
+	s.Register("block2", block)
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _, err := tryPost(ts.URL+"/v1/experiments/block1", "")
+		if err != nil {
+			first <- -1
+			return
+		}
+		first <- resp.StatusCode
+	}()
+	waitFor(t, "first run to hold the slot", func() bool {
+		return s.obs.Counter("serve.runs").Value() == 1
+	})
+
+	resp, body := postJSON(t, ts.URL+"/v1/experiments/block2", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.obs.Counter("serve.rejected_busy").Value(); got != 1 {
+		t.Errorf("rejected_busy = %d, want 1", got)
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first run finished with %d", code)
+	}
+}
+
+// TestDrain checks the SIGTERM path: new requests are refused with 503
+// while the drain deadline cancels stragglers.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	entered := make(chan struct{})
+	s.Register("hang", func(ctx context.Context, _ *core.Study, _ *Request) (any, error) {
+		close(entered)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _, err := tryPost(ts.URL+"/v1/experiments/hang", "")
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		inflight <- resp.StatusCode
+	}()
+	<-entered
+
+	drainDone := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		s.Drain(ctx)
+		close(drainDone)
+	}()
+	waitFor(t, "drain gate to close", s.Draining)
+
+	// New work is refused while draining.
+	resp, _ := postJSON(t, ts.URL+"/v1/experiments/table2", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("run during drain = %d, want 503", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain = %d, want 503", hz.StatusCode)
+	}
+
+	// The deadline cancels the hung run; the drain completes and the
+	// request is answered as a cancelled run.
+	select {
+	case <-drainDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never returned")
+	}
+	select {
+	case code := <-inflight:
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("hung run answered %d, want 503", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hung request never answered")
+	}
+}
+
+// TestStreamNDJSON checks the streaming endpoint forwards simulation
+// events live and terminates with exactly one result line.
+func TestStreamNDJSON(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.Register("emit", func(_ context.Context, st *core.Study, _ *Request) (any, error) {
+		st.Obs.Events().Record(1, "test.tick", "emit", 42, 0)
+		st.Obs.Events().Record(2, "test.tick", "emit", 43, 0)
+		return map[string]string{"hello": "world"}, nil
+	})
+
+	resp, err := http.Post(ts.URL+"/v1/experiments/emit/stream", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var events, results int
+	var lastType string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Type  string `json:"type"`
+			Event *struct {
+				Kind  string  `json:"kind"`
+				Value float64 `json:"value"`
+			} `json:"event"`
+			Result map[string]string `json:"result"`
+			Error  string            `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lastType = line.Type
+		switch line.Type {
+		case "event":
+			if line.Event == nil || line.Event.Kind != "test.tick" {
+				t.Errorf("unexpected event line %q", sc.Text())
+			}
+			events++
+		case "result":
+			if line.Result["hello"] != "world" {
+				t.Errorf("result line %q", sc.Text())
+			}
+			results++
+		default:
+			t.Errorf("unexpected line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events != 2 {
+		t.Errorf("saw %d event lines, want 2", events)
+	}
+	if results != 1 {
+		t.Errorf("saw %d result lines, want 1", results)
+	}
+	if lastType != "result" {
+		t.Errorf("stream ended with %q, want result", lastType)
+	}
+}
+
+// TestStreamReportsErrors checks a failing run ends the stream with an
+// error line, not a dropped connection.
+func TestStreamReportsErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.Register("fail", func(context.Context, *core.Study, *Request) (any, error) {
+		return nil, fmt.Errorf("synthetic failure")
+	})
+	resp, err := http.Post(ts.URL+"/v1/experiments/fail/stream", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"type":"error"`) || !strings.Contains(string(body), "synthetic failure") {
+		t.Errorf("stream body %q lacks the error line", body)
+	}
+}
+
+// TestRunErrorIs500 checks an experiment failure maps to a JSON 500.
+func TestRunErrorIs500(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.Register("fail", func(context.Context, *core.Study, *Request) (any, error) {
+		return nil, fmt.Errorf("synthetic failure")
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/experiments/fail", "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "synthetic failure") {
+		t.Errorf("body %q lacks the cause", body)
+	}
+	// Failures are not cached: the next attempt runs again.
+	req, err := ParseRequest("fail", nil, func(n string) bool { return s.runnerFor(n) != nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.cache.Get(req.Key()); ok {
+		t.Error("failed run landed in the result cache")
+	}
+}
+
+// TestHealthzMetricsList covers the ancillary endpoints.
+func TestHealthzMetricsList(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/experiments/table2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run failed: %s", body)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Errorf("healthz = %d %q", hz.StatusCode, b)
+	}
+
+	m, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(m.Body)
+	m.Body.Close()
+	for _, want := range []string{"serve.requests", "serve.runs", "serve.cache_misses"} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics page lacks %s", want)
+		}
+	}
+
+	l, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := json.NewDecoder(l.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	l.Body.Close()
+	if len(list.Experiments) != len(ExperimentOrder) {
+		t.Fatalf("list = %v", list.Experiments)
+	}
+	for i, n := range ExperimentOrder {
+		if list.Experiments[i] != n {
+			t.Errorf("list[%d] = %q, want %q", i, list.Experiments[i], n)
+		}
+	}
+	_ = s
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds a run-request body; the wire form is a handful of
+// short fields, so anything bigger is garbage.
+const maxBodyBytes = 1 << 20
+
+// readBody reads the request body under the size bound.
+func readBody(r *http.Request) ([]byte, error) {
+	b, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return b, nil
+}
+
+// streamLine is one NDJSON line of a streaming run: telemetry events as
+// they happen, then exactly one result or error line.
+type streamLine struct {
+	Type       string     `json:"type"` // "event", "result", "error"
+	Event      *obs.Event `json:"event,omitempty"`
+	Experiment string     `json:"experiment,omitempty"`
+	Key        string     `json:"key,omitempty"`
+	Result     any        `json:"result,omitempty"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// handleStream runs one experiment with live NDJSON progress: the
+// simulation's event log is tapped and forwarded line by line while the
+// run executes, followed by a final result (or error) line. Streaming
+// runs bypass the cache and dedup — the point is to watch this execution
+// — but still respect the pool and the drain gate.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve.stream_requests").Inc()
+	if !s.enter() {
+		s.obs.Counter("serve.rejected_draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	defer s.exit()
+
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := ParseRequest(r.PathValue("name"), body, func(n string) bool { return s.runnerFor(n) != nil })
+	if err != nil {
+		if errors.Is(err, ErrUnknownExperiment) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+
+	runCtx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	// A server drain must also stop a streaming run.
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	defer stopAfter()
+
+	if err := s.pool.acquire(runCtx); err != nil {
+		if errors.Is(err, errBusy) {
+			s.obs.Counter("serve.rejected_busy").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		return
+	}
+	defer s.pool.release()
+
+	// A private study and registry: the stream reports this execution's
+	// events, not another request's.
+	reg := obs.New()
+	study := core.NewStudy()
+	study.OptimizeMelt = req.Optimize
+	study.Observe(reg)
+
+	events := make(chan obs.Event, 256)
+	cancelTap := reg.Events().Tap(func(e obs.Event) {
+		select {
+		case events <- e:
+		default:
+			s.obs.Counter("serve.stream_dropped_events").Inc()
+		}
+	})
+	defer cancelTap()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Run-Key", req.Key())
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line streamLine) bool {
+		if err := enc.Encode(line); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	type outcome struct {
+		view any
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		runner := s.runnerFor(req.Experiment)
+		view, err := runner(runCtx, study, req)
+		done <- outcome{view, err}
+	}()
+
+	s.obs.Counter("serve.stream_runs").Inc()
+	for {
+		select {
+		case e := <-events:
+			if !emit(streamLine{Type: "event", Event: &e}) {
+				cancel()
+				<-done
+				return
+			}
+		case out := <-done:
+			// Flush whatever the tap delivered before completion.
+			for {
+				select {
+				case e := <-events:
+					emit(streamLine{Type: "event", Event: &e})
+					continue
+				default:
+				}
+				break
+			}
+			if out.err != nil {
+				emit(streamLine{Type: "error", Experiment: req.Experiment, Error: out.err.Error()})
+			} else {
+				emit(streamLine{Type: "result", Experiment: req.Experiment, Key: req.Key(), Result: out.view})
+			}
+			return
+		case <-runCtx.Done():
+			s.obs.Counter("serve.client_gone").Inc()
+			<-done
+			return
+		}
+	}
+}
