@@ -31,6 +31,7 @@ func TestExitCodes(t *testing.T) {
 		{"bundle write failure", []string{"-exp", "table2", "-json", "/dev/null/x/bundle.json"}, exitBundle, ""},
 		{"metrics write failure", []string{"-exp", "table2", "-metrics", "/dev/null/x/m.json"}, exitMetrics, ""},
 		{"trace write failure", []string{"-exp", "table2", "-trace", "/dev/null/x/t.jsonl"}, exitTrace, ""},
+		{"chrome trace write failure", []string{"-exp", "table2", "-trace.chrome", "/dev/null/x/t.json"}, exitChrome, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -7,7 +7,7 @@
 //	      [-csv dir] [-optimize] [-json file]
 //	      [-fleet] [-fleet.mix 1U=13,2U=10,OCP=4] [-fleet.policy all] [-fleet.workers n]
 //	      [-faults peak|scenario-file] [-faults.seed n] [-faults.step s]
-//	      [-metrics file] [-trace file] [-pprof addr]
+//	      [-metrics file] [-trace file] [-trace.chrome file] [-pprof addr]
 //
 // -exp also accepts a comma-separated list (e.g. -exp fig11,fig12);
 // experiments always run in the canonical order above, deduplicated.
@@ -35,15 +35,18 @@
 //
 // Telemetry: -metrics writes the run's counters, gauges, histograms and
 // spans as JSON; -trace writes the simulation event log (PCM phase
-// transitions, solver convergence) as JSON Lines; -pprof serves the
-// stdlib net/http/pprof profiles plus a plain-text /metrics page on the
-// given address for the duration of the run.
+// transitions, solver convergence) as JSON Lines; -trace.chrome writes
+// the span tree in Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing; -pprof serves the stdlib
+// net/http/pprof profiles plus a plain-text /metrics page on the given
+// address for the duration of the run.
 //
 // Exit codes: 0 success; 1 an experiment failed; 2 usage (bad flags or
 // experiment names — usage goes to stderr); 3 the pprof listener could
 // not bind; 4 the -json bundle could not be produced or written; 5 the
 // -metrics file could not be written; 6 the -trace file could not be
-// written; 130 interrupted.
+// written; 7 the -trace.chrome file could not be written; 130
+// interrupted.
 package main
 
 import (
@@ -79,6 +82,7 @@ const (
 	exitBundle    = 4
 	exitMetrics   = 5
 	exitTrace     = 6
+	exitChrome    = 7
 	exitInterrupt = 130
 )
 
@@ -127,6 +131,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	optimize := fs.Bool("optimize", false, "search melting temperatures instead of using calibrated defaults")
 	metricsPath := fs.String("metrics", "", "write telemetry (counters, histograms, spans) as JSON to this file")
 	tracePath := fs.String("trace", "", "write the simulation event log as JSON Lines to this file")
+	chromePath := fs.String("trace.chrome", "", "write the span tree as Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060) while running")
 	fleetMode := fs.Bool("fleet", false, "run the heterogeneous-fleet experiment (alone, or added to an explicit -exp list)")
 	fleetMix := fs.String("fleet.mix", "1U=13,2U=10,OCP=4", "fleet rack mix as tag=racks pairs; prefix a tag with nowax: to strip the retrofit")
@@ -185,9 +190,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	study.OptimizeMelt = *optimize
 
 	var reg *obs.Registry
-	if *metricsPath != "" || *tracePath != "" || *pprofAddr != "" {
+	if *metricsPath != "" || *tracePath != "" || *chromePath != "" || *pprofAddr != "" {
 		reg = obs.New()
 		study.Observe(reg)
+	}
+	if *chromePath != "" {
+		// Span capture must be armed before the first experiment starts;
+		// 0 selects the default trace capacity.
+		reg.EnableSpanTrace(0)
 	}
 	if *pprofAddr != "" {
 		if err := servePprof(*pprofAddr, reg, stderr); err != nil {
@@ -239,6 +249,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return exitTrace
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
+	}
+	if *chromePath != "" {
+		if err := writeFile(*chromePath, reg.WriteChromeTrace); err != nil {
+			fmt.Fprintln(stderr, "ttsim:", err)
+			return exitChrome
+		}
+		fmt.Fprintf(stdout, "chrome trace written to %s (open in ui.perfetto.dev)\n", *chromePath)
 	}
 	return exitOK
 }

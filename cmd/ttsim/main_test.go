@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -190,5 +191,51 @@ func TestTextOnlyRunners(t *testing.T) {
 	}
 	if err := runTable2(context.Background(), study, "", io.Discard); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestChromeTraceExport runs a fast experiment with -trace.chrome and
+// checks the output is loadable trace-event JSON containing the
+// experiment span.
+func TestChromeTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr strings.Builder
+	if got := run(context.Background(), []string{"-exp", "table2", "-trace.chrome", path}, &stdout, &stderr); got != exitOK {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "chrome trace written to") {
+		t.Errorf("stdout %q lacks the chrome trace notice", stdout.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TsUs  float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &trace); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	var sawSpan, sawMeta bool
+	for _, ev := range trace.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Name == "experiment/table2" {
+				sawSpan = true
+			}
+		case "M":
+			sawMeta = true
+		}
+	}
+	if !sawSpan || !sawMeta {
+		t.Errorf("trace lacks the experiment span (%v) or track metadata (%v)", sawSpan, sawMeta)
 	}
 }

@@ -3,31 +3,40 @@
 // Usage:
 //
 //	ttsimd [-addr :8080] [-max-concurrent n] [-queue n] [-cache n]
-//	       [-drain-timeout 30s]
+//	       [-drain-timeout 30s] [-debug.addr localhost:6060]
 //
 // Endpoints:
 //
-//	GET  /healthz                       liveness (503 while draining)
-//	GET  /metrics                       serving + simulation telemetry
-//	GET  /v1/experiments                served experiment names
-//	POST /v1/experiments/{name}         run (or reuse) one experiment
-//	POST /v1/experiments/{name}/stream  run with live NDJSON telemetry
+//	GET  /healthz                        liveness + build info (503 while draining)
+//	GET  /metrics                        Prometheus exposition (?format=text for the legacy dump)
+//	GET  /v1/experiments                 served experiment names
+//	POST /v1/experiments/{name}          run (or reuse) one experiment
+//	POST /v1/experiments/{name}/stream   run with live NDJSON telemetry
+//	GET  /v1/runs/{id}/timeseries        a recorded run's flight-recorder series
+//	GET  /v1/runs/{id}/alerts            a recorded run's alert rules and firings
 //
 // Identical concurrent requests share one execution; completed runs are
 // cached so repeats are byte-identical. When the run pool and queue are
 // full the server answers 429 with Retry-After. SIGTERM (or SIGINT)
 // drains: new requests get 503 while active runs finish, bounded by
 // -drain-timeout.
+//
+// -debug.addr serves net/http/pprof (/debug/pprof/) and expvar
+// (/debug/vars) on a SEPARATE listener, never the serving address:
+// profiling endpoints expose heap contents and must not ride an address
+// that might be reachable by clients.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 8, "requests allowed to wait for a run slot before 429")
 	cacheEntries := fs.Int("cache", 64, "result cache entries")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for active runs before cancelling them")
+	debugAddr := fs.String("debug.addr", "", "serve net/http/pprof and expvar on this separate address (e.g. localhost:6060); never exposed on -addr")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -85,6 +95,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, "ttsimd:", err)
+			return exitListen
+		}
+		go http.Serve(dln, debugMux())
+		fmt.Fprintf(stdout, "ttsimd: debug on http://%s/debug/pprof/\n", dln.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -110,4 +131,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "ttsimd: stopped")
 	return exitOK
+}
+
+// debugMux builds the diagnostics-only handler: the stdlib pprof pages
+// and the expvar JSON dump. It is deliberately a fresh mux — registering
+// these on the serving handler would expose heap and command-line
+// contents to API clients.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -116,3 +116,67 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 		}
 	}
 }
+
+// TestDebugListener boots the daemon with -debug.addr and checks the
+// diagnostics endpoints answer on the debug listener — and only there:
+// the serving listener must 404 them.
+func TestDebugListener(t *testing.T) {
+	var out, errOut syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug.addr", "127.0.0.1:0", "-drain-timeout", "5s"}, &out, &errOut)
+	}()
+
+	serveRE := regexp.MustCompile(`serving on http://(\S+)`)
+	debugRE := regexp.MustCompile(`debug on http://([^/\s]+)`)
+	var serveAddr, debugAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := serveRE.FindStringSubmatch(out.String()); m != nil {
+			serveAddr = m[1]
+		}
+		if m := debugRE.FindStringSubmatch(out.String()); m != nil {
+			debugAddr = m[1]
+		}
+		if serveAddr != "" && debugAddr != "" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if serveAddr == "" || debugAddr == "" {
+		t.Fatalf("daemon never announced both addresses; stdout %q stderr %q", out.String(), errOut.String())
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("debug listener %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// The serving listener must not expose the profiler.
+	resp, err := http.Get("http://" + serveAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("serving listener /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit code %d, want %d (stderr %q)", code, exitOK, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never exited after cancellation")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/flightrec"
 	"repro/internal/server"
 	"repro/internal/timeseries"
 	"repro/internal/workload"
@@ -43,6 +44,9 @@ type FaultSpec struct {
 	// scenario from faults.DefaultGenOptions instead of the deterministic
 	// peak trip.
 	Seed int64
+	// Recorder, when set, attaches a flight recorder to the wax run of
+	// the FIRST requested policy (see FleetSpec.Recorder).
+	Recorder *flightrec.Recorder `json:"-"`
 }
 
 // DefaultFaultSpec is a homogeneous 1U fleet hit by the default peak-time
@@ -187,7 +191,10 @@ func (s *Study) RunFaultStudy(ctx context.Context, spec FaultSpec) (*FaultResult
 		out.TripAtS = at
 	}
 
-	build := func(policy fleet.Policy, withWax bool) (*fleet.Run, *fleet.Fleet, error) {
+	// Like the fleet study, the recorder rides the first policy's wax run
+	// only.
+	recorder := spec.Recorder
+	build := func(policy fleet.Policy, withWax bool, rec *flightrec.Recorder) (*fleet.Run, *fleet.Fleet, error) {
 		cs := make([]fleet.ClassSpec, len(classes))
 		copy(cs, classes)
 		if !withWax {
@@ -198,7 +205,7 @@ func (s *Study) RunFaultStudy(ctx context.Context, spec FaultSpec) (*FaultResult
 		}
 		f, err := fleet.New(fleet.Config{
 			Classes: cs, Policy: policy, Workers: spec.Workers,
-			Faults: sched, Obs: s.Obs,
+			Faults: sched, Obs: s.Obs, Recorder: rec,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -212,11 +219,12 @@ func (s *Study) RunFaultStudy(ctx context.Context, spec FaultSpec) (*FaultResult
 		if err != nil {
 			return nil, err
 		}
-		wax, f, err := build(policy, true)
+		wax, f, err := build(policy, true, recorder)
 		if err != nil {
 			return nil, err
 		}
-		base, _, err := build(policy, false)
+		recorder = nil
+		base, _, err := build(policy, false, nil)
 		if err != nil {
 			return nil, err
 		}

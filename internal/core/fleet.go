@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dcsim"
 	"repro/internal/fleet"
+	"repro/internal/flightrec"
 	"repro/internal/server"
 	"repro/internal/tco"
 	"repro/internal/timeseries"
@@ -37,6 +38,11 @@ type FleetSpec struct {
 	Policies []string
 	// Workers bounds the stepping pool (0 = runtime.NumCPU()).
 	Workers int
+	// Recorder, when set, attaches a flight recorder to the wax run of
+	// the FIRST requested policy (the study's headline run; the other
+	// runs exist for comparison). Never serialized — it is an execution
+	// attachment, not part of the experiment's identity.
+	Recorder *flightrec.Recorder `json:"-"`
 }
 
 // DefaultFleetSpec is a mixed fleet roughly one cluster deep per class:
@@ -206,7 +212,11 @@ func (s *Study) RunFleetStudyContext(ctx context.Context, spec FleetSpec) (*Flee
 		FluidDelta:  math.NaN(),
 	}
 
-	build := func(policy fleet.Policy, withWax bool) (*fleet.Run, *fleet.Fleet, error) {
+	// The recorder rides the first policy's wax run only: each fleet.Run
+	// resets an attached recorder, so the last attachment would otherwise
+	// win silently.
+	recorder := spec.Recorder
+	build := func(policy fleet.Policy, withWax bool, rec *flightrec.Recorder) (*fleet.Run, *fleet.Fleet, error) {
 		cs := make([]fleet.ClassSpec, len(classes))
 		copy(cs, classes)
 		if !withWax {
@@ -217,6 +227,7 @@ func (s *Study) RunFleetStudyContext(ctx context.Context, spec FleetSpec) (*Flee
 		}
 		f, err := fleet.New(fleet.Config{
 			Classes: cs, Policy: policy, Workers: spec.Workers, Obs: s.Obs,
+			Recorder: rec,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -230,11 +241,12 @@ func (s *Study) RunFleetStudyContext(ctx context.Context, spec FleetSpec) (*Flee
 		if err != nil {
 			return nil, err
 		}
-		wax, f, err := build(policy, true)
+		wax, f, err := build(policy, true, recorder)
 		if err != nil {
 			return nil, err
 		}
-		base, _, err := build(policy, false)
+		recorder = nil
+		base, _, err := build(policy, false, nil)
 		if err != nil {
 			return nil, err
 		}

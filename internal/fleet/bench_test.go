@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/flightrec"
 	"repro/internal/server"
 )
 
@@ -41,6 +42,49 @@ func BenchmarkFleetEpochs(b *testing.B) {
 					b.Fatal(err)
 				}
 				_ = run
+			}
+			epochs := float64(tr.Total.Len()) * float64(b.N)
+			b.ReportMetric(epochs/b.Elapsed().Seconds(), "epochs/s")
+		})
+	}
+}
+
+// BenchmarkFleetEpochsRecorded measures the flight recorder's epoch-loop
+// overhead: the same fleet and trace with recording off and on. The
+// recorded variant carries the full channel set (fleet-level plus 32
+// racks x 3 per-rack channels) and the default alert rules; the issue's
+// acceptance bar is <5% overhead between the two entries.
+func BenchmarkFleetEpochsRecorded(b *testing.B) {
+	rom, err := server.DeriveROM(server.OneU(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := testTrace(b)
+	for _, recorded := range []bool{false, true} {
+		name := "recorder=off"
+		var rec *flightrec.Recorder
+		if recorded {
+			name = "recorder=on"
+			rec = flightrec.New(flightrec.Config{})
+		}
+		b.Run(name, func(b *testing.B) {
+			f, err := New(Config{
+				Classes: []ClassSpec{
+					{Cfg: server.OneU(), Racks: 24, WithWax: true, ROM: rom},
+					{Cfg: server.OneU(), Racks: 8},
+				},
+				Policy:   ThermalAware{},
+				Recorder: rec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Run(tr); err != nil {
+					b.Fatal(err)
+				}
 			}
 			epochs := float64(tr.Total.Len()) * float64(b.N)
 			b.ReportMetric(epochs/b.Elapsed().Seconds(), "epochs/s")

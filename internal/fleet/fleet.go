@@ -47,6 +47,7 @@ import (
 	"sync"
 
 	"repro/internal/faults"
+	"repro/internal/flightrec"
 	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/server"
@@ -90,6 +91,12 @@ type Config struct {
 	// Obs is the optional telemetry registry; nil disables
 	// instrumentation at zero cost.
 	Obs *obs.Registry
+	// Recorder is the optional flight recorder: per-epoch fleet (and,
+	// for small fleets, per-rack) telemetry captured in the sequential
+	// tail of the epoch loop, so recorded runs stay bit-identical across
+	// worker counts. A bare recorder gets default alert rules derived
+	// from the degradation tuning. Nil disables recording at zero cost.
+	Recorder *flightrec.Recorder
 }
 
 // Validate names the first bad field of the configuration: an empty mix,
@@ -145,14 +152,15 @@ type rackSpec struct {
 // immutable after New: every Run creates fresh per-rack wax and fault
 // state, so runs are independent and a single Fleet may be reused.
 type Fleet struct {
-	classes []ClassSpec
-	racks   []rackSpec
-	policy  Policy
-	workers int
-	servers int
-	faults  *faults.Schedule
-	degrade DegradeConfig
-	reg     *obs.Registry
+	classes  []ClassSpec
+	racks    []rackSpec
+	policy   Policy
+	workers  int
+	servers  int
+	faults   *faults.Schedule
+	degrade  DegradeConfig
+	reg      *obs.Registry
+	recorder *flightrec.Recorder
 
 	// maxInletC is the hottest class cold-aisle setpoint: the inlet that
 	// crosses the throttle trigger first during a room excursion.
@@ -170,11 +178,12 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	f := &Fleet{
-		classes: cfg.Classes,
-		policy:  cfg.Policy,
-		faults:  cfg.Faults,
-		degrade: cfg.Degrade.withDefaults(),
-		reg:     cfg.Obs,
+		classes:  cfg.Classes,
+		policy:   cfg.Policy,
+		faults:   cfg.Faults,
+		degrade:  cfg.Degrade.withDefaults(),
+		reg:      cfg.Obs,
+		recorder: cfg.Recorder,
 	}
 	if f.policy == nil {
 		f.policy = RoundRobin{}
@@ -378,6 +387,7 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 		views[i].WaxRemaining = remainingFraction(st.waxes[i], st.latent[i])
 	}
 	inj := f.faults.Injector()
+	rb := f.bindRecorder(tr)
 
 	// Shards: contiguous rack ranges, one persistent worker each. The
 	// two-channel handshake (jobs in, WaitGroup out) is the epoch barrier.
@@ -564,6 +574,13 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 			}
 		}
 		out.InletRiseC.Values[i] = st.roomRise
+
+		// Flight-recorder capture closes the epoch, still in the
+		// sequential section: the workers are parked at the barrier, so
+		// recording can never perturb (or race with) the simulation.
+		if rb != nil {
+			rb.capture(f, st, out, i, t, demand, placed, chillerOut)
+		}
 	}
 	for r := 0; r < nr; r++ {
 		out.AbsorbedJ += st.buf.absorbed[r]

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/flightrec"
+	"repro/internal/workload"
+)
+
+// Default alert rules installed into a bare recorder at run start. The
+// thresholds come from the fleet's degradation tuning: the throttle alert
+// latches on the first throttled rack, the inlet alert mirrors the
+// emergency trigger with a 2 K hysteresis band, and the wax-exhaustion
+// forecast warns an hour out when the liquid-fraction slope projects the
+// buffer spent (window: the last half hour of samples).
+const (
+	alertInletClearBandC    = 2.0
+	alertWaxHorizonS        = 3600.0
+	alertWaxWindowS         = 1800.0
+	alertWaxExhaustLiquid   = 1.0
+	alertThrottleRacksLevel = 0.5
+)
+
+// recBinding holds the resolved channel handles for one recorded run, so
+// the epoch loop stages values through pointers instead of name lookups.
+type recBinding struct {
+	rec *flightrec.Recorder
+
+	power, cooling, liquid, inlet   *flightrec.Channel
+	throttledRacks, activeFaults    *flightrec.Channel
+	shedSS, throttledSS             *flightrec.Channel
+	demand, placed                  *flightrec.Channel
+	rackInlet, rackLiquid, rackUtil []*flightrec.Channel
+}
+
+// bindRecorder starts the attached flight recorder for this run and
+// registers its channels. Per-rack channels are created only when the
+// fleet fits the recorder's PerRackLimit, keeping the memory budget
+// independent of fleet size. A bare recorder (no rules) gets the default
+// alert rules derived from the degradation tuning. Returns nil when no
+// recorder is attached.
+func (f *Fleet) bindRecorder(tr *workload.Trace) *recBinding {
+	rec := f.recorder
+	if rec == nil {
+		return nil
+	}
+	rec.Start(flightrec.RunMeta{
+		Racks:   len(f.racks),
+		Servers: f.servers,
+		Workers: f.workers,
+		Policy:  f.policy.Name(),
+	}, tr.Total.Start, tr.Total.Step)
+	if f.reg != nil {
+		rec.AttachEvents(f.reg.Events())
+	}
+
+	b := &recBinding{
+		rec:            rec,
+		power:          rec.Channel("fleet.power_w"),
+		cooling:        rec.Channel("fleet.cooling_w"),
+		liquid:         rec.Channel("fleet.wax_liquid"),
+		inlet:          rec.Channel("fleet.inlet_c"),
+		throttledRacks: rec.Channel("fleet.throttled_racks"),
+		activeFaults:   rec.Channel("fleet.active_faults"),
+		shedSS:         rec.Channel("fleet.shed_server_seconds"),
+		throttledSS:    rec.Channel("fleet.throttled_server_seconds"),
+		demand:         rec.Channel("fleet.demand"),
+		placed:         rec.Channel("fleet.placed_servers"),
+	}
+	if nr := len(f.racks); nr <= rec.PerRackLimit() {
+		b.rackInlet = make([]*flightrec.Channel, nr)
+		b.rackLiquid = make([]*flightrec.Channel, nr)
+		b.rackUtil = make([]*flightrec.Channel, nr)
+		for r := 0; r < nr; r++ {
+			b.rackInlet[r] = rec.Channel(fmt.Sprintf("rack%d.inlet_c", r))
+			b.rackLiquid[r] = rec.Channel(fmt.Sprintf("rack%d.wax_liquid", r))
+			b.rackUtil[r] = rec.Channel(fmt.Sprintf("rack%d.util", r))
+		}
+	}
+
+	if !rec.HasRules() {
+		// AddRule only fails on malformed rules; these are statically
+		// well-formed (the degradation tuning was validated at New).
+		_ = rec.AddRule(flightrec.Rule{
+			Name: "throttle", Channel: "fleet.throttled_racks", Type: flightrec.RuleThreshold,
+			FireAtOrAbove: alertThrottleRacksLevel, ClearBelow: alertThrottleRacksLevel,
+		})
+		_ = rec.AddRule(flightrec.Rule{
+			Name: "inlet_excursion", Channel: "fleet.inlet_c", Type: flightrec.RuleThreshold,
+			FireAtOrAbove: f.degrade.ThrottleInletC,
+			ClearBelow:    f.degrade.ThrottleInletC - alertInletClearBandC,
+		})
+		_ = rec.AddRule(flightrec.Rule{
+			Name: "wax_exhaustion", Channel: "fleet.wax_liquid", Type: flightrec.RuleForecast,
+			Target: alertWaxExhaustLiquid, HorizonS: alertWaxHorizonS, WindowS: alertWaxWindowS,
+		})
+	}
+	return b
+}
+
+// capture stages the epoch's telemetry and commits it. Called from the
+// sequential tail of the epoch loop — after the merge, never concurrently
+// with shard workers — so recorded runs stay bit-identical across worker
+// counts. The whole call is skipped when no recorder is attached.
+func (b *recBinding) capture(f *Fleet, st *runState, out *Run, i int, t, demand, placed float64, chillerOut bool) {
+	b.power.Set(out.PowerW.Values[i])
+	b.cooling.Set(out.CoolingLoadW.Values[i])
+	b.liquid.Set(out.WaxLiquid.Values[i])
+	b.inlet.Set(f.maxInletC + st.roomRise)
+	b.throttledRacks.Set(out.ThrottledRacks.Values[i])
+	b.shedSS.Set(out.ShedServerSeconds)
+	b.throttledSS.Set(out.ThrottledServerSeconds)
+	b.demand.Set(demand)
+	b.placed.Set(placed)
+
+	active := 0
+	if chillerOut {
+		active++
+	}
+	for r := range f.racks {
+		if st.capLost[r] > 0 || st.flowLoss[r] > 0 || st.sensorStuck[r] ||
+			st.sensorDrop[r] || st.retention[r] < 1 {
+			active++
+		}
+	}
+	b.activeFaults.Set(float64(active))
+
+	if b.rackInlet != nil {
+		for r := range f.racks {
+			b.rackInlet[r].Set(f.racks[r].cfg.InletC + st.roomRise)
+			b.rackLiquid[r].Set(st.buf.liquid[r])
+			b.rackUtil[r].Set(st.buf.assign[r])
+		}
+	}
+	b.rec.EndEpoch(t)
+}

@@ -1,0 +1,289 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/flightrec"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// recordedRun executes one faulted, mixed-class run with a fresh recorder
+// attached and returns both.
+func recordedRun(t testing.TB, workers int, sched *faults.Schedule, tr *workload.Trace) (*Run, *flightrec.Recorder) {
+	t.Helper()
+	rom := testROM(t)
+	rec := flightrec.New(flightrec.Config{})
+	f, err := New(Config{
+		Classes: []ClassSpec{
+			{Cfg: server.OneU(), Racks: 5, WithWax: true, ROM: rom},
+			{Cfg: server.OneU(), Racks: 3},
+		},
+		Policy:   ThermalAware{},
+		Workers:  workers,
+		Faults:   sched,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := f.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run, rec
+}
+
+// TestRecordedRunBitIdentical is the tentpole invariant: because capture
+// happens in the sequential tail of the epoch loop, a recorded run is
+// bit-identical across worker counts — the NDJSON exports differ only in
+// the meta line's worker count — and recording does not perturb the
+// simulation itself.
+func TestRecordedRunBitIdentical(t *testing.T) {
+	tr := testTrace(t)
+	sched := mustSchedule(t, "10h chiller-trip for 45m")
+
+	run1, rec1 := recordedRun(t, 1, sched, tr)
+	run8, rec8 := recordedRun(t, 8, sched, tr)
+
+	if !reflect.DeepEqual(run1.PowerW.Values, run8.PowerW.Values) ||
+		!reflect.DeepEqual(run1.WaxLiquid.Values, run8.WaxLiquid.Values) ||
+		!reflect.DeepEqual(run1.InletRiseC.Values, run8.InletRiseC.Values) {
+		t.Error("recorded run differs between workers=1 and workers=8")
+	}
+
+	var nd1, nd8 bytes.Buffer
+	if err := rec1.WriteNDJSON(&nd1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec8.WriteNDJSON(&nd8); err != nil {
+		t.Fatal(err)
+	}
+	// The meta line records the worker count (it legitimately differs);
+	// every telemetry and alert line after it must match byte for byte.
+	_, body1, ok1 := strings.Cut(nd1.String(), "\n")
+	_, body8, ok8 := strings.Cut(nd8.String(), "\n")
+	if !ok1 || !ok8 {
+		t.Fatal("NDJSON export missing body")
+	}
+	if body1 != body8 {
+		t.Error("recorded telemetry is not bit-identical across worker counts")
+	}
+
+	// Recording must not perturb the run: an unrecorded fleet with the
+	// same shape produces the same series.
+	rom := testROM(t)
+	f, err := New(Config{
+		Classes: []ClassSpec{
+			{Cfg: server.OneU(), Racks: 5, WithWax: true, ROM: rom},
+			{Cfg: server.OneU(), Racks: 3},
+		},
+		Policy: ThermalAware{},
+		Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := f.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.PowerW.Values, run1.PowerW.Values) {
+		t.Error("attaching a recorder changed the simulation output")
+	}
+}
+
+// TestRecorderCapturesRun checks the recorded channels carry the run's
+// actual telemetry: the raw fleet series match the Run output sample for
+// sample, and per-rack channels exist for a fleet under the limit.
+func TestRecorderCapturesRun(t *testing.T) {
+	tr := testTrace(t)
+	run, rec := recordedRun(t, 0, mustSchedule(t, "10h chiller-trip for 45m"), tr)
+
+	if got, want := rec.Epochs(), tr.Total.Len(); got != want {
+		t.Fatalf("recorder saw %d epochs, want %d", got, want)
+	}
+	meta := rec.Meta()
+	if meta.Racks != 8 || meta.Policy != "thermal" {
+		t.Errorf("meta = %+v", meta)
+	}
+	for chName, want := range map[string]*[]float64{
+		"fleet.power_w":         &run.PowerW.Values,
+		"fleet.cooling_w":       &run.CoolingLoadW.Values,
+		"fleet.wax_liquid":      &run.WaxLiquid.Values,
+		"fleet.throttled_racks": &run.ThrottledRacks.Values,
+	} {
+		sd, err := rec.Query(chName, flightrec.Raw, math.NaN(), math.NaN())
+		if err != nil {
+			t.Fatalf("%s: %v", chName, err)
+		}
+		if !reflect.DeepEqual(sd.Values, *want) {
+			t.Errorf("%s diverges from the run output", chName)
+		}
+	}
+	// Inlet channel = hottest setpoint + excursion.
+	sd, err := rec.Query("fleet.inlet_c", flightrec.Raw, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setpoint := server.OneU().InletC
+	for i, v := range sd.Values {
+		if want := setpoint + run.InletRiseC.Values[i]; v != want {
+			t.Fatalf("inlet[%d] = %v, want %v", i, v, want)
+			break
+		}
+	}
+	// 8 racks fit the default per-rack limit: rack channels exist.
+	names := rec.Channels()
+	var rackChans int
+	for _, n := range names {
+		if strings.HasPrefix(n, "rack") {
+			rackChans++
+		}
+	}
+	if rackChans != 8*3 {
+		t.Errorf("got %d rack channels, want 24 (%v)", rackChans, names)
+	}
+}
+
+// TestRecorderDefaultAlerts runs a chiller-trip scenario hot enough to
+// throttle and checks the default rules fire into the obs event log.
+func TestRecorderDefaultAlerts(t *testing.T) {
+	tr := testTrace(t)
+	rec := flightrec.New(flightrec.Config{})
+	reg := obs.New()
+	f, err := New(Config{
+		Classes:  []ClassSpec{{Cfg: server.OneU(), Racks: 4}},
+		Faults:   mustSchedule(t, "10h chiller-trip for 45m"),
+		Obs:      reg,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := f.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(run.ThrottleOnsetS) {
+		t.Fatal("scenario did not throttle; alert test needs a throttling run")
+	}
+	var names []string
+	for _, a := range rec.Alerts() {
+		names = append(names, a.Rule)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "throttle") {
+		t.Errorf("throttle alert never fired (alerts: %v)", names)
+	}
+	if !strings.Contains(joined, "inlet_excursion") {
+		t.Errorf("inlet excursion alert never fired (alerts: %v)", names)
+	}
+	// The room recovers after the outage, so the alerts also clear.
+	for _, a := range rec.Alerts() {
+		if a.Rule == "throttle" && a.Active {
+			t.Error("throttle alert still active after recovery")
+		}
+	}
+	// Firings are visible in the shared event log.
+	var fires int
+	for _, e := range reg.Events().Events() {
+		if e.Kind == "alert.fire" {
+			fires++
+		}
+	}
+	if fires == 0 {
+		t.Error("no alert.fire events in the obs event log")
+	}
+}
+
+// TestRecorderTwoDayBudget is the acceptance check on the memory budget:
+// a two-day faulted run fits a fixed, pre-declared budget, the budget
+// does not move while recording, and the downsampled tiers still cover
+// the whole run even after the raw ring has wrapped.
+func TestRecorderTwoDayBudget(t *testing.T) {
+	tr, err := workload.Generate(workload.Options{
+		Days: 2, StepS: 60, Seed: 11, MeanUtil: 0.5, PeakUtil: 0.95, NoiseAmp: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2880 one-minute epochs with a raw ring of 1024: the raw tier wraps,
+	// the minute and hour tiers keep the full two days.
+	rec := flightrec.New(flightrec.Config{RawCapacity: 1024})
+	f, err := New(Config{
+		Classes:  []ClassSpec{{Cfg: server.OneU(), Racks: 4}},
+		Faults:   mustSchedule(t, "10h chiller-trip for 45m"),
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	budget := rec.MemoryBytes()
+	const budgetCap = 2 << 20 // 2 MiB, asserted
+	if budget <= 0 || budget > budgetCap {
+		t.Fatalf("memory budget %d bytes outside (0, %d]", budget, budgetCap)
+	}
+
+	// The raw ring wrapped: it no longer starts at 0.
+	raw, err := rec.Query("fleet.power_w", flightrec.Raw, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.StartS == tr.Total.Start || len(raw.Values) != 1024 {
+		t.Errorf("raw tier start %v len %d; expected a wrapped 1024-sample ring", raw.StartS, len(raw.Values))
+	}
+	// The minute and hour tiers cover the full two days.
+	for _, res := range []flightrec.Resolution{flightrec.Minute, flightrec.Hour} {
+		sd, err := rec.Query("fleet.power_w", res, math.NaN(), math.NaN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := sd.StartS + float64(sd.Len())*sd.StepS
+		if sd.StartS > tr.Total.Start || end < tr.Total.End()-sd.StepS {
+			t.Errorf("%v tier covers [%v, %v), want [%v, %v)", res, sd.StartS, end, tr.Total.Start, tr.Total.End())
+		}
+		if sd.Len() == 0 {
+			t.Errorf("%v tier empty", res)
+		}
+	}
+
+	// Budget did not move: run the same fleet again on the same recorder.
+	if _, err := f.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if after := rec.MemoryBytes(); after != budget {
+		t.Errorf("budget moved across runs: %d -> %d", budget, after)
+	}
+}
+
+// TestRecorderPerRackLimit pins the scaling story: a fleet larger than
+// PerRackLimit records fleet-level channels only, so the footprint is
+// independent of fleet size.
+func TestRecorderPerRackLimit(t *testing.T) {
+	rec := flightrec.New(flightrec.Config{PerRackLimit: 2})
+	f, err := New(Config{
+		Classes:  []ClassSpec{{Cfg: server.OneU(), Racks: 6}},
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(testTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rec.Channels() {
+		if strings.HasPrefix(n, "rack") {
+			t.Fatalf("per-rack channel %q created above the limit", n)
+		}
+	}
+}

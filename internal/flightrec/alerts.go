@@ -1,0 +1,297 @@
+package flightrec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rule kinds.
+const (
+	// RuleThreshold fires when the channel's committed value reaches
+	// FireAtOrAbove and clears when it drops below ClearBelow; the gap
+	// between the two is the hysteresis band that stops a value hovering
+	// at the threshold from strobing the alert.
+	RuleThreshold = "threshold"
+	// RuleForecast fits a slope to the channel's recent raw samples and
+	// fires when the extrapolated time-to-Target falls inside HorizonS.
+	// The wax-exhaustion alert is the canonical use: the PCM liquid
+	// fraction climbing toward 1.0 warns before the buffer is spent.
+	RuleForecast = "forecast"
+)
+
+// Rule is one alert rule. Threshold rules use FireAtOrAbove/ClearBelow;
+// forecast rules use Target/HorizonS/WindowS.
+type Rule struct {
+	Name    string `json:"name"`
+	Channel string `json:"channel"`
+	Type    string `json:"type"`
+
+	// Threshold parameters.
+	FireAtOrAbove float64 `json:"fire_at_or_above,omitempty"`
+	ClearBelow    float64 `json:"clear_below,omitempty"`
+
+	// Forecast parameters: fire when the least-squares slope over the
+	// last WindowS seconds of raw samples projects the channel reaching
+	// Target within HorizonS seconds. Clears when the slope turns
+	// non-positive or the projection recedes past 2x HorizonS.
+	Target   float64 `json:"target,omitempty"`
+	HorizonS float64 `json:"horizon_s,omitempty"`
+	WindowS  float64 `json:"window_s,omitempty"`
+}
+
+func (r Rule) validate() error {
+	if r.Name == "" || r.Channel == "" {
+		return fmt.Errorf("flightrec: rule needs a name and a channel (got %q/%q)", r.Name, r.Channel)
+	}
+	switch r.Type {
+	case RuleThreshold:
+		if r.ClearBelow > r.FireAtOrAbove {
+			return fmt.Errorf("flightrec: rule %q clear threshold %v above fire threshold %v", r.Name, r.ClearBelow, r.FireAtOrAbove)
+		}
+	case RuleForecast:
+		if r.HorizonS <= 0 || r.WindowS <= 0 {
+			return fmt.Errorf("flightrec: forecast rule %q needs positive horizon and window", r.Name)
+		}
+	default:
+		return fmt.Errorf("flightrec: rule %q has unknown type %q", r.Name, r.Type)
+	}
+	return nil
+}
+
+// ruleState is the per-rule hysteresis latch.
+type ruleState struct {
+	firing   bool
+	alertIdx int // index into r.alerts of the open alert
+}
+
+// Alert is one firing of a rule: when it fired, the triggering value, the
+// worst value seen while active, and when (if) it cleared.
+type Alert struct {
+	Rule    string  `json:"rule"`
+	Channel string  `json:"channel"`
+	Type    string  `json:"type"`
+	FiredS  float64 `json:"fired_s"`
+	// Value is the channel value (threshold) or projected seconds to
+	// target (forecast) at fire time.
+	Value float64 `json:"value"`
+	// Peak is the worst value observed while the alert was active:
+	// maximum channel value for thresholds, minimum time-to-target for
+	// forecasts.
+	Peak float64 `json:"peak"`
+	// ClearedS is the clear time; Active is true while still firing.
+	ClearedS float64 `json:"cleared_s,omitempty"`
+	Active   bool    `json:"active"`
+}
+
+// maxAlerts bounds the retained alert history; the oldest cleared alerts
+// are dropped first.
+const maxAlerts = 1024
+
+// AddRule registers an alert rule. Rules persist across Start; state does
+// not. Adding a rule mid-run evaluates it from the next epoch.
+func (r *Recorder) AddRule(rule Rule) error {
+	if r == nil {
+		return fmt.Errorf("flightrec: no recorder attached")
+	}
+	if err := rule.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rules = append(r.rules, rule)
+	r.ruleSt = append(r.ruleSt, ruleState{})
+	return nil
+}
+
+// HasRules reports whether any rules are registered; the fleet installs
+// its defaults only into a bare recorder.
+func (r *Recorder) HasRules() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rules) > 0
+}
+
+// Rules returns the registered rules.
+func (r *Recorder) Rules() []Rule {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Rule(nil), r.rules...)
+}
+
+// Alerts returns the retained alert history, oldest first.
+func (r *Recorder) Alerts() []Alert {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Alert(nil), r.alerts...)
+}
+
+// ActiveAlerts returns the currently-firing alerts.
+func (r *Recorder) ActiveAlerts() []Alert {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Alert
+	for _, a := range r.alerts {
+		if a.Active {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// firing is one state transition to report to the event log (outside the
+// recorder lock).
+type firing struct {
+	kind  string // "alert.fire" or "alert.clear"
+	rule  string
+	value float64
+}
+
+// evalRules runs every rule against the just-committed epoch. Caller
+// holds the recorder lock.
+func (r *Recorder) evalRules(tS float64) []firing {
+	var out []firing
+	for i := range r.rules {
+		rule := &r.rules[i]
+		st := &r.ruleSt[i]
+		ch := r.channels[rule.Channel]
+		if ch == nil {
+			continue
+		}
+		switch rule.Type {
+		case RuleThreshold:
+			v := ch.staged
+			switch {
+			case !st.firing && v >= rule.FireAtOrAbove:
+				st.firing = true
+				st.alertIdx = r.openAlert(*rule, tS, v)
+				out = append(out, firing{"alert.fire", rule.Name, v})
+			case st.firing && v < rule.ClearBelow:
+				st.firing = false
+				r.closeAlert(st.alertIdx, tS)
+				out = append(out, firing{"alert.clear", rule.Name, v})
+			case st.firing:
+				if a := r.alertAt(st.alertIdx); a != nil && v > a.Peak {
+					a.Peak = v
+				}
+			}
+		case RuleForecast:
+			tta, ok := r.forecastLocked(ch, rule, tS)
+			switch {
+			case !st.firing && ok && tta <= rule.HorizonS:
+				st.firing = true
+				st.alertIdx = r.openAlert(*rule, tS, tta)
+				out = append(out, firing{"alert.fire", rule.Name, tta})
+			case st.firing && (!ok || tta > 2*rule.HorizonS):
+				st.firing = false
+				r.closeAlert(st.alertIdx, tS)
+				out = append(out, firing{"alert.clear", rule.Name, tta})
+			case st.firing:
+				if a := r.alertAt(st.alertIdx); a != nil && tta < a.Peak {
+					a.Peak = tta
+				}
+			}
+		}
+	}
+	return out
+}
+
+// forecastLocked projects when ch reaches rule.Target by least-squares
+// over the last WindowS seconds of raw samples. ok is false when the
+// channel is not approaching the target (non-positive slope, already
+// past it, or too few samples).
+func (r *Recorder) forecastLocked(ch *Channel, rule *Rule, tS float64) (ttaS float64, ok bool) {
+	if r.stepS <= 0 {
+		return 0, false
+	}
+	have := ch.raw.length()
+	n := int(rule.WindowS/r.stepS) + 1
+	if n > have {
+		n = have
+	}
+	if n < 2 {
+		return 0, false
+	}
+	// Least-squares slope over the last n ring samples, read in place (the
+	// per-epoch path must not allocate); x in steps, rescaled after.
+	base := have - n
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		v := ch.raw.at(base + i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0, false
+	}
+	slope := (fn*sxy - sx*sy) / den / r.stepS
+	cur := ch.raw.at(have - 1)
+	if slope <= 0 || cur >= rule.Target {
+		// Already past the target counts as "not approaching": the
+		// threshold rule family covers level breaches.
+		return 0, false
+	}
+	tta := (rule.Target - cur) / slope
+	if math.IsInf(tta, 0) || math.IsNaN(tta) {
+		return 0, false
+	}
+	return tta, true
+}
+
+// openAlert appends an active alert, evicting the oldest cleared alert
+// when the history is full, and returns its index.
+func (r *Recorder) openAlert(rule Rule, tS, v float64) int {
+	if len(r.alerts) >= maxAlerts {
+		drop := -1
+		for i, a := range r.alerts {
+			if !a.Active {
+				drop = i
+				break
+			}
+		}
+		if drop < 0 {
+			drop = 0
+		}
+		r.alerts = append(r.alerts[:drop], r.alerts[drop+1:]...)
+		for i := range r.ruleSt {
+			if r.ruleSt[i].firing && r.ruleSt[i].alertIdx > drop {
+				r.ruleSt[i].alertIdx--
+			}
+		}
+	}
+	r.alerts = append(r.alerts, Alert{
+		Rule: rule.Name, Channel: rule.Channel, Type: rule.Type,
+		FiredS: tS, Value: v, Peak: v, Active: true,
+	})
+	return len(r.alerts) - 1
+}
+
+func (r *Recorder) closeAlert(idx int, tS float64) {
+	if a := r.alertAt(idx); a != nil {
+		a.Active = false
+		a.ClearedS = tS
+	}
+}
+
+func (r *Recorder) alertAt(idx int) *Alert {
+	if idx < 0 || idx >= len(r.alerts) {
+		return nil
+	}
+	return &r.alerts[idx]
+}

@@ -1,0 +1,114 @@
+package flightrec
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ndjsonMeta is the first line of an NDJSON export.
+type ndjsonMeta struct {
+	Type     string   `json:"type"` // "meta"
+	Meta     RunMeta  `json:"meta"`
+	StartS   float64  `json:"start_s"`
+	StepS    float64  `json:"step_s"`
+	Epochs   int      `json:"epochs"`
+	Channels []string `json:"channels"`
+}
+
+// ndjsonSeries wraps a series line.
+type ndjsonSeries struct {
+	Type string `json:"type"` // "series"
+	*SeriesData
+}
+
+// ndjsonAlert wraps an alert line.
+type ndjsonAlert struct {
+	Type string `json:"type"` // "alert"
+	Alert
+}
+
+// WriteNDJSON exports the recorder as newline-delimited JSON: one meta
+// line, then one series line per channel per resolution tier (raw, 1m,
+// 1h) in registration order, then one line per alert. The output is a
+// pure function of the recorded run, so two bit-identical runs export
+// byte-identical NDJSON — the determinism tests diff exactly this.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("flightrec: no recorder attached")
+	}
+	r.mu.Lock()
+	meta := ndjsonMeta{
+		Type: "meta", Meta: r.meta, StartS: r.startS, StepS: r.stepS,
+		Epochs: r.epochs, Channels: append([]string(nil), r.order...),
+	}
+	var series []*SeriesData
+	for _, res := range []Resolution{Raw, Minute, Hour} {
+		for _, name := range r.order {
+			series = append(series, r.queryLocked(r.channels[name], res, math.NaN(), math.NaN()))
+		}
+	}
+	alerts := append([]Alert(nil), r.alerts...)
+	r.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := enc.Encode(ndjsonSeries{Type: "series", SeriesData: s}); err != nil {
+			return err
+		}
+	}
+	for _, a := range alerts {
+		if err := enc.Encode(ndjsonAlert{Type: "alert", Alert: a}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the raw tier as a wide CSV: a time_s column followed
+// by one column per channel in registration order. Every channel commits
+// every epoch, so the raw rings are always aligned.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("flightrec: no recorder attached")
+	}
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	startS, stepS := r.startS, r.stepS
+	firstEpoch := 0
+	cols := make([][]float64, len(order))
+	for i, name := range order {
+		ch := r.channels[name]
+		cols[i] = ch.raw.values()
+		firstEpoch = ch.raw.firstEpoch
+	}
+	r.mu.Unlock()
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"time_s"}, order...)); err != nil {
+		return err
+	}
+	rows := 0
+	if len(cols) > 0 {
+		rows = len(cols[0])
+	}
+	rec := make([]string, 1+len(cols))
+	for i := 0; i < rows; i++ {
+		t := startS + float64(firstEpoch+i)*stepS
+		rec[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for j := range cols {
+			rec[1+j] = strconv.FormatFloat(cols[j][i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

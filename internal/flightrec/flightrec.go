@@ -1,0 +1,695 @@
+// Package flightrec is the fleet's black-box flight recorder: per-epoch
+// capture of simulation telemetry into preallocated, ring-buffered time
+// series with tiered downsampling, plus a small threshold-alert engine.
+//
+// A Recorder owns a set of named channels (fleet power, per-rack inlet
+// temperature, wax liquid fraction, ...). Every epoch the producer stages
+// one value per channel and calls EndEpoch, which commits the staged
+// values. Each channel exposes three tiers:
+//
+//   - raw: the last RawCapacity epoch samples, verbatim
+//   - 1-minute: min/mean/max aggregates over MinuteS-second buckets,
+//     the last MinuteCapacity buckets
+//   - 1-hour: the same over HourS-second buckets, HourCapacity retained
+//
+// Only the raw ring is written on the epoch path; the aggregate tiers
+// fold lazily from it (at query time, or just before the ring overwrites
+// samples they have not seen), which keeps the per-epoch cost to one
+// ring push per channel.
+//
+// Every tier is a fixed-capacity ring, so a recorder's memory footprint
+// is set at attach time and does not grow with run length — a two-day
+// million-server run fits the same budget as a ten-minute one, because
+// the rings overwrite their oldest entries while the aggregate tiers
+// retain the coarse history. MemoryBytes reports the budget.
+//
+// Recording is designed to sit inside the *sequential* section of the
+// fleet epoch loop (like fault injection): the recorder never mutates
+// simulation state and never runs concurrently with shard workers, so a
+// recorded run stays bit-identical to an unrecorded one across any
+// worker count. Readers (the ttsimd run endpoints) take the recorder
+// mutex and may query concurrently with a live run.
+package flightrec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// Resolution selects a downsampling tier.
+type Resolution int
+
+const (
+	// Raw is the native epoch-step series.
+	Raw Resolution = iota
+	// Minute is the MinuteS-bucket min/mean/max tier.
+	Minute
+	// Hour is the HourS-bucket min/mean/max tier.
+	Hour
+)
+
+// String returns the wire spelling of the resolution.
+func (res Resolution) String() string {
+	switch res {
+	case Raw:
+		return "raw"
+	case Minute:
+		return "1m"
+	case Hour:
+		return "1h"
+	}
+	return fmt.Sprintf("Resolution(%d)", int(res))
+}
+
+// ParseResolution parses the wire spellings "raw", "1m", "1h" (plus the
+// aliases "minute" and "hour").
+func ParseResolution(s string) (Resolution, error) {
+	switch s {
+	case "", "raw":
+		return Raw, nil
+	case "1m", "minute":
+		return Minute, nil
+	case "1h", "hour":
+		return Hour, nil
+	}
+	return 0, fmt.Errorf("flightrec: unknown resolution %q (want raw, 1m, 1h)", s)
+}
+
+// Config sizes a recorder. Zero fields select the defaults.
+type Config struct {
+	// RawCapacity is the per-channel raw ring size (default 4096 epochs).
+	RawCapacity int
+	// MinuteCapacity and HourCapacity bound the aggregate tiers
+	// (defaults 2880 one-minute buckets — two days — and 336 hourly
+	// buckets — two weeks).
+	MinuteCapacity, HourCapacity int
+	// MinuteS and HourS are the tier bucket widths in seconds (defaults
+	// 60 and 3600).
+	MinuteS, HourS float64
+	// PerRackLimit caps the fleet's per-rack channels: a fleet with more
+	// racks records only fleet-level aggregates, keeping the footprint
+	// independent of fleet size (default 64; negative disables per-rack
+	// channels entirely).
+	PerRackLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RawCapacity <= 0 {
+		c.RawCapacity = 4096
+	}
+	if c.MinuteCapacity <= 0 {
+		c.MinuteCapacity = 2880
+	}
+	if c.HourCapacity <= 0 {
+		c.HourCapacity = 336
+	}
+	if c.MinuteS <= 0 {
+		c.MinuteS = 60
+	}
+	if c.HourS <= 0 {
+		c.HourS = 3600
+	}
+	if c.PerRackLimit == 0 {
+		c.PerRackLimit = 64
+	}
+	return c
+}
+
+// RunMeta describes the run a recorder is attached to.
+type RunMeta struct {
+	Racks   int    `json:"racks"`
+	Servers int    `json:"servers"`
+	Workers int    `json:"workers"`
+	Policy  string `json:"policy,omitempty"`
+}
+
+// Recorder is the flight recorder. Create with New, attach via the
+// fleet's Config.Recorder, query concurrently while the run progresses.
+// A nil Recorder is a no-op on every method.
+type Recorder struct {
+	cfg Config
+
+	mu       sync.Mutex
+	meta     RunMeta
+	started  bool
+	startS   float64
+	stepS    float64
+	epochs   int // epochs committed this run
+	channels map[string]*Channel
+	// pool keeps channels from previous runs so a reused recorder does
+	// not reallocate its rings: Channel() resurrects a pooled channel of
+	// the same name with its capacity intact and its contents reset.
+	pool   map[string]*Channel
+	order  []string
+	chans  []*Channel // registration-order handles, mirrors order
+	rules  []Rule
+	ruleSt []ruleState
+	alerts []Alert
+	events *obs.EventLog // alert firings land here when attached
+}
+
+// New returns an idle recorder; Start begins a run.
+func New(cfg Config) *Recorder {
+	return &Recorder{
+		cfg:      cfg.withDefaults(),
+		channels: map[string]*Channel{},
+		pool:     map[string]*Channel{},
+	}
+}
+
+// PerRackLimit reports the resolved per-rack channel cap.
+func (r *Recorder) PerRackLimit() int {
+	if r == nil {
+		return 0
+	}
+	return r.cfg.withDefaults().PerRackLimit
+}
+
+// AttachEvents routes alert firings into an obs event log ("alert.fire" /
+// "alert.clear" events). Nil detaches.
+func (r *Recorder) AttachEvents(log *obs.EventLog) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = log
+	r.mu.Unlock()
+}
+
+// Start resets the recorder for a run beginning at startS with epoch step
+// stepS. Channels, tiers and alerts from a previous run are discarded;
+// rules are kept.
+func (r *Recorder) Start(meta RunMeta, startS, stepS float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.meta = meta
+	r.started = true
+	r.startS = startS
+	r.stepS = stepS
+	r.epochs = 0
+	for name, ch := range r.channels {
+		ch.reset()
+		r.pool[name] = ch
+	}
+	r.channels = map[string]*Channel{}
+	r.order = nil
+	r.chans = nil
+	r.alerts = nil
+	r.ruleSt = make([]ruleState, len(r.rules))
+}
+
+// Started reports whether Start has been called.
+func (r *Recorder) Started() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.started
+}
+
+// Meta returns the attached run's description.
+func (r *Recorder) Meta() RunMeta {
+	if r == nil {
+		return RunMeta{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.meta
+}
+
+// Channel returns (creating on first use) the named channel. The handle
+// is stable: resolve once at run start, then Set each epoch.
+func (r *Recorder) Channel(name string) *Channel {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := r.channels[name]
+	if ch == nil {
+		if ch = r.pool[name]; ch != nil {
+			delete(r.pool, name)
+		} else {
+			ch = newChannel(name, r.cfg)
+		}
+		ch.baseEpoch = r.epochs
+		r.channels[name] = ch
+		r.order = append(r.order, name)
+		r.chans = append(r.chans, ch)
+	}
+	return ch
+}
+
+// foldTiersLocked folds the channel's raw samples the aggregate tiers
+// have not yet seen, recovering each sample's sim time from the epoch
+// grid. Called lazily — at query time and just before the raw ring
+// overwrites unfolded samples — so the per-epoch commit stays a single
+// ring push per channel. Caller holds the recorder lock.
+func (r *Recorder) foldTiersLocked(ch *Channel) {
+	if ch.folded == ch.raw.total || r.stepS <= 0 {
+		return
+	}
+	first := ch.raw.firstEpoch
+	if ch.folded < first {
+		// Defensive: samples evicted before folding are gone for good.
+		ch.folded = first
+	}
+	for p := ch.folded; p < ch.raw.total; p++ {
+		tS := r.startS + float64(ch.baseEpoch+p)*r.stepS
+		v := ch.raw.at(p - first)
+		ch.minute.fold(ch.minute.bucketIdx(tS), v)
+		ch.hour.fold(ch.hour.bucketIdx(tS), v)
+	}
+	ch.folded = ch.raw.total
+}
+
+// Channels returns the channel names in registration order.
+func (r *Recorder) Channels() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Epochs returns the number of epochs committed this run.
+func (r *Recorder) Epochs() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epochs
+}
+
+// EndEpoch commits every channel's staged value for the epoch at sim time
+// tS, then evaluates the alert rules against the committed values. Called
+// from the sequential section of the epoch loop.
+func (r *Recorder) EndEpoch(tS float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	// The per-epoch path stages one raw-ring push per channel and nothing
+	// else: the aggregate tiers catch up lazily (foldTiersLocked) when
+	// queried, or just before the raw ring would overwrite samples they
+	// have not seen. Epoch times sit on the startS + i*stepS grid, so the
+	// deferred fold recovers each sample's time exactly.
+	lazy := r.stepS > 0
+	for _, ch := range r.chans {
+		if lazy && ch.raw.total-ch.folded == cap(ch.raw.buf) {
+			r.foldTiersLocked(ch)
+		}
+		ch.raw.push(ch.staged)
+		if !lazy {
+			// Without a positive step there is no grid to recover times
+			// from later; fold eagerly at the observed time.
+			ch.minute.fold(ch.minute.bucketIdx(tS), ch.staged)
+			ch.hour.fold(ch.hour.bucketIdx(tS), ch.staged)
+			ch.folded = ch.raw.total
+		}
+	}
+	r.epochs++
+	fired := r.evalRules(tS)
+	events := r.events
+	r.mu.Unlock()
+	// Event-log records happen outside the recorder lock: the log has its
+	// own synchronization and its taps may block briefly.
+	for _, f := range fired {
+		events.Record(tS, f.kind, f.rule, f.value, 0)
+	}
+}
+
+// Channel is one recorded quantity: a staged current value plus the
+// three ring-buffered tiers. Set is called by the producer (the fleet's
+// sequential epoch section); the staged value is committed by EndEpoch.
+type Channel struct {
+	name   string
+	staged float64
+
+	raw    rawRing
+	minute tierRing
+	hour   tierRing
+
+	// baseEpoch is the recorder epoch at which this channel was created:
+	// raw sample p was committed at epoch baseEpoch+p, which maps it back
+	// to a sim time for the deferred tier fold. folded counts the raw
+	// samples already folded into the tiers.
+	baseEpoch int
+	folded    int
+}
+
+func newChannel(name string, cfg Config) *Channel {
+	return &Channel{
+		name:   name,
+		raw:    rawRing{buf: make([]float64, 0, cfg.RawCapacity)},
+		minute: tierRing{widthS: cfg.MinuteS, buf: make([]Bucket, 0, cfg.MinuteCapacity)},
+		hour:   tierRing{widthS: cfg.HourS, buf: make([]Bucket, 0, cfg.HourCapacity)},
+	}
+}
+
+// Set stages the channel's value for the current epoch. A channel not
+// Set during an epoch commits its previous staged value.
+func (c *Channel) Set(v float64) {
+	if c == nil {
+		return
+	}
+	c.staged = v
+}
+
+// Last returns the most recently staged value.
+func (c *Channel) Last() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.staged
+}
+
+// reset empties the channel in place, keeping ring capacity.
+func (c *Channel) reset() {
+	c.staged = 0
+	c.raw.buf = c.raw.buf[:0]
+	c.raw.next, c.raw.firstEpoch, c.raw.total = 0, 0, 0
+	c.baseEpoch, c.folded = 0, 0
+	c.minute.reset()
+	c.hour.reset()
+}
+
+// rawRing is a fixed-capacity ring of float64 samples; firstEpoch tracks
+// the epoch index of the oldest retained sample.
+type rawRing struct {
+	buf        []float64
+	next       int
+	firstEpoch int
+	total      int
+}
+
+func (r *rawRing) push(v float64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+		r.next++
+		if r.next == cap(r.buf) {
+			r.next = 0
+		}
+		r.firstEpoch++
+	}
+	r.total++
+}
+
+// length returns the number of retained samples.
+func (r *rawRing) length() int { return len(r.buf) }
+
+// at indexes the retained samples oldest-first without copying; used by
+// the per-epoch alert evaluation, which must not allocate.
+func (r *rawRing) at(i int) float64 {
+	if len(r.buf) == cap(r.buf) {
+		return r.buf[(r.next+i)%cap(r.buf)]
+	}
+	return r.buf[i]
+}
+
+// values returns the retained samples oldest-first.
+func (r *rawRing) values() []float64 {
+	out := make([]float64, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) && r.next > 0 {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Bucket is one aggregate tier entry.
+type Bucket struct {
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// tierRing folds samples into fixed-width buckets and retains the last
+// cap(buf) closed buckets plus the open one.
+type tierRing struct {
+	widthS float64
+	buf    []Bucket
+	next   int
+	// firstBucket is the absolute bucket index of the oldest retained
+	// closed bucket.
+	firstBucket int
+
+	open      bool
+	openIdx   int // absolute bucket index being accumulated
+	openMin   float64
+	openMax   float64
+	openSum   float64
+	openCount int
+}
+
+// bucketIdx maps a sim time to its absolute bucket index for this tier.
+func (t *tierRing) bucketIdx(tS float64) int {
+	return int(math.Floor(tS / t.widthS))
+}
+
+// fold adds one sample into the bucket at absolute index idx. The index
+// is precomputed by the caller — EndEpoch derives it once per epoch and
+// shares it across every channel, so the per-channel hot path is a
+// single integer comparison with no float divide.
+func (t *tierRing) fold(idx int, v float64) {
+	if t.open {
+		if idx == t.openIdx {
+			if v < t.openMin {
+				t.openMin = v
+			}
+			if v > t.openMax {
+				t.openMax = v
+			}
+			t.openSum += v
+			t.openCount++
+			return
+		}
+		t.flush()
+	}
+	t.open = true
+	t.openIdx = idx
+	t.openMin, t.openMax, t.openSum, t.openCount = v, v, v, 1
+}
+
+// reset empties the tier in place, keeping ring capacity.
+func (t *tierRing) reset() {
+	t.buf = t.buf[:0]
+	t.next, t.firstBucket = 0, 0
+	t.open = false
+}
+
+// flush closes the open bucket into the ring.
+func (t *tierRing) flush() {
+	if !t.open {
+		return
+	}
+	b := Bucket{Min: t.openMin, Max: t.openMax, Mean: t.openSum / float64(t.openCount)}
+	if len(t.buf) == 0 {
+		t.firstBucket = t.openIdx
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, b)
+	} else {
+		t.buf[t.next] = b
+		t.next++
+		if t.next == cap(t.buf) {
+			t.next = 0
+		}
+		t.firstBucket++
+	}
+	t.open = false
+}
+
+// buckets returns the retained closed buckets oldest-first, the open
+// bucket included, plus the absolute index of the first.
+func (t *tierRing) buckets() ([]Bucket, int) {
+	out := make([]Bucket, 0, len(t.buf)+1)
+	if len(t.buf) == cap(t.buf) && t.next > 0 {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	first := t.firstBucket
+	if t.open {
+		if len(out) == 0 {
+			first = t.openIdx
+		}
+		out = append(out, Bucket{Min: t.openMin, Max: t.openMax, Mean: t.openSum / float64(t.openCount)})
+	}
+	return out, first
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+
+// SeriesData is one channel tier, shaped for JSON: a start, a step, and
+// parallel aggregate slices (Min/Max nil at raw resolution, where Values
+// carries the verbatim samples).
+type SeriesData struct {
+	Channel string  `json:"channel"`
+	Res     string  `json:"res"`
+	StartS  float64 `json:"start_s"`
+	StepS   float64 `json:"step_s"`
+	// Values is the raw tier's sample slice (nil for aggregate tiers).
+	Values []float64 `json:"values,omitempty"`
+	// Min/Mean/Max are the aggregate tiers' parallel slices.
+	Min  []float64 `json:"min,omitempty"`
+	Mean []float64 `json:"mean,omitempty"`
+	Max  []float64 `json:"max,omitempty"`
+}
+
+// Len returns the number of retained points.
+func (s *SeriesData) Len() int {
+	if len(s.Values) > 0 {
+		return len(s.Values)
+	}
+	return len(s.Mean)
+}
+
+// Query returns one channel's series at the given resolution, clipped to
+// the window [fromS, toS) when either bound is non-NaN. An unknown
+// channel is an error; an empty window returns an empty series.
+func (r *Recorder) Query(channel string, res Resolution, fromS, toS float64) (*SeriesData, error) {
+	if r == nil {
+		return nil, fmt.Errorf("flightrec: no recorder attached")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := r.channels[channel]
+	if ch == nil {
+		return nil, fmt.Errorf("flightrec: unknown channel %q", channel)
+	}
+	return r.queryLocked(ch, res, fromS, toS), nil
+}
+
+// QueryAll returns every channel at the given resolution and window, in
+// registration order.
+func (r *Recorder) QueryAll(res Resolution, fromS, toS float64) []*SeriesData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*SeriesData, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.queryLocked(r.channels[name], res, fromS, toS))
+	}
+	return out
+}
+
+func (r *Recorder) queryLocked(ch *Channel, res Resolution, fromS, toS float64) *SeriesData {
+	out := &SeriesData{Channel: ch.name, Res: res.String()}
+	switch res {
+	case Raw:
+		out.StepS = r.stepS
+		out.StartS = r.startS + float64(ch.raw.firstEpoch)*r.stepS
+		out.Values = ch.raw.values()
+	case Minute, Hour:
+		r.foldTiersLocked(ch)
+		tier := &ch.minute
+		if res == Hour {
+			tier = &ch.hour
+		}
+		bs, first := tier.buckets()
+		out.StepS = tier.widthS
+		out.StartS = float64(first) * tier.widthS
+		out.Min = make([]float64, len(bs))
+		out.Mean = make([]float64, len(bs))
+		out.Max = make([]float64, len(bs))
+		for i, b := range bs {
+			out.Min[i], out.Mean[i], out.Max[i] = b.Min, b.Mean, b.Max
+		}
+	}
+	clipSeries(out, fromS, toS)
+	return out
+}
+
+// clipSeries trims a series to [fromS, toS). NaN bounds are open.
+func clipSeries(s *SeriesData, fromS, toS float64) {
+	n := s.Len()
+	if n == 0 || s.StepS <= 0 {
+		return
+	}
+	lo, hi := 0, n
+	if !math.IsNaN(fromS) && fromS > s.StartS {
+		lo = int(math.Ceil((fromS - s.StartS) / s.StepS))
+		if lo > n {
+			lo = n
+		}
+	}
+	if !math.IsNaN(toS) {
+		hi = int(math.Ceil((toS - s.StartS) / s.StepS))
+		if hi < lo {
+			hi = lo
+		}
+		if hi > n {
+			hi = n
+		}
+	}
+	s.StartS += float64(lo) * s.StepS
+	if s.Values != nil {
+		s.Values = s.Values[lo:hi]
+		return
+	}
+	s.Min, s.Mean, s.Max = s.Min[lo:hi], s.Mean[lo:hi], s.Max[lo:hi]
+}
+
+// Series converts one channel tier into a timeseries.Series (aggregate
+// tiers take the bucket mean), interoperating with every consumer of the
+// simulator's native series type.
+func (r *Recorder) Series(channel string, res Resolution) (*timeseries.Series, error) {
+	sd, err := r.Query(channel, res, math.NaN(), math.NaN())
+	if err != nil {
+		return nil, err
+	}
+	vals := sd.Values
+	if vals == nil {
+		vals = sd.Mean
+	}
+	return timeseries.FromValues(sd.StartS, sd.StepS, vals)
+}
+
+// MemoryBytes reports the recorder's approximate steady-state footprint:
+// the sum of every channel's ring capacities. It is a capacity measure —
+// the budget the recorder can never exceed — not a live heap count.
+func (r *Recorder) MemoryBytes() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	const (
+		floatBytes  = 8
+		bucketBytes = 24 // three float64 fields
+		chanBytes   = 256
+	)
+	total := 0
+	count := func(ch *Channel) {
+		total += chanBytes
+		total += cap(ch.raw.buf) * floatBytes
+		total += cap(ch.minute.buf) * bucketBytes
+		total += cap(ch.hour.buf) * bucketBytes
+	}
+	for _, ch := range r.channels {
+		count(ch)
+	}
+	for _, ch := range r.pool {
+		count(ch)
+	}
+	return total
+}

@@ -1,0 +1,403 @@
+package flightrec
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// record runs a recorder through n epochs of step stepS feeding fn(i)
+// into one channel named "v".
+func record(t *testing.T, cfg Config, n int, stepS float64, fn func(i int) float64) *Recorder {
+	t.Helper()
+	rec := New(cfg)
+	rec.Start(RunMeta{Racks: 1, Servers: 40}, 0, stepS)
+	ch := rec.Channel("v")
+	for i := 0; i < n; i++ {
+		ch.Set(fn(i))
+		rec.EndEpoch(float64(i) * stepS)
+	}
+	return rec
+}
+
+func TestRawSeries(t *testing.T) {
+	rec := record(t, Config{}, 10, 600, func(i int) float64 { return float64(i) })
+	sd, err := rec.Query("v", Raw, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.StartS != 0 || sd.StepS != 600 || len(sd.Values) != 10 {
+		t.Fatalf("raw series = start %v step %v len %d, want 0/600/10", sd.StartS, sd.StepS, len(sd.Values))
+	}
+	for i, v := range sd.Values {
+		if v != float64(i) {
+			t.Fatalf("value[%d] = %v, want %d", i, v, i)
+		}
+	}
+	if _, err := rec.Query("nope", Raw, math.NaN(), math.NaN()); err == nil {
+		t.Error("unknown channel did not error")
+	}
+}
+
+func TestRawRingOverwrite(t *testing.T) {
+	rec := record(t, Config{RawCapacity: 4}, 10, 1, func(i int) float64 { return float64(i) })
+	sd, err := rec.Query("v", Raw, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples 6..9 survive; the series start advances to stay honest.
+	if sd.StartS != 6 {
+		t.Errorf("start = %v, want 6 after overwrite", sd.StartS)
+	}
+	if len(sd.Values) != 4 || sd.Values[0] != 6 || sd.Values[3] != 9 {
+		t.Errorf("values = %v, want [6 7 8 9]", sd.Values)
+	}
+}
+
+func TestMinuteTierAggregates(t *testing.T) {
+	// 10 s epochs: six samples per minute bucket.
+	rec := record(t, Config{}, 18, 10, func(i int) float64 { return float64(i % 6) })
+	sd, err := rec.Query("v", Minute, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.StepS != 60 || sd.StartS != 0 {
+		t.Fatalf("minute tier start %v step %v, want 0/60", sd.StartS, sd.StepS)
+	}
+	// Three full buckets (two closed plus the open third).
+	if len(sd.Mean) != 3 {
+		t.Fatalf("got %d buckets, want 3 (%+v)", len(sd.Mean), sd)
+	}
+	for i := 0; i < 3; i++ {
+		if sd.Min[i] != 0 || sd.Max[i] != 5 || sd.Mean[i] != 2.5 {
+			t.Errorf("bucket %d = min %v mean %v max %v, want 0/2.5/5", i, sd.Min[i], sd.Mean[i], sd.Max[i])
+		}
+	}
+}
+
+func TestTierRingOverwrite(t *testing.T) {
+	// 30 s epochs, two per minute bucket; capacity 2 closed buckets.
+	rec := record(t, Config{MinuteCapacity: 2}, 9, 30, func(i int) float64 { return float64(i) })
+	sd, err := rec.Query("v", Minute, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets 0..4 exist (bucket 4 open with one sample); ring keeps the
+	// closed buckets 2,3 plus the open 4 and the start reflects bucket 2.
+	if sd.StartS != 120 {
+		t.Errorf("start = %v, want 120", sd.StartS)
+	}
+	if len(sd.Mean) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(sd.Mean))
+	}
+	if sd.Mean[0] != 4.5 || sd.Mean[1] != 6.5 || sd.Mean[2] != 8 {
+		t.Errorf("means = %v, want [4.5 6.5 8]", sd.Mean)
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	rec := record(t, Config{}, 10, 1, func(i int) float64 { return float64(i) })
+	sd, err := rec.Query("v", Raw, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.StartS != 3 || len(sd.Values) != 4 {
+		t.Fatalf("window [3,7) = start %v len %d, want 3/4", sd.StartS, len(sd.Values))
+	}
+	if sd.Values[0] != 3 || sd.Values[3] != 6 {
+		t.Errorf("values = %v, want [3 4 5 6]", sd.Values)
+	}
+	// Window entirely past the data -> empty, not an error.
+	sd, err = rec.Query("v", Raw, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sd.Values) != 0 {
+		t.Errorf("out-of-range window returned %v", sd.Values)
+	}
+}
+
+func TestMemoryBytesFixed(t *testing.T) {
+	cfg := Config{RawCapacity: 64, MinuteCapacity: 32, HourCapacity: 8}
+	rec := New(cfg)
+	rec.Start(RunMeta{}, 0, 1)
+	rec.Channel("a")
+	rec.Channel("b")
+	before := rec.MemoryBytes()
+	if before <= 0 {
+		t.Fatal("MemoryBytes returned nothing")
+	}
+	for i := 0; i < 10000; i++ {
+		rec.Channel("a").Set(float64(i))
+		rec.Channel("b").Set(float64(-i))
+		rec.EndEpoch(float64(i))
+	}
+	if after := rec.MemoryBytes(); after != before {
+		t.Errorf("budget moved under load: %d -> %d", before, after)
+	}
+	// Per-channel budget: raw 64*8 + (32+8)*24 + overhead 256 = 1728.
+	if want := 2 * (64*8 + 40*24 + 256); before != want {
+		t.Errorf("MemoryBytes = %d, want %d", before, want)
+	}
+}
+
+func TestThresholdAlertHysteresis(t *testing.T) {
+	rec := New(Config{})
+	events := obs.NewEventLog(64)
+	rec.AttachEvents(events)
+	rec.Start(RunMeta{}, 0, 1)
+	if err := rec.AddRule(Rule{
+		Name: "hot", Channel: "t", Type: RuleThreshold,
+		FireAtOrAbove: 40, ClearBelow: 38,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch := rec.Channel("t")
+	// Rise to 41, hover at 39 (inside the hysteresis band: stays firing),
+	// drop to 37 (clears), spike to 45 (second firing).
+	trace := []float64{30, 41, 39, 39, 37, 45}
+	for i, v := range trace {
+		ch.Set(v)
+		rec.EndEpoch(float64(i))
+	}
+	alerts := rec.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("got %d alerts, want 2: %+v", len(alerts), alerts)
+	}
+	a := alerts[0]
+	if a.FiredS != 1 || a.ClearedS != 4 || a.Active || a.Value != 41 || a.Peak != 41 {
+		t.Errorf("first alert = %+v", a)
+	}
+	b := alerts[1]
+	if b.FiredS != 5 || !b.Active || b.Value != 45 {
+		t.Errorf("second alert = %+v", b)
+	}
+	if got := len(rec.ActiveAlerts()); got != 1 {
+		t.Errorf("active alerts = %d, want 1", got)
+	}
+	// Firings landed in the event log.
+	var fires, clears int
+	for _, e := range events.Events() {
+		switch e.Kind {
+		case "alert.fire":
+			fires++
+			if e.Name != "hot" {
+				t.Errorf("fire event names %q", e.Name)
+			}
+		case "alert.clear":
+			clears++
+		}
+	}
+	if fires != 2 || clears != 1 {
+		t.Errorf("event log fires=%d clears=%d, want 2/1", fires, clears)
+	}
+}
+
+func TestForecastAlert(t *testing.T) {
+	rec := New(Config{})
+	rec.Start(RunMeta{}, 0, 60)
+	if err := rec.AddRule(Rule{
+		Name: "wax_exhaustion", Channel: "liq", Type: RuleForecast,
+		Target: 1.0, HorizonS: 3600, WindowS: 1800,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch := rec.Channel("liq")
+	// Climb at 0.0001/s: from 0.5, target 1.0 is 5000 s away — outside
+	// the 3600 s horizon at first, inside it once liquid passes ~0.64.
+	v, tS := 0.5, 0.0
+	var firedAt float64 = -1
+	for i := 0; i < 60; i++ {
+		v += 0.0001 * 60
+		ch.Set(v)
+		rec.EndEpoch(tS)
+		if firedAt < 0 && len(rec.Alerts()) > 0 {
+			firedAt = tS
+		}
+		tS += 60
+	}
+	alerts := rec.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1: %+v", len(alerts), alerts)
+	}
+	a := alerts[0]
+	if !a.Active {
+		t.Errorf("forecast alert cleared while still climbing: %+v", a)
+	}
+	// Value at fire time is the projected seconds-to-exhaustion; it must
+	// be at or inside the horizon.
+	if a.Value <= 0 || a.Value > 3600 {
+		t.Errorf("time-to-target at fire = %v, want (0, 3600]", a.Value)
+	}
+	// Now plateau: slope collapses, the alert clears.
+	for i := 0; i < 40; i++ {
+		ch.Set(v)
+		rec.EndEpoch(tS)
+		tS += 60
+	}
+	if got := rec.Alerts(); got[0].Active {
+		t.Errorf("forecast alert did not clear on plateau: %+v", got[0])
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	rec := New(Config{})
+	bad := []Rule{
+		{Name: "", Channel: "c", Type: RuleThreshold},
+		{Name: "r", Channel: "", Type: RuleThreshold},
+		{Name: "r", Channel: "c", Type: "enum"},
+		{Name: "r", Channel: "c", Type: RuleThreshold, FireAtOrAbove: 1, ClearBelow: 2},
+		{Name: "r", Channel: "c", Type: RuleForecast, Target: 1},
+	}
+	for i, r := range bad {
+		if err := rec.AddRule(r); err == nil {
+			t.Errorf("rule %d accepted: %+v", i, r)
+		}
+	}
+	if rec.HasRules() {
+		t.Error("invalid rules were registered")
+	}
+}
+
+func TestTimeseriesRoundTrip(t *testing.T) {
+	// Satellite: the recorder's export interoperates with the simulator's
+	// native series type — Series -> WriteCSV -> timeseries.ReadCSV gives
+	// back the recorded samples bit-for-bit.
+	rec := record(t, Config{}, 24, 600, func(i int) float64 {
+		return 20 + 5*math.Sin(float64(i)/24*2*math.Pi)
+	})
+	s, err := rec.Series("v", Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, "inlet_c"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := timeseries.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Start != s.Start || back.Step != s.Step || len(back.Values) != len(s.Values) {
+		t.Fatalf("round trip changed shape: %v/%v/%d vs %v/%v/%d",
+			back.Start, back.Step, len(back.Values), s.Start, s.Step, len(s.Values))
+	}
+	for i := range s.Values {
+		if back.Values[i] != s.Values[i] {
+			t.Errorf("value %d: %v != %v", i, back.Values[i], s.Values[i])
+		}
+	}
+	// Aggregate tiers convert too, carrying the bucket mean.
+	hs, err := rec.Series("v", Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Step != 3600 || hs.Len() != 4 {
+		t.Errorf("hour series step %v len %d, want 3600/4", hs.Step, hs.Len())
+	}
+}
+
+func TestWriteNDJSONShape(t *testing.T) {
+	rec := record(t, Config{}, 5, 60, func(i int) float64 { return float64(i) })
+	rec.Channel("w") // second channel, staged zero
+	rec.EndEpoch(300)
+	var buf bytes.Buffer
+	if err := rec.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 1 meta + 2 channels x 3 tiers = 7 lines.
+	if len(lines) != 7 {
+		t.Fatalf("got %d NDJSON lines, want 7:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"type":"meta"`) || !strings.Contains(lines[0], `"channels":["v","w"]`) {
+		t.Errorf("meta line = %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, `"type":"series"`) {
+			t.Errorf("expected series line, got %s", l)
+		}
+	}
+	// Determinism: exporting twice yields identical bytes.
+	var again bytes.Buffer
+	if err := rec.WriteNDJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("NDJSON export is not deterministic")
+	}
+}
+
+func TestWriteCSVWide(t *testing.T) {
+	rec := New(Config{})
+	rec.Start(RunMeta{}, 0, 60)
+	a, b := rec.Channel("a"), rec.Channel("b")
+	for i := 0; i < 3; i++ {
+		a.Set(float64(i))
+		b.Set(float64(10 * i))
+		rec.EndEpoch(float64(i) * 60)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_s,a,b\n0,0,0\n60,1,10\n120,2,20\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var rec *Recorder
+	rec.Start(RunMeta{}, 0, 1)
+	rec.Channel("x").Set(1)
+	rec.EndEpoch(0)
+	rec.AttachEvents(nil)
+	if rec.Started() || rec.Epochs() != 0 || rec.MemoryBytes() != 0 {
+		t.Error("nil recorder reported state")
+	}
+	if rec.Channels() != nil || rec.Alerts() != nil || rec.Rules() != nil {
+		t.Error("nil recorder returned data")
+	}
+	if _, err := rec.Query("x", Raw, 0, 1); err == nil {
+		t.Error("nil recorder Query did not error")
+	}
+	if err := rec.WriteNDJSON(&bytes.Buffer{}); err == nil {
+		t.Error("nil recorder WriteNDJSON did not error")
+	}
+}
+
+func TestParseResolution(t *testing.T) {
+	for in, want := range map[string]Resolution{
+		"": Raw, "raw": Raw, "1m": Minute, "minute": Minute, "1h": Hour, "hour": Hour,
+	} {
+		got, err := ParseResolution(in)
+		if err != nil || got != want {
+			t.Errorf("ParseResolution(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseResolution("5s"); err == nil {
+		t.Error("bad resolution accepted")
+	}
+}
+
+func TestStartResets(t *testing.T) {
+	rec := record(t, Config{}, 5, 1, func(i int) float64 { return float64(i) })
+	if err := rec.AddRule(Rule{Name: "r", Channel: "v", Type: RuleThreshold, FireAtOrAbove: 0, ClearBelow: 0}); err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(RunMeta{Racks: 2}, 100, 2)
+	if rec.Epochs() != 0 || len(rec.Channels()) != 0 || len(rec.Alerts()) != 0 {
+		t.Error("Start did not reset run state")
+	}
+	if !rec.HasRules() {
+		t.Error("Start dropped the rules")
+	}
+	if rec.Meta().Racks != 2 {
+		t.Error("Start dropped the meta")
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span occurrence, kept only while span
+// tracing is enabled. Times are nanoseconds since tracing was enabled.
+type SpanRecord struct {
+	Path    string
+	StartNs int64
+	DurNs   int64
+	SimS    float64
+}
+
+// spanTrace is a bounded ring of completed span records. SpanStats
+// aggregates per path; the trace keeps the individual occurrences the
+// Chrome trace-event export needs.
+type spanTrace struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	buf     []SpanRecord
+	next    int
+	dropped uint64
+}
+
+// EnableSpanTrace starts recording individual span occurrences into a
+// ring retaining the last capacity records (minimum 1, default 65536 for
+// capacity <= 0). Until this is called span tracing costs nothing; spans
+// already live when it is called are recorded at End with their full
+// duration. Calling it again resets the ring.
+func (r *Registry) EnableSpanTrace(capacity int) {
+	if r == nil {
+		return
+	}
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	t := &spanTrace{epoch: time.Now(), buf: make([]SpanRecord, 0, capacity)}
+	r.mu.Lock()
+	r.trace = t
+	r.mu.Unlock()
+}
+
+// spanTracer returns the live trace collector, or nil.
+func (r *Registry) spanTracer() *spanTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.trace
+}
+
+// record appends one completed span, overwriting the oldest when full.
+func (t *spanTrace) record(path string, start time.Time, durNs int64, simS float64) {
+	startNs := start.Sub(t.epoch).Nanoseconds()
+	if startNs < 0 {
+		startNs = 0
+	}
+	rec := SpanRecord{Path: path, StartNs: startNs, DurNs: durNs, SimS: simS}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, rec)
+	} else {
+		t.buf[t.next] = rec
+		t.next = (t.next + 1) % cap(t.buf)
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// SpanTrace returns the retained span records ordered by start time, or
+// nil when span tracing was never enabled.
+func (r *Registry) SpanTrace() []SpanRecord {
+	t := r.spanTracer()
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) && t.next > 0 {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the containing JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the retained span records in the Chrome
+// trace-event JSON format. Spans are grouped into tracks ("threads") by
+// their top-level path segment, so nested simulation phases stack
+// naturally in the viewer; each track gets a thread_name metadata record.
+// Writing with span tracing disabled emits an empty trace.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	recs := r.SpanTrace()
+	tidOf := map[string]int{}
+	var tracks []string
+	for _, rec := range recs {
+		top, _, _ := strings.Cut(rec.Path, "/")
+		if _, ok := tidOf[top]; !ok {
+			tidOf[top] = 0 // assigned after sorting
+			tracks = append(tracks, top)
+		}
+	}
+	sort.Strings(tracks)
+	for i, name := range tracks {
+		tidOf[name] = i + 1
+	}
+
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, name := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tidOf[name],
+			Args:  map[string]any{"name": name},
+		})
+	}
+	for _, rec := range recs {
+		top, _, _ := strings.Cut(rec.Path, "/")
+		ev := chromeEvent{
+			Name:  rec.Path,
+			Cat:   "sim",
+			Phase: "X",
+			TsUs:  float64(rec.StartNs) / 1e3,
+			DurUs: float64(rec.DurNs) / 1e3,
+			PID:   1,
+			TID:   tidOf[top],
+		}
+		if rec.SimS != 0 {
+			ev.Args = map[string]any{"sim_seconds": rec.SimS}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanTraceRecordsOccurrences(t *testing.T) {
+	reg := New()
+	// Before enabling, spans cost nothing and record nothing.
+	reg.StartSpan("warmup").End()
+	if got := reg.SpanTrace(); got != nil {
+		t.Fatalf("trace before enable = %v, want nil", got)
+	}
+
+	reg.EnableSpanTrace(8)
+	for i := 0; i < 3; i++ {
+		sp := reg.StartSpan("fleet.run")
+		sp.AddSimTime(60)
+		child := sp.Child("shard")
+		child.End()
+		sp.End()
+	}
+	recs := reg.SpanTrace()
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	var runs, shards int
+	for i, r := range recs {
+		switch r.Path {
+		case "fleet.run":
+			runs++
+			if r.SimS != 60 {
+				t.Errorf("fleet.run sim %v, want 60", r.SimS)
+			}
+		case "fleet.run/shard":
+			shards++
+		default:
+			t.Errorf("unexpected path %q", r.Path)
+		}
+		if r.StartNs < 0 || r.DurNs < 0 {
+			t.Errorf("record %d has negative times: %+v", i, r)
+		}
+		if i > 0 && recs[i-1].StartNs > r.StartNs {
+			t.Errorf("records not ordered by start: %d after %d", r.StartNs, recs[i-1].StartNs)
+		}
+	}
+	if runs != 3 || shards != 3 {
+		t.Errorf("runs=%d shards=%d, want 3/3", runs, shards)
+	}
+}
+
+func TestSpanTraceRingOverwrite(t *testing.T) {
+	reg := New()
+	reg.EnableSpanTrace(2)
+	reg.StartSpan("a").End()
+	time.Sleep(time.Millisecond)
+	reg.StartSpan("b").End()
+	time.Sleep(time.Millisecond)
+	reg.StartSpan("c").End()
+	recs := reg.SpanTrace()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Path != "b" || recs[1].Path != "c" {
+		t.Errorf("ring kept %q,%q; want the newest b,c", recs[0].Path, recs[1].Path)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	reg := New()
+	reg.EnableSpanTrace(0)
+	sp := reg.StartSpan("core.fleet_study")
+	sp.AddSimTime(120)
+	sp.Child("derive").End()
+	sp.End()
+	reg.StartSpan("serve/fleet").End()
+
+	var buf bytes.Buffer
+	if err := reg.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var meta, complete int
+	tids := map[string]int{}
+	for _, e := range out.TraceEvents {
+		switch e.Phase {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tids[e.Name] = e.TID
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	// Two top-level tracks (core.fleet_study, serve) -> two metadata
+	// records; three completed spans.
+	if meta != 2 || complete != 3 {
+		t.Errorf("meta=%d complete=%d, want 2/3", meta, complete)
+	}
+	if tids["core.fleet_study"] != tids["core.fleet_study/derive"] {
+		t.Error("nested span landed on a different track than its parent")
+	}
+	if tids["core.fleet_study"] == tids["serve/fleet"] {
+		t.Error("distinct top-level paths shared a track")
+	}
+}
+
+func TestWriteChromeTraceDisabled(t *testing.T) {
+	reg := New()
+	var buf bytes.Buffer
+	if err := reg.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Errorf("disabled trace = %s, want empty traceEvents", buf.String())
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus writes every instrument in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE comment per
+// metric family, then the family's series sorted by label set. Instrument
+// names are sanitized into the Prometheus charset ('.' and any other
+// illegal rune become '_'), labeled series keep their label dimensions,
+// histograms expose cumulative _bucket/_sum/_count series, and spans
+// surface as three counters (_spans_total, _wall_seconds_total,
+// _sim_seconds_total). A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+
+	// Gather under the read lock: series key -> decomposition + value.
+	type series struct {
+		labels []Label
+		value  float64
+		hist   *HistogramSnapshot
+	}
+	type family struct {
+		name   string // sanitized Prometheus name
+		help   string // the original instrument name
+		typ    string
+		series []series
+	}
+	families := map[string]*family{}
+	add := func(key, typ, suffix string, value float64, hist *HistogramSnapshot, extra ...Label) {
+		base, labels := key, []Label(nil)
+		if ls, ok := r.labels[key]; ok {
+			base, labels = ls.base, ls.labels
+		}
+		name := sanitizeMetricName(base) + suffix
+		f := families[name+"\x00"+typ]
+		if f == nil {
+			f = &family{name: name, help: base, typ: typ}
+			families[name+"\x00"+typ] = f
+		}
+		if len(extra) > 0 {
+			labels = append(append([]Label(nil), labels...), extra...)
+		}
+		f.series = append(f.series, series{labels: labels, value: value, hist: hist})
+	}
+
+	r.mu.RLock()
+	for key, c := range r.counts {
+		add(key, "counter", "", float64(c.Value()), nil)
+	}
+	for key, g := range r.gauges {
+		add(key, "gauge", "", g.Value(), nil)
+	}
+	for key, h := range r.hists {
+		snap := h.snapshot()
+		add(key, "histogram", "", 0, &snap)
+	}
+	for key, sp := range r.spans {
+		snap := sp.snapshot()
+		add(key, "counter", "_spans_total", float64(snap.Count), nil)
+		add(key, "counter", "_wall_seconds_total", snap.WallSeconds, nil)
+		add(key, "counter", "_sim_seconds_total", snap.SimSeconds, nil)
+	}
+	eventsTotal := r.events.Total()
+	eventsRetained := r.events.Len()
+	r.mu.RUnlock()
+
+	keys := make([]string, 0, len(families))
+	for k := range families {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	for _, k := range keys {
+		f := families[k]
+		sort.Slice(f.series, func(i, j int) bool {
+			return formatLabels(f.series[i].labels) < formatLabels(f.series[j].labels)
+		})
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			if f.typ == "histogram" {
+				writePromHistogram(&b, f.name, s.labels, s.hist)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, formatLabels(s.labels), formatPromValue(s.value))
+		}
+	}
+	fmt.Fprintf(&b, "# HELP obs_events_total simulation events recorded\n")
+	fmt.Fprintf(&b, "# TYPE obs_events_total counter\n")
+	fmt.Fprintf(&b, "obs_events_total %d\n", eventsTotal)
+	fmt.Fprintf(&b, "# HELP obs_events_retained simulation events retained in the ring buffer\n")
+	fmt.Fprintf(&b, "# TYPE obs_events_retained gauge\n")
+	fmt.Fprintf(&b, "obs_events_retained %d\n", eventsRetained)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram emits the cumulative bucket ladder plus sum and
+// count for one histogram series.
+func writePromHistogram(b *strings.Builder, name string, labels []Label, h *HistogramSnapshot) {
+	cum := int64(0)
+	for _, bk := range h.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			formatLabels(append(append([]Label(nil), labels...), Label{"le", formatPromValue(bk.LE)})), cum)
+	}
+	cum += h.Overflow
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+		formatLabels(append(append([]Label(nil), labels...), Label{"le", "+Inf"})), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, formatLabels(labels), formatPromValue(h.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, formatLabels(labels), h.Count)
+}
+
+// sanitizeMetricName maps an instrument name into the Prometheus metric
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps a label key into [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders a sorted label set as {k="v",...}, or "" when
+// empty. Values are escaped per the exposition format.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatPromValue renders a float the way Prometheus expects: shortest
+// round-trip form, with the special spellings +Inf/-Inf/NaN.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimPrefix(fmt.Sprintf("%g", v), "+")
+}

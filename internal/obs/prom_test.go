@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// promTestRegistry builds a registry exercising every instrument shape
+// the exposition has to render: plain and labeled counters and gauges, a
+// histogram with observations, a span with sim time, and events.
+func promTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := New()
+	reg.Counter("fleet.epochs").Add(42)
+	reg.CounterWith("serve.runs_by_experiment", Label{"experiment", "fleet"}).Add(3)
+	reg.CounterWith("serve.runs_by_experiment", Label{"experiment", "faults"}).Inc()
+	reg.Gauge("pcm.liquid_fraction").Set(0.75)
+	reg.GaugeWith("rack.inlet_c", Label{"rack", "0"}, Label{"class", `1U "std"`}).Set(25.5)
+	h := reg.Histogram("solve.sweeps", LinearBuckets(1, 1, 4))
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5, 9} {
+		h.Observe(v)
+	}
+	sp := reg.StartSpan("fleet.run")
+	sp.AddSimTime(3600)
+	sp.End()
+	reg.Events().Record(12, "pcm.melt_start", "1U", 0.1, 0)
+	return reg
+}
+
+func TestWritePrometheusPassesLint(t *testing.T) {
+	reg := promTestRegistry(t)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("exposition fails its own grammar: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE fleet_epochs counter",
+		"fleet_epochs 42",
+		`serve_runs_by_experiment{experiment="faults"} 1`,
+		`serve_runs_by_experiment{experiment="fleet"} 3`,
+		"# TYPE pcm_liquid_fraction gauge",
+		`rack_inlet_c{class="1U \"std\"",rack="0"} 25.5`,
+		"# TYPE solve_sweeps histogram",
+		`solve_sweeps_bucket{le="+Inf"} 5`,
+		"solve_sweeps_count 5",
+		"fleet_run_spans_total 1",
+		"fleet_run_sim_seconds_total 3600",
+		"obs_events_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("lat", LinearBuckets(1, 1, 2)) // bounds 1, 2
+	for _, v := range []float64{0.5, 0.6, 1.5, 5} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		"lat_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var reg *Registry
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestLabeledSeriesIdentity(t *testing.T) {
+	reg := New()
+	a := reg.CounterWith("x", Label{"a", "1"}, Label{"b", "2"})
+	b := reg.CounterWith("x", Label{"b", "2"}, Label{"a", "1"})
+	if a != b {
+		t.Error("label order fragmented the series")
+	}
+	c := reg.CounterWith("x", Label{"a", "1"})
+	if a == c {
+		t.Error("different label sets shared a series")
+	}
+	if reg.Counter("x") == a {
+		t.Error("unlabeled series collided with labeled one")
+	}
+	// Labeled series surface in Snapshot under their full key.
+	snap := reg.Snapshot()
+	if _, ok := snap.Counters[`x{a="1",b="2"}`]; !ok {
+		t.Errorf("snapshot lacks labeled series key: %v", snap.Counters)
+	}
+}
+
+func TestLintPrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"bare sample without TYPE": "foo 1\n",
+		"bad value":                "# TYPE foo counter\nfoo notanumber\n",
+		"malformed line":           "# TYPE foo counter\nfoo{bad 1\n",
+		"duplicate TYPE":           "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"duplicate HELP":           "# HELP foo a\n# HELP foo b\n# TYPE foo counter\nfoo 1\n",
+		"TYPE after sample":        "# TYPE foo counter\nfoo 1\n# TYPE foo counter\n",
+		"unknown type":             "# TYPE foo enum\nfoo 1\n",
+		"duplicate series":         "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"bad metric name":          "# TYPE foo.bar counter\n",
+		"bucket without le":        "# TYPE h histogram\nh_bucket 1\n",
+		"bare histogram sample":    "# TYPE h histogram\nh 1\n",
+		"malformed label pair":     "# TYPE foo counter\nfoo{a=1} 1\n",
+		"duplicate label":          `# TYPE foo counter` + "\n" + `foo{a="1",a="2"} 1` + "\n",
+	}
+	for name, in := range cases {
+		if err := LintPrometheus([]byte(in)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, in)
+		}
+	}
+}
+
+func TestLintPrometheusAccepts(t *testing.T) {
+	ok := `# plain comment
+# HELP foo a counter
+# TYPE foo counter
+foo 1
+foo{a="x,y",b="esc\"aped"} 2
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 3.5
+h_count 2
+# TYPE g gauge
+g -1.5e-3 1700000000
+`
+	if err := LintPrometheus([]byte(ok)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}

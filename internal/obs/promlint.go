@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a text-format exposition against a minimal
+// Prometheus 0.0.4 grammar. It is deliberately small — a line regex plus
+// HELP/TYPE bookkeeping — but strict enough to catch the drift that
+// breaks real scrapers:
+//
+//   - every line is a # HELP, a # TYPE, a comment, blank, or a sample
+//     matching name{labels} value [timestamp]
+//   - metric and label names stay inside the Prometheus charsets
+//   - HELP and TYPE appear at most once per family, TYPE before any of
+//     the family's samples, with a valid type keyword
+//   - sample values parse as Go floats (or +Inf/-Inf/NaN)
+//   - no duplicate series (same name and label set)
+//   - histogram families expose only _bucket/_sum/_count samples, and
+//     every _bucket carries an le label
+//
+// The CI exposition test gates ttsimd's /metrics on this linter.
+func LintPrometheus(exposition []byte) error {
+	var (
+		helpSeen = map[string]bool{}
+		typeOf   = map[string]string{}
+		sampled  = map[string]bool{} // families with samples already seen
+		series   = map[string]bool{} // full series lines seen
+	)
+	for i, line := range strings.Split(string(exposition), "\n") {
+		lineNo := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parsePromComment(line)
+			if !ok {
+				continue // plain comment: legal, ignored
+			}
+			if !promMetricNameRE.MatchString(name) {
+				return fmt.Errorf("prometheus line %d: bad metric name %q in %s", lineNo, name, kind)
+			}
+			switch kind {
+			case "HELP":
+				if helpSeen[name] {
+					return fmt.Errorf("prometheus line %d: second HELP for %q", lineNo, name)
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				if _, dup := typeOf[name]; dup {
+					return fmt.Errorf("prometheus line %d: second TYPE for %q", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("prometheus line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("prometheus line %d: unknown type %q for %q", lineNo, rest, name)
+				}
+				typeOf[name] = rest
+			}
+			continue
+		}
+
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("prometheus line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(value, "+"), 64); err != nil {
+			return fmt.Errorf("prometheus line %d: bad value %q: %v", lineNo, value, err)
+		}
+		labelSet, err := parsePromLabels(labels)
+		if err != nil {
+			return fmt.Errorf("prometheus line %d: %v", lineNo, err)
+		}
+		seriesID := name + "\x00" + labels
+		if series[seriesID] {
+			return fmt.Errorf("prometheus line %d: duplicate series %s%s", lineNo, name, labels)
+		}
+		series[seriesID] = true
+
+		// Resolve the family: histogram samples attach their suffixed
+		// names to the family that declared TYPE histogram.
+		family := name
+		if typeOf[family] == "" {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && typeOf[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+		}
+		if typeOf[family] == "" {
+			return fmt.Errorf("prometheus line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		if typeOf[family] == "histogram" {
+			if family == name {
+				return fmt.Errorf("prometheus line %d: histogram %q sampled without _bucket/_sum/_count suffix", lineNo, name)
+			}
+			if strings.HasSuffix(name, "_bucket") && labelSet["le"] == "" {
+				return fmt.Errorf("prometheus line %d: histogram bucket %q lacks an le label", lineNo, name)
+			}
+		}
+		sampled[family] = true
+	}
+	return nil
+}
+
+var (
+	promMetricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([^ ]+)( [0-9]+)?$`)
+	promLabelRE      = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// parsePromComment splits a # HELP/# TYPE line into kind, metric name and
+// the remainder. ok is false for plain comments.
+func parsePromComment(line string) (kind, name, rest string, ok bool) {
+	for _, k := range []string{"HELP", "TYPE"} {
+		prefix := "# " + k + " "
+		if strings.HasPrefix(line, prefix) {
+			body := line[len(prefix):]
+			name, rest, _ := strings.Cut(body, " ")
+			return k, name, rest, true
+		}
+	}
+	return "", "", "", false
+}
+
+// parsePromLabels validates a {k="v",...} block and returns the label
+// values by key.
+func parsePromLabels(block string) (map[string]string, error) {
+	out := map[string]string{}
+	if block == "" {
+		return out, nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return out, nil
+	}
+	for _, pair := range splitPromPairs(inner) {
+		m := promLabelRE.FindStringSubmatch(pair)
+		if m == nil {
+			return nil, fmt.Errorf("malformed label pair %q", pair)
+		}
+		if _, dup := out[m[1]]; dup {
+			return nil, fmt.Errorf("duplicate label %q", m[1])
+		}
+		out[m[1]] = m[2]
+	}
+	return out, nil
+}
+
+// splitPromPairs splits k="v" pairs on commas outside quoted values.
+func splitPromPairs(inner string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuotes, escaped := false, false
+	for _, c := range inner {
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuotes:
+			escaped = true
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == ',' && !inQuotes:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(c)
+	}
+	out = append(out, cur.String())
+	return out
+}

@@ -24,14 +24,30 @@ import (
 // DefaultEventCapacity is the ring-buffer size used by New.
 const DefaultEventCapacity = 4096
 
-// Registry owns every named instrument of one run.
+// Registry owns every named instrument of one run. Instrument maps are
+// keyed by series key: the bare name for unlabeled instruments, or
+// name{k="v",...} (labels sorted by key) for labeled ones.
 type Registry struct {
 	mu     sync.RWMutex
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
 	spans  map[string]*SpanStats
+	labels map[string]labeledSeries // series key -> decomposition, labeled only
 	events *EventLog
+
+	trace *spanTrace // nil until EnableSpanTrace
+}
+
+// Label is one key/value dimension of a labeled instrument.
+type Label struct{ Key, Value string }
+
+// labeledSeries remembers how a labeled series key decomposes, so the
+// Prometheus exposition can emit the base name and label pairs without
+// re-parsing the key.
+type labeledSeries struct {
+	base   string
+	labels []Label // sorted by key
 }
 
 // New returns an empty registry with the default event-log capacity.
@@ -45,50 +61,99 @@ func NewWithEventCapacity(capacity int) *Registry {
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 		spans:  make(map[string]*SpanStats),
+		labels: make(map[string]labeledSeries),
 		events: NewEventLog(capacity),
+	}
+}
+
+// seriesKey builds the canonical series key for name plus labels: the bare
+// name when labels are empty, else name{k="v",...} with labels sorted by
+// key. The sorted slice is returned so callers can retain it.
+func seriesKey(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b []byte
+	b = append(b, name...)
+	b = append(b, '{')
+	for i, l := range ls {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l.Key...)
+		b = append(b, '=', '"')
+		b = append(b, l.Value...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b), ls
+}
+
+// recordLabels indexes a labeled series key; callers hold r.mu.
+func (r *Registry) recordLabels(key, base string, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	if _, ok := r.labels[key]; !ok {
+		r.labels[key] = labeledSeries{base: base, labels: labels}
 	}
 }
 
 // Counter returns (creating on first use) the named counter; nil registry
 // yields a nil counter whose methods are no-ops.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) Counter(name string) *Counter { return r.CounterWith(name) }
+
+// CounterWith returns (creating on first use) the counter for name plus
+// the given label dimensions. Equal label sets — regardless of argument
+// order — resolve to the same series.
+func (r *Registry) CounterWith(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
+	key, ls := seriesKey(name, labels)
 	r.mu.RLock()
-	c := r.counts[name]
+	c := r.counts[key]
 	r.mu.RUnlock()
 	if c != nil {
 		return c
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c := r.counts[name]; c != nil {
+	if c := r.counts[key]; c != nil {
 		return c
 	}
 	c = &Counter{}
-	r.counts[name] = c
+	r.counts[key] = c
+	r.recordLabels(key, name, ls)
 	return c
 }
 
 // Gauge returns (creating on first use) the named gauge.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeWith(name) }
+
+// GaugeWith returns (creating on first use) the gauge for name plus the
+// given label dimensions.
+func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
+	key, ls := seriesKey(name, labels)
 	r.mu.RLock()
-	g := r.gauges[name]
+	g := r.gauges[key]
 	r.mu.RUnlock()
 	if g != nil {
 		return g
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if g := r.gauges[name]; g != nil {
+	if g := r.gauges[key]; g != nil {
 		return g
 	}
 	g = &Gauge{}
-	r.gauges[name] = g
+	r.gauges[key] = g
+	r.recordLabels(key, name, ls)
 	return g
 }
 
@@ -97,22 +162,29 @@ func (r *Registry) Gauge(name string) *Gauge {
 // exponential ladder. Bounds are fixed at creation: later calls with a
 // different layout return the existing histogram unchanged.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return r.HistogramWith(name, bounds)
+}
+
+// HistogramWith is Histogram with label dimensions.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
+	key, ls := seriesKey(name, labels)
 	r.mu.RLock()
-	h := r.hists[name]
+	h := r.hists[key]
 	r.mu.RUnlock()
 	if h != nil {
 		return h
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if h := r.hists[name]; h != nil {
+	if h := r.hists[key]; h != nil {
 		return h
 	}
 	h = newHistogram(bounds)
-	r.hists[name] = h
+	r.hists[key] = h
+	r.recordLabels(key, name, ls)
 	return h
 }
 

@@ -117,6 +117,9 @@ func (s *Span) End() {
 		}
 	}
 	st.simS.Add(s.simS)
+	if t := s.reg.spanTracer(); t != nil {
+		t.record(s.path, s.start, d, s.simS)
+	}
 }
 
 // SpanSnapshot summarizes one span path.

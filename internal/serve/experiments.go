@@ -163,6 +163,7 @@ func runFleet(ctx context.Context, s *core.Study, req *Request) (any, error) {
 		Mix:      req.FleetMix,
 		Policies: req.FleetPolicies,
 		Workers:  req.Workers,
+		Recorder: req.Recorder,
 	}
 	r, err := s.RunFleetStudyContext(ctx, spec)
 	if err != nil {
@@ -178,6 +179,7 @@ func runFaults(ctx context.Context, s *core.Study, req *Request) (any, error) {
 		Workers:  req.Workers,
 		Seed:     req.FaultsSeed,
 		StepS:    req.FaultsStepS,
+		Recorder: req.Recorder,
 	}
 	r, err := s.RunFaultStudy(ctx, spec)
 	if err != nil {

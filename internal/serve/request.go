@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/flightrec"
 )
 
 // ErrBadRequest wraps every client-side request defect (malformed JSON,
@@ -26,8 +27,9 @@ var ErrUnknownExperiment = errors.New("serve: unknown experiment")
 // the same run — regardless of field order, JSON number spelling, policy
 // aliases, mix whitespace, or options supplied to experiments they cannot
 // affect — canonicalize to identical Requests and therefore identical
-// cache keys. Workers is the one exception: it tunes wall-clock speed,
-// never results, so it rides along for execution but stays out of Key.
+// cache keys. Workers and Record are the exceptions: they tune wall-clock
+// speed and observability, never results, so they ride along for
+// execution but stay out of Key.
 type Request struct {
 	// Experiment is the lower-cased experiment name.
 	Experiment string
@@ -49,12 +51,21 @@ type Request struct {
 	// Workers bounds the stepping pool for fleet/faults runs (0 = one per
 	// CPU). Excluded from Key: it cannot change the simulated physics.
 	Workers int
+	// Record attaches a flight recorder to the run (fleet and faults only;
+	// dropped for every other experiment). Like Workers it is excluded from
+	// Key: recording observes the run, it cannot change the result bytes.
+	Record bool
+	// Recorder is the execution attachment the server installs when Record
+	// is set; runners thread it into the study spec. Never part of the wire
+	// form or the key.
+	Recorder *flightrec.Recorder
 }
 
 // wireRequest is the JSON body of a run request. Every field is optional;
 // zero values select the experiment's defaults.
 type wireRequest struct {
 	Optimize bool        `json:"optimize"`
+	Record   bool        `json:"record"`
 	Fleet    *wireFleet  `json:"fleet"`
 	Faults   *wireFaults `json:"faults"`
 }
@@ -118,6 +129,8 @@ func ParseRequest(name string, body []byte, known func(string) bool) (*Request, 
 // canonical spelling.
 func (r *Request) canonicalize(wire *wireRequest) error {
 	r.Optimize = wire.Optimize && optimizeApplies[r.Experiment]
+	// Only the fleet-simulator experiments have an epoch loop to record.
+	r.Record = wire.Record && (r.Experiment == "fleet" || r.Experiment == "faults")
 
 	switch r.Experiment {
 	case "fleet":

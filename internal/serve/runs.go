@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/flightrec"
+)
+
+// maxRecorders bounds the retained per-run flight recorders; the oldest
+// run's recorder is dropped when a new recorded run completes past the
+// limit. Each recorder's footprint is fixed (flightrec.MemoryBytes), so
+// this caps the serving layer's total recording memory.
+const maxRecorders = 16
+
+// recorderStore is the bounded run-id -> recorder registry backing the
+// /v1/runs endpoints.
+type recorderStore struct {
+	mu    sync.Mutex
+	byID  map[string]*flightrec.Recorder
+	order []string // insertion order, oldest first
+}
+
+func newRecorderStore() *recorderStore {
+	return &recorderStore{byID: map[string]*flightrec.Recorder{}}
+}
+
+// put registers a completed run's recorder, evicting the oldest once the
+// store is full. Re-recording the same run replaces its entry in place.
+func (rs *recorderStore) put(id string, rec *flightrec.Recorder) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, ok := rs.byID[id]; ok {
+		rs.byID[id] = rec
+		return
+	}
+	for len(rs.order) >= maxRecorders {
+		oldest := rs.order[0]
+		rs.order = rs.order[1:]
+		delete(rs.byID, oldest)
+	}
+	rs.byID[id] = rec
+	rs.order = append(rs.order, id)
+}
+
+func (rs *recorderStore) get(id string) *flightrec.Recorder {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.byID[id]
+}
+
+func (rs *recorderStore) len() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.byID)
+}
+
+// timeseriesResponse is the JSON body of GET /v1/runs/{id}/timeseries.
+type timeseriesResponse struct {
+	ID          string                  `json:"id"`
+	Meta        flightrec.RunMeta       `json:"meta"`
+	Epochs      int                     `json:"epochs"`
+	MemoryBytes int                     `json:"memory_bytes"`
+	Series      []*flightrec.SeriesData `json:"series"`
+}
+
+// alertsResponse is the JSON body of GET /v1/runs/{id}/alerts.
+type alertsResponse struct {
+	ID     string            `json:"id"`
+	Rules  []flightrec.Rule  `json:"rules"`
+	Alerts []flightrec.Alert `json:"alerts"`
+	Active int               `json:"active"`
+}
+
+// parseWindow reads the optional from_s/to_s query bounds; an absent
+// bound stays NaN (open).
+func parseWindow(r *http.Request) (fromS, toS float64, err error) {
+	fromS, toS = math.NaN(), math.NaN()
+	for _, bound := range []struct {
+		name string
+		dst  *float64
+	}{{"from_s", &fromS}, {"to_s", &toS}} {
+		v := r.URL.Query().Get(bound.name)
+		if v == "" {
+			continue
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("bad %s %q", bound.name, v)
+		}
+		*bound.dst = f
+	}
+	return fromS, toS, nil
+}
+
+// handleTimeseries serves a recorded run's telemetry: all channels (or
+// one, via ?channel=), at ?res= raw|1m|1h, clipped to ?from_s=/?to_s=.
+// ?format=ndjson and ?format=csv stream the recorder's full export
+// instead of the windowed JSON view.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec := s.recorders.get(id)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no recorded run %q (run the experiment with \"record\": true)", id))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := rec.WriteNDJSON(w); err != nil {
+			s.obs.Counter("serve.run_export_errors").Inc()
+		}
+		return
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := rec.WriteCSV(w); err != nil {
+			s.obs.Counter("serve.run_export_errors").Inc()
+		}
+		return
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json, ndjson, csv)", format))
+		return
+	}
+
+	res, err := flightrec.ParseResolution(r.URL.Query().Get("res"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fromS, toS, err := parseWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := timeseriesResponse{
+		ID:          id,
+		Meta:        rec.Meta(),
+		Epochs:      rec.Epochs(),
+		MemoryBytes: rec.MemoryBytes(),
+	}
+	if channel := r.URL.Query().Get("channel"); channel != "" {
+		sd, err := rec.Query(channel, res, fromS, toS)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		resp.Series = []*flightrec.SeriesData{sd}
+	} else {
+		resp.Series = rec.QueryAll(res, fromS, toS)
+	}
+	writeJSON(w, resp)
+}
+
+// handleAlerts serves a recorded run's alert rules and firing history.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec := s.recorders.get(id)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no recorded run %q (run the experiment with \"record\": true)", id))
+		return
+	}
+	resp := alertsResponse{ID: id, Rules: rec.Rules(), Alerts: rec.Alerts()}
+	if resp.Rules == nil {
+		resp.Rules = []flightrec.Rule{}
+	}
+	if resp.Alerts == nil {
+		resp.Alerts = []flightrec.Alert{}
+	}
+	resp.Active = len(rec.ActiveAlerts())
+	writeJSON(w, resp)
+}
+
+// writeJSON sends a 200 with a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/flightrec"
+)
+
+// fleetRecordBody is a small fleet run: one policy, a handful of racks,
+// record enabled.
+const fleetRecordBody = `{"record": true, "fleet": {"mix": "1U=3", "policies": ["thermal"]}}`
+
+// recordRun executes a recorded fleet run and returns its run key.
+func recordRun(t *testing.T, ts string) string {
+	t.Helper()
+	resp, body := postJSON(t, ts+"/v1/experiments/fleet", fleetRecordBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recorded run failed: %d %s", resp.StatusCode, body)
+	}
+	key := resp.Header.Get("X-Run-Key")
+	if key == "" {
+		t.Fatal("recorded run returned no X-Run-Key")
+	}
+	return key
+}
+
+// getJSON fetches a URL and decodes its JSON body into v.
+func getJSON(t *testing.T, url string, status int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != status {
+		t.Fatalf("GET %s = %d (want %d): %s", url, resp.StatusCode, status, b)
+	}
+	if v != nil {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("GET %s: bad JSON %v in %s", url, err, b)
+		}
+	}
+}
+
+// TestRecordedRunTimeseries covers the record flag end to end: a recorded
+// fleet run publishes its telemetry on /v1/runs/{id}/timeseries.
+func TestRecordedRunTimeseries(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	key := recordRun(t, ts.URL)
+
+	var resp struct {
+		ID   string `json:"id"`
+		Meta struct {
+			Racks  int    `json:"racks"`
+			Policy string `json:"policy"`
+		} `json:"meta"`
+		Epochs      int `json:"epochs"`
+		MemoryBytes int `json:"memory_bytes"`
+		Series      []struct {
+			Channel string    `json:"channel"`
+			Res     string    `json:"res"`
+			StartS  float64   `json:"start_s"`
+			StepS   float64   `json:"step_s"`
+			Values  []float64 `json:"values"`
+		} `json:"series"`
+	}
+	getJSON(t, ts.URL+"/v1/runs/"+key+"/timeseries", http.StatusOK, &resp)
+	if resp.ID != key {
+		t.Errorf("id = %q, want %q", resp.ID, key)
+	}
+	if resp.Meta.Racks != 3 || resp.Meta.Policy != "thermal" {
+		t.Errorf("meta = %+v", resp.Meta)
+	}
+	if resp.Epochs == 0 || resp.MemoryBytes == 0 {
+		t.Errorf("epochs=%d memory=%d, want both nonzero", resp.Epochs, resp.MemoryBytes)
+	}
+	channels := map[string]bool{}
+	for _, sd := range resp.Series {
+		channels[sd.Channel] = true
+		if sd.Res != "raw" {
+			t.Errorf("channel %s res = %q, want raw", sd.Channel, sd.Res)
+		}
+		if len(sd.Values) != resp.Epochs {
+			t.Errorf("channel %s has %d values, want %d", sd.Channel, len(sd.Values), resp.Epochs)
+		}
+	}
+	for _, want := range []string{"fleet.power_w", "fleet.cooling_w", "fleet.wax_liquid", "rack0.inlet_c"} {
+		if !channels[want] {
+			t.Errorf("timeseries lacks channel %s", want)
+		}
+	}
+
+	// Single-channel query at the minute tier, clipped to the first hour.
+	var one struct {
+		Series []struct {
+			Channel string    `json:"channel"`
+			Res     string    `json:"res"`
+			StepS   float64   `json:"step_s"`
+			Mean    []float64 `json:"mean"`
+		} `json:"series"`
+	}
+	u := ts.URL + "/v1/runs/" + key + "/timeseries?channel=fleet.power_w&res=1m&to_s=3600"
+	getJSON(t, u, http.StatusOK, &one)
+	if len(one.Series) != 1 {
+		t.Fatalf("single-channel query returned %d series", len(one.Series))
+	}
+	sd := one.Series[0]
+	if sd.Channel != "fleet.power_w" || sd.Res != "1m" || sd.StepS != 60 {
+		t.Errorf("series = %+v", sd)
+	}
+	if len(sd.Mean) == 0 || len(sd.Mean) > 61 {
+		t.Errorf("hour-clipped minute series has %d buckets", len(sd.Mean))
+	}
+}
+
+// TestRecordedRunExports covers the ndjson and csv formats plus the
+// error paths: unknown run, unknown channel, bad parameters.
+func TestRecordedRunExports(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	key := recordRun(t, ts.URL)
+
+	nd, err := http.Get(ts.URL + "/v1/runs/" + key + "/timeseries?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndb, _ := io.ReadAll(nd.Body)
+	nd.Body.Close()
+	if ct := nd.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("ndjson content type = %q", ct)
+	}
+	first, _, _ := strings.Cut(string(ndb), "\n")
+	if !strings.Contains(first, `"type":"meta"`) {
+		t.Errorf("ndjson first line %q is not the meta line", first)
+	}
+
+	cv, err := http.Get(ts.URL + "/v1/runs/" + key + "/timeseries?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvb, _ := io.ReadAll(cv.Body)
+	cv.Body.Close()
+	if !strings.HasPrefix(string(cvb), "time_s,") {
+		t.Errorf("csv export starts %q", string(cvb[:min(len(cvb), 40)]))
+	}
+
+	getJSON(t, ts.URL+"/v1/runs/nosuchrun/timeseries", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/v1/runs/nosuchrun/alerts", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/v1/runs/"+key+"/timeseries?channel=bogus", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/v1/runs/"+key+"/timeseries?res=bogus", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/v1/runs/"+key+"/timeseries?format=bogus", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/v1/runs/"+key+"/timeseries?from_s=abc", http.StatusBadRequest, nil)
+}
+
+// TestRecordedRunAlerts checks the alerts endpoint exposes the default
+// rule set the fleet installs.
+func TestRecordedRunAlerts(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	key := recordRun(t, ts.URL)
+
+	var resp struct {
+		ID     string            `json:"id"`
+		Rules  []flightrec.Rule  `json:"rules"`
+		Alerts []flightrec.Alert `json:"alerts"`
+		Active int               `json:"active"`
+	}
+	getJSON(t, ts.URL+"/v1/runs/"+key+"/alerts", http.StatusOK, &resp)
+	if resp.ID != key {
+		t.Errorf("id = %q, want %q", resp.ID, key)
+	}
+	names := map[string]bool{}
+	for _, r := range resp.Rules {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"throttle", "inlet_excursion", "wax_exhaustion"} {
+		if !names[want] {
+			t.Errorf("alerts response lacks default rule %s", want)
+		}
+	}
+	if resp.Alerts == nil {
+		t.Error("alerts field is null, want [] for a clean run")
+	}
+}
+
+// TestRecordBypassesCacheRead checks that a record request executes even
+// when the identical unrecorded run is already cached — and that the key
+// itself ignores the record flag, so the result bytes stay shared.
+func TestRecordBypassesCacheRead(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	plain := `{"fleet": {"mix": "1U=3", "policies": ["thermal"]}}`
+
+	resp1, body1 := postJSON(t, ts.URL+"/v1/experiments/fleet", plain)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("plain run failed: %s", body1)
+	}
+	key := resp1.Header.Get("X-Run-Key")
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/experiments/fleet", fleetRecordBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("recorded run failed: %s", body2)
+	}
+	if got := resp2.Header.Get("X-Run-Key"); got != key {
+		t.Errorf("record flag changed the run key: %q vs %q", got, key)
+	}
+	if got := resp2.Header.Get("X-Cache"); got == "hit" {
+		t.Error("recorded request served from cache without executing")
+	}
+	if string(body1) != string(body2) {
+		t.Error("recorded and unrecorded result bytes differ")
+	}
+	if s.recorders.get(key) == nil {
+		t.Error("recorded run did not publish a recorder")
+	}
+
+	// A third, unrecorded request is a plain cache hit.
+	resp3, _ := postJSON(t, ts.URL+"/v1/experiments/fleet", plain)
+	if got := resp3.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("X-Cache = %q after recorded run, want hit", got)
+	}
+}
+
+// TestRecordIgnoredForClosedForm checks the record flag is dropped for
+// experiments without an epoch loop instead of failing the request.
+func TestRecordIgnoredForClosedForm(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/experiments/table2", `{"record": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table2 with record: %d %s", resp.StatusCode, body)
+	}
+	key := resp.Header.Get("X-Run-Key")
+	getJSON(t, ts.URL+"/v1/runs/"+key+"/timeseries", http.StatusNotFound, nil)
+}
+
+// TestRecorderStoreEviction checks the bounded registry drops the oldest
+// run once full and replaces re-recorded runs in place.
+func TestRecorderStoreEviction(t *testing.T) {
+	rs := newRecorderStore()
+	for i := 0; i < maxRecorders+3; i++ {
+		rs.put(fmt.Sprintf("run%d", i), flightrec.New(flightrec.Config{}))
+	}
+	if rs.len() != maxRecorders {
+		t.Fatalf("store holds %d recorders, want %d", rs.len(), maxRecorders)
+	}
+	for i := 0; i < 3; i++ {
+		if rs.get(fmt.Sprintf("run%d", i)) != nil {
+			t.Errorf("run%d survived eviction", i)
+		}
+	}
+	if rs.get(fmt.Sprintf("run%d", maxRecorders+2)) == nil {
+		t.Error("newest run missing")
+	}
+
+	replacement := flightrec.New(flightrec.Config{})
+	rs.put(fmt.Sprintf("run%d", maxRecorders+2), replacement)
+	if rs.len() != maxRecorders {
+		t.Errorf("replacing in place grew the store to %d", rs.len())
+	}
+	if rs.get(fmt.Sprintf("run%d", maxRecorders+2)) != replacement {
+		t.Error("replacement did not take")
+	}
+}

@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/obs"
 )
 
@@ -43,11 +45,12 @@ type Config struct {
 // Server runs experiments over HTTP. Create with New, expose with
 // Handler, stop with Drain.
 type Server struct {
-	obs     *obs.Registry
-	cache   *resultCache
-	flight  *flightGroup
-	pool    *runPool
-	studies map[bool]*core.Study // keyed by the optimize flag
+	obs       *obs.Registry
+	cache     *resultCache
+	flight    *flightGroup
+	pool      *runPool
+	studies   map[bool]*core.Study // keyed by the optimize flag
+	recorders *recorderStore       // completed recorded runs, by run key
 
 	mu      sync.Mutex
 	runners map[string]Runner
@@ -80,15 +83,16 @@ func New(cfg Config) *Server {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		obs:      cfg.Obs,
-		cache:    newResultCache(cfg.CacheEntries),
-		flight:   newFlightGroup(),
-		pool:     newRunPool(cfg.MaxConcurrent, cfg.QueueDepth),
-		studies:  map[bool]*core.Study{},
-		runners:  defaultRunners(),
-		baseCtx:  ctx,
-		baseStop: stop,
-		idle:     make(chan struct{}),
+		obs:       cfg.Obs,
+		cache:     newResultCache(cfg.CacheEntries),
+		flight:    newFlightGroup(),
+		pool:      newRunPool(cfg.MaxConcurrent, cfg.QueueDepth),
+		studies:   map[bool]*core.Study{},
+		recorders: newRecorderStore(),
+		runners:   defaultRunners(),
+		baseCtx:   ctx,
+		baseStop:  stop,
+		idle:      make(chan struct{}),
 	}
 	for _, optimize := range []bool{false, true} {
 		st := core.NewStudy()
@@ -151,6 +155,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("POST /v1/experiments/{name}", s.handleRun)
 	mux.HandleFunc("POST /v1/experiments/{name}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/runs/{id}/timeseries", s.handleTimeseries)
+	mux.HandleFunc("GET /v1/runs/{id}/alerts", s.handleAlerts)
 	return mux
 }
 
@@ -204,19 +210,57 @@ func (s *Server) Drain(ctx context.Context) {
 	s.baseStop()
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
-	}
-	fmt.Fprintln(w, "ok")
+// healthzResponse is the JSON body of GET /healthz: liveness plus enough
+// build and runtime state to identify the binary a probe is talking to.
+type healthzResponse struct {
+	Status         string `json:"status"` // "ok" or "draining"
+	GoVersion      string `json:"go_version,omitempty"`
+	Module         string `json:"module,omitempty"`
+	Revision       string `json:"revision,omitempty"`
+	Draining       bool   `json:"draining"`
+	ActiveRequests int    `json:"active_requests"`
+	RecordedRuns   int    `json:"recorded_runs"`
+	Experiments    int    `json:"experiments"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := s.obs.WriteText(w); err != nil {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := healthzResponse{
+		Status:       "ok",
+		RecordedRuns: s.recorders.len(),
+		Experiments:  len(s.names()),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		resp.GoVersion = info.GoVersion
+		resp.Module = info.Main.Path
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	s.gateMu.Lock()
+	resp.Draining, resp.ActiveRequests = s.draining, s.active
+	s.gateMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Draining {
+		resp.Status = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format;
+// ?format=text selects the legacy human-readable dump instead.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.obs.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obs.WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -282,16 +326,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := req.Key()
 	w.Header().Set("X-Run-Key", key)
 
-	if cached, ok := s.cache.Get(key); ok {
-		s.obs.Counter("serve.cache_hits").Inc()
-		w.Header().Set("X-Cache", "hit")
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(cached)
-		return
+	flightKey := key
+	if req.Record {
+		// A recorded run must execute even when its result is cached: the
+		// recorder is a side effect the byte cache cannot replay. A distinct
+		// flight key keeps it from joining a non-recorded execution, while
+		// concurrent recorded requests still collapse onto one run.
+		flightKey += "#record"
+		s.obs.Counter("serve.recorded_requests").Inc()
+	} else {
+		if cached, ok := s.cache.Get(key); ok {
+			s.obs.Counter("serve.cache_hits").Inc()
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(cached)
+			return
+		}
+		s.obs.Counter("serve.cache_misses").Inc()
 	}
-	s.obs.Counter("serve.cache_misses").Inc()
 
-	out, err, joined := s.flight.do(r.Context(), s.baseCtx, key, func(runCtx context.Context) ([]byte, error) {
+	out, err, joined := s.flight.do(r.Context(), s.baseCtx, flightKey, func(runCtx context.Context) ([]byte, error) {
 		return s.execute(runCtx, req, key)
 	})
 	if joined {
@@ -335,6 +389,9 @@ func (s *Server) execute(ctx context.Context, req *Request, key string) ([]byte,
 	if runner == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, req.Experiment)
 	}
+	if req.Record {
+		req.Recorder = flightrec.New(flightrec.Config{})
+	}
 	view, err := runner(ctx, s.studies[req.Optimize], req)
 	if err != nil {
 		return nil, err
@@ -344,6 +401,12 @@ func (s *Server) execute(ctx context.Context, req *Request, key string) ([]byte,
 		return nil, err
 	}
 	out = append(out, '\n')
+	if req.Recorder.Started() {
+		// Publish the flight recording under the run key; the result bytes
+		// themselves are identical to an unrecorded run, so the cache entry
+		// stays shared.
+		s.recorders.put(key, req.Recorder)
+	}
 	s.cache.Put(key, out)
 	return out, nil
 }

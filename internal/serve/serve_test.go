@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // newTestServer builds a server plus its httptest front end.
@@ -540,22 +541,49 @@ func TestHealthzMetricsList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := io.ReadAll(hz.Body)
+	var health struct {
+		Status      string `json:"status"`
+		GoVersion   string `json:"go_version"`
+		Draining    bool   `json:"draining"`
+		Experiments int    `json:"experiments"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
 	hz.Body.Close()
-	if hz.StatusCode != http.StatusOK || !strings.Contains(string(b), "ok") {
-		t.Errorf("healthz = %d %q", hz.StatusCode, b)
+	if hz.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz = %d %+v", hz.StatusCode, health)
+	}
+	if health.GoVersion == "" || health.Experiments != len(ExperimentOrder) {
+		t.Errorf("healthz build info incomplete: %+v", health)
 	}
 
+	// The default exposition is Prometheus format (sanitized metric names)
+	// and must parse under the exposition-format grammar.
 	m, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	mb, _ := io.ReadAll(m.Body)
 	m.Body.Close()
-	for _, want := range []string{"serve.requests", "serve.runs", "serve.cache_misses"} {
+	for _, want := range []string{"serve_requests", "serve_runs", "serve_cache_misses"} {
 		if !strings.Contains(string(mb), want) {
 			t.Errorf("metrics page lacks %s", want)
 		}
+	}
+	if err := obs.LintPrometheus(mb); err != nil {
+		t.Errorf("metrics page fails Prometheus grammar: %v", err)
+	}
+
+	// ?format=text keeps the legacy dotted-name dump.
+	mt, err := http.Get(ts.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtb, _ := io.ReadAll(mt.Body)
+	mt.Body.Close()
+	if !strings.Contains(string(mtb), "serve.requests") {
+		t.Errorf("text metrics page lacks serve.requests: %q", mtb)
 	}
 
 	l, err := http.Get(ts.URL + "/v1/experiments")

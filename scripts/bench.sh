@@ -5,10 +5,18 @@
 #   BENCH_thermal.json — the compiled thermal-network stepper (the hot
 #                        loop every experiment bottoms out in)
 #   BENCH_fleet.json   — the dcsim fluid loop and the sharded fleet epochs
-#                        built on top of it
+#                        built on top of it (including the flight-recorder
+#                        on/off pair)
 #
-# Each record is {"name", "ns_per_op", "allocs_per_op"}; with COUNT > 1
-# every repetition is kept so downstream tooling can see the variance.
+# Each benchmark contributes ONE record — the median across the COUNT
+# repetitions — so trend tooling compares like with like instead of
+# whichever repetition happened to land first:
+#
+#   {"name", "ns_per_op", "allocs_per_op", "reps"}
+#
+# The raw per-repetition records are kept alongside in
+# BENCH_<suite>.raw.json (same shape, one record per repetition) for
+# variance analysis; CI uploads both as artifacts.
 #
 # Usage: scripts/bench.sh
 # Env:   COUNT     repetitions per benchmark (default 5)
@@ -22,6 +30,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 bench() {
   local out="$1"
   shift
+  local raw="${out%.json}.raw.json"
   local txt
   txt=$(go test -run='^$' -bench=. -benchmem -count="$COUNT" -benchtime="$BENCHTIME" "$@")
   echo "$txt"
@@ -39,8 +48,44 @@ bench() {
       sep = ",\n  ";
     }
     END { print "\n]" }
+  ' >"$raw"
+  echo "$txt" | awk '
+    # median sorts the c values stored under (name,1..c) and returns the
+    # middle one (mean of the middle two for even c).
+    function median(name, vals, c,   i, j, t, a) {
+      for (i = 1; i <= c; i++) a[i] = vals[name, i] + 0
+      for (i = 1; i < c; i++)
+        for (j = i + 1; j <= c; j++)
+          if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t }
+      if (c % 2) return a[(c + 1) / 2]
+      return (a[c / 2] + a[c / 2 + 1]) / 2
+    }
+    /^Benchmark/ {
+      ns = ""; allocs = "";
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1);
+        if ($i == "allocs/op") allocs = $(i - 1);
+      }
+      if (ns == "") next;
+      if (!($1 in cnt)) order[++n] = $1
+      cnt[$1]++
+      nsv[$1, cnt[$1]] = ns
+      if (allocs != "") { av[$1, cnt[$1]] = allocs; ac[$1]++ }
+    }
+    END {
+      print "["
+      sep = "  "
+      for (k = 1; k <= n; k++) {
+        name = order[k]
+        m = median(name, nsv, cnt[name])
+        a = (ac[name] == cnt[name]) ? median(name, av, cnt[name]) : "null"
+        printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"reps\":%d}", sep, name, m, a, cnt[name]
+        sep = ",\n  "
+      }
+      print "\n]"
+    }
   ' >"$out"
-  echo "wrote $out"
+  echo "wrote $out (medians of $COUNT reps; raw in $raw)"
 }
 
 bench BENCH_thermal.json ./internal/thermal/...
