@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|fleet|faults|all
+//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|fleet|faults|autoscale|all
 //	      [-csv dir] [-optimize] [-json file]
 //	      [-fleet] [-fleet.mix 1U=13,2U=10,OCP=4] [-fleet.policy all] [-fleet.workers n]
-//	      [-faults peak|scenario-file] [-faults.seed n] [-faults.step s]
+//	      [-faults peak|scenario-name|scenario-file] [-faults.seed n] [-faults.step s]
+//	      [-autoscale] [-autoscale.mix 1U=8] [-autoscale.policy all] [-autoscale.scenario names]
 //	      [-metrics file] [-trace file] [-trace.chrome file] [-pprof addr]
 //
 // -exp also accepts a comma-separated list (e.g. -exp fig11,fig12);
@@ -27,11 +28,23 @@
 // surges — against the fleet with and without wax, reporting the
 // ride-through before inlet-triggered throttling and the work shed.
 // "-faults peak" injects the default chiller trip as the trace climbs to
-// its daily peak; any other value is a scenario file (see
-// examples/scenarios). -faults.seed generates a stochastic scenario
-// instead; -faults.step refines the transient's time step. The fleet
-// shape comes from the -fleet.* flags. An interrupt (Ctrl-C) cancels the
-// run cleanly at the next simulation epoch.
+// its daily peak; a built-in scenario name (chiller-trip-peak,
+// diurnal-surge, rolling-brownout) replays that embedded scenario; any
+// other value is a scenario file (see examples/scenarios). -faults.seed
+// generates a stochastic scenario instead; -faults.step refines the
+// transient's time step. The fleet shape comes from the -fleet.* flags.
+// An interrupt (Ctrl-C) cancels the run cleanly at the next simulation
+// epoch.
+//
+// Autoscale mode (-autoscale, or -exp autoscale) closes the control loop:
+// the wax-headroom autoscaler rides inside the fleet epoch loop and is
+// evaluated head to head against the open-loop balancers on the named
+// fault scenarios, tabulating what every arm paid in throttled and shed
+// server-seconds. -autoscale.mix sets the rack populations (default an
+// all-wax 1U=8 floor — the named scenarios address racks 0-7);
+// -autoscale.policy picks the controller decision policies (threshold,
+// hysteresis, prefreeze, or all); -autoscale.scenario picks the embedded
+// scenarios replayed (default chiller-trip-peak,diurnal-surge).
 //
 // Telemetry: -metrics writes the run's counters, gauges, histograms and
 // spans as JSON; -trace writes the simulation event log (PCM phase
@@ -63,6 +76,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fleet"
@@ -90,7 +104,7 @@ const (
 // this order regardless of how the user wrote them.
 var experimentOrder = []string{
 	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
-	"table2", "tco", "extensions", "fleet", "faults", "waxsweep", "check",
+	"table2", "tco", "extensions", "fleet", "faults", "autoscale", "waxsweep", "check",
 }
 
 var runners = map[string]func(context.Context, *core.Study, string, io.Writer) error{
@@ -105,6 +119,7 @@ var runners = map[string]func(context.Context, *core.Study, string, io.Writer) e
 	"extensions": runExtensions,
 	"fleet":      runFleet,
 	"faults":     runFaults,
+	"autoscale":  runAutoscale,
 	"waxsweep":   runWaxSweep,
 	"check":      runCheck,
 }
@@ -114,6 +129,9 @@ var fleetSpec = core.DefaultFleetSpec()
 
 // faultSpec carries the -faults flags into the faults runner.
 var faultSpec = core.DefaultFaultSpec()
+
+// autoscaleSpec carries the -autoscale.* flags into the autoscale runner.
+var autoscaleSpec = core.DefaultAutoscaleSpec()
 
 func main() {
 	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
@@ -137,9 +155,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fleetMix := fs.String("fleet.mix", "1U=13,2U=10,OCP=4", "fleet rack mix as tag=racks pairs; prefix a tag with nowax: to strip the retrofit")
 	fleetPolicies := fs.String("fleet.policy", "all", "comma-separated balancing policies: roundrobin, leastloaded, thermal, faultaware, or all")
 	fleetWorkers := fs.Int("fleet.workers", 0, "fleet stepping workers (0 = one per CPU)")
-	faultsFlag := fs.String("faults", "", "run the fault-injection experiment: 'peak' for the default chiller-trip-at-peak scenario, or a scenario file path")
+	faultsFlag := fs.String("faults", "", "run the fault-injection experiment: 'peak' for the default chiller-trip-at-peak scenario, a built-in scenario name, or a scenario file path")
 	faultsSeed := fs.Int64("faults.seed", 0, "generate a stochastic fault scenario from this seed instead of the default trip (ignored when -faults names a file)")
 	faultsStep := fs.Float64("faults.step", 0, "fault-transient simulation step in seconds (0 = 60)")
+	autoMode := fs.Bool("autoscale", false, "run the closed-loop autoscaler experiment (alone, or added to an explicit -exp list)")
+	autoMix := fs.String("autoscale.mix", "", "autoscale rack mix as tag=racks pairs (default 1U=8, all wax)")
+	autoPolicies := fs.String("autoscale.policy", "all", "comma-separated controller decision policies: threshold, hysteresis, prefreeze, or all")
+	autoScenarios := fs.String("autoscale.scenario", "", "comma-separated embedded fault scenarios (default chiller-trip-peak,diurnal-surge)")
 	if err := fs.Parse(args); err != nil {
 		// flag already printed the problem and the usage to stderr.
 		return exitUsage
@@ -156,6 +178,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *faultsFlag != "" {
 		extra = append(extra, "faults")
+	}
+	if *autoMode {
+		extra = append(extra, "autoscale")
 	}
 	if len(extra) > 0 {
 		if expSet {
@@ -176,6 +201,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	if faultSpec, err = parseFaultFlags(*faultsFlag, *faultsSeed, *faultsStep, *fleetMix, *fleetPolicies, *fleetWorkers); err != nil {
+		fmt.Fprintln(stderr, "ttsim:", err)
+		fs.Usage()
+		return exitUsage
+	}
+	if autoscaleSpec, err = parseAutoscaleFlags(*autoMix, *autoPolicies, *autoScenarios, *fleetWorkers); err != nil {
 		fmt.Fprintln(stderr, "ttsim:", err)
 		fs.Usage()
 		return exitUsage
@@ -548,10 +578,16 @@ func parseFaultFlags(scenario string, seed int64, stepS float64, mix, policies s
 			}
 		}
 	}
-	switch strings.TrimSpace(scenario) {
-	case "", "peak", "default":
+	switch s := strings.TrimSpace(scenario); {
+	case s == "" || s == "peak" || s == "default":
 		// nil schedule: RunFaultStudy builds the peak trip (or generates
 		// from -faults.seed).
+	case faults.IsNamed(s):
+		// Embedded scenario names resolve before file paths, so the
+		// shipped scenarios work without a checkout.
+		if spec.Schedule, err = faults.Named(s); err != nil {
+			return spec, err
+		}
 	default:
 		f, err := os.Open(scenario)
 		if err != nil {
@@ -563,6 +599,60 @@ func parseFaultFlags(scenario string, seed int64, stepS float64, mix, policies s
 		}
 	}
 	return spec, nil
+}
+
+// parseAutoscaleFlags assembles the autoscale spec from the -autoscale.*
+// flag values; workers are shared with -fleet.workers. Policy and
+// scenario names are resolved up front so a typo is a usage error (exit
+// 2), not a mid-run failure.
+func parseAutoscaleFlags(mix, policies, scenarios string, workers int) (core.AutoscaleSpec, error) {
+	spec := core.DefaultAutoscaleSpec()
+	spec.Workers = workers
+	var err error
+	if strings.TrimSpace(mix) != "" {
+		if spec.Mix, err = core.ParseFleetMix(mix); err != nil {
+			return spec, err
+		}
+	}
+	if p := strings.TrimSpace(policies); p != "" && p != "all" {
+		for _, name := range strings.Split(p, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				pol, err := autoscale.ParsePolicy(name)
+				if err != nil {
+					return spec, err
+				}
+				spec.Closed = append(spec.Closed, pol.Name())
+			}
+		}
+	}
+	for _, name := range strings.Split(scenarios, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if !faults.IsNamed(name) {
+				return spec, fmt.Errorf("unknown fault scenario %q (want one of %s)",
+					name, strings.Join(faults.Scenarios(), ", "))
+			}
+			spec.Scenarios = append(spec.Scenarios, name)
+		}
+	}
+	return spec, nil
+}
+
+func runAutoscale(ctx context.Context, s *core.Study, csvDir string, out io.Writer) error {
+	fmt.Fprintln(out, "== Autoscale: closed-loop wax-headroom control vs static policies ==")
+	r, err := s.RunAutoscaleStudy(ctx, autoscaleSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, report.Autoscale(r))
+	for _, sc := range r.Scenarios {
+		for _, a := range sc.Arms {
+			name := "autoscale_" + sc.Scenario + "_" + strings.ReplaceAll(a.Name, "/", "_")
+			if err := writeCSV(csvDir, name+"_inlet_rise", a.InletRiseC, "inlet_rise_degC"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func runFaults(ctx context.Context, s *core.Study, csvDir string, out io.Writer) error {

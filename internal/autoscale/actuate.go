@@ -1,0 +1,35 @@
+package autoscale
+
+import "repro/internal/fleet"
+
+// migrateSkew scales how strongly per-rack ceilings diverge from the
+// fleet ceiling with relative wax headroom: a rack whose buffer is one
+// whole unit fuller than the mean gets this much more ceiling. The skew
+// is what migrates load — the balancer's spill logic fills the raised
+// ceilings first and routes around the lowered ones.
+const migrateSkew = 0.5
+
+// actuate spreads the fleet-wide ceiling into per-rack ceilings, skewed
+// toward racks with remaining wax headroom. Racks without wax, with dead
+// sensors, or in a fleet with no wax at all take the flat ceiling —
+// migration only acts on signals the collector actually has. With no cap
+// (Ceil >= 1) the slice is left untouched at the fleet's pre-filled 1s,
+// so an idle controller perturbs nothing.
+func (c *Controller) actuate(dec *Decision, an *Analysis, racks []fleet.RackView, ceil []float64) {
+	if dec.Ceil >= 1 {
+		return
+	}
+	for r := range racks {
+		v := &racks[r]
+		cr := dec.Ceil
+		if v.HasWax && !v.SensorDead && an.WaxFrac > 0 {
+			cr *= 1 + migrateSkew*(v.WaxRemaining-an.Headroom)
+		}
+		if cr < 0 {
+			cr = 0
+		} else if cr > 1 {
+			cr = 1
+		}
+		ceil[r] = cr
+	}
+}

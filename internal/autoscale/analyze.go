@@ -1,0 +1,99 @@
+package autoscale
+
+import (
+	"math"
+
+	"repro/internal/flightrec"
+)
+
+// Analysis is the analyzer's output: the snapshot plus the derived
+// control signals the decision policies consume.
+type Analysis struct {
+	Snapshot
+
+	// Pressure is the inlet excursion normalized by the pre-throttle
+	// margin: 0 = no excursion, 1 = at the throttle trigger. It can
+	// exceed 1 while racks ride above the trigger.
+	Pressure float64
+	// SpareFrac is the wax-headroom-derived spare capacity as a fraction
+	// of the fleet: the mean remaining latent fraction weighted by the
+	// share of servers it buffers. This is the paper's thesis as a
+	// number — how much of the fleet can lean on its wax right now.
+	SpareFrac float64
+	// ThrottleTTAS is the forecast seconds until the inlet excursion
+	// reaches the throttle trigger at its fitted slope (NaN when the
+	// excursion is not climbing or the projection exceeds the horizon).
+	ThrottleTTAS float64
+	// ExhaustTTAS is the forecast seconds until the wax headroom is
+	// spent (NaN when it is not draining or the projection exceeds the
+	// horizon).
+	ExhaustTTAS float64
+	// DemandSlope is the fitted demand trend in fraction-of-capacity per
+	// second (0 until the window holds two samples).
+	DemandSlope float64
+	// InletSlopeCPerS is the fitted inlet-excursion trend in K per
+	// second. Negative or zero means the room is recovering: the plant's
+	// exponential pull-down does not care how much load is shed, so
+	// protective caps can release.
+	InletSlopeCPerS float64
+}
+
+// analyze derives the control signals from the snapshot and the history
+// rings, reusing flightrec's least-squares forecaster for both
+// time-to-target projections.
+func (c *Controller) analyze(snap *Snapshot, an *Analysis) {
+	// snap aliases an.Snapshot (the collector fills it in place); the
+	// derived fields are rewritten below.
+	margin := c.info.ThrottleInletC - c.info.MaxInletC
+	an.Pressure = 0
+	if margin > 0 && snap.InletRiseC > 0 {
+		an.Pressure = snap.InletRiseC / margin
+	}
+	an.SpareFrac = snap.Headroom * snap.WaxFrac
+
+	an.ThrottleTTAS = math.NaN()
+	an.InletSlopeCPerS = 0
+	vals := c.hist.inlet.values(c.hist.scratch)
+	if tta, ok := flightrec.SlopeForecast(vals, c.info.StepS, margin); ok && tta <= c.horizonS {
+		an.ThrottleTTAS = tta
+	}
+	if len(vals) >= 2 && c.info.StepS > 0 {
+		an.InletSlopeCPerS = leastSlope(vals) / c.info.StepS
+	}
+
+	an.ExhaustTTAS = math.NaN()
+	vals = c.hist.headroom.values(c.hist.scratch)
+	if tta, ok := flightrec.SlopeForecast(vals, c.info.StepS, 0); ok && tta <= c.horizonS {
+		an.ExhaustTTAS = tta
+	}
+
+	an.DemandSlope = 0
+	vals = c.hist.demand.values(c.hist.scratch)
+	if len(vals) >= 2 && c.info.StepS > 0 {
+		an.DemandSlope = leastSlope(vals) / c.info.StepS
+	}
+}
+
+// leastSlope is the ordinary least-squares slope of vals per sample
+// index. The forecaster only exposes time-to-target; the demand trend
+// needs the slope itself.
+func leastSlope(vals []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	for i, v := range vals {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	fn := float64(len(vals))
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	slope := (fn*sxy - sx*sy) / den
+	if math.IsNaN(slope) || math.IsInf(slope, 0) {
+		return 0
+	}
+	return slope
+}

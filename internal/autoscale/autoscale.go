@@ -1,0 +1,260 @@
+// Package autoscale closes the thermal control loop the rest of the
+// repository only observes: it treats remaining wax headroom as
+// schedulable spare capacity — the paper's thesis turned into a
+// controller — and acts on it every epoch.
+//
+// The loop has four stages, run back to back inside one Control call:
+//
+//	collector  — snapshot per-rack inlet excursion, liquid fraction,
+//	             utilization and fault-degraded capacity from the same
+//	             fleet.RackView slice the balancer sees (sensor faults
+//	             blind it identically), folding them into fleet
+//	             aggregates and short history rings;
+//	analyzer   — derive wax-headroom spare capacity, inlet-excursion
+//	             pressure (excursion over the pre-throttle margin), and
+//	             slope forecasts (time-to-throttle, time-to-exhaustion,
+//	             demand trend) reusing flightrec's least-squares
+//	             forecaster;
+//	decision   — a pluggable policy (threshold, hysteresis, prefreeze)
+//	             turns the analysis into a fleet utilization ceiling, a
+//	             throttle-trigger offset, and a reason;
+//	actuator   — spread the fleet ceiling into per-rack ceilings skewed
+//	             toward racks with wax headroom (load migrates from
+//	             depleted buffers to full ones), hand the trigger offset
+//	             back to the fleet.
+//
+// The Controller implements fleet.Scaler, so the whole loop executes in
+// the sequential section of the fleet epoch loop — after fault
+// application and the view refresh, before the balancer, with the shard
+// workers parked at the barrier. Every stage is deterministic (fixed
+// iteration order, no time/rand, fixed-vocabulary reasons), so
+// closed-loop runs stay bit-identical across worker counts.
+//
+// Per-epoch decisions are retained in a bounded ring (Records) and, when
+// a flight recorder is attached, exported as autoscale.* channels that
+// commit with the fleet's own capture at EndEpoch.
+package autoscale
+
+import (
+	"math"
+
+	"repro/internal/fleet"
+	"repro/internal/flightrec"
+)
+
+// Config assembles a Controller.
+type Config struct {
+	// Policy is the decision policy; nil selects NewHysteresis().
+	Policy DecisionPolicy
+	// WindowS is the history window behind the slope forecasts; default
+	// 1800 s (flightrec's wax-exhaustion window).
+	WindowS float64
+	// HorizonS bounds how far ahead forecasts are trusted; default
+	// 3600 s.
+	HorizonS float64
+	// RecordLimit bounds the retained decision records; default 4096,
+	// oldest dropped first.
+	RecordLimit int
+}
+
+// Defaults mirroring the flight recorder's forecast-rule tuning.
+const (
+	defaultWindowS     = 1800.0
+	defaultHorizonS    = 3600.0
+	defaultRecordLimit = 4096
+)
+
+// Record is one epoch's decision, as retained and exported.
+type Record struct {
+	TS          float64 `json:"t_s"`
+	Action      string  `json:"action"`
+	Ceil        float64 `json:"ceil"`
+	TrigOffsetC float64 `json:"trig_offset_c,omitempty"`
+	Demand      float64 `json:"demand"`
+	Pressure    float64 `json:"pressure"`
+	Headroom    float64 `json:"headroom"`
+	SpareFrac   float64 `json:"spare_frac"`
+	Reason      string  `json:"reason"`
+}
+
+// Controller is the closed-loop autoscaler. It implements fleet.Scaler;
+// wire one into fleet.Config.Scaler. A Controller must not be shared
+// between concurrently-running fleets (Reset re-arms it per run), but
+// Records and counters may be read after the run completes.
+type Controller struct {
+	policy      DecisionPolicy
+	windowS     float64
+	horizonS    float64
+	recordLimit int
+
+	info fleet.ScaleInfo
+	hist histories
+	an   Analysis // scratch, rewritten every epoch
+
+	recs     []Record
+	recNext  int // ring cursor once len(recs) == recordLimit
+	recTotal int
+	counts   [numActions]int
+
+	rec   *flightrec.Recorder
+	chans recChans
+}
+
+// recChans are the flight-recorder channel handles, resolved lazily on
+// the first Control of a run: the fleet's bindRecorder calls
+// Recorder.Start — which pools and clears all channels — after Reset but
+// before the first epoch, so resolving any earlier would hold stale
+// handles.
+type recChans struct {
+	ready                   bool
+	ceil, pressure          *flightrec.Channel
+	headroom, spare         *flightrec.Channel
+	action, trigOff         *flightrec.Channel
+	throttleTTA, exhaustTTA *flightrec.Channel
+}
+
+// New builds a Controller from cfg, filling defaults.
+func New(cfg Config) *Controller {
+	c := &Controller{
+		policy:      cfg.Policy,
+		windowS:     cfg.WindowS,
+		horizonS:    cfg.HorizonS,
+		recordLimit: cfg.RecordLimit,
+	}
+	if c.policy == nil {
+		c.policy = NewHysteresis()
+	}
+	if c.windowS <= 0 {
+		c.windowS = defaultWindowS
+	}
+	if c.horizonS <= 0 {
+		c.horizonS = defaultHorizonS
+	}
+	if c.recordLimit <= 0 {
+		c.recordLimit = defaultRecordLimit
+	}
+	return c
+}
+
+// AttachRecorder exports the loop's per-epoch decisions as autoscale.*
+// flight-recorder channels. Pass the same recorder the fleet records
+// into: the staged values commit with the fleet's EndEpoch.
+func (c *Controller) AttachRecorder(rec *flightrec.Recorder) { c.rec = rec }
+
+// Name implements fleet.Scaler.
+func (c *Controller) Name() string { return "autoscale/" + c.policy.Name() }
+
+// Policy returns the decision policy's name alone.
+func (c *Controller) Policy() string { return c.policy.Name() }
+
+// Reset implements fleet.Scaler: fresh histories, policy state, records
+// and channel bindings for a new run.
+func (c *Controller) Reset(info fleet.ScaleInfo) {
+	c.info = info
+	c.hist.reset(c.windowS, info.StepS)
+	c.policy.Reset()
+	c.recs = c.recs[:0]
+	c.recNext = 0
+	c.recTotal = 0
+	c.counts = [numActions]int{}
+	c.chans = recChans{}
+}
+
+// Control implements fleet.Scaler: one full
+// collect -> analyze -> decide -> actuate pass.
+func (c *Controller) Control(tS, dtS, demand float64, racks []fleet.RackView, ceil []float64) float64 {
+	snap := c.collect(tS, dtS, demand, racks)
+	c.analyze(snap, &c.an)
+	dec := c.policy.Decide(&c.an)
+
+	// Sanitize: the fleet defends itself too, but the controller's
+	// records should reflect what was actually actuated.
+	if math.IsNaN(dec.Ceil) || dec.Ceil > 1 {
+		dec.Ceil = 1
+	} else if dec.Ceil < 0 {
+		dec.Ceil = 0
+	}
+	if !(dec.TrigOffsetC < 0) {
+		dec.TrigOffsetC = 0
+	}
+
+	c.actuate(&dec, &c.an, racks, ceil)
+	c.record(tS, &c.an, &dec)
+	return dec.TrigOffsetC
+}
+
+// record retains the epoch's decision and stages the recorder channels.
+func (c *Controller) record(tS float64, an *Analysis, dec *Decision) {
+	c.counts[dec.Action]++
+	c.recTotal++
+	r := Record{
+		TS:          tS,
+		Action:      dec.Action.String(),
+		Ceil:        dec.Ceil,
+		TrigOffsetC: dec.TrigOffsetC,
+		Demand:      an.Demand,
+		Pressure:    an.Pressure,
+		Headroom:    an.Headroom,
+		SpareFrac:   an.SpareFrac,
+		Reason:      dec.Reason,
+	}
+	if len(c.recs) < c.recordLimit {
+		c.recs = append(c.recs, r)
+	} else {
+		c.recs[c.recNext] = r
+		c.recNext = (c.recNext + 1) % c.recordLimit
+	}
+
+	if c.rec == nil {
+		return
+	}
+	if !c.chans.ready {
+		c.chans = recChans{
+			ready:       true,
+			ceil:        c.rec.Channel("autoscale.ceil"),
+			pressure:    c.rec.Channel("autoscale.pressure"),
+			headroom:    c.rec.Channel("autoscale.headroom"),
+			spare:       c.rec.Channel("autoscale.spare"),
+			action:      c.rec.Channel("autoscale.action"),
+			trigOff:     c.rec.Channel("autoscale.trig_offset_c"),
+			throttleTTA: c.rec.Channel("autoscale.throttle_tta_s"),
+			exhaustTTA:  c.rec.Channel("autoscale.exhaust_tta_s"),
+		}
+	}
+	c.chans.ceil.Set(dec.Ceil)
+	c.chans.pressure.Set(an.Pressure)
+	c.chans.headroom.Set(an.Headroom)
+	c.chans.spare.Set(an.SpareFrac)
+	c.chans.action.Set(float64(dec.Action))
+	c.chans.trigOff.Set(dec.TrigOffsetC)
+	c.chans.throttleTTA.Set(an.ThrottleTTAS)
+	c.chans.exhaustTTA.Set(an.ExhaustTTAS)
+}
+
+// Records returns the retained decision records, oldest first.
+func (c *Controller) Records() []Record {
+	if len(c.recs) < c.recordLimit {
+		return append([]Record(nil), c.recs...)
+	}
+	out := make([]Record, 0, len(c.recs))
+	out = append(out, c.recs[c.recNext:]...)
+	out = append(out, c.recs[:c.recNext]...)
+	return out
+}
+
+// Decisions counts the epochs in which the controller acted (anything
+// but Hold).
+func (c *Controller) Decisions() int {
+	return c.recTotal - c.counts[ActionHold]
+}
+
+// ActionCounts returns per-action epoch counts keyed by Action value.
+func (c *Controller) ActionCounts() map[string]int {
+	out := make(map[string]int, numActions)
+	for a := Action(0); a < numActions; a++ {
+		if c.counts[a] > 0 {
+			out[a.String()] = c.counts[a]
+		}
+	}
+	return out
+}

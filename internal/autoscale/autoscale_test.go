@@ -1,0 +1,363 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func testInfo() fleet.ScaleInfo {
+	return fleet.ScaleInfo{
+		Racks: 4, Servers: 160, StepS: 60,
+		ThrottleInletC: 40, MaxInletC: 25,
+		ThrottleFactor: 0.5, RecoveryTauS: 900,
+	}
+}
+
+func testViews() []fleet.RackView {
+	return []fleet.RackView{
+		{Servers: 40, HasWax: true, WaxRemaining: 0.8, Utilization: 0.5, MaxUtil: 1},
+		{Servers: 40, HasWax: true, WaxRemaining: 0.2, Utilization: 0.5, MaxUtil: 1},
+		{Servers: 40, Utilization: 0.6, MaxUtil: 1},
+		{Servers: 40, HasWax: true, SensorDead: true, Utilization: 0.4, MaxUtil: 1},
+	}
+}
+
+func TestCollectAggregates(t *testing.T) {
+	c := New(Config{})
+	c.Reset(testInfo())
+	views := testViews()
+	views[1].InletRiseC = 7.5
+	views[2].CapacityLost = 0.5
+	views[2].Throttled = true
+	snap := c.collect(600, 60, 0.7, views)
+
+	if snap.TS != 600 || snap.DtS != 60 || snap.Demand != 0.7 {
+		t.Errorf("snapshot time/demand = %+v", snap)
+	}
+	// Sensor-live wax racks: 0 and 1 (rack 3's wax is invisible). Mean
+	// headroom = (0.8+0.2)/2, wax fraction = 80/160.
+	if math.Abs(snap.Headroom-0.5) > 1e-12 || snap.WaxFrac != 0.5 {
+		t.Errorf("headroom %v waxfrac %v, want 0.5/0.5", snap.Headroom, snap.WaxFrac)
+	}
+	if snap.InletRiseC != 7.5 {
+		t.Errorf("inlet rise %v, want 7.5", snap.InletRiseC)
+	}
+	if snap.ThrottledRacks != 1 || snap.DeadSensors != 1 {
+		t.Errorf("throttled %d dead %d, want 1/1", snap.ThrottledRacks, snap.DeadSensors)
+	}
+	if want := (40*0.5 + 40*0.5 + 40*0.6 + 40*0.4) / 160.0; math.Abs(snap.UtilMean-want) > 1e-12 {
+		t.Errorf("util mean %v, want %v", snap.UtilMean, want)
+	}
+	if want := (160 - 20.0) / 160; math.Abs(snap.LiveFrac-want) > 1e-12 {
+		t.Errorf("live frac %v, want %v", snap.LiveFrac, want)
+	}
+}
+
+func TestAnalyzePressureAndForecasts(t *testing.T) {
+	c := New(Config{})
+	c.Reset(testInfo())
+	views := testViews()
+	// Feed a climbing excursion and draining headroom: margin is 15 K, so
+	// rise 3,4.5,6 K = pressure 0.2,0.3,0.4 climbing 1.5K/min; headroom
+	// drains 0.05/epoch.
+	var an *Analysis
+	for i := 0; i < 3; i++ {
+		views[0].WaxRemaining = 0.8 - 0.05*float64(i)
+		views[1].WaxRemaining = 0.2 - 0.05*float64(i)
+		rise := 3 + 1.5*float64(i)
+		views[0].InletRiseC = rise
+		views[1].InletRiseC = rise
+		c.collect(float64(i)*60, 60, 0.7, views)
+		c.analyze(&c.an.Snapshot, &c.an)
+		an = &c.an
+	}
+	if math.Abs(an.Pressure-0.4) > 1e-12 {
+		t.Errorf("pressure = %v, want 0.4", an.Pressure)
+	}
+	if an.SpareFrac != an.Headroom*an.WaxFrac {
+		t.Errorf("spare %v != headroom*waxfrac %v", an.SpareFrac, an.Headroom*an.WaxFrac)
+	}
+	// 1.5 K per 60 s toward the remaining 9 K: 360 s out.
+	if math.IsNaN(an.ThrottleTTAS) || math.Abs(an.ThrottleTTAS-360) > 1 {
+		t.Errorf("throttle TTA = %v, want ~360", an.ThrottleTTAS)
+	}
+	// Headroom 0.4 draining 0.05/60s: 480 s to empty.
+	if math.IsNaN(an.ExhaustTTAS) || math.Abs(an.ExhaustTTAS-480) > 1 {
+		t.Errorf("exhaust TTA = %v, want ~480", an.ExhaustTTAS)
+	}
+	if an.DemandSlope != 0 {
+		t.Errorf("flat demand has slope %v", an.DemandSlope)
+	}
+}
+
+func TestAnalyzeQuietFleet(t *testing.T) {
+	c := New(Config{})
+	c.Reset(testInfo())
+	views := testViews()
+	for i := 0; i < 5; i++ {
+		c.collect(float64(i)*60, 60, 0.5, views)
+		c.analyze(&c.an.Snapshot, &c.an)
+	}
+	an := &c.an
+	if an.Pressure != 0 {
+		t.Errorf("quiet fleet has pressure %v", an.Pressure)
+	}
+	if !math.IsNaN(an.ThrottleTTAS) || !math.IsNaN(an.ExhaustTTAS) {
+		t.Errorf("quiet fleet forecasts: throttle %v exhaust %v", an.ThrottleTTAS, an.ExhaustTTAS)
+	}
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	p := NewThreshold()
+	p.Reset()
+	an := &Analysis{Snapshot: Snapshot{DtS: 60, WaxFrac: 0.5, Headroom: 0.8}}
+
+	if d := p.Decide(an); d.Action != ActionHold || d.Ceil != 1 {
+		t.Errorf("quiet: %+v", d)
+	}
+	an.Pressure = 0.7
+	d := p.Decide(an)
+	if d.Action != ActionShed || d.Ceil != p.Ceil || d.TrigOffsetC != -p.TrigBackoffC {
+		t.Errorf("high pressure: %+v", d)
+	}
+	// Depleted headroom during a mild excursion also fires.
+	an.Pressure = 0.1
+	an.Headroom = 0.1
+	if d := p.Decide(an); d.Action != ActionShed {
+		t.Errorf("depleted headroom: %+v", d)
+	}
+	// Flapping is the point of this baseline: one epoch below the line
+	// and it restores fully.
+	an.Pressure = 0.59
+	an.Headroom = 0.8
+	if d := p.Decide(an); d.Ceil != 1 {
+		t.Errorf("below threshold: %+v", d)
+	}
+}
+
+func TestHysteresisWalksAndHolds(t *testing.T) {
+	p := NewHysteresis()
+	p.MinCeil = 0.05 // deep floor so the walk-down steps are visible
+	p.Reset()
+	nan := math.NaN()
+	an := &Analysis{Snapshot: Snapshot{DtS: 60}}
+	an.ThrottleTTAS, an.ExhaustTTAS = nan, nan
+	an.InletSlopeCPerS = 0.002 // still climbing: the slope release stays out
+
+	// Above target (but under 1): walks down by StepDownPerMin each 60 s
+	// epoch.
+	an.Pressure = p.TargetPressure + 0.01
+	d1 := p.Decide(an)
+	d2 := p.Decide(an)
+	if d1.Action != ActionShed || d2.Ceil >= d1.Ceil {
+		t.Errorf("no walk-down: %+v then %+v", d1, d2)
+	}
+	if math.Abs((d1.Ceil-d2.Ceil)-p.StepDownPerMin) > 1e-12 {
+		t.Errorf("step = %v, want %v", d1.Ceil-d2.Ceil, p.StepDownPerMin)
+	}
+	// Riding over the trigger doubles the step.
+	an.Pressure = 1.2
+	d3 := p.Decide(an)
+	if math.Abs((d2.Ceil-d3.Ceil)-2*p.StepDownPerMin) > 1e-12 {
+		t.Errorf("over-trigger step = %v, want %v", d2.Ceil-d3.Ceil, 2*p.StepDownPerMin)
+	}
+	// Inside the band while still climbing: holds exactly.
+	an.Pressure = p.TargetPressure - p.Band/2
+	dh := p.Decide(an)
+	if dh.Action != ActionHold || dh.Ceil != d3.Ceil {
+		t.Errorf("band did not hold: %+v", dh)
+	}
+	// Trend turned over: restores even though the pressure is still in
+	// the band — the room's recovery is load-independent.
+	an.InletSlopeCPerS = -0.001
+	dr := p.Decide(an)
+	if dr.Action != ActionRestore || dr.Ceil <= dh.Ceil {
+		t.Errorf("no release on falling trend: %+v", dr)
+	}
+	// Below the band: keeps restoring gently, never above 1.
+	an.Pressure = 0
+	prev := dr.Ceil
+	for i := 0; i < 200; i++ {
+		d := p.Decide(an)
+		if d.Ceil < prev {
+			t.Fatalf("restore went down at step %d: %+v", i, d)
+		}
+		prev = d.Ceil
+	}
+	if prev != 1 {
+		t.Errorf("restore stalled at %v", prev)
+	}
+	// Floor: the walk-down never goes below MinCeil.
+	an.Pressure = 2
+	an.InletSlopeCPerS = 0.002
+	for i := 0; i < 100; i++ {
+		p.Decide(an)
+	}
+	if d := p.Decide(an); d.Ceil != p.MinCeil {
+		t.Errorf("floor = %v, want %v", d.Ceil, p.MinCeil)
+	}
+}
+
+func TestHysteresisActsOnForecasts(t *testing.T) {
+	p := NewHysteresis()
+	p.Reset()
+	an := &Analysis{Snapshot: Snapshot{DtS: 60}}
+	an.ExhaustTTAS = math.NaN()
+	an.InletSlopeCPerS = 0.002
+	// Pressure still low, but the trigger crossing is forecast inside
+	// the urgent window: shed starts early.
+	an.Pressure = 0.2
+	an.ThrottleTTAS = 600
+	if d := p.Decide(an); d.Action != ActionShed || d.Reason != "throttle crossing forecast" {
+		t.Errorf("urgent forecast ignored: %+v", d)
+	}
+	// Wax exhaustion forecast while near the trigger sheds at half rate.
+	p.Reset()
+	an.ThrottleTTAS = math.NaN()
+	an.ExhaustTTAS = 1800
+	an.Pressure = p.TargetPressure - p.Band/2
+	if d := p.Decide(an); d.Action != ActionShed || d.Reason != "wax exhaustion forecast under excursion" {
+		t.Errorf("exhaustion forecast ignored: %+v", d)
+	}
+	// The same forecast during a mild excursion is not acted on: losing
+	// the buffer far from the trigger costs nothing.
+	p.Reset()
+	an.Pressure = 0.2
+	if d := p.Decide(an); d.Action != ActionHold {
+		t.Errorf("acted on exhaustion forecast during mild excursion: %+v", d)
+	}
+}
+
+func TestPreFreezeTrimsAheadOfPeak(t *testing.T) {
+	p := NewPreFreeze()
+	p.Reset()
+	an := &Analysis{Snapshot: Snapshot{DtS: 60, WaxFrac: 0.5, Headroom: 0.4, Demand: 0.6}}
+	an.ThrottleTTAS, an.ExhaustTTAS = math.NaN(), math.NaN()
+	// Demand climbing 0.0001/s projects 0.6 + 0.54 over the 5400 s lead:
+	// a peak, with headroom depleted -> trim.
+	an.DemandSlope = 0.0001
+	d := p.Decide(an)
+	if d.Action != ActionPreFreeze {
+		t.Fatalf("no pre-freeze trim: %+v", d)
+	}
+	if want := an.Demand * (1 - p.TrimFrac); math.Abs(d.Ceil-want) > 1e-12 {
+		t.Errorf("trim ceil %v, want %v", d.Ceil, want)
+	}
+	// Full buffer: nothing to refreeze, no trim.
+	an.Headroom = 0.9
+	if d := p.Decide(an); d.Action == ActionPreFreeze {
+		t.Errorf("trimmed with a full buffer: %+v", d)
+	}
+	// Falling demand: no projected peak.
+	an.Headroom = 0.4
+	an.DemandSlope = -0.0001
+	if d := p.Decide(an); d.Action == ActionPreFreeze {
+		t.Errorf("trimmed against a falling trend: %+v", d)
+	}
+	// A serious excursion defers to the protective hysteresis behavior.
+	an.DemandSlope = 0.0001
+	an.Pressure = 1.0
+	an.InletSlopeCPerS = 0.002
+	if d := p.Decide(an); d.Action != ActionShed {
+		t.Errorf("excursion did not preempt the trim: %+v", d)
+	}
+	// Once demand itself reaches the peak the trim stands down (capping
+	// through the peak would poison the run for nothing).
+	an.Pressure = 0
+	an.InletSlopeCPerS = 0
+	an.Demand = p.PeakDemand + 0.05
+	an.Headroom = 0.4
+	if d := p.Decide(an); d.Action == ActionPreFreeze {
+		t.Errorf("trimmed at the peak itself: %+v", d)
+	}
+}
+
+func TestActuatorSkewsTowardHeadroom(t *testing.T) {
+	c := New(Config{})
+	c.Reset(testInfo())
+	views := testViews()
+	an := &c.an
+	an.Snapshot = Snapshot{WaxFrac: 0.5, Headroom: 0.5}
+	ceil := []float64{1, 1, 1, 1}
+	dec := &Decision{Ceil: 0.6}
+	c.actuate(dec, an, views, ceil)
+	// Rack 0 (headroom 0.8, +0.3 over mean) is raised, rack 1 (0.2,
+	// -0.3) lowered, symmetric about the fleet ceiling; racks 2 (no wax)
+	// and 3 (dead sensor) take it flat.
+	if !(ceil[0] > 0.6 && ceil[1] < 0.6) {
+		t.Errorf("no migration skew: %v", ceil)
+	}
+	if math.Abs((ceil[0]-0.6)-(0.6-ceil[1])) > 1e-12 {
+		t.Errorf("skew not symmetric: %v", ceil)
+	}
+	if ceil[2] != 0.6 || ceil[3] != 0.6 {
+		t.Errorf("non-wax/dead racks not flat: %v", ceil)
+	}
+	// No cap: the slice is untouched.
+	ceil = []float64{1, 1, 1, 1}
+	c.actuate(&Decision{Ceil: 1}, an, views, ceil)
+	for i, v := range ceil {
+		if v != 1 {
+			t.Errorf("idle actuator wrote ceil[%d]=%v", i, v)
+		}
+	}
+	// Extreme skew clamps into [0, 1].
+	views[0].WaxRemaining = 5
+	views[1].WaxRemaining = -5
+	an.Headroom = 0
+	c.actuate(&Decision{Ceil: 0.9}, an, views, ceil)
+	if ceil[0] > 1 || ceil[1] < 0 {
+		t.Errorf("skew escaped [0,1]: %v", ceil)
+	}
+}
+
+func TestControllerRecordsAndCounts(t *testing.T) {
+	c := New(Config{RecordLimit: 4})
+	c.Reset(testInfo())
+	views := testViews()
+	ceil := make([]float64, 4)
+	for i := 0; i < 10; i++ {
+		for r := range ceil {
+			ceil[r] = 1
+		}
+		c.Control(float64(i)*60, 60, 0.5, views, ceil)
+	}
+	recs := c.Records()
+	if len(recs) != 4 {
+		t.Fatalf("record ring kept %d, want 4", len(recs))
+	}
+	// Oldest-first: epochs 6..9 survive.
+	for i, r := range recs {
+		if want := float64(6+i) * 60; r.TS != want {
+			t.Errorf("record %d at %v, want %v", i, r.TS, want)
+		}
+	}
+	counts := c.ActionCounts()
+	if counts["hold"] != 10 || c.Decisions() != 0 {
+		t.Errorf("quiet run counted %v, decisions %d", counts, c.Decisions())
+	}
+	if c.Name() != "autoscale/hysteresis" || c.Policy() != "hysteresis" {
+		t.Errorf("names: %q / %q", c.Name(), c.Policy())
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]string{
+		"threshold": "threshold", "static": "threshold",
+		"hysteresis": "hysteresis", "": "hysteresis", "default": "hysteresis",
+		"prefreeze": "prefreeze", "pre-freeze": "prefreeze", "PreFreeze": "prefreeze",
+	} {
+		p, err := ParsePolicy(in)
+		if err != nil || p.Name() != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %s", in, p, err, want)
+		}
+	}
+	if _, err := ParsePolicy("pid"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if len(Policies()) != 3 {
+		t.Errorf("Policies() = %v", Policies())
+	}
+}

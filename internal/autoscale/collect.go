@@ -1,0 +1,147 @@
+package autoscale
+
+import "repro/internal/fleet"
+
+// Snapshot is the collector's per-epoch output: the fleet aggregated
+// into the handful of signals the analyzer consumes. All aggregates are
+// sensor-faithful — a rack whose sensor dropped contributes nothing (its
+// wax state is unknown, not zero), exactly as the balancer is blinded.
+type Snapshot struct {
+	TS, DtS float64
+	// Demand is the surged fleet demand as a fraction of capacity.
+	Demand float64
+	// Headroom is the server-weighted mean remaining latent fraction
+	// over sensor-live wax racks (0 when the fleet carries none).
+	Headroom float64
+	// WaxFrac is the fraction of fleet servers on sensor-live wax racks:
+	// the share of the fleet the headroom signal speaks for.
+	WaxFrac float64
+	// InletRiseC is the worst reported rack inlet excursion.
+	InletRiseC float64
+	// UtilMean is the server-weighted utilization assigned in the
+	// previous epoch (the views refresh after the merge).
+	UtilMean float64
+	// LiveFrac is the fraction of servers not lost to capacity faults.
+	LiveFrac float64
+	// ThrottledRacks and DeadSensors count the degraded views.
+	ThrottledRacks int
+	DeadSensors    int
+}
+
+// histories are the collector's rolling windows behind the analyzer's
+// slope forecasts, sized to the config window at Reset.
+type histories struct {
+	demand   ring
+	headroom ring
+	inlet    ring
+	scratch  []float64 // forecast read buffer, capacity = window
+}
+
+// maxWindowEpochs bounds the ring memory when the epoch step is tiny
+// relative to the window.
+const maxWindowEpochs = 1024
+
+func (h *histories) reset(windowS, stepS float64) {
+	n := 2
+	if stepS > 0 {
+		if k := int(windowS/stepS) + 1; k > n {
+			n = k
+		}
+	}
+	if n > maxWindowEpochs {
+		n = maxWindowEpochs
+	}
+	h.demand.reset(n)
+	h.headroom.reset(n)
+	h.inlet.reset(n)
+	if cap(h.scratch) < n {
+		h.scratch = make([]float64, 0, n)
+	}
+	h.scratch = h.scratch[:0]
+}
+
+// ring is a fixed-capacity overwrite-oldest float ring.
+type ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func (r *ring) reset(n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]float64, 0, n)
+	}
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.full = false
+}
+
+func (r *ring) push(v float64) {
+	if !r.full {
+		r.buf = append(r.buf, v)
+		if len(r.buf) == cap(r.buf) {
+			r.full = true
+			r.next = 0
+		}
+		return
+	}
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// values copies the ring oldest-first into dst[:0] and returns it.
+func (r *ring) values(dst []float64) []float64 {
+	dst = dst[:0]
+	if !r.full {
+		return append(dst, r.buf...)
+	}
+	dst = append(dst, r.buf[r.next:]...)
+	return append(dst, r.buf[:r.next]...)
+}
+
+// collect aggregates the rack views into a Snapshot and advances the
+// history rings. Zero-allocation: everything lands in preallocated
+// state.
+func (c *Controller) collect(tS, dtS, demand float64, racks []fleet.RackView) *Snapshot {
+	snap := &c.an.Snapshot
+	*snap = Snapshot{TS: tS, DtS: dtS, Demand: demand}
+
+	var totalSrv, liveSrv, waxSrv, waxSum, utilSum float64
+	for r := range racks {
+		v := &racks[r]
+		srv := float64(v.Servers)
+		totalSrv += srv
+		liveSrv += srv * (1 - v.CapacityLost)
+		utilSum += srv * v.Utilization
+		if v.Throttled {
+			snap.ThrottledRacks++
+		}
+		if v.SensorDead {
+			snap.DeadSensors++
+			continue
+		}
+		if v.InletRiseC > snap.InletRiseC {
+			snap.InletRiseC = v.InletRiseC
+		}
+		if v.HasWax {
+			waxSrv += srv
+			waxSum += srv * v.WaxRemaining
+		}
+	}
+	if totalSrv > 0 {
+		snap.UtilMean = utilSum / totalSrv
+		snap.LiveFrac = liveSrv / totalSrv
+		snap.WaxFrac = waxSrv / totalSrv
+	}
+	if waxSrv > 0 {
+		snap.Headroom = waxSum / waxSrv
+	}
+
+	c.hist.demand.push(demand)
+	c.hist.headroom.push(snap.Headroom)
+	c.hist.inlet.push(snap.InletRiseC)
+	return snap
+}

@@ -1,0 +1,233 @@
+package autoscale
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/flightrec"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+var (
+	romOnce sync.Once
+	romVal  *server.ROM
+	romErr  error
+)
+
+func testROM(t testing.TB) *server.ROM {
+	t.Helper()
+	romOnce.Do(func() {
+		romVal, romErr = server.DeriveROM(server.OneU(), 0)
+	})
+	if romErr != nil {
+		t.Fatalf("derive ROM: %v", romErr)
+	}
+	return romVal
+}
+
+func integTrace(t testing.TB) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.Options{
+		Days: 1, StepS: 600, Seed: 7, MeanUtil: 0.5, PeakUtil: 0.95, NoiseAmp: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// closedLoopRun executes one faulted fleet run driven by a fresh
+// Controller with the given policy, a flight recorder attached to both.
+func closedLoopRun(t testing.TB, workers int, policy string) (*fleet.Run, *Controller, *flightrec.Recorder) {
+	t.Helper()
+	rom := testROM(t)
+	tr := integTrace(t)
+	sched, err := faults.Named("chiller-trip-peak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := ParsePolicy(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(Config{Policy: pol})
+	rec := flightrec.New(flightrec.Config{})
+	ctrl.AttachRecorder(rec)
+	f, err := fleet.New(fleet.Config{
+		Classes: []fleet.ClassSpec{
+			{Cfg: server.OneU(), Racks: 5, WithWax: true, ROM: rom},
+			{Cfg: server.OneU(), Racks: 3},
+		},
+		Policy:   fleet.ThermalAware{},
+		Workers:  workers,
+		Faults:   sched,
+		Scaler:   ctrl,
+		Recorder: rec,
+		Degrade:  fleet.DegradeConfig{RoomCapacityJPerKPerKW: 105e3, RecoveryTauS: 3600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := f.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run, ctrl, rec
+}
+
+// TestClosedLoopBitIdenticalAcrossWorkers is the acceptance invariant:
+// the whole collect -> analyze -> decide -> actuate loop runs in the
+// sequential section of the epoch loop, so an autoscaled, recorded,
+// faulted run — controller decisions included — is bit-identical
+// between workers=1 and workers=8.
+func TestClosedLoopBitIdenticalAcrossWorkers(t *testing.T) {
+	run1, ctrl1, _ := closedLoopRun(t, 1, "prefreeze")
+	run8, ctrl8, _ := closedLoopRun(t, 8, "prefreeze")
+
+	if !reflect.DeepEqual(run1.PowerW.Values, run8.PowerW.Values) {
+		t.Error("PowerW differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(run1.WaxLiquid.Values, run8.WaxLiquid.Values) {
+		t.Error("WaxLiquid differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(run1.CeilMean.Values, run8.CeilMean.Values) {
+		t.Error("CeilMean differs between workers=1 and workers=8")
+	}
+	if run1.ThrottledServerSeconds != run8.ThrottledServerSeconds ||
+		run1.ShedServerSeconds != run8.ShedServerSeconds {
+		t.Error("degradation totals differ between worker counts")
+	}
+	if !reflect.DeepEqual(ctrl1.Records(), ctrl8.Records()) {
+		t.Error("decision records differ between worker counts")
+	}
+	if !reflect.DeepEqual(ctrl1.ActionCounts(), ctrl8.ActionCounts()) {
+		t.Errorf("action counts differ: %v vs %v", ctrl1.ActionCounts(), ctrl8.ActionCounts())
+	}
+}
+
+// TestClosedLoopActsAndExports runs the controller through the canonical
+// chiller-trip-peak day and checks it actually closed the loop: the
+// chiller outage must provoke decisions, the run must report the scaler,
+// and every autoscale.* channel must land in the shared recorder with
+// one sample per epoch.
+func TestClosedLoopActsAndExports(t *testing.T) {
+	run, ctrl, rec := closedLoopRun(t, 0, "")
+
+	if run.Scaler != "autoscale/hysteresis" {
+		t.Errorf("run.Scaler = %q", run.Scaler)
+	}
+	if ctrl.Decisions() == 0 {
+		t.Fatal("controller never acted across a chiller trip at peak")
+	}
+	if run.AutoscaleEpochs == 0 {
+		t.Error("no epochs report an active ceiling")
+	}
+	recs := ctrl.Records()
+	if len(recs) != run.PowerW.Len() {
+		t.Fatalf("%d records for %d epochs", len(recs), run.PowerW.Len())
+	}
+	var sawShed, sawRestore bool
+	for _, r := range recs {
+		if r.Ceil < 0 || r.Ceil > 1 || r.TrigOffsetC > 0 {
+			t.Fatalf("unsanitized record: %+v", r)
+		}
+		if r.Reason == "" || r.Action == "" {
+			t.Fatalf("record missing vocabulary: %+v", r)
+		}
+		switch r.Action {
+		case "shed", "prefreeze":
+			sawShed = true
+		case "restore":
+			sawRestore = true
+		}
+	}
+	if !sawShed || !sawRestore {
+		t.Errorf("decision mix never shed (%v) or never restored (%v)", sawShed, sawRestore)
+	}
+
+	for _, name := range []string{
+		"autoscale.ceil", "autoscale.pressure", "autoscale.headroom",
+		"autoscale.spare", "autoscale.action", "autoscale.trig_offset_c",
+		"autoscale.throttle_tta_s", "autoscale.exhaust_tta_s",
+	} {
+		s, err := rec.Series(name, flightrec.Raw)
+		if err != nil {
+			t.Fatalf("channel %s: %v", name, err)
+		}
+		if s.Len() != run.PowerW.Len() {
+			t.Errorf("channel %s has %d samples, want %d", name, s.Len(), run.PowerW.Len())
+		}
+	}
+	// The exported ceiling matches the retained records epoch for epoch.
+	s, err := rec.Series("autoscale.ceil", flightrec.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if s.Values[i] != r.Ceil {
+			t.Fatalf("epoch %d: exported ceil %v, recorded %v", i, s.Values[i], r.Ceil)
+		}
+	}
+}
+
+// TestClosedLoopRelievesThermalPressure pins the loop's physical effect
+// on the headline configuration (all-wax fleet, a room with real thermal
+// inertia, a slow plant recovery): under the same chiller trip, the
+// closed-loop run spends strictly fewer server-seconds throttled than
+// the open loop, its peak room excursion is lower, and — the headline —
+// its combined throttled+shed degradation is strictly below the open
+// loop's.
+func TestClosedLoopRelievesThermalPressure(t *testing.T) {
+	rom := testROM(t)
+	tr := integTrace(t)
+	mk := func(scaler fleet.Scaler) *fleet.Run {
+		sched, err := faults.Named("chiller-trip-peak")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fleet.New(fleet.Config{
+			Classes: []fleet.ClassSpec{{Cfg: server.OneU(), Racks: 8, WithWax: true, ROM: rom}},
+			Policy:  fleet.ThermalAware{},
+			Faults:  sched,
+			Scaler:  scaler,
+			Degrade: fleet.DegradeConfig{RoomCapacityJPerKPerKW: 105e3, RecoveryTauS: 3600},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := f.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	open := mk(nil)
+	closed := mk(New(Config{}))
+
+	if open.ThrottledServerSeconds == 0 {
+		t.Fatal("open loop never throttled: scenario lost its teeth")
+	}
+	if closed.ThrottledServerSeconds >= open.ThrottledServerSeconds {
+		t.Errorf("closed loop throttled %v server-seconds, open loop %v",
+			closed.ThrottledServerSeconds, open.ThrottledServerSeconds)
+	}
+	openPeak, _ := open.InletRiseC.Peak()
+	closedPeak, _ := closed.InletRiseC.Peak()
+	if closedPeak >= openPeak {
+		t.Errorf("closed-loop peak excursion %v not below open loop %v", closedPeak, openPeak)
+	}
+	openSum := open.ThrottledServerSeconds + open.ShedServerSeconds
+	closedSum := closed.ThrottledServerSeconds + closed.ShedServerSeconds
+	if closedSum >= openSum {
+		t.Errorf("closed loop degradation %v server-seconds, open loop %v — the loop did not pay for itself",
+			closedSum, openSum)
+	}
+	if math.IsNaN(closed.ShedServerSeconds) || closed.ShedServerSeconds < 0 {
+		t.Errorf("shed accounting broken: %v", closed.ShedServerSeconds)
+	}
+}

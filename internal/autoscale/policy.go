@@ -1,0 +1,270 @@
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Action classifies one epoch's decision.
+type Action uint8
+
+const (
+	// ActionHold leaves the fleet uncapped.
+	ActionHold Action = iota
+	// ActionShed caps the fleet below demand to relieve thermal
+	// pressure.
+	ActionShed
+	// ActionRestore walks a previously-lowered ceiling back up.
+	ActionRestore
+	// ActionPreFreeze trims load ahead of a forecast peak so the wax
+	// refreezes before it is needed.
+	ActionPreFreeze
+
+	numActions = 4
+)
+
+var actionNames = [numActions]string{"hold", "shed", "restore", "prefreeze"}
+
+func (a Action) String() string {
+	if int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Decision is a policy's output for one epoch.
+type Decision struct {
+	// Ceil is the fleet-wide utilization ceiling in [0, 1]; 1 = no cap.
+	// The actuator spreads it into per-rack ceilings.
+	Ceil float64
+	// TrigOffsetC shifts the throttle trigger (clamped to <= 0 by the
+	// fleet: pre-emptive only).
+	TrigOffsetC float64
+	Action      Action
+	// Reason is a fixed-vocabulary explanation retained in the decision
+	// record.
+	Reason string
+}
+
+// DecisionPolicy turns an Analysis into a Decision. Implementations
+// must be deterministic; Reset re-arms internal state per run.
+type DecisionPolicy interface {
+	Name() string
+	Reset()
+	Decide(an *Analysis) Decision
+}
+
+// Fixed decision-reason vocabulary (no per-epoch formatting).
+const (
+	reasonEnvelope     = "within envelope"
+	reasonPressureHigh = "pressure over threshold"
+	reasonHeadroomLow  = "headroom depleted under excursion"
+	reasonAboveTarget  = "pressure above target band"
+	reasonThrottleSoon = "throttle crossing forecast"
+	reasonExhaustSoon  = "wax exhaustion forecast under excursion"
+	reasonBandClear    = "pressure below band, restoring"
+	reasonInBand       = "holding inside band"
+	reasonPreFreeze    = "trimming ahead of forecast peak to refreeze"
+)
+
+// Threshold is the naive static-threshold policy: a fixed ceiling
+// whenever pressure or headroom crosses a line, full speed otherwise.
+// It exists as the baseline the banded policies are judged against —
+// it flaps at the boundary and sheds the same amount regardless of
+// severity. It also exercises the trigger lever: while shedding it
+// backs the throttle trigger off by TrigBackoffC.
+type Threshold struct {
+	// HighPressure fires the cap (default 0.6); LowHeadroom fires it
+	// when the wax is nearly spent during any excursion (default 0.25).
+	HighPressure float64
+	LowHeadroom  float64
+	// Ceil is the fixed cap (default 0.6).
+	Ceil float64
+	// TrigBackoffC is the pre-emptive trigger backoff while shedding
+	// (default 1 K).
+	TrigBackoffC float64
+}
+
+// NewThreshold returns the default static-threshold policy.
+func NewThreshold() *Threshold {
+	return &Threshold{HighPressure: 0.6, LowHeadroom: 0.25, Ceil: 0.6, TrigBackoffC: 1}
+}
+
+func (p *Threshold) Name() string { return "threshold" }
+func (p *Threshold) Reset()       {}
+
+func (p *Threshold) Decide(an *Analysis) Decision {
+	if an.Pressure >= p.HighPressure {
+		return Decision{Ceil: p.Ceil, TrigOffsetC: -p.TrigBackoffC, Action: ActionShed, Reason: reasonPressureHigh}
+	}
+	if an.Pressure > 0 && an.WaxFrac > 0 && an.Headroom <= p.LowHeadroom {
+		return Decision{Ceil: p.Ceil, TrigOffsetC: -p.TrigBackoffC, Action: ActionShed, Reason: reasonHeadroomLow}
+	}
+	return Decision{Ceil: 1, Action: ActionHold, Reason: reasonEnvelope}
+}
+
+// Hysteresis tracks a target pressure with a banded ramp: above the
+// target it walks the ceiling down, below the band it walks it back up,
+// and inside the band it holds — no flapping. The forecasts sharpen it:
+// a projected throttle crossing inside UrgentTTAS, or a projected wax
+// exhaustion while an excursion is in progress, starts the walk-down
+// before the pressure itself crosses the target.
+type Hysteresis struct {
+	// TargetPressure is where the walk-down engages (default 0.55);
+	// restore engages below TargetPressure-Band (default band 0.35).
+	TargetPressure float64
+	Band           float64
+	// StepDownPerMin / StepUpPerMin are the ceiling ramp rates per
+	// minute of epoch time (defaults 0.25 down, 0.02 up: shed fast,
+	// restore gently).
+	StepDownPerMin float64
+	StepUpPerMin   float64
+	// MinCeil floors the walk-down (default 0.05: never a full park —
+	// idle power continues regardless, and a sliver of work keeps the
+	// comparison honest).
+	MinCeil float64
+	// UrgentTTAS is the forecast time-to-throttle treated as imminent
+	// (default 1200 s).
+	UrgentTTAS float64
+
+	ceil float64
+}
+
+// NewHysteresis returns the default hysteresis-banded policy. The
+// defaults encode the throttle-mimic insight: a ceiling equal to the
+// hardware throttle factor removes the same heat as the throttle at a
+// fraction of the degradation cost (shed counts only the unplaced
+// slice; a throttled rack is charged whole), so the walk-down engages
+// only when the forecaster projects an imminent trigger crossing or the
+// fleet is already riding at it, holds the throttle-equivalent floor
+// while over it, and restores as soon as the pressure falls away.
+func NewHysteresis() *Hysteresis {
+	return &Hysteresis{
+		TargetPressure: 0.95,
+		Band:           0.1,
+		StepDownPerMin: 0.2,
+		StepUpPerMin:   0.1,
+		MinCeil:        0.4,
+		UrgentTTAS:     1800,
+	}
+}
+
+func (p *Hysteresis) Name() string { return "hysteresis" }
+func (p *Hysteresis) Reset()       { p.ceil = 1 }
+
+func (p *Hysteresis) Decide(an *Analysis) Decision {
+	dtMin := an.DtS / 60
+	urgent := !math.IsNaN(an.ThrottleTTAS) && an.ThrottleTTAS <= p.UrgentTTAS
+	// Wax exhaustion only matters while the pressure is already near the
+	// trigger: losing the buffer in an otherwise-mild excursion costs
+	// nothing, and shedding for it would.
+	exhausting := an.Pressure >= p.TargetPressure-p.Band && !math.IsNaN(an.ExhaustTTAS)
+
+	action, reason := ActionHold, reasonInBand
+	switch {
+	case p.ceil < 1 && an.InletSlopeCPerS <= 0:
+		// The inlet trend has turned over: the chillers are back and the
+		// room's exponential pull-down is load-independent, so holding
+		// any cap only sheds work — release regardless of pressure.
+		p.ceil += p.StepUpPerMin * dtMin
+		action, reason = ActionRestore, reasonBandClear
+	case an.Pressure >= p.TargetPressure:
+		step := p.StepDownPerMin * dtMin
+		if urgent || an.Pressure >= 1 {
+			step *= 2
+		}
+		p.ceil -= step
+		action, reason = ActionShed, reasonAboveTarget
+	case urgent:
+		p.ceil -= p.StepDownPerMin * dtMin
+		action, reason = ActionShed, reasonThrottleSoon
+	case exhausting:
+		p.ceil -= p.StepDownPerMin * dtMin / 2
+		action, reason = ActionShed, reasonExhaustSoon
+	case p.ceil < 1 && an.Pressure <= p.TargetPressure-p.Band:
+		p.ceil += p.StepUpPerMin * dtMin
+		action, reason = ActionRestore, reasonBandClear
+	}
+	if p.ceil < p.MinCeil {
+		p.ceil = p.MinCeil
+	}
+	if p.ceil > 1 {
+		p.ceil = 1
+	}
+	if action == ActionHold && p.ceil >= 1 {
+		reason = reasonEnvelope
+	}
+	return Decision{Ceil: p.ceil, Action: action, Reason: reason}
+}
+
+// PreFreeze is Hysteresis plus a proactive branch: with no excursion in
+// progress, when the fitted demand trend projects a peak within LeadS
+// and the wax headroom has been ground down, it trims a sliver of load
+// so the wax refreezes before the peak (and whatever rides it) lands.
+type PreFreeze struct {
+	Hysteresis
+	// LeadS is how far ahead the demand trend is projected (default
+	// 5400 s).
+	LeadS float64
+	// PeakDemand is the projected demand treated as a peak (default
+	// 0.85).
+	PeakDemand float64
+	// RefreezeHeadroom engages the trim only while the buffer is
+	// actually depleted (default 0.6).
+	RefreezeHeadroom float64
+	// TrimFrac is the slice of current demand shed during the trim
+	// (default 0.12).
+	TrimFrac float64
+}
+
+// NewPreFreeze returns the default pre-freeze policy.
+func NewPreFreeze() *PreFreeze {
+	return &PreFreeze{
+		Hysteresis:       *NewHysteresis(),
+		LeadS:            5400,
+		PeakDemand:       0.85,
+		RefreezeHeadroom: 0.6,
+		TrimFrac:         0.12,
+	}
+}
+
+func (p *PreFreeze) Name() string { return "prefreeze" }
+func (p *PreFreeze) Reset()       { p.Hysteresis.Reset() }
+
+func (p *PreFreeze) Decide(an *Analysis) Decision {
+	// The trim only runs AHEAD of the peak: once demand itself reaches
+	// PeakDemand the peak has arrived, refreezing is moot, and capping
+	// through it would only shed work the hysteresis layer would not.
+	if an.Pressure == 0 && an.WaxFrac > 0 && an.Headroom <= p.RefreezeHeadroom &&
+		an.Demand < p.PeakDemand {
+		proj := an.Demand + an.DemandSlope*p.LeadS
+		if proj >= p.PeakDemand && an.DemandSlope > 0 {
+			ceil := an.Demand * (1 - p.TrimFrac)
+			if ceil < p.MinCeil {
+				ceil = p.MinCeil
+			}
+			// The trim does not move the hysteresis state: protective
+			// behavior resumes untouched when an excursion starts.
+			return Decision{Ceil: ceil, Action: ActionPreFreeze, Reason: reasonPreFreeze}
+		}
+	}
+	return p.Hysteresis.Decide(an)
+}
+
+// Policies lists the decision-policy names in presentation order.
+func Policies() []string { return []string{"threshold", "hysteresis", "prefreeze"} }
+
+// ParsePolicy resolves a decision-policy name (with default tuning).
+func ParsePolicy(name string) (DecisionPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "threshold", "static":
+		return NewThreshold(), nil
+	case "hysteresis", "", "default":
+		return NewHysteresis(), nil
+	case "prefreeze", "pre-freeze":
+		return NewPreFreeze(), nil
+	}
+	return nil, fmt.Errorf("autoscale: unknown decision policy %q (want one of %s)",
+		name, strings.Join(Policies(), ", "))
+}

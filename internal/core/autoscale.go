@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/autoscale"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/flightrec"
+	"repro/internal/server"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Autoscale experiment: the closed control loop evaluated head to head
+// against the open-loop balancers. Each named fault scenario is replayed
+// against the same fleet once per arm — open arms are plain balancing
+// policies, closed arms put the wax-headroom controller in the epoch
+// loop — and the study tabulates what each arm paid in throttled and
+// shed server-seconds. The headline question it answers: does closing
+// the loop on the wax buffer ride a chiller trip out cheaper than any
+// static policy?
+
+// AutoscaleSpec configures the closed-loop autoscaler experiment.
+type AutoscaleSpec struct {
+	// Mix lists the rack populations (the fleet experiment's format);
+	// empty selects eight wax-buffered 1U racks — the named scenarios
+	// address racks 0-7.
+	Mix []FleetClass
+	// Scenarios names the embedded fault scenarios replayed per arm;
+	// empty selects chiller-trip-peak and diurnal-surge.
+	Scenarios []string
+	// Open lists the open-loop balancing policies; empty selects
+	// thermal, faultaware and leastloaded.
+	Open []string
+	// Closed lists the controller decision policies; empty selects all
+	// of them (threshold, hysteresis, prefreeze).
+	Closed []string
+	// Balancer is the balancing policy under the closed arms (default
+	// thermal — the strongest open-loop baseline, so any win is the
+	// controller's own).
+	Balancer string
+	// Workers bounds the stepping pool (0 = runtime.NumCPU()).
+	Workers int
+	// StepS is the control epoch in seconds (default 600 — the
+	// controller's actuation cadence, one BMC setpoint write per epoch).
+	StepS float64
+	// Days and Seed shape the synthetic control day (defaults 2 and 7).
+	// The study runs its own generated diurnal trace rather than the
+	// paper trace: the named scenarios are time-anchored to this day's
+	// peak, and the spec's scalars keep the serving layer's request
+	// canonicalization trivial.
+	Days int
+	Seed int64
+	// RoomCapacityJPerKPerKW and RecoveryTauS shape the room transient
+	// (defaults 105e3 J/K per kW and 3600 s: a machine room whose
+	// thermal mass rides out minutes, not seconds, and whose plant
+	// needs an hour to pull the excursion back down).
+	RoomCapacityJPerKPerKW float64
+	RecoveryTauS           float64
+	// Recorder, when set, attaches a flight recorder to the FIRST
+	// closed arm of the FIRST scenario (decision records and analysis
+	// channels land beside the fleet telemetry).
+	Recorder *flightrec.Recorder `json:"-"`
+}
+
+// DefaultAutoscaleSpec is the headline configuration: an all-wax 1U
+// fleet under the canonical scenarios.
+func DefaultAutoscaleSpec() AutoscaleSpec {
+	return AutoscaleSpec{
+		Mix: []FleetClass{{Class: OneU, Racks: 8}},
+	}
+}
+
+// AutoscaleArm is one (scenario, policy) run's outcome.
+type AutoscaleArm struct {
+	// Name is "open/<balancer>" or "closed/<decision policy>".
+	Name string
+	// Closed reports whether the controller was in the loop; Balancer
+	// is the balancing policy either way; Policy is the decision policy
+	// (closed arms only).
+	Closed   bool
+	Balancer string
+	Policy   string
+	// ThrottledServerSeconds, ShedServerSeconds and their sum are the
+	// degradation bill.
+	ThrottledServerSeconds float64
+	ShedServerSeconds      float64
+	CombinedServerSeconds  float64
+	// PeakInletRiseC is the worst room excursion; ThrottleOnsetS the
+	// first trigger crossing (NaN = never).
+	PeakInletRiseC float64
+	ThrottleOnsetS float64
+	// Decisions counts non-hold controller epochs, Actions the decision
+	// mix by name, AutoscaleEpochs the epochs with a binding ceiling
+	// (all zero open-loop).
+	Decisions       int
+	Actions         map[string]int
+	AutoscaleEpochs int
+	// InletRiseC is the room-excursion trace (for -csv).
+	InletRiseC *timeseries.Series
+}
+
+// AutoscaleScenarioResult is one scenario's table plus its verdict.
+type AutoscaleScenarioResult struct {
+	Scenario string
+	// Events counts scheduled fault events; TripAtS is the first
+	// chiller trip (NaN if the scenario has none).
+	Events  int
+	TripAtS float64
+	// Arms holds open arms first, then closed, in request order.
+	Arms []AutoscaleArm
+	// BestStatic is the cheapest arm with no adaptive control — the
+	// open arms plus the static-threshold controller; BestAdaptive the
+	// cheapest banded controller arm (hysteresis or prefreeze). Empty
+	// when the spec requested no arm of that kind.
+	BestStatic           string
+	BestStaticCombined   float64
+	BestAdaptive         string
+	BestAdaptiveCombined float64
+	// AdaptiveWins reports the headline verdict: the best adaptive arm
+	// paid strictly less than EVERY static arm.
+	AdaptiveWins bool
+}
+
+// AutoscaleResult is the autoscale experiment outcome.
+type AutoscaleResult struct {
+	Spec           AutoscaleSpec
+	Racks, Servers int
+	Workers        int
+	Balancer       string
+	Scenarios      []AutoscaleScenarioResult
+}
+
+// autoscaleTrace generates the study's control day: a deterministic
+// diurnal load at the controller's epoch cadence.
+func autoscaleTrace(spec *AutoscaleSpec) (*workload.Trace, error) {
+	return workload.Generate(workload.Options{
+		Days: spec.Days, StepS: spec.StepS, Seed: spec.Seed,
+		MeanUtil: 0.5, PeakUtil: 0.95, NoiseAmp: 0.01,
+	})
+}
+
+// RunAutoscaleStudy replays each named scenario against the fleet under
+// every open and closed arm. The context cancels the underlying fleet
+// runs at their next epoch boundary.
+func (s *Study) RunAutoscaleStudy(ctx context.Context, spec AutoscaleSpec) (*AutoscaleResult, error) {
+	if len(spec.Mix) == 0 {
+		return nil, fmt.Errorf("core: autoscale spec has no mix")
+	}
+	if len(spec.Scenarios) == 0 {
+		spec.Scenarios = []string{"chiller-trip-peak", "diurnal-surge"}
+	}
+	if len(spec.Open) == 0 {
+		spec.Open = []string{"thermal", "faultaware", "leastloaded"}
+	}
+	if len(spec.Closed) == 0 {
+		spec.Closed = autoscale.Policies()
+	}
+	if spec.Balancer == "" {
+		spec.Balancer = "thermal"
+	}
+	if spec.StepS == 0 {
+		spec.StepS = 600
+	}
+	if spec.Days == 0 {
+		spec.Days = 2
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 7
+	}
+	if spec.RoomCapacityJPerKPerKW == 0 {
+		spec.RoomCapacityJPerKPerKW = 105e3
+	}
+	if spec.RecoveryTauS == 0 {
+		spec.RecoveryTauS = 3600
+	}
+	sp := s.Obs.StartSpan("core.autoscale_study")
+	defer sp.End()
+
+	tr, err := autoscaleTrace(&spec)
+	if err != nil {
+		return nil, err
+	}
+	balancer, err := fleet.ParsePolicy(spec.Balancer)
+	if err != nil {
+		return nil, err
+	}
+	openPolicies := make([]fleet.Policy, len(spec.Open))
+	for i, name := range spec.Open {
+		if openPolicies[i], err = fleet.ParsePolicy(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range spec.Closed {
+		if _, err := autoscale.ParsePolicy(name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Derive each class's ROM once and share it across every arm.
+	roms := make(map[MachineClass]*server.ROM)
+	classes := make([]fleet.ClassSpec, 0, len(spec.Mix))
+	for _, fc := range spec.Mix {
+		cfg := fc.Class.Config()
+		if cfg == nil {
+			return nil, fmt.Errorf("core: unknown machine class %v", fc.Class)
+		}
+		cs := fleet.ClassSpec{Cfg: cfg, Racks: fc.Racks, WithWax: !fc.NoWax}
+		if !fc.NoWax {
+			rom, ok := roms[fc.Class]
+			if !ok {
+				if rom, err = server.DeriveROMObserved(cfg, cfg.Wax.DefaultMeltC, s.Obs); err != nil {
+					return nil, err
+				}
+				roms[fc.Class] = rom
+			}
+			cs.ROM = rom
+		}
+		classes = append(classes, cs)
+	}
+
+	out := &AutoscaleResult{Spec: spec, Balancer: balancer.Name()}
+	recorder := spec.Recorder
+	for _, scenario := range spec.Scenarios {
+		sched, err := faults.Named(scenario)
+		if err != nil {
+			return nil, err
+		}
+		sr := AutoscaleScenarioResult{
+			Scenario: scenario,
+			Events:   len(sched.Events()),
+			TripAtS:  math.NaN(),
+		}
+		if at, ok := sched.FirstTrip(); ok {
+			sr.TripAtS = at
+		}
+
+		run := func(policy fleet.Policy, ctrl *autoscale.Controller, rec *flightrec.Recorder) (*fleet.Run, error) {
+			var scaler fleet.Scaler
+			if ctrl != nil {
+				scaler = ctrl
+			}
+			f, err := fleet.New(fleet.Config{
+				Classes: classes, Policy: policy, Workers: spec.Workers,
+				Faults: sched, Obs: s.Obs, Scaler: scaler, Recorder: rec,
+				Degrade: fleet.DegradeConfig{
+					RoomCapacityJPerKPerKW: spec.RoomCapacityJPerKPerKW,
+					RecoveryTauS:           spec.RecoveryTauS,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Racks, out.Servers, out.Workers = f.Racks(), f.Servers(), f.Workers()
+			r, err := f.RunContext(ctx, tr)
+			if err == nil {
+				sp.AddSimTime(tr.Total.End() - tr.Total.Start)
+			}
+			return r, err
+		}
+		arm := func(r *fleet.Run, name string, ctrl *autoscale.Controller) AutoscaleArm {
+			a := AutoscaleArm{
+				Name:                   name,
+				Balancer:               balancer.Name(),
+				ThrottledServerSeconds: r.ThrottledServerSeconds,
+				ShedServerSeconds:      r.ShedServerSeconds,
+				CombinedServerSeconds:  r.ThrottledServerSeconds + r.ShedServerSeconds,
+				ThrottleOnsetS:         r.ThrottleOnsetS,
+				AutoscaleEpochs:        r.AutoscaleEpochs,
+				InletRiseC:             r.InletRiseC,
+			}
+			a.PeakInletRiseC, _ = r.InletRiseC.Peak()
+			if ctrl != nil {
+				a.Closed = true
+				a.Policy = ctrl.Policy()
+				a.Decisions = ctrl.Decisions()
+				a.Actions = ctrl.ActionCounts()
+			} else {
+				a.Balancer = r.Policy
+			}
+			return a
+		}
+
+		for i, policy := range openPolicies {
+			r, err := run(policy, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			sr.Arms = append(sr.Arms, arm(r, "open/"+spec.Open[i], nil))
+		}
+		for _, name := range spec.Closed {
+			pol, err := autoscale.ParsePolicy(name)
+			if err != nil {
+				return nil, err
+			}
+			ctrl := autoscale.New(autoscale.Config{Policy: pol})
+			if recorder != nil {
+				ctrl.AttachRecorder(recorder)
+			}
+			r, err := run(balancer, ctrl, recorder)
+			if err != nil {
+				return nil, err
+			}
+			recorder = nil
+			sr.Arms = append(sr.Arms, arm(r, "closed/"+pol.Name(), ctrl))
+		}
+
+		sr.BestStatic, sr.BestStaticCombined = bestArm(sr.Arms, func(a *AutoscaleArm) bool {
+			return !a.Closed || a.Policy == "threshold"
+		})
+		sr.BestAdaptive, sr.BestAdaptiveCombined = bestArm(sr.Arms, func(a *AutoscaleArm) bool {
+			return a.Closed && a.Policy != "threshold"
+		})
+		if sr.BestAdaptive != "" && sr.BestStatic != "" {
+			sr.AdaptiveWins = true
+			for i := range sr.Arms {
+				a := &sr.Arms[i]
+				if (!a.Closed || a.Policy == "threshold") &&
+					sr.BestAdaptiveCombined >= a.CombinedServerSeconds {
+					sr.AdaptiveWins = false
+					break
+				}
+			}
+		}
+		out.Scenarios = append(out.Scenarios, sr)
+	}
+	return out, nil
+}
+
+// bestArm returns the name and combined bill of the cheapest arm
+// matching the filter ("" and NaN when none does).
+func bestArm(arms []AutoscaleArm, match func(*AutoscaleArm) bool) (string, float64) {
+	name, best := "", math.NaN()
+	for i := range arms {
+		a := &arms[i]
+		if !match(a) {
+			continue
+		}
+		if name == "" || a.CombinedServerSeconds < best {
+			name, best = a.Name, a.CombinedServerSeconds
+		}
+	}
+	return name, best
+}

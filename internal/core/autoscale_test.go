@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/flightrec"
+)
+
+// TestRunAutoscaleStudyHeadline pins the PR's acceptance claim on the
+// default configuration: riding the chiller-trip-peak scenario, the best
+// adaptive controller arm (hysteresis or prefreeze) pays strictly fewer
+// throttled+shed server-seconds than EVERY static arm — each open-loop
+// balancer and the static-threshold controller.
+func TestRunAutoscaleStudyHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full default autoscale study")
+	}
+	s := NewStudy()
+	spec := DefaultAutoscaleSpec()
+	spec.Scenarios = []string{"chiller-trip-peak"}
+	r, err := s.RunAutoscaleStudy(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 1 {
+		t.Fatalf("got %d scenario results, want 1", len(r.Scenarios))
+	}
+	sr := r.Scenarios[0]
+	if math.IsNaN(sr.TripAtS) {
+		t.Fatal("chiller-trip-peak reported no trip")
+	}
+	// 3 open arms + 3 closed arms under defaults.
+	if len(sr.Arms) != 6 {
+		t.Fatalf("got %d arms, want 6", len(sr.Arms))
+	}
+	if !sr.AdaptiveWins {
+		t.Fatalf("adaptive verdict lost: best adaptive %s at %.0f vs best static %s at %.0f",
+			sr.BestAdaptive, sr.BestAdaptiveCombined, sr.BestStatic, sr.BestStaticCombined)
+	}
+	for _, a := range sr.Arms {
+		static := !a.Closed || a.Policy == "threshold"
+		if static && sr.BestAdaptiveCombined >= a.CombinedServerSeconds {
+			t.Errorf("static arm %s paid %.0f, not strictly more than adaptive %.0f",
+				a.Name, a.CombinedServerSeconds, sr.BestAdaptiveCombined)
+		}
+	}
+	// The win comes from an adaptive controller, not the static threshold.
+	if sr.BestAdaptive != "closed/hysteresis" && sr.BestAdaptive != "closed/prefreeze" {
+		t.Errorf("best adaptive arm %q is not a banded controller", sr.BestAdaptive)
+	}
+	// Closed arms actually acted: decisions and binding-ceiling epochs.
+	acted := false
+	for _, a := range sr.Arms {
+		if a.Closed && a.Decisions > 0 && a.AutoscaleEpochs > 0 {
+			acted = true
+		}
+		if !a.Closed && (a.Decisions != 0 || a.AutoscaleEpochs != 0) {
+			t.Errorf("open arm %s reports controller activity", a.Name)
+		}
+	}
+	if !acted {
+		t.Error("no closed arm recorded any decision; the controller never engaged")
+	}
+}
+
+// TestRunAutoscaleStudyDefaults checks spec defaulting, validation, and
+// recorder attachment on a small fleet.
+func TestRunAutoscaleStudyDefaults(t *testing.T) {
+	s := NewStudy()
+
+	if _, err := s.RunAutoscaleStudy(context.Background(), AutoscaleSpec{}); err == nil {
+		t.Error("accepted empty mix")
+	}
+	bad := DefaultAutoscaleSpec()
+	bad.Scenarios = []string{"no-such-scenario"}
+	if _, err := s.RunAutoscaleStudy(context.Background(), bad); err == nil {
+		t.Error("accepted unknown scenario")
+	}
+	bad = DefaultAutoscaleSpec()
+	bad.Closed = []string{"bogus"}
+	if _, err := s.RunAutoscaleStudy(context.Background(), bad); err == nil {
+		t.Error("accepted unknown decision policy")
+	}
+
+	rec := flightrec.New(flightrec.Config{})
+	// The scenario addresses racks 0-2, so the small fleet needs three.
+	spec := AutoscaleSpec{
+		Mix:       []FleetClass{{Class: OneU, Racks: 3}},
+		Scenarios: []string{"chiller-trip-peak"},
+		Open:      []string{"thermal"},
+		Closed:    []string{"hysteresis"},
+		Days:      1,
+		Recorder:  rec,
+	}
+	r, err := s.RunAutoscaleStudy(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults filled into the echoed spec.
+	if r.Spec.StepS != 600 || r.Spec.Seed != 7 || r.Spec.Balancer != "thermal" {
+		t.Errorf("defaults not filled: step %g seed %d balancer %q",
+			r.Spec.StepS, r.Spec.Seed, r.Spec.Balancer)
+	}
+	if r.Racks != 3 || r.Servers <= 0 {
+		t.Errorf("fleet shape racks=%d servers=%d", r.Racks, r.Servers)
+	}
+	if !rec.Started() {
+		t.Error("recorder did not ride the closed arm")
+	}
+
+	// Cancellation propagates out of the underlying fleet runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunAutoscaleStudy(ctx, spec); err != context.Canceled {
+		t.Errorf("cancelled study returned %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Named scenarios are fault schedules that ship with the simulator: the
+// canonical copies live in scenarios/*.fault and are embedded into the
+// binary, so the serving layer can accept a scenario by name without
+// ever touching the filesystem (no path-traversal surface), and the CLI
+// resolves names before falling back to file paths. The user-facing
+// copies under examples/scenarios/ are pinned byte-for-byte to these by
+// a test — edit both together.
+
+//go:embed scenarios/*.fault
+var scenarioFS embed.FS
+
+const scenarioDir = "scenarios"
+
+// Scenarios lists the embedded scenario names, sorted.
+func Scenarios() []string {
+	entries, err := scenarioFS.ReadDir(scenarioDir)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".fault"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsNamed reports whether name resolves to an embedded scenario.
+func IsNamed(name string) bool {
+	_, err := scenarioFS.ReadFile(scenarioDir + "/" + name + ".fault")
+	return err == nil
+}
+
+// NamedSource returns the raw scenario text of an embedded scenario.
+func NamedSource(name string) ([]byte, error) {
+	b, err := scenarioFS.ReadFile(scenarioDir + "/" + name + ".fault")
+	if err != nil {
+		return nil, fmt.Errorf("faults: unknown scenario %q (want one of %s)",
+			name, strings.Join(Scenarios(), ", "))
+	}
+	return b, nil
+}
+
+// Named parses an embedded scenario into a Schedule.
+func Named(name string) (*Schedule, error) {
+	b, err := NamedSource(name)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := ParseScheduleString(string(b))
+	if err != nil {
+		return nil, fmt.Errorf("faults: embedded scenario %q: %w", name, err)
+	}
+	return sch, nil
+}

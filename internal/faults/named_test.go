@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNamedScenarios(t *testing.T) {
+	want := []string{"chiller-trip-peak", "diurnal-surge", "rolling-brownout"}
+	got := Scenarios()
+	if len(got) != len(want) {
+		t.Fatalf("Scenarios() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scenarios() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		if !IsNamed(name) {
+			t.Errorf("IsNamed(%q) = false", name)
+		}
+		sch, err := Named(name)
+		if err != nil {
+			t.Errorf("Named(%q): %v", name, err)
+			continue
+		}
+		if len(sch.Events()) == 0 {
+			t.Errorf("Named(%q) parsed to an empty schedule", name)
+		}
+		// Every shipped scenario must apply to the default 8-rack,
+		// single-class fault-study fleet.
+		if err := sch.CheckTargets(8, 1); err != nil {
+			t.Errorf("Named(%q) does not fit the default fleet: %v", name, err)
+		}
+	}
+	if IsNamed("nope") {
+		t.Error("IsNamed accepted an unknown name")
+	}
+	if IsNamed("../parse") {
+		t.Error("IsNamed accepted a traversal-shaped name")
+	}
+	if _, err := Named("nope"); err == nil {
+		t.Error("Named accepted an unknown name")
+	}
+}
+
+// TestExampleScenariosPinned pins the user-facing copies under
+// examples/scenarios/ byte-for-byte to the embedded canonical ones, so
+// the two cannot drift: the examples users run from disk are exactly the
+// scenarios the server and golden corpus resolve by name.
+func TestExampleScenariosPinned(t *testing.T) {
+	for _, name := range Scenarios() {
+		embedded, err := NamedSource(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("..", "..", "examples", "scenarios", name+".fault")
+		disk, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("embedded scenario %q has no examples copy: %v", name, err)
+		}
+		if string(disk) != string(embedded) {
+			t.Errorf("%s drifted from the embedded scenario %q — copy internal/faults/scenarios/%s.fault over it", path, name, name)
+		}
+	}
+}

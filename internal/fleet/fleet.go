@@ -88,6 +88,11 @@ type Config struct {
 	// Degrade tunes the graceful-degradation response (throttle trigger,
 	// room thermal mass); the zero value selects the defaults.
 	Degrade DegradeConfig
+	// Scaler optionally closes the control loop: consulted every epoch
+	// in the sequential section (after the rack views refresh, before
+	// the balancer) to scale per-rack utilization ceilings and back off
+	// the throttle trigger. Nil runs open-loop.
+	Scaler Scaler
 	// Obs is the optional telemetry registry; nil disables
 	// instrumentation at zero cost.
 	Obs *obs.Registry
@@ -161,6 +166,7 @@ type Fleet struct {
 	degrade  DegradeConfig
 	reg      *obs.Registry
 	recorder *flightrec.Recorder
+	scaler   Scaler
 
 	// maxInletC is the hottest class cold-aisle setpoint: the inlet that
 	// crosses the throttle trigger first during a room excursion.
@@ -184,6 +190,7 @@ func New(cfg Config) (*Fleet, error) {
 		degrade:  cfg.Degrade.withDefaults(),
 		reg:      cfg.Obs,
 		recorder: cfg.Recorder,
+		scaler:   cfg.Scaler,
 	}
 	if f.policy == nil {
 		f.policy = RoundRobin{}
@@ -270,6 +277,15 @@ type Run struct {
 	// Policy and Workers record how the run was executed.
 	Policy  string
 	Workers int
+
+	// Scaler names the autoscaler controller when one closed the loop
+	// ("" for an open-loop run), AutoscaleEpochs counts the epochs in
+	// which it capped at least one rack below its usable ceiling, and
+	// CeilMean traces the rack-mean effective ceiling it imposed (nil
+	// for open-loop runs; 1.0 wherever the controller held off).
+	Scaler          string
+	AutoscaleEpochs int
+	CeilMean        *timeseries.Series
 }
 
 // epochBuf holds the per-rack scratch written by the shard workers during
@@ -300,9 +316,11 @@ type runState struct {
 	sensorDrop  []bool
 	throttled   []bool
 	maxU        []float64 // usable utilization ceiling this epoch
+	ceil        []float64 // autoscaler per-rack ceiling scratch (nil open-loop)
 
 	roomRise float64 // room excursion over setpoint, K
 	roomCapJ float64 // room thermal mass frozen at the trip epoch, J/K
+	trigOffC float64 // autoscaler throttle-trigger offset, <= 0, applied next epoch
 
 	observed bool
 }
@@ -346,6 +364,10 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 	out.WaxLiquid = out.PowerW.Clone()
 	out.InletRiseC = out.PowerW.Clone()
 	out.ThrottledRacks = out.PowerW.Clone()
+	if f.scaler != nil {
+		out.Scaler = f.scaler.Name()
+		out.CeilMean = out.PowerW.Clone()
+	}
 
 	nr := len(f.racks)
 	st := &runState{
@@ -385,6 +407,25 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 		st.latent[i] = rk.rom.LatentCapacity()
 		views[i].HasWax = true
 		views[i].WaxRemaining = remainingFraction(st.waxes[i], st.latent[i])
+	}
+	if f.scaler != nil {
+		st.ceil = make([]float64, nr)
+		f.scaler.Reset(ScaleInfo{
+			Racks:          nr,
+			Servers:        f.servers,
+			StepS:          dt,
+			ThrottleInletC: f.degrade.ThrottleInletC,
+			MaxInletC:      f.maxInletC,
+			ThrottleFactor: f.degrade.ThrottleFactor,
+			RecoveryTauS:   f.degrade.RecoveryTauS,
+		})
+	}
+	// The controller may pull the trigger down to this floor and no
+	// further; Validate guarantees the hardware trigger clears every
+	// cold-aisle setpoint, and the clamp preserves a sliver of that.
+	maxTrigBackoff := f.degrade.ThrottleInletC - f.maxInletC - maxTrigBackoffMarginC
+	if maxTrigBackoff < 0 {
+		maxTrigBackoff = 0
 	}
 	inj := f.faults.Injector()
 	rb := f.bindRecorder(tr)
@@ -459,12 +500,16 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 		demand := tr.Total.Values[i] * inj.SurgeMultiplier()
 
 		// Refresh the balancer's snapshot: throttle state from the room
-		// excursion, usable ceilings, and sensor-faulted telemetry.
+		// excursion, usable ceilings, and sensor-faulted telemetry. The
+		// trigger carries the autoscaler's offset from the PREVIOUS
+		// epoch (zero open-loop): one epoch of actuation lag, like a
+		// real BMC setpoint write.
+		trigger := f.degrade.ThrottleInletC + st.trigOffC
 		throttledRacks := 0
 		for r := range f.racks {
 			rk := &f.racks[r]
 			live := 1 - st.capLost[r]
-			throttled := rk.cfg.InletC+st.roomRise >= f.degrade.ThrottleInletC
+			throttled := rk.cfg.InletC+st.roomRise >= trigger
 			maxU := live
 			if throttled {
 				maxU *= f.degrade.ThrottleFactor
@@ -495,6 +540,46 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 			throttleCounter.Inc()
 		}
 		out.ThrottledRacks.Values[i] = float64(throttledRacks)
+
+		// Close the loop: the controller sees the same snapshot the
+		// balancer is about to, writes per-rack ceilings for this epoch,
+		// and moves the trigger for the next. Still sequential — the
+		// workers are parked — so closed-loop runs stay bit-identical
+		// across worker counts.
+		if f.scaler != nil {
+			for r := range st.ceil {
+				st.ceil[r] = 1
+			}
+			off := f.scaler.Control(t, dt, demand, views, st.ceil)
+			if !(off < 0) { // also catches NaN
+				off = 0
+			} else if off < -maxTrigBackoff {
+				off = -maxTrigBackoff
+			}
+			st.trigOffC = off
+			scaled := false
+			ceilSum := 0.0
+			for r := range f.racks {
+				c := st.ceil[r]
+				if math.IsNaN(c) || c >= 1 {
+					ceilSum++
+					continue
+				}
+				if c < 0 {
+					c = 0
+				}
+				ceilSum += c
+				st.maxU[r] *= c
+				v := &views[r]
+				v.MaxUtil = st.maxU[r]
+				v.Degraded = v.MaxUtil < 1
+				scaled = true
+			}
+			if scaled {
+				out.AutoscaleEpochs++
+			}
+			out.CeilMean.Values[i] = ceilSum / float64(nr)
+		}
 
 		f.policy.Assign(demand, views, st.buf.assign)
 		placed := 0.0

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/flightrec"
 	"repro/internal/workload"
@@ -127,9 +128,24 @@ func (b *recBinding) capture(f *Fleet, st *runState, out *Run, i int, t, demand,
 
 	if b.rackInlet != nil {
 		for r := range f.racks {
-			b.rackInlet[r].Set(f.racks[r].cfg.InletC + st.roomRise)
-			b.rackLiquid[r].Set(st.buf.liquid[r])
-			b.rackUtil[r].Set(st.buf.assign[r])
+			// Per-rack channels record what the rack's sensors report, not
+			// ground truth: a dropped sensor reads NaN, a stuck sensor
+			// repeats its latched reading (staged values persist across
+			// EndEpoch when not Set). Forecast rules spanning such a window
+			// must degrade to "no forecast", never fire on garbage — pinned
+			// by the flightrec dropout tests.
+			switch {
+			case st.sensorDrop[r]:
+				b.rackInlet[r].Set(math.NaN())
+				b.rackLiquid[r].Set(math.NaN())
+				b.rackUtil[r].Set(math.NaN())
+			case st.sensorStuck[r]:
+				// Latched: skip Set, the previous reading recommits.
+			default:
+				b.rackInlet[r].Set(f.racks[r].cfg.InletC + st.roomRise)
+				b.rackLiquid[r].Set(st.buf.liquid[r])
+				b.rackUtil[r].Set(st.buf.assign[r])
+			}
 		}
 	}
 	b.rec.EndEpoch(t)

@@ -1,0 +1,63 @@
+package fleet
+
+// Scaler is the closed-loop autoscaler hook: a controller consulted once
+// per epoch from the sequential section of the epoch loop, after the
+// balancer's rack views have been refreshed and before the balancing
+// policy assigns load. Because the call sits between the fault
+// application and the shard barrier — the workers are parked — a
+// deterministic Scaler keeps runs bit-identical across worker counts,
+// exactly like the balancer and the flight recorder.
+//
+// internal/autoscale provides the implementation (collector → analyzer →
+// decision → actuator); this interface exists so the fleet does not
+// depend on it.
+type Scaler interface {
+	// Name identifies the controller (and its decision policy) in run
+	// reports.
+	Name() string
+	// Reset re-arms the controller for a fresh run. Called once before
+	// the first epoch; a Fleet may be reused, so controllers must not
+	// carry state across Reset.
+	Reset(info ScaleInfo)
+	// Control observes one epoch and actuates. racks is the same
+	// sensor-faithful snapshot the balancer sees (dropped sensors blind
+	// it); demand is the surged fleet demand as a fraction of total
+	// capacity. The controller writes per-rack utilization ceilings into
+	// ceil (pre-filled with 1s; values below 1 multiply onto the rack's
+	// usable ceiling for THIS epoch, values at or above 1 leave it
+	// alone) and returns a throttle-trigger offset in kelvin applied
+	// from the NEXT epoch (clamped to at most 0: the controller may
+	// throttle pre-emptively below the hardware trigger, never above
+	// it). The one-epoch actuation lag on the trigger mirrors a real
+	// BMC setpoint write; ceilings take effect immediately because the
+	// balancer runs after the controller.
+	Control(tS, dtS, demand float64, racks []RackView, ceil []float64) (trigOffsetC float64)
+}
+
+// ScaleInfo is the fleet shape and degradation tuning handed to a Scaler
+// at run start.
+type ScaleInfo struct {
+	Racks   int
+	Servers int
+	// StepS is the epoch length in seconds.
+	StepS float64
+	// ThrottleInletC is the hardware throttle trigger; MaxInletC the
+	// hottest class's cold-aisle setpoint. Their difference is the whole
+	// pre-throttle margin an inlet excursion can consume.
+	ThrottleInletC float64
+	MaxInletC      float64
+	// ThrottleFactor is the utilization ceiling imposed on a throttled
+	// rack.
+	ThrottleFactor float64
+	// RecoveryTauS is the room's exponential recovery time constant
+	// after a chiller restart.
+	RecoveryTauS float64
+}
+
+// maxTrigBackoffMarginC is the slice of the pre-throttle margin a Scaler
+// may not consume: trigger offsets are clamped so the effective trigger
+// stays at least this far above the hottest cold-aisle setpoint,
+// otherwise a runaway controller could throttle the fleet permanently
+// (Validate guarantees the hardware trigger itself sits above every
+// setpoint).
+const maxTrigBackoffMarginC = 0.5

@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// fakeScaler caps every rack at Ceil and returns Offset, recording what
+// the fleet hands it.
+type fakeScaler struct {
+	Ceil   float64
+	Offset float64
+
+	info   ScaleInfo
+	resets int
+	calls  int
+}
+
+func (s *fakeScaler) Name() string { return "fake" }
+func (s *fakeScaler) Reset(info ScaleInfo) {
+	s.info = info
+	s.resets++
+	s.calls = 0
+}
+func (s *fakeScaler) Control(tS, dtS, demand float64, racks []RackView, ceil []float64) float64 {
+	s.calls++
+	for r := range ceil {
+		ceil[r] = s.Ceil
+	}
+	return s.Offset
+}
+
+func TestScalerCapsLoadAndReports(t *testing.T) {
+	tr := testTrace(t)
+	sc := &fakeScaler{Ceil: 0.3}
+	mk := func(scaler Scaler) *Run {
+		f, err := New(Config{
+			Classes: []ClassSpec{{Cfg: server.OneU(), Racks: 2}},
+			Scaler:  scaler,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := f.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	open := mk(nil)
+	closed := mk(sc)
+
+	if open.Scaler != "" || open.CeilMean != nil || open.AutoscaleEpochs != 0 {
+		t.Errorf("open-loop run reports scaler state: %q %v %d", open.Scaler, open.CeilMean, open.AutoscaleEpochs)
+	}
+	if closed.Scaler != "fake" {
+		t.Errorf("Scaler = %q, want fake", closed.Scaler)
+	}
+	if sc.resets != 1 || sc.calls != tr.Total.Len() {
+		t.Errorf("controller saw %d resets / %d calls, want 1 / %d", sc.resets, sc.calls, tr.Total.Len())
+	}
+	if sc.info.Racks != 2 || sc.info.Servers != 2*server.OneU().ServersPerRack ||
+		sc.info.StepS != tr.Total.Step || sc.info.ThrottleInletC <= sc.info.MaxInletC {
+		t.Errorf("ScaleInfo = %+v", sc.info)
+	}
+	// A 0.3 ceiling under a ~0.5-mean trace sheds work and caps power.
+	if closed.ShedServerSeconds <= open.ShedServerSeconds {
+		t.Errorf("capped run shed %v server-seconds, open loop %v — cap had no effect",
+			closed.ShedServerSeconds, open.ShedServerSeconds)
+	}
+	if closed.AutoscaleEpochs == 0 {
+		t.Error("no epochs counted as autoscaled despite a permanent cap")
+	}
+	if closed.CeilMean == nil {
+		t.Fatal("closed-loop run has no ceiling trace")
+	}
+	for i, c := range closed.CeilMean.Values {
+		if c != 0.3 {
+			t.Fatalf("CeilMean[%d] = %v, want 0.3", i, c)
+		}
+	}
+	for i := range closed.PowerW.Values {
+		if closed.PowerW.Values[i] > open.PowerW.Values[i]+1e-9 {
+			t.Fatalf("epoch %d: capped power %v exceeds open-loop %v",
+				i, closed.PowerW.Values[i], open.PowerW.Values[i])
+		}
+	}
+}
+
+func TestScalerTriggerOffsetClamp(t *testing.T) {
+	// A chiller outage spanning the whole run heats the room steadily. A
+	// huge negative trigger offset is clamped to the pre-throttle margin
+	// minus the safety sliver — racks throttle once the rise crosses
+	// 0.5 K instead of the full hardware margin, so the pre-emptive run
+	// accumulates strictly more throttled server-seconds. A positive (or
+	// NaN) offset must be ignored and change nothing.
+	tr := testTrace(t)
+	sch, err := faults.NewSchedule([]faults.Event{
+		{AtS: 0, Kind: faults.ChillerTrip, Rack: -1, Class: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(scaler Scaler) *Run {
+		f, err := New(Config{
+			Classes: []ClassSpec{{Cfg: server.OneU(), Racks: 2}},
+			Faults:  sch,
+			Scaler:  scaler,
+			// A massive room: the excursion crosses the clamped 0.5 K
+			// floor after a few 600 s epochs but takes most of the day to
+			// reach the full hardware margin, so the pre-emptive and
+			// hardware triggers fire visibly apart.
+			Degrade: DegradeConfig{RoomCapacityJPerKPerKW: 4e6},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := f.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	open := mk(nil)
+	early := mk(&fakeScaler{Ceil: 1, Offset: math.Inf(-1)})
+	noop := mk(&fakeScaler{Ceil: 1, Offset: 12})
+	nan := mk(&fakeScaler{Ceil: 1, Offset: math.NaN()})
+
+	if early.ThrottledServerSeconds <= open.ThrottledServerSeconds {
+		t.Errorf("pre-emptive trigger throttled %v server-seconds, open loop %v — offset had no effect",
+			early.ThrottledServerSeconds, open.ThrottledServerSeconds)
+	}
+	if noop.ThrottledServerSeconds != open.ThrottledServerSeconds {
+		t.Errorf("positive offset changed throttling: %v vs %v",
+			noop.ThrottledServerSeconds, open.ThrottledServerSeconds)
+	}
+	if nan.ThrottledServerSeconds != open.ThrottledServerSeconds {
+		t.Errorf("NaN offset changed throttling: %v vs %v",
+			nan.ThrottledServerSeconds, open.ThrottledServerSeconds)
+	}
+	// The hardware-onset clock stays defined against the unmodified
+	// trigger — and pre-emptive throttling DELAYS that crossing, because
+	// the throttled fleet pumps less heat into the room. This is the
+	// mechanism the autoscaler's ride-through win rests on.
+	if !(early.ThrottleOnsetS > open.ThrottleOnsetS) {
+		t.Errorf("pre-emptive throttling did not delay the hardware onset: %v vs %v",
+			early.ThrottleOnsetS, open.ThrottleOnsetS)
+	}
+}
+
+// nanScaler writes garbage ceilings; the fleet must treat NaN as "no
+// cap" and negative as zero.
+type nanScaler struct{}
+
+func (nanScaler) Name() string    { return "nan" }
+func (nanScaler) Reset(ScaleInfo) {}
+func (nanScaler) Control(tS, dtS, demand float64, racks []RackView, ceil []float64) float64 {
+	for r := range ceil {
+		if r%2 == 0 {
+			ceil[r] = math.NaN()
+		} else {
+			ceil[r] = -3
+		}
+	}
+	return 0
+}
+
+func TestScalerGarbageCeilings(t *testing.T) {
+	f, err := New(Config{
+		Classes: []ClassSpec{{Cfg: server.OneU(), Racks: 2}},
+		Scaler:  nanScaler{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := f.Run(testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rack 0 uncapped (NaN ignored), rack 1 idled (negative -> 0): the
+	// mean effective ceiling is 0.5 and nothing is NaN anywhere.
+	for i, c := range run.CeilMean.Values {
+		if c != 0.5 {
+			t.Fatalf("CeilMean[%d] = %v, want 0.5", i, c)
+		}
+	}
+	for i, p := range run.PowerW.Values {
+		if math.IsNaN(p) {
+			t.Fatalf("PowerW[%d] is NaN", i)
+		}
+	}
+}

@@ -1,9 +1,6 @@
 package flightrec
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Rule kinds.
 const (
@@ -226,32 +223,23 @@ func (r *Recorder) forecastLocked(ch *Channel, rule *Rule, tS float64) (ttaS flo
 	// Least-squares slope over the last n ring samples, read in place (the
 	// per-epoch path must not allocate); x in steps, rescaled after.
 	base := have - n
-	var sx, sy, sxx, sxy float64
+	var acc slopeAccum
 	for i := 0; i < n; i++ {
-		x := float64(i)
-		v := ch.raw.at(base + i)
-		sx += x
-		sy += v
-		sxx += x * x
-		sxy += x * v
+		acc.add(ch.raw.at(base + i))
 	}
-	fn := float64(n)
-	den := fn*sxx - sx*sx
-	if den == 0 {
+	s, sok := acc.slope()
+	if !sok {
 		return 0, false
 	}
-	slope := (fn*sxy - sx*sy) / den / r.stepS
+	slope := s / r.stepS
 	cur := ch.raw.at(have - 1)
 	if slope <= 0 || cur >= rule.Target {
 		// Already past the target counts as "not approaching": the
-		// threshold rule family covers level breaches.
+		// threshold rule family covers level breaches. The exported
+		// SlopeForecast is the direction-agnostic variant.
 		return 0, false
 	}
-	tta := (rule.Target - cur) / slope
-	if math.IsInf(tta, 0) || math.IsNaN(tta) {
-		return 0, false
-	}
-	return tta, true
+	return timeToTarget(cur, rule.Target, slope)
 }
 
 // openAlert appends an active alert, evicting the oldest cleared alert

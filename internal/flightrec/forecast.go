@@ -1,0 +1,73 @@
+package flightrec
+
+import "math"
+
+// slopeAccum accumulates the running sums of an ordinary least-squares
+// line fit, one sample per call. It is a plain value so both the alert
+// evaluator's zero-allocation ring walk and the exported slice variant
+// share the same arithmetic (and therefore the same rounding) without
+// materialising an x vector.
+type slopeAccum struct {
+	n                int
+	sx, sy, sxx, sxy float64
+}
+
+func (a *slopeAccum) add(v float64) {
+	x := float64(a.n)
+	a.n++
+	a.sx += x
+	a.sy += v
+	a.sxx += x * x
+	a.sxy += x * v
+}
+
+// slope returns the fitted slope per sample step. ok is false when the
+// fit is degenerate (fewer than two samples, or a zero denominator). A
+// non-finite sample poisons the sums into NaN, which flows through the
+// returned slope and is rejected downstream by timeToTarget.
+func (a *slopeAccum) slope() (float64, bool) {
+	fn := float64(a.n)
+	den := fn*a.sxx - a.sx*a.sx
+	if a.n < 2 || den == 0 {
+		return 0, false
+	}
+	return (fn*a.sxy - a.sx*a.sy) / den, true
+}
+
+// timeToTarget projects how long a series at cur moving at slopePerS
+// takes to reach target. ok is false when the series is flat, moving
+// away from the target, already at or past it, or the projection is not
+// finite (e.g. the slope came from a NaN-poisoned window).
+func timeToTarget(cur, target, slopePerS float64) (ttaS float64, ok bool) {
+	if slopePerS == 0 {
+		return 0, false
+	}
+	tta := (target - cur) / slopePerS
+	if tta <= 0 || math.IsInf(tta, 0) || math.IsNaN(tta) {
+		return 0, false
+	}
+	return tta, true
+}
+
+// SlopeForecast fits a least-squares line to vals — one sample per stepS
+// seconds, oldest first — and projects when the series reaches target.
+// Unlike the recorder's wax-exhaustion rule it is direction-agnostic: a
+// falling series forecasts a lower target just as a rising one forecasts
+// a higher target. ok is false when the series is too short (fewer than
+// two samples), flat, moving away from the target, already at or past
+// it, or polluted by non-finite samples (a stuck or dropped sensor in
+// the window yields no forecast rather than a garbage one).
+func SlopeForecast(vals []float64, stepS, target float64) (ttaS float64, ok bool) {
+	if stepS <= 0 || len(vals) < 2 {
+		return 0, false
+	}
+	var acc slopeAccum
+	for _, v := range vals {
+		acc.add(v)
+	}
+	s, sok := acc.slope()
+	if !sok {
+		return 0, false
+	}
+	return timeToTarget(vals[len(vals)-1], target, s/stepS)
+}

@@ -1,0 +1,170 @@
+package flightrec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlopeForecast(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		vals   []float64
+		stepS  float64
+		target float64
+		want   float64
+		ok     bool
+	}{
+		{"rising", []float64{0, 1, 2, 3, 4}, 1, 10, 6, true},
+		{"rising scaled step", []float64{0, 1, 2, 3, 4}, 60, 10, 360, true},
+		{"falling to lower target", []float64{10, 9, 8}, 1, 5, 3, true},
+		{"rising away from lower target", []float64{0, 1, 2}, 1, -5, 0, false},
+		{"falling away from higher target", []float64{10, 9, 8}, 1, 20, 0, false},
+		{"flat", []float64{3, 3, 3, 3}, 1, 10, 0, false},
+		{"already at target", []float64{8, 9, 10}, 1, 10, 0, false},
+		{"already past target", []float64{9, 10, 11}, 1, 10, 0, false},
+		{"nan sample", []float64{0, nan, 2, 3}, 1, 10, 0, false},
+		{"inf sample", []float64{0, math.Inf(1), 2, 3}, 1, 10, 0, false},
+		{"one sample", []float64{5}, 1, 10, 0, false},
+		{"empty", nil, 1, 10, 0, false},
+		{"zero step", []float64{0, 1, 2}, 0, 10, 0, false},
+		{"negative step", []float64{0, 1, 2}, -1, 10, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := SlopeForecast(c.vals, c.stepS, c.target)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if ok && math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: tta = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSlopeForecastMatchesRuleEvaluator pins the exported forecaster to
+// the alert engine's internal one: same samples, same step, same target
+// must give bit-identical projections, since they share the accumulator.
+func TestSlopeForecastMatchesRuleEvaluator(t *testing.T) {
+	rec := New(Config{})
+	rec.Start(RunMeta{}, 0, 60)
+	if err := rec.AddRule(Rule{
+		Name: "exhaust", Channel: "liq", Type: RuleForecast,
+		Target: 1.0, HorizonS: 600, WindowS: 240,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch := rec.Channel("liq")
+	// Linear climb 0.1/epoch from 0: at epoch 1 the evaluator sees
+	// {0, 0.1}, slope 0.1/60 per s, projecting 1.0 in 540 s — inside the
+	// 600 s horizon, so the rule fires immediately with Value = 540.
+	vals := []float64{0, 0.1}
+	for i, v := range vals {
+		ch.Set(v)
+		rec.EndEpoch(float64(i) * 60)
+	}
+	alerts := rec.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1: %+v", len(alerts), alerts)
+	}
+	want, ok := SlopeForecast(vals, 60, 1.0)
+	if !ok {
+		t.Fatal("SlopeForecast declined the window the rule fired on")
+	}
+	if alerts[0].Value != want {
+		t.Errorf("rule projected %v, SlopeForecast %v — diverged", alerts[0].Value, want)
+	}
+}
+
+// forecastRec builds a recorder with one forecast rule watching channel
+// "liq" (target 1.0, horizon 3600 s, window 300 s at 60 s epochs: six
+// samples) and returns it with the channel and a feed helper that stages
+// one value per epoch.
+func forecastRec(t *testing.T) (*Recorder, func(vals ...float64)) {
+	t.Helper()
+	rec := New(Config{})
+	rec.Start(RunMeta{}, 0, 60)
+	if err := rec.AddRule(Rule{
+		Name: "exhaust", Channel: "liq", Type: RuleForecast,
+		Target: 1.0, HorizonS: 3600, WindowS: 300,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch := rec.Channel("liq")
+	tS := 0.0
+	return rec, func(vals ...float64) {
+		for _, v := range vals {
+			ch.Set(v)
+			rec.EndEpoch(tS)
+			tS += 60
+		}
+	}
+}
+
+// TestForecastSensorDropoutWindow is the satellite case: a sensor-drop
+// fault (NaN samples, as the fleet stages for a dropped sensor) lands
+// inside the least-squares window of a firing forecast rule. The rule
+// must not fire on garbage or panic — it clears while the window is
+// polluted and re-fires once clean samples refill it.
+func TestForecastSensorDropoutWindow(t *testing.T) {
+	rec, feed := forecastRec(t)
+	// Climb 0.02/epoch from 0.5: slope ~3.3e-4/s projects exhaustion
+	// ~1500 s out, well inside the hour horizon — fires on the second
+	// sample.
+	feed(0.50, 0.52, 0.54, 0.56)
+	if got := rec.ActiveAlerts(); len(got) != 1 {
+		t.Fatalf("forecast did not fire on the climb: %+v", rec.Alerts())
+	}
+	// Sensor drops: six NaN epochs fill the whole window.
+	nan := math.NaN()
+	feed(nan, nan, nan, nan, nan, nan)
+	if got := rec.ActiveAlerts(); len(got) != 0 {
+		t.Fatalf("alert stayed active through a NaN window: %+v", got)
+	}
+	if got := rec.Alerts(); len(got) != 1 {
+		t.Fatalf("NaN window opened new alerts: %+v", got)
+	}
+	// Sensor recovers and the climb resumes; once the NaNs age out of
+	// the window the rule fires a second time.
+	feed(0.62, 0.64, 0.66, 0.68, 0.70, 0.72, 0.74, 0.76)
+	alerts := rec.Alerts()
+	if len(alerts) != 2 || !alerts[1].Active {
+		t.Fatalf("forecast did not re-fire after recovery: %+v", alerts)
+	}
+	for _, a := range alerts {
+		if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) || a.Value <= 0 {
+			t.Errorf("alert carries a non-finite projection: %+v", a)
+		}
+		if math.IsNaN(a.Peak) || math.IsInf(a.Peak, 0) {
+			t.Errorf("alert peak is non-finite: %+v", a)
+		}
+	}
+}
+
+// TestForecastStuckSensorWindow covers the stuck flavor: the fleet
+// recommits a stuck sensor's latched reading, so the window degenerates
+// to a constant. The fit's slope collapses to zero — no forecast, no
+// fire — and the rule recovers when real samples return.
+func TestForecastStuckSensorWindow(t *testing.T) {
+	rec, feed := forecastRec(t)
+	feed(0.50, 0.52, 0.54, 0.56)
+	if got := rec.ActiveAlerts(); len(got) != 1 {
+		t.Fatalf("forecast did not fire on the climb: %+v", rec.Alerts())
+	}
+	// Stuck: the last reading repeats. The projection recedes as the
+	// slope flattens, clearing the alert; an all-constant window yields
+	// no forecast at all rather than a divide-by-zero.
+	feed(0.56, 0.56, 0.56, 0.56, 0.56, 0.56, 0.56)
+	if got := rec.ActiveAlerts(); len(got) != 0 {
+		t.Fatalf("alert stayed active on a stuck window: %+v", got)
+	}
+	if got := rec.Alerts(); len(got) != 1 {
+		t.Fatalf("stuck window opened new alerts: %+v", got)
+	}
+	// Unstick and resume the climb: re-fires on fresh slope.
+	feed(0.58, 0.60, 0.62, 0.64, 0.66, 0.68)
+	alerts := rec.Alerts()
+	if len(alerts) != 2 || !alerts[1].Active {
+		t.Fatalf("forecast did not re-fire after the sensor unstuck: %+v", alerts)
+	}
+}

@@ -593,6 +593,93 @@ func FaultsJSON(r *core.FaultResult) *FaultResultView {
 }
 
 // ---------------------------------------------------------------------------
+// autoscale
+
+// AutoscaleArmView is one (scenario, policy) run in the autoscale study.
+type AutoscaleArmView struct {
+	Name                   string         `json:"name"`
+	Closed                 bool           `json:"closed"`
+	Balancer               string         `json:"balancer"`
+	Policy                 string         `json:"policy,omitempty"`
+	ThrottledServerSeconds float64        `json:"throttled_server_seconds"`
+	ShedServerSeconds      float64        `json:"shed_server_seconds"`
+	CombinedServerSeconds  float64        `json:"combined_server_seconds"`
+	PeakInletRiseC         float64        `json:"peak_inlet_rise_c"`
+	ThrottleOnsetS         *float64       `json:"throttle_onset_s"`
+	Decisions              int            `json:"decisions"`
+	Actions                map[string]int `json:"actions,omitempty"`
+	AutoscaleEpochs        int            `json:"autoscale_epochs"`
+	InletRiseC             *SeriesView    `json:"inlet_rise_c"`
+}
+
+// AutoscaleScenarioView is one scenario's arm table and verdict.
+type AutoscaleScenarioView struct {
+	Scenario             string             `json:"scenario"`
+	Events               int                `json:"events"`
+	TripAtS              *float64           `json:"trip_at_s"`
+	Arms                 []AutoscaleArmView `json:"arms"`
+	BestStatic           string             `json:"best_static,omitempty"`
+	BestStaticCombined   *float64           `json:"best_static_combined,omitempty"`
+	BestAdaptive         string             `json:"best_adaptive,omitempty"`
+	BestAdaptiveCombined *float64           `json:"best_adaptive_combined,omitempty"`
+	AdaptiveWins         bool               `json:"adaptive_wins"`
+}
+
+// AutoscaleResultView is the autoscale experiment outcome.
+type AutoscaleResultView struct {
+	Racks     int                     `json:"racks"`
+	Servers   int                     `json:"servers"`
+	Balancer  string                  `json:"balancer"`
+	StepS     float64                 `json:"step_s"`
+	Days      int                     `json:"days"`
+	Seed      int64                   `json:"seed"`
+	Scenarios []AutoscaleScenarioView `json:"scenarios"`
+}
+
+// AutoscaleJSON builds the view.
+func AutoscaleJSON(r *core.AutoscaleResult) *AutoscaleResultView {
+	out := &AutoscaleResultView{
+		Racks:    r.Racks,
+		Servers:  r.Servers,
+		Balancer: r.Balancer,
+		StepS:    r.Spec.StepS,
+		Days:     r.Spec.Days,
+		Seed:     r.Spec.Seed,
+	}
+	for _, sc := range r.Scenarios {
+		sv := AutoscaleScenarioView{
+			Scenario:             sc.Scenario,
+			Events:               sc.Events,
+			TripAtS:              fnum(sc.TripAtS),
+			BestStatic:           sc.BestStatic,
+			BestStaticCombined:   fnum(sc.BestStaticCombined),
+			BestAdaptive:         sc.BestAdaptive,
+			BestAdaptiveCombined: fnum(sc.BestAdaptiveCombined),
+			AdaptiveWins:         sc.AdaptiveWins,
+		}
+		for _, a := range sc.Arms {
+			sv.Arms = append(sv.Arms, AutoscaleArmView{
+				Name:                   a.Name,
+				Closed:                 a.Closed,
+				Balancer:               a.Balancer,
+				Policy:                 a.Policy,
+				ThrottledServerSeconds: a.ThrottledServerSeconds,
+				ShedServerSeconds:      a.ShedServerSeconds,
+				CombinedServerSeconds:  a.CombinedServerSeconds,
+				PeakInletRiseC:         a.PeakInletRiseC,
+				ThrottleOnsetS:         fnum(a.ThrottleOnsetS),
+				Decisions:              a.Decisions,
+				Actions:                a.Actions,
+				AutoscaleEpochs:        a.AutoscaleEpochs,
+				InletRiseC:             SeriesJSON(a.InletRiseC),
+			})
+		}
+		out.Scenarios = append(out.Scenarios, sv)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
 // check
 
 // CheckRowView is one self-check line.

@@ -191,6 +191,49 @@ func Fleet(r *core.FleetResult) string {
 	return b.String()
 }
 
+// Autoscale renders the closed-loop autoscaler experiment: one table per
+// scenario comparing the open-loop balancers against the controller's
+// decision policies, with the adaptive-vs-static verdict underneath.
+func Autoscale(r *core.AutoscaleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "autoscale: %d racks, %d servers, %d workers; balancer %s under the closed arms\n",
+		r.Racks, r.Servers, r.Workers, r.Balancer)
+	fmt.Fprintf(&b, "  room %.0f kJ/(K*kW), recovery tau %.0f s; control epoch %.0f s over %d day(s), seed %d\n",
+		r.Spec.RoomCapacityJPerKPerKW/1000, r.Spec.RecoveryTauS, r.Spec.StepS, r.Spec.Days, r.Spec.Seed)
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(&b, "  scenario %s: %d events", sc.Scenario, sc.Events)
+		if !math.IsNaN(sc.TripAtS) {
+			fmt.Fprintf(&b, ", first chiller trip at %.1f h", sc.TripAtS/3600)
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintf(&b, "    %-18s %13s %13s %13s %10s %8s %10s\n",
+			"arm", "throttled", "shed", "combined", "peak rise", "onset", "decisions")
+		for _, a := range sc.Arms {
+			onset := "never"
+			if !math.IsNaN(a.ThrottleOnsetS) {
+				onset = fmt.Sprintf("%.1f h", a.ThrottleOnsetS/3600)
+			}
+			decisions := "-"
+			if a.Closed {
+				decisions = fmt.Sprintf("%d", a.Decisions)
+			}
+			fmt.Fprintf(&b, "    %-18s %9.0f s-m %9.0f s-m %9.0f s-m %8.1f C %8s %10s\n",
+				a.Name, a.ThrottledServerSeconds/60, a.ShedServerSeconds/60,
+				a.CombinedServerSeconds/60, a.PeakInletRiseC, onset, decisions)
+		}
+		switch {
+		case sc.AdaptiveWins:
+			fmt.Fprintf(&b, "    verdict: %s under-bids every static arm (%.0f vs %.0f server-seconds, %.1f%% cheaper)\n",
+				sc.BestAdaptive, sc.BestAdaptiveCombined, sc.BestStaticCombined,
+				100*(1-sc.BestAdaptiveCombined/sc.BestStaticCombined))
+		case sc.BestAdaptive != "" && sc.BestStatic != "":
+			fmt.Fprintf(&b, "    verdict: %s rides it out cheapest (%.0f server-seconds; best adaptive %s at %.0f)\n",
+				sc.BestStatic, sc.BestStaticCombined, sc.BestAdaptive, sc.BestAdaptiveCombined)
+		}
+	}
+	return b.String()
+}
+
 // Faults renders the fault-injection experiment: the scenario replayed,
 // then one block per policy comparing the wax and no-wax fleets' ride-
 // through and degradation totals.

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/pcm"
 	"repro/internal/report"
 	"repro/internal/tco"
@@ -19,7 +20,7 @@ type Runner func(ctx context.Context, s *core.Study, req *Request) (any, error)
 // ttsim CLI.
 var ExperimentOrder = []string{
 	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
-	"table2", "tco", "extensions", "fleet", "faults", "waxsweep", "check",
+	"table2", "tco", "extensions", "fleet", "faults", "autoscale", "waxsweep", "check",
 }
 
 // defaultRunners maps every served experiment to its runner.
@@ -36,6 +37,7 @@ func defaultRunners() map[string]Runner {
 		"extensions": runExtensions,
 		"fleet":      runFleet,
 		"faults":     runFaults,
+		"autoscale":  runAutoscale,
 		"waxsweep":   runWaxSweep,
 		"check":      runCheck,
 	}
@@ -181,11 +183,34 @@ func runFaults(ctx context.Context, s *core.Study, req *Request) (any, error) {
 		StepS:    req.FaultsStepS,
 		Recorder: req.Recorder,
 	}
+	// "peak" keeps the nil-Schedule default; any other canonical scenario
+	// name resolves from the embedded corpus.
+	if req.FaultsScenario != "" && req.FaultsScenario != "peak" {
+		sched, err := faults.Named(req.FaultsScenario)
+		if err != nil {
+			return nil, err
+		}
+		spec.Schedule = sched
+	}
 	r, err := s.RunFaultStudy(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
 	return report.FaultsJSON(r), nil
+}
+
+func runAutoscale(ctx context.Context, s *core.Study, req *Request) (any, error) {
+	spec := core.DefaultAutoscaleSpec()
+	spec.Mix = req.AutoscaleMix
+	spec.Closed = req.AutoscalePolicies
+	spec.Scenarios = req.AutoscaleScenarios
+	spec.Workers = req.Workers
+	spec.Recorder = req.Recorder
+	r, err := s.RunAutoscaleStudy(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return report.AutoscaleJSON(r), nil
 }
 
 func runWaxSweep(_ context.Context, s *core.Study, _ *Request) (any, error) {

@@ -34,23 +34,51 @@ func TestGoldenExperiments(t *testing.T) {
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("status = %d: %s", resp.StatusCode, body)
 			}
-			path := goldenPath(name)
-			if *update {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, body, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
+			compareGolden(t, name, body)
+		})
+	}
+}
+
+// compareGolden matches body against the corpus file for name, or
+// rewrites it under -update.
+func compareGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden for %s (generate with -update): %v", name, err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("%s drifted from its golden: %s", name, firstDiff(want, body))
+	}
+}
+
+// TestGoldenNamedScenarios pins the embedded fault scenarios served by
+// name: replaying each through the faults experiment must keep producing
+// the same bytes, so an edit to a scenario file (or to the schedule
+// interpreter) cannot slip through unnoticed.
+func TestGoldenNamedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the faults experiment per scenario")
+	}
+	_, ts := newTestServer(t, Config{})
+	for _, name := range []string{"diurnal-surge", "rolling-brownout"} {
+		t.Run(name, func(t *testing.T) {
+			body := fmt.Sprintf(`{"faults":{"scenario":%q}}`, name)
+			resp, out := postJSON(t, ts.URL+"/v1/experiments/faults", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d: %s", resp.StatusCode, out)
 			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("no golden for %s (generate with -update): %v", name, err)
-			}
-			if !bytes.Equal(body, want) {
-				t.Errorf("%s drifted from its golden: %s", name, firstDiff(want, body))
-			}
+			compareGolden(t, "faults-"+name, out)
 		})
 	}
 }

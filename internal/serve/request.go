@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/flightrec"
 )
@@ -48,6 +50,11 @@ type Request struct {
 	FaultsScenario string
 	FaultsSeed     int64
 	FaultsStepS    float64
+	// AutoscaleMix, AutoscalePolicies and AutoscaleScenarios configure
+	// the autoscale experiment (zero unless Experiment == "autoscale").
+	AutoscaleMix       []core.FleetClass
+	AutoscalePolicies  []string
+	AutoscaleScenarios []string
 	// Workers bounds the stepping pool for fleet/faults runs (0 = one per
 	// CPU). Excluded from Key: it cannot change the simulated physics.
 	Workers int
@@ -64,10 +71,11 @@ type Request struct {
 // wireRequest is the JSON body of a run request. Every field is optional;
 // zero values select the experiment's defaults.
 type wireRequest struct {
-	Optimize bool        `json:"optimize"`
-	Record   bool        `json:"record"`
-	Fleet    *wireFleet  `json:"fleet"`
-	Faults   *wireFaults `json:"faults"`
+	Optimize  bool           `json:"optimize"`
+	Record    bool           `json:"record"`
+	Fleet     *wireFleet     `json:"fleet"`
+	Faults    *wireFaults    `json:"faults"`
+	Autoscale *wireAutoscale `json:"autoscale"`
 }
 
 // wireFleet mirrors the ttsim -fleet.* flags.
@@ -77,9 +85,11 @@ type wireFleet struct {
 	Workers  int      `json:"workers"`
 }
 
-// wireFaults mirrors the ttsim -faults* flags. Scenario accepts only the
-// built-in "peak" trip over HTTP — scenario files are a CLI affordance;
-// serving arbitrary client-named paths would be a traversal hole.
+// wireFaults mirrors the ttsim -faults* flags. Scenario accepts the
+// built-in "peak" trip or an embedded scenario name over HTTP — scenario
+// files stay a CLI affordance; serving arbitrary client-named paths
+// would be a traversal hole, but the embedded corpus is baked into the
+// binary and safe to address by name.
 type wireFaults struct {
 	Mix      string   `json:"mix"`
 	Policies []string `json:"policies"`
@@ -87,6 +97,14 @@ type wireFaults struct {
 	Scenario string   `json:"scenario"`
 	Seed     int64    `json:"seed"`
 	StepS    float64  `json:"step_s"`
+}
+
+// wireAutoscale mirrors the ttsim -autoscale.* flags.
+type wireAutoscale struct {
+	Mix       string   `json:"mix"`
+	Policies  []string `json:"policies"`
+	Scenarios []string `json:"scenarios"`
+	Workers   int      `json:"workers"`
 }
 
 // optimizeApplies lists the experiments whose output the -optimize search
@@ -130,7 +148,8 @@ func ParseRequest(name string, body []byte, known func(string) bool) (*Request, 
 func (r *Request) canonicalize(wire *wireRequest) error {
 	r.Optimize = wire.Optimize && optimizeApplies[r.Experiment]
 	// Only the fleet-simulator experiments have an epoch loop to record.
-	r.Record = wire.Record && (r.Experiment == "fleet" || r.Experiment == "faults")
+	r.Record = wire.Record &&
+		(r.Experiment == "fleet" || r.Experiment == "faults" || r.Experiment == "autoscale")
 
 	switch r.Experiment {
 	case "fleet":
@@ -158,11 +177,14 @@ func (r *Request) canonicalize(wire *wireRequest) error {
 				return err
 			}
 			policies, workers = wire.Faults.Policies, wire.Faults.Workers
-			switch s := strings.ToLower(strings.TrimSpace(wire.Faults.Scenario)); s {
-			case "", "peak", "default":
+			switch s := strings.ToLower(strings.TrimSpace(wire.Faults.Scenario)); {
+			case s == "" || s == "peak" || s == "default":
 				// the built-in chiller trip at the approach to the peak
+			case faults.IsNamed(s):
+				scenario = s
 			default:
-				return fmt.Errorf("%w: unknown fault scenario %q (only \"peak\" is served)", ErrBadRequest, wire.Faults.Scenario)
+				return fmt.Errorf("%w: unknown fault scenario %q (serve accepts \"peak\" or an embedded scenario: %s)",
+					ErrBadRequest, wire.Faults.Scenario, strings.Join(faults.Scenarios(), ", "))
 			}
 			seed = wire.Faults.Seed
 			if wire.Faults.StepS < 0 {
@@ -178,6 +200,27 @@ func (r *Request) canonicalize(wire *wireRequest) error {
 		}
 		r.FaultsMix, r.FaultsPolicies, r.Workers = mix, pols, workers
 		r.FaultsScenario, r.FaultsSeed, r.FaultsStepS = scenario, seed, stepS
+	case "autoscale":
+		spec := core.DefaultAutoscaleSpec()
+		mix, policies, scenarios, workers := spec.Mix, []string(nil), []string(nil), 0
+		if wire.Autoscale != nil {
+			var err error
+			if mix, err = canonicalMix(wire.Autoscale.Mix, spec.Mix); err != nil {
+				return err
+			}
+			policies, scenarios = wire.Autoscale.Policies, wire.Autoscale.Scenarios
+			workers = wire.Autoscale.Workers
+		}
+		pols, err := canonicalScalerPolicies(policies)
+		if err != nil {
+			return err
+		}
+		scens, err := canonicalScenarios(scenarios)
+		if err != nil {
+			return err
+		}
+		r.AutoscaleMix, r.AutoscalePolicies, r.AutoscaleScenarios = mix, pols, scens
+		r.Workers = workers
 	}
 	return nil
 }
@@ -221,6 +264,54 @@ func canonicalPolicies(names, all []string) ([]string, error) {
 	return out, nil
 }
 
+// canonicalScalerPolicies resolves decision-policy aliases to canonical
+// names in request order; empty, or any entry spelled "all", selects the
+// full set.
+func canonicalScalerPolicies(names []string) ([]string, error) {
+	expanded := false
+	var out []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if strings.EqualFold(name, "all") {
+			expanded = true
+			continue
+		}
+		p, err := autoscale.ParsePolicy(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		out = append(out, p.Name())
+	}
+	if expanded || len(out) == 0 {
+		return autoscale.Policies(), nil
+	}
+	return out, nil
+}
+
+// canonicalScenarios validates embedded-scenario names in request order;
+// empty selects the canonical pair the headline table is built on.
+func canonicalScenarios(names []string) ([]string, error) {
+	var out []string
+	for _, name := range names {
+		s := strings.ToLower(strings.TrimSpace(name))
+		if s == "" {
+			continue
+		}
+		if !faults.IsNamed(s) {
+			return nil, fmt.Errorf("%w: unknown scenario %q (embedded: %s)",
+				ErrBadRequest, name, strings.Join(faults.Scenarios(), ", "))
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return []string{"chiller-trip-peak", "diurnal-surge"}, nil
+	}
+	return out, nil
+}
+
 // keyForm is the canonical encoding hashed into the cache key. Struct
 // field order is fixed, floats marshal in Go's shortest deterministic
 // form, and Workers is absent by design.
@@ -234,6 +325,10 @@ type keyForm struct {
 	FaultsScenario string   `json:"faults_scenario,omitempty"`
 	FaultsSeed     int64    `json:"faults_seed,omitempty"`
 	FaultsStepS    float64  `json:"faults_step_s,omitempty"`
+
+	AutoscaleMix       string   `json:"autoscale_mix,omitempty"`
+	AutoscalePolicies  []string `json:"autoscale_policies,omitempty"`
+	AutoscaleScenarios []string `json:"autoscale_scenarios,omitempty"`
 }
 
 // Key returns the content hash identifying this run: equal canonical
@@ -249,6 +344,10 @@ func (r *Request) Key() string {
 		FaultsScenario: r.FaultsScenario,
 		FaultsSeed:     r.FaultsSeed,
 		FaultsStepS:    r.FaultsStepS,
+
+		AutoscaleMix:       core.FormatFleetMix(r.AutoscaleMix),
+		AutoscalePolicies:  r.AutoscalePolicies,
+		AutoscaleScenarios: r.AutoscaleScenarios,
 	}
 	b, err := json.Marshal(form)
 	if err != nil {

@@ -83,6 +83,27 @@ func TestKeyCanonicalization(t *testing.T) {
 		{"policy subsets differ from the full set",
 			"fleet", `{"fleet":{"policies":["roundrobin"]}}`,
 			"fleet", ``, false},
+		{"embedded scenario names canonicalize case-insensitively",
+			"faults", `{"faults":{"scenario":"Rolling-Brownout"}}`,
+			"faults", `{"faults":{"scenario":"rolling-brownout"}}`, true},
+		{"named scenario differs from the peak default",
+			"faults", `{"faults":{"scenario":"rolling-brownout"}}`,
+			"faults", ``, false},
+		{"autoscale explicit defaults equal omitted defaults",
+			"autoscale", `{"autoscale":{"policies":["all"],"scenarios":["chiller-trip-peak","diurnal-surge"]}}`,
+			"autoscale", ``, true},
+		{"autoscale policy aliases resolve",
+			"autoscale", `{"autoscale":{"policies":["pre-freeze"]}}`,
+			"autoscale", `{"autoscale":{"policies":["prefreeze"]}}`, true},
+		{"autoscale workers is a perf knob, not semantics",
+			"autoscale", `{"autoscale":{"workers":1}}`,
+			"autoscale", `{"autoscale":{"workers":8}}`, true},
+		{"autoscale scenario subsets differ from the pair",
+			"autoscale", `{"autoscale":{"scenarios":["chiller-trip-peak"]}}`,
+			"autoscale", ``, false},
+		{"autoscale mixes differ",
+			"autoscale", `{"autoscale":{"mix":"1U=4"}}`,
+			"autoscale", ``, false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -127,6 +148,10 @@ func TestParseRequestErrors(t *testing.T) {
 		{"bad faults mix", "faults", `{"faults":{"mix":"8U=2"}}`, ErrBadRequest},
 		{"scenario file refused", "faults", `{"faults":{"scenario":"/etc/passwd"}}`, ErrBadRequest},
 		{"negative step", "faults", `{"faults":{"step_s":-1}}`, ErrBadRequest},
+		{"bad autoscale mix", "autoscale", `{"autoscale":{"mix":"8U=2"}}`, ErrBadRequest},
+		{"bad autoscale policy", "autoscale", `{"autoscale":{"policies":["bogus"]}}`, ErrBadRequest},
+		{"bad autoscale scenario", "autoscale", `{"autoscale":{"scenarios":["made-up"]}}`, ErrBadRequest},
+		{"autoscale scenario file refused", "autoscale", `{"autoscale":{"scenarios":["/etc/passwd"]}}`, ErrBadRequest},
 	}
 	for _, c := range bad {
 		t.Run(c.name, func(t *testing.T) {
@@ -161,6 +186,20 @@ func TestCanonicalizeFillsDefaults(t *testing.T) {
 	}
 	if req.FaultsStepS != 60 {
 		t.Errorf("default step = %g, want 60", req.FaultsStepS)
+	}
+
+	req, err = ParseRequest("autoscale", nil, knownAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.AutoscaleMix) == 0 {
+		t.Error("default autoscale mix not filled")
+	}
+	if len(req.AutoscalePolicies) != 3 {
+		t.Errorf("default autoscale policies = %v, want the full set", req.AutoscalePolicies)
+	}
+	if len(req.AutoscaleScenarios) != 2 {
+		t.Errorf("default autoscale scenarios = %v, want the canonical pair", req.AutoscaleScenarios)
 	}
 
 	// Non-fleet experiments carry no fleet state at all.

@@ -30,21 +30,24 @@ func newRecorderStore() *recorderStore {
 }
 
 // put registers a completed run's recorder, evicting the oldest once the
-// store is full. Re-recording the same run replaces its entry in place.
-func (rs *recorderStore) put(id string, rec *flightrec.Recorder) {
+// store is full, and reports how many entries it evicted. Re-recording
+// the same run replaces its entry in place.
+func (rs *recorderStore) put(id string, rec *flightrec.Recorder) (evicted int) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	if _, ok := rs.byID[id]; ok {
 		rs.byID[id] = rec
-		return
+		return 0
 	}
 	for len(rs.order) >= maxRecorders {
 		oldest := rs.order[0]
 		rs.order = rs.order[1:]
 		delete(rs.byID, oldest)
+		evicted++
 	}
 	rs.byID[id] = rec
 	rs.order = append(rs.order, id)
+	return evicted
 }
 
 func (rs *recorderStore) get(id string) *flightrec.Recorder {

@@ -240,8 +240,12 @@ func TestRecordIgnoredForClosedForm(t *testing.T) {
 // run once full and replaces re-recorded runs in place.
 func TestRecorderStoreEviction(t *testing.T) {
 	rs := newRecorderStore()
+	evicted := 0
 	for i := 0; i < maxRecorders+3; i++ {
-		rs.put(fmt.Sprintf("run%d", i), flightrec.New(flightrec.Config{}))
+		evicted += rs.put(fmt.Sprintf("run%d", i), flightrec.New(flightrec.Config{}))
+	}
+	if evicted != 3 {
+		t.Errorf("put reported %d evictions, want 3", evicted)
 	}
 	if rs.len() != maxRecorders {
 		t.Fatalf("store holds %d recorders, want %d", rs.len(), maxRecorders)
@@ -256,11 +260,32 @@ func TestRecorderStoreEviction(t *testing.T) {
 	}
 
 	replacement := flightrec.New(flightrec.Config{})
-	rs.put(fmt.Sprintf("run%d", maxRecorders+2), replacement)
+	if n := rs.put(fmt.Sprintf("run%d", maxRecorders+2), replacement); n != 0 {
+		t.Errorf("in-place replacement reported %d evictions, want 0", n)
+	}
 	if rs.len() != maxRecorders {
 		t.Errorf("replacing in place grew the store to %d", rs.len())
 	}
 	if rs.get(fmt.Sprintf("run%d", maxRecorders+2)) != replacement {
 		t.Error("replacement did not take")
+	}
+}
+
+// TestRecorderEvictionCounter checks the server surfaces registry
+// evictions on its metrics endpoint: once more than maxRecorders
+// distinct recorded runs complete, serve.recorder_evictions counts the
+// dropped entries.
+func TestRecorderEvictionCounter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	for i := 0; i < maxRecorders+2; i++ {
+		// Distinct seeds make distinct run keys, so each put is an insert.
+		body := fmt.Sprintf(`{"record": true, "faults": {"mix": "1U=2", "policies": ["faultaware"], "seed": %d}}`, i+1)
+		resp, out := postJSON(t, ts.URL+"/v1/experiments/faults", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recorded faults run %d failed: %d %s", i, resp.StatusCode, out)
+		}
+	}
+	if got := srv.obs.Counter("serve.recorder_evictions").Value(); got != 2 {
+		t.Errorf("serve.recorder_evictions = %d, want 2", got)
 	}
 }

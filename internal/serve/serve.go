@@ -405,7 +405,9 @@ func (s *Server) execute(ctx context.Context, req *Request, key string) ([]byte,
 		// Publish the flight recording under the run key; the result bytes
 		// themselves are identical to an unrecorded run, so the cache entry
 		// stays shared.
-		s.recorders.put(key, req.Recorder)
+		if n := s.recorders.put(key, req.Recorder); n > 0 {
+			s.obs.Counter("serve.recorder_evictions").Add(int64(n))
+		}
 	}
 	s.cache.Put(key, out)
 	return out, nil

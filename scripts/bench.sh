@@ -7,12 +7,18 @@
 #   BENCH_fleet.json   — the dcsim fluid loop and the sharded fleet epochs
 #                        built on top of it (including the flight-recorder
 #                        on/off pair)
+#   BENCH_autoscale.json — the paired control-loop-on/off fleet run; its
+#                        overhead-pct metric is the autoscaler's epoch-loop
+#                        cost with the clock drift cancelled (target < 5%)
 #
 # Each benchmark contributes ONE record — the median across the COUNT
 # repetitions — so trend tooling compares like with like instead of
 # whichever repetition happened to land first:
 #
-#   {"name", "ns_per_op", "allocs_per_op", "reps"}
+#   {"name", "ns_per_op", "allocs_per_op", "overhead_pct", "reps"}
+#
+# overhead_pct is null for every benchmark that does not report the
+# custom overhead-pct metric.
 #
 # The raw per-repetition records are kept alongside in
 # BENCH_<suite>.raw.json (same shape, one record per repetition) for
@@ -37,14 +43,16 @@ bench() {
   echo "$txt" | awk '
     BEGIN { print "["; sep = "  " }
     /^Benchmark/ {
-      ns = ""; allocs = "";
+      ns = ""; allocs = ""; over = "";
       for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1);
         if ($i == "allocs/op") allocs = $(i - 1);
+        if ($i == "overhead-pct") over = $(i - 1);
       }
       if (ns == "") next;
       if (allocs == "") allocs = "null";
-      printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s}", sep, $1, ns, allocs;
+      if (over == "") over = "null";
+      printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"overhead_pct\":%s}", sep, $1, ns, allocs, over;
       sep = ",\n  ";
     }
     END { print "\n]" }
@@ -61,16 +69,18 @@ bench() {
       return (a[c / 2] + a[c / 2 + 1]) / 2
     }
     /^Benchmark/ {
-      ns = ""; allocs = "";
+      ns = ""; allocs = ""; over = "";
       for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1);
         if ($i == "allocs/op") allocs = $(i - 1);
+        if ($i == "overhead-pct") over = $(i - 1);
       }
       if (ns == "") next;
       if (!($1 in cnt)) order[++n] = $1
       cnt[$1]++
       nsv[$1, cnt[$1]] = ns
       if (allocs != "") { av[$1, cnt[$1]] = allocs; ac[$1]++ }
+      if (over != "") { ov[$1, cnt[$1]] = over; oc[$1]++ }
     }
     END {
       print "["
@@ -79,7 +89,8 @@ bench() {
         name = order[k]
         m = median(name, nsv, cnt[name])
         a = (ac[name] == cnt[name]) ? median(name, av, cnt[name]) : "null"
-        printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"reps\":%d}", sep, name, m, a, cnt[name]
+        o = (oc[name] == cnt[name]) ? median(name, ov, cnt[name]) : "null"
+        printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s,\"overhead_pct\":%s,\"reps\":%d}", sep, name, m, a, o, cnt[name]
         sep = ",\n  "
       }
       print "\n]"
@@ -90,3 +101,4 @@ bench() {
 
 bench BENCH_thermal.json ./internal/thermal/...
 bench BENCH_fleet.json ./internal/dcsim/... ./internal/fleet/...
+bench BENCH_autoscale.json ./internal/autoscale/...
