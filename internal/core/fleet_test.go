@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/tco"
 	"repro/internal/workload"
 )
@@ -124,5 +125,51 @@ func TestRunFleetStudyMixed(t *testing.T) {
 		Policies: []string{"bogus"},
 	}); err == nil {
 		t.Error("accepted unknown policy name")
+	}
+}
+
+// TestFleetStudyKernelPathsAgree pins that the study layer rides the
+// fleet's compiled kernel without changing a single bit of the results:
+// a default study (no registry → compiled struct-of-arrays path) and an
+// observed study (registry attached → instrumented reference path) must
+// produce identical headline numbers. This is the core-level face of
+// fleet's TestCompiledMatchesSlow.
+func TestFleetStudyKernelPathsAgree(t *testing.T) {
+	spec := FleetSpec{
+		Mix: []FleetClass{
+			{Class: OneU, Racks: 3},
+			{Class: OneU, Racks: 2, NoWax: true},
+		},
+		Policies: []string{"roundrobin", "thermal"},
+	}
+	compiled, err := fleetTestStudy(t).RunFleetStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := fleetTestStudy(t)
+	observed.Observe(obs.New())
+	reference, err := observed.RunFleetStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cp := range compiled.Policies {
+		rp := reference.Policies[i]
+		for _, v := range []struct {
+			field string
+			c, r  float64
+		}{
+			{"PeakPowerW", cp.PeakPowerW, rp.PeakPowerW},
+			{"PeakCoolingW", cp.PeakCoolingW, rp.PeakCoolingW},
+			{"BaselinePeakCoolingW", cp.BaselinePeakCoolingW, rp.BaselinePeakCoolingW},
+			{"PeakReduction", cp.PeakReduction, rp.PeakReduction},
+			{"HottestRackPeakW", cp.HottestRackPeakW, rp.HottestRackPeakW},
+			{"AnnualCoolingSavingsUSD", cp.AnnualCoolingSavingsUSD, rp.AnnualCoolingSavingsUSD},
+			{"ShedServerSeconds", cp.ShedServerSeconds, rp.ShedServerSeconds},
+		} {
+			if math.Float64bits(v.c) != math.Float64bits(v.r) {
+				t.Errorf("policy %s: %s compiled %v != reference %v",
+					cp.Policy, v.field, v.c, v.r)
+			}
+		}
 	}
 }

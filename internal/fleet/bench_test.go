@@ -6,47 +6,95 @@ import (
 
 	"repro/internal/flightrec"
 	"repro/internal/server"
+	"repro/internal/workload"
 )
 
 // BenchmarkFleetEpochs measures the sharded epoch loop end to end (ROM
-// derivation excluded) at several worker counts, reporting epoch
-// throughput. `go test -bench=FleetEpochs` compares scaling.
+// derivation excluded) across fleet sizes and worker counts, reporting
+// epoch throughput. The racks=32 entries track the historical small-fleet
+// number; the 1k and 10k entries are large enough for worker scaling to
+// show — on a multi-core box the compiled kernel's epochs/s should grow
+// near-linearly from workers=1 to workers=numcpu. `go test
+// -bench=FleetEpochs` compares scaling; 0 allocs/op is pinned separately
+// by TestCompiledZeroAllocsPerEpoch.
 func BenchmarkFleetEpochs(b *testing.B) {
 	rom, err := server.DeriveROM(server.OneU(), 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	tr := testTrace(b)
-	for _, workers := range []int{1, 2, 4, 0} {
-		name := fmt.Sprintf("workers=%d", workers)
-		if workers == 0 {
-			name = "workers=numcpu"
-		}
-		b.Run(name, func(b *testing.B) {
-			f, err := New(Config{
-				Classes: []ClassSpec{
-					{Cfg: server.OneU(), Racks: 24, WithWax: true, ROM: rom},
-					{Cfg: server.OneU(), Racks: 8},
-				},
-				Policy:  ThermalAware{},
-				Workers: workers,
-			})
-			if err != nil {
-				b.Fatal(err)
+	for _, racks := range []int{32, 1000, 10000} {
+		wax := racks * 3 / 4
+		for _, workers := range []int{1, 2, 4, 0} {
+			wname := fmt.Sprintf("workers=%d", workers)
+			if workers == 0 {
+				wname = "workers=numcpu"
 			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				run, err := f.Run(tr)
+			b.Run(fmt.Sprintf("racks=%d/%s", racks, wname), func(b *testing.B) {
+				f, err := New(Config{
+					Classes: []ClassSpec{
+						{Cfg: server.OneU(), Racks: wax, WithWax: true, ROM: rom},
+						{Cfg: server.OneU(), Racks: racks - wax},
+					},
+					Policy:  ThermalAware{},
+					Workers: workers,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
-				_ = run
-			}
-			epochs := float64(tr.Total.Len()) * float64(b.N)
-			b.ReportMetric(epochs/b.Elapsed().Seconds(), "epochs/s")
-		})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run, err := f.Run(tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = run
+				}
+				epochs := float64(tr.Total.Len()) * float64(b.N)
+				b.ReportMetric(epochs/b.Elapsed().Seconds(), "epochs/s")
+			})
+		}
 	}
+}
+
+// BenchmarkFleetMillionServers is the ROADMAP exit-criterion witness: a
+// heterogeneous 1,000,000-server fleet — 12,500 wax racks and 12,500
+// bare racks of 40 servers each, sharing two compiled classes — running
+// a two-day trace at 10-minute epochs on the compiled kernel. The s/run
+// metric is the wall time of one full two-day simulation, the
+// "interactive at warehouse scale" number README §6 quotes.
+func BenchmarkFleetMillionServers(b *testing.B) {
+	rom, err := server.DeriveROM(server.OneU(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(workload.Options{
+		Days: 2, StepS: 600, Seed: 3, MeanUtil: 0.55, PeakUtil: 0.95, NoiseAmp: 0.02,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := New(Config{
+		Classes: []ClassSpec{
+			{Cfg: server.OneU(), Racks: 12500, WithWax: true, ROM: rom},
+			{Cfg: server.OneU(), Racks: 12500},
+		},
+		Policy: ThermalAware{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	epochs := float64(tr.Total.Len()) * float64(b.N)
+	b.ReportMetric(epochs/b.Elapsed().Seconds(), "epochs/s")
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "s/run")
 }
 
 // BenchmarkFleetEpochsRecorded measures the flight recorder's epoch-loop

@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// rampScaler is a deterministic, allocation-free reactive controller for
+// the compile-pass tests: it caps wax racks by their remaining latent
+// buffer and backs the throttle trigger off with demand, so closed-loop
+// control actually actuates during the equivalence run.
+type rampScaler struct{}
+
+func (rampScaler) Name() string    { return "ramp" }
+func (rampScaler) Reset(ScaleInfo) {}
+func (rampScaler) Control(tS, dtS, demand float64, racks []RackView, ceil []float64) float64 {
+	for i, r := range racks {
+		if r.HasWax {
+			ceil[i] = 0.6 + 0.4*r.WaxRemaining
+		}
+	}
+	return -0.2 * demand
+}
+
+// twoDayTrace is the equivalence-test workload: long enough to melt and
+// refreeze the wax across two diurnal cycles.
+func twoDayTrace(t testing.TB) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.Options{
+		Days: 2, StepS: 600, Seed: 11, MeanUtil: 0.55, PeakUtil: 0.95, NoiseAmp: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func bitsEqualSeries(a, b *timeseries.Series) (int, bool) {
+	if (a == nil) != (b == nil) {
+		return -1, false
+	}
+	if a == nil {
+		return 0, true
+	}
+	for i := range a.Values {
+		if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// requireRunsIdentical asserts every physical output of two runs is
+// bit-identical (execution metadata — Kernel, Workers — excluded).
+func requireRunsIdentical(t *testing.T, name string, want, got *Run) {
+	t.Helper()
+	for _, s := range []struct {
+		field string
+		w, g  *timeseries.Series
+	}{
+		{"PowerW", want.PowerW, got.PowerW},
+		{"CoolingLoadW", want.CoolingLoadW, got.CoolingLoadW},
+		{"WaxLiquid", want.WaxLiquid, got.WaxLiquid},
+		{"InletRiseC", want.InletRiseC, got.InletRiseC},
+		{"ThrottledRacks", want.ThrottledRacks, got.ThrottledRacks},
+		{"CeilMean", want.CeilMean, got.CeilMean},
+	} {
+		if i, ok := bitsEqualSeries(s.w, s.g); !ok {
+			t.Errorf("%s: %s diverges at epoch %d", name, s.field, i)
+		}
+	}
+	for _, v := range []struct {
+		field string
+		w, g  float64
+	}{
+		{"AbsorbedJ", want.AbsorbedJ, got.AbsorbedJ},
+		{"ReleasedJ", want.ReleasedJ, got.ReleasedJ},
+		{"ShedServerSeconds", want.ShedServerSeconds, got.ShedServerSeconds},
+		{"ThrottleOnsetS", want.ThrottleOnsetS, got.ThrottleOnsetS},
+		{"ThrottledServerSeconds", want.ThrottledServerSeconds, got.ThrottledServerSeconds},
+	} {
+		if math.Float64bits(v.w) != math.Float64bits(v.g) {
+			t.Errorf("%s: %s = %v, want %v", name, v.field, v.g, v.w)
+		}
+	}
+	for r := range want.RackPeakCoolingW {
+		if math.Float64bits(want.RackPeakCoolingW[r]) != math.Float64bits(got.RackPeakCoolingW[r]) {
+			t.Errorf("%s: RackPeakCoolingW[%d] = %v, want %v",
+				name, r, got.RackPeakCoolingW[r], want.RackPeakCoolingW[r])
+			break
+		}
+	}
+	if want.FaultEvents != got.FaultEvents {
+		t.Errorf("%s: FaultEvents = %d, want %d", name, got.FaultEvents, want.FaultEvents)
+	}
+	if want.AutoscaleEpochs != got.AutoscaleEpochs {
+		t.Errorf("%s: AutoscaleEpochs = %d, want %d", name, got.AutoscaleEpochs, want.AutoscaleEpochs)
+	}
+}
+
+// TestCompiledMatchesSlow pins the tentpole equivalence: the compiled
+// struct-of-arrays kernel reproduces the reference per-rack path bit for
+// bit over a faulted, autoscaled two-day run — every fault kind the
+// kernel handles (chiller trip, fan and wax degradation, capacity loss,
+// sensor faults, surge) plus closed-loop ceilings — at worker counts 1
+// and 8, in every combination.
+func TestCompiledMatchesSlow(t *testing.T) {
+	tr := twoDayTrace(t)
+	sched := mustSchedule(t, `
+		3h chiller-trip for 45m
+		6h rack 1 fan-degrade 0.5 for 8h
+		8h rack 2 wax-degrade 0.6
+		9h rack 3 capacity-loss 0.7 for 6h
+		11h rack 4 sensor-stuck for 2h
+		13h rack 5 sensor-drop for 3h
+		20h surge 1.4 for 2h
+		30h class 0 wax-degrade 0.8
+		33h chiller-trip for 30m
+	`)
+	mk := func(workers int, slow bool) *Run {
+		t.Helper()
+		f, err := New(Config{
+			Classes: []ClassSpec{
+				{Cfg: server.OneU(), Racks: 9, WithWax: true, ROM: testROM(t)},
+				{Cfg: server.OneU(), Racks: 5},
+			},
+			Policy:  FaultAware{},
+			Workers: workers,
+			Faults:  sched,
+			Scaler:  rampScaler{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.forceSlow = slow
+		run, err := f.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKernel := "compiled"
+		if slow {
+			wantKernel = "reference"
+		}
+		if run.Kernel != wantKernel {
+			t.Fatalf("Kernel = %q, want %q", run.Kernel, wantKernel)
+		}
+		return run
+	}
+	ref := mk(1, true)
+	if ref.FaultEvents == 0 || ref.AutoscaleEpochs == 0 {
+		t.Fatalf("reference run did not exercise faults (%d) or autoscaling (%d)",
+			ref.FaultEvents, ref.AutoscaleEpochs)
+	}
+	if math.IsNaN(ref.ThrottleOnsetS) {
+		t.Fatal("reference run never throttled; scenario too mild to pin ride-through")
+	}
+	requireRunsIdentical(t, "reference w=8", ref, mk(8, true))
+	requireRunsIdentical(t, "compiled w=1", ref, mk(1, false))
+	requireRunsIdentical(t, "compiled w=8", ref, mk(8, false))
+}
+
+// TestCompiledZeroAllocsPerEpoch pins the steady-state epoch path of the
+// compiled kernel at zero allocations: the total allocation counts of a
+// one-day and a two-day run differ only by their fixed setup cost, so the
+// per-epoch difference must vanish. Measured with the thermally-aware
+// policy and a reactive autoscaler in the loop, workers > 1.
+func TestCompiledZeroAllocsPerEpoch(t *testing.T) {
+	mkFleet := func() *Fleet {
+		f, err := New(Config{
+			Classes: []ClassSpec{
+				{Cfg: server.OneU(), Racks: 6, WithWax: true, ROM: testROM(t)},
+				{Cfg: server.OneU(), Racks: 3},
+			},
+			Policy:  ThermalAware{},
+			Workers: 2,
+			Scaler:  rampScaler{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	mkTrace := func(days int) *workload.Trace {
+		tr, err := workload.Generate(workload.Options{
+			Days: days, StepS: 600, Seed: 7, MeanUtil: 0.5, PeakUtil: 0.95, NoiseAmp: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	f := mkFleet()
+	short, long := mkTrace(1), mkTrace(2)
+	run := func(tr *workload.Trace) func() {
+		return func() {
+			if _, err := f.Run(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	aShort := testing.AllocsPerRun(5, run(short))
+	aLong := testing.AllocsPerRun(5, run(long))
+	extra := long.Total.Len() - short.Total.Len()
+	if perEpoch := (aLong - aShort) / float64(extra); perEpoch >= 0.05 {
+		t.Errorf("epoch steady state allocates %.3f/epoch (short run %v, long run %v over %d extra epochs), want 0",
+			perEpoch, aShort, aLong, extra)
+	}
+}
+
+// TestMillionServerSmoke runs a heterogeneous million-server fleet —
+// 12,500 wax racks and 12,500 bare racks of 40 servers each — through a
+// short trace on the compiled kernel. The full two-day interactive-scale
+// witness lives in BenchmarkFleetMillionServers; this pins that the
+// compile pass actually holds up at fleet scale (and leans on the
+// class-level dedup: 25k racks share two compiled classes).
+func TestMillionServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-server fleet in -short mode")
+	}
+	const racksPerClass = 12500
+	f, err := New(Config{
+		Classes: []ClassSpec{
+			{Cfg: server.OneU(), Racks: racksPerClass, WithWax: true, ROM: testROM(t)},
+			{Cfg: server.OneU(), Racks: racksPerClass},
+		},
+		Policy: ThermalAware{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Servers() != 1_000_000 {
+		t.Fatalf("fleet has %d servers, want 1,000,000", f.Servers())
+	}
+	tr, err := workload.Generate(workload.Options{
+		Days: 1, StepS: 7200, Seed: 3, MeanUtil: 0.6, PeakUtil: 0.9, NoiseAmp: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := f.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Kernel != "compiled" {
+		t.Fatalf("Kernel = %q, want compiled", run.Kernel)
+	}
+	for i, v := range run.PowerW.Values {
+		if !(v > 0) || math.IsInf(v, 0) {
+			t.Fatalf("PowerW[%d] = %v, want positive finite", i, v)
+		}
+	}
+	if peak, _ := run.WaxLiquid.Peak(); !(peak > 0) {
+		t.Errorf("wax never melted at 1M-server scale (peak liquid %v)", peak)
+	}
+}

@@ -168,6 +168,13 @@ type Fleet struct {
 	recorder *flightrec.Recorder
 	scaler   Scaler
 
+	// comp is the struct-of-arrays lowering built at New (compile.go);
+	// runs without a telemetry registry execute its fused kernel.
+	comp *compiled
+	// forceSlow pins a run to the reference per-rack path; set only by
+	// the compiled-vs-slow equivalence tests.
+	forceSlow bool
+
 	// maxInletC is the hottest class cold-aisle setpoint: the inlet that
 	// crosses the throttle trigger first during a room excursion.
 	maxInletC float64
@@ -226,6 +233,9 @@ func New(cfg Config) (*Fleet, error) {
 	if f.workers > len(f.racks) {
 		f.workers = len(f.racks)
 	}
+	if err := f.compile(); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -274,9 +284,12 @@ type Run struct {
 	ThrottledServerSeconds float64
 	// FaultEvents counts the schedule events applied during the run.
 	FaultEvents int
-	// Policy and Workers record how the run was executed.
+	// Policy and Workers record how the run was executed; Kernel records
+	// which stepping path ran ("compiled" for the fused struct-of-arrays
+	// kernel, "reference" for the instrumented per-rack path).
 	Policy  string
 	Workers int
+	Kernel  string
 
 	// Scaler names the autoscaler controller when one closed the loop
 	// ("" for an open-loop run), AutoscaleEpochs counts the epochs in
@@ -303,10 +316,24 @@ type epochBuf struct {
 // levels, plus the room excursion. The sequential epoch-loop sections own
 // it; workers read the per-rack slices for the racks of their shard only,
 // and the epoch barrier orders every write against every read.
+//
+// The wax state comes in exactly one of two representations per run:
+// compiled runs carry the four flat pcm scalars as contiguous slices
+// (wEnthalpy/wRefC/wMass/wShell, advanced by stepShard through the
+// pcm.Flat* primitives), reference runs carry one *pcm.State per rack
+// (waxes, advanced by stepRackSlow). Both fill latent identically.
 type runState struct {
 	buf    *epochBuf
-	waxes  []*pcm.State
-	latent []float64 // per-rack latent capacity, J (0 = no wax)
+	waxes  []*pcm.State // reference path only; nil on compiled runs
+	latent []float64    // per-rack latent capacity, J (0 = no wax)
+
+	// Flat wax state, compiled path only (nil on reference runs): the
+	// scalars pcm.State.Flat returns, one slot per rack, zero for racks
+	// without wax.
+	wEnthalpy []float64
+	wRefC     []float64
+	wMass     []float64
+	wShell    []float64
 
 	capLost     []float64 // fraction of the rack's servers offline
 	flowLoss    []float64 // fraction of nominal airflow lost
@@ -350,11 +377,16 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 	faultCounter := f.reg.Counter("fleet.fault_events")
 	throttleCounter := f.reg.Counter("fleet.throttle_epochs")
 
+	compiledRun := f.compiledRun()
 	out := &Run{
 		Policy:           f.policy.Name(),
 		Workers:          f.workers,
+		Kernel:           "reference",
 		RackPeakCoolingW: make([]float64, len(f.racks)),
 		ThrottleOnsetS:   math.NaN(),
+	}
+	if compiledRun {
+		out.Kernel = "compiled"
 	}
 	var err error
 	if out.PowerW, err = timeseries.New(tr.Total.Start, dt, n); err != nil {
@@ -379,7 +411,6 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 			absorbed: make([]float64, nr),
 			released: make([]float64, nr),
 		},
-		waxes:       make([]*pcm.State, nr),
 		latent:      make([]float64, nr),
 		capLost:     make([]float64, nr),
 		flowLoss:    make([]float64, nr),
@@ -391,6 +422,14 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 		maxU:        make([]float64, nr),
 		observed:    f.reg != nil,
 	}
+	if compiledRun {
+		st.wEnthalpy = make([]float64, nr)
+		st.wRefC = make([]float64, nr)
+		st.wMass = make([]float64, nr)
+		st.wShell = make([]float64, nr)
+	} else {
+		st.waxes = make([]*pcm.State, nr)
+	}
 	views := make([]RackView, nr)
 	for i, rk := range f.racks {
 		views[i] = RackView{Class: rk.class, Servers: rk.servers}
@@ -400,13 +439,30 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 		if rk.rom == nil {
 			continue
 		}
-		if st.waxes[i], err = rk.rom.NewWaxState(); err != nil {
-			return nil, err
+		if compiledRun {
+			// Every rack of a class starts from the class's flat scalars,
+			// extracted once at compile time from the same NewWaxState the
+			// reference path constructs per rack.
+			cl := &f.comp.classes[rk.class]
+			st.wEnthalpy[i] = cl.initEnthalpy
+			st.wRefC[i] = cl.initRefC
+			st.wMass[i] = cl.initWaxMass
+			st.wShell[i] = cl.initShellCap
+			st.latent[i] = cl.latentJ
+		} else {
+			if st.waxes[i], err = rk.rom.NewWaxState(); err != nil {
+				return nil, err
+			}
+			if f.reg != nil {
+				// Instrument names are built only when a registry will
+				// consume them: at a million racks the Sprintf per rack is
+				// real setup cost on the unobserved path.
+				st.waxes[i].Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, i))
+			}
+			st.latent[i] = rk.rom.LatentCapacity()
 		}
-		st.waxes[i].Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, i))
-		st.latent[i] = rk.rom.LatentCapacity()
 		views[i].HasWax = true
-		views[i].WaxRemaining = remainingFraction(st.waxes[i], st.latent[i])
+		views[i].WaxRemaining = f.waxRemainingFrac(st, i)
 	}
 	if f.scaler != nil {
 		st.ceil = make([]float64, nr)
@@ -430,14 +486,17 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 	inj := f.faults.Injector()
 	rb := f.bindRecorder(tr)
 
-	// Shards: contiguous rack ranges, one persistent worker each. The
-	// two-channel handshake (jobs in, WaitGroup out) is the epoch barrier.
+	// Shards: contiguous rack ranges of near-equal stepping cost (wax
+	// racks weigh more than bare ones — see shardBounds), one persistent
+	// worker each. The two-channel handshake (jobs in, WaitGroup out) is
+	// the epoch barrier.
 	type shard struct{ lo, hi int }
 	shards := make([]shard, f.workers)
 	jobs := make([]chan int, f.workers)
 	shardErrs := make([]error, f.workers)
+	bounds := f.shardBounds(f.workers)
 	for s := range shards {
-		shards[s] = shard{lo: s * nr / f.workers, hi: (s + 1) * nr / f.workers}
+		shards[s] = shard{lo: bounds[s], hi: bounds[s+1]}
 		jobs[s] = make(chan int, 1)
 	}
 	var wg sync.WaitGroup       // per-epoch barrier
@@ -464,8 +523,12 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 						return
 					}
 					t := tr.Total.TimeAt(ei)
-					for r := sh.lo; r < sh.hi; r++ {
-						f.stepRack(r, t, dt, st)
+					if compiledRun {
+						f.stepShard(sh.lo, sh.hi, t, dt, st)
+					} else {
+						for r := sh.lo; r < sh.hi; r++ {
+							f.stepRackSlow(r, t, dt, st)
+						}
 					}
 					rackSteps.Add(steps)
 					wsp.AddSimTime(dt)
@@ -617,12 +680,12 @@ func (f *Fleet) RunContext(ctx context.Context, tr *workload.Trace) (*Run, error
 			if st.buf.coolingW[r] > out.RackPeakCoolingW[r] {
 				out.RackPeakCoolingW[r] = st.buf.coolingW[r]
 			}
-			if st.waxes[r] != nil {
+			if f.racks[r].rom != nil {
 				srv := float64(f.racks[r].servers)
 				liq += st.buf.liquid[r] * srv
 				liqServers += srv
 				if !st.sensorStuck[r] && !st.sensorDrop[r] {
-					views[r].WaxRemaining = remainingFraction(st.waxes[r], st.latent[r])
+					views[r].WaxRemaining = f.waxRemainingAfterStep(st, r)
 				}
 			}
 			if !st.sensorStuck[r] && !st.sensorDrop[r] {
@@ -740,12 +803,32 @@ func (f *Fleet) applyEvent(ev faults.Event, st *runState) error {
 				return fmt.Errorf("fleet: rack %d wax-degrade: %w", r, err)
 			}
 			enc.MeshConductivityBoost = orig.MeshConductivityBoost
-			wax, err := pcm.NewState(enc, st.waxes[r].Temperature())
-			if err != nil {
-				return fmt.Errorf("fleet: rack %d wax-degrade: %w", r, err)
+			if st.waxes != nil {
+				wax, err := pcm.NewState(enc, st.waxes[r].Temperature())
+				if err != nil {
+					return fmt.Errorf("fleet: rack %d wax-degrade: %w", r, err)
+				}
+				if f.reg != nil {
+					wax.Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, r))
+				}
+				st.waxes[r] = wax
+			} else {
+				// Compiled path: solve the current temperature from the flat
+				// scalars, build the degraded state the same way the
+				// reference path does, and re-extract its scalars. The
+				// kernel keeps using the class enclosure — the exchange
+				// arithmetic reads only fill-independent fields from it
+				// (material curve, crust geometry), so the trajectories
+				// stay bit-identical to a reference run on the degraded
+				// enclosure.
+				cl := &f.comp.classes[f.comp.class[r]]
+				tNow, _ := pcm.FlatSolve(cl.enc, st.wRefC[r], st.wMass[r], st.wShell[r], st.wEnthalpy[r])
+				wax, err := pcm.NewState(enc, tNow)
+				if err != nil {
+					return fmt.Errorf("fleet: rack %d wax-degrade: %w", r, err)
+				}
+				st.wEnthalpy[r], st.wRefC[r], st.wMass[r], st.wShell[r] = wax.Flat()
 			}
-			wax.Instrument(f.reg, fmt.Sprintf("%s/rack%d", rk.cfg.Name, r))
-			st.waxes[r] = wax
 			st.latent[r] = enc.LatentCapacity()
 		}
 		return nil
@@ -779,13 +862,19 @@ func (f *Fleet) applyEvent(ev faults.Event, st *runState) error {
 	}
 }
 
-// stepRack advances one rack by one epoch: the same per-server physics as
-// the fluid engine (power at the assigned utilization; wax exchanging
-// heat with the ROM's wake air), scaled by the live rack population, with
-// the fault state folded in — a room excursion and reduced airflow raise
-// the wake temperature the wax sees, and lost capacity idles its share of
-// the servers. Called only by the worker owning the rack's shard.
-func (f *Fleet) stepRack(r int, t, dt float64, st *runState) {
+// stepRackSlow advances one rack by one epoch: the same per-server
+// physics as the fluid engine (power at the assigned utilization; wax
+// exchanging heat with the ROM's wake air), scaled by the live rack
+// population, with the fault state folded in — a room excursion and
+// reduced airflow raise the wake temperature the wax sees, and lost
+// capacity idles its share of the servers. Called only by the worker
+// owning the rack's shard.
+//
+// This is the reference path: it drives the instrumented pcm.State
+// machine, so it serves runs with a telemetry registry attached and it
+// anchors the compiled kernel — stepShard (compile.go) is this function
+// over flat arrays, pinned bit-identical by TestCompiledMatchesSlow.
+func (f *Fleet) stepRackSlow(r int, t, dt float64, st *runState) {
 	if f.testStepHook != nil {
 		f.testStepHook(r)
 	}

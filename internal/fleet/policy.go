@@ -201,20 +201,18 @@ func (p ThermalAware) Assign(demand float64, racks []RackView, out []float64) {
 	}
 	mean /= total
 
-	// Capacity-proportional weights skewed by relative headroom.
+	// Capacity-proportional weights skewed by relative headroom. The
+	// per-rack weight is a pure function of the view, so the second pass
+	// recomputes it instead of materializing a weights slice: Assign runs
+	// every epoch and must not allocate.
 	weightSum := 0.0
-	weights := make([]float64, len(racks))
-	for i, r := range racks {
-		w := 1 + skew*(r.WaxRemaining-mean)
-		if w < 0.05 {
-			w = 0.05
-		}
-		weights[i] = w * float64(r.Servers)
-		weightSum += weights[i]
+	for _, r := range racks {
+		weightSum += thermalWeight(r, skew, mean) * float64(r.Servers)
 	}
 	overflow := 0.0
 	for i, r := range racks {
-		u := work * weights[i] / weightSum / float64(r.Servers)
+		wi := thermalWeight(r, skew, mean) * float64(r.Servers)
+		u := work * wi / weightSum / float64(r.Servers)
 		if u > 1 {
 			overflow += (u - 1) * float64(r.Servers)
 			u = 1
@@ -224,15 +222,26 @@ func (p ThermalAware) Assign(demand float64, racks []RackView, out []float64) {
 	spill(overflow, racks, out)
 }
 
+// thermalWeight is ThermalAware's skew factor for one rack: headroom
+// relative to the fleet mean, floored so no rack's share collapses.
+func thermalWeight(r RackView, skew, mean float64) float64 {
+	w := 1 + skew*(r.WaxRemaining-mean)
+	if w < 0.05 {
+		w = 0.05
+	}
+	return w
+}
+
 // spillTo is spill generalized to per-rack ceilings: overflowed work is
-// distributed across the headroom below each rack's cap, proportionally,
-// iterating until the work is placed or every rack is at its cap.
-func spillTo(work float64, racks []RackView, caps, out []float64) {
+// distributed across the headroom below each rack's UtilCeiling,
+// proportionally, iterating until the work is placed or every rack is at
+// its cap.
+func spillTo(work float64, racks []RackView, out []float64) {
 	for iter := 0; iter < len(racks) && work > 1e-12; iter++ {
 		headroom := 0.0
 		for i, r := range racks {
-			if out[i] < caps[i] {
-				headroom += (caps[i] - out[i]) * float64(r.Servers)
+			if cap := r.UtilCeiling(); out[i] < cap {
+				headroom += (cap - out[i]) * float64(r.Servers)
 			}
 		}
 		if headroom <= 0 {
@@ -244,10 +253,11 @@ func spillTo(work float64, racks []RackView, caps, out []float64) {
 		}
 		placed := 0.0
 		for i, r := range racks {
-			if out[i] >= caps[i] {
+			cap := r.UtilCeiling()
+			if out[i] >= cap {
 				continue
 			}
-			add := (caps[i] - out[i]) * frac
+			add := (cap - out[i]) * frac
 			out[i] += add
 			placed += add * float64(r.Servers)
 		}
@@ -283,54 +293,62 @@ func (p FaultAware) Assign(demand float64, racks []RackView, out []float64) {
 	}
 	work := clamp01(demand) * capacity(racks)
 
-	// Health score in [0, 1]: thermal headroom eroded by inlet excursion
-	// and airflow loss. Dead-sensor racks score a conservative floor —
-	// they still take load (their capacity is presumed intact) but no
-	// more than necessary.
-	caps := make([]float64, len(racks))
-	scores := make([]float64, len(racks))
+	// The health score (faultScore) and ceiling (UtilCeiling) are pure
+	// functions of the view, so the later passes recompute them instead
+	// of materializing caps/scores/weights slices: Assign runs every
+	// epoch and must not allocate.
 	var mean, total float64
-	for i, r := range racks {
-		caps[i] = r.UtilCeiling()
-		s := 1.0
-		if r.HasWax {
-			s = r.WaxRemaining
-		}
-		if r.SensorDead {
-			s = 0.1
-		} else {
-			s -= r.InletRiseC / 10
-			s -= r.FlowLost
-			if s < 0 {
-				s = 0
-			}
-		}
-		scores[i] = s
-		mean += s * float64(r.Servers)
+	for _, r := range racks {
+		mean += faultScore(r) * float64(r.Servers)
 		total += float64(r.Servers)
 	}
 	mean /= total
 
 	weightSum := 0.0
-	weights := make([]float64, len(racks))
-	for i, r := range racks {
-		w := 1 + skew*(scores[i]-mean)
+	for _, r := range racks {
+		w := 1 + skew*(faultScore(r)-mean)
 		if w < 0.05 {
 			w = 0.05
 		}
-		weights[i] = w * float64(r.Servers)
-		weightSum += weights[i]
+		weightSum += w * float64(r.Servers)
 	}
 	overflow := 0.0
 	for i, r := range racks {
-		u := work * weights[i] / weightSum / float64(r.Servers)
-		if u > caps[i] {
-			overflow += (u - caps[i]) * float64(r.Servers)
-			u = caps[i]
+		w := 1 + skew*(faultScore(r)-mean)
+		if w < 0.05 {
+			w = 0.05
+		}
+		wi := w * float64(r.Servers)
+		u := work * wi / weightSum / float64(r.Servers)
+		cap := r.UtilCeiling()
+		if u > cap {
+			overflow += (u - cap) * float64(r.Servers)
+			u = cap
 		}
 		out[i] = u
 	}
-	spillTo(overflow, racks, caps, out)
+	spillTo(overflow, racks, out)
+}
+
+// faultScore is FaultAware's health score for one rack, in [0, 1]:
+// thermal headroom eroded by inlet excursion and airflow loss.
+// Dead-sensor racks score a conservative floor — they still take load
+// (their capacity is presumed intact) but no more than necessary.
+func faultScore(r RackView) float64 {
+	s := 1.0
+	if r.HasWax {
+		s = r.WaxRemaining
+	}
+	if r.SensorDead {
+		s = 0.1
+	} else {
+		s -= r.InletRiseC / 10
+		s -= r.FlowLost
+		if s < 0 {
+			s = 0
+		}
+	}
+	return s
 }
 
 // Policies lists the built-in policy names in presentation order.

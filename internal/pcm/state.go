@@ -142,8 +142,7 @@ func NewState(enc *Enclosure, startC float64) (*State, error) {
 // enthalpyAt returns the total enclosure enthalpy (J) when in equilibrium
 // at tempC.
 func (s *State) enthalpyAt(tempC float64) float64 {
-	m := &s.enc.Material
-	return s.waxMass*m.Enthalpy(tempC, s.refC) + s.shellCapacity*(tempC-s.refC)
+	return flatEnthalpyAt(s.enc, s.refC, s.waxMass, s.shellCapacity, tempC)
 }
 
 // Temperature returns the current lumped temperature in degC.
@@ -158,33 +157,11 @@ func (s *State) LiquidFraction() float64 {
 	return f
 }
 
-// solve inverts total enthalpy to (temperature, liquid fraction): it
-// solves waxMass*h(T) + shellCap*(T-ref) = H. The left side is continuous
-// and strictly increasing but kinked at the solidus and liquidus, so a
-// bracketed bisection is used — Newton steps oscillate across the
-// capacity discontinuity at the liquidus.
+// solve inverts total enthalpy to (temperature, liquid fraction); the
+// bisection lives in flatSolve (flat.go) so struct-of-arrays drivers run
+// the identical arithmetic.
 func (s *State) solve() (tempC, liquidFrac float64) {
-	m := &s.enc.Material
-	// Wax-only inversion is exact when the shell is negligible and is a
-	// good starting bracket seed otherwise.
-	t0, f := m.TemperatureFromEnthalpy(s.enthalpyJ/s.waxMass, s.refC)
-	if s.shellCapacity <= 0 {
-		return t0, f
-	}
-	// The shell stores heat too, so the true temperature is at most the
-	// wax-only estimate and at least the reference.
-	lo, hi := s.refC, t0+1e-9
-	for i := 0; i < 60 && hi-lo > 1e-9; i++ {
-		mid := 0.5 * (lo + hi)
-		if s.enthalpyAt(mid) < s.enthalpyJ {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	t := 0.5 * (lo + hi)
-	_, f = m.TemperatureFromEnthalpy((s.enthalpyJ-s.shellCapacity*(t-s.refC))/s.waxMass, s.refC)
-	return t, f
+	return flatSolve(s.enc, s.refC, s.waxMass, s.shellCapacity, s.enthalpyJ)
 }
 
 // apparentHeat returns dh/dT (J/(kg*K)) of the material at tempC: the
@@ -238,62 +215,15 @@ func (s *State) RemainingLatent() float64 {
 // air). The step is sub-divided so the exponential approach to air
 // temperature is integrated stably even for large dt.
 func (s *State) ExchangeWithAir(airC, hA, dt float64) float64 {
-	if hA <= 0 || dt <= 0 {
-		return 0
-	}
-	// Equilibrium enthalpy at the air temperature: relaxation can approach
-	// but never cross it within a step, even when the apparent capacity
-	// drops sharply at the liquidus.
-	eq := s.enthalpyAt(airC)
-	// Supercooling: solidification cannot begin until the air falls below
-	// the freeze onset, so above it stored latent heat stays in (the small
-	// sensible cooling of the supercooled liquid is neglected).
-	if airC > s.enc.Material.FreezeOnsetC() && eq < s.enthalpyJ {
-		if s.observed {
+	total, steps := flatExchange(s.enc, s.refC, s.waxMass, s.shellCapacity, &s.enthalpyJ, airC, hA, dt)
+	if s.observed {
+		if hA > 0 && dt > 0 {
 			s.simTimeS += dt
 		}
-		return 0
-	}
-	total := 0.0
-	remaining := dt
-	steps := 0
-	for remaining > 0 {
-		steps++
-		t, f := s.solve()
-		g := hA
-		if airC < t {
-			// Discharge is conduction-limited: solidification grows a
-			// crust of low-conductivity solid wax on the container walls,
-			// in series with the convective film. (Melting has no such
-			// penalty: convection in the melt and jet impingement keep the
-			// charge side fast, which is why the paper gets away without
-			// the metal mesh of the sprinting work.)
-			g = hA / (1 + hA*s.enc.crustResistance(f))
+		if steps > 0 {
+			s.substeps.Add(int64(steps))
+			s.notePhase()
 		}
-		cap := s.shellCapacity + s.waxMass*apparentHeat(&s.enc.Material, t)
-		// Sub-step at a quarter of the local time constant, capped.
-		tau := cap / g
-		h := math.Min(remaining, math.Max(tau/4, 1e-3))
-		// Exact relaxation over h for constant capacity:
-		// q = cap * (airC - t) * (1 - exp(-g*h/cap)).
-		q := cap * (airC - t) * (1 - math.Exp(-g*h/cap))
-		next := s.enthalpyJ + q
-		if (q > 0 && next > eq) || (q < 0 && next < eq) {
-			next = eq
-			q = next - s.enthalpyJ
-		}
-		if next < 0 {
-			next = 0
-			q = -s.enthalpyJ
-		}
-		s.enthalpyJ = next
-		total += q
-		remaining -= h
-	}
-	if s.observed {
-		s.simTimeS += dt
-		s.substeps.Add(int64(steps))
-		s.notePhase()
 	}
 	return total
 }

@@ -5,8 +5,10 @@
 #   BENCH_thermal.json — the compiled thermal-network stepper (the hot
 #                        loop every experiment bottoms out in)
 #   BENCH_fleet.json   — the dcsim fluid loop and the sharded fleet epochs
-#                        built on top of it (including the flight-recorder
-#                        on/off pair)
+#                        built on top of it: the compiled-kernel scaling
+#                        matrix (racks=32/1k/10k x workers), the
+#                        million-server two-day witness, and the
+#                        flight-recorder on/off pair
 #   BENCH_autoscale.json — the paired control-loop-on/off fleet run; its
 #                        overhead-pct metric is the autoscaler's epoch-loop
 #                        cost with the clock drift cancelled (target < 5%)
