@@ -3,6 +3,8 @@
 // Usage:
 //
 //	ttsimd [-addr :8080] [-max-concurrent n] [-queue n] [-cache n]
+//	       [-cache.journal path] [-run-timeout 0] [-rate r] [-burst b]
+//	       [-client-rate r] [-client-burst b] [-max-clients n]
 //	       [-drain-timeout 30s] [-debug.addr localhost:6060]
 //
 // Endpoints:
@@ -17,9 +19,12 @@
 //
 // Identical concurrent requests share one execution; completed runs are
 // cached so repeats are byte-identical. When the run pool and queue are
-// full the server answers 429 with Retry-After. SIGTERM (or SIGINT)
-// drains: new requests get 503 while active runs finish, bounded by
-// -drain-timeout.
+// full — or a -rate / -client-rate token bucket runs dry — the server
+// answers 429 with an adaptive Retry-After derived from live queue depth
+// and run age. -cache.journal makes the result cache crash-safe: every
+// completed run is appended fsync'd and replayed on boot, so a restarted
+// daemon serves the same bytes. SIGTERM (or SIGINT) drains: new requests
+// get 503 while active runs finish, bounded by -drain-timeout.
 //
 // -debug.addr serves net/http/pprof (/debug/pprof/) and expvar
 // (/debug/vars) on a SEPARATE listener, never the serving address:
@@ -42,15 +47,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/serve"
 )
 
-// Exit codes: 0 success, 2 usage, 3 listen failure, 4 server failure.
+// Exit codes: 0 success, 2 usage, 3 listen failure, 4 server failure,
+// 5 unusable cache journal.
 const (
-	exitOK     = 0
-	exitUsage  = 2
-	exitListen = 3
-	exitServe  = 4
+	exitOK      = 0
+	exitUsage   = 2
+	exitListen  = 3
+	exitServe   = 4
+	exitJournal = 5
 )
 
 func main() {
@@ -66,6 +74,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxConcurrent := fs.Int("max-concurrent", 2, "simultaneously executing runs")
 	queue := fs.Int("queue", 8, "requests allowed to wait for a run slot before 429")
 	cacheEntries := fs.Int("cache", 64, "result cache entries")
+	journalPath := fs.String("cache.journal", "", "crash-safe cache journal file; replayed on boot so cached runs survive restarts")
+	runTimeout := fs.Duration("run-timeout", 0, "per-run execution budget once a run holds a slot (0 = unlimited); exceeded runs answer 504")
+	rate := fs.Float64("rate", 0, "global admission rate in requests/second (0 = unlimited)")
+	burst := fs.Float64("burst", 0, "global admission burst (defaults to -rate)")
+	clientRate := fs.Float64("client-rate", 0, "per-client quota in requests/second (0 = unlimited); clients are keyed by X-Client-ID or remote host")
+	clientBurst := fs.Float64("client-burst", 0, "per-client burst (defaults to -client-rate)")
+	maxClients := fs.Int("max-clients", 0, "tracked per-client quota buckets before LRU eviction (0 = default 1024)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for active runs before cancelling them")
 	debugAddr := fs.String("debug.addr", "", "serve net/http/pprof and expvar on this separate address (e.g. localhost:6060); never exposed on -addr")
 	if err := fs.Parse(args); err != nil {
@@ -83,11 +98,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if depth == 0 {
 		depth = -1
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    depth,
 		CacheEntries:  *cacheEntries,
+		PersistPath:   *journalPath,
+		RunTimeout:    *runTimeout,
+		Admission: admit.Config{
+			GlobalRate:  *rate,
+			GlobalBurst: *burst,
+			ClientRate:  *clientRate,
+			ClientBurst: *clientBurst,
+			MaxClients:  *maxClients,
+		},
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "ttsimd:", err)
+		return exitJournal
+	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "ttsimd:", err)

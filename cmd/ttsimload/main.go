@@ -1,0 +1,363 @@
+// Command ttsimload is an overload generator for ttsimd: it drives a
+// server with mixed traffic — repeated cached requests, a stream of
+// distinct uncached runs, and one greedy unpaced client built to blow
+// through its quota — and reports what the server did about it.
+//
+// Usage:
+//
+//	ttsimload [-addr host:port] [-duration 30s] [-out BENCH_serve.json]
+//	          [-cached n] [-uncached n] [-greedy n] [-rps r] [-seed n]
+//	          [-retry-cap 2s]
+//
+// With no -addr the generator spawns a ttsimd serving stack in process
+// on a loopback port, sized to overload quickly (a small run pool and a
+// tight per-client quota), and replaces the "faults" experiment with a
+// fast synthetic runner so uncached traffic measures the serving layer
+// rather than the simulator. Against a real -addr the same personas run
+// the genuine experiments.
+//
+// Every persona uses a retrying client: exponential backoff with jitter,
+// honoring the server's Retry-After (capped at -retry-cap so a long hint
+// does not stall the run). The report — written as JSON to -out and
+// summarized on stdout — carries client-observed p50/p99 latency from an
+// hdr-style histogram, the shed rate (429s per attempt), and the final
+// outcome mix. The server-side view of the same run lives in the
+// serve.latency_seconds histogram on /metrics.
+//
+// Exit codes: 0 success, 2 usage, 3 spawn/listen failure, 4 the run
+// produced no successful request (the server was down, not overloaded).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+const (
+	exitOK    = 0
+	exitUsage = 2
+	exitSpawn = 3
+	exitDead  = 4
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options are the parsed flags.
+type options struct {
+	addr     string
+	duration time.Duration
+	out      string
+	cached   int
+	uncached int
+	greedy   int
+	rps      float64
+	seed     int64
+	retryCap time.Duration
+}
+
+// report is the JSON written to -out: one record per run so trend tooling
+// can diff shed rate and tail latency across commits.
+type report struct {
+	DurationS float64 `json:"duration_s"`
+	Attempts  int64   `json:"attempts"`
+	Completed int64   `json:"completed"`
+	Hits      int64   `json:"hits"`
+	Runs      int64   `json:"runs"`
+	Shed      int64   `json:"shed"`
+	GaveUp    int64   `json:"gave_up"`
+	Errors    int64   `json:"errors"`
+	Retries   int64   `json:"retries"`
+	ShedRate  float64 `json:"shed_rate"`
+	RPS       float64 `json:"rps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// counters aggregate worker outcomes; the histogram holds end-to-end
+// latency of completed requests on the same hdr ladder the server uses.
+type counters struct {
+	attempts, completed, hits, runs atomic.Int64
+	shed, gaveUp, errors, retries   atomic.Int64
+	latency                         *obs.Histogram
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ttsimload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.addr, "addr", "", "target ttsimd address (empty = spawn an in-process server)")
+	fs.DurationVar(&o.duration, "duration", 30*time.Second, "how long to generate load")
+	fs.StringVar(&o.out, "out", "", "write the JSON report here (empty = stdout summary only)")
+	fs.IntVar(&o.cached, "cached", 2, "paced workers repeating one cacheable request")
+	fs.IntVar(&o.uncached, "uncached", 2, "paced workers issuing distinct uncached runs")
+	fs.IntVar(&o.greedy, "greedy", 1, "unpaced workers sharing one client identity (quota pressure)")
+	fs.Float64Var(&o.rps, "rps", 25, "request pacing per paced worker")
+	fs.Int64Var(&o.seed, "seed", 1, "jitter and run-parameter seed")
+	fs.DurationVar(&o.retryCap, "retry-cap", 2*time.Second, "longest backoff honored from Retry-After")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ttsimload: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return exitUsage
+	}
+
+	base := o.addr
+	if base == "" {
+		addr, stop, err := spawn()
+		if err != nil {
+			fmt.Fprintln(stderr, "ttsimload:", err)
+			return exitSpawn
+		}
+		defer stop()
+		base = addr
+		fmt.Fprintf(stdout, "ttsimload: spawned ttsimd on %s\n", base)
+	}
+	baseURL := "http://" + base
+
+	c := &counters{latency: obs.New().Histogram("load.latency_seconds", obs.LatencySecondsBuckets())}
+	runCtx, cancel := context.WithTimeout(ctx, o.duration)
+	defer cancel()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	worker := func(id int, fn func(*rand.Rand, *retryClient)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(id)))
+			rc := &retryClient{c: &http.Client{Timeout: 30 * time.Second}, capSleep: o.retryCap, counts: c}
+			fn(rng, rc)
+		}()
+	}
+	pace := time.Duration(float64(time.Second) / o.rps)
+	seq := new(atomic.Int64)
+	for i := 0; i < o.cached; i++ {
+		worker(i, func(rng *rand.Rand, rc *retryClient) {
+			paceLoop(runCtx, pace, func() {
+				rc.post(runCtx, baseURL+"/v1/experiments/fig10", fmt.Sprintf("cached-%d", rng.Int63n(2)), "")
+			})
+		})
+	}
+	for i := 0; i < o.uncached; i++ {
+		worker(100+i, func(rng *rand.Rand, rc *retryClient) {
+			paceLoop(runCtx, pace, func() {
+				body := fmt.Sprintf(`{"faults":{"seed":%d}}`, seq.Add(1))
+				rc.post(runCtx, baseURL+"/v1/experiments/faults", fmt.Sprintf("uncached-%d", rng.Int63n(2)), body)
+			})
+		})
+	}
+	for i := 0; i < o.greedy; i++ {
+		worker(200+i, func(_ *rand.Rand, rc *retryClient) {
+			// No pacing and no retries: the greedy tenant measures how the
+			// server sheds, not how politely a client can wait.
+			for runCtx.Err() == nil {
+				rc.postOnce(runCtx, baseURL+"/v1/experiments/fig10", "greedy", "")
+			}
+		})
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := report{
+		DurationS: elapsed.Seconds(),
+		Attempts:  c.attempts.Load(),
+		Completed: c.completed.Load(),
+		Hits:      c.hits.Load(),
+		Runs:      c.runs.Load(),
+		Shed:      c.shed.Load(),
+		GaveUp:    c.gaveUp.Load(),
+		Errors:    c.errors.Load(),
+		Retries:   c.retries.Load(),
+		P50Ms:     c.latency.Quantile(0.50) * 1000,
+		P99Ms:     c.latency.Quantile(0.99) * 1000,
+	}
+	if r.Attempts > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Attempts)
+	}
+	r.RPS = float64(r.Completed) / elapsed.Seconds()
+
+	fmt.Fprintf(stdout,
+		"ttsimload: %d attempts in %.1fs — %d completed (%d hits, %d runs), %d shed (%.1f%%), %d gave up, %d errors, %d retries, p50 %.1fms p99 %.1fms\n",
+		r.Attempts, r.DurationS, r.Completed, r.Hits, r.Runs, r.Shed, 100*r.ShedRate, r.GaveUp, r.Errors, r.Retries, r.P50Ms, r.P99Ms)
+	if o.out != "" {
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "ttsimload:", err)
+			return exitSpawn
+		}
+		if err := os.WriteFile(o.out, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "ttsimload:", err)
+			return exitSpawn
+		}
+		fmt.Fprintf(stdout, "ttsimload: wrote %s\n", o.out)
+	}
+	if r.Completed == 0 {
+		fmt.Fprintln(stderr, "ttsimload: no request completed; the server is down, not overloaded")
+		return exitDead
+	}
+	return exitOK
+}
+
+// paceLoop calls fn once per interval until ctx ends.
+func paceLoop(ctx context.Context, interval time.Duration, fn func()) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		fn()
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// retryClient posts with exponential backoff plus jitter, honoring the
+// server's Retry-After up to a cap. One call records one attempt chain.
+type retryClient struct {
+	c        *http.Client
+	capSleep time.Duration
+	counts   *counters
+}
+
+// post issues the request, retrying shed (429) and draining (503)
+// answers up to three times.
+func (rc *retryClient) post(ctx context.Context, url, client, body string) {
+	start := time.Now()
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		status, hit, retryAfter := rc.do(ctx, url, client, body)
+		if status == http.StatusOK {
+			rc.counts.completed.Add(1)
+			rc.counts.latency.Observe(time.Since(start).Seconds())
+			if hit {
+				rc.counts.hits.Add(1)
+			} else {
+				rc.counts.runs.Add(1)
+			}
+			return
+		}
+		retriable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if !retriable || attempt == 3 || ctx.Err() != nil {
+			if retriable {
+				rc.counts.gaveUp.Add(1)
+			} else if status != 0 || ctx.Err() == nil {
+				rc.counts.errors.Add(1)
+			}
+			return
+		}
+		rc.counts.retries.Add(1)
+		sleep := backoff
+		if retryAfter > sleep {
+			sleep = retryAfter
+		}
+		if sleep > rc.capSleep {
+			sleep = rc.capSleep
+		}
+		// Full jitter keeps the retrying fleet from re-arriving in lockstep.
+		sleep = time.Duration(rand.Int63n(int64(sleep) + 1))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(sleep):
+		}
+		backoff *= 2
+	}
+}
+
+// postOnce issues exactly one attempt with no retry.
+func (rc *retryClient) postOnce(ctx context.Context, url, client, body string) {
+	status, hit, _ := rc.do(ctx, url, client, body)
+	if status == http.StatusOK {
+		rc.counts.completed.Add(1)
+		if hit {
+			rc.counts.hits.Add(1)
+		} else {
+			rc.counts.runs.Add(1)
+		}
+	}
+}
+
+// do performs one HTTP attempt and classifies it.
+func (rc *retryClient) do(ctx context.Context, url, client, body string) (status int, hit bool, retryAfter time.Duration) {
+	rc.counts.attempts.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, false, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", client)
+	resp, err := rc.c.Do(req)
+	if err != nil {
+		return 0, false, 0
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		rc.counts.shed.Add(1)
+	}
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		retryAfter = time.Duration(s) * time.Second
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache") == "hit", retryAfter
+}
+
+// spawn boots an in-process serving stack shaped to overload fast: two
+// workers, a short queue, and a per-client quota the greedy persona will
+// exhaust within its first second. The "faults" experiment is replaced
+// with a synthetic runner (a few ms, seed-keyed) so uncached traffic
+// exercises admission, dedup, pooling and caching rather than the
+// simulator's own cost.
+func spawn() (addr string, stop func(), err error) {
+	srv, err := serve.New(serve.Config{
+		MaxConcurrent: 2,
+		QueueDepth:    4,
+		Admission: admit.Config{
+			GlobalRate: 500, GlobalBurst: 500,
+			ClientRate: 20, ClientBurst: 20,
+		},
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	srv.Register("faults", func(ctx context.Context, _ *core.Study, req *serve.Request) (any, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Duration(2+req.FaultsSeed%8) * time.Millisecond):
+		}
+		return map[string]int64{"seed": req.FaultsSeed}, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return ln.Addr().String(), func() {
+		hs.Close()
+		srv.Close()
+	}, nil
+}

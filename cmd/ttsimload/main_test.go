@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-duration", "not-a-duration"},
+		{"positional-arg"},
+	} {
+		var out, errOut bytes.Buffer
+		if got := run(context.Background(), args, &out, &errOut); got != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, got, exitUsage)
+		}
+		if !strings.Contains(errOut.String(), "Usage of ttsimload") {
+			t.Errorf("run(%v): stderr lacks usage: %q", args, errOut.String())
+		}
+	}
+}
+
+func TestDeadServer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// A port nothing listens on: every attempt errors, nothing completes.
+	got := run(context.Background(), []string{"-addr", "127.0.0.1:1", "-duration", "500ms", "-cached", "1", "-uncached", "0", "-greedy", "0"}, &out, &errOut)
+	if got != exitDead {
+		t.Fatalf("run = %d, want %d (stderr %q)", got, exitDead, errOut.String())
+	}
+}
+
+// TestSpawnedOverloadRun drives the in-process server for two seconds and
+// checks the report proves the hardening story: traffic completed, cache
+// hits happened, the greedy client was shed with 429s, and the report
+// landed on disk as valid JSON.
+func TestSpawnedOverloadRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	got := run(context.Background(), []string{"-duration", "2s", "-out", out, "-seed", "7"}, &stdout, &stderr)
+	if got != exitOK {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", got, stdout.String(), stderr.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, b)
+	}
+	if r.Completed == 0 {
+		t.Error("no request completed")
+	}
+	if r.Hits == 0 {
+		t.Error("no cache hit recorded")
+	}
+	if r.Shed == 0 {
+		t.Error("the greedy client was never shed: overload not proven")
+	}
+	if r.ShedRate <= 0 || r.ShedRate > 1 {
+		t.Errorf("shed_rate = %g, want (0, 1]", r.ShedRate)
+	}
+	if r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+		t.Errorf("latency quantiles p50=%g p99=%g are not ordered", r.P50Ms, r.P99Ms)
+	}
+	if r.Attempts < r.Completed+r.Shed-r.Retries-r.GaveUp {
+		t.Errorf("outcome counts exceed attempts: %+v", r)
+	}
+}

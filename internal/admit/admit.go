@@ -1,0 +1,275 @@
+// Package admit is token-bucket admission control for the serving layer:
+// a global bucket bounding aggregate request rate plus one bucket per
+// client identity bounding any single tenant's share. A request is
+// admitted only when both buckets hold a token; a denial reports which
+// bucket ran dry and how long until it refills, so HTTP front ends can
+// answer 429 with an honest Retry-After and quota headers.
+//
+// The controller is deterministic under an injected clock — every refill
+// is computed from elapsed time, never from a background ticker — so
+// tests can walk time forward explicitly and load generators replaying
+// the same schedule observe the same admission decisions.
+package admit
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// Scope names the bucket that denied (or most tightly constrained) a
+// request.
+type Scope string
+
+const (
+	// ScopeGlobal is the aggregate bucket shared by every client.
+	ScopeGlobal Scope = "global"
+	// ScopeClient is the per-client quota bucket.
+	ScopeClient Scope = "client"
+)
+
+// Config sizes the controller. A zero RatePerSec disables the matching
+// dimension: global-only, client-only, and fully open controllers are all
+// valid.
+type Config struct {
+	// GlobalRate is the aggregate refill rate in tokens (requests) per
+	// second; 0 disables the global bucket.
+	GlobalRate float64
+	// GlobalBurst is the global bucket capacity (defaults to GlobalRate
+	// when unset, minimum 1).
+	GlobalBurst float64
+	// ClientRate is the per-client refill rate in tokens per second; 0
+	// disables per-client quotas.
+	ClientRate float64
+	// ClientBurst is the per-client bucket capacity (defaults to
+	// ClientRate when unset, minimum 1).
+	ClientBurst float64
+	// MaxClients bounds the tracked client buckets; the least recently
+	// seen client is evicted past the bound (default 1024). Evicting an
+	// idle client forgets at most one burst of history — an evicted
+	// client that returns starts from a full bucket.
+	MaxClients int
+	// Now is the clock (default time.Now). Injected by tests and
+	// deterministic load generators.
+	Now func() time.Time
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	// OK reports whether the request was admitted (one token taken from
+	// every enabled bucket).
+	OK bool
+	// Scope is the denying bucket when !OK; on admission it is the bucket
+	// with the fewest tokens remaining (the binding constraint).
+	Scope Scope
+	// RetryAfter is how long until the denying bucket holds a full token
+	// again; zero on admission.
+	RetryAfter time.Duration
+	// Limit is the capacity of the per-client bucket (0 when per-client
+	// quotas are disabled).
+	Limit float64
+	// Remaining is the client's tokens left after this decision (the
+	// global bucket's when quotas are disabled but the global bucket is
+	// not).
+	Remaining float64
+}
+
+// Controller admits requests against a global and a set of per-client
+// token buckets. The zero Controller is not usable; construct with New.
+// A nil *Controller admits everything, so callers can leave admission
+// unconfigured without branching.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	global  bucket
+	clients map[string]*clientBucket
+	lru     *list.List // front = most recently seen client
+
+	admitted int64
+	denied   int64
+	evicted  int64
+}
+
+// clientBucket is one tracked client's bucket plus its LRU position.
+type clientBucket struct {
+	key string
+	b   bucket
+	el  *list.Element
+}
+
+// bucket is a token bucket refilled lazily from elapsed time.
+type bucket struct {
+	tokens float64
+	cap    float64
+	rate   float64 // tokens per second; 0 = disabled
+	last   time.Time
+}
+
+// take refills from the elapsed wall clock, then claims one token. When
+// the bucket is dry it reports how long until a full token accrues.
+func (b *bucket) take(now time.Time) (ok bool, wait time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.cap, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// put returns one token (used to refund the global take when the client
+// bucket subsequently denies).
+func (b *bucket) put() {
+	if b.rate <= 0 {
+		return
+	}
+	b.tokens = math.Min(b.cap, b.tokens+1)
+}
+
+// New builds a controller; returns nil (admit-everything) when both rate
+// dimensions are disabled.
+func New(cfg Config) *Controller {
+	if cfg.GlobalRate <= 0 && cfg.ClientRate <= 0 {
+		return nil
+	}
+	if cfg.GlobalBurst <= 0 {
+		cfg.GlobalBurst = math.Max(1, cfg.GlobalRate)
+	}
+	if cfg.ClientBurst <= 0 {
+		cfg.ClientBurst = math.Max(1, cfg.ClientRate)
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Controller{
+		cfg:     cfg,
+		clients: make(map[string]*clientBucket),
+		lru:     list.New(),
+	}
+	now := cfg.Now()
+	if cfg.GlobalRate > 0 {
+		c.global = bucket{tokens: cfg.GlobalBurst, cap: cfg.GlobalBurst, rate: cfg.GlobalRate, last: now}
+	}
+	return c
+}
+
+// Admit decides one request from the named client. A nil controller
+// admits unconditionally.
+func (c *Controller) Admit(client string) Decision {
+	if c == nil {
+		return Decision{OK: true}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+
+	okG, waitG := c.global.take(now)
+	if !okG {
+		c.denied++
+		return Decision{Scope: ScopeGlobal, RetryAfter: waitG, Limit: c.cfg.ClientBurst}
+	}
+	if c.cfg.ClientRate <= 0 {
+		c.admitted++
+		return Decision{OK: true, Scope: ScopeGlobal, Remaining: c.global.tokens}
+	}
+
+	cb := c.clientFor(client, now)
+	okC, waitC := cb.b.take(now)
+	if !okC {
+		// The global token must not be burned by a denied request: refund
+		// it so one greedy client cannot starve the fleet-wide budget.
+		c.global.put()
+		c.denied++
+		return Decision{Scope: ScopeClient, RetryAfter: waitC, Limit: c.cfg.ClientBurst}
+	}
+	c.admitted++
+	d := Decision{OK: true, Scope: ScopeClient, Limit: c.cfg.ClientBurst, Remaining: cb.b.tokens}
+	if c.cfg.GlobalRate > 0 && c.global.tokens < cb.b.tokens {
+		d.Scope, d.Remaining = ScopeGlobal, c.global.tokens
+	}
+	return d
+}
+
+// clientFor returns (creating if needed) the bucket for key, refreshing
+// its LRU position and evicting the least recently seen client past the
+// bound. Callers hold c.mu.
+func (c *Controller) clientFor(key string, now time.Time) *clientBucket {
+	if cb, ok := c.clients[key]; ok {
+		c.lru.MoveToFront(cb.el)
+		return cb
+	}
+	for len(c.clients) >= c.cfg.MaxClients {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.clients, oldest.Value.(*clientBucket).key)
+		c.evicted++
+	}
+	cb := &clientBucket{
+		key: key,
+		b:   bucket{tokens: c.cfg.ClientBurst, cap: c.cfg.ClientBurst, rate: c.cfg.ClientRate, last: now},
+	}
+	cb.el = c.lru.PushFront(cb)
+	c.clients[key] = cb
+	return cb
+}
+
+// Snapshot is the controller's observable state for health endpoints.
+type Snapshot struct {
+	// Enabled reports whether any admission dimension is active.
+	Enabled bool `json:"enabled"`
+	// GlobalTokens is the aggregate bucket's current fill (refilled to
+	// the snapshot instant); -1 when the global bucket is disabled.
+	GlobalTokens float64 `json:"global_tokens"`
+	// GlobalBurst is the aggregate bucket capacity (0 = disabled).
+	GlobalBurst float64 `json:"global_burst"`
+	// ClientRate and ClientBurst echo the per-client quota shape.
+	ClientRate  float64 `json:"client_rate"`
+	ClientBurst float64 `json:"client_burst"`
+	// Clients is the number of tracked client buckets.
+	Clients int `json:"clients"`
+	// Admitted, Denied and Evicted are lifetime decision counts.
+	Admitted int64 `json:"admitted"`
+	Denied   int64 `json:"denied"`
+	Evicted  int64 `json:"evicted"`
+}
+
+// Snapshot reports the current state; safe on a nil controller.
+func (c *Controller) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{GlobalTokens: -1}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Enabled:      true,
+		GlobalTokens: -1,
+		ClientRate:   c.cfg.ClientRate,
+		ClientBurst:  c.cfg.ClientBurst,
+		Clients:      len(c.clients),
+		Admitted:     c.admitted,
+		Denied:       c.denied,
+		Evicted:      c.evicted,
+	}
+	if c.cfg.GlobalRate > 0 {
+		// Refill to the snapshot instant so operators see live fill, not
+		// the fill as of the last request.
+		now := c.cfg.Now()
+		if dt := now.Sub(c.global.last).Seconds(); dt > 0 {
+			c.global.tokens = math.Min(c.global.cap, c.global.tokens+dt*c.global.rate)
+			c.global.last = now
+		}
+		s.GlobalTokens = c.global.tokens
+		s.GlobalBurst = c.global.cap
+	}
+	return s
+}

@@ -1,0 +1,204 @@
+package admit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a manually advanced test clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1_000_000, 0)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestNilAndDisabledControllersAdmitEverything(t *testing.T) {
+	var nilC *Controller
+	if d := nilC.Admit("x"); !d.OK {
+		t.Error("nil controller denied")
+	}
+	if c := New(Config{}); c != nil {
+		t.Error("fully disabled config built a controller")
+	}
+	snap := nilC.Snapshot()
+	if snap.Enabled {
+		t.Error("nil controller reports enabled")
+	}
+}
+
+// TestGlobalBucketDeniesAndRefills walks the aggregate bucket dry, checks
+// the denial names the global scope with an honest refill hint, then
+// advances the clock and admits again.
+func TestGlobalBucketDeniesAndRefills(t *testing.T) {
+	ck := newClock()
+	c := New(Config{GlobalRate: 2, GlobalBurst: 3, Now: ck.Now})
+	for i := 0; i < 3; i++ {
+		if d := c.Admit("a"); !d.OK {
+			t.Fatalf("request %d denied with a full burst", i)
+		}
+	}
+	d := c.Admit("a")
+	if d.OK {
+		t.Fatal("admitted past the burst")
+	}
+	if d.Scope != ScopeGlobal {
+		t.Errorf("denial scope = %q, want global", d.Scope)
+	}
+	// Dry bucket at rate 2/s: a full token is 500ms away.
+	if want := 500 * time.Millisecond; d.RetryAfter != want {
+		t.Errorf("RetryAfter = %v, want %v", d.RetryAfter, want)
+	}
+	ck.Advance(500 * time.Millisecond)
+	if d := c.Admit("a"); !d.OK {
+		t.Error("denied after the refill interval")
+	}
+}
+
+// TestClientQuotaIsolatesTenants checks one greedy client exhausts only
+// its own bucket: a second client is still admitted, and the refunded
+// global tokens are not burned by the greedy client's denials.
+func TestClientQuotaIsolatesTenants(t *testing.T) {
+	ck := newClock()
+	c := New(Config{
+		GlobalRate: 100, GlobalBurst: 100,
+		ClientRate: 1, ClientBurst: 2,
+		Now: ck.Now,
+	})
+	for i := 0; i < 2; i++ {
+		if d := c.Admit("greedy"); !d.OK {
+			t.Fatalf("greedy request %d denied inside its burst", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		d := c.Admit("greedy")
+		if d.OK {
+			t.Fatal("greedy admitted past its quota")
+		}
+		if d.Scope != ScopeClient {
+			t.Errorf("denial scope = %q, want client", d.Scope)
+		}
+		if d.Limit != 2 {
+			t.Errorf("denial Limit = %g, want 2", d.Limit)
+		}
+	}
+	if d := c.Admit("polite"); !d.OK {
+		t.Fatal("second client denied by the first client's overage")
+	}
+	// 2 greedy + 1 polite admissions consumed exactly 3 global tokens;
+	// the 5 denials must have refunded theirs.
+	snap := c.Snapshot()
+	if want := 97.0; snap.GlobalTokens != want {
+		t.Errorf("global tokens = %g, want %g (denials burned the global budget)", snap.GlobalTokens, want)
+	}
+	if snap.Admitted != 3 || snap.Denied != 5 {
+		t.Errorf("admitted/denied = %d/%d, want 3/5", snap.Admitted, snap.Denied)
+	}
+}
+
+// TestClientBucketRefills checks a dry client quota recovers at
+// ClientRate.
+func TestClientBucketRefills(t *testing.T) {
+	ck := newClock()
+	c := New(Config{ClientRate: 2, ClientBurst: 1, Now: ck.Now})
+	if d := c.Admit("a"); !d.OK {
+		t.Fatal("first request denied")
+	}
+	d := c.Admit("a")
+	if d.OK {
+		t.Fatal("admitted on a dry bucket")
+	}
+	if want := 500 * time.Millisecond; d.RetryAfter != want {
+		t.Errorf("RetryAfter = %v, want %v", d.RetryAfter, want)
+	}
+	ck.Advance(time.Second)
+	if d := c.Admit("a"); !d.OK {
+		t.Error("denied after refill")
+	}
+}
+
+// TestClientEvictionBound checks the tracked-client map stays bounded,
+// evicting the least recently seen identity.
+func TestClientEvictionBound(t *testing.T) {
+	ck := newClock()
+	c := New(Config{ClientRate: 1, ClientBurst: 1, MaxClients: 4, Now: ck.Now})
+	for i := 0; i < 10; i++ {
+		c.Admit(fmt.Sprintf("client-%d", i))
+	}
+	snap := c.Snapshot()
+	if snap.Clients != 4 {
+		t.Errorf("tracked clients = %d, want 4", snap.Clients)
+	}
+	if snap.Evicted != 6 {
+		t.Errorf("evicted = %d, want 6", snap.Evicted)
+	}
+	// Clients 6-9 survive; client-2 was evicted, so it returns to a
+	// fresh full bucket (admitted), while client-9's bucket is dry.
+	if d := c.Admit("client-9"); d.OK {
+		t.Error("client-9's dry bucket was forgotten while still tracked")
+	}
+	if d := c.Admit("client-2"); !d.OK {
+		t.Error("evicted client did not restart from a full bucket")
+	}
+}
+
+// TestConcurrentAdmitIsRaceFreeAndConserves hammers one controller from
+// many goroutines: the admitted total must exactly match the available
+// token budget.
+func TestConcurrentAdmitIsRaceFreeAndConserves(t *testing.T) {
+	ck := newClock()
+	c := New(Config{GlobalRate: 0.0001, GlobalBurst: 50, Now: ck.Now})
+	var admitted sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[bool]int{}
+	for i := 0; i < 8; i++ {
+		admitted.Add(1)
+		go func(i int) {
+			defer admitted.Done()
+			for j := 0; j < 25; j++ {
+				d := c.Admit(fmt.Sprintf("c%d", i%2))
+				mu.Lock()
+				counts[d.OK]++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	admitted.Wait()
+	if counts[true] != 50 {
+		t.Errorf("admitted %d of 200 with a 50-token budget", counts[true])
+	}
+	if counts[true]+counts[false] != 200 {
+		t.Errorf("decisions = %d, want 200", counts[true]+counts[false])
+	}
+}
+
+// TestSnapshotRefillsGlobal checks the snapshot reflects live refill, not
+// the fill at the last request.
+func TestSnapshotRefillsGlobal(t *testing.T) {
+	ck := newClock()
+	c := New(Config{GlobalRate: 10, GlobalBurst: 10, Now: ck.Now})
+	for i := 0; i < 10; i++ {
+		c.Admit("a")
+	}
+	if got := c.Snapshot().GlobalTokens; got != 0 {
+		t.Fatalf("tokens after burst = %g, want 0", got)
+	}
+	ck.Advance(500 * time.Millisecond)
+	if got := c.Snapshot().GlobalTokens; got != 5 {
+		t.Errorf("tokens after 500ms = %g, want 5", got)
+	}
+}

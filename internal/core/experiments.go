@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -177,8 +178,21 @@ type SweepResult struct {
 // classes sweep concurrently on the shared pool; results come back in
 // Classes order no matter how the sweeps are scheduled.
 func (s *Study) RunBlockageSweeps() ([]SweepResult, error) {
+	return s.RunBlockageSweepsContext(context.Background())
+}
+
+// RunBlockageSweepsContext is RunBlockageSweeps under a caller-supplied
+// context: sweeps not yet scheduled when ctx ends (a serving deadline, a
+// disconnected client) are abandoned and the context's error surfaces.
+// The serving layer threads its per-request run budget through here so a
+// stuck or over-budget figure-7 run is cancelled instead of holding a
+// pool slot indefinitely.
+func (s *Study) RunBlockageSweepsContext(ctx context.Context) ([]SweepResult, error) {
 	out := make([]SweepResult, len(Classes))
-	err := parallelFor(len(Classes), func(i int) error {
+	err := parallelForCtx(ctx, len(Classes), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m := Classes[i]
 		pts, err := server.BlockageSweep(m.Config(), server.DefaultBlockages())
 		if err != nil {

@@ -1,0 +1,48 @@
+package obs
+
+// HDR-style bucket ladders for latency histograms.
+//
+// The fixed-bucket Histogram estimates quantiles by interpolating inside
+// the bucket holding the target rank, so its quantile error is bounded by
+// bucket width. A plain exponential ladder (factor 2) bounds relative
+// error at 100% — too coarse for a p99 worth publishing. The HDR trick
+// (hdrhistogram's linear-sub-bucket layout) subdivides every power-of-two
+// major bucket into a fixed number of equal-width minor buckets, bounding
+// relative quantile error at 1/subBuckets while keeping the bucket count
+// logarithmic in the dynamic range: range [1ms, 60s] at 16 sub-buckets is
+// 16 majors x 16 minors = ~256 bounds, good for ~6% worst-case error over
+// four and a half decades.
+
+// HDRBuckets returns histogram upper bounds covering [min, max] with
+// power-of-two major buckets each split into subBuckets linear minor
+// buckets. min and max must be positive with max > min; subBuckets
+// below 1 selects 16. The ladder starts at min and the final bound is
+// >= max, so every value in range lands in a real bucket rather than
+// the histogram's overflow count.
+func HDRBuckets(min, max float64, subBuckets int) []float64 {
+	if min <= 0 || max <= min {
+		return nil
+	}
+	if subBuckets < 1 {
+		subBuckets = 16
+	}
+	var out []float64
+	for lo := min; lo < max; lo *= 2 {
+		width := lo / float64(subBuckets)
+		for i := 1; i <= subBuckets; i++ {
+			b := lo + float64(i)*width
+			out = append(out, b)
+			if b >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// LatencySecondsBuckets is the serving layer's request-latency ladder:
+// 500µs to 120s at 16 sub-buckets per octave (~290 buckets, <= ~6%
+// relative quantile error). Shared by ttsimd's /metrics histogram and the
+// ttsimload client so server- and client-side percentiles are computed on
+// identical grids.
+func LatencySecondsBuckets() []float64 { return HDRBuckets(0.0005, 120, 16) }

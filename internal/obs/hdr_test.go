@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHDRBucketsShape(t *testing.T) {
+	b := HDRBuckets(1, 8, 4)
+	// Majors [1,2), [2,4), [4,8): minors at width major/4.
+	want := []float64{1.25, 1.5, 1.75, 2, 2.5, 3, 3.5, 4, 5, 6, 7, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d (%v), want %d", len(b), b, len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("b[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHDRBucketsInvariants(t *testing.T) {
+	for _, c := range []struct {
+		min, max float64
+		sub      int
+	}{
+		{0.0005, 120, 16},
+		{1, 1e6, 8},
+		{0.001, 1.5, 3},
+		{1, 60, 0}, // 0 selects the default 16
+	} {
+		b := HDRBuckets(c.min, c.max, c.sub)
+		if len(b) == 0 {
+			t.Fatalf("HDRBuckets(%g, %g, %d) empty", c.min, c.max, c.sub)
+		}
+		sub := c.sub
+		if sub < 1 {
+			sub = 16
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("bounds not strictly increasing at %d: %g <= %g", i, b[i], b[i-1])
+			}
+			// Relative step bound: width <= previous bound / subBuckets.
+			if step := (b[i] - b[i-1]) / b[i-1]; step > 1.0/float64(sub)+1e-9 {
+				t.Fatalf("relative step %g at bound %g exceeds 1/%d", step, b[i], sub)
+			}
+		}
+		if last := b[len(b)-1]; last < c.max {
+			t.Errorf("last bound %g < max %g: tail values would overflow", last, c.max)
+		}
+	}
+}
+
+func TestHDRBucketsRejectsBadRange(t *testing.T) {
+	for _, c := range [][2]float64{{0, 1}, {-1, 1}, {1, 1}, {2, 1}} {
+		if b := HDRBuckets(c[0], c[1], 8); b != nil {
+			t.Errorf("HDRBuckets(%g, %g) = %v, want nil", c[0], c[1], b)
+		}
+	}
+}
+
+// TestHDRQuantileAccuracy feeds a known distribution through a histogram
+// on the latency ladder and checks the p50/p99 estimates stay within the
+// ladder's relative-error bound.
+func TestHDRQuantileAccuracy(t *testing.T) {
+	h := newHistogram(LatencySecondsBuckets())
+	// 10k samples spread uniformly over [1ms, 101ms]: p50 = 51ms,
+	// p99 = 100ms.
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Observe(0.001 + 0.1*float64(i)/float64(n))
+	}
+	for _, c := range []struct {
+		q, want float64
+	}{{0.5, 0.051}, {0.99, 0.100}} {
+		got := h.Quantile(c.q)
+		if rel := math.Abs(got-c.want) / c.want; rel > 1.0/16 {
+			t.Errorf("q%g = %g, want %g within %.1f%%", c.q, got, c.want, 100.0/16)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package persist is a crash-safe, append-only journal of key -> bytes
+// records backing the serving layer's result cache across restarts.
+//
+// The file is a fixed 8-byte header followed by length-prefixed records,
+// each sealed by a CRC32 over its key and body. Appends are fsync'd, so
+// a record either survives whole or is a torn tail; replay decodes
+// records until the first one that does not verify, counts everything
+// after that point as skipped, and truncates the file back to the last
+// good byte. Writing the same key again supersedes the earlier record
+// (last one wins); Open compacts the file — rewriting only the live
+// records through a temp-file rename — whenever replay found superseded
+// or torn bytes, so the journal's size tracks the live set, not the
+// write history.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a journal file (7 ASCII bytes + newline = 8 bytes).
+var magic = [8]byte{'T', 'T', 'S', 'J', 'N', 'L', '1', '\n'}
+
+// Record framing: keyLen (uint32 LE), bodyLen (uint32 LE), key, body,
+// crc32 IEEE over key||body (uint32 LE).
+const recordOverhead = 4 + 4 + 4
+
+// Decode guards: a key is a canonical-request hash (64 hex chars today;
+// the bound leaves room), a body is one encoded response envelope. A
+// length field past these bounds is corruption, not a big record.
+const (
+	maxKeyLen  = 1 << 10
+	maxBodyLen = 1 << 30
+)
+
+// ErrNotJournal reports a non-empty file whose header is not a journal's:
+// likely an operator pointing the daemon at the wrong path. The file is
+// left untouched.
+var ErrNotJournal = errors.New("persist: not a journal file")
+
+// Stats describes what Open found during replay.
+type Stats struct {
+	// Live is the number of entries handed back (distinct keys).
+	Live int `json:"live"`
+	// Records is the number of whole records decoded, including ones a
+	// later write superseded.
+	Records int `json:"records"`
+	// Skipped counts torn or corrupt tail entries dropped during replay.
+	Skipped int `json:"skipped"`
+	// Compacted reports whether Open rewrote the file down to the live
+	// set (it does whenever replay found superseded or torn bytes).
+	Compacted bool `json:"compacted"`
+	// Bytes is the file size after open (post-compaction).
+	Bytes int64 `json:"bytes"`
+}
+
+// Journal is an open journal file positioned for appends. Methods are not
+// concurrency-safe against each other; the serving layer serializes
+// writes behind its cache lock. A nil *Journal ignores appends, so
+// callers can leave persistence unconfigured without branching.
+type Journal struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// Entry is one live journal record.
+type Entry struct {
+	Key  string
+	Body []byte
+}
+
+// Open replays (and, when needed, compacts) the journal at path, creating
+// it if absent, and returns the journal open for appends together with
+// the live entries in first-write order — the order a cache warming from
+// the journal should insert them, oldest first.
+func Open(path string) (*Journal, []Entry, Stats, error) {
+	var stats Stats
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		raw = nil
+	case err != nil:
+		return nil, nil, stats, fmt.Errorf("persist: open %s: %w", path, err)
+	}
+
+	entries := make(map[string][]byte)
+	var order []string // insertion order of live keys
+	goodEnd := 0       // bytes of raw that verified
+
+	switch {
+	case len(raw) == 0:
+		// Fresh (or empty) file: header written below.
+	case len(raw) < len(magic):
+		// A crash tore the initial header write. Only a header prefix can
+		// be here; anything else is a foreign file.
+		if string(raw) != string(magic[:len(raw)]) {
+			return nil, nil, stats, fmt.Errorf("%w: %s", ErrNotJournal, path)
+		}
+		stats.Skipped++
+	case string(raw[:len(magic)]) != string(magic[:]):
+		return nil, nil, stats, fmt.Errorf("%w: %s", ErrNotJournal, path)
+	default:
+		goodEnd = len(magic)
+		off := len(magic)
+		for off < len(raw) {
+			key, body, n, ok := decodeRecord(raw[off:])
+			if !ok {
+				// Torn or corrupt tail: count one skipped entry and stop.
+				// Appends are fsync'd in order, so nothing beyond the first
+				// bad record can be trusted — record boundaries downstream
+				// of it are unknowable.
+				stats.Skipped++
+				break
+			}
+			if _, seen := entries[key]; !seen {
+				order = append(order, key)
+			}
+			entries[key] = body
+			stats.Records++
+			off += n
+			goodEnd = off
+		}
+	}
+	stats.Live = len(entries)
+
+	dead := stats.Skipped > 0 || stats.Records > stats.Live || (len(raw) > 0 && goodEnd < len(raw))
+	if len(raw) == 0 || dead {
+		// Rewrite the live set through a temp file so a crash mid-compaction
+		// leaves the original journal intact.
+		if err := writeCompact(path, order, entries); err != nil {
+			return nil, nil, stats, err
+		}
+		stats.Compacted = dead
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("persist: reopen %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("persist: stat %s: %w", path, err)
+	}
+	stats.Bytes = fi.Size()
+	live := make([]Entry, 0, len(order))
+	for _, key := range order {
+		live = append(live, Entry{Key: key, Body: entries[key]})
+	}
+	return &Journal{f: f, path: path, size: fi.Size()}, live, stats, nil
+}
+
+// decodeRecord decodes one record from b, returning its size and whether
+// it verified whole.
+func decodeRecord(b []byte) (key string, body []byte, n int, ok bool) {
+	if len(b) < recordOverhead {
+		return "", nil, 0, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	bodyLen := int(binary.LittleEndian.Uint32(b[4:8]))
+	if keyLen <= 0 || keyLen > maxKeyLen || bodyLen < 0 || bodyLen > maxBodyLen {
+		return "", nil, 0, false
+	}
+	n = recordOverhead + keyLen + bodyLen
+	if len(b) < n {
+		return "", nil, 0, false
+	}
+	payload := b[8 : 8+keyLen+bodyLen]
+	sum := binary.LittleEndian.Uint32(b[8+keyLen+bodyLen:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", nil, 0, false
+	}
+	body = append([]byte(nil), payload[keyLen:]...)
+	return string(payload[:keyLen]), body, n, true
+}
+
+// appendRecord encodes one record onto dst.
+func appendRecord(dst []byte, key string, body []byte) []byte {
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(lens[4:8], uint32(len(body)))
+	dst = append(dst, lens[:]...)
+	dst = append(dst, key...)
+	dst = append(dst, body...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(key))
+	crc.Write(body)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	return append(dst, sum[:]...)
+}
+
+// writeCompact writes header + live records to path.tmp, fsyncs, and
+// renames it over path.
+func writeCompact(path string, order []string, entries map[string][]byte) error {
+	buf := append([]byte(nil), magic[:]...)
+	for _, key := range order {
+		buf = appendRecord(buf, key, entries[key])
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: compact %s: %w", path, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: compact %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: compact %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: compact %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: compact %s: %w", path, err)
+	}
+	return syncDir(path)
+}
+
+// syncDir fsyncs path's directory so the rename itself is durable. Best
+// effort: some filesystems reject directory fsync (EINVAL on certain
+// network mounts); durability degrades gracefully there.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// Append durably adds one record. A nil journal drops it.
+func (j *Journal) Append(key string, body []byte) error {
+	if j == nil {
+		return nil
+	}
+	rec := appendRecord(nil, key, body)
+	if _, err := j.f.Write(rec); err != nil {
+		return fmt.Errorf("persist: append to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("persist: sync %s: %w", j.path, err)
+	}
+	j.size += int64(len(rec))
+	return nil
+}
+
+// Size returns the journal's current byte size (0 for nil).
+func (j *Journal) Size() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.size
+}
+
+// Path returns the backing file path ("" for nil).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close releases the file handle. Safe on nil.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ReadAll is a read-only replay of the journal at path for tools and
+// tests: live entries plus stats, without opening for append or
+// compacting.
+func ReadAll(path string) (map[string][]byte, Stats, error) {
+	var stats Stats
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, stats, err
+	}
+	entries := make(map[string][]byte)
+	if len(raw) < len(magic) || string(raw[:len(magic)]) != string(magic[:]) {
+		if len(raw) > 0 {
+			stats.Skipped++
+		}
+		return entries, stats, nil
+	}
+	off := len(magic)
+	for off < len(raw) {
+		key, body, n, ok := decodeRecord(raw[off:])
+		if !ok {
+			stats.Skipped++
+			break
+		}
+		entries[key] = body
+		stats.Records++
+		off += n
+	}
+	stats.Live = len(entries)
+	stats.Bytes = int64(len(raw))
+	return entries, stats, nil
+}

@@ -1,0 +1,267 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "cache.journal")
+}
+
+// reopen closes nothing; it replays path and returns the live entries as
+// a map for assertion convenience.
+func openMap(t *testing.T, path string) (*Journal, map[string][]byte, Stats) {
+	t.Helper()
+	j, entries, stats, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	m := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		m[e.Key] = e.Body
+	}
+	return j, m, stats
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tempJournal(t)
+	j, entries, stats, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || stats.Live != 0 {
+		t.Fatalf("fresh journal has entries: %+v", stats)
+	}
+	want := map[string][]byte{
+		"key-a": []byte(`{"result":1}` + "\n"),
+		"key-b": []byte(`{"result":2}` + "\n"),
+		"key-c": {}, // empty body is a valid record
+	}
+	for k, v := range want {
+		if err := j.Append(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got, stats := openMap(t, path)
+	defer j2.Close()
+	if stats.Live != 3 || stats.Records != 3 || stats.Skipped != 0 || stats.Compacted {
+		t.Errorf("stats = %+v, want 3 clean records", stats)
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Errorf("entry %q = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestReplayOrderIsFirstWriteOrder(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		j.Append(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	j.Close()
+	_, entries, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if e.Key != fmt.Sprintf("key-%d", i) {
+			t.Errorf("entries[%d] = %q, want key-%d", i, e.Key, i)
+		}
+	}
+}
+
+// TestLastWriteWinsAndCompacts rewrites one key, then checks replay hands
+// back the newest body and compaction shrinks the file to the live set.
+func TestLastWriteWinsAndCompacts(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("key", []byte("old-old-old-old"))
+	j.Append("other", []byte("live"))
+	j.Append("key", []byte("new"))
+	sizeBefore := j.Size()
+	j.Close()
+
+	j2, got, stats := openMap(t, path)
+	defer j2.Close()
+	if !bytes.Equal(got["key"], []byte("new")) {
+		t.Errorf(`entry "key" = %q, want "new"`, got["key"])
+	}
+	if stats.Records != 3 || stats.Live != 2 {
+		t.Errorf("stats = %+v, want records=3 live=2", stats)
+	}
+	if !stats.Compacted {
+		t.Error("superseded record did not trigger compaction")
+	}
+	if stats.Bytes >= sizeBefore {
+		t.Errorf("compaction did not shrink the file: %d -> %d", sizeBefore, stats.Bytes)
+	}
+}
+
+// TestTornTailEveryOffset is the crash-recovery sweep: the file is
+// truncated at every byte offset inside the last record, and every
+// truncation must replay to exactly the earlier records, count one
+// skipped entry, and serve the surviving bodies byte-identically.
+func TestTornTailEveryOffset(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyA := []byte(`{"experiment":"a","result":[1,2,3]}` + "\n")
+	bodyB := []byte(`{"experiment":"b","result":[4,5,6]}` + "\n")
+	j.Append("key-a", bodyA)
+	whole := j.Size() // offset where the last record begins
+	j.Append("key-b", bodyB)
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) <= whole {
+		t.Fatalf("second record added no bytes: %d <= %d", len(raw), whole)
+	}
+
+	for cut := whole + 1; cut < int64(len(raw)); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, got, stats := openMap(t, torn)
+		if !bytes.Equal(got["key-a"], bodyA) {
+			t.Fatalf("cut %d: surviving entry differs: %q", cut, got["key-a"])
+		}
+		if _, ok := got["key-b"]; ok {
+			t.Fatalf("cut %d: torn entry replayed as live", cut)
+		}
+		if stats.Skipped != 1 {
+			t.Fatalf("cut %d: skipped = %d, want 1", cut, stats.Skipped)
+		}
+		if !stats.Compacted {
+			t.Fatalf("cut %d: torn tail not compacted away", cut)
+		}
+		// The recovered journal must accept appends and replay clean.
+		if err := j2.Append("key-b", bodyB); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		_, got2, stats2 := openMap(t, torn)
+		if stats2.Skipped != 0 || !bytes.Equal(got2["key-b"], bodyB) {
+			t.Fatalf("cut %d: post-recovery journal unhealthy: %+v", cut, stats2)
+		}
+	}
+}
+
+// TestCorruptTailFlippedBit checks a bit flip in the final record (same
+// length, bad checksum) is dropped and counted, not served.
+func TestCorruptTailFlippedBit(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("key-a", []byte("intact"))
+	mark := j.Size()
+	j.Append("key-b", []byte("to-be-corrupted"))
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	raw[mark+recordOverhead] ^= 0x40 // flip a bit inside key-b's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got, stats := openMap(t, path)
+	defer j2.Close()
+	if stats.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", stats.Skipped)
+	}
+	if _, ok := got["key-b"]; ok {
+		t.Error("corrupt record served")
+	}
+	if !bytes.Equal(got["key-a"], []byte("intact")) {
+		t.Error("intact record lost")
+	}
+}
+
+// TestTornHeader recovers a crash during the very first header write.
+func TestTornHeader(t *testing.T) {
+	path := tempJournal(t)
+	if err := os.WriteFile(path, magic[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries, stats, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(entries) != 0 || stats.Skipped != 1 {
+		t.Errorf("torn header: entries=%d stats=%+v", len(entries), stats)
+	}
+	if err := j.Append("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForeignFileRefused checks Open refuses to adopt (and so never
+// overwrites) a file that is not a journal.
+func TestForeignFileRefused(t *testing.T) {
+	path := tempJournal(t)
+	content := []byte("PRECIOUS OPERATOR DATA that is definitely not a journal\n")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := Open(path)
+	if !errors.Is(err, ErrNotJournal) {
+		t.Fatalf("Open on a foreign file: err = %v, want ErrNotJournal", err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(after, content) {
+		t.Error("Open modified a foreign file")
+	}
+}
+
+// TestNilJournalIsInert checks the nil no-persistence path.
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	if err := j.Append("k", []byte("v")); err != nil {
+		t.Error(err)
+	}
+	if j.Size() != 0 || j.Path() != "" || j.Close() != nil {
+		t.Error("nil journal not inert")
+	}
+}
+
+// TestReadAll covers the read-only replay used by tooling.
+func TestReadAll(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("k", []byte("v"))
+	j.Close()
+	m, stats, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m["k"], []byte("v")) || stats.Live != 1 {
+		t.Errorf("ReadAll = %v, %+v", m, stats)
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/obs"
+)
+
+// maxClientIDLen bounds the accepted X-Client-ID header so a hostile
+// client cannot grow quota-bucket keys without bound.
+const maxClientIDLen = 128
+
+// clientKey extracts the quota identity of a request: the X-Client-ID
+// header when present (trimmed, length-bounded), else the remote host
+// without its ephemeral port, so one machine's connections share one
+// bucket.
+func clientKey(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Client-ID")); id != "" {
+		if len(id) > maxClientIDLen {
+			id = id[:maxClientIDLen]
+		}
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// setQuotaHeaders exposes the decision's quota state so clients can pace
+// themselves before hitting 429s.
+func setQuotaHeaders(w http.ResponseWriter, d admit.Decision) {
+	if d.Limit > 0 {
+		w.Header().Set("X-RateLimit-Limit", fmt.Sprintf("%.0f", d.Limit))
+	}
+	w.Header().Set("X-RateLimit-Remaining", fmt.Sprintf("%d", int64(math.Max(0, math.Floor(d.Remaining)))))
+	if d.Scope != "" {
+		w.Header().Set("X-RateLimit-Scope", string(d.Scope))
+	}
+}
+
+// retryAfterSeconds formats d as a whole-second Retry-After value,
+// rounded up so the hint never invites a retry that is still early.
+func retryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+// admitRequest runs the admission decision for one request, answering
+// 429 (with quota headers and a Retry-After built from the bucket refill
+// and live congestion) when the request is shed. It reports whether the
+// request may proceed.
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) bool {
+	d := s.admission.Admit(clientKey(r))
+	setQuotaHeaders(w, d)
+	if d.OK {
+		return true
+	}
+	s.obs.Counter("serve.rejected_quota").Inc()
+	s.obs.CounterWith("serve.quota_denials", obs.Label{Key: "scope", Value: string(d.Scope)}).Inc()
+	retry := d.RetryAfter
+	if hint := s.retryAfterHint(); hint > retry {
+		retry = hint
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds(retry))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("serve: over %s quota (retry after %s s)", d.Scope, retryAfterSeconds(retry)))
+	return false
+}
+
+// retryAfterHint derives a Retry-After from live congestion rather than a
+// constant: the backlog ahead of a retrying client is queued+1 requests
+// draining through the pool's worker slots, each estimated to cost about
+// as long as the oldest in-flight run has been executing (clamped to
+// [1s, 30s] — young runs say nothing yet, ancient ones are outliers).
+// The hint shrinks as the queue drains and grows as runs age, so clients
+// back off hard under real overload and return quickly after a blip.
+func (s *Server) retryAfterHint() time.Duration {
+	_, queued, workers := s.pool.stats()
+	perRun := s.runs.oldestAge(s.now())
+	if perRun < time.Second {
+		perRun = time.Second
+	}
+	if perRun > 30*time.Second {
+		perRun = 30 * time.Second
+	}
+	waves := float64(queued+1) / float64(workers)
+	d := time.Duration(waves * float64(perRun))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 2*time.Minute {
+		d = 2 * time.Minute
+	}
+	return d
+}
+
+// runTracker follows the start times of in-flight runs so the congestion
+// hint can reason about how long the current work has been executing.
+type runTracker struct {
+	mu     sync.Mutex
+	starts map[uint64]time.Time
+	next   uint64
+}
+
+func newRunTracker() *runTracker {
+	return &runTracker{starts: make(map[uint64]time.Time)}
+}
+
+// track registers a run begun at now; the returned func retires it.
+func (t *runTracker) track(now time.Time) func() {
+	t.mu.Lock()
+	id := t.next
+	t.next++
+	t.starts[id] = now
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		delete(t.starts, id)
+		t.mu.Unlock()
+	}
+}
+
+// oldestAge returns how long the longest-running in-flight run has been
+// executing (0 when idle).
+func (t *runTracker) oldestAge(now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var oldest time.Duration
+	for _, start := range t.starts {
+		if age := now.Sub(start); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}
+
+// inflight returns the number of tracked runs.
+func (t *runTracker) inflight() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.starts)
+}

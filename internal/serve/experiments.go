@@ -61,8 +61,8 @@ func runFig4(_ context.Context, s *core.Study, _ *Request) (any, error) {
 	return report.ValidationJSON(v), nil
 }
 
-func runFig7(_ context.Context, s *core.Study, _ *Request) (any, error) {
-	res, err := s.RunBlockageSweeps()
+func runFig7(ctx context.Context, s *core.Study, _ *Request) (any, error) {
+	res, err := s.RunBlockageSweepsContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// reencode maps a canonical Request back onto its wire form. Feeding the
+// result through ParseRequest again must reproduce the same key: the
+// canonical form is a fixed point of canonicalization.
+func reencode(t interface{ Fatalf(string, ...any) }, req *Request) []byte {
+	wire := wireRequest{Optimize: req.Optimize, Record: req.Record}
+	switch req.Experiment {
+	case "fleet":
+		wire.Fleet = &wireFleet{
+			Mix:      core.FormatFleetMix(req.FleetMix),
+			Policies: req.FleetPolicies,
+			Workers:  req.Workers,
+		}
+	case "faults":
+		wire.Faults = &wireFaults{
+			Mix:      core.FormatFleetMix(req.FaultsMix),
+			Policies: req.FaultsPolicies,
+			Workers:  req.Workers,
+			Scenario: req.FaultsScenario,
+			Seed:     req.FaultsSeed,
+			StepS:    req.FaultsStepS,
+		}
+	case "autoscale":
+		wire.Autoscale = &wireAutoscale{
+			Mix:       core.FormatFleetMix(req.AutoscaleMix),
+			Policies:  req.AutoscalePolicies,
+			Scenarios: req.AutoscaleScenarios,
+			Workers:   req.Workers,
+		}
+	}
+	b, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatalf("marshal wire form: %v", err)
+	}
+	return b
+}
+
+// FuzzCanonicalRequest hammers the request canonicalizer with arbitrary
+// names and bodies, checking the key contract on everything that parses:
+// keys are lowercase hex sha256, parsing is deterministic, and the
+// canonical form round-trips through the wire encoding onto the same key
+// (so no amount of spelling variation can fragment the cache for one
+// semantic request).
+func FuzzCanonicalRequest(f *testing.F) {
+	seeds := []struct{ name, body string }{
+		{"fig4", ``},
+		{"fig4", `{}`},
+		{"fig4", `{"optimize":true}`},
+		{"fig11", `{"optimize":true}`},
+		{"FLEET", ``},
+		{"fleet", `{"fleet":{"workers":4}}`},
+		{"fleet", `{"fleet":{"policies":["rr"]}}`},
+		{"fleet", `{"fleet":{"policies":["all"]}}`},
+		{"fleet", `{"fleet":{"mix":"1U=2"}}`},
+		{"fleet", `{"fleet":{"mix":"nowax:1U=2"}}`},
+		{"faults", `{"faults":{"seed":7,"step_s":120}}`},
+		{"faults", `{"faults":{"step_s":1.2e2}}`},
+		{"faults", `{"faults":{"scenario":"peak","step_s":60}}`},
+		{"faults", `{"faults":{"scenario":"default"}}`},
+		{"faults", `{"faults":{"scenario":"Rolling-Brownout"}}`},
+		{"autoscale", `{"autoscale":{"policies":["all"],"scenarios":["chiller-trip-peak","diurnal-surge"]}}`},
+		{"autoscale", `{"autoscale":{"policies":["pre-freeze"]}}`},
+		{"autoscale", `{"autoscale":{"workers":8}}`},
+	}
+	for _, s := range seeds {
+		f.Add(s.name, []byte(s.body))
+	}
+	f.Fuzz(func(t *testing.T, name string, body []byte) {
+		req, err := ParseRequest(name, body, knownAll)
+		if err != nil {
+			return // malformed inputs are out of contract
+		}
+		key := req.Key()
+		if len(key) != 64 || strings.Trim(key, "0123456789abcdef") != "" {
+			t.Fatalf("key %q is not lowercase hex sha256", key)
+		}
+		again, err := ParseRequest(name, body, knownAll)
+		if err != nil {
+			t.Fatalf("reparse of accepted input failed: %v", err)
+		}
+		if k2 := again.Key(); k2 != key {
+			t.Fatalf("same input keyed differently: %s vs %s", key, k2)
+		}
+		canonical := reencode(t, req)
+		rt, err := ParseRequest(req.Experiment, canonical, knownAll)
+		if err != nil {
+			t.Fatalf("canonical form %s rejected: %v", canonical, err)
+		}
+		if k3 := rt.Key(); k3 != key {
+			t.Fatalf("canonical round trip changed the key:\n  input %q %s -> %s\n  canonical %s -> %s",
+				name, body, key, canonical, k3)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+)
+
+// postAs issues a POST with an explicit client identity.
+func postAs(t *testing.T, url, clientID, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Client-ID", clientID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestAdmissionQuota429 exhausts one client's quota and checks the shed
+// contract: 429 with Retry-After and quota headers, while another client
+// and the global budget stay live.
+func TestAdmissionQuota429(t *testing.T) {
+	clock := time.Now()
+	s, ts := newTestServer(t, Config{
+		Admission: admit.Config{
+			GlobalRate: 1000, GlobalBurst: 1000,
+			ClientRate: 1, ClientBurst: 3,
+			Now: func() time.Time { return clock },
+		},
+	})
+	_ = s
+	url := ts.URL + "/v1/experiments/table2"
+	for i := 0; i < 3; i++ {
+		resp, body := postAs(t, url, "greedy", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if resp.Header.Get("X-RateLimit-Limit") != "3" {
+			t.Errorf("X-RateLimit-Limit = %q, want 3", resp.Header.Get("X-RateLimit-Limit"))
+		}
+	}
+	resp, body := postAs(t, url, "greedy", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, body %s, want 429", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if got := resp.Header.Get("X-RateLimit-Remaining"); got != "0" {
+		t.Errorf("X-RateLimit-Remaining = %q, want 0", got)
+	}
+	if got := resp.Header.Get("X-RateLimit-Scope"); got != "client" {
+		t.Errorf("X-RateLimit-Scope = %q, want client", got)
+	}
+	// A different tenant is unaffected: quotas are per client.
+	resp, body = postAs(t, url, "patient", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client status = %d, body %s, want 200", resp.StatusCode, body)
+	}
+	// Walking the clock forward refills the greedy client.
+	clock = clock.Add(2 * time.Second)
+	resp, body = postAs(t, url, "greedy", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refill status = %d, body %s, want 200", resp.StatusCode, body)
+	}
+	if s.obs.Counter("serve.rejected_quota").Value() != 1 {
+		t.Errorf("serve.rejected_quota = %d, want 1", s.obs.Counter("serve.rejected_quota").Value())
+	}
+}
+
+// TestRetryAfterHintShrinksAsQueueDrains pins the adaptive Retry-After:
+// with a run 10s old in flight, a deep queue quotes a long wait and the
+// hint shrinks as the queue drains.
+func TestRetryAfterHintShrinksAsQueueDrains(t *testing.T) {
+	s := MustNew(Config{MaxConcurrent: 1, QueueDepth: 4})
+	t.Cleanup(func() { s.Close() })
+	base := time.Now()
+	s.now = func() time.Time { return base }
+
+	// Occupy the only worker slot with a run that started 10s ago.
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.release()
+	untrack := s.runs.track(base.Add(-10 * time.Second))
+	defer untrack()
+
+	// Pile three waiters into the queue.
+	ctx, cancelWaiters := context.WithCancel(context.Background())
+	defer cancelWaiters()
+	for i := 0; i < 3; i++ {
+		go s.pool.acquire(ctx)
+	}
+	waitFor(t, "queue depth 3", func() bool {
+		_, queued, _ := s.pool.stats()
+		return queued == 3
+	})
+	full := s.retryAfterHint()
+	// (3 queued + 1) waves through 1 worker at ~10s per run = 40s.
+	if full != 40*time.Second {
+		t.Errorf("hint under load = %v, want 40s", full)
+	}
+
+	cancelWaiters()
+	waitFor(t, "queue drained", func() bool {
+		_, queued, _ := s.pool.stats()
+		return queued == 0
+	})
+	drained := s.retryAfterHint()
+	if drained >= full {
+		t.Errorf("hint did not shrink: %v -> %v", full, drained)
+	}
+	// (0 queued + 1) wave at ~10s = 10s.
+	if drained != 10*time.Second {
+		t.Errorf("hint after drain = %v, want 10s", drained)
+	}
+}
+
+// TestRunDeadline504 registers a runner that never finishes on its own
+// and checks the server-side budget cancels it, answers 504, and counts
+// the expiry.
+func TestRunDeadline504(t *testing.T) {
+	s, ts := newTestServer(t, Config{RunTimeout: 30 * time.Millisecond})
+	s.Register("stuck", func(ctx context.Context, _ *core.Study, _ *Request) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/experiments/stuck", "")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s, want 504", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("body %s does not mention the deadline", body)
+	}
+	if got := s.obs.Counter("serve.deadline_exceeded").Value(); got != 1 {
+		t.Errorf("serve.deadline_exceeded = %d, want 1", got)
+	}
+}
+
+// TestPersistentCacheSurvivesRestart pins the crash-safety contract end
+// to end: a rebooted server answers a previously executed request as a
+// byte-identical cache hit, even when the journal lost its tail to a torn
+// write mid-record.
+func TestPersistentCacheSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+
+	boot := func() (*Server, string, func()) {
+		s, err := New(Config{PersistPath: path})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		return s, ts.URL, func() { ts.Close(); s.Close() }
+	}
+
+	// First life: run two experiments, remember their bytes and the journal
+	// size after each so we can tear the second record later.
+	s1, url1, stop1 := boot()
+	resp, golden := postJSON(t, url1+"/v1/experiments/table2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d", resp.StatusCode)
+	}
+	sizeAfterFirst := s1.journal.Size()
+	if _, b := postJSON(t, url1+"/v1/experiments/fig10", ""); len(b) == 0 {
+		t.Fatal("second run returned nothing")
+	}
+	stop1()
+
+	// Crash: the last record loses half its bytes.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() <= sizeAfterFirst {
+		t.Fatalf("journal did not grow: %d <= %d", fi.Size(), sizeAfterFirst)
+	}
+	torn := sizeAfterFirst + (fi.Size()-sizeAfterFirst)/2
+	if err := os.Truncate(path, torn); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: the surviving record replays byte-identically, the torn
+	// one is counted and discarded.
+	s2, url2, stop2 := boot()
+	defer stop2()
+	resp, body := postJSON(t, url2+"/v1/experiments/table2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed run: status %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("X-Cache = %q, want hit after reboot", resp.Header.Get("X-Cache"))
+	}
+	if string(body) != string(golden) {
+		t.Errorf("replayed bytes differ from the first life's response")
+	}
+	if got := s2.obs.Counter("serve.journal_replay_skipped").Value(); got != 1 {
+		t.Errorf("serve.journal_replay_skipped = %d, want 1", got)
+	}
+	// The torn experiment simply re-runs and is re-journaled.
+	if resp, _ := postJSON(t, url2+"/v1/experiments/fig10", ""); resp.Header.Get("X-Cache") != "miss" {
+		t.Errorf("torn entry served from cache; want a fresh run")
+	}
+
+	// /healthz exposes the persistence state.
+	hr, err := http.Get(url2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var hz struct {
+		Admission struct {
+			Enabled bool `json:"enabled"`
+		} `json:"admission"`
+		Persistence *struct {
+			Path          string `json:"path"`
+			Bytes         int64  `json:"bytes"`
+			Entries       int    `json:"entries"`
+			ReplaySkipped int64  `json:"replay_skipped"`
+		} `json:"persistence"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Persistence == nil {
+		t.Fatal("healthz has no persistence block")
+	}
+	if hz.Persistence.Path != path || hz.Persistence.ReplaySkipped != 1 || hz.Persistence.Entries != 2 {
+		t.Errorf("healthz persistence = %+v, want path %s, 2 entries, 1 skip", hz.Persistence, path)
+	}
+	if hz.Admission.Enabled {
+		t.Error("healthz reports admission enabled on an unconfigured server")
+	}
+}

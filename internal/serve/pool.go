@@ -57,3 +57,14 @@ func (p *runPool) acquire(ctx context.Context) error {
 func (p *runPool) release() {
 	<-p.slots
 }
+
+// stats reports the pool's live occupancy: runs holding slots, requests
+// waiting in the queue, and the worker-slot capacity.
+func (p *runPool) stats() (inflight, queued, workers int) {
+	return len(p.slots), int(p.queued.Load()), cap(p.slots)
+}
+
+// queueCapacity returns the bounded waiting room's size.
+func (p *runPool) queueCapacity() int {
+	return int(p.depth)
+}

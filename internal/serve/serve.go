@@ -14,6 +14,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -21,10 +22,13 @@ import (
 	"net/http"
 	"runtime/debug"
 	"sync"
+	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/flightrec"
 	"repro/internal/obs"
+	"repro/internal/persist"
 )
 
 // Config sizes the server. Zero values select the defaults.
@@ -37,10 +41,29 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 64).
 	CacheEntries int
+	// Admission configures token-bucket admission control with
+	// per-client quotas, checked before the cache/dedup/pool path. The
+	// zero value (no rates) disables admission entirely.
+	Admission admit.Config
+	// PersistPath, when non-empty, backs the result cache with a
+	// crash-safe append-only journal at this path: completed responses
+	// are appended fsync'd, and a restarted server replays the journal so
+	// previously cached requests hit byte-identically across restarts.
+	PersistPath string
+	// RunTimeout bounds one run's execution once it holds a pool slot
+	// (0 = unlimited). The budget propagates through the core run
+	// contexts, so a stuck simulation is cancelled rather than pinning a
+	// slot; the request is answered 504 and serve.deadline_exceeded
+	// counts it.
+	RunTimeout time.Duration
 	// Obs receives the serving metrics and is exported on /metrics;
 	// nil allocates a private registry.
 	Obs *obs.Registry
 }
+
+// errDeadline marks a run cancelled by the server-side RunTimeout budget;
+// handlers map it to 504 Gateway Timeout.
+var errDeadline = errors.New("serve: run deadline exceeded")
 
 // Server runs experiments over HTTP. Create with New, expose with
 // Handler, stop with Drain.
@@ -51,6 +74,15 @@ type Server struct {
 	pool      *runPool
 	studies   map[bool]*core.Study // keyed by the optimize flag
 	recorders *recorderStore       // completed recorded runs, by run key
+
+	admission  *admit.Controller // nil = admit everything
+	journal    *persist.Journal  // nil = no persistence
+	journalMu  sync.Mutex        // serializes appends, guards journaled
+	journaled  map[string][]byte // last journaled bytes per key
+	runTimeout time.Duration
+	runs       *runTracker
+	now        func() time.Time
+	latency    map[string]*obs.Histogram // request latency by outcome
 
 	mu      sync.Mutex
 	runners map[string]Runner
@@ -64,8 +96,15 @@ type Server struct {
 	idle     chan struct{} // closed when draining and active hits zero
 }
 
-// New builds a server with the default experiment set.
-func New(cfg Config) *Server {
+// latencyOutcomes label the request-latency histogram: cache hits, runs
+// executed to completion, shed requests (quota or backpressure 429s and
+// drain 503s), and everything that failed.
+var latencyOutcomes = []string{"hit", "run", "shed", "error"}
+
+// New builds a server with the default experiment set. The only error
+// source is persistence: a configured journal that cannot be opened or
+// replayed.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
@@ -83,16 +122,25 @@ func New(cfg Config) *Server {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		obs:       cfg.Obs,
-		cache:     newResultCache(cfg.CacheEntries),
-		flight:    newFlightGroup(),
-		pool:      newRunPool(cfg.MaxConcurrent, cfg.QueueDepth),
-		studies:   map[bool]*core.Study{},
-		recorders: newRecorderStore(),
-		runners:   defaultRunners(),
-		baseCtx:   ctx,
-		baseStop:  stop,
-		idle:      make(chan struct{}),
+		obs:        cfg.Obs,
+		cache:      newResultCache(cfg.CacheEntries),
+		flight:     newFlightGroup(),
+		pool:       newRunPool(cfg.MaxConcurrent, cfg.QueueDepth),
+		studies:    map[bool]*core.Study{},
+		recorders:  newRecorderStore(),
+		admission:  admit.New(cfg.Admission),
+		runTimeout: cfg.RunTimeout,
+		runs:       newRunTracker(),
+		now:        time.Now,
+		latency:    map[string]*obs.Histogram{},
+		runners:    defaultRunners(),
+		baseCtx:    ctx,
+		baseStop:   stop,
+		idle:       make(chan struct{}),
+	}
+	for _, outcome := range latencyOutcomes {
+		s.latency[outcome] = cfg.Obs.HistogramWith("serve.latency_seconds",
+			obs.LatencySecondsBuckets(), obs.Label{Key: "outcome", Value: outcome})
 	}
 	for _, optimize := range []bool{false, true} {
 		st := core.NewStudy()
@@ -100,7 +148,53 @@ func New(cfg Config) *Server {
 		st.Observe(s.obs)
 		s.studies[optimize] = st
 	}
+	if cfg.PersistPath != "" {
+		journal, entries, stats, err := persist.Open(cfg.PersistPath)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.journal = journal
+		s.journaled = make(map[string][]byte, len(entries))
+		for _, e := range entries {
+			s.cache.Put(e.Key, e.Body)
+			s.journaled[e.Key] = e.Body
+		}
+		s.obs.Counter("serve.journal_replayed").Add(int64(stats.Live))
+		s.obs.Counter("serve.journal_replay_skipped").Add(int64(stats.Skipped))
+		if stats.Compacted {
+			s.obs.Counter("serve.journal_compactions").Inc()
+		}
+		s.obs.Gauge("serve.journal_bytes").Set(float64(journal.Size()))
+	}
+	return s, nil
+}
+
+// MustNew is New for callers without a persistence path (tests, examples)
+// where the only error source is absent; it panics on error.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// Close releases the server's resources (the persistence journal and the
+// base run context). It does not drain: call Drain first for a graceful
+// stop.
+func (s *Server) Close() error {
+	s.baseStop()
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	return s.journal.Close()
+}
+
+// observeLatency records one request's wall time under its outcome label.
+func (s *Server) observeLatency(outcome string, start time.Time) {
+	if h, ok := s.latency[outcome]; ok {
+		h.Observe(s.now().Sub(start).Seconds())
+	}
 }
 
 // Register installs (or replaces) a runner under name. Intended for tests
@@ -213,14 +307,35 @@ func (s *Server) Drain(ctx context.Context) {
 // healthzResponse is the JSON body of GET /healthz: liveness plus enough
 // build and runtime state to identify the binary a probe is talking to.
 type healthzResponse struct {
-	Status         string `json:"status"` // "ok" or "draining"
-	GoVersion      string `json:"go_version,omitempty"`
-	Module         string `json:"module,omitempty"`
-	Revision       string `json:"revision,omitempty"`
-	Draining       bool   `json:"draining"`
-	ActiveRequests int    `json:"active_requests"`
-	RecordedRuns   int    `json:"recorded_runs"`
-	Experiments    int    `json:"experiments"`
+	Status         string          `json:"status"` // "ok" or "draining"
+	GoVersion      string          `json:"go_version,omitempty"`
+	Module         string          `json:"module,omitempty"`
+	Revision       string          `json:"revision,omitempty"`
+	Draining       bool            `json:"draining"`
+	ActiveRequests int             `json:"active_requests"`
+	RecordedRuns   int             `json:"recorded_runs"`
+	Experiments    int             `json:"experiments"`
+	Pool           healthzPool     `json:"pool"`
+	Admission      admit.Snapshot  `json:"admission"`
+	Persistence    *healthzJournal `json:"persistence,omitempty"`
+}
+
+// healthzPool is the run pool's live occupancy in /healthz.
+type healthzPool struct {
+	Workers       int `json:"workers"`
+	Inflight      int `json:"inflight"`
+	Queued        int `json:"queued"`
+	QueueCapacity int `json:"queue_capacity"`
+}
+
+// healthzJournal is the persistent cache's state in /healthz, present
+// only when a journal is configured.
+type healthzJournal struct {
+	Path          string `json:"path"`
+	Bytes         int64  `json:"bytes"`
+	Entries       int    `json:"entries"`
+	ReplaySkipped int64  `json:"replay_skipped"`
+	AppendErrors  int64  `json:"append_errors"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -228,6 +343,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Status:       "ok",
 		RecordedRuns: s.recorders.len(),
 		Experiments:  len(s.names()),
+		Admission:    s.admission.Snapshot(),
+	}
+	resp.Pool.Inflight, resp.Pool.Queued, resp.Pool.Workers = s.pool.stats()
+	resp.Pool.QueueCapacity = s.pool.queueCapacity()
+	if s.journal != nil {
+		s.journalMu.Lock()
+		resp.Persistence = &healthzJournal{
+			Path:          s.journal.Path(),
+			Bytes:         s.journal.Size(),
+			Entries:       len(s.journaled),
+			ReplaySkipped: s.obs.Counter("serve.journal_replay_skipped").Value(),
+			AppendErrors:  s.obs.Counter("serve.journal_append_errors").Value(),
+		}
+		s.journalMu.Unlock()
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		resp.GoVersion = info.GoVersion
@@ -292,15 +421,24 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(errEnvelope{Error: err.Error()})
 }
 
-// handleRun executes (or reuses) one experiment run.
+// handleRun executes (or reuses) one experiment run. The request walks
+// admission (token buckets) → cache → singleflight dedup → bounded pool,
+// shedding with 429 at the first layer that refuses it.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.obs.Counter("serve.requests").Inc()
+	start := s.now()
 	if !s.enter() {
 		s.obs.Counter("serve.rejected_draining").Inc()
+		s.observeLatency("shed", start)
 		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
 		return
 	}
 	defer s.exit()
+
+	if !s.admitRequest(w, r) {
+		s.observeLatency("shed", start)
+		return
+	}
 
 	body := make([]byte, 0)
 	if r.Body != nil {
@@ -337,6 +475,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	} else {
 		if cached, ok := s.cache.Get(key); ok {
 			s.obs.Counter("serve.cache_hits").Inc()
+			s.observeLatency("hit", start)
 			w.Header().Set("X-Cache", "hit")
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(cached)
@@ -359,17 +498,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.obs.Counter("serve.client_gone").Inc()
 		case errors.Is(err, errBusy):
 			s.obs.Counter("serve.rejected_busy").Inc()
-			w.Header().Set("Retry-After", "1")
+			s.observeLatency("shed", start)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfterHint()))
 			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errDeadline):
+			s.observeLatency("error", start)
+			writeError(w, http.StatusGatewayTimeout, err)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// The run died with the server (drain deadline), not the client.
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("run cancelled: %w", err))
 		default:
 			s.obs.Counter("serve.run_errors").Inc()
+			s.observeLatency("error", start)
 			writeError(w, http.StatusInternalServerError, err)
 		}
 		return
 	}
+	s.observeLatency("run", start)
 	w.Header().Set("X-Cache", "miss")
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(out)
@@ -382,6 +527,8 @@ func (s *Server) execute(ctx context.Context, req *Request, key string) ([]byte,
 		return nil, err
 	}
 	defer s.pool.release()
+	untrack := s.runs.track(s.now())
+	defer untrack()
 	s.obs.Counter("serve.runs").Inc()
 	sp := s.obs.StartSpan("serve/" + req.Experiment)
 	defer sp.End()
@@ -392,8 +539,20 @@ func (s *Server) execute(ctx context.Context, req *Request, key string) ([]byte,
 	if req.Record {
 		req.Recorder = flightrec.New(flightrec.Config{})
 	}
-	view, err := runner(ctx, s.studies[req.Optimize], req)
+	runCtx := ctx
+	if s.runTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, s.runTimeout)
+		defer cancel()
+	}
+	view, err := runner(runCtx, s.studies[req.Optimize], req)
 	if err != nil {
+		// Distinguish the server-side run budget from the caller (or drain)
+		// cancelling: only the former maps to 504.
+		if runCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			s.obs.Counter("serve.deadline_exceeded").Inc()
+			return nil, fmt.Errorf("%w after %s: %v", errDeadline, s.runTimeout, err)
+		}
 		return nil, err
 	}
 	out, err := json.Marshal(runEnvelope{Experiment: req.Experiment, Key: key, Result: view})
@@ -410,5 +569,27 @@ func (s *Server) execute(ctx context.Context, req *Request, key string) ([]byte,
 		}
 	}
 	s.cache.Put(key, out)
+	s.persistResult(key, out)
 	return out, nil
+}
+
+// persistResult appends a completed run's envelope to the journal (when
+// persistence is configured) so a restarted server replays it. A re-run of
+// an already journaled key (e.g. a recorded run whose bytes were cached)
+// is skipped when the bytes match, keeping the journal append-mostly.
+func (s *Server) persistResult(key string, out []byte) {
+	if s.journal == nil {
+		return
+	}
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	if prev, ok := s.journaled[key]; ok && bytes.Equal(prev, out) {
+		return
+	}
+	if err := s.journal.Append(key, out); err != nil {
+		s.obs.Counter("serve.journal_append_errors").Inc()
+		return
+	}
+	s.journaled[key] = out
+	s.obs.Gauge("serve.journal_bytes").Set(float64(s.journal.Size()))
 }

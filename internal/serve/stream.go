@@ -50,6 +50,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.exit()
 
+	if !s.admitRequest(w, r) {
+		return
+	}
+
 	body, err := readBody(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -74,13 +78,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if err := s.pool.acquire(runCtx); err != nil {
 		if errors.Is(err, errBusy) {
 			s.obs.Counter("serve.rejected_busy").Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfterHint()))
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
 		return
 	}
 	defer s.pool.release()
+	untrack := s.runs.track(s.now())
+	defer untrack()
+	if s.runTimeout > 0 {
+		// The server-side run budget also bounds streamed executions.
+		var cancelBudget context.CancelFunc
+		runCtx, cancelBudget = context.WithTimeout(runCtx, s.runTimeout)
+		defer cancelBudget()
+	}
 
 	// A private study and registry: the stream reports this execution's
 	// events, not another request's.

@@ -12,6 +12,9 @@
 #   BENCH_autoscale.json — the paired control-loop-on/off fleet run; its
 #                        overhead-pct metric is the autoscaler's epoch-loop
 #                        cost with the clock drift cancelled (target < 5%)
+#   BENCH_serve.json   — a ttsimload overload run against a spawned
+#                        ttsimd: client-observed p50/p99 latency and the
+#                        shed rate (shape documented at the bottom)
 #
 # Each benchmark contributes ONE record — the median across the COUNT
 # repetitions — so trend tooling compares like with like instead of
@@ -104,3 +107,16 @@ bench() {
 bench BENCH_thermal.json ./internal/thermal/...
 bench BENCH_fleet.json ./internal/dcsim/... ./internal/fleet/...
 bench BENCH_autoscale.json ./internal/autoscale/...
+
+# BENCH_serve.json — the serving layer under forced overload. ttsimload
+# spawns an in-process ttsimd with a small pool and a tight per-client
+# quota, floods it with mixed cached/uncached/greedy traffic, and records
+# client-observed p50/p99 latency and the shed rate (429s per attempt).
+# One record per run, different shape from the go-bench suites above:
+#
+#   {"duration_s", "attempts", "completed", "hits", "runs", "shed",
+#    "gave_up", "errors", "retries", "shed_rate", "rps", "p50_ms", "p99_ms"}
+#
+# Env: LOAD_DURATION overload-run length (default 10s; CI uses 30s via
+#      the dedicated smoke step).
+go run ./cmd/ttsimload -duration "${LOAD_DURATION:-10s}" -seed 1 -out BENCH_serve.json
