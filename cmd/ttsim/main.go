@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|fleet|faults|autoscale|all
+//	ttsim -exp table1|fig4|fig7|fig10|fig11|fig12|table2|tco|extensions|fleet|faults|autoscale|scenario|all
 //	      [-csv dir] [-optimize] [-json file]
 //	      [-fleet] [-fleet.mix 1U=13,2U=10,OCP=4] [-fleet.policy all] [-fleet.workers n]
 //	      [-faults peak|scenario-name|scenario-file] [-faults.seed n] [-faults.step s]
 //	      [-autoscale] [-autoscale.mix 1U=8] [-autoscale.policy all] [-autoscale.scenario names]
+//	      [-scenario corpus-name|scenario-file]
 //	      [-metrics file] [-trace file] [-trace.chrome file] [-pprof addr]
 //
 // -exp also accepts a comma-separated list (e.g. -exp fig11,fig12);
@@ -46,6 +47,17 @@
 // hysteresis, prefreeze, or all); -autoscale.scenario picks the embedded
 // scenarios replayed (default chiller-trip-peak,diurnal-surge).
 //
+// Scenario mode (-scenario, or -exp scenario) runs one self-contained
+// scenario description — a single file that names the composed workload
+// (diurnal/weekly/flat/trace base plus spike, surge and season
+// components), the fleet mix, the balancing policy, an optional
+// closed-loop autoscale policy, and a fault schedule — and contrasts the
+// run as written against the same fleet with the wax retrofit stripped
+// and the loop open. "-scenario <name>" replays an embedded corpus entry
+// (see `internal/scenario` or examples/scenarios); any other value is a
+// scenario file path. With no value, -exp scenario replays
+// diurnal-baseline.
+//
 // Telemetry: -metrics writes the run's counters, gauges, histograms and
 // spans as JSON; -trace writes the simulation event log (PCM phase
 // transitions, solver convergence) as JSON Lines; -trace.chrome writes
@@ -83,6 +95,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/tco"
 	"repro/internal/timeseries"
 )
@@ -104,7 +117,7 @@ const (
 // this order regardless of how the user wrote them.
 var experimentOrder = []string{
 	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
-	"table2", "tco", "extensions", "fleet", "faults", "autoscale", "waxsweep", "check",
+	"table2", "tco", "extensions", "fleet", "faults", "autoscale", "scenario", "waxsweep", "check",
 }
 
 var runners = map[string]func(context.Context, *core.Study, string, io.Writer) error{
@@ -120,6 +133,7 @@ var runners = map[string]func(context.Context, *core.Study, string, io.Writer) e
 	"fleet":      runFleet,
 	"faults":     runFaults,
 	"autoscale":  runAutoscale,
+	"scenario":   runScenario,
 	"waxsweep":   runWaxSweep,
 	"check":      runCheck,
 }
@@ -132,6 +146,9 @@ var faultSpec = core.DefaultFaultSpec()
 
 // autoscaleSpec carries the -autoscale.* flags into the autoscale runner.
 var autoscaleSpec = core.DefaultAutoscaleSpec()
+
+// scenarioSpec carries the -scenario flag into the scenario runner.
+var scenarioSpec core.ScenarioSpec
 
 func main() {
 	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
@@ -162,6 +179,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	autoMix := fs.String("autoscale.mix", "", "autoscale rack mix as tag=racks pairs (default 1U=8, all wax)")
 	autoPolicies := fs.String("autoscale.policy", "all", "comma-separated controller decision policies: threshold, hysteresis, prefreeze, or all")
 	autoScenarios := fs.String("autoscale.scenario", "", "comma-separated embedded fault scenarios (default chiller-trip-peak,diurnal-surge)")
+	scenarioFlag := fs.String("scenario", "", "run the scenario experiment: an embedded corpus name (e.g. diurnal-baseline) or a scenario file path")
 	if err := fs.Parse(args); err != nil {
 		// flag already printed the problem and the usage to stderr.
 		return exitUsage
@@ -181,6 +199,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *autoMode {
 		extra = append(extra, "autoscale")
+	}
+	if *scenarioFlag != "" {
+		extra = append(extra, "scenario")
 	}
 	if len(extra) > 0 {
 		if expSet {
@@ -206,6 +227,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	if autoscaleSpec, err = parseAutoscaleFlags(*autoMix, *autoPolicies, *autoScenarios, *fleetWorkers); err != nil {
+		fmt.Fprintln(stderr, "ttsim:", err)
+		fs.Usage()
+		return exitUsage
+	}
+	if scenarioSpec, err = parseScenarioFlags(*scenarioFlag, *fleetWorkers); err != nil {
 		fmt.Fprintln(stderr, "ttsim:", err)
 		fs.Usage()
 		return exitUsage
@@ -635,6 +661,58 @@ func parseAutoscaleFlags(mix, policies, scenarios string, workers int) (core.Aut
 		}
 	}
 	return spec, nil
+}
+
+// parseScenarioFlags resolves the -scenario value. Embedded corpus
+// names resolve before file paths (so the shipped scenarios work without
+// a checkout); anything else is read and parsed as a scenario file. An
+// empty value leaves Scenario nil, which the study resolves to the
+// diurnal-baseline corpus entry — that keeps "-exp scenario" with no
+// flag meaningful.
+func parseScenarioFlags(nameOrPath string, workers int) (core.ScenarioSpec, error) {
+	spec := core.ScenarioSpec{Workers: workers}
+	switch s := strings.TrimSpace(nameOrPath); {
+	case s == "":
+	case scenario.IsNamed(s):
+		sc, err := scenario.Named(s)
+		if err != nil {
+			return spec, err
+		}
+		spec.Name, spec.Scenario = s, sc
+	default:
+		f, err := os.Open(s)
+		if err != nil {
+			return spec, err
+		}
+		defer f.Close()
+		sc, err := scenario.Parse(f)
+		if err != nil {
+			return spec, fmt.Errorf("%s: %w", s, err)
+		}
+		base := strings.TrimSuffix(filepath.Base(s), filepath.Ext(s))
+		spec.Name, spec.Scenario = base, sc
+	}
+	return spec, nil
+}
+
+func runScenario(ctx context.Context, s *core.Study, csvDir string, out io.Writer) error {
+	fmt.Fprintln(out, "== Scenario: one file describes the workload, fleet, faults and policy ==")
+	r, err := s.RunScenarioStudy(ctx, scenarioSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, report.Scenario(r))
+	name := "scenario_" + strings.ReplaceAll(r.Name, "/", "_")
+	if err := writeCSV(csvDir, name+"_wax_inlet_rise", r.Wax.InletRiseC, "inlet_rise_degC"); err != nil {
+		return err
+	}
+	if err := writeCSV(csvDir, name+"_nowax_inlet_rise", r.NoWax.InletRiseC, "inlet_rise_degC"); err != nil {
+		return err
+	}
+	if err := writeCSV(csvDir, name+"_wax_cooling_load", r.Wax.CoolingLoadW, "cooling_load_w"); err != nil {
+		return err
+	}
+	return writeCSV(csvDir, name+"_nowax_cooling_load", r.NoWax.CoolingLoadW, "cooling_load_w")
 }
 
 func runAutoscale(ctx context.Context, s *core.Study, csvDir string, out io.Writer) error {

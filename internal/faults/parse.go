@@ -164,6 +164,15 @@ func kindList() string {
 	return strings.Join(names, ", ")
 }
 
+// ParseSpan parses a unit-suffixed time span such as "90s", "45m",
+// "12h30m" or "1d2h" into seconds — the exported face of the span
+// grammar, shared by the scenario format.
+func ParseSpan(s string) (float64, error) { return parseSpan(s) }
+
+// FormatSpan renders seconds back into the canonical span spelling
+// (FormatSpan(ParseSpan(x)) is the canonical form of x).
+func FormatSpan(seconds float64) string { return formatSeconds(seconds) }
+
 // spanUnits maps the time-span unit suffixes to seconds.
 var spanUnits = []struct {
 	suffix  byte

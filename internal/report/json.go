@@ -680,6 +680,90 @@ func AutoscaleJSON(r *core.AutoscaleResult) *AutoscaleResultView {
 }
 
 // ---------------------------------------------------------------------------
+// scenario
+
+// ScenarioRunView is one variant of the scenario experiment (the wax run
+// as described, or the bare open-loop baseline).
+type ScenarioRunView struct {
+	PeakPowerW             float64     `json:"peak_power_w"`
+	PeakCoolingW           float64     `json:"peak_cooling_w"`
+	ThrottledServerSeconds float64     `json:"throttled_server_seconds"`
+	ShedServerSeconds      float64     `json:"shed_server_seconds"`
+	ThrottleOnsetS         *float64    `json:"throttle_onset_s"`
+	PeakInletRiseC         float64     `json:"peak_inlet_rise_c"`
+	PeakWaxLiquid          float64     `json:"peak_wax_liquid"`
+	AbsorbedJ              float64     `json:"absorbed_j"`
+	AutoscaleEpochs        int         `json:"autoscale_epochs"`
+	InletRiseC             *SeriesView `json:"inlet_rise_c"`
+}
+
+// ScenarioResultView is the scenario experiment outcome. Canonical is
+// the normal-form scenario text, so a golden diff names exactly which
+// description drifted as well as how its numbers moved.
+type ScenarioResultView struct {
+	Name          string          `json:"name"`
+	Canonical     string          `json:"canonical"`
+	Racks         int             `json:"racks"`
+	Servers       int             `json:"servers"`
+	Pattern       string          `json:"pattern"`
+	Days          int             `json:"days"`
+	StepS         float64         `json:"step_s"`
+	Balance       string          `json:"balance"`
+	Autoscale     string          `json:"autoscale,omitempty"`
+	Epochs        int             `json:"epochs"`
+	FaultEvents   int             `json:"fault_events"`
+	TripAtS       *float64        `json:"trip_at_s"`
+	Wax           ScenarioRunView `json:"wax"`
+	NoWax         ScenarioRunView `json:"nowax"`
+	PeakShavedW   float64         `json:"peak_shaved_w"`
+	PeakShavedPct float64         `json:"peak_shaved_pct"`
+	ExtensionS    *float64        `json:"extension_s"`
+	Decisions     int             `json:"decisions"`
+	Actions       map[string]int  `json:"actions,omitempty"`
+}
+
+// scenarioRunJSON builds one variant's view.
+func scenarioRunJSON(r core.ScenarioRun) ScenarioRunView {
+	return ScenarioRunView{
+		PeakPowerW:             r.PeakPowerW,
+		PeakCoolingW:           r.PeakCoolingW,
+		ThrottledServerSeconds: r.ThrottledServerSeconds,
+		ShedServerSeconds:      r.ShedServerSeconds,
+		ThrottleOnsetS:         fnum(r.ThrottleOnsetS),
+		PeakInletRiseC:         r.PeakInletRiseC,
+		PeakWaxLiquid:          r.PeakWaxLiquid,
+		AbsorbedJ:              r.AbsorbedJ,
+		AutoscaleEpochs:        r.AutoscaleEpochs,
+		InletRiseC:             SeriesJSON(r.InletRiseC),
+	}
+}
+
+// ScenarioJSON builds the view from a scenario study result.
+func ScenarioJSON(r *core.ScenarioResult) *ScenarioResultView {
+	return &ScenarioResultView{
+		Name:          r.Name,
+		Canonical:     r.Canonical,
+		Racks:         r.Racks,
+		Servers:       r.Servers,
+		Pattern:       r.Pattern,
+		Days:          r.Days,
+		StepS:         r.StepS,
+		Balance:       r.Balance,
+		Autoscale:     r.Autoscale,
+		Epochs:        r.Epochs,
+		FaultEvents:   r.FaultEvents,
+		TripAtS:       fnum(r.TripAtS),
+		Wax:           scenarioRunJSON(r.Wax),
+		NoWax:         scenarioRunJSON(r.NoWax),
+		PeakShavedW:   r.PeakShavedW,
+		PeakShavedPct: r.PeakShavedPct,
+		ExtensionS:    fnum(r.ExtensionS),
+		Decisions:     r.Decisions,
+		Actions:       r.Actions,
+	}
+}
+
+// ---------------------------------------------------------------------------
 // check
 
 // CheckRowView is one self-check line.

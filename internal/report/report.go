@@ -234,6 +234,45 @@ func Autoscale(r *core.AutoscaleResult) string {
 	return b.String()
 }
 
+// Scenario renders the one-file scenario experiment: the description's
+// headline knobs, the wax-vs-bare contrast, and the controller summary
+// when the file closed the loop.
+func Scenario(r *core.ScenarioResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %s over %d day(s) at %.0f s (%d epochs); %d racks, %d servers, %d workers\n",
+		r.Name, r.Pattern, r.Days, r.StepS, r.Epochs, r.Racks, r.Servers, r.Workers)
+	fmt.Fprintf(&b, "  balance %s", r.Balance)
+	if r.Autoscale != "" {
+		fmt.Fprintf(&b, ", autoscale %s (%d decisions)", r.Autoscale, r.Decisions)
+	}
+	if r.FaultEvents > 0 {
+		fmt.Fprintf(&b, "; %d fault events", r.FaultEvents)
+		if !math.IsNaN(r.TripAtS) {
+			fmt.Fprintf(&b, ", first chiller trip at %.1f h", r.TripAtS/3600)
+		}
+	}
+	fmt.Fprintln(&b)
+	onset := func(s float64) string {
+		if math.IsNaN(s) {
+			return "never"
+		}
+		return fmt.Sprintf("%.1f h", s/3600)
+	}
+	row := func(label string, v core.ScenarioRun) {
+		fmt.Fprintf(&b, "  %-6s peak cooling %8.1f kW, throttled %8.0f s-min, shed %8.0f s-min, onset %s, peak rise %.1f C\n",
+			label, v.PeakCoolingW/1000, v.ThrottledServerSeconds/60, v.ShedServerSeconds/60,
+			onset(v.ThrottleOnsetS), v.PeakInletRiseC)
+	}
+	row("wax", r.Wax)
+	row("bare", r.NoWax)
+	fmt.Fprintf(&b, "  wax shaved %.1f kW off the cooling peak (%.1f%%), melted to %.0f%% at worst, absorbed %.1f MJ\n",
+		r.PeakShavedW/1000, r.PeakShavedPct, 100*r.Wax.PeakWaxLiquid, r.Wax.AbsorbedJ/1e6)
+	if !math.IsNaN(r.ExtensionS) && r.ExtensionS != 0 {
+		fmt.Fprintf(&b, "  ride-through extension from the retrofit: %.1f min\n", r.ExtensionS/60)
+	}
+	return b.String()
+}
+
 // Faults renders the fault-injection experiment: the scenario replayed,
 // then one block per policy comparing the wax and no-wax fleets' ride-
 // through and degradation totals.

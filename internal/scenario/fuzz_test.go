@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario asserts the scenario parser never panics, and that
+// any accepted input satisfies the format's contract: the parsed Spec
+// validates, its canonical String() form reparses, and the reparse is a
+// fixed point (Parse(String(spec)) == spec).
+func FuzzParseScenario(f *testing.F) {
+	for _, n := range Names() {
+		src, err := NamedSource(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("workload flat\nmean 0.4\nadd spike 3h ramp 1h peak 0.2 hold 2h")
+	f.Add("workload trace\nsample 0s 0\nsample 999999999d 1")
+	f.Add("fleet nowax:1U=1\nbalance roundrobin\nautoscale threshold")
+	f.Add("fault 0s surge 1.5 for 1h\nfault 2h chiller-trip")
+	f.Add("days 400\nstep 6h\nseed -1\nmul season period 1d amp -1")
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails Validate (%v) from %q", err, src)
+		}
+		text := spec.String()
+		re, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse (%v):\n%s", err, text)
+		}
+		if !reflect.DeepEqual(re, spec) {
+			t.Fatalf("Parse(String(spec)) != spec for %q\ncanonical:\n%s", src, text)
+		}
+	})
+}

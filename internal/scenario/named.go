@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The named corpus: full experiment descriptions that ship with the
+// simulator. The canonical copies live in corpus/*.scenario and are
+// embedded into the binary, so the serving layer can accept a scenario
+// by name without touching the filesystem (no path-traversal surface)
+// and the CLI resolves names before falling back to file paths. The
+// user-facing copies under examples/scenarios/ are pinned byte-for-byte
+// to these by a test — edit both together. Every corpus entry is also
+// pinned end-to-end through the serve layer's golden machinery, which is
+// what makes the corpus a regression suite.
+
+//go:embed corpus/*.scenario
+var corpusFS embed.FS
+
+const corpusDir = "corpus"
+
+// Names lists the embedded scenario names, sorted.
+func Names() []string {
+	entries, err := corpusFS.ReadDir(corpusDir)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".scenario"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsNamed reports whether name resolves to an embedded scenario.
+func IsNamed(name string) bool {
+	_, err := corpusFS.ReadFile(corpusDir + "/" + name + ".scenario")
+	return err == nil
+}
+
+// NamedSource returns the raw text of an embedded scenario.
+func NamedSource(name string) ([]byte, error) {
+	b, err := corpusFS.ReadFile(corpusDir + "/" + name + ".scenario")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (want one of %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}
+
+// Named parses an embedded scenario into a Spec.
+func Named(name string) (*Spec, error) {
+	b, err := NamedSource(name)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := ParseString(string(b))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: embedded scenario %q: %w", name, err)
+	}
+	return spec, nil
+}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCorpusSize(t *testing.T) {
+	names := Names()
+	if len(names) < 12 {
+		t.Fatalf("corpus has %d scenarios, the regression suite wants at least 12: %v", len(names), names)
+	}
+}
+
+func TestNamedCorpusParses(t *testing.T) {
+	for _, n := range Names() {
+		spec, err := Named(n)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestNamedLookup(t *testing.T) {
+	if !IsNamed("diurnal-baseline") {
+		t.Error("diurnal-baseline not embedded")
+	}
+	if IsNamed("no-such-scenario") {
+		t.Error("IsNamed accepted a ghost")
+	}
+	if _, err := Named("no-such-scenario"); err == nil {
+		t.Error("Named accepted a ghost")
+	}
+	if _, err := NamedSource("no-such-scenario"); err == nil {
+		t.Error("NamedSource accepted a ghost")
+	}
+}
+
+// TestCorpusCoversGrammar keeps the corpus honest as a regression suite:
+// every base pattern and every component kind must appear in at least
+// one named scenario, as must faults and autoscale directives.
+func TestCorpusCoversGrammar(t *testing.T) {
+	patterns := map[string]bool{}
+	kinds := map[string]bool{}
+	balances := map[string]bool{}
+	haveFaults, haveAutoscale, haveNoWax := false, false, false
+	for _, n := range Names() {
+		spec, err := Named(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patterns[spec.Gen.Pattern.String()] = true
+		for _, c := range spec.Gen.Components {
+			kinds[c.Kind.String()] = true
+		}
+		balances[spec.Balance] = true
+		if spec.Faults != nil {
+			haveFaults = true
+		}
+		if spec.Autoscale != "" {
+			haveAutoscale = true
+		}
+		for _, m := range spec.Mix {
+			if m.NoWax {
+				haveNoWax = true
+			}
+		}
+	}
+	for _, p := range []string{"diurnal", "weekly", "flat", "trace"} {
+		if !patterns[p] {
+			t.Errorf("no corpus scenario uses the %s pattern", p)
+		}
+	}
+	for _, k := range []string{"spike", "surge", "season"} {
+		if !kinds[k] {
+			t.Errorf("no corpus scenario uses a %s component", k)
+		}
+	}
+	if len(balances) < 3 {
+		t.Errorf("corpus exercises only %d balance policies: %v", len(balances), balances)
+	}
+	if !haveFaults || !haveAutoscale || !haveNoWax {
+		t.Errorf("corpus coverage gaps: faults=%v autoscale=%v nowax=%v",
+			haveFaults, haveAutoscale, haveNoWax)
+	}
+}
+
+// TestExampleScenariosPinned keeps the user-facing copies under
+// examples/scenarios/ byte-identical to the embedded canonical corpus.
+func TestExampleScenariosPinned(t *testing.T) {
+	for _, name := range Names() {
+		embedded, err := NamedSource(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("..", "..", "examples", "scenarios", name+".scenario")
+		onDisk, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: example copy missing: %v", name, err)
+			continue
+		}
+		if string(onDisk) != string(embedded) {
+			t.Errorf("%s: %s differs from the embedded canonical copy — edit both together", name, path)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// full exercises every directive the grammar has.
+const full = `
+# every directive at once
+workload trace
+days 3
+step 10m
+seed 42
+mean 0.45
+peak 0.9
+noise 0.02
+sharpness 1.5
+damping 0.4
+sample 0s 0.3
+sample 12h 0.7
+sample 3d 0.4
+add spike 6h ramp 1h peak 0.2 hold 2h
+mul surge 1d ramp 30m factor 1.8 hold 1h
+mul season period 3d amp 0.1
+add season period 1d amp -0.05
+fleet 1U=4,nowax:2U=3,OCP=2
+balance thermal
+autoscale hysteresis
+fault 12h chiller-trip for 45m
+fault 1d2h rack 1 fan-degrade 0.5 for 4h
+fault 2d class 2 capacity-loss 0.25 for 6h
+`
+
+func TestParseEveryDirective(t *testing.T) {
+	spec, err := ParseString(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Gen
+	if g.Pattern != workload.PatternTrace || g.Days != 3 || g.StepS != 600 || g.Seed != 42 {
+		t.Errorf("base directives mis-parsed: %+v", g)
+	}
+	if g.MeanUtil != 0.45 || g.PeakUtil != 0.9 || g.NoiseAmp != 0.02 ||
+		g.PeakSharpness != 1.5 || g.WeekendDamping != 0.4 {
+		t.Errorf("normalization directives mis-parsed: %+v", g)
+	}
+	if len(g.Samples) != 3 || g.Samples[1] != (workload.Sample{AtS: 12 * 3600, Util: 0.7}) {
+		t.Errorf("samples mis-parsed: %+v", g.Samples)
+	}
+	wantComps := []workload.Component{
+		{Op: workload.OpAdd, Kind: workload.CompSpike, AtS: 6 * 3600, RampS: 3600, HoldS: 2 * 3600, Value: 0.2},
+		{Op: workload.OpMul, Kind: workload.CompSurge, AtS: 86400, RampS: 1800, HoldS: 3600, Value: 1.8},
+		{Op: workload.OpMul, Kind: workload.CompSeason, PeriodS: 3 * 86400, Value: 0.1},
+		{Op: workload.OpAdd, Kind: workload.CompSeason, PeriodS: 86400, Value: -0.05},
+	}
+	if !reflect.DeepEqual(g.Components, wantComps) {
+		t.Errorf("components mis-parsed:\n got %+v\nwant %+v", g.Components, wantComps)
+	}
+	wantMix := []MixEntry{{Tag: "1U", Racks: 4}, {Tag: "2U", Racks: 3, NoWax: true}, {Tag: "OCP", Racks: 2}}
+	if !reflect.DeepEqual(spec.Mix, wantMix) {
+		t.Errorf("mix mis-parsed: %+v", spec.Mix)
+	}
+	if spec.Balance != "thermal" || spec.Autoscale != "hysteresis" {
+		t.Errorf("policies mis-parsed: balance=%q autoscale=%q", spec.Balance, spec.Autoscale)
+	}
+	if spec.Faults == nil || spec.Faults.Len() != 6 {
+		t.Fatalf("faults mis-parsed: %v", spec.Faults)
+	}
+	if evs := spec.Faults.Events(); evs[0].Kind != faults.ChillerTrip || evs[1].Kind != faults.ChillerRecover {
+		t.Errorf("fault expansion mis-parsed: %v", spec.Faults.Events())
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	spec, err := ParseString("workload diurnal\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, Default()) {
+		t.Errorf("minimal file != Default():\n got %+v\nwant %+v", spec, Default())
+	}
+}
+
+// TestRoundTrip is the grammar's core contract: Parse(String(spec))
+// reproduces spec exactly, for every corpus entry and the full-grammar
+// exercise above.
+func TestRoundTrip(t *testing.T) {
+	sources := map[string]string{"full": full}
+	for _, n := range Names() {
+		b, err := NamedSource(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[n] = string(b)
+	}
+	for name, src := range sources {
+		spec, err := ParseString(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		text := spec.String()
+		re, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse canonical form: %v\n%s", name, err, text)
+		}
+		if !reflect.DeepEqual(re, spec) {
+			t.Errorf("%s: Parse(String(spec)) != spec\ncanonical:\n%s", name, text)
+		}
+		if re.String() != text {
+			t.Errorf("%s: String not a fixed point", name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]struct{ in, want string }{
+		"unknown directive":    {"bogus 1\n", "line 1: unknown directive \"bogus\""},
+		"bad pattern":          {"workload sawtooth\n", "line 1: workload: unknown pattern"},
+		"workload no arg":      {"workload\n", "line 1: workload needs a pattern name"},
+		"duplicate directive":  {"days 2\ndays 3\n", "line 2: duplicate days directive"},
+		"days not int":         {"days two\n", "line 1: bad days \"two\""},
+		"days range":           {"days 0\n", "line 1: days 0 outside [1, 400]"},
+		"step bad span":        {"step 5x\n", "line 1: bad step \"5x\""},
+		"step range":           {"step 1s\n", "line 1: step 1s outside [30s, 6h]"},
+		"seed bad":             {"seed pi\n", "line 1: bad seed \"pi\""},
+		"mean bad":             {"mean x\n", "line 1: bad mean \"x\""},
+		"mean no arg":          {"mean\n", "line 1: mean needs a number"},
+		"sample arity":         {"sample 3h\n", "line 1: sample needs <time> <util>"},
+		"sample bad time":      {"sample 3x 0.5\n", "line 1: bad sample time \"3x\""},
+		"sample bad util":      {"sample 3h x\n", "line 1: bad sample util \"x\""},
+		"sample out of order":  {"workload trace\nsample 3h 0.5\nsample 1h 0.5\n", "line 3: sample time 1h is before the previous sample's 3h"},
+		"sample without trace": {"sample 0s 0.5\nsample 3h 0.5\n", "sample lines need \"workload trace\""},
+		"component no kind":    {"add\n", "line 1: add needs a component kind"},
+		"component bad kind":   {"add wobble 3h ramp 1h peak 0.2\n", "line 1: unknown component kind \"wobble\""},
+		"spike arity":          {"add spike 3h ramp 1h\n", "line 1: want: add spike <time> ramp <span> peak <value> [hold <span>]"},
+		"spike bad time":       {"add spike 3x ramp 1h peak 0.2\n", "line 1: bad spike time \"3x\""},
+		"spike missing ramp":   {"add spike 3h rampp 1h peak 0.2\n", "line 1: expected \"ramp\", found \"rampp\""},
+		"spike bad ramp":       {"add spike 3h ramp 1x peak 0.2\n", "line 1: bad ramp \"1x\""},
+		"add wants peak":       {"add spike 3h ramp 1h factor 0.2\n", "line 1: expected \"peak\""},
+		"mul wants factor":     {"mul surge 3h ramp 1h peak 1.5\n", "line 1: expected \"factor\""},
+		"spike bad value":      {"add spike 3h ramp 1h peak x\n", "line 1: bad peak \"x\""},
+		"spike missing hold":   {"add spike 3h ramp 1h peak 0.2 hodl 1h\n", "line 1: expected \"hold\", found \"hodl\""},
+		"spike bad hold":       {"add spike 3h ramp 1h peak 0.2 hold 1x\n", "line 1: bad hold \"1x\""},
+		"spike invalid":        {"add spike 3h ramp 0s peak 0.2\n", "positive ramp or hold"},
+		"season arity":         {"mul season period 3d\n", "line 1: want: mul season period <span> amp <value>"},
+		"season bad period":    {"mul season period 3x amp 0.1\n", "line 1: bad season period \"3x\""},
+		"season bad amp":       {"mul season period 3d amp x\n", "line 1: bad season amp \"x\""},
+		"fleet no arg":         {"fleet\n", "line 1: fleet needs a mix"},
+		"fleet bad entry":      {"fleet 1U:13\n", "line 1: fleet mix entry \"1U:13\": want tag=racks"},
+		"fleet bad tag":        {"fleet 4U=13\n", "line 1: fleet mix entry \"4U=13\": unknown class tag"},
+		"fleet bad count":      {"fleet 1U=-2\n", "line 1: fleet mix entry \"1U=-2\": rack count must be a positive integer"},
+		"fleet empty":          {"fleet ,\n", "line 1: empty fleet mix"},
+		"balance no arg":       {"balance\n", "line 1: balance needs a policy name"},
+		"balance unknown":      {"balance chaotic\n", "unknown balance policy \"chaotic\""},
+		"autoscale unknown":    {"autoscale chaotic\n", "unknown autoscale policy \"chaotic\""},
+		"fault no arg":         {"fault\n", "line 1: fault needs a faults-DSL event"},
+		"fault bad line":       {"fault 3h exploded\n", "line 1: unknown fault kind \"exploded\""},
+		"fault out of order":   {"fault 3h chiller-trip\nfault 1h chiller-recover\n", "line 2: fault time 1h is before the previous fault's 3h"},
+		"fault duplicate":      {"fault 3h chiller-trip\nfault 3h chiller-trip\n", "duplicate"},
+		"fault bad target":     {"fleet 1U=2\nfault 3h rack 99 fan-degrade 0.5\n", "rack 99"},
+		"workload invalid":     {"mean 0.9\npeak 0.5\n", "workload: bad normalization"},
+	}
+	for name, tc := range cases {
+		_, err := ParseString(tc.in)
+		if err == nil {
+			t.Errorf("%s: accepted %q", name, tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+	cases := map[string]func(*Spec){
+		"empty mix":     func(s *Spec) { s.Mix = nil },
+		"bad tag":       func(s *Spec) { s.Mix[0].Tag = "4U" },
+		"bad racks":     func(s *Spec) { s.Mix[0].Racks = 0 },
+		"bad balance":   func(s *Spec) { s.Balance = "chaotic" },
+		"bad autoscale": func(s *Spec) { s.Autoscale = "chaotic" },
+		"bad workload":  func(s *Spec) { s.Gen.MeanUtil = 2 },
+		"fault offgrid": func(s *Spec) {
+			sched, err := faults.ParseScheduleString("3h rack 999 fan-degrade 0.5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Faults = sched
+		},
+	}
+	for name, mut := range cases {
+		s := Default()
+		mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad spec", name)
+		}
+	}
+}
+
+func TestTotalRacks(t *testing.T) {
+	if got := Default().TotalRacks(); got != 27 {
+		t.Errorf("Default().TotalRacks() = %d, want 27", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	spec, err := ParseString("# leading comment\nworkload flat # trailing\n\n   \nmean 0.4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Gen.Pattern != workload.PatternFlat || spec.Gen.MeanUtil != 0.4 {
+		t.Errorf("comments mis-handled: %+v", spec.Gen)
+	}
+}

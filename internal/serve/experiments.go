@@ -20,7 +20,7 @@ type Runner func(ctx context.Context, s *core.Study, req *Request) (any, error)
 // ttsim CLI.
 var ExperimentOrder = []string{
 	"table1", "fig4", "fig7", "fig10", "fig11", "fig12",
-	"table2", "tco", "extensions", "fleet", "faults", "autoscale", "waxsweep", "check",
+	"table2", "tco", "extensions", "fleet", "faults", "autoscale", "scenario", "waxsweep", "check",
 }
 
 // defaultRunners maps every served experiment to its runner.
@@ -38,6 +38,7 @@ func defaultRunners() map[string]Runner {
 		"fleet":      runFleet,
 		"faults":     runFaults,
 		"autoscale":  runAutoscale,
+		"scenario":   runScenario,
 		"waxsweep":   runWaxSweep,
 		"check":      runCheck,
 	}
@@ -211,6 +212,20 @@ func runAutoscale(ctx context.Context, s *core.Study, req *Request) (any, error)
 		return nil, err
 	}
 	return report.AutoscaleJSON(r), nil
+}
+
+func runScenario(ctx context.Context, s *core.Study, req *Request) (any, error) {
+	spec := core.ScenarioSpec{
+		Name:     req.ScenarioName,
+		Scenario: req.ScenarioSpec,
+		Workers:  req.Workers,
+		Recorder: req.Recorder,
+	}
+	r, err := s.RunScenarioStudy(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return report.ScenarioJSON(r), nil
 }
 
 func runWaxSweep(_ context.Context, s *core.Study, _ *Request) (any, error) {

@@ -36,6 +36,16 @@ func reencode(t interface{ Fatalf(string, ...any) }, req *Request) []byte {
 			Scenarios: req.AutoscaleScenarios,
 			Workers:   req.Workers,
 		}
+	case "scenario":
+		ws := &wireScenario{Workers: req.Workers}
+		// Inline requests have no corpus name; their canonical text is the
+		// wire spelling.
+		if req.ScenarioName == "inline" {
+			ws.Source = req.ScenarioCanonical
+		} else {
+			ws.Name = req.ScenarioName
+		}
+		wire.Scenario = ws
 	}
 	b, err := json.Marshal(wire)
 	if err != nil {
@@ -70,6 +80,11 @@ func FuzzCanonicalRequest(f *testing.F) {
 		{"autoscale", `{"autoscale":{"policies":["all"],"scenarios":["chiller-trip-peak","diurnal-surge"]}}`},
 		{"autoscale", `{"autoscale":{"policies":["pre-freeze"]}}`},
 		{"autoscale", `{"autoscale":{"workers":8}}`},
+		{"scenario", ``},
+		{"scenario", `{"scenario":{"name":"flash-crowd"}}`},
+		{"scenario", `{"scenario":{"name":"Diurnal-Baseline","workers":4}}`},
+		{"scenario", `{"scenario":{"source":"workload flat\nmean 0.4\nfleet 1U=2\n"}}`},
+		{"scenario", `{"scenario":{"source":"workload diurnal\nadd spike 6h ramp 1h peak 0.2\nautoscale threshold\nfault 12h chiller-trip for 45m\n"}}`},
 	}
 	for _, s := range seeds {
 		f.Add(s.name, []byte(s.body))

@@ -2,12 +2,15 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden experiment corpus")
@@ -80,6 +83,89 @@ func TestGoldenNamedScenarios(t *testing.T) {
 			}
 			compareGolden(t, "faults-"+name, out)
 		})
+	}
+}
+
+// TestGoldenScenarioCorpus pins every embedded scenario end to end: each
+// corpus entry is replayed through POST /v1/experiments/scenario and its
+// response compared byte for byte. The corpus therefore regression-tests
+// the whole stack an entry exercises — the workload generators, the
+// scenario parser and canonicalizer, the fleet, fault and autoscale
+// machinery, and the report encoding. Refresh intentionally with:
+//
+//	go test ./internal/serve -run TestGoldenScenarioCorpus -update
+func TestGoldenScenarioCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scenario experiment per corpus entry")
+	}
+	_, ts := newTestServer(t, Config{})
+	for _, name := range scenario.Names() {
+		t.Run(name, func(t *testing.T) {
+			body := fmt.Sprintf(`{"scenario":{"name":%q}}`, name)
+			resp, out := postJSON(t, ts.URL+"/v1/experiments/scenario", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d: %s", resp.StatusCode, out)
+			}
+			compareGolden(t, "scenario-"+name, out)
+		})
+	}
+}
+
+// TestGoldenScenarioDetectsPerturbation proves the scenario goldens
+// carry signal down to single-directive edits: submitting a corpus
+// entry's own source inline reproduces the pinned physics exactly, and
+// perturbing one value (the seed) changes the result bytes.
+func TestGoldenScenarioDetectsPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scenario experiment")
+	}
+	want, err := os.ReadFile(goldenPath("scenario-flash-crowd"))
+	if err != nil {
+		t.Fatalf("no flash-crowd golden (generate with -update): %v", err)
+	}
+	// The envelope's name and key reflect how the run was addressed;
+	// the physics lives under result.wax / result.nowax.
+	physics := func(t *testing.T, body []byte) string {
+		t.Helper()
+		var env struct {
+			Result struct {
+				Wax   json.RawMessage `json:"wax"`
+				NoWax json.RawMessage `json:"nowax"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("decode envelope: %v", err)
+		}
+		if len(env.Result.Wax) == 0 || len(env.Result.NoWax) == 0 {
+			t.Fatalf("envelope missing wax/nowax results: %s", body)
+		}
+		return string(env.Result.Wax) + string(env.Result.NoWax)
+	}
+	sc, err := scenario.Named("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{})
+	post := func(t *testing.T, source string) []byte {
+		t.Helper()
+		body, err := json.Marshal(map[string]any{"scenario": map[string]any{"source": source}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, out := postJSON(t, ts.URL+"/v1/experiments/scenario", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %s", resp.StatusCode, out)
+		}
+		return out
+	}
+	same := post(t, sc.String())
+	if physics(t, same) != physics(t, want) {
+		t.Error("the corpus entry's own source produced different physics than its golden")
+	}
+	sc.Gen.Seed++
+	perturbed := post(t, sc.String())
+	if physics(t, perturbed) == physics(t, want) {
+		t.Error("a perturbed scenario reproduced the pinned bytes; the goldens cannot detect change")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/flightrec"
+	"repro/internal/scenario"
 )
 
 // ErrBadRequest wraps every client-side request defect (malformed JSON,
@@ -55,6 +56,14 @@ type Request struct {
 	AutoscaleMix       []core.FleetClass
 	AutoscalePolicies  []string
 	AutoscaleScenarios []string
+	// ScenarioName, ScenarioCanonical and ScenarioSpec configure the
+	// scenario experiment (zero unless Experiment == "scenario").
+	// ScenarioCanonical is the description's normal form (Spec.String()),
+	// so any two sources meaning the same scenario key identically;
+	// ScenarioSpec is the parsed execution form it mirrors.
+	ScenarioName      string
+	ScenarioCanonical string
+	ScenarioSpec      *scenario.Spec
 	// Workers bounds the stepping pool for fleet/faults runs (0 = one per
 	// CPU). Excluded from Key: it cannot change the simulated physics.
 	Workers int
@@ -76,6 +85,7 @@ type wireRequest struct {
 	Fleet     *wireFleet     `json:"fleet"`
 	Faults    *wireFaults    `json:"faults"`
 	Autoscale *wireAutoscale `json:"autoscale"`
+	Scenario  *wireScenario  `json:"scenario"`
 }
 
 // wireFleet mirrors the ttsim -fleet.* flags.
@@ -105,6 +115,17 @@ type wireAutoscale struct {
 	Policies  []string `json:"policies"`
 	Scenarios []string `json:"scenarios"`
 	Workers   int      `json:"workers"`
+}
+
+// wireScenario mirrors the ttsim -scenario flag. Name addresses the
+// embedded corpus; Source carries an inline scenario description (the
+// .scenario text itself). As with fault scenarios, file paths stay a
+// CLI affordance — serving client-named paths would be a traversal
+// hole, but inline text and the baked-in corpus are safe.
+type wireScenario struct {
+	Name    string `json:"name"`
+	Source  string `json:"source"`
+	Workers int    `json:"workers"`
 }
 
 // optimizeApplies lists the experiments whose output the -optimize search
@@ -149,7 +170,8 @@ func (r *Request) canonicalize(wire *wireRequest) error {
 	r.Optimize = wire.Optimize && optimizeApplies[r.Experiment]
 	// Only the fleet-simulator experiments have an epoch loop to record.
 	r.Record = wire.Record &&
-		(r.Experiment == "fleet" || r.Experiment == "faults" || r.Experiment == "autoscale")
+		(r.Experiment == "fleet" || r.Experiment == "faults" ||
+			r.Experiment == "autoscale" || r.Experiment == "scenario")
 
 	switch r.Experiment {
 	case "fleet":
@@ -220,6 +242,34 @@ func (r *Request) canonicalize(wire *wireRequest) error {
 			return err
 		}
 		r.AutoscaleMix, r.AutoscalePolicies, r.AutoscaleScenarios = mix, pols, scens
+		r.Workers = workers
+	case "scenario":
+		name, source, workers := "", "", 0
+		if wire.Scenario != nil {
+			name = strings.ToLower(strings.TrimSpace(wire.Scenario.Name))
+			source = wire.Scenario.Source
+			workers = wire.Scenario.Workers
+		}
+		switch {
+		case name != "" && strings.TrimSpace(source) != "":
+			return fmt.Errorf("%w: scenario name and source are mutually exclusive", ErrBadRequest)
+		case strings.TrimSpace(source) != "":
+			sc, err := scenario.ParseString(source)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			r.ScenarioName, r.ScenarioSpec = "inline", sc
+		default:
+			if name == "" {
+				name = "diurnal-baseline"
+			}
+			sc, err := scenario.Named(name)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			r.ScenarioName, r.ScenarioSpec = name, sc
+		}
+		r.ScenarioCanonical = r.ScenarioSpec.String()
 		r.Workers = workers
 	}
 	return nil
@@ -329,6 +379,12 @@ type keyForm struct {
 	AutoscaleMix       string   `json:"autoscale_mix,omitempty"`
 	AutoscalePolicies  []string `json:"autoscale_policies,omitempty"`
 	AutoscaleScenarios []string `json:"autoscale_scenarios,omitempty"`
+
+	// The scenario experiment keys on the name plus the description's
+	// canonical text: two sources meaning the same scenario collapse, a
+	// one-character semantic edit is a different run.
+	ScenarioName      string `json:"scenario_name,omitempty"`
+	ScenarioCanonical string `json:"scenario_canonical,omitempty"`
 }
 
 // Key returns the content hash identifying this run: equal canonical
@@ -348,6 +404,9 @@ func (r *Request) Key() string {
 		AutoscaleMix:       core.FormatFleetMix(r.AutoscaleMix),
 		AutoscalePolicies:  r.AutoscalePolicies,
 		AutoscaleScenarios: r.AutoscaleScenarios,
+
+		ScenarioName:      r.ScenarioName,
+		ScenarioCanonical: r.ScenarioCanonical,
 	}
 	b, err := json.Marshal(form)
 	if err != nil {

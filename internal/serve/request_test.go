@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 // knownAll accepts every lower-case experiment name the server ships.
@@ -104,6 +107,24 @@ func TestKeyCanonicalization(t *testing.T) {
 		{"autoscale mixes differ",
 			"autoscale", `{"autoscale":{"mix":"1U=4"}}`,
 			"autoscale", ``, false},
+		{"scenario empty body defaults to diurnal-baseline",
+			"scenario", ``,
+			"scenario", `{"scenario":{"name":"diurnal-baseline"}}`, true},
+		{"scenario names canonicalize case-insensitively",
+			"scenario", `{"scenario":{"name":"Flash-Crowd"}}`,
+			"scenario", `{"scenario":{"name":"flash-crowd"}}`, true},
+		{"scenario workers is a perf knob, not semantics",
+			"scenario", `{"scenario":{"name":"flash-crowd","workers":1}}`,
+			"scenario", `{"scenario":{"name":"flash-crowd","workers":8}}`, true},
+		{"scenario sources canonicalize through the spec",
+			"scenario", `{"scenario":{"source":"workload flat\n# note\nmean  0.4\nfleet 1U=2\n"}}`,
+			"scenario", `{"scenario":{"source":"mean 0.4\nworkload flat\nfleet 1U=2"}}`, true},
+		{"scenario names differ",
+			"scenario", `{"scenario":{"name":"flash-crowd"}}`,
+			"scenario", `{"scenario":{"name":"black-friday"}}`, false},
+		{"a one-directive edit is a different run",
+			"scenario", `{"scenario":{"source":"workload flat\nseed 1\nfleet 1U=2\n"}}`,
+			"scenario", `{"scenario":{"source":"workload flat\nseed 2\nfleet 1U=2\n"}}`, false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -113,6 +134,35 @@ func TestKeyCanonicalization(t *testing.T) {
 				t.Errorf("keys: %s vs %s (same=%v), want same=%v", a, b, a == b, c.wantSameKeys)
 			}
 		})
+	}
+}
+
+// TestScenarioKeyIncludesName pins the addressing contract: the same
+// scenario content submitted inline keys differently from the named
+// corpus entry (the response names the run, so the cached bytes differ),
+// while the content itself is identical either way.
+func TestScenarioKeyIncludesName(t *testing.T) {
+	src, err := scenario.NamedSource("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{"scenario": map[string]any{"source": string(src)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, err := ParseRequest("scenario", []byte(`{"scenario":{"name":"flash-crowd"}}`), knownAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := ParseRequest("scenario", body, knownAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.ScenarioCanonical != inline.ScenarioCanonical {
+		t.Error("same source canonicalized differently by route")
+	}
+	if named.Key() == inline.Key() {
+		t.Error("named and inline requests share a key; cached responses would cross-label")
 	}
 }
 
@@ -152,6 +202,11 @@ func TestParseRequestErrors(t *testing.T) {
 		{"bad autoscale policy", "autoscale", `{"autoscale":{"policies":["bogus"]}}`, ErrBadRequest},
 		{"bad autoscale scenario", "autoscale", `{"autoscale":{"scenarios":["made-up"]}}`, ErrBadRequest},
 		{"autoscale scenario file refused", "autoscale", `{"autoscale":{"scenarios":["/etc/passwd"]}}`, ErrBadRequest},
+		{"unknown scenario name", "scenario", `{"scenario":{"name":"made-up"}}`, ErrBadRequest},
+		{"scenario file refused by name", "scenario", `{"scenario":{"name":"/etc/passwd"}}`, ErrBadRequest},
+		{"scenario name and source exclusive", "scenario", `{"scenario":{"name":"flash-crowd","source":"workload flat\n"}}`, ErrBadRequest},
+		{"scenario bad source", "scenario", `{"scenario":{"source":"bogus 1\n"}}`, ErrBadRequest},
+		{"scenario invalid source", "scenario", `{"scenario":{"source":"mean 0.9\npeak 0.5\n"}}`, ErrBadRequest},
 	}
 	for _, c := range bad {
 		t.Run(c.name, func(t *testing.T) {
@@ -202,6 +257,17 @@ func TestCanonicalizeFillsDefaults(t *testing.T) {
 		t.Errorf("default autoscale scenarios = %v, want the canonical pair", req.AutoscaleScenarios)
 	}
 
+	req, err = ParseRequest("scenario", nil, knownAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ScenarioName != "diurnal-baseline" {
+		t.Errorf("default scenario name = %q, want diurnal-baseline", req.ScenarioName)
+	}
+	if req.ScenarioSpec == nil || req.ScenarioCanonical == "" {
+		t.Error("default scenario spec/canonical not filled")
+	}
+
 	// Non-fleet experiments carry no fleet state at all.
 	req, err = ParseRequest("fig4", nil, knownAll)
 	if err != nil {
@@ -209,5 +275,8 @@ func TestCanonicalizeFillsDefaults(t *testing.T) {
 	}
 	if req.FleetMix != nil || req.FaultsMix != nil {
 		t.Error("fig4 request carries fleet state")
+	}
+	if req.ScenarioSpec != nil || req.ScenarioName != "" {
+		t.Error("fig4 request carries scenario state")
 	}
 }

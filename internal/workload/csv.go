@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 
 	"repro/internal/timeseries"
 )
@@ -46,17 +47,36 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 // verified.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
-	recs, err := cr.ReadAll()
+	// Field counts are validated below with row-numbered errors; letting
+	// the csv package enforce them would reject files with trailing
+	// blank-ish lines (a lone "" or whitespace field) outright.
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	raw, err := cr.ReadAll()
 	if err != nil {
 		return nil, err
 	}
-	if len(recs) > 0 && len(recs[0]) > 0 {
+	recs := raw[:0]
+	for _, rec := range raw {
+		if !blankRecord(rec) {
+			recs = append(recs, rec)
+		}
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workload: CSV is empty")
+	}
+	hadHeader := false
+	if len(recs[0]) > 0 {
 		if _, err := strconv.ParseFloat(recs[0][0], 64); err != nil {
 			recs = recs[1:] // header row
+			hadHeader = true
 		}
 	}
 	if len(recs) < 2 {
-		return nil, fmt.Errorf("workload: CSV needs at least two data rows")
+		if hadHeader {
+			return nil, fmt.Errorf("workload: CSV has a header but only %d data row(s), need at least two", len(recs))
+		}
+		return nil, fmt.Errorf("workload: CSV needs at least two data rows, have %d", len(recs))
 	}
 	n := len(recs)
 	times := make([]float64, n)
@@ -77,10 +97,13 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			}
 		}
 	}
-	step := times[1] - times[0]
-	if step <= 0 {
-		return nil, fmt.Errorf("workload: CSV times not increasing")
+	for i := 1; i < n; i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("workload: CSV times not increasing at row %d (%g after %g)",
+				i, times[i], times[i-1])
+		}
 	}
+	step := times[1] - times[0]
 	for i := 2; i < n; i++ {
 		if math.Abs(times[i]-times[i-1]-step) > 1e-6*step {
 			return nil, fmt.Errorf("workload: CSV step irregular at row %d", i)
@@ -106,4 +129,56 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// blankRecord reports whether a CSV record carries no data — the shape
+// trailing blank or whitespace-only lines parse into.
+func blankRecord(rec []string) bool {
+	for _, f := range rec {
+		if strings.TrimSpace(f) != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadSamplesCSV parses a loose two-column time,utilization trace — the
+// format external monitoring exports tend to arrive in. An optional
+// header row and trailing blank lines are tolerated; timestamps need not
+// be uniformly spaced (replay interpolates), but must not decrease.
+func ReadSamplesCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	raw, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var samples []Sample
+	row := -1
+	for _, rec := range raw {
+		row++
+		if blankRecord(rec) {
+			continue
+		}
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("workload: samples CSV row %d has %d fields, want 2 (time_s,util)", row, len(rec))
+		}
+		at, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			if row == 0 && len(samples) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("workload: samples CSV row %d time: %w", row, err)
+		}
+		util, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: samples CSV row %d util: %w", row, err)
+		}
+		samples = append(samples, Sample{AtS: at, Util: util})
+	}
+	if err := ValidateSamples(samples); err != nil {
+		return nil, err
+	}
+	return samples, nil
 }

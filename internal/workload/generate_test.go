@@ -1,0 +1,396 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestPatternRoundTrip(t *testing.T) {
+	for _, p := range []Pattern{PatternDiurnal, PatternWeekly, PatternFlat, PatternTrace} {
+		got, err := ParsePattern(p.String())
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("ParsePattern(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePattern("sawtooth"); err == nil {
+		t.Error("ParsePattern accepted unknown pattern")
+	}
+}
+
+func TestComponentValidation(t *testing.T) {
+	cases := map[string]Component{
+		"negative time":    {Op: OpAdd, Kind: CompSpike, AtS: -1, RampS: 60, Value: 0.2},
+		"no ramp no hold":  {Op: OpAdd, Kind: CompSpike, AtS: 0, Value: 0.2},
+		"negative ramp":    {Op: OpMul, Kind: CompSurge, AtS: 0, RampS: -5, HoldS: 10, Value: 1.5},
+		"zero period":      {Op: OpMul, Kind: CompSeason, Value: 0.2},
+		"add above 1":      {Op: OpAdd, Kind: CompSpike, RampS: 60, Value: 1.5},
+		"add zero":         {Op: OpAdd, Kind: CompSpike, RampS: 60, Value: 0},
+		"mul nonpositive":  {Op: OpMul, Kind: CompSurge, RampS: 60, Value: -0.5},
+		"season amp above": {Op: OpAdd, Kind: CompSeason, PeriodS: units.Day, Value: 1.2},
+		"unknown kind":     {Op: OpAdd, Kind: CompKind(9), RampS: 60, Value: 0.2},
+	}
+	for name, c := range cases {
+		if err := c.validate(); err == nil {
+			t.Errorf("%s: validate() accepted %+v", name, c)
+		}
+	}
+	good := []Component{
+		{Op: OpAdd, Kind: CompSpike, AtS: 3600, RampS: 900, HoldS: 1800, Value: 0.25},
+		{Op: OpMul, Kind: CompSurge, AtS: 0, RampS: 600, HoldS: 0, Value: 2.0},
+		{Op: OpMul, Kind: CompSurge, AtS: 100, RampS: 0, HoldS: 300, Value: 0.5},
+		{Op: OpMul, Kind: CompSeason, PeriodS: 7 * units.Day, Value: 0.15},
+		{Op: OpAdd, Kind: CompSeason, PeriodS: units.Day, Value: -0.1},
+	}
+	for i, c := range good {
+		if err := c.validate(); err != nil {
+			t.Errorf("good[%d]: validate() rejected %+v: %v", i, c, err)
+		}
+	}
+}
+
+func TestSpikeShape(t *testing.T) {
+	c := Component{Op: OpAdd, Kind: CompSpike, AtS: 100, RampS: 50, HoldS: 30, Value: 0.2}
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 0}, {99, 0}, {100, 0}, {125, 0.5}, {150, 1}, {179, 1}, {180, 0}, {1e6, 0},
+	} {
+		if got := c.shapeAt(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("spike shapeAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSurgeShape(t *testing.T) {
+	c := Component{Op: OpMul, Kind: CompSurge, AtS: 0, RampS: 100, HoldS: 50, Value: 1.5}
+	for _, tc := range []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {50, 0.5}, {100, 1}, {149, 1}, {200, 0.5}, {250, 0}, {300, 0},
+	} {
+		if got := c.shapeAt(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("surge shapeAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestBuildPatterns(t *testing.T) {
+	for _, p := range []Pattern{PatternDiurnal, PatternWeekly, PatternFlat} {
+		g := DefaultGenSpec()
+		g.Pattern = p
+		tr, err := g.Build()
+		if err != nil {
+			t.Fatalf("%v: Build: %v", p, err)
+		}
+		want := int(float64(g.Days) * units.Day / g.StepS)
+		if tr.Total.Len() != want {
+			t.Errorf("%v: %d epochs, want %d", p, tr.Total.Len(), want)
+		}
+	}
+	g := DefaultGenSpec()
+	g.Pattern = PatternTrace
+	g.Samples = []Sample{{0, 0.3}, {units.Day, 0.8}, {2 * units.Day, 0.3}}
+	tr, err := g.Build()
+	if err != nil {
+		t.Fatalf("trace: Build: %v", err)
+	}
+	// Linear interpolation between the control points: quarter way in we
+	// should be near 0.3 + 0.25*(0.8-0.3).
+	mid := tr.Total.At(0.5 * units.Day)
+	if math.Abs(mid-0.55) > 0.01 {
+		t.Errorf("replay midpoint = %g, want ~0.55", mid)
+	}
+}
+
+func TestWeeklyDampsWeekend(t *testing.T) {
+	g := DefaultGenSpec()
+	g.Pattern = PatternWeekly
+	g.Days = 7
+	tr, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := tr.Total.SplitDays()
+	if len(days) != 7 {
+		t.Fatalf("got %d days", len(days))
+	}
+	weekday, weekend := days[2].Mean(), days[5].Mean()
+	if weekend >= weekday {
+		t.Errorf("weekend mean %g not damped below weekday mean %g", weekend, weekday)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	mk := func(mut func(*GenSpec)) GenSpec {
+		g := DefaultGenSpec()
+		mut(&g)
+		return g
+	}
+	cases := map[string]GenSpec{
+		"bad component": mk(func(g *GenSpec) {
+			g.Components = []Component{{Op: OpAdd, Kind: CompSpike, Value: 0.2}}
+		}),
+		"flat level zero":  mk(func(g *GenSpec) { g.Pattern = PatternFlat; g.MeanUtil = 0 }),
+		"trace no samples": mk(func(g *GenSpec) { g.Pattern = PatternTrace }),
+		"trace one sample": mk(func(g *GenSpec) {
+			g.Pattern = PatternTrace
+			g.Samples = []Sample{{0, 0.5}}
+		}),
+		"trace out of order": mk(func(g *GenSpec) {
+			g.Pattern = PatternTrace
+			g.Samples = []Sample{{100, 0.5}, {50, 0.5}}
+		}),
+		"trace util range": mk(func(g *GenSpec) {
+			g.Pattern = PatternTrace
+			g.Samples = []Sample{{0, 0.5}, {100, 1.5}}
+		}),
+		"unknown pattern": mk(func(g *GenSpec) { g.Pattern = Pattern(9) }),
+	}
+	for name, g := range cases {
+		if _, err := g.Build(); err == nil {
+			t.Errorf("%s: Build accepted invalid spec", name)
+		}
+	}
+}
+
+// TestComposedTraceInRange is the normalization property: whatever the
+// component stack does, the built trace stays a physical utilization.
+func TestComposedTraceInRange(t *testing.T) {
+	stacks := [][]Component{
+		{{Op: OpAdd, Kind: CompSpike, AtS: 6 * units.Hour, RampS: units.Hour, HoldS: 2 * units.Hour, Value: 0.9}},
+		{{Op: OpMul, Kind: CompSurge, AtS: 0, RampS: 30 * 60, HoldS: units.Hour, Value: 4.0}},
+		{{Op: OpMul, Kind: CompSeason, PeriodS: units.Day, Value: 0.9},
+			{Op: OpAdd, Kind: CompSpike, AtS: units.Day, RampS: 60, HoldS: units.Hour, Value: -1},
+			{Op: OpMul, Kind: CompSurge, AtS: 30 * units.Hour, RampS: 600, HoldS: 600, Value: 3}},
+	}
+	for _, p := range []Pattern{PatternDiurnal, PatternWeekly, PatternFlat} {
+		for si, stack := range stacks {
+			for seed := int64(1); seed <= 5; seed++ {
+				g := DefaultGenSpec()
+				g.Pattern = p
+				g.Seed = seed
+				g.Components = stack
+				tr, err := g.Build()
+				if err != nil {
+					t.Fatalf("%v stack %d seed %d: %v", p, si, seed, err)
+				}
+				for i, v := range tr.Total.Values {
+					if v < 0 || v > 1 || math.IsNaN(v) {
+						t.Fatalf("%v stack %d seed %d: epoch %d utilization %g outside [0,1]", p, si, seed, i, v)
+					}
+				}
+				for _, j := range JobTypes {
+					s := tr.PerType[j]
+					if s == nil {
+						continue
+					}
+					for i, v := range s.Values {
+						if v < 0 || v > 1+1e-12 || math.IsNaN(v) {
+							t.Fatalf("%v stack %d seed %d: %v epoch %d value %g outside [0,1]", p, si, seed, j, i, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReplayPreservesMean is the resampling property: putting a
+// piecewise-linear sample train onto the epoch grid keeps the mean load
+// within tolerance of the train's own time-weighted mean.
+func TestReplayPreservesMean(t *testing.T) {
+	samples := []Sample{
+		{0, 0.20}, {3 * units.Hour, 0.55}, {9 * units.Hour, 0.90},
+		{14 * units.Hour, 0.35}, {20 * units.Hour, 0.70}, {2 * units.Day, 0.25},
+	}
+	// Trapezoid integral of the train itself.
+	var integral float64
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].AtS - samples[i-1].AtS
+		integral += dt * (samples[i].Util + samples[i-1].Util) / 2
+	}
+	wantMean := integral / samples[len(samples)-1].AtS
+
+	for _, stepS := range []float64{60, 300, 1800} {
+		g := DefaultGenSpec()
+		g.Pattern = PatternTrace
+		g.StepS = stepS
+		g.Samples = samples
+		tr, err := g.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Total.Mean()
+		if math.Abs(got-wantMean) > 0.02 {
+			t.Errorf("step %gs: replay mean %g, want %g ± 0.02", stepS, got, wantMean)
+		}
+	}
+}
+
+// TestBuildDeterministic is the reproducibility property: the same spec
+// builds the same trace bit for bit.
+func TestBuildDeterministic(t *testing.T) {
+	specs := []GenSpec{
+		DefaultGenSpec(),
+		func() GenSpec {
+			g := DefaultGenSpec()
+			g.Pattern = PatternFlat
+			g.Seed = 42
+			g.Components = []Component{{Op: OpMul, Kind: CompSurge, AtS: units.Hour, RampS: 600, HoldS: 1200, Value: 2.5}}
+			return g
+		}(),
+		func() GenSpec {
+			g := DefaultGenSpec()
+			g.Pattern = PatternWeekly
+			g.Days = 7
+			g.Components = []Component{{Op: OpMul, Kind: CompSeason, PeriodS: 7 * units.Day, Value: 0.2}}
+			return g
+		}(),
+	}
+	for si, g := range specs {
+		a, err := g.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Total.Values {
+			if math.Float64bits(a.Total.Values[i]) != math.Float64bits(b.Total.Values[i]) {
+				t.Fatalf("spec %d: epoch %d differs across builds: %v vs %v",
+					si, i, a.Total.Values[i], b.Total.Values[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("time_s,search,orkut,mapreduce,total\n"))
+	if err == nil {
+		t.Fatal("ReadCSV accepted header-only file")
+	}
+	if !strings.Contains(err.Error(), "header") {
+		t.Errorf("header-only error %q does not mention the header", err)
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	for _, in := range []string{"", "\n", "\n\n", "   \n"} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV accepted empty input %q", in)
+		}
+	}
+}
+
+func TestReadCSVNonMonotonic(t *testing.T) {
+	in := "time_s,search,orkut,mapreduce,total\n" +
+		"0,0.1,0.1,0.1,0.3\n" +
+		"300,0.1,0.1,0.1,0.3\n" +
+		"200,0.1,0.1,0.1,0.3\n"
+	_, err := ReadCSV(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("ReadCSV accepted non-monotonic timestamps")
+	}
+	if !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("non-monotonic error %q does not name row 2", err)
+	}
+	// A backwards first step must also be named, not silently treated as
+	// a negative grid.
+	in = "0,0.1,0.1,0.1,0.3\n-300,0.1,0.1,0.1,0.3\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Errorf("backwards first step error = %v, want one naming row 1", err)
+	}
+}
+
+func TestReadCSVTrailingBlankLines(t *testing.T) {
+	var sb strings.Builder
+	tr := mustGoogle(t)
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, tail := range []string{"\n", "\n\n", "   \n", "\t\n\n"} {
+		got, err := ReadCSV(strings.NewReader(sb.String() + tail))
+		if err != nil {
+			t.Fatalf("trailing %q: %v", tail, err)
+		}
+		if got.Total.Len() != tr.Total.Len() {
+			t.Errorf("trailing %q: %d epochs, want %d", tail, got.Total.Len(), tr.Total.Len())
+		}
+	}
+}
+
+func mustGoogle(t *testing.T) *Trace {
+	t.Helper()
+	return GoogleTwoDay()
+}
+
+func TestReadSamplesCSV(t *testing.T) {
+	in := "time_s,util\n0,0.2\n3600, 0.5\n7200,0.8\n\n   \n"
+	samples, err := ReadSamplesCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Sample{{0, 0.2}, {3600, 0.5}, {7200, 0.8}}
+	if len(samples) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(samples), len(want))
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, samples[i], want[i])
+		}
+	}
+	// Headerless input is equally fine.
+	if s2, err := ReadSamplesCSV(strings.NewReader("0,0.2\n3600,0.5\n")); err != nil || len(s2) != 2 {
+		t.Errorf("headerless: %v, %d samples", err, len(s2))
+	}
+}
+
+func TestReadSamplesCSVErrors(t *testing.T) {
+	cases := map[string]struct{ in, want string }{
+		"empty":          {"", "at least two"},
+		"header only":    {"time_s,util\n", "at least two"},
+		"one sample":     {"0,0.5\n", "at least two"},
+		"three fields":   {"0,0.5,9\n100,0.5,9\n", "row 0"},
+		"bad util":       {"0,x\n100,0.5\n", "row 0 util"},
+		"bad time":       {"0,0.5\nzzz,0.5\n", "row 1 time"},
+		"time backwards": {"100,0.5\n0,0.5\n", "before"},
+		"util range":     {"0,0.5\n100,1.5\n", "outside [0, 1]"},
+	}
+	for name, tc := range cases {
+		_, err := ReadSamplesCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted %q", name, tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestSortSamples(t *testing.T) {
+	s := []Sample{{300, 0.3}, {0, 0.1}, {150, 0.2}}
+	SortSamples(s)
+	for i := 1; i < len(s); i++ {
+		if s[i].AtS < s[i-1].AtS {
+			t.Fatalf("not sorted: %+v", s)
+		}
+	}
+}
+
+func ExampleGenSpec_Build() {
+	g := DefaultGenSpec()
+	g.Pattern = PatternFlat
+	g.MeanUtil = 0.4
+	g.NoiseAmp = 0
+	g.Components = []Component{
+		{Op: OpAdd, Kind: CompSpike, AtS: 6 * units.Hour, RampS: units.Hour, HoldS: 2 * units.Hour, Value: 0.3},
+	}
+	tr, _ := g.Build()
+	fmt.Printf("floor %.2f peak %.2f\n", tr.Total.Values[0], func() float64 { v, _ := tr.Total.Peak(); return v }())
+	// Output: floor 0.40 peak 0.70
+}
